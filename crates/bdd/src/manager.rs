@@ -1,0 +1,536 @@
+//! Hash-consed reduced ordered BDDs.
+
+use std::collections::HashMap;
+
+/// Identifier of a boolean variable.  In ExSPAN each variable stands for one
+/// base tuple (or, at node granularity, one node / trust domain).
+pub type VarId = u32;
+
+/// A handle to a BDD node inside a [`BddManager`].
+///
+/// Handles are only meaningful relative to the manager that created them.
+/// Equal handles denote semantically equal boolean functions because the
+/// manager hash-conses nodes (canonicity of ROBDDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant `false` function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant `true` function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index, exposed for serialization.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: VarId,
+    low: Bdd,
+    high: Bdd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+}
+
+/// Owns BDD nodes and provides boolean operations over them.
+///
+/// ```
+/// use exspan_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let ab = m.and(a, b);
+/// let f = m.or(a, ab);
+/// assert_eq!(f, a); // absorption
+/// assert!(m.implies(f, a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        // Index 0 = FALSE, 1 = TRUE. Terminals get a sentinel variable id.
+        let terminals = vec![
+            Node {
+                var: VarId::MAX,
+                low: Bdd::FALSE,
+                high: Bdd::FALSE,
+            },
+            Node {
+                var: VarId::MAX,
+                low: Bdd::TRUE,
+                high: Bdd::TRUE,
+            },
+        ];
+        BddManager {
+            nodes: terminals,
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live (allocated) nodes, including the two terminals.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the BDD for a single positive variable literal.
+    pub fn var(&mut self, v: VarId) -> Bdd {
+        self.mk_node(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Returns the constant-true BDD.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&existing) = self.unique.get(&node) {
+            return existing;
+        }
+        let idx = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, idx);
+        idx
+    }
+
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    /// Conjunction of two BDDs.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction of two BDDs.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Negation of a BDD.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        if a == Bdd::TRUE {
+            return Bdd::FALSE;
+        }
+        if a == Bdd::FALSE {
+            return Bdd::TRUE;
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return r;
+        }
+        let n = self.node(a);
+        let low = self.not(n.low);
+        let high = self.not(n.high);
+        let r = self.mk_node(n.var, low, high);
+        self.not_cache.insert(a, r);
+        r
+    }
+
+    fn apply(&mut self, op: Op, a: Bdd, b: Bdd) -> Bdd {
+        // Terminal short-circuits.
+        match op {
+            Op::And => {
+                if a == Bdd::FALSE || b == Bdd::FALSE {
+                    return Bdd::FALSE;
+                }
+                if a == Bdd::TRUE {
+                    return b;
+                }
+                if b == Bdd::TRUE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == Bdd::TRUE || b == Bdd::TRUE {
+                    return Bdd::TRUE;
+                }
+                if a == Bdd::FALSE {
+                    return b;
+                }
+                if b == Bdd::FALSE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+        }
+        // Normalize operand order for the (commutative) cache.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let na = self.node(a);
+        let nb = self.node(b);
+        let var = na.var.min(nb.var);
+        let (a_low, a_high) = if na.var == var {
+            (na.low, na.high)
+        } else {
+            (a, a)
+        };
+        let (b_low, b_high) = if nb.var == var {
+            (nb.low, nb.high)
+        } else {
+            (b, b)
+        };
+        let low = self.apply(op, a_low, b_low);
+        let high = self.apply(op, a_high, b_high);
+        let r = self.mk_node(var, low, high);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction of an iterator of BDDs (`true` for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for b in items {
+            acc = self.and(acc, b);
+            if acc == Bdd::FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of BDDs (`false` for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for b in items {
+            acc = self.or(acc, b);
+            if acc == Bdd::TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restricts variable `v` to `value` in `b` (Shannon cofactor).
+    pub fn restrict(&mut self, b: Bdd, v: VarId, value: bool) -> Bdd {
+        if b.is_terminal() {
+            return b;
+        }
+        let n = self.node(b);
+        if n.var > v {
+            // Ordered: variable v does not occur below.
+            return b;
+        }
+        if n.var == v {
+            return if value { n.high } else { n.low };
+        }
+        let low = self.restrict(n.low, v, value);
+        let high = self.restrict(n.high, v, value);
+        self.mk_node(n.var, low, high)
+    }
+
+    /// Evaluates the function under a total assignment: `assignment(v)` gives
+    /// the truth value of variable `v`.
+    pub fn evaluate<F: Fn(VarId) -> bool>(&self, b: Bdd, assignment: F) -> bool {
+        let mut cur = b;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.high } else { n.low };
+        }
+        cur == Bdd::TRUE
+    }
+
+    /// Returns `true` iff the function is satisfiable (not constant false).
+    ///
+    /// For provenance this is the *derivability test*: the tuple is derivable
+    /// from some combination of trusted base tuples iff its absorption
+    /// provenance is satisfiable.
+    pub fn is_satisfiable(&self, b: Bdd) -> bool {
+        b != Bdd::FALSE
+    }
+
+    /// Returns `true` iff `a` logically implies `b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
+        let nb = self.not(b);
+        self.and(a, nb) == Bdd::FALSE
+    }
+
+    /// The set of variables the function actually depends on.
+    ///
+    /// Absorption can make a function independent of variables that appear in
+    /// the original polynomial — e.g. `a + a·b` does not depend on `b`.
+    pub fn support(&self, b: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(cur) = stack.pop() {
+            if cur.is_terminal() || !visited.insert(cur) {
+                continue;
+            }
+            let n = self.node(cur);
+            seen.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Number of nodes reachable from `b` (including terminals).
+    pub fn reachable_node_count(&self, b: Bdd) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(cur) = stack.pop() {
+            if !visited.insert(cur) {
+                continue;
+            }
+            if cur.is_terminal() {
+                continue;
+            }
+            let n = self.node(cur);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        visited.len()
+    }
+
+    /// Number of non-terminal nodes reachable from `b`.
+    pub fn reachable_internal_count(&self, b: Bdd) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut count = 0usize;
+        let mut stack = vec![b];
+        while let Some(cur) = stack.pop() {
+            if cur.is_terminal() || !visited.insert(cur) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(cur);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Estimated number of bytes needed to ship this BDD over the network:
+    /// each non-terminal node serializes its variable id and two child
+    /// references (4 + 4 + 4 bytes), plus a 4-byte root reference.
+    pub fn serialized_size(&self, b: Bdd) -> usize {
+        4 + self.reachable_internal_count(b) * 12
+    }
+
+    /// Counts satisfying assignments over the given number of variables.
+    pub fn sat_count(&self, b: Bdd, num_vars: u32) -> u64 {
+        fn go(
+            m: &BddManager,
+            b: Bdd,
+            num_vars: u32,
+            memo: &mut HashMap<Bdd, u64>,
+        ) -> (u64, u32) {
+            // Returns (count below this node assuming node's var is the next
+            // unassigned one, var index of this node or num_vars for terminals).
+            if b == Bdd::FALSE {
+                return (0, num_vars);
+            }
+            if b == Bdd::TRUE {
+                return (1, num_vars);
+            }
+            let n = m.node(b);
+            if let Some(&c) = memo.get(&b) {
+                return (c, n.var);
+            }
+            let (cl, vl) = go(m, n.low, num_vars, memo);
+            let (ch, vh) = go(m, n.high, num_vars, memo);
+            let low = cl << (vl - n.var - 1);
+            let high = ch << (vh - n.var - 1);
+            let total = low + high;
+            memo.insert(b, total);
+            (total, n.var)
+        }
+        let mut memo = HashMap::new();
+        let (c, v) = go(self, b, num_vars, &mut memo);
+        c << v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_terminals() {
+        let m = BddManager::new();
+        assert!(Bdd::TRUE.is_terminal());
+        assert!(Bdd::FALSE.is_terminal());
+        assert_eq!(m.constant(true), Bdd::TRUE);
+        assert_eq!(m.constant(false), Bdd::FALSE);
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn identities() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        assert_eq!(m.and(a, Bdd::TRUE), a);
+        assert_eq!(m.and(a, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(a, Bdd::FALSE), a);
+        assert_eq!(m.or(a, Bdd::TRUE), Bdd::TRUE);
+        assert_eq!(m.and(a, a), a);
+        assert_eq!(m.or(a, a), a);
+    }
+
+    #[test]
+    fn negation_involution_and_excluded_middle() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = {
+            let ab = m.and(a, b);
+            let nb = m.not(b);
+            m.or(ab, nb)
+        };
+        let nf = m.not(f);
+        assert_eq!(m.not(nf), f);
+        assert_eq!(m.or(f, nf), Bdd::TRUE);
+        assert_eq!(m.and(f, nf), Bdd::FALSE);
+    }
+
+    #[test]
+    fn absorption_paper_example() {
+        // The paper's example: a · (a + b) = a, and a + a·b = a.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let a_plus_b = m.or(a, b);
+        assert_eq!(m.and(a, a_plus_b), a);
+        let ab = m.and(a, b);
+        assert_eq!(m.or(a, ab), a);
+        // Support shows b is no longer relevant.
+        let f = m.or(a, ab);
+        assert_eq!(m.support(f), vec![0]);
+    }
+
+    #[test]
+    fn canonical_handles_mean_semantic_equality() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // (a+b)·c == a·c + b·c  (distributivity).
+        let left = {
+            let ab = m.or(a, b);
+            m.and(ab, c)
+        };
+        let right = {
+            let ac = m.and(a, c);
+            let bc = m.and(b, c);
+            m.or(ac, bc)
+        };
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn restrict_and_evaluate() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.restrict(f, 0, true), b);
+        assert_eq!(m.restrict(f, 0, false), Bdd::FALSE);
+        assert_eq!(m.restrict(f, 5, true), f); // untouched variable
+        assert!(m.evaluate(f, |_| true));
+        assert!(!m.evaluate(f, |v| v == 0));
+    }
+
+    #[test]
+    fn implication_and_satisfiability() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert!(m.implies(ab, a));
+        assert!(!m.implies(a, ab));
+        assert!(m.is_satisfiable(ab));
+        let na = m.not(a);
+        let contradiction = m.and(a, na);
+        assert!(!m.is_satisfiable(contradiction));
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let or = m.or(a, b);
+        let and = m.and(a, b);
+        assert_eq!(m.sat_count(or, 2), 3);
+        assert_eq!(m.sat_count(and, 2), 1);
+        assert_eq!(m.sat_count(Bdd::TRUE, 2), 4);
+        assert_eq!(m.sat_count(Bdd::FALSE, 2), 0);
+        assert_eq!(m.sat_count(a, 3), 4);
+    }
+
+    #[test]
+    fn serialized_size_grows_with_structure() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        assert_eq!(m.serialized_size(Bdd::TRUE), 4);
+        let single = m.serialized_size(a);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        assert!(m.serialized_size(f) > single);
+    }
+
+    #[test]
+    fn and_or_all_fold() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        let all = m.and_all(vars.iter().copied());
+        assert!(m.evaluate(all, |_| true));
+        assert!(!m.evaluate(all, |v| v != 2));
+        let any = m.or_all(vars.iter().copied());
+        assert!(m.evaluate(any, |v| v == 3));
+        assert!(!m.evaluate(any, |_| false));
+        assert_eq!(m.and_all(std::iter::empty()), Bdd::TRUE);
+        assert_eq!(m.or_all(std::iter::empty()), Bdd::FALSE);
+    }
+
+    #[test]
+    fn support_of_constant_is_empty() {
+        let m = BddManager::new();
+        assert!(m.support(Bdd::TRUE).is_empty());
+        assert!(m.support(Bdd::FALSE).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Provenance-maintenance benchmarks (the basis of Figures 6–10, 16, 17):
+//! running MINCOST / PATHVECTOR to fixpoint under each provenance mode and
+//! measuring incremental maintenance work under a link change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exspan_bench::run_protocol;
+use exspan_core::ProvenanceMode;
+use exspan_ndlog::programs;
+use exspan_netsim::Topology;
+use std::hint::black_box;
+
+const MODES: [ProvenanceMode; 3] = [
+    ProvenanceMode::None,
+    ProvenanceMode::Reference,
+    ProvenanceMode::ValueBdd,
+];
+
+fn bench_fixpoint_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincost_fixpoint_testbed20");
+    group.sample_size(10);
+    for mode in MODES {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            b.iter(|| {
+                let topo = Topology::testbed_ring(20, 7);
+                let system = run_protocol(&programs::mincost(), topo, m);
+                black_box(system.total_bytes())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pathvector_fixpoint_testbed20");
+    group.sample_size(10);
+    for mode in MODES {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            b.iter(|| {
+                let topo = Topology::testbed_ring(20, 7);
+                let system = run_protocol(&programs::path_vector(), topo, m);
+                black_box(system.total_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_link_failure_paper_example");
+    group.sample_size(20);
+    for mode in MODES {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            b.iter(|| {
+                let topo = Topology::paper_example();
+                let mut system = run_protocol(&programs::mincost(), topo, m);
+                // Fail and restore the a-c link, forcing incremental deletion
+                // and re-derivation of the affected provenance.
+                system.remove_link(0, 2);
+                system.run_to_fixpoint();
+                system.add_link(
+                    0,
+                    2,
+                    exspan_netsim::LinkProps::from_class(exspan_netsim::LinkClass::Custom),
+                );
+                system.run_to_fixpoint();
+                black_box(system.total_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint_modes, bench_incremental_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the primitives underlying provenance maintenance:
+//! vertex-identifier hashing, BDD construction/absorption, NDlog parsing and
+//! the provenance rewrite.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use exspan_bdd::BddManager;
+use exspan_core::{provenance_rewrite, RewriteOptions};
+use exspan_ndlog::{parse_program, programs};
+use exspan_types::{sha1_digest, Tuple, Value};
+use std::hint::black_box;
+
+fn bench_vertex_ids(c: &mut Criterion) {
+    let tuple = Tuple::new(
+        "pathCost",
+        17,
+        vec![Value::Node(42), Value::Int(12), Value::Node(3)],
+    );
+    c.bench_function("vid_sha1_tuple", |b| b.iter(|| black_box(&tuple).vid()));
+    let payload = vec![0xABu8; 256];
+    c.bench_function("sha1_256_bytes", |b| {
+        b.iter(|| sha1_digest(black_box(&payload)))
+    });
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    c.bench_function("bdd_build_absorbing_chain_32", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            // OR of 32 products a_i * a_{i+1}; canonical form stays small.
+            let mut acc = m.constant(false);
+            for i in 0..32u32 {
+                let x = m.var(i);
+                let y = m.var((i + 1) % 32);
+                let prod = m.and(x, y);
+                acc = m.or(acc, prod);
+            }
+            black_box(m.serialized_size(acc))
+        })
+    });
+}
+
+fn bench_parser_and_rewrite(c: &mut Criterion) {
+    let source = programs::mincost().to_string();
+    c.bench_function("parse_mincost", |b| {
+        b.iter(|| parse_program("MINCOST", black_box(&source)).unwrap())
+    });
+    let program = programs::path_vector();
+    c.bench_function("provenance_rewrite_pathvector", |b| {
+        b.iter_batched(
+            || program.clone(),
+            |p| provenance_rewrite(&p, RewriteOptions::default()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_vertex_ids, bench_bdd, bench_parser_and_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Provenance-query benchmarks (the basis of Figures 11–15): distributed
+//! traversal of the provenance graph under different representations,
+//! traversal orders and caching settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exspan_bench::run_protocol;
+use exspan_core::{
+    BddRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceRepr,
+    QueryEngine, TraversalOrder,
+};
+use exspan_ndlog::programs;
+use exspan_netsim::Topology;
+use exspan_types::Tuple;
+use std::hint::black_box;
+
+/// Builds a 20-node testbed running MINCOST with reference-based provenance
+/// and returns the system plus every bestPathCost tuple (query targets).
+fn prepared_system() -> (exspan_core::ProvenanceSystem, Vec<Tuple>) {
+    let topo = Topology::testbed_ring(20, 11);
+    let system = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference);
+    let mut targets = Vec::new();
+    for n in 0..20 {
+        targets.extend(system.engine().tuples(n, "bestPathCost"));
+    }
+    (system, targets)
+}
+
+fn run_queries(
+    system: &mut exspan_core::ProvenanceSystem,
+    targets: &[Tuple],
+    repr: Box<dyn ProvenanceRepr>,
+    traversal: TraversalOrder,
+    caching: bool,
+    count: usize,
+) -> u64 {
+    let mut qe = QueryEngine::new(repr, traversal);
+    qe.set_caching(caching);
+    for (i, t) in targets.iter().cycle().take(count).enumerate() {
+        let issuer = (i % 20) as u32;
+        qe.query_now(system.engine_mut(), issuer, t);
+    }
+    qe.run(system.engine_mut());
+    qe.stats().bytes
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_representation");
+    group.sample_size(10);
+    let cases: Vec<(&str, fn() -> Box<dyn ProvenanceRepr>)> = vec![
+        ("polynomial", || Box::new(PolynomialRepr)),
+        ("bdd", || Box::new(BddRepr::new())),
+        ("nodeset", || Box::new(NodeSetRepr)),
+        ("count", || Box::new(DerivationCountRepr)),
+    ];
+    for (name, make) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (mut system, targets) = prepared_system();
+                black_box(run_queries(
+                    &mut system,
+                    &targets,
+                    make(),
+                    TraversalOrder::Bfs,
+                    false,
+                    25,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_traversal_order");
+    group.sample_size(10);
+    let orders = [
+        ("bfs", TraversalOrder::Bfs),
+        ("dfs", TraversalOrder::Dfs),
+        ("dfs_threshold3", TraversalOrder::DfsThreshold(3)),
+        (
+            "moonwalk2",
+            TraversalOrder::RandomMoonwalk { fanout: 2, seed: 3 },
+        ),
+    ];
+    for (name, order) in orders {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (mut system, targets) = prepared_system();
+                black_box(run_queries(
+                    &mut system,
+                    &targets,
+                    Box::new(DerivationCountRepr),
+                    order,
+                    false,
+                    25,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_caching");
+    group.sample_size(10);
+    for (name, caching) in [("without_cache", false), ("with_cache", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (mut system, targets) = prepared_system();
+                black_box(run_queries(
+                    &mut system,
+                    &targets,
+                    Box::new(PolynomialRepr),
+                    TraversalOrder::Bfs,
+                    caching,
+                    50,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations, bench_traversal_orders, bench_caching);
+criterion_main!(benches);

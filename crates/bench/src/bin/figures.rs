@@ -1,0 +1,92 @@
+//! Regenerates the figures of the ExSPAN evaluation (§7).
+//!
+//! ```text
+//! cargo run -p exspan-bench --release --bin figures            # all figures, reduced scale
+//! cargo run -p exspan-bench --release --bin figures -- --only fig6 fig7
+//! cargo run -p exspan-bench --release --bin figures -- --scale paper
+//! cargo run -p exspan-bench --release --bin figures -- --json results.json
+//! ```
+
+use exspan_bench::{all_figure_ids, run_figure, FigureReport, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::small();
+    let mut only: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("paper") => scale = Scale::paper(),
+                    Some("small") | None => scale = Scale::small(),
+                    Some(other) => {
+                        eprintln!("unknown scale '{other}' (expected 'small' or 'paper')");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--only" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    only.push(args[i].clone());
+                    i += 1;
+                }
+                continue;
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--scale small|paper] [--only figN...] [--json FILE]\n\
+                     figures: {}",
+                    all_figure_ids().join(", ")
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}', try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<String> = if only.is_empty() {
+        all_figure_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        only
+    };
+
+    let mut reports: Vec<FigureReport> = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        match run_figure(id, &scale) {
+            Some(report) => {
+                println!("{}", report.to_text());
+                println!("   (regenerated in {:.1}s)\n", start.elapsed().as_secs_f64());
+                reports.push(report);
+            }
+            None => eprintln!("unknown figure id '{id}', known ids: {:?}", all_figure_ids()),
+        }
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote {} figure reports to {path}", reports.len());
+                }
+            }
+            Err(e) => eprintln!("failed to serialize reports: {e}"),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Reporting types for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// One named data series of a figure, e.g. the "Ref-based Prov." curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (matching the paper's figure legends where applicable).
+    pub label: String,
+    /// `(x, y)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Maximum y value (0 if empty).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().fold(0.0, |m, &(_, y)| m.max(y))
+    }
+
+    /// Mean y value (0 if empty).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// y value at the largest x (0 if empty).
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map(|&(_, y)| y).unwrap_or(0.0)
+    }
+}
+
+/// The regenerated data of one figure of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Human-readable title of the figure.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The data series.
+    pub series: Vec<Series>,
+    /// The qualitative shape the paper reports, for comparison.
+    pub expected_shape: String,
+}
+
+impl FigureReport {
+    /// Renders the report as a readable text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   x: {}, y: {}\n", self.x_label, self.y_label));
+        for s in &self.series {
+            out.push_str(&format!("   [{}]\n", s.label));
+            for (x, y) in &s.points {
+                out.push_str(&format!("     {x:>10.3}  {y:>12.4}\n"));
+            }
+        }
+        out.push_str(&format!("   paper shape: {}\n", self.expected_shape));
+        out
+    }
+
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_statistics() {
+        let s = Series::new("x", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(s.max_y(), 3.0);
+        assert_eq!(s.mean_y(), 2.0);
+        assert_eq!(s.last_y(), 2.0);
+        let empty = Series::new("e", vec![]);
+        assert_eq!(empty.max_y(), 0.0);
+        assert_eq!(empty.mean_y(), 0.0);
+        assert_eq!(empty.last_y(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_looks_up() {
+        let r = FigureReport {
+            id: "fig0".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("A", vec![(1.0, 2.0)])],
+            expected_shape: "flat".into(),
+        };
+        let text = r.to_text();
+        assert!(text.contains("fig0"));
+        assert!(text.contains("[A]"));
+        assert!(r.series("A").is_some());
+        assert!(r.series("B").is_none());
+        // serde round trip
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FigureReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series.len(), 1);
+    }
+}

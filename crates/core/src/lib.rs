@@ -1,0 +1,50 @@
+//! # exspan-core
+//!
+//! ExSPAN — *EXtenSible Provenance Aware Networked systems*: the network
+//! provenance layer of the paper "Efficient Querying and Maintenance of
+//! Network Provenance at Internet-Scale" (SIGMOD 2010).
+//!
+//! Given any NDlog program executed by the distributed engine of
+//! `exspan-runtime`, this crate provides:
+//!
+//! * [`rewrite`] — the automatic program rewrite of §4.2 (Algorithm 1) that
+//!   augments a protocol with rules maintaining the distributed provenance
+//!   graph in the `prov` and `ruleExec` tables, shipping only a
+//!   `(RID, RLoc)` pointer with each derivation (reference-based
+//!   provenance).
+//! * [`storage`] — typed access to the distributed `prov`/`ruleExec` tables
+//!   (the storage model of §4.1, Tables 1 and 2).
+//! * [`mode`] + [`system`] — the provenance distribution modes of §3
+//!   (no provenance, reference-based, value-based with BDDs, centralized)
+//!   behind one [`system::ProvenanceSystem`] facade that builds the engine,
+//!   seeds the topology and runs protocols.
+//! * [`repr`] — the customizable representations of §5.2: provenance
+//!   polynomials, node sets, derivation counts, derivability tests, BDD
+//!   (absorption) provenance and trust-domain granularity, all expressed
+//!   through the `f_pEDB` / `f_pIDB` / `f_pRULE` user-defined-function triple.
+//! * [`query`] — the distributed recursive query protocol of §5.1 with the
+//!   optimizations of §6: result caching along the reverse path with
+//!   transitive invalidation, BFS / DFS / DFS-with-threshold / random
+//!   moonwalk traversal orders.
+//! * [`value_policy`] — value-based provenance as an engine annotation
+//!   policy: every transmitted tuple carries its full (BDD-condensed)
+//!   derivation history.
+
+pub mod mode;
+pub mod query;
+pub mod repr;
+pub mod rewrite;
+pub mod storage;
+pub mod system;
+pub mod value_policy;
+
+pub use mode::ProvenanceMode;
+pub use query::{QueryEngine, QueryOutcome, TraversalOrder};
+pub use repr::{
+    Annotation, BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr,
+    ProvExpr, ProvenanceRepr, TrustDomainRepr,
+};
+pub use rewrite::{provenance_rewrite, RewriteOptions};
+pub use storage::{ProvEntry, RuleExecEntry};
+pub use system::{ProvenanceSystem, SystemConfig};
+pub use value_policy::ValueBddPolicy;

@@ -1,0 +1,75 @@
+//! Provenance distribution modes (§3, "Distribution").
+
+use serde::{Deserialize, Serialize};
+
+/// How provenance is maintained and distributed for a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProvenanceMode {
+    /// No provenance at all — the baseline ("No Prov." in the figures).
+    None,
+    /// Reference-based distributed provenance: only a `(RID, RLoc)` pointer is
+    /// shipped with each derivation; the provenance graph is stored in the
+    /// distributed `prov` / `ruleExec` tables and resolved on demand by
+    /// distributed queries.  This is the paper's main contribution.
+    Reference,
+    /// Value-based distributed provenance: every transmitted tuple carries its
+    /// entire derivation history, condensed as a BDD
+    /// ("Value-based Prov. (BDD)" in the figures).
+    ValueBdd,
+    /// Reference-based maintenance plus mirroring of every `prov` / `ruleExec`
+    /// entry to a central server node (centralized provenance, §3).
+    Centralized {
+        /// The node acting as the central provenance server.
+        server: u32,
+    },
+}
+
+impl ProvenanceMode {
+    /// Label used in experiment output, matching the figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProvenanceMode::None => "No Prov.",
+            ProvenanceMode::Reference => "Ref-based Prov.",
+            ProvenanceMode::ValueBdd => "Value-based Prov. (BDD)",
+            ProvenanceMode::Centralized { .. } => "Centralized Prov.",
+        }
+    }
+
+    /// Whether this mode maintains the distributed `prov`/`ruleExec` tables.
+    pub fn maintains_provenance_tables(&self) -> bool {
+        matches!(
+            self,
+            ProvenanceMode::Reference | ProvenanceMode::Centralized { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ProvenanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(ProvenanceMode::None.label(), "No Prov.");
+        assert_eq!(ProvenanceMode::Reference.label(), "Ref-based Prov.");
+        assert_eq!(ProvenanceMode::ValueBdd.label(), "Value-based Prov. (BDD)");
+        assert_eq!(
+            ProvenanceMode::Centralized { server: 0 }.to_string(),
+            "Centralized Prov."
+        );
+    }
+
+    #[test]
+    fn table_maintenance_classification() {
+        assert!(!ProvenanceMode::None.maintains_provenance_tables());
+        assert!(!ProvenanceMode::ValueBdd.maintains_provenance_tables());
+        assert!(ProvenanceMode::Reference.maintains_provenance_tables());
+        assert!(ProvenanceMode::Centralized { server: 3 }.maintains_provenance_tables());
+    }
+}

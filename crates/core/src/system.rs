@@ -1,0 +1,289 @@
+//! The top-level ExSPAN facade: build an engine for a protocol under a chosen
+//! provenance mode, seed the topology, run it, mutate it (churn) and query
+//! its provenance.
+
+use crate::mode::ProvenanceMode;
+use crate::query::{QueryEngine, QueryOutcome, TraversalOrder};
+use crate::repr::{Annotation, ProvenanceRepr};
+use crate::rewrite::{provenance_rewrite, RewriteOptions};
+use crate::value_policy::ValueBddPolicy;
+use exspan_ndlog::ast::Program;
+use exspan_netsim::{ChurnEvent, LinkProps, Topology};
+use exspan_runtime::{AnnotationPolicy, Engine, EngineConfig, FixpointStats};
+use exspan_types::{NodeId, Tuple, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of a [`ProvenanceSystem`].
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Provenance mode.
+    pub mode: ProvenanceMode,
+    /// Safety cap on processed events per run call.
+    pub max_steps: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            mode: ProvenanceMode::Reference,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Shared handle to the value-based policy so the system can expose it while
+/// the engine owns it as a trait object.
+#[derive(Debug, Clone, Default)]
+struct SharedValuePolicy(Rc<RefCell<ValueBddPolicy>>);
+
+impl AnnotationPolicy for SharedValuePolicy {
+    fn on_base(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
+        self.0.borrow_mut().on_base(node, tuple, insert);
+    }
+
+    fn on_derivation(
+        &mut self,
+        node: NodeId,
+        rule: &str,
+        inputs: &[Tuple],
+        output: &Tuple,
+        insert: bool,
+    ) {
+        self.0
+            .borrow_mut()
+            .on_derivation(node, rule, inputs, output, insert);
+    }
+
+    fn annotation_bytes(&mut self, from: NodeId, to: NodeId, tuple: &Tuple) -> usize {
+        self.0.borrow_mut().annotation_bytes(from, to, tuple)
+    }
+}
+
+/// An ExSPAN deployment: a protocol, a topology, and a provenance mode.
+pub struct ProvenanceSystem {
+    engine: Engine,
+    mode: ProvenanceMode,
+    value_policy: Option<Rc<RefCell<ValueBddPolicy>>>,
+    program_name: String,
+}
+
+impl ProvenanceSystem {
+    /// Builds a system running `program` over `topology` with the provenance
+    /// mode of `config`.
+    pub fn new(program: &Program, topology: Topology, config: SystemConfig) -> Self {
+        let mut engine_config = EngineConfig {
+            aggregate_provenance: false,
+            max_steps: config.max_steps,
+        };
+        let mut value_policy = None;
+        let executed = match config.mode {
+            ProvenanceMode::None => program.clone(),
+            ProvenanceMode::ValueBdd => program.clone(),
+            ProvenanceMode::Reference => {
+                engine_config.aggregate_provenance = true;
+                provenance_rewrite(program, RewriteOptions::default())
+            }
+            ProvenanceMode::Centralized { server } => {
+                engine_config.aggregate_provenance = true;
+                provenance_rewrite(
+                    program,
+                    RewriteOptions {
+                        centralize_at: Some(server),
+                    },
+                )
+            }
+        };
+        let mut engine = Engine::new(executed, topology, engine_config);
+        if config.mode == ProvenanceMode::ValueBdd {
+            let shared = SharedValuePolicy::default();
+            value_policy = Some(Rc::clone(&shared.0));
+            engine.set_annotation_policy(Box::new(shared));
+        }
+        ProvenanceSystem {
+            engine,
+            mode: config.mode,
+            value_policy,
+            program_name: program.name.clone(),
+        }
+    }
+
+    /// Convenience constructor with default configuration except the mode.
+    pub fn with_mode(program: &Program, topology: Topology, mode: ProvenanceMode) -> Self {
+        Self::new(
+            program,
+            topology,
+            SystemConfig {
+                mode,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The provenance mode in use.
+    pub fn mode(&self) -> ProvenanceMode {
+        self.mode
+    }
+
+    /// The name of the protocol program being executed.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying engine (mutable — used by the query layer).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The value-based provenance policy (only in [`ProvenanceMode::ValueBdd`]).
+    pub fn value_provenance(&self) -> Option<std::cell::Ref<'_, ValueBddPolicy>> {
+        self.value_policy.as_ref().map(|p| p.borrow())
+    }
+
+    // ------------------------------------------------------------------
+    // Topology and base-tuple management
+    // ------------------------------------------------------------------
+
+    /// Creates the `link(@a,b,cost)` tuple for one direction of a link.
+    pub fn link_tuple(a: NodeId, b: NodeId, cost: i64) -> Tuple {
+        Tuple::new("link", a, vec![Value::Node(b), Value::Int(cost)])
+    }
+
+    /// Inserts both directions of every topology link as `link` base tuples
+    /// (the paper assumes symmetric links and gives every node a priori
+    /// knowledge of its local links).
+    pub fn seed_links(&mut self) {
+        let links: Vec<(NodeId, NodeId, i64)> = self
+            .engine
+            .topology()
+            .links()
+            .map(|(a, b, p)| (a, b, p.cost))
+            .collect();
+        for (a, b, cost) in links {
+            self.engine.insert_base(a, Self::link_tuple(a, b, cost));
+            self.engine.insert_base(b, Self::link_tuple(b, a, cost));
+        }
+    }
+
+    /// Adds a link to the topology and inserts its base tuples (both
+    /// directions) at the current simulated time.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) {
+        self.engine.topology_mut().add_link(a, b, props);
+        self.engine.insert_base(a, Self::link_tuple(a, b, props.cost));
+        self.engine.insert_base(b, Self::link_tuple(b, a, props.cost));
+    }
+
+    /// Removes a link from the topology and deletes its base tuples.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        let cost = self
+            .engine
+            .topology()
+            .link(a, b)
+            .map(|p| p.cost)
+            .unwrap_or(1);
+        self.engine.topology_mut().remove_link(a, b);
+        self.engine.delete_base(a, Self::link_tuple(a, b, cost));
+        self.engine.delete_base(b, Self::link_tuple(b, a, cost));
+    }
+
+    /// Applies one churn event (link addition or deletion) now.
+    pub fn apply_churn_event(&mut self, event: &ChurnEvent) {
+        if event.add {
+            self.add_link(event.a, event.b, event.props);
+        } else {
+            self.remove_link(event.a, event.b);
+        }
+    }
+
+    /// Base-tuple VIDs affected by a churn event (used for cache
+    /// invalidation).
+    pub fn churn_event_vids(event: &ChurnEvent) -> Vec<exspan_types::Vid> {
+        vec![
+            Self::link_tuple(event.a, event.b, event.props.cost).vid(),
+            Self::link_tuple(event.b, event.a, event.props.cost).vid(),
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Runs the protocol to a global fixpoint.
+    pub fn run_to_fixpoint(&mut self) -> FixpointStats {
+        self.engine.run_to_fixpoint()
+    }
+
+    /// Runs until the next event would occur after `time`.
+    pub fn run_until(&mut self, time: f64) -> FixpointStats {
+        self.engine.run_until(time)
+    }
+
+    /// Total bytes transmitted so far across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.engine.stats().total_bytes()
+    }
+
+    /// Average bytes transmitted per node, in megabytes (the metric of
+    /// Figures 6 and 7).
+    pub fn avg_comm_mb(&self) -> f64 {
+        self.engine.stats().avg_bytes_per_node() / 1e6
+    }
+
+    /// Per-node average bandwidth samples in megabytes per second (the metric
+    /// of Figures 8–10 and 16).
+    pub fn avg_bandwidth_mbps(&self) -> Vec<(f64, f64)> {
+        self.engine
+            .stats()
+            .avg_bandwidth_samples()
+            .into_iter()
+            .map(|(t, bps)| (t, bps / 1e6))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Runs a single provenance query to completion and returns its outcome.
+    ///
+    /// This is a convenience wrapper for examples and tests; experiment
+    /// drivers that issue many concurrent queries build a [`QueryEngine`]
+    /// directly against [`ProvenanceSystem::engine_mut`].
+    pub fn query_provenance(
+        &mut self,
+        issuer: NodeId,
+        target: &Tuple,
+        repr: Box<dyn ProvenanceRepr>,
+        traversal: TraversalOrder,
+    ) -> (QueryEngine, QueryOutcome) {
+        let mut qe = QueryEngine::new(repr, traversal);
+        let idx = qe.query_now(&mut self.engine, issuer, target);
+        qe.run(&mut self.engine);
+        let outcome = qe.outcomes()[idx].clone();
+        (qe, outcome)
+    }
+
+    /// For value-based provenance: returns the locally available annotation of
+    /// a tuple without any distributed traversal.
+    pub fn local_value_annotation(&self, tuple: &Tuple) -> Option<Annotation> {
+        self.value_policy
+            .as_ref()
+            .and_then(|p| p.borrow().annotation_of(tuple))
+            .map(Annotation::Bdd)
+    }
+}
+
+impl std::fmt::Debug for ProvenanceSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvenanceSystem")
+            .field("program", &self.program_name)
+            .field("mode", &self.mode)
+            .field("nodes", &self.engine.topology().num_nodes())
+            .finish()
+    }
+}

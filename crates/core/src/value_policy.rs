@@ -1,0 +1,221 @@
+//! Value-based distributed provenance (§3, §4.1.2) as an engine annotation
+//! policy.
+//!
+//! In value-based provenance every transmitted tuple carries its *entire*
+//! derivation history.  Following the evaluation section, the history is
+//! condensed into a BDD over base tuples ("Value-based Prov. (BDD)" in
+//! Figures 6–10 and 16): the policy observes every rule firing, maintains the
+//! boolean provenance of each derived tuple, and charges the serialized BDD
+//! size to every remote transmission of that tuple.
+//!
+//! Because the annotation is carried with the data, queries in value-based
+//! mode are answered locally ([`ValueBddPolicy::annotation_of`]) without any
+//! distributed traversal — the trade-off the paper explores: high maintenance
+//! bandwidth, zero query latency.
+
+use exspan_bdd::{Bdd, BddManager};
+use exspan_runtime::AnnotationPolicy;
+use exspan_types::{NodeId, Tuple, Vid};
+use std::collections::HashMap;
+
+/// Annotation policy implementing value-based (BDD) provenance.
+#[derive(Debug, Default)]
+pub struct ValueBddPolicy {
+    manager: BddManager,
+    /// Boolean variable assigned to each base tuple.
+    vars: HashMap<Vid, u32>,
+    /// Current provenance of every tuple (base and derived), keyed by VID.
+    provenance: HashMap<Vid, Bdd>,
+    /// Bytes of annotation attached to messages so far.
+    annotation_bytes_total: u64,
+}
+
+impl ValueBddPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn var_for(&mut self, vid: Vid) -> Bdd {
+        let next = self.vars.len() as u32;
+        let id = *self.vars.entry(vid).or_insert(next);
+        self.manager.var(id)
+    }
+
+    /// The provenance BDD currently associated with a tuple, if any.
+    pub fn annotation_of(&self, tuple: &Tuple) -> Option<Bdd> {
+        self.provenance.get(&tuple.vid()).copied()
+    }
+
+    /// Serialized size (bytes) of a tuple's provenance annotation.
+    pub fn annotation_size(&self, tuple: &Tuple) -> usize {
+        self.provenance
+            .get(&tuple.vid())
+            .map(|b| self.manager.serialized_size(*b))
+            .unwrap_or(0)
+    }
+
+    /// Derivability test under a trust assignment over base tuples: is the
+    /// tuple derivable using only trusted base tuples?
+    pub fn derivable_under<F: Fn(Vid) -> bool>(&self, tuple: &Tuple, trusted: F) -> bool {
+        let Some(b) = self.provenance.get(&tuple.vid()) else {
+            return false;
+        };
+        let by_var: HashMap<u32, bool> = self
+            .vars
+            .iter()
+            .map(|(vid, var)| (*var, trusted(*vid)))
+            .collect();
+        self.manager
+            .evaluate(*b, |v| by_var.get(&v).copied().unwrap_or(false))
+    }
+
+    /// Total annotation bytes attached to transmitted tuples so far.
+    pub fn total_annotation_bytes(&self) -> u64 {
+        self.annotation_bytes_total
+    }
+
+    /// Number of tuples with a tracked provenance annotation.
+    pub fn tracked_tuples(&self) -> usize {
+        self.provenance.len()
+    }
+
+    /// The BDD manager (for inspection).
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+}
+
+impl AnnotationPolicy for ValueBddPolicy {
+    fn on_base(&mut self, _node: NodeId, tuple: &Tuple, insert: bool) {
+        let vid = tuple.vid();
+        if insert {
+            let var = self.var_for(vid);
+            self.provenance.insert(vid, var);
+        } else {
+            self.provenance.remove(&vid);
+        }
+    }
+
+    fn on_derivation(
+        &mut self,
+        _node: NodeId,
+        _rule: &str,
+        inputs: &[Tuple],
+        output: &Tuple,
+        insert: bool,
+    ) {
+        if !insert {
+            // Deletion: the remaining provenance is recomputed lazily when a
+            // surviving derivation fires again; drop the stale annotation so
+            // deleted tuples do not keep contributing bytes.
+            if inputs.is_empty() {
+                self.provenance.remove(&output.vid());
+            }
+            return;
+        }
+        // AND over the inputs' provenance, OR'd into any existing provenance
+        // of the output (alternative derivations).
+        let mut conj = Bdd::TRUE;
+        for input in inputs {
+            let vid = input.vid();
+            let b = match self.provenance.get(&vid) {
+                Some(b) => *b,
+                // Inputs we have never seen (e.g. base tuples seeded before
+                // the policy was installed) are treated as base variables.
+                None => {
+                    let var = self.var_for(vid);
+                    self.provenance.insert(vid, var);
+                    var
+                }
+            };
+            conj = self.manager.and(conj, b);
+        }
+        let out_vid = output.vid();
+        let combined = match self.provenance.get(&out_vid) {
+            Some(existing) => self.manager.or(*existing, conj),
+            None => conj,
+        };
+        self.provenance.insert(out_vid, combined);
+    }
+
+    fn annotation_bytes(&mut self, _from: NodeId, _to: NodeId, tuple: &Tuple) -> usize {
+        let bytes = self.annotation_size(tuple);
+        self.annotation_bytes_total += bytes as u64;
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exspan_types::Value;
+
+    fn link(s: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    fn path_cost(s: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("pathCost", s, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    #[test]
+    fn tracks_base_and_derived_provenance() {
+        let mut p = ValueBddPolicy::new();
+        let l1 = link(0, 2, 5);
+        let l2 = link(1, 0, 3);
+        p.on_base(0, &l1, true);
+        p.on_base(1, &l2, true);
+        let pc = path_cost(0, 2, 5);
+        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        assert!(p.derivable_under(&pc, |v| v == l1.vid()));
+        assert!(!p.derivable_under(&pc, |v| v == l2.vid()));
+        assert_eq!(p.tracked_tuples(), 3);
+        assert!(p.annotation_size(&pc) >= 4);
+    }
+
+    #[test]
+    fn alternative_derivations_are_ored() {
+        let mut p = ValueBddPolicy::new();
+        let l1 = link(0, 2, 5);
+        let l2 = link(1, 0, 3);
+        let bpc = Tuple::new("bestPathCost", 1, vec![Value::Node(2), Value::Int(2)]);
+        p.on_base(0, &l1, true);
+        p.on_base(1, &l2, true);
+        p.on_base(1, &bpc, true); // treat as base for the test
+        let pc = path_cost(0, 2, 5);
+        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        p.on_derivation(1, "sp2", &[l2.clone(), bpc.clone()], &pc, true);
+        // Either derivation suffices.
+        assert!(p.derivable_under(&pc, |v| v == l1.vid()));
+        assert!(p.derivable_under(&pc, |v| v == l2.vid() || v == bpc.vid()));
+        assert!(!p.derivable_under(&pc, |v| v == l2.vid()));
+    }
+
+    #[test]
+    fn unseen_inputs_become_base_variables() {
+        let mut p = ValueBddPolicy::new();
+        let l1 = link(0, 2, 5);
+        let pc = path_cost(0, 2, 5);
+        // on_base was never called for l1.
+        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        assert!(p.derivable_under(&pc, |v| v == l1.vid()));
+    }
+
+    #[test]
+    fn annotation_bytes_accumulate_and_deletion_clears() {
+        let mut p = ValueBddPolicy::new();
+        let l1 = link(0, 2, 5);
+        p.on_base(0, &l1, true);
+        let pc = path_cost(0, 2, 5);
+        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        let b1 = p.annotation_bytes(0, 2, &pc);
+        assert!(b1 > 0);
+        assert_eq!(p.total_annotation_bytes(), b1 as u64);
+        // Unknown tuples carry no annotation.
+        assert_eq!(p.annotation_bytes(0, 2, &path_cost(7, 8, 9)), 0);
+        // Deleting the base tuple clears its annotation.
+        p.on_base(0, &l1, false);
+        assert!(p.annotation_of(&l1).is_none());
+    }
+}

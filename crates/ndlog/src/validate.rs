@@ -1,0 +1,267 @@
+//! Static well-formedness checks for NDlog programs.
+//!
+//! The distributed engine (and the provenance rewrite of §4.2.2) assumes
+//! programs are in *localized form*: every body predicate of a rule is
+//! located at the same variable, and the head location either equals it or is
+//! bound by some body attribute (so the derivation can be shipped in a single
+//! message).  These checks reject programs the engine could not execute
+//! faithfully, with actionable error messages.
+
+use crate::ast::{BodyItem, HeadArg, Program, Rule, Term};
+use std::collections::BTreeSet;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Label of the offending rule (empty for program-level errors).
+    pub rule: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.rule.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "rule {}: {}", self.rule, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates every rule of `program`, returning all problems found.
+pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let mut seen_labels = BTreeSet::new();
+    for rule in &program.rules {
+        if !seen_labels.insert(rule.label.clone()) {
+            errors.push(ValidationError {
+                rule: rule.label.clone(),
+                message: "duplicate rule label".into(),
+            });
+        }
+        validate_rule(rule, &mut errors);
+    }
+    for decl in &program.tables {
+        for &k in &decl.keys {
+            if k >= decl.arity {
+                errors.push(ValidationError {
+                    rule: String::new(),
+                    message: format!(
+                        "table {} declares key position {k} but has arity {}",
+                        decl.relation, decl.arity
+                    ),
+                });
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    let mut err = |message: String| {
+        errors.push(ValidationError {
+            rule: rule.label.clone(),
+            message,
+        })
+    };
+
+    let atoms: Vec<_> = rule.body_atoms().collect();
+    if atoms.is_empty() {
+        err("rule body contains no predicate atom".into());
+        return;
+    }
+
+    // Localized form: all body atoms share one location variable (or equal
+    // constants).
+    let first_loc = &atoms[0].location;
+    for a in &atoms[1..] {
+        if a.location != *first_loc {
+            err(format!(
+                "body is not localized: {} is at @{} but {} is at @{}",
+                atoms[0].relation, first_loc, a.relation, a.location
+            ));
+            break;
+        }
+    }
+
+    // Collect variables bound by body atoms, then by assignments (in order).
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    for a in &atoms {
+        bound.extend(a.variables());
+    }
+    for item in &rule.body {
+        match item {
+            BodyItem::Assign(v, e) => {
+                let mut used = BTreeSet::new();
+                e.variables(&mut used);
+                for u in &used {
+                    if !bound.contains(u) {
+                        err(format!(
+                            "assignment {v} uses variable {u} that is not bound earlier"
+                        ));
+                    }
+                }
+                bound.insert(v.clone());
+            }
+            BodyItem::Constraint(_, a, b) => {
+                let mut used = BTreeSet::new();
+                a.variables(&mut used);
+                b.variables(&mut used);
+                for u in &used {
+                    if !bound.contains(u) {
+                        err(format!("constraint uses unbound variable {u}"));
+                    }
+                }
+            }
+            BodyItem::Atom(_) => {}
+        }
+    }
+
+    // Range restriction: every head variable must be bound by the body.
+    if let Term::Var(v) = &rule.head.location {
+        if !bound.contains(v) {
+            err(format!("head location variable {v} is not bound by the body"));
+        }
+    }
+    for arg in &rule.head.args {
+        let mut used = BTreeSet::new();
+        match arg {
+            HeadArg::Term(Term::Var(v)) => {
+                used.insert(v.clone());
+            }
+            HeadArg::Term(Term::Const(_)) => {}
+            HeadArg::Expr(e) => e.variables(&mut used),
+            HeadArg::Aggregate(_, Some(v)) => {
+                used.insert(v.clone());
+            }
+            HeadArg::Aggregate(_, None) => {}
+        }
+        for u in used {
+            if !bound.contains(&u) {
+                err(format!("head variable {u} is not bound by the body"));
+            }
+        }
+    }
+
+    // At most one aggregate per head, and aggregate rules must keep the head
+    // at the body location (aggregation is a local operation in NDlog).
+    let agg_count = rule
+        .head
+        .args
+        .iter()
+        .filter(|a| matches!(a, HeadArg::Aggregate(_, _)))
+        .count();
+    if agg_count > 1 {
+        err("at most one aggregate is allowed per rule head".into());
+    }
+    if agg_count == 1 && rule.head.location != *first_loc {
+        err("aggregate rules must derive at the same location as their body".into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::programs;
+
+    #[test]
+    fn builtin_programs_validate() {
+        for p in [
+            programs::mincost(),
+            programs::path_vector(),
+            programs::packet_forward(),
+        ] {
+            let normalized = p.normalize();
+            assert!(
+                validate_program(&normalized).is_ok(),
+                "program {} failed validation",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unlocalized_rule() {
+        let p = parse_program(
+            "bad",
+            "r1 out(@X,Y) :- a(@X,Y), b(@Y,X).",
+        )
+        .unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not localized")));
+    }
+
+    #[test]
+    fn rejects_unbound_head_variable() {
+        let p = parse_program("bad", "r1 out(@X,Z) :- a(@X,Y).").unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("Z")));
+    }
+
+    #[test]
+    fn rejects_unbound_head_location() {
+        let p = parse_program("bad", "r1 out(@W,Y) :- a(@X,Y).").unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("head location variable W")));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels_and_bodyless_rules() {
+        let p = parse_program(
+            "bad",
+            "r1 out(@X,Y) :- a(@X,Y). r1 out2(@X,Y) :- a(@X,Y).",
+        )
+        .unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn rejects_unbound_constraint_and_assignment_vars() {
+        let p = parse_program("bad", "r1 out(@X,Y) :- a(@X,Y), Z!=3.").unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unbound variable Z")));
+
+        let p = parse_program("bad", "r1 out(@X,V) :- a(@X,Y), V=W+1.").unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not bound earlier")));
+    }
+
+    #[test]
+    fn rejects_remote_aggregate_and_bad_table_keys() {
+        let p = parse_program("bad", "r1 out(@Y,min<C>) :- a(@X,Y,C).").unwrap();
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("aggregate rules must derive")));
+
+        let mut p2 = parse_program("bad2", "r1 out(@X,C) :- a(@X,C).").unwrap();
+        p2.tables.push(crate::ast::TableDecl::with_keys("out", 2, vec![5]));
+        let errs = validate_program(&p2).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("key position 5")));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidationError {
+            rule: "r1".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rule r1: boom");
+        let e2 = ValidationError {
+            rule: String::new(),
+            message: "prog".into(),
+        };
+        assert_eq!(e2.to_string(), "prog");
+    }
+}

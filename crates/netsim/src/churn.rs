@@ -1,0 +1,161 @@
+//! The churn workload of §7.2.
+//!
+//! The paper models churn by adding or deleting ten randomly selected
+//! stub-to-stub links every 0.5 seconds in a 200-node network, with addition
+//! and deletion occurring with equal probability.  [`ChurnModel`] generates
+//! that schedule deterministically from a seed; the experiment driver applies
+//! each [`ChurnEvent`] both to the simulator topology and to the engine's
+//! `link` base tuples.
+
+use crate::topology::{LinkClass, LinkProps, Topology};
+use exspan_types::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A single link change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulated time at which the change occurs.
+    pub time: f64,
+    /// `true` to add the link, `false` to delete it.
+    pub add: bool,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link properties used when the event is an addition.
+    pub props: LinkProps,
+}
+
+/// Generates a churn schedule over the stub-to-stub links of a topology.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    /// Seconds between churn batches (0.5 s in the paper).
+    pub interval: f64,
+    /// Number of link changes per batch (10 in the paper).
+    pub changes_per_batch: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel {
+            interval: 0.5,
+            changes_per_batch: 10,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// Generates the churn schedule for `duration` seconds over `topology`.
+    ///
+    /// Deletions pick a random currently-present stub-stub link; additions
+    /// pick a random currently-absent pair of stub nodes that were connected
+    /// at some point (i.e. previously deleted) or, failing that, a random
+    /// absent stub-node pair.  The internal link set is tracked so the
+    /// schedule stays consistent (no deletion of an already-deleted link).
+    pub fn schedule(&self, topology: &Topology, duration: f64) -> Vec<ChurnEvent> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut present: Vec<(NodeId, NodeId)> = topology.links_of_class(LinkClass::StubStub);
+        let mut absent: Vec<(NodeId, NodeId)> = Vec::new();
+        let props = LinkProps::from_class(LinkClass::StubStub);
+        let mut events = Vec::new();
+        let mut time = self.interval;
+        while time < duration {
+            for _ in 0..self.changes_per_batch {
+                let add = rng.gen_bool(0.5);
+                if add && !absent.is_empty() {
+                    let idx = rng.gen_range(0..absent.len());
+                    let (a, b) = absent.swap_remove(idx);
+                    present.push((a, b));
+                    events.push(ChurnEvent {
+                        time,
+                        add: true,
+                        a,
+                        b,
+                        props,
+                    });
+                } else if !present.is_empty() {
+                    let idx = rng.gen_range(0..present.len());
+                    let (a, b) = present.swap_remove(idx);
+                    absent.push((a, b));
+                    events.push(ChurnEvent {
+                        time,
+                        add: false,
+                        a,
+                        b,
+                        props,
+                    });
+                }
+            }
+            time += self.interval;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_has_expected_batches_and_targets_stub_links() {
+        let topo = Topology::transit_stub(2, 11);
+        let model = ChurnModel::default();
+        let events = model.schedule(&topo, 2.5); // batches at 0.5, 1.0, 1.5, 2.0
+        assert_eq!(events.len(), 4 * model.changes_per_batch);
+        // The first deletions must reference existing stub-stub links.
+        for e in events.iter().filter(|e| !e.add).take(5) {
+            assert!(topo.has_link(e.a, e.b));
+            assert_eq!(topo.link(e.a, e.b).unwrap().class, LinkClass::StubStub);
+        }
+        // Times are multiples of the interval and within the duration.
+        for e in &events {
+            assert!(e.time < 2.5);
+            let ratio = e.time / model.interval;
+            assert!((ratio - ratio.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn schedule_is_consistent_when_replayed() {
+        // Applying the schedule to a copy of the topology never deletes a
+        // missing link or adds a duplicate one.
+        let mut topo = Topology::transit_stub(1, 3);
+        let events = ChurnModel {
+            interval: 0.5,
+            changes_per_batch: 10,
+            seed: 9,
+        }
+        .schedule(&topo, 5.0);
+        assert!(!events.is_empty());
+        for e in &events {
+            if e.add {
+                assert!(!topo.has_link(e.a, e.b), "adding a link that exists");
+                topo.add_link(e.a, e.b, e.props);
+            } else {
+                assert!(topo.has_link(e.a, e.b), "deleting a link that is absent");
+                assert!(topo.remove_link(e.a, e.b));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let topo = Topology::transit_stub(1, 3);
+        let m1 = ChurnModel { seed: 5, ..Default::default() };
+        let m2 = ChurnModel { seed: 5, ..Default::default() };
+        let m3 = ChurnModel { seed: 6, ..Default::default() };
+        assert_eq!(m1.schedule(&topo, 3.0), m2.schedule(&topo, 3.0));
+        assert_ne!(m1.schedule(&topo, 3.0), m3.schedule(&topo, 3.0));
+    }
+
+    #[test]
+    fn empty_duration_produces_no_events() {
+        let topo = Topology::transit_stub(1, 3);
+        let events = ChurnModel::default().schedule(&topo, 0.4);
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! The discrete-event simulator: message scheduling, delivery and traffic
+//! accounting.
+
+use crate::topology::Topology;
+use exspan_types::wire::BandwidthSeries;
+use exspan_types::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Per-node and aggregate traffic counters plus a bandwidth time-series.
+#[derive(Debug, Clone)]
+pub struct TrafficStats {
+    /// Bytes sent by each node (indexed by node id).
+    pub bytes_sent: Vec<u64>,
+    /// Messages sent by each node.
+    pub messages_sent: Vec<u64>,
+    /// Messages dropped because no route existed (e.g. during churn).
+    pub dropped: u64,
+    /// Aggregate bandwidth time-series (bytes per bucket across all nodes).
+    pub series: BandwidthSeries,
+}
+
+impl TrafficStats {
+    fn new(num_nodes: usize, bucket_width: f64) -> Self {
+        TrafficStats {
+            bytes_sent: vec![0; num_nodes],
+            messages_sent: vec![0; num_nodes],
+            dropped: 0,
+            series: BandwidthSeries::new(bucket_width),
+        }
+    }
+
+    /// Total bytes sent by all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().sum()
+    }
+
+    /// Total messages sent by all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent.iter().sum()
+    }
+
+    /// Average bytes sent per node.
+    pub fn avg_bytes_per_node(&self) -> f64 {
+        if self.bytes_sent.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.bytes_sent.len() as f64
+        }
+    }
+
+    /// Per-node average bandwidth samples in bytes/second: the aggregate
+    /// series divided by the node count (what Figures 8–11 plot).
+    pub fn avg_bandwidth_samples(&self) -> Vec<(f64, f64)> {
+        let n = self.bytes_sent.len().max(1) as f64;
+        self.series
+            .samples()
+            .into_iter()
+            .map(|(t, bps)| (t, bps / n))
+            .collect()
+    }
+}
+
+/// A message delivered by the simulator.
+#[derive(Debug, Clone)]
+pub struct ScheduledMessage<M> {
+    /// Simulated delivery time in seconds.
+    pub time: f64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Application payload.
+    pub payload: M,
+}
+
+struct QueueEntry<M> {
+    time: f64,
+    seq: u64,
+    msg: ScheduledMessage<M>,
+}
+
+impl<M> PartialEq for QueueEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueueEntry<M> {}
+impl<M> PartialOrd for QueueEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, breaking
+        // ties by insertion order for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Processing delay charged for a locally-enqueued tuple (models CPU cost of
+/// a rule firing; keeps simulated time advancing for the time-series plots).
+pub const LOCAL_PROCESSING_DELAY: f64 = 50e-6;
+
+/// The discrete-event simulator.
+///
+/// The simulator is deliberately passive: the distributed engine calls
+/// [`Simulator::send`] / [`Simulator::schedule_local`] to enqueue events and
+/// [`Simulator::pop`] to obtain the next one, advancing simulated time.
+/// Every remote transmission is charged to the sender's traffic counters.
+pub struct Simulator<M> {
+    topology: Topology,
+    queue: BinaryHeap<QueueEntry<M>>,
+    now: f64,
+    seq: u64,
+    stats: TrafficStats,
+}
+
+impl<M> Simulator<M> {
+    /// Creates a simulator over `topology` with 0.1 s bandwidth buckets.
+    pub fn new(topology: Topology) -> Self {
+        Self::with_bucket_width(topology, 0.1)
+    }
+
+    /// Creates a simulator with a custom bandwidth-series bucket width.
+    pub fn with_bucket_width(topology: Topology, bucket_width: f64) -> Self {
+        let n = topology.num_nodes();
+        Simulator {
+            topology,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            stats: TrafficStats::new(n, bucket_width),
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The topology (immutable).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The topology (mutable, e.g. for churn).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Traffic statistics collected so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, time: f64, from: NodeId, to: NodeId, payload: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueueEntry {
+            time,
+            seq,
+            msg: ScheduledMessage {
+                time,
+                from,
+                to,
+                payload,
+            },
+        });
+    }
+
+    /// Sends `payload` of `bytes` bytes from `from` to `to`, charging the
+    /// transmission to `from` and scheduling delivery after propagation plus
+    /// serialization delay.  If `to` is unreachable the message is dropped
+    /// (counted in [`TrafficStats::dropped`]) — bytes are still charged, as
+    /// the sender did put them on the wire.
+    ///
+    /// Returns `true` if the message will be delivered.
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, payload: M) -> bool {
+        if from == to {
+            self.schedule_local(from, payload);
+            return true;
+        }
+        self.stats.bytes_sent[from as usize] += bytes as u64;
+        self.stats.messages_sent[from as usize] += 1;
+        self.stats.series.record(self.now, bytes);
+        match self.topology.path_latency(from, to) {
+            Some((latency, bandwidth)) => {
+                let serialization = (bytes as f64 * 8.0) / bandwidth.max(1.0);
+                let delay = latency + serialization;
+                self.push(self.now + delay, from, to, payload);
+                true
+            }
+            None => {
+                self.stats.dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Schedules a local event at the same node after the fixed local
+    /// processing delay.  No bytes are charged.
+    pub fn schedule_local(&mut self, node: NodeId, payload: M) {
+        self.push(self.now + LOCAL_PROCESSING_DELAY, node, node, payload);
+    }
+
+    /// Schedules an event at an absolute simulated time (used by the
+    /// experiment drivers for churn, packet workloads and query issue times).
+    /// No bytes are charged.
+    pub fn schedule_at(&mut self, time: f64, node: NodeId, payload: M) {
+        assert!(
+            time >= self.now,
+            "cannot schedule in the past ({time} < {})",
+            self.now
+        );
+        self.push(time, node, node, payload);
+    }
+
+    /// Pops the next event, advancing simulated time to its delivery time.
+    pub fn pop(&mut self) -> Option<ScheduledMessage<M>> {
+        let entry = self.queue.pop()?;
+        self.now = entry.time;
+        Some(entry.msg)
+    }
+
+    /// Peeks at the time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.queue.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkClass, LinkProps, Topology};
+
+    fn two_node_topology() -> Topology {
+        let mut t = Topology::empty(2);
+        t.add_link(
+            0,
+            1,
+            LinkProps {
+                latency: 0.010,
+                bandwidth: 1e6, // 1 Mbps so serialization delay is visible
+                cost: 1,
+                class: LinkClass::Custom,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn send_accounts_bytes_and_delay() {
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_topology());
+        assert!(sim.send(0, 1, 1250, "hello")); // 1250 B = 10 000 bits -> 10 ms serialization
+        let msg = sim.pop().unwrap();
+        assert_eq!(msg.from, 0);
+        assert_eq!(msg.to, 1);
+        assert_eq!(msg.payload, "hello");
+        assert!((msg.time - 0.020).abs() < 1e-9, "10ms latency + 10ms serialization");
+        assert_eq!(sim.stats().bytes_sent[0], 1250);
+        assert_eq!(sim.stats().bytes_sent[1], 0);
+        assert_eq!(sim.stats().total_messages(), 1);
+    }
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology());
+        sim.schedule_at(0.5, 0, 1);
+        sim.schedule_at(0.2, 0, 2);
+        sim.schedule_at(0.5, 0, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|m| m.payload)).collect();
+        assert_eq!(order, vec![2, 1, 3]);
+        assert_eq!(sim.now(), 0.5);
+    }
+
+    #[test]
+    fn local_events_have_processing_delay_and_no_bytes() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology());
+        sim.schedule_local(0, 7);
+        let m = sim.pop().unwrap();
+        assert_eq!(m.payload, 7);
+        assert!((m.time - LOCAL_PROCESSING_DELAY).abs() < 1e-12);
+        assert_eq!(sim.stats().total_bytes(), 0);
+        // send() to self routes through schedule_local.
+        sim.send(1, 1, 100, 9);
+        assert_eq!(sim.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn unreachable_destination_drops_but_charges_sender() {
+        let mut t = Topology::empty(3);
+        t.add_link(0, 1, LinkProps::from_class(LinkClass::Custom));
+        let mut sim: Simulator<u32> = Simulator::new(t);
+        assert!(!sim.send(0, 2, 500, 1));
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.stats().bytes_sent[0], 500);
+        assert!(sim.pop().is_none());
+    }
+
+    #[test]
+    fn multi_hop_latency_used_for_non_adjacent_nodes() {
+        let t = Topology::line(3); // 1 ms per hop, 100 Mbps
+        let mut sim: Simulator<u32> = Simulator::new(t);
+        sim.send(0, 2, 0, 1);
+        let m = sim.pop().unwrap();
+        assert!((m.time - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology());
+        sim.schedule_at(1.0, 0, 1);
+        sim.pop();
+        sim.schedule_at(0.5, 0, 2);
+    }
+
+    #[test]
+    fn bandwidth_series_and_averages() {
+        let mut sim: Simulator<u32> = Simulator::with_bucket_width(two_node_topology(), 1.0);
+        sim.send(0, 1, 1000, 1);
+        sim.pop();
+        sim.send(1, 0, 3000, 2);
+        assert_eq!(sim.stats().total_bytes(), 4000);
+        assert_eq!(sim.stats().avg_bytes_per_node(), 2000.0);
+        let avg = sim.stats().avg_bandwidth_samples();
+        assert_eq!(avg[0].1, 2000.0); // 4000 B in bucket 0 / 2 nodes / 1 s
+    }
+
+    #[test]
+    fn peek_and_pending() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology());
+        assert!(sim.peek_time().is_none());
+        sim.schedule_at(0.25, 0, 1);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.peek_time(), Some(0.25));
+    }
+}

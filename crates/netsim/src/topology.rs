@@ -1,0 +1,554 @@
+//! Network topologies and generators.
+
+use exspan_types::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The class of a link; used to pick latency/bandwidth defaults and to select
+/// candidate links for the churn workload (which only touches stub-to-stub
+/// links, as in §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Between two transit (backbone) nodes: 50 ms, 1 Gbps.
+    TransitTransit,
+    /// Between a transit node and a stub node: 10 ms, 100 Mbps.
+    TransitStub,
+    /// Between two stub nodes: 2 ms, 50 Mbps.
+    StubStub,
+    /// Cluster testbed link (Gigabit Ethernet): 0.1 ms, 1 Gbps.
+    Testbed,
+    /// Anything else (unit tests, hand-built examples).
+    Custom,
+}
+
+impl LinkClass {
+    /// Default propagation latency in seconds for this class (paper §7).
+    pub fn default_latency(self) -> f64 {
+        match self {
+            LinkClass::TransitTransit => 0.050,
+            LinkClass::TransitStub => 0.010,
+            LinkClass::StubStub => 0.002,
+            LinkClass::Testbed => 0.0001,
+            LinkClass::Custom => 0.001,
+        }
+    }
+
+    /// Default bandwidth in bits per second for this class (paper §7).
+    pub fn default_bandwidth(self) -> f64 {
+        match self {
+            LinkClass::TransitTransit => 1e9,
+            LinkClass::TransitStub => 100e6,
+            LinkClass::StubStub => 50e6,
+            LinkClass::Testbed => 1e9,
+            LinkClass::Custom => 100e6,
+        }
+    }
+}
+
+/// Properties of a (bidirectional) link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProps {
+    /// One-way propagation latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bits per second.
+    pub bandwidth: f64,
+    /// Routing cost used by the protocols (the paper fixes this at 1).
+    pub cost: i64,
+    /// Class of the link.
+    pub class: LinkClass,
+}
+
+impl LinkProps {
+    /// Creates link properties from a class with the paper's defaults and a
+    /// routing cost of 1.
+    pub fn from_class(class: LinkClass) -> Self {
+        LinkProps {
+            latency: class.default_latency(),
+            bandwidth: class.default_bandwidth(),
+            cost: 1,
+            class,
+        }
+    }
+}
+
+/// Which generator produced a topology (kept for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// GT-ITM style transit-stub graph.
+    TransitStub,
+    /// Ring plus random peers (the deployment testbed of §7.4).
+    Testbed,
+    /// The 4-node example of Figure 3.
+    PaperExample,
+    /// Hand-built.
+    Custom,
+}
+
+/// An undirected network topology with per-link properties.
+///
+/// Links are stored once per unordered pair; all query methods treat them as
+/// bidirectional (the paper assumes symmetric links).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    num_nodes: usize,
+    links: BTreeMap<(NodeId, NodeId), LinkProps>,
+    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology with `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn empty(num_nodes: usize) -> Self {
+        Topology {
+            kind: TopologyKind::Custom,
+            num_nodes,
+            links: BTreeMap::new(),
+            adjacency: BTreeMap::new(),
+        }
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Which generator produced this topology.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes as NodeId
+    }
+
+    /// Adds (or replaces) a bidirectional link.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) {
+        assert!(a != b, "self links are not allowed");
+        assert!(
+            (a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
+            "link endpoints must be valid nodes"
+        );
+        self.links.insert(Self::key(a, b), props);
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Removes a link if present; returns whether a link was removed.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        let removed = self.links.remove(&Self::key(a, b)).is_some();
+        if removed {
+            if let Some(s) = self.adjacency.get_mut(&a) {
+                s.remove(&b);
+            }
+            if let Some(s) = self.adjacency.get_mut(&b) {
+                s.remove(&a);
+            }
+        }
+        removed
+    }
+
+    /// Returns the properties of the link between `a` and `b`, if any.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<&LinkProps> {
+        self.links.get(&Self::key(a, b))
+    }
+
+    /// Returns `true` if a link between `a` and `b` exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains_key(&Self::key(a, b))
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.adjacency
+            .get(&n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency.get(&n).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all links as `(a, b, props)` with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, &LinkProps)> {
+        self.links.iter().map(|(&(a, b), p)| (a, b, p))
+    }
+
+    /// Links of a particular class, as `(a, b)` pairs.
+    pub fn links_of_class(&self, class: LinkClass) -> Vec<(NodeId, NodeId)> {
+        self.links
+            .iter()
+            .filter(|(_, p)| p.class == class)
+            .map(|(&(a, b), _)| (a, b))
+            .collect()
+    }
+
+    /// Returns `true` if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for m in self.neighbors(n) {
+                if !seen[m as usize] {
+                    seen[m as usize] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+
+    /// Computes the lowest-latency path delay from `from` to `to` (Dijkstra
+    /// over link latencies), and the bottleneck bandwidth along that path.
+    ///
+    /// Returns `None` if `to` is unreachable.  Used by the simulator to model
+    /// communication between nodes that are not directly adjacent (e.g. the
+    /// provenance query protocol, which contacts arbitrary `RLoc` nodes over
+    /// the underlying IP network).
+    pub fn path_latency(&self, from: NodeId, to: NodeId) -> Option<(f64, f64)> {
+        if from == to {
+            return Some((0.0, f64::INFINITY));
+        }
+        use std::cmp::Ordering;
+        #[derive(PartialEq)]
+        struct Entry(f64, f64, NodeId); // (latency, bottleneck bw, node)
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on latency via reversed comparison.
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+        let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(Entry(0.0, f64::INFINITY, from));
+        while let Some(Entry(lat, bw, node)) = heap.pop() {
+            if node == to {
+                return Some((lat, bw));
+            }
+            if let Some(&best) = dist.get(&node) {
+                if lat > best {
+                    continue;
+                }
+            }
+            for m in self.neighbors(node) {
+                let props = self.link(node, m).expect("adjacency implies link");
+                let nlat = lat + props.latency;
+                let nbw = bw.min(props.bandwidth);
+                if dist.get(&m).map(|&d| nlat < d).unwrap_or(true) {
+                    dist.insert(m, nlat);
+                    heap.push(Entry(nlat, nbw, m));
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Generators
+    // ------------------------------------------------------------------
+
+    /// The 4-node example network of Figure 3 (nodes a=0, b=1, c=2, d=3).
+    ///
+    /// Link costs match the figure: a–b 3, a–c 5, b–c 2, b–d 5, c–d 3.
+    pub fn paper_example() -> Topology {
+        let mut t = Topology::empty(4);
+        t.kind = TopologyKind::PaperExample;
+        let mk = |cost| LinkProps {
+            latency: 0.002,
+            bandwidth: 50e6,
+            cost,
+            class: LinkClass::Custom,
+        };
+        t.add_link(0, 1, mk(3)); // a-b
+        t.add_link(0, 2, mk(5)); // a-c
+        t.add_link(1, 2, mk(2)); // b-c
+        t.add_link(1, 3, mk(5)); // b-d
+        t.add_link(2, 3, mk(3)); // c-d
+        t
+    }
+
+    /// GT-ITM style transit-stub topology with the parameters of §7:
+    /// 4 transit nodes per transit domain, 3 stubs per transit node, 8 nodes
+    /// per stub (100 nodes per domain).  `num_domains` scales the network
+    /// size; the simulation experiments use 1–5 domains (100–500 nodes).
+    pub fn transit_stub(num_domains: usize, seed: u64) -> Topology {
+        const TRANSIT_PER_DOMAIN: usize = 4;
+        const STUBS_PER_TRANSIT: usize = 3;
+        const NODES_PER_STUB: usize = 8;
+        let nodes_per_domain =
+            TRANSIT_PER_DOMAIN * (1 + STUBS_PER_TRANSIT * NODES_PER_STUB);
+        let num_nodes = num_domains * nodes_per_domain;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = Topology::empty(num_nodes);
+        t.kind = TopologyKind::TransitStub;
+
+        let mut transit_nodes: Vec<NodeId> = Vec::new();
+        let mut next_id: NodeId = 0;
+        for _domain in 0..num_domains {
+            // Allocate transit nodes for this domain and wire them in a ring
+            // with one extra chord for redundancy.
+            let domain_transit: Vec<NodeId> =
+                (0..TRANSIT_PER_DOMAIN).map(|i| next_id + i as NodeId).collect();
+            next_id += TRANSIT_PER_DOMAIN as NodeId;
+            for i in 0..TRANSIT_PER_DOMAIN {
+                let a = domain_transit[i];
+                let b = domain_transit[(i + 1) % TRANSIT_PER_DOMAIN];
+                t.add_link(a, b, LinkProps::from_class(LinkClass::TransitTransit));
+            }
+            t.add_link(
+                domain_transit[0],
+                domain_transit[2],
+                LinkProps::from_class(LinkClass::TransitTransit),
+            );
+
+            // Stubs hanging off each transit node.
+            for &transit in &domain_transit {
+                for _stub in 0..STUBS_PER_TRANSIT {
+                    let stub_nodes: Vec<NodeId> =
+                        (0..NODES_PER_STUB).map(|i| next_id + i as NodeId).collect();
+                    next_id += NODES_PER_STUB as NodeId;
+                    // Intra-stub ring: 8 stub-stub links.
+                    for i in 0..NODES_PER_STUB {
+                        let a = stub_nodes[i];
+                        let b = stub_nodes[(i + 1) % NODES_PER_STUB];
+                        t.add_link(a, b, LinkProps::from_class(LinkClass::StubStub));
+                    }
+                    // Plus ~5 extra random intra-stub links, giving ≈13 links
+                    // per stub (the paper reports 315 stub-stub links in the
+                    // 200-node network, i.e. ≈13 per stub).
+                    let mut extra = 0;
+                    let mut attempts = 0;
+                    while extra < 5 && attempts < 50 {
+                        attempts += 1;
+                        let a = stub_nodes[rng.gen_range(0..NODES_PER_STUB)];
+                        let b = stub_nodes[rng.gen_range(0..NODES_PER_STUB)];
+                        if a != b && !t.has_link(a, b) {
+                            t.add_link(a, b, LinkProps::from_class(LinkClass::StubStub));
+                            extra += 1;
+                        }
+                    }
+                    // Stub-to-transit uplink from the first stub node.
+                    t.add_link(
+                        stub_nodes[0],
+                        transit,
+                        LinkProps::from_class(LinkClass::TransitStub),
+                    );
+                }
+            }
+            transit_nodes.extend(domain_transit);
+        }
+
+        // Inter-domain links: chain the domains through random transit nodes.
+        for d in 1..num_domains {
+            let a = transit_nodes[(d - 1) * TRANSIT_PER_DOMAIN + rng.gen_range(0..TRANSIT_PER_DOMAIN)];
+            let b = transit_nodes[d * TRANSIT_PER_DOMAIN + rng.gen_range(0..TRANSIT_PER_DOMAIN)];
+            t.add_link(a, b, LinkProps::from_class(LinkClass::TransitTransit));
+        }
+        t
+    }
+
+    /// The deployment testbed topology of §7.4: nodes arranged in a ring, and
+    /// each node additionally linked to one random peer such that the maximum
+    /// degree is three.
+    pub fn testbed_ring(num_nodes: usize, seed: u64) -> Topology {
+        assert!(num_nodes >= 3, "testbed ring needs at least 3 nodes");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = Topology::empty(num_nodes);
+        t.kind = TopologyKind::Testbed;
+        for i in 0..num_nodes {
+            let a = i as NodeId;
+            let b = ((i + 1) % num_nodes) as NodeId;
+            t.add_link(a, b, LinkProps::from_class(LinkClass::Testbed));
+        }
+        // Random extra peers with degree cap 3.
+        let mut order: Vec<NodeId> = (0..num_nodes as NodeId).collect();
+        // Fisher-Yates shuffle for a deterministic but seed-dependent order.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &a in &order {
+            if t.degree(a) >= 3 {
+                continue;
+            }
+            // Try to find a peer that also has spare degree.
+            for _ in 0..num_nodes {
+                let b = rng.gen_range(0..num_nodes) as NodeId;
+                if b != a && t.degree(b) < 3 && !t.has_link(a, b) {
+                    t.add_link(a, b, LinkProps::from_class(LinkClass::Testbed));
+                    break;
+                }
+            }
+        }
+        t
+    }
+
+    /// A simple line topology (useful in unit tests).
+    pub fn line(num_nodes: usize) -> Topology {
+        let mut t = Topology::empty(num_nodes);
+        for i in 1..num_nodes {
+            t.add_link(
+                (i - 1) as NodeId,
+                i as NodeId,
+                LinkProps::from_class(LinkClass::Custom),
+            );
+        }
+        t
+    }
+
+    /// A star topology centered on node 0 (useful in unit tests).
+    pub fn star(num_nodes: usize) -> Topology {
+        let mut t = Topology::empty(num_nodes);
+        for i in 1..num_nodes {
+            t.add_link(0, i as NodeId, LinkProps::from_class(LinkClass::Custom));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_figure_3() {
+        let t = Topology::paper_example();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_links(), 5);
+        assert_eq!(t.link(0, 1).unwrap().cost, 3);
+        assert_eq!(t.link(0, 2).unwrap().cost, 5);
+        assert_eq!(t.link(1, 2).unwrap().cost, 2);
+        assert_eq!(t.link(1, 3).unwrap().cost, 5);
+        assert_eq!(t.link(2, 3).unwrap().cost, 3);
+        assert!(!t.has_link(0, 3));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn add_remove_links_updates_adjacency() {
+        let mut t = Topology::empty(3);
+        t.add_link(0, 1, LinkProps::from_class(LinkClass::Custom));
+        assert!(t.has_link(1, 0), "links are bidirectional");
+        assert_eq!(t.neighbors(0), vec![1]);
+        assert!(t.remove_link(1, 0));
+        assert!(!t.has_link(0, 1));
+        assert!(!t.remove_link(0, 1), "double removal reports false");
+        assert_eq!(t.degree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self links")]
+    fn self_links_rejected() {
+        let mut t = Topology::empty(2);
+        t.add_link(1, 1, LinkProps::from_class(LinkClass::Custom));
+    }
+
+    #[test]
+    fn transit_stub_has_expected_size_and_structure() {
+        let t = Topology::transit_stub(2, 42);
+        assert_eq!(t.num_nodes(), 200);
+        assert!(t.is_connected());
+        // The paper reports roughly 315 stub-to-stub links for 200 nodes.
+        let stub_links = t.links_of_class(LinkClass::StubStub).len();
+        assert!(
+            (280..=340).contains(&stub_links),
+            "stub-stub link count {stub_links} out of expected range"
+        );
+        // Transit-stub uplinks: one per stub = 24.
+        assert_eq!(t.links_of_class(LinkClass::TransitStub).len(), 24);
+        // Every class uses the paper's latencies.
+        for (_, _, p) in t.links() {
+            match p.class {
+                LinkClass::TransitTransit => assert_eq!(p.latency, 0.050),
+                LinkClass::TransitStub => assert_eq!(p.latency, 0.010),
+                LinkClass::StubStub => assert_eq!(p.latency, 0.002),
+                _ => panic!("unexpected link class in transit-stub topology"),
+            }
+            assert_eq!(p.cost, 1);
+        }
+    }
+
+    #[test]
+    fn transit_stub_scales_linearly_with_domains() {
+        for domains in 1..=5 {
+            let t = Topology::transit_stub(domains, 7);
+            assert_eq!(t.num_nodes(), domains * 100);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn transit_stub_is_deterministic_per_seed() {
+        let a = Topology::transit_stub(1, 99);
+        let b = Topology::transit_stub(1, 99);
+        let c = Topology::transit_stub(1, 100);
+        let links =
+            |t: &Topology| t.links().map(|(a, b, _)| (a, b)).collect::<Vec<_>>();
+        assert_eq!(links(&a), links(&b));
+        assert_ne!(links(&a), links(&c));
+    }
+
+    #[test]
+    fn testbed_ring_respects_degree_cap() {
+        let t = Topology::testbed_ring(40, 1);
+        assert_eq!(t.num_nodes(), 40);
+        assert!(t.is_connected());
+        for n in t.nodes() {
+            assert!(t.degree(n) >= 2, "ring guarantees degree ≥ 2");
+            assert!(t.degree(n) <= 3, "degree cap of 3 violated at node {n}");
+        }
+    }
+
+    #[test]
+    fn path_latency_follows_shortest_path() {
+        let t = Topology::line(4); // 0-1-2-3, each 1 ms
+        let (lat, bw) = t.path_latency(0, 3).unwrap();
+        assert!((lat - 0.003).abs() < 1e-9);
+        assert_eq!(bw, 100e6);
+        assert_eq!(t.path_latency(0, 0).unwrap().0, 0.0);
+        // Unreachable node.
+        let mut t2 = Topology::empty(3);
+        t2.add_link(0, 1, LinkProps::from_class(LinkClass::Custom));
+        assert!(t2.path_latency(0, 2).is_none());
+        assert!(!t2.is_connected());
+    }
+
+    #[test]
+    fn star_and_line_helpers() {
+        let s = Topology::star(5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.num_links(), 4);
+        let l = Topology::line(5);
+        assert_eq!(l.num_links(), 4);
+        assert!(l.is_connected());
+    }
+}

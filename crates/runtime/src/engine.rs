@@ -1,0 +1,1291 @@
+//! The distributed NDlog engine.
+//!
+//! The engine executes a (localized, normalized) NDlog [`Program`] over the
+//! discrete-event simulator using pipelined semi-naïve evaluation: every
+//! tuple insertion or deletion is a *delta* processed one at a time from the
+//! per-node FIFO (modelled by the global simulated-time event queue).  A
+//! delta is applied to the local table, and — if the visible state changed —
+//! joined against the other body predicates of every rule it can trigger,
+//! producing new deltas that are either enqueued locally or shipped to the
+//! head's location specifier over the network.
+//!
+//! Deletions flow through exactly the same machinery with inverted polarity
+//! (the deletion delta rules of §4.2), relying on the derivation counts kept
+//! by [`crate::table::Table`] so that a tuple only disappears when its last
+//! derivation is gone.
+
+use crate::plugin::AnnotationPolicy;
+use crate::table::{DeleteEffect, InsertEffect, TableStore};
+use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, HeadArg, Program, Rule, Term};
+use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, FuncRegistry};
+use exspan_ndlog::is_event_predicate;
+use exspan_netsim::{Simulator, Topology, TrafficStats};
+use exspan_types::{wire, NodeId, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Name of the internal event used to trigger aggregate-group recomputation.
+/// The `$` prefix keeps it out of the namespace of user-defined relations.
+const AGG_RECOMPUTE_EVENT: &str = "$aggRecompute";
+
+/// Message payload exchanged between nodes (and enqueued locally).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A tuple delta: insertion (`insert = true`) or deletion of `tuple` at
+    /// the destination node.
+    Delta {
+        /// The tuple being inserted or deleted.
+        tuple: Tuple,
+        /// Polarity of the delta.
+        insert: bool,
+    },
+}
+
+/// Result of processing one simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// The event was consumed by the engine.
+    Handled,
+    /// An event tuple arrived for which the engine has no rules.  Higher
+    /// layers (the provenance query protocol) handle these.
+    External {
+        /// Node at which the tuple arrived.
+        node: NodeId,
+        /// The tuple itself.
+        tuple: Tuple,
+        /// Simulated arrival time.
+        time: f64,
+        /// Polarity of the delta.
+        insert: bool,
+    },
+    /// The event queue is empty.
+    Idle,
+}
+
+/// Statistics about a fixpoint computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixpointStats {
+    /// Simulated time at which the last delta was processed.
+    pub fixpoint_time: f64,
+    /// Number of events processed.
+    pub steps: u64,
+    /// Number of external (unhandled) tuples encountered and dropped.
+    pub external: u64,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// When `true`, the engine natively maintains `prov` and `ruleExec`
+    /// entries for *aggregate* rule firings (tracing MIN/MAX outputs to the
+    /// winning input tuple, §4.2.2).  Non-aggregate rules maintain provenance
+    /// through the rewritten NDlog rules themselves; aggregates cannot be
+    /// expressed that way and are instrumented here instead.
+    pub aggregate_provenance: bool,
+    /// Safety limit on processed events for a single `run_*` call.
+    pub max_steps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            aggregate_provenance: false,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// The distributed declarative-networking engine.
+pub struct Engine {
+    rules: Arc<Vec<Rule>>,
+    /// relation name -> list of (rule index, trigger atom index)
+    triggers: HashMap<String, Vec<(usize, usize)>>,
+    store: TableStore,
+    sim: Simulator<Payload>,
+    funcs: FuncRegistry,
+    config: EngineConfig,
+    annotation: Option<Box<dyn AnnotationPolicy>>,
+    /// Bookkeeping for aggregate provenance: (node, relation, group key) ->
+    /// (prov tuple, ruleExec tuple) currently installed for that group.
+    agg_prov: HashMap<(NodeId, String, Vec<Value>), (Tuple, Tuple)>,
+    last_delta_time: f64,
+    externals_seen: u64,
+    processed: u64,
+}
+
+impl Engine {
+    /// Creates an engine executing `program` over `topology`.
+    pub fn new(program: Program, topology: Topology, config: EngineConfig) -> Self {
+        let program = program.normalize();
+        let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let mut seen_for_rule: HashMap<&str, usize> = HashMap::new();
+            for (ai, item) in rule.body.iter().enumerate() {
+                if let BodyItem::Atom(a) = item {
+                    // Register every occurrence as a trigger position; the
+                    // same relation occurring twice registers twice.
+                    triggers
+                        .entry(a.relation.clone())
+                        .or_default()
+                        .push((ri, ai));
+                    *seen_for_rule.entry(a.relation.as_str()).or_default() += 1;
+                }
+            }
+        }
+        let keys: HashMap<String, Vec<usize>> = program
+            .tables
+            .iter()
+            .map(|t| (t.relation.clone(), t.keys.clone()))
+            .collect();
+        Engine {
+            rules: Arc::new(program.rules),
+            triggers,
+            store: TableStore::new(keys),
+            sim: Simulator::new(topology),
+            funcs: FuncRegistry::new(),
+            config,
+            annotation: None,
+            agg_prov: HashMap::new(),
+            last_delta_time: 0.0,
+            externals_seen: 0,
+            processed: 0,
+        }
+    }
+
+    /// Installs an [`AnnotationPolicy`] (e.g. value-based provenance).
+    pub fn set_annotation_policy(&mut self, policy: Box<dyn AnnotationPolicy>) {
+        self.annotation = Some(policy);
+    }
+
+    /// Removes and returns the annotation policy, if any.
+    pub fn take_annotation_policy(&mut self) -> Option<Box<dyn AnnotationPolicy>> {
+        self.annotation.take()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.sim.now()
+    }
+
+    /// Time at which the last delta was processed (the fixpoint time once the
+    /// queue drains).
+    pub fn last_activity(&self) -> f64 {
+        self.last_delta_time
+    }
+
+    /// Traffic statistics of the underlying simulator.
+    pub fn stats(&self) -> &TrafficStats {
+        self.sim.stats()
+    }
+
+    /// The network topology (mutable, for churn).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        self.sim.topology_mut()
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        self.sim.topology()
+    }
+
+    /// Visible tuples of `relation` at `node`.
+    pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
+        self.store.tuples(node, relation)
+    }
+
+    /// Visible tuples of `relation` across all nodes.
+    pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
+        self.store.tuples_everywhere(relation)
+    }
+
+    /// Derivation count of an exact tuple at its own location.
+    pub fn derivation_count(&self, tuple: &Tuple) -> usize {
+        self.store
+            .table(tuple.location, &tuple.relation)
+            .map(|t| t.count(tuple))
+            .unwrap_or(0)
+    }
+
+    /// Total number of stored tuples across all nodes and relations.
+    pub fn total_tuples(&self) -> usize {
+        self.store.total_tuples()
+    }
+
+    /// Inserts a base tuple at `node` now (processed when its event fires).
+    pub fn insert_base(&mut self, node: NodeId, tuple: Tuple) {
+        if let Some(policy) = self.annotation.as_mut() {
+            policy.on_base(node, &tuple, true);
+        }
+        self.sim
+            .schedule_at(self.sim.now(), node, Payload::Delta { tuple, insert: true });
+    }
+
+    /// Deletes a base tuple at `node` now.
+    pub fn delete_base(&mut self, node: NodeId, tuple: Tuple) {
+        if let Some(policy) = self.annotation.as_mut() {
+            policy.on_base(node, &tuple, false);
+        }
+        self.sim
+            .schedule_at(self.sim.now(), node, Payload::Delta { tuple, insert: false });
+    }
+
+    /// Schedules a delta at an absolute simulated time (used by experiment
+    /// drivers for churn and data-plane workloads).
+    pub fn schedule_delta(&mut self, time: f64, node: NodeId, tuple: Tuple, insert: bool) {
+        if let Some(policy) = self.annotation.as_mut() {
+            // Scheduled base-level changes are reported to the policy when
+            // they are scheduled; derived deltas never go through here.
+            policy.on_base(node, &tuple, insert);
+        }
+        self.sim.schedule_at(time, node, Payload::Delta { tuple, insert });
+    }
+
+    /// Sends a tuple from `from` to `to` on behalf of a higher layer (the
+    /// provenance query protocol), charging `extra_bytes` of annotation in
+    /// addition to the tuple's wire size.
+    pub fn send_tuple(&mut self, from: NodeId, to: NodeId, tuple: Tuple, extra_bytes: usize) {
+        let bytes = wire::message_size(std::slice::from_ref(&tuple), extra_bytes);
+        self.sim
+            .send(from, to, bytes, Payload::Delta { tuple, insert: true });
+    }
+
+    /// Directly stores a tuple at a node without triggering any rules.
+    /// Used by higher layers for bookkeeping tables (e.g. query caches).
+    pub fn store_silent(&mut self, node: NodeId, tuple: &Tuple) {
+        self.store.table_mut(node, &tuple.relation).insert(tuple);
+    }
+
+    /// Directly removes a tuple at a node without triggering any rules.
+    pub fn remove_silent(&mut self, node: NodeId, tuple: &Tuple) {
+        self.store.table_mut(node, &tuple.relation).delete(tuple);
+    }
+
+    /// Processes the next event.
+    pub fn step(&mut self) -> Step {
+        let Some(msg) = self.sim.pop() else {
+            return Step::Idle;
+        };
+        self.processed += 1;
+        let time = msg.time;
+        match msg.payload {
+            Payload::Delta { tuple, insert } => {
+                let node = msg.to;
+                if tuple.relation == AGG_RECOMPUTE_EVENT {
+                    self.last_delta_time = time;
+                    self.handle_aggregate_recompute(node, &tuple);
+                    return Step::Handled;
+                }
+                if self.is_external(&tuple.relation) {
+                    self.externals_seen += 1;
+                    return Step::External {
+                        node,
+                        tuple,
+                        time,
+                        insert,
+                    };
+                }
+                self.last_delta_time = time;
+                self.process_delta(node, tuple, insert);
+                Step::Handled
+            }
+        }
+    }
+
+    /// Whether tuples of `relation` have no handler inside the engine: event
+    /// predicates that trigger no rule are surfaced to the caller.
+    fn is_external(&self, relation: &str) -> bool {
+        is_event_predicate(relation) && !self.triggers.contains_key(relation)
+    }
+
+    /// Runs until the event queue is empty (global fixpoint).
+    pub fn run_to_fixpoint(&mut self) -> FixpointStats {
+        self.run_until(f64::INFINITY)
+    }
+
+    /// Runs until the next event would occur after `time_limit` (or the queue
+    /// empties).  External tuples are dropped and counted.
+    pub fn run_until(&mut self, time_limit: f64) -> FixpointStats {
+        let mut steps = 0u64;
+        let mut external = 0u64;
+        while steps < self.config.max_steps {
+            match self.sim.peek_time() {
+                None => break,
+                Some(t) if t > time_limit => break,
+                Some(_) => {}
+            }
+            match self.step() {
+                Step::Idle => break,
+                Step::External { .. } => {
+                    external += 1;
+                    steps += 1;
+                }
+                Step::Handled => {
+                    steps += 1;
+                }
+            }
+        }
+        FixpointStats {
+            fixpoint_time: self.last_delta_time,
+            steps,
+            external,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delta processing
+    // ------------------------------------------------------------------
+
+    fn process_delta(&mut self, node: NodeId, tuple: Tuple, insert: bool) {
+        let is_event = is_event_predicate(&tuple.relation);
+        let mut fire = true;
+        if !is_event {
+            let table = self.store.table_mut(node, &tuple.relation);
+            if insert {
+                match table.insert(&tuple) {
+                    InsertEffect::Added => {}
+                    InsertEffect::Duplicate => fire = false,
+                    InsertEffect::Replaced(old) => {
+                        // Cascade the replaced row as a deletion before
+                        // propagating the new insertion.
+                        self.fire_rules(node, &old, false);
+                    }
+                }
+            } else {
+                match table.delete(&tuple) {
+                    DeleteEffect::Removed => {}
+                    DeleteEffect::Decremented | DeleteEffect::Missing => fire = false,
+                }
+            }
+        }
+        if fire {
+            self.fire_rules(node, &tuple, insert);
+        }
+    }
+
+    fn fire_rules(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
+        let Some(trigger_list) = self.triggers.get(&tuple.relation).cloned() else {
+            return;
+        };
+        let rules = Arc::clone(&self.rules);
+        for (rule_idx, atom_idx) in trigger_list {
+            let rule = &rules[rule_idx];
+            if rule.is_aggregate() {
+                self.schedule_aggregate_recompute(rule, node, tuple, atom_idx);
+            } else {
+                self.fire_rule(rule, node, tuple, atom_idx, insert);
+            }
+        }
+    }
+
+    /// Fires a non-aggregate rule triggered by `tuple` bound at body atom
+    /// `atom_idx`, emitting one head delta per satisfying assignment.
+    fn fire_rule(&mut self, rule: &Rule, node: NodeId, tuple: &Tuple, atom_idx: usize, insert: bool) {
+        let derivations = self.evaluate_rule_with_trigger(rule, node, tuple, atom_idx);
+        for (inputs, head) in derivations {
+            self.emit_derivation(rule, node, &inputs, head, insert);
+        }
+    }
+
+    /// Evaluates a rule body with `tuple` bound at `atom_idx`, returning the
+    /// grounded input tuples (in body-atom order) and the head tuple for each
+    /// satisfying assignment.
+    fn evaluate_rule_with_trigger(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+    ) -> Vec<(Vec<Tuple>, Tuple)> {
+        let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
+            return Vec::new();
+        };
+        let Some(mut bindings) = unify_atom(trigger_atom, tuple, &Bindings::new()) else {
+            return Vec::new();
+        };
+        // The body is localized: the trigger's location must be this node.
+        if tuple.location != node {
+            return Vec::new();
+        }
+        // Ensure the location variable is bound to this node.
+        if let Term::Var(v) = &trigger_atom.location {
+            bindings.insert(v.clone(), Value::Node(node));
+        }
+
+        let other_atoms: Vec<(usize, &Atom)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                BodyItem::Atom(a) if i != atom_idx => Some((i, a)),
+                _ => None,
+            })
+            .collect();
+
+        let mut results = Vec::new();
+        let mut partial: Vec<(usize, Tuple)> = vec![(atom_idx, tuple.clone())];
+        self.join_remaining(
+            rule,
+            node,
+            &other_atoms,
+            0,
+            bindings,
+            &mut partial,
+            &mut results,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_remaining(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        atoms: &[(usize, &Atom)],
+        depth: usize,
+        bindings: Bindings,
+        partial: &mut Vec<(usize, Tuple)>,
+        results: &mut Vec<(Vec<Tuple>, Tuple)>,
+    ) {
+        if depth == atoms.len() {
+            if let Some((inputs, head)) = self.finish_rule(rule, node, bindings, partial) {
+                results.push((inputs, head));
+            }
+            return;
+        }
+        let (orig_idx, atom) = atoms[depth];
+        // Event predicates are transient: they cannot be joined from storage.
+        if is_event_predicate(&atom.relation) {
+            return;
+        }
+        let Some(table) = self.store.table(node, &atom.relation) else {
+            return;
+        };
+        for candidate in table.scan() {
+            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
+                partial.push((orig_idx, candidate.clone()));
+                self.join_remaining(rule, node, atoms, depth + 1, new_bindings, partial, results);
+                partial.pop();
+            }
+        }
+    }
+
+    /// Applies assignments and constraints, then constructs the head tuple.
+    fn finish_rule(
+        &self,
+        rule: &Rule,
+        _node: NodeId,
+        mut bindings: Bindings,
+        partial: &[(usize, Tuple)],
+    ) -> Option<(Vec<Tuple>, Tuple)> {
+        for item in &rule.body {
+            match item {
+                BodyItem::Assign(var, expr) => {
+                    let value = eval_expr(expr, &bindings, &self.funcs).ok()?;
+                    // An assignment to an already-bound variable acts as an
+                    // equality constraint (standard Datalog convention).
+                    if let Some(existing) = bindings.get(var) {
+                        if *existing != value {
+                            return None;
+                        }
+                    } else {
+                        bindings.insert(var.clone(), value);
+                    }
+                }
+                BodyItem::Constraint(op, lhs, rhs) => {
+                    let l = eval_expr(lhs, &bindings, &self.funcs).ok()?;
+                    let r = eval_expr(rhs, &bindings, &self.funcs).ok()?;
+                    if !eval_cmp(*op, &l, &r).ok()? {
+                        return None;
+                    }
+                }
+                BodyItem::Atom(_) => {}
+            }
+        }
+        let head = self.build_head(rule, &bindings)?;
+        // Order the grounded inputs by their body-atom position.
+        let mut inputs: Vec<(usize, Tuple)> = partial.to_vec();
+        inputs.sort_by_key(|(i, _)| *i);
+        Some((inputs.into_iter().map(|(_, t)| t).collect(), head))
+    }
+
+    fn build_head(&self, rule: &Rule, bindings: &Bindings) -> Option<Tuple> {
+        let loc = match &rule.head.location {
+            Term::Var(v) => bindings.get(v)?.as_node().ok()?,
+            Term::Const(Value::Node(n)) => *n,
+            Term::Const(Value::Int(n)) => *n as NodeId,
+            Term::Const(_) => return None,
+        };
+        let mut values = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Term(Term::Var(v)) => values.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Const(c)) => values.push(c.clone()),
+                HeadArg::Expr(e) => values.push(eval_expr(e, bindings, &self.funcs).ok()?),
+                HeadArg::Aggregate(_, _) => return None,
+            }
+        }
+        Some(Tuple::new(rule.head.relation.clone(), loc, values))
+    }
+
+    /// Emits the head delta of a (non-aggregate) rule firing: notifies the
+    /// annotation policy, then enqueues locally or ships to the head node.
+    fn emit_derivation(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        inputs: &[Tuple],
+        head: Tuple,
+        insert: bool,
+    ) {
+        if let Some(policy) = self.annotation.as_mut() {
+            policy.on_derivation(node, &rule.label, inputs, &head, insert);
+        }
+        self.dispatch_delta(node, head, insert);
+    }
+
+    /// Sends or locally enqueues a delta for `head` produced at `node`.
+    fn dispatch_delta(&mut self, node: NodeId, head: Tuple, insert: bool) {
+        let dest = head.location;
+        if dest == node {
+            self.sim.schedule_local(node, Payload::Delta { tuple: head, insert });
+        } else {
+            let annotation_bytes = match self.annotation.as_mut() {
+                Some(policy) => policy.annotation_bytes(node, dest, &head),
+                None => 0,
+            };
+            let bytes = wire::message_size(std::slice::from_ref(&head), annotation_bytes);
+            self.sim
+                .send(node, dest, bytes, Payload::Delta { tuple: head, insert });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregates
+    // ------------------------------------------------------------------
+
+    /// Schedules a (local) recomputation of the aggregate group(s) affected
+    /// by a delta.
+    ///
+    /// The recomputation itself runs as a separate queued event
+    /// ([`AGG_RECOMPUTE_EVENT`]) rather than synchronously: this guarantees
+    /// that any output deltas dispatched by *earlier* recomputations of the
+    /// same group have already been applied to the head table when the
+    /// comparison against the currently stored output is made.  A synchronous
+    /// recomputation could read a stale output value and emit contradictory
+    /// retractions, which prevents convergence.
+    fn schedule_aggregate_recompute(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+    ) {
+        let (_, _, agg_pos) = match rule.head.aggregate() {
+            Some(a) => a,
+            None => return,
+        };
+        let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
+            return;
+        };
+        let Some(bindings) = unify_atom(trigger_atom, tuple, &Bindings::new()) else {
+            return;
+        };
+        if tuple.location != node {
+            return;
+        }
+        // An empty group key means "recompute every group of this rule".
+        let group_key = self.group_key(rule, &bindings, agg_pos).unwrap_or_default();
+        let event = Tuple::new(
+            AGG_RECOMPUTE_EVENT,
+            node,
+            vec![Value::Str(rule.label.clone()), Value::List(group_key)],
+        );
+        self.sim.schedule_local(
+            node,
+            Payload::Delta {
+                tuple: event,
+                insert: true,
+            },
+        );
+    }
+
+    /// Handles a queued aggregate-recomputation event.
+    fn handle_aggregate_recompute(&mut self, node: NodeId, event: &Tuple) {
+        let Ok(label) = event.values[0].as_str().map(str::to_string) else {
+            return;
+        };
+        let Ok(group_key) = event.values[1].as_list().map(<[Value]>::to_vec) else {
+            return;
+        };
+        let rules = Arc::clone(&self.rules);
+        let Some(rule) = rules.iter().find(|r| r.label == label) else {
+            return;
+        };
+        let Some((func, agg_var, agg_pos)) = rule.head.aggregate() else {
+            return;
+        };
+        if group_key.is_empty() {
+            let groups = self.all_groups(rule, node, agg_pos);
+            for g in groups {
+                self.recompute_group(rule, node, func, agg_var, agg_pos, &g);
+            }
+        } else {
+            self.recompute_group(rule, node, func, agg_var, agg_pos, &group_key);
+        }
+    }
+
+    /// The group key is the head location plus every non-aggregate head
+    /// argument, evaluated under `bindings`.
+    fn group_key(&self, rule: &Rule, bindings: &Bindings, agg_pos: usize) -> Option<Vec<Value>> {
+        let mut key = Vec::new();
+        match &rule.head.location {
+            Term::Var(v) => key.push(bindings.get(v)?.clone()),
+            Term::Const(c) => key.push(c.clone()),
+        }
+        for (i, arg) in rule.head.args.iter().enumerate() {
+            if i == agg_pos {
+                continue;
+            }
+            match arg {
+                HeadArg::Term(Term::Var(v)) => key.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                _ => return None,
+            }
+        }
+        Some(key)
+    }
+
+    /// Enumerates all group keys derivable at `node` for an aggregate rule.
+    fn all_groups(&self, rule: &Rule, node: NodeId, agg_pos: usize) -> Vec<Vec<Value>> {
+        let mut groups: Vec<Vec<Value>> = Vec::new();
+        for (bindings, _inputs) in self.evaluate_rule_body(rule, node, &Bindings::new()) {
+            if let Some(k) = self.group_key(rule, &bindings, agg_pos) {
+                if !groups.contains(&k) {
+                    groups.push(k);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Pre-binds the head variables that form a group key, so aggregate
+    /// recomputation only enumerates the affected group rather than the whole
+    /// table (essential for performance: one delta must not trigger a scan of
+    /// every group at the node).
+    fn group_bindings(&self, rule: &Rule, group_key: &[Value], agg_pos: usize) -> Bindings {
+        let mut bindings = Bindings::new();
+        if let Term::Var(v) = &rule.head.location {
+            bindings.insert(v.clone(), group_key[0].clone());
+        }
+        let mut key_iter = group_key.iter().skip(1);
+        for (i, arg) in rule.head.args.iter().enumerate() {
+            if i == agg_pos {
+                continue;
+            }
+            let key_val = key_iter.next();
+            if let (HeadArg::Term(Term::Var(v)), Some(value)) = (arg, key_val) {
+                bindings.insert(v.clone(), value.clone());
+            }
+        }
+        bindings
+    }
+
+    /// Evaluates the whole rule body at `node` under `initial` bindings,
+    /// returning every satisfying assignment with its grounded input tuples.
+    fn evaluate_rule_body(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        initial: &Bindings,
+    ) -> Vec<(Bindings, Vec<Tuple>)> {
+        let atoms: Vec<(usize, &Atom)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                BodyItem::Atom(a) => Some((i, a)),
+                _ => None,
+            })
+            .collect();
+        let mut results = Vec::new();
+        self.enumerate_bindings(
+            rule,
+            node,
+            &atoms,
+            0,
+            initial.clone(),
+            &mut Vec::new(),
+            &mut results,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_bindings(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        atoms: &[(usize, &Atom)],
+        depth: usize,
+        bindings: Bindings,
+        partial: &mut Vec<Tuple>,
+        results: &mut Vec<(Bindings, Vec<Tuple>)>,
+    ) {
+        if depth == atoms.len() {
+            // Apply assignments and constraints.
+            let mut complete = bindings;
+            for item in &rule.body {
+                match item {
+                    BodyItem::Assign(var, expr) => {
+                        let Ok(value) = eval_expr(expr, &complete, &self.funcs) else {
+                            return;
+                        };
+                        if let Some(existing) = complete.get(var) {
+                            if *existing != value {
+                                return;
+                            }
+                        } else {
+                            complete.insert(var.clone(), value);
+                        }
+                    }
+                    BodyItem::Constraint(op, lhs, rhs) => {
+                        let (Ok(l), Ok(r)) = (
+                            eval_expr(lhs, &complete, &self.funcs),
+                            eval_expr(rhs, &complete, &self.funcs),
+                        ) else {
+                            return;
+                        };
+                        if !eval_cmp(*op, &l, &r).unwrap_or(false) {
+                            return;
+                        }
+                    }
+                    BodyItem::Atom(_) => {}
+                }
+            }
+            results.push((complete, partial.clone()));
+            return;
+        }
+        let (_, atom) = atoms[depth];
+        if is_event_predicate(&atom.relation) {
+            return;
+        }
+        let Some(table) = self.store.table(node, &atom.relation) else {
+            return;
+        };
+        for candidate in table.scan() {
+            if candidate.location != node {
+                continue;
+            }
+            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
+                partial.push(candidate.clone());
+                self.enumerate_bindings(rule, node, atoms, depth + 1, new_bindings, partial, results);
+                partial.pop();
+            }
+        }
+    }
+
+    /// Recomputes one aggregate group and reconciles its output tuple.
+    fn recompute_group(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        func: AggFunc,
+        agg_var: Option<&str>,
+        agg_pos: usize,
+        group_key: &[Value],
+    ) {
+        // Gather all bindings for this group.  Pre-binding the group-key
+        // variables restricts the enumeration to the affected group.
+        let initial = self.group_bindings(rule, group_key, agg_pos);
+        let all = self.evaluate_rule_body(rule, node, &initial);
+        let mut in_group: Vec<(Bindings, Vec<Tuple>)> = Vec::new();
+        for (b, inputs) in all {
+            if let Some(k) = self.group_key(rule, &b, agg_pos) {
+                if k == group_key {
+                    in_group.push((b, inputs));
+                }
+            }
+        }
+
+        // Compute the aggregate value and the winning binding (for MIN/MAX
+        // provenance, the winning tuple is the provenance child; for COUNT the
+        // first binding is used as a representative).
+        let new_output: Option<(Value, usize)> = match func {
+            AggFunc::Count => {
+                if in_group.is_empty() {
+                    None
+                } else {
+                    Some((Value::Int(in_group.len() as i64), 0))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let Some(var) = agg_var else {
+                    return;
+                };
+                let mut best: Option<(i64, usize)> = None;
+                for (i, (b, _)) in in_group.iter().enumerate() {
+                    let Some(Value::Int(v)) = b.get(var).cloned() else {
+                        continue;
+                    };
+                    best = match best {
+                        None => Some((v, i)),
+                        Some((cur, ci)) => {
+                            let better = match func {
+                                AggFunc::Min => v < cur,
+                                AggFunc::Max => v > cur,
+                                AggFunc::Count => false,
+                            };
+                            if better {
+                                Some((v, i))
+                            } else {
+                                Some((cur, ci))
+                            }
+                        }
+                    };
+                }
+                best.map(|(v, i)| (Value::Int(v), i))
+            }
+        };
+
+        // Current output for this group, if any.
+        let loc = match &group_key[0] {
+            Value::Node(n) => *n,
+            Value::Int(n) => *n as NodeId,
+            _ => return,
+        };
+        let current = self.find_group_output(rule, node, group_key, agg_pos);
+
+        let new_tuple = new_output.as_ref().map(|(value, _)| {
+            let mut values = Vec::with_capacity(rule.head.args.len());
+            let mut key_iter = group_key.iter().skip(1);
+            for (i, _) in rule.head.args.iter().enumerate() {
+                if i == agg_pos {
+                    values.push(value.clone());
+                } else {
+                    values.push(key_iter.next().expect("group key covers non-agg args").clone());
+                }
+            }
+            Tuple::new(rule.head.relation.clone(), loc, values)
+        });
+
+        if current == new_tuple {
+            return;
+        }
+
+        // Retract the old output (and its aggregate-provenance entries).
+        if let Some(old) = current {
+            if self.config.aggregate_provenance {
+                if let Some((prov_t, exec_t)) = self
+                    .agg_prov
+                    .remove(&(node, rule.head.relation.clone(), group_key.to_vec()))
+                {
+                    self.dispatch_delta(node, prov_t, false);
+                    self.dispatch_delta(node, exec_t, false);
+                }
+            }
+            if let Some(policy) = self.annotation.as_mut() {
+                policy.on_derivation(node, &rule.label, &[], &old, false);
+            }
+            self.dispatch_delta(node, old, false);
+        }
+
+        // Assert the new output.
+        if let (Some(new_t), Some((_, winner_idx))) = (new_tuple, new_output) {
+            let winning_inputs = in_group
+                .get(winner_idx)
+                .map(|(_, inputs)| inputs.clone())
+                .unwrap_or_default();
+            if let Some(policy) = self.annotation.as_mut() {
+                policy.on_derivation(node, &rule.label, &winning_inputs, &new_t, true);
+            }
+            if self.config.aggregate_provenance {
+                let vids: Vec<_> = winning_inputs.iter().map(Tuple::vid).collect();
+                let rid = exspan_types::tuple::rule_exec_id(&rule.label, node, &vids);
+                let exec_t = Tuple::new(
+                    "ruleExec",
+                    node,
+                    vec![
+                        Value::from_digest(rid),
+                        Value::Str(rule.label.clone()),
+                        Value::List(vids.iter().map(|v| Value::Digest(v.0)).collect()),
+                    ],
+                );
+                let prov_t = Tuple::new(
+                    "prov",
+                    new_t.location,
+                    vec![
+                        Value::from_digest(new_t.vid()),
+                        Value::from_digest(rid),
+                        Value::Node(node),
+                    ],
+                );
+                self.agg_prov.insert(
+                    (node, rule.head.relation.clone(), group_key.to_vec()),
+                    (prov_t.clone(), exec_t.clone()),
+                );
+                self.dispatch_delta(node, exec_t, true);
+                self.dispatch_delta(node, prov_t, true);
+            }
+            self.dispatch_delta(node, new_t, true);
+        }
+    }
+
+    /// Finds the currently stored output tuple of an aggregate group.
+    fn find_group_output(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        group_key: &[Value],
+        agg_pos: usize,
+    ) -> Option<Tuple> {
+        let table = self.store.table(node, &rule.head.relation)?;
+        let loc = match &group_key[0] {
+            Value::Node(n) => *n,
+            Value::Int(n) => *n as NodeId,
+            _ => return None,
+        };
+        table
+            .scan()
+            .find(|t| {
+                if t.location != loc {
+                    return false;
+                }
+                let mut key_iter = group_key.iter().skip(1);
+                for (i, v) in t.values.iter().enumerate() {
+                    if i == agg_pos {
+                        continue;
+                    }
+                    match key_iter.next() {
+                        Some(k) if k == v => {}
+                        _ => return false,
+                    }
+                }
+                true
+            })
+            .cloned()
+    }
+}
+
+/// Unifies an atom against a tuple under existing bindings, returning the
+/// extended bindings on success.
+fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> Option<Bindings> {
+    if atom.relation != tuple.relation || atom.args.len() != tuple.values.len() {
+        return None;
+    }
+    let mut out = bindings.clone();
+    // Location.
+    match &atom.location {
+        Term::Var(v) => match out.get(v) {
+            Some(existing) => {
+                if *existing != Value::Node(tuple.location) {
+                    return None;
+                }
+            }
+            None => {
+                out.insert(v.clone(), Value::Node(tuple.location));
+            }
+        },
+        Term::Const(c) => {
+            if *c != Value::Node(tuple.location) && *c != Value::Int(tuple.location as i64) {
+                return None;
+            }
+        }
+    }
+    // Arguments.
+    for (term, value) in atom.args.iter().zip(tuple.values.iter()) {
+        match term {
+            Term::Var(v) => match out.get(v) {
+                Some(existing) => {
+                    if existing != value {
+                        return None;
+                    }
+                }
+                None => {
+                    out.insert(v.clone(), value.clone());
+                }
+            },
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exspan_ndlog::programs;
+    use exspan_netsim::Topology;
+
+    fn link(s: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    fn best(s: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("bestPathCost", s, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    /// Inserts both directions of every link of the topology as base tuples
+    /// (the paper assumes symmetric links).
+    fn seed_links(engine: &mut Engine) {
+        let links: Vec<(NodeId, NodeId, i64)> = engine
+            .topology()
+            .links()
+            .map(|(a, b, p)| (a, b, p.cost))
+            .collect();
+        for (a, b, cost) in links {
+            engine.insert_base(a, link(a, b, cost));
+            engine.insert_base(b, link(b, a, cost));
+        }
+    }
+
+    #[test]
+    fn unify_binds_and_checks_consistency() {
+        let atom = Atom::new("link", Term::var("Z"), vec![Term::var("S"), Term::var("C")]);
+        let t = link(1, 2, 3);
+        let b = unify_atom(&atom, &t, &Bindings::new()).unwrap();
+        assert_eq!(b["Z"], Value::Node(1));
+        assert_eq!(b["S"], Value::Node(2));
+        assert_eq!(b["C"], Value::Int(3));
+        // Conflicting pre-binding fails.
+        let mut pre = Bindings::new();
+        pre.insert("S".into(), Value::Node(9));
+        assert!(unify_atom(&atom, &t, &pre).is_none());
+        // Constant mismatch fails.
+        let atom2 = Atom::new(
+            "link",
+            Term::var("Z"),
+            vec![Term::var("S"), Term::constant(4i64)],
+        );
+        assert!(unify_atom(&atom2, &t, &Bindings::new()).is_none());
+        // Relation mismatch fails.
+        let atom3 = Atom::new("path", Term::var("Z"), vec![Term::var("S"), Term::var("C")]);
+        assert!(unify_atom(&atom3, &t, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn mincost_on_paper_topology_matches_figure_3() {
+        // Figure 3: best path cost a->c is 5 (direct, or via b: 3+2=5).
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        let stats = engine.run_to_fixpoint();
+        assert!(stats.steps > 0);
+
+        // a = node 0, b = 1, c = 2, d = 3.
+        let a_best = engine.tuples(0, "bestPathCost");
+        let get = |d: NodeId| -> i64 {
+            a_best
+                .iter()
+                .find(|t| t.values[0] == Value::Node(d))
+                .map(|t| t.values[1].as_int().unwrap())
+                .unwrap_or(i64::MAX)
+        };
+        assert_eq!(get(1), 3); // a->b direct
+        assert_eq!(get(2), 5); // a->c direct or via b
+        assert_eq!(get(3), 8); // a->b->c->d = 3+2+3
+        // b's best cost to c is 2.
+        let b_best = engine.tuples(1, "bestPathCost");
+        assert!(b_best.contains(&best(1, 2, 2)));
+        // pathCost(@a,c,5) has two derivations (Figure 4).
+        let pc = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]);
+        assert_eq!(engine.derivation_count(&pc), 2);
+    }
+
+    #[test]
+    fn mincost_handles_link_deletion_incrementally() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        // Delete the direct a-c link (cost 5) in both directions.
+        engine.delete_base(0, link(0, 2, 5));
+        engine.delete_base(2, link(2, 0, 5));
+        engine.run_to_fixpoint();
+        // Best cost a->c remains 5 via b (3+2), but now with one derivation.
+        let a_best = engine.tuples(0, "bestPathCost");
+        assert!(a_best.contains(&best(0, 2, 5)));
+        let pc = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]);
+        assert_eq!(engine.derivation_count(&pc), 1);
+        // Now delete a-b as well: a's only neighbour left is... none (a had b and c).
+        engine.delete_base(0, link(0, 1, 3));
+        engine.delete_base(1, link(1, 0, 3));
+        engine.run_to_fixpoint();
+        let a_best = engine.tuples(0, "bestPathCost");
+        assert!(
+            a_best.is_empty(),
+            "a is disconnected, all bestPathCost tuples must be retracted, got {a_best:?}"
+        );
+    }
+
+    #[test]
+    fn mincost_cost_improvement_replaces_keyed_row() {
+        // Line 0-1-2 with expensive direct link 0-2; adding a cheap link later
+        // must lower the best cost (keyed update) and cascade.
+        let mut topo = Topology::empty(3);
+        use exspan_netsim::{LinkClass, LinkProps};
+        let props = |cost| LinkProps {
+            cost,
+            ..LinkProps::from_class(LinkClass::Custom)
+        };
+        topo.add_link(0, 1, props(10));
+        topo.add_link(1, 2, props(10));
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        assert!(engine.tuples(0, "bestPathCost").contains(&best(0, 2, 20)));
+        // New cheap direct link 0-2.
+        engine.topology_mut().add_link(0, 2, props(3));
+        engine.insert_base(0, link(0, 2, 3));
+        engine.insert_base(2, link(2, 0, 3));
+        engine.run_to_fixpoint();
+        let bests = engine.tuples(0, "bestPathCost");
+        assert!(bests.contains(&best(0, 2, 3)));
+        assert!(!bests.contains(&best(0, 2, 20)));
+        // Node 1's cost to 2 must not regress.
+        assert!(engine.tuples(1, "bestPathCost").contains(&best(1, 2, 10)));
+    }
+
+    #[test]
+    fn path_vector_computes_loop_free_paths() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::path_vector(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        // Best path a->d must be a,b,c,d (cost 8) or a,c,d (cost 8): both cost
+        // 8; accept either but require cost 8 and a loop-free path ending at d.
+        let best_paths = engine.tuples(0, "bestPath");
+        let to_d = best_paths
+            .iter()
+            .find(|t| t.values[0] == Value::Node(3))
+            .expect("a must have a best path to d");
+        assert_eq!(to_d.values[2], Value::Int(8));
+        let path = to_d.values[1].as_list().unwrap();
+        assert_eq!(path.first(), Some(&Value::Node(0)));
+        assert_eq!(path.last(), Some(&Value::Node(3)));
+        let unique: std::collections::BTreeSet<_> = path.iter().collect();
+        assert_eq!(unique.len(), path.len(), "path must be loop-free");
+    }
+
+    #[test]
+    fn packet_forward_delivers_along_best_path() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::packet_forward(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        // Send a packet from a (0) to d (3).
+        let packet = Tuple::new(
+            "ePacket",
+            0,
+            vec![Value::Node(0), Value::Node(3), Value::Payload(1024)],
+        );
+        engine.insert_base(0, packet);
+        engine.run_to_fixpoint();
+        let received = engine.tuples(3, "recvPacket");
+        assert_eq!(received.len(), 1, "packet must be delivered exactly once");
+        assert_eq!(received[0].values[0], Value::Node(0));
+        assert_eq!(received[0].values[1], Value::Node(3));
+        // No other node materialized a recvPacket.
+        for n in [0, 1, 2] {
+            assert!(engine.tuples(n, "recvPacket").is_empty());
+        }
+    }
+
+    #[test]
+    fn traffic_is_accounted_for_remote_derivations() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        let stats = engine.stats();
+        assert!(stats.total_bytes() > 0, "protocol must exchange messages");
+        assert!(stats.total_messages() > 0);
+        // Every node participates.
+        for n in 0..4 {
+            assert!(stats.bytes_sent[n] > 0, "node {n} sent nothing");
+        }
+    }
+
+    #[test]
+    fn external_event_tuples_are_surfaced() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        let q = Tuple::new("eProvQuery", 2, vec![Value::Int(42)]);
+        engine.send_tuple(0, 2, q.clone(), 0);
+        loop {
+            match engine.step() {
+                Step::External { node, tuple, .. } => {
+                    assert_eq!(node, 2);
+                    assert_eq!(tuple, q);
+                    break;
+                }
+                Step::Handled => continue,
+                Step::Idle => panic!("external tuple was never surfaced"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_respects_time_limit() {
+        let topo = Topology::transit_stub(1, 5);
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        let stats = engine.run_until(0.01);
+        assert!(engine.now() <= 0.011);
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn aggregate_provenance_creates_prov_and_rule_exec() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(
+            programs::mincost(),
+            topo,
+            EngineConfig {
+                aggregate_provenance: true,
+                ..Default::default()
+            },
+        );
+        seed_links(&mut engine);
+        engine.run_to_fixpoint();
+        // bestPathCost(@a,c,5) must have a prov entry pointing at a ruleExec
+        // for sp3 whose input is pathCost(@a,c,5).
+        let target = best(0, 2, 5);
+        let prov = engine.tuples(0, "prov");
+        let entry = prov
+            .iter()
+            .find(|t| t.values[0] == Value::from_digest(target.vid()))
+            .expect("prov entry for bestPathCost(@a,c,5)");
+        let rid = entry.values[1].clone();
+        let execs = engine.tuples(0, "ruleExec");
+        let exec = execs
+            .iter()
+            .find(|t| t.values[0] == rid)
+            .expect("ruleExec entry");
+        assert_eq!(exec.values[1], Value::Str("sp3".into()));
+        let pc_vid = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]).vid();
+        assert_eq!(
+            exec.values[2],
+            Value::List(vec![Value::Digest(pc_vid.0)]),
+            "sp3's provenance child is the winning pathCost tuple"
+        );
+    }
+
+    #[test]
+    fn store_and_remove_silent_do_not_trigger_rules() {
+        let topo = Topology::paper_example();
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        let t = link(0, 1, 9);
+        engine.store_silent(0, &t);
+        assert_eq!(engine.tuples(0, "link"), vec![t.clone()]);
+        // No derivation happened (no events processed at all).
+        assert!(engine.tuples(0, "pathCost").is_empty());
+        engine.remove_silent(0, &t);
+        assert!(engine.tuples(0, "link").is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # exspan-runtime
+//!
+//! The distributed declarative-networking engine (RapidNet substitute):
+//! a pipelined semi-naïve (PSN) evaluator for NDlog programs running over the
+//! discrete-event network simulator.
+//!
+//! Responsibilities:
+//!
+//! * [`table`] — per-node materialized tables with keyed-update semantics and
+//!   derivation counting (the "additional bookkeeping to maintain multiple
+//!   derivations of the same tuple" of paper §4.2).
+//! * [`engine`] — the [`engine::Engine`]: delta processing, distributed rule
+//!   evaluation (body joins at one location, head shipped to its location
+//!   specifier), MIN/MAX/COUNT aggregate maintenance, incremental insertion
+//!   *and* deletion with cascades, fixpoint detection and traffic accounting.
+//! * [`plugin`] — the [`plugin::AnnotationPolicy`] hook through which the
+//!   provenance layer implements *value-based* provenance (annotations
+//!   attached to every transmitted tuple) without the engine knowing anything
+//!   about provenance.
+//!
+//! The engine deliberately exposes low-level access (per-node tables, raw
+//! message injection, a [`engine::Step`] API that surfaces unknown event
+//! tuples to the caller) so that the provenance query protocol of
+//! `exspan-core` can be layered on top as plain message traffic.
+
+pub mod engine;
+pub mod plugin;
+pub mod table;
+
+pub use engine::{Engine, EngineConfig, FixpointStats, Payload, Step};
+pub use plugin::AnnotationPolicy;
+pub use table::{DeleteEffect, InsertEffect, Table};

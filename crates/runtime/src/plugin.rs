@@ -1,0 +1,65 @@
+//! Engine extension hooks.
+//!
+//! The engine itself knows nothing about provenance.  *Value-based*
+//! provenance (paper §3, "Distribution") — where every transmitted tuple
+//! carries its entire derivation history — is implemented by the provenance
+//! layer as an [`AnnotationPolicy`] plugged into the engine: the policy
+//! observes every rule firing and decides how many extra bytes to attach to
+//! each transmitted tuple.  Centralized provenance can similarly be modelled
+//! by charging upload traffic from the policy.
+
+use exspan_types::{NodeId, Tuple};
+
+/// Observes derivations and charges per-message annotation bytes.
+///
+/// All methods have empty default implementations so simple policies only
+/// override what they need.
+pub trait AnnotationPolicy {
+    /// Called when a base tuple is inserted (`insert = true`) or deleted at
+    /// `node` by the experiment driver.
+    fn on_base(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
+        let _ = (node, tuple, insert);
+    }
+
+    /// Called on every rule firing: `rule` fired at `node` with the grounded
+    /// `inputs` producing `output`.  `insert` is `false` for deletion deltas
+    /// cascading through the rule.
+    fn on_derivation(
+        &mut self,
+        node: NodeId,
+        rule: &str,
+        inputs: &[Tuple],
+        output: &Tuple,
+        insert: bool,
+    ) {
+        let _ = (node, rule, inputs, output, insert);
+    }
+
+    /// Returns the number of extra annotation bytes to attach to `tuple` when
+    /// it is transmitted from `from` to `to`.
+    fn annotation_bytes(&mut self, from: NodeId, to: NodeId, tuple: &Tuple) -> usize {
+        let _ = (from, to, tuple);
+        0
+    }
+}
+
+/// A policy that attaches nothing (the "No Prov." baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoAnnotation;
+
+impl AnnotationPolicy for NoAnnotation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exspan_types::Value;
+
+    #[test]
+    fn default_policy_is_inert() {
+        let mut p = NoAnnotation;
+        let t = Tuple::new("link", 0, vec![Value::Node(1), Value::Int(1)]);
+        p.on_base(0, &t, true);
+        p.on_derivation(0, "sp1", &[t.clone()], &t, true);
+        assert_eq!(p.annotation_bytes(0, 1, &t), 0);
+    }
+}

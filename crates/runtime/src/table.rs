@@ -1,0 +1,350 @@
+//! Per-node materialized tables.
+//!
+//! A table stores the tuples of one relation at one node.  Two pieces of
+//! bookkeeping matter for correct incremental maintenance:
+//!
+//! * **Derivation counts** — the same tuple can be derived in multiple ways
+//!   (e.g. `pathCost(@a,c,5)` in Figure 4 has two derivations).  A tuple is
+//!   only *inserted* into the visible state when its count goes 0→1 and only
+//!   *removed* when it returns to 0, so downstream rules fire exactly on
+//!   presence changes.
+//! * **Keyed update semantics** — NDlog materialized tables declare primary
+//!   keys (e.g. `bestPathCost` is keyed on `(@S,D)`); inserting a tuple whose
+//!   key already exists with different non-key attributes *replaces* the old
+//!   tuple, and the replaced tuple must be cascaded as a deletion.
+
+use exspan_types::{NodeId, Tuple, Value};
+use std::collections::HashMap;
+
+/// Effect of an insertion on the visible state of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertEffect {
+    /// The tuple was not present before: downstream rules must fire.
+    Added,
+    /// The exact tuple was already present; its derivation count was
+    /// incremented but the visible state did not change.
+    Duplicate,
+    /// A tuple with the same primary key but different attributes was
+    /// replaced.  The old tuple must be cascaded as a deletion before the new
+    /// tuple's insertion is propagated.
+    Replaced(Tuple),
+}
+
+/// Effect of a deletion on the visible state of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteEffect {
+    /// The last derivation was removed: the tuple left the table and
+    /// downstream deletions must fire.
+    Removed,
+    /// One derivation was removed but others remain; no visible change.
+    Decremented,
+    /// The tuple (or that exact version of the keyed row) was not present.
+    Missing,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    tuple: Tuple,
+    count: usize,
+}
+
+/// A materialized table for one relation at one node.
+#[derive(Debug, Clone)]
+pub struct Table {
+    relation: String,
+    /// Primary-key positions over the full attribute list (0 = location).
+    /// Empty means whole-tuple (set) semantics.
+    key: Vec<usize>,
+    rows: HashMap<Vec<Value>, Row>,
+}
+
+impl Table {
+    /// Creates a table with the given primary-key positions.
+    pub fn new(relation: impl Into<String>, key: Vec<usize>) -> Self {
+        Table {
+            relation: relation.into(),
+            key,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Creates a table with whole-tuple (set) semantics.
+    pub fn set_semantics(relation: impl Into<String>) -> Self {
+        Self::new(relation, Vec::new())
+    }
+
+    /// Relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Number of distinct tuples currently visible.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        let full: Vec<Value> = std::iter::once(Value::Node(tuple.location))
+            .chain(tuple.values.iter().cloned())
+            .collect();
+        if self.key.is_empty() {
+            full
+        } else {
+            self.key.iter().map(|&i| full[i].clone()).collect()
+        }
+    }
+
+    /// Inserts one derivation of `tuple`.
+    pub fn insert(&mut self, tuple: &Tuple) -> InsertEffect {
+        debug_assert_eq!(tuple.relation, self.relation);
+        let key = self.key_of(tuple);
+        match self.rows.get_mut(&key) {
+            None => {
+                self.rows.insert(
+                    key,
+                    Row {
+                        tuple: tuple.clone(),
+                        count: 1,
+                    },
+                );
+                InsertEffect::Added
+            }
+            Some(row) if row.tuple == *tuple => {
+                // Tables keyed on a proper subset of their attributes hold
+                // *functional* state (one row per key, e.g. an aggregate
+                // output or a routing-table entry): re-asserting the same row
+                // is idempotent.  Whole-tuple (set semantics) tables count
+                // duplicate derivations instead.
+                if self.key.is_empty() || self.key.len() >= tuple.arity() {
+                    row.count += 1;
+                }
+                InsertEffect::Duplicate
+            }
+            Some(row) => {
+                // Keyed update: replace the old version of this row.
+                let old = std::mem::replace(
+                    row,
+                    Row {
+                        tuple: tuple.clone(),
+                        count: 1,
+                    },
+                )
+                .tuple;
+                InsertEffect::Replaced(old)
+            }
+        }
+    }
+
+    /// Deletes one derivation of `tuple`.
+    pub fn delete(&mut self, tuple: &Tuple) -> DeleteEffect {
+        debug_assert_eq!(tuple.relation, self.relation);
+        let key = self.key_of(tuple);
+        match self.rows.get_mut(&key) {
+            None => DeleteEffect::Missing,
+            Some(row) if row.tuple != *tuple => {
+                // A stale deletion for a version of the row that has already
+                // been replaced: ignore it.
+                DeleteEffect::Missing
+            }
+            Some(row) => {
+                if row.count > 1 {
+                    row.count -= 1;
+                    DeleteEffect::Decremented
+                } else {
+                    self.rows.remove(&key);
+                    DeleteEffect::Removed
+                }
+            }
+        }
+    }
+
+    /// Returns the current derivation count of `tuple` (0 if absent).
+    pub fn count(&self, tuple: &Tuple) -> usize {
+        let key = self.key_of(tuple);
+        match self.rows.get(&key) {
+            Some(row) if row.tuple == *tuple => row.count,
+            _ => 0,
+        }
+    }
+
+    /// Whether the exact tuple is currently visible.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.count(tuple) > 0
+    }
+
+    /// Iterates over the visible tuples.
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.values().map(|r| &r.tuple)
+    }
+
+    /// Collects the visible tuples into a vector (sorted for determinism).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self.scan().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+/// A helper collection mapping `(node, relation)` to its [`Table`], with
+/// lazily-created tables.
+#[derive(Debug, Default, Clone)]
+pub struct TableStore {
+    tables: HashMap<(NodeId, String), Table>,
+    /// Key declarations by relation name.
+    keys: HashMap<String, Vec<usize>>,
+}
+
+impl TableStore {
+    /// Creates an empty store with the given key declarations.
+    pub fn new(keys: HashMap<String, Vec<usize>>) -> Self {
+        TableStore {
+            tables: HashMap::new(),
+            keys,
+        }
+    }
+
+    /// Returns the table for `(node, relation)`, creating it if necessary.
+    pub fn table_mut(&mut self, node: NodeId, relation: &str) -> &mut Table {
+        let key_spec = self.keys.get(relation).cloned().unwrap_or_default();
+        self.tables
+            .entry((node, relation.to_string()))
+            .or_insert_with(|| Table::new(relation, key_spec))
+    }
+
+    /// Returns the table for `(node, relation)` if it exists.
+    pub fn table(&self, node: NodeId, relation: &str) -> Option<&Table> {
+        self.tables.get(&(node, relation.to_string()))
+    }
+
+    /// All visible tuples of `relation` at `node`.
+    pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
+        self.table(node, relation)
+            .map(|t| t.tuples())
+            .unwrap_or_default()
+    }
+
+    /// All visible tuples of `relation` across every node.
+    pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .tables
+            .iter()
+            .filter(|((_, r), _)| r == relation)
+            .flat_map(|(_, t)| t.scan().cloned())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total number of visible tuples across all tables.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_cost(loc: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("pathCost", loc, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    fn best(loc: NodeId, d: NodeId, c: i64) -> Tuple {
+        Tuple::new("bestPathCost", loc, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    #[test]
+    fn set_semantics_counts_derivations() {
+        let mut t = Table::set_semantics("pathCost");
+        let p = path_cost(0, 2, 5);
+        assert_eq!(t.insert(&p), InsertEffect::Added);
+        assert_eq!(t.insert(&p), InsertEffect::Duplicate);
+        assert_eq!(t.count(&p), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.delete(&p), DeleteEffect::Decremented);
+        assert!(t.contains(&p));
+        assert_eq!(t.delete(&p), DeleteEffect::Removed);
+        assert!(!t.contains(&p));
+        assert_eq!(t.delete(&p), DeleteEffect::Missing);
+    }
+
+    #[test]
+    fn distinct_tuples_coexist_under_set_semantics() {
+        let mut t = Table::set_semantics("pathCost");
+        t.insert(&path_cost(0, 2, 5));
+        t.insert(&path_cost(0, 2, 7));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&path_cost(0, 2, 5)));
+        assert!(t.contains(&path_cost(0, 2, 7)));
+    }
+
+    #[test]
+    fn keyed_table_replaces_row_with_same_key() {
+        // bestPathCost(@S,D,C) keyed on (S, D) = positions (0, 1).
+        let mut t = Table::new("bestPathCost", vec![0, 1]);
+        assert_eq!(t.insert(&best(0, 2, 5)), InsertEffect::Added);
+        let eff = t.insert(&best(0, 2, 4));
+        assert_eq!(eff, InsertEffect::Replaced(best(0, 2, 5)));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&best(0, 2, 4)));
+        assert!(!t.contains(&best(0, 2, 5)));
+        // Different key coexists.
+        assert_eq!(t.insert(&best(0, 3, 9)), InsertEffect::Added);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn keyed_rows_are_idempotent_under_reinsertion() {
+        let mut t = Table::new("bestPathCost", vec![0, 1]);
+        t.insert(&best(0, 2, 5));
+        assert_eq!(t.insert(&best(0, 2, 5)), InsertEffect::Duplicate);
+        assert_eq!(t.count(&best(0, 2, 5)), 1, "keyed rows do not count duplicates");
+        assert_eq!(t.delete(&best(0, 2, 5)), DeleteEffect::Removed);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stale_delete_of_replaced_row_is_ignored() {
+        let mut t = Table::new("bestPathCost", vec![0, 1]);
+        t.insert(&best(0, 2, 5));
+        t.insert(&best(0, 2, 4));
+        // A delayed cascade tries to delete the old version.
+        assert_eq!(t.delete(&best(0, 2, 5)), DeleteEffect::Missing);
+        assert!(t.contains(&best(0, 2, 4)));
+    }
+
+    #[test]
+    fn scan_and_tuples_are_deterministic() {
+        let mut t = Table::set_semantics("pathCost");
+        t.insert(&path_cost(0, 3, 1));
+        t.insert(&path_cost(0, 2, 5));
+        let tuples = t.tuples();
+        assert_eq!(tuples.len(), 2);
+        let mut again = t.tuples();
+        again.sort();
+        assert_eq!(tuples, again);
+    }
+
+    #[test]
+    fn table_store_lazily_creates_with_declared_keys() {
+        let mut keys = HashMap::new();
+        keys.insert("bestPathCost".to_string(), vec![0usize, 1]);
+        let mut store = TableStore::new(keys);
+        store.table_mut(0, "bestPathCost").insert(&best(0, 2, 5));
+        store.table_mut(0, "bestPathCost").insert(&best(0, 2, 3));
+        assert_eq!(store.tuples(0, "bestPathCost"), vec![best(0, 2, 3)]);
+        // Undeclared relations default to set semantics.
+        store.table_mut(1, "pathCost").insert(&path_cost(1, 2, 5));
+        store.table_mut(1, "pathCost").insert(&path_cost(1, 2, 7));
+        assert_eq!(store.tuples(1, "pathCost").len(), 2);
+        assert_eq!(store.total_tuples(), 3);
+        assert_eq!(store.tuples_everywhere("pathCost").len(), 2);
+        assert!(store.table(9, "pathCost").is_none());
+        assert!(store.tuples(9, "pathCost").is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # exspan
+//!
+//! A Rust reproduction of **ExSPAN** — *"Efficient Querying and Maintenance
+//! of Network Provenance at Internet-Scale"* (Zhou, Sherr, Tao, Li, Loo, Mao;
+//! SIGMOD 2010).
+//!
+//! ExSPAN adds *network provenance* — the ability to explain how any piece of
+//! distributed network state was derived, by whom, and from what — to
+//! protocols written in NDlog (Network Datalog, the language of declarative
+//! networking).  The system maintains a distributed provenance graph with
+//! near-zero overhead by shipping only `(RID, RLoc)` pointers with
+//! derivations (*reference-based provenance*) and resolves provenance on
+//! demand with distributed recursive queries that can be customized to return
+//! provenance polynomials, node sets, derivation counts, derivability tests
+//! or BDD-condensed (absorption) provenance.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `exspan-types` | values, tuples, VIDs/RIDs, SHA-1, wire-size model |
+//! | [`bdd`] | `exspan-bdd` | reduced ordered BDDs (absorption provenance) |
+//! | [`ndlog`] | `exspan-ndlog` | NDlog AST, parser, validation, built-in programs |
+//! | [`netsim`] | `exspan-netsim` | discrete-event simulator, topologies, churn |
+//! | [`runtime`] | `exspan-runtime` | distributed pipelined semi-naïve NDlog engine |
+//! | [`core`] | `exspan-core` | provenance rewrite, storage, modes, queries, caching |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use exspan::core::{ProvenanceMode, ProvenanceSystem, SystemConfig};
+//! use exspan::core::{PolynomialRepr, TraversalOrder};
+//! use exspan::ndlog::programs;
+//! use exspan::netsim::Topology;
+//! use exspan::types::{Tuple, Value};
+//!
+//! // The 4-node example network of the paper's Figure 3, running MINCOST
+//! // with reference-based provenance.
+//! let mut system = ProvenanceSystem::new(
+//!     &programs::mincost(),
+//!     Topology::paper_example(),
+//!     SystemConfig { mode: ProvenanceMode::Reference, ..Default::default() },
+//! );
+//! system.seed_links();
+//! system.run_to_fixpoint();
+//!
+//! // Query the provenance of bestPathCost(@a, c, 5) as a polynomial.
+//! let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
+//! let (_qe, outcome) = system.query_provenance(
+//!     3,
+//!     &target,
+//!     Box::new(PolynomialRepr),
+//!     TraversalOrder::Bfs,
+//! );
+//! let polynomial = outcome.annotation.unwrap();
+//! assert_eq!(polynomial.as_expr().unwrap().num_derivations(), 2);
+//! ```
+
+pub use exspan_bdd as bdd;
+pub use exspan_core as core;
+pub use exspan_ndlog as ndlog;
+pub use exspan_netsim as netsim;
+pub use exspan_runtime as runtime;
+pub use exspan_types as types;

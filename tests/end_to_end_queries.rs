@@ -1,0 +1,334 @@
+//! End-to-end distributed query tests on a 20-node testbed topology:
+//! representation consistency, traversal orders, caching and invalidation,
+//! and agreement between reference-based and value-based provenance.
+
+use exspan::core::{
+    BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode,
+    ProvenanceSystem, QueryEngine, SystemConfig, TraversalOrder,
+};
+use exspan::ndlog::programs;
+use exspan::netsim::Topology;
+use exspan::types::{Tuple, Value};
+
+fn reference_system(nodes: usize, seed: u64) -> ProvenanceSystem {
+    let mut system = ProvenanceSystem::new(
+        &programs::mincost(),
+        Topology::testbed_ring(nodes, seed),
+        SystemConfig {
+            mode: ProvenanceMode::Reference,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    system.run_to_fixpoint();
+    system
+}
+
+fn some_targets(system: &ProvenanceSystem, count: usize) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for n in 0..system.engine().topology().num_nodes() as u32 {
+        for t in system.engine().tuples(n, "bestPathCost") {
+            out.push(t);
+            if out.len() >= count {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn representations_agree_on_the_same_tuple() {
+    let mut system = reference_system(12, 3);
+    let targets = some_targets(&system, 6);
+    assert!(!targets.is_empty());
+    for target in targets {
+        let issuer = (target.location + 3) % 12;
+
+        let (_q, poly) = system.query_provenance(
+            issuer,
+            &target,
+            Box::new(PolynomialRepr),
+            TraversalOrder::Bfs,
+        );
+        let poly = poly.annotation.expect("polynomial query completes");
+        let expr = poly.as_expr().unwrap();
+
+        let (_q, count) = system.query_provenance(
+            issuer,
+            &target,
+            Box::new(DerivationCountRepr),
+            TraversalOrder::Bfs,
+        );
+        let count = count.annotation.unwrap().as_count().unwrap();
+        assert_eq!(
+            expr.num_derivations(),
+            count,
+            "#DERIVATION must equal the number of monomials in the polynomial for {target}"
+        );
+        assert!(count >= 1);
+
+        let (_q, nodes) = system.query_provenance(
+            issuer,
+            &target,
+            Box::new(NodeSetRepr),
+            TraversalOrder::Bfs,
+        );
+        let nodes = nodes.annotation.unwrap();
+        let nodes = nodes.as_nodes().unwrap();
+        assert!(
+            nodes.contains(&target.location),
+            "the tuple's own node participates in its derivation"
+        );
+
+        let (_q, derivable) = system.query_provenance(
+            issuer,
+            &target,
+            Box::new(DerivabilityRepr::default()),
+            TraversalOrder::Bfs,
+        );
+        assert_eq!(derivable.annotation.unwrap().as_bool(), Some(true));
+
+        // BDD (absorption) provenance is satisfiable when everything is
+        // trusted and unsatisfiable when nothing is.
+        let (qe, bdd) = system.query_provenance(
+            issuer,
+            &target,
+            Box::new(BddRepr::new()),
+            TraversalOrder::Bfs,
+        );
+        let ann = bdd.annotation.unwrap();
+        let repr = qe.repr().as_any().downcast_ref::<BddRepr>().unwrap();
+        assert!(repr.derivable_under(&ann, |_| true));
+        assert!(!repr.derivable_under(&ann, |_| false));
+    }
+}
+
+#[test]
+fn traversal_orders_return_identical_full_results() {
+    let mut system = reference_system(12, 5);
+    let targets = some_targets(&system, 4);
+    for target in targets {
+        let mut results = Vec::new();
+        for order in [TraversalOrder::Bfs, TraversalOrder::Dfs] {
+            let (_q, out) = system.query_provenance(
+                0,
+                &target,
+                Box::new(DerivationCountRepr),
+                order,
+            );
+            results.push(out.annotation.unwrap().as_count().unwrap());
+        }
+        assert_eq!(
+            results[0], results[1],
+            "BFS and DFS must agree on the derivation count of {target}"
+        );
+    }
+}
+
+#[test]
+fn dfs_threshold_stops_early_and_never_exceeds_full_traversal() {
+    let mut system = reference_system(16, 9);
+    let targets = some_targets(&system, 8);
+    for target in targets {
+        let (qe_full, full) = system.query_provenance(
+            1,
+            &target,
+            Box::new(DerivationCountRepr),
+            TraversalOrder::Bfs,
+        );
+        let full_count = full.annotation.unwrap().as_count().unwrap();
+        let full_bytes = qe_full.stats().bytes;
+
+        let (qe_thr, thr) = system.query_provenance(
+            1,
+            &target,
+            Box::new(DerivationCountRepr),
+            TraversalOrder::DfsThreshold(1),
+        );
+        let thr_count = thr.annotation.unwrap().as_count().unwrap();
+        // The threshold query may stop early, so it reports at most the full
+        // count, and it must report more than the threshold iff the full
+        // count does.
+        assert!(thr_count <= full_count);
+        assert_eq!(thr_count > 1, full_count > 1);
+        assert!(
+            qe_thr.stats().bytes <= full_bytes,
+            "threshold pruning must not send more bytes than the full traversal"
+        );
+    }
+}
+
+#[test]
+fn random_moonwalk_explores_a_subset() {
+    let mut system = reference_system(12, 13);
+    let target = some_targets(&system, 1).remove(0);
+    let (_q, full) = system.query_provenance(
+        0,
+        &target,
+        Box::new(DerivationCountRepr),
+        TraversalOrder::Bfs,
+    );
+    let (_q, walk) = system.query_provenance(
+        0,
+        &target,
+        Box::new(DerivationCountRepr),
+        TraversalOrder::RandomMoonwalk { fanout: 1, seed: 7 },
+    );
+    let full = full.annotation.unwrap().as_count().unwrap();
+    let walk = walk.annotation.unwrap().as_count().unwrap();
+    assert!(walk >= 1);
+    assert!(walk <= full);
+}
+
+#[test]
+fn caching_reduces_traffic_and_is_invalidated_correctly() {
+    let mut system = reference_system(12, 21);
+    let targets = some_targets(&system, 5);
+
+    // Without caching: repeated identical queries cost the same every time.
+    let mut qe = QueryEngine::new(Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    qe.set_caching(false);
+    for t in &targets {
+        qe.query_now(system.engine_mut(), 0, t);
+        qe.run(system.engine_mut());
+    }
+    for t in &targets {
+        qe.query_now(system.engine_mut(), 0, t);
+        qe.run(system.engine_mut());
+    }
+    let uncached_bytes = qe.stats().bytes;
+
+    // With caching: the second round is nearly free and hits the cache.
+    let mut qe = QueryEngine::new(Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    qe.set_caching(true);
+    for t in &targets {
+        qe.query_now(system.engine_mut(), 0, t);
+        qe.run(system.engine_mut());
+    }
+    let first_round = qe.stats().bytes;
+    for t in &targets {
+        qe.query_now(system.engine_mut(), 0, t);
+        qe.run(system.engine_mut());
+    }
+    let cached_bytes = qe.stats().bytes;
+    assert!(qe.stats().cache_hits > 0, "second round must hit the cache");
+    assert!(
+        cached_bytes - first_round < first_round,
+        "cached round must be cheaper than the first round"
+    );
+    assert!(cached_bytes < uncached_bytes);
+
+    // All answers agree with a fresh, uncached query engine.
+    let baseline_counts: Vec<u64> = targets
+        .iter()
+        .map(|t| {
+            let (_q, o) = system.query_provenance(
+                0,
+                t,
+                Box::new(DerivationCountRepr),
+                TraversalOrder::Bfs,
+            );
+            o.annotation.unwrap().as_count().unwrap()
+        })
+        .collect();
+
+    // Invalidate everything that depends on one link and re-query: results
+    // must still be correct (recomputed where needed).
+    let some_link = system.engine().tuples(0, "link").remove(0);
+    qe.invalidate(some_link.vid());
+    for (t, expected) in targets.iter().zip(baseline_counts) {
+        let idx = qe.query_now(system.engine_mut(), 0, t);
+        qe.run(system.engine_mut());
+        // The cached polynomial still describes the same derivations.
+        let ann = qe.outcomes()[idx].annotation.clone().unwrap();
+        assert_eq!(ann.as_expr().unwrap().num_derivations(), expected);
+    }
+}
+
+#[test]
+fn value_and_reference_provenance_agree_on_derivability() {
+    // Run the same protocol in value-based and reference-based modes; for a
+    // sample of tuples, the value-mode BDD and a reference-mode BDD query
+    // must agree on derivability under random trust assignments.
+    let topo = Topology::testbed_ring(10, 33);
+    let mut value_system = ProvenanceSystem::with_mode(
+        &programs::mincost(),
+        topo.clone(),
+        ProvenanceMode::ValueBdd,
+    );
+    value_system.seed_links();
+    value_system.run_to_fixpoint();
+
+    let mut ref_system =
+        ProvenanceSystem::with_mode(&programs::mincost(), topo, ProvenanceMode::Reference);
+    ref_system.seed_links();
+    ref_system.run_to_fixpoint();
+
+    let targets = some_targets(&ref_system, 5);
+    for target in targets {
+        // Reference-based: distributed BDD query.
+        let (qe, outcome) = ref_system.query_provenance(
+            0,
+            &target,
+            Box::new(BddRepr::new()),
+            TraversalOrder::Bfs,
+        );
+        let ann = outcome.annotation.unwrap();
+        let repr = qe.repr().as_any().downcast_ref::<BddRepr>().unwrap();
+
+        // Value-based: annotation available locally.
+        let value = value_system.value_provenance().unwrap();
+
+        // Both derivable when everything is trusted, neither when nothing is.
+        assert!(repr.derivable_under(&ann, |_| true));
+        assert!(value.derivable_under(&target, |_| true));
+        assert!(!repr.derivable_under(&ann, |_| false));
+        assert!(!value.derivable_under(&target, |_| false));
+
+        // Under "trust only even-numbered nodes' links": both agree.
+        let trust_even = |vid: exspan::types::Vid| {
+            // Determine the owning node by scanning link tuples.
+            ref_system
+                .engine()
+                .tuples_everywhere("link")
+                .iter()
+                .find(|l| l.vid() == vid)
+                .map(|l| l.location % 2 == 0)
+                .unwrap_or(false)
+        };
+        assert_eq!(
+            repr.derivable_under(&ann, trust_even),
+            value.derivable_under(&target, trust_even),
+            "value- and reference-based derivability disagree for {target}"
+        );
+    }
+}
+
+#[test]
+fn packet_forwarding_with_provenance_delivers_packets() {
+    let mut system = ProvenanceSystem::with_mode(
+        &programs::packet_forward(),
+        Topology::testbed_ring(8, 17),
+        ProvenanceMode::Reference,
+    );
+    system.seed_links();
+    system.run_to_fixpoint();
+    // Send packets between several pairs.
+    for (src, dst) in [(0u32, 4u32), (1, 5), (7, 2)] {
+        let packet = Tuple::new(
+            "ePacket",
+            src,
+            vec![Value::Node(src), Value::Node(dst), Value::Payload(1024)],
+        );
+        system.engine_mut().insert_base(src, packet);
+    }
+    system.run_to_fixpoint();
+    for (src, dst) in [(0u32, 4u32), (1, 5), (7, 2)] {
+        let received = system.engine().tuples(dst, "recvPacket");
+        assert!(
+            received.iter().any(|t| t.values[0] == Value::Node(src)),
+            "packet from {src} to {dst} was not delivered: {received:?}"
+        );
+    }
+}

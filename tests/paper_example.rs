@@ -1,0 +1,217 @@
+//! Reproduces the paper's running example end-to-end: the Figure 3 topology,
+//! the Figure 4/5 provenance graph of `bestPathCost(@a,c,5)` and the contents
+//! of the `prov` / `ruleExec` tables of Tables 1 and 2.
+
+use exspan::core::storage::{all_prov_entries, prov_entries, rule_exec_entry};
+use exspan::core::{
+    NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem, SystemConfig, TraversalOrder,
+};
+use exspan::ndlog::programs;
+use exspan::netsim::Topology;
+use exspan::types::tuple::rule_exec_id;
+use exspan::types::{Tuple, Value};
+
+const A: u32 = 0;
+const B: u32 = 1;
+const C: u32 = 2;
+
+fn tuple(rel: &str, loc: u32, dst: u32, cost: i64) -> Tuple {
+    Tuple::new(rel, loc, vec![Value::Node(dst), Value::Int(cost)])
+}
+
+fn reference_system() -> ProvenanceSystem {
+    let mut system = ProvenanceSystem::new(
+        &programs::mincost(),
+        Topology::paper_example(),
+        SystemConfig {
+            mode: ProvenanceMode::Reference,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    system.run_to_fixpoint();
+    system
+}
+
+#[test]
+fn figure_3_best_path_costs() {
+    let system = reference_system();
+    // Best path costs from a (Figure 3): b=3, c=5, d=8.
+    let expected = [(B, 3), (C, 5), (3u32, 8)];
+    let a_best = system.engine().tuples(A, "bestPathCost");
+    for (dest, cost) in expected {
+        assert!(
+            a_best.contains(&tuple("bestPathCost", A, dest, cost)),
+            "missing bestPathCost(@a,{dest},{cost}); have {a_best:?}"
+        );
+    }
+}
+
+#[test]
+fn table_1_prov_entries_for_the_example() {
+    let system = reference_system();
+    let engine = system.engine();
+
+    // pathCost(@a,c,5) is derivable in two alternative ways (rows 2-3 of
+    // Table 1): via sp1 at a and via sp2 at b.
+    let pc_a_c_5 = tuple("pathCost", A, C, 5);
+    let entries = prov_entries(engine, A, pc_a_c_5.vid());
+    assert_eq!(entries.len(), 2, "pathCost(@a,c,5) must have two derivations");
+    let mut rlocs: Vec<u32> = entries.iter().map(|e| e.rloc).collect();
+    rlocs.sort();
+    assert_eq!(rlocs, vec![A, B]);
+    assert!(entries.iter().all(|e| !e.is_base()));
+
+    // Base tuples carry the null RID (rows 1, 5, 6 of Table 1).
+    let link_a_c = tuple("link", A, C, 5);
+    let base = prov_entries(engine, A, link_a_c.vid());
+    assert_eq!(base.len(), 1);
+    assert!(base[0].is_base());
+    assert_eq!(base[0].rloc, A);
+
+    // bestPathCost(@a,c,5) has exactly one derivation, local to a (row 4).
+    let bpc = tuple("bestPathCost", A, C, 5);
+    let bpc_entries = prov_entries(engine, A, bpc.vid());
+    assert_eq!(bpc_entries.len(), 1);
+    assert_eq!(bpc_entries[0].rloc, A);
+
+    // The prov table is partitioned by location: node a never stores entries
+    // for tuples located at b.
+    for entry in all_prov_entries(engine) {
+        let at_loc = prov_entries(engine, entry.loc, entry.vid);
+        assert!(at_loc.contains(&entry));
+    }
+}
+
+#[test]
+fn table_2_rule_exec_entries_match_figure_5() {
+    let system = reference_system();
+    let engine = system.engine();
+
+    // The sp2 execution at b (RID3 in Figure 5) has inputs link(@b,a,3) and
+    // bestPathCost(@b,c,2), in body order.
+    let link_b_a = tuple("link", B, A, 3);
+    let bpc_b_c = tuple("bestPathCost", B, C, 2);
+    let expected_rid = rule_exec_id("sp2", B, &[link_b_a.vid(), bpc_b_c.vid()]);
+    let exec = rule_exec_entry(engine, B, expected_rid)
+        .expect("ruleExec entry for sp2@b must exist (Table 2, row 4)");
+    assert_eq!(exec.rule, "sp2");
+    assert_eq!(exec.rloc, B);
+    assert_eq!(exec.vids, vec![link_b_a.vid(), bpc_b_c.vid()]);
+
+    // The derivation it produced is pathCost(@a,c,5): its prov entry points
+    // back to this RID at b.
+    let pc = tuple("pathCost", A, C, 5);
+    let via_b = prov_entries(engine, A, pc.vid())
+        .into_iter()
+        .find(|e| e.rloc == B)
+        .expect("remote derivation entry");
+    assert_eq!(via_b.rid, Some(expected_rid));
+
+    // The sp3 execution at a (RID5) takes pathCost(@a,c,5) as its only input.
+    let bpc_a_c = tuple("bestPathCost", A, C, 5);
+    let sp3_entry = prov_entries(engine, A, bpc_a_c.vid())
+        .into_iter()
+        .next()
+        .expect("prov entry for bestPathCost(@a,c,5)");
+    let sp3_exec = rule_exec_entry(engine, A, sp3_entry.rid.unwrap())
+        .expect("ruleExec for sp3@a must exist (Table 2, row 2)");
+    assert_eq!(sp3_exec.rule, "sp3");
+    assert_eq!(sp3_exec.vids, vec![pc.vid()]);
+}
+
+#[test]
+fn figure_4_provenance_polynomial_of_best_path_cost() {
+    let mut system = reference_system();
+    let target = tuple("bestPathCost", A, C, 5);
+    let (_qe, outcome) = system.query_provenance(
+        3,
+        &target,
+        Box::new(PolynomialRepr),
+        TraversalOrder::Bfs,
+    );
+    let expr = outcome.annotation.expect("query completes");
+    let expr = expr.as_expr().unwrap();
+    // Two alternative derivations (the two paths of Figure 4).
+    assert_eq!(expr.num_derivations(), 2);
+    // The base tuples involved are exactly link(@a,c,5), link(@b,a,3) and
+    // link(@b,c,2).
+    let bases = expr.base_tuples();
+    let expected: std::collections::BTreeSet<_> = [
+        tuple("link", A, C, 5).vid(),
+        tuple("link", B, A, 3).vid(),
+        tuple("link", B, C, 2).vid(),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(bases, expected);
+    // The printed polynomial mentions both rule executions.
+    let printed = expr.to_string();
+    assert!(printed.contains("sp1@n0") || printed.contains("sp2@n1"));
+}
+
+#[test]
+fn node_level_provenance_is_a_b() {
+    // §3: the node-level provenance of bestPathCost(@a,c,5) is {a, b}.
+    let mut system = reference_system();
+    let target = tuple("bestPathCost", A, C, 5);
+    let (_qe, outcome) =
+        system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let nodes = outcome.annotation.expect("query completes");
+    assert_eq!(
+        nodes.as_nodes().unwrap().iter().copied().collect::<Vec<_>>(),
+        vec![A, B]
+    );
+}
+
+#[test]
+fn provenance_graph_is_acyclic() {
+    // §4.1 models provenance as an acyclic graph; walk every edge
+    // (prov -> ruleExec -> child prov) and check no VID is its own ancestor.
+    let system = reference_system();
+    let engine = system.engine();
+    let entries = all_prov_entries(engine);
+    for entry in &entries {
+        let mut stack = vec![entry.vid];
+        let mut visited = std::collections::HashSet::new();
+        let mut depth = 0usize;
+        while let Some(vid) = stack.pop() {
+            depth += 1;
+            assert!(depth < 10_000, "provenance traversal did not terminate");
+            for e in prov_entries(engine, entry.loc, vid)
+                .into_iter()
+                .chain(entries.iter().filter(|e| e.vid == vid).cloned())
+            {
+                if let Some(rid) = e.rid {
+                    if let Some(exec) = rule_exec_entry(engine, e.rloc, rid) {
+                        for child in exec.vids {
+                            assert_ne!(child, entry.vid, "cycle through {:?}", entry.vid);
+                            if visited.insert(child) {
+                                stack.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reference_mode_overhead_is_small_on_the_example() {
+    // The reference-based run exchanges more bytes than the bare protocol but
+    // far fewer than value-based provenance — the core claim of the paper.
+    let programs = programs::mincost();
+    let run = |mode| {
+        let mut s = ProvenanceSystem::with_mode(&programs, Topology::paper_example(), mode);
+        s.seed_links();
+        s.run_to_fixpoint();
+        s.total_bytes()
+    };
+    let none = run(ProvenanceMode::None);
+    let reference = run(ProvenanceMode::Reference);
+    let value = run(ProvenanceMode::ValueBdd);
+    assert!(none > 0);
+    assert!(reference > none, "reference-based must add some overhead");
+    assert!(value > reference, "value-based must cost more than reference-based");
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over randomly generated small networks: the
+//! provenance maintained by ExSPAN must explain exactly the state the
+//! protocol computes, regardless of topology.
+
+use exspan::core::storage::{all_prov_entries, prov_entries};
+use exspan::core::{
+    DerivationCountRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem, TraversalOrder,
+};
+use exspan::ndlog::programs;
+use exspan::netsim::{LinkClass, LinkProps, Topology};
+use exspan::types::{Tuple, Value};
+use proptest::prelude::*;
+
+/// A random connected topology of 4–7 nodes with random small link costs.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (4usize..=7, any::<u64>(), proptest::collection::vec(1i64..=4, 0..8)).prop_map(
+        |(n, seed, extra_costs)| {
+            let mut t = Topology::empty(n);
+            let props = |cost| LinkProps {
+                cost,
+                ..LinkProps::from_class(LinkClass::Custom)
+            };
+            // A ring guarantees connectivity; costs derived from the seed.
+            for i in 0..n {
+                let a = i as u32;
+                let b = ((i + 1) % n) as u32;
+                let cost = 1 + ((seed >> (i % 32)) & 0x3) as i64;
+                t.add_link(a, b, props(cost));
+            }
+            // A few extra random chords.
+            for (i, cost) in extra_costs.into_iter().enumerate() {
+                let a = (seed.wrapping_add(i as u64 * 7) % n as u64) as u32;
+                let b = (seed.wrapping_add(i as u64 * 13 + 3) % n as u64) as u32;
+                if a != b && !t.has_link(a, b) {
+                    t.add_link(a, b, props(cost));
+                }
+            }
+            t
+        },
+    )
+}
+
+fn run(topology: Topology, mode: ProvenanceMode) -> ProvenanceSystem {
+    let mut s = ProvenanceSystem::with_mode(&programs::mincost(), topology, mode);
+    s.seed_links();
+    s.run_to_fixpoint();
+    s
+}
+
+/// Dijkstra over the link costs, as an independent oracle for MINCOST.
+fn oracle_best_costs(topology: &Topology) -> std::collections::BTreeMap<(u32, u32), i64> {
+    let n = topology.num_nodes();
+    let mut out = std::collections::BTreeMap::new();
+    for src in 0..n as u32 {
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        dist[src as usize] = Some(0);
+        let mut visited = vec![false; n];
+        loop {
+            let mut best: Option<(usize, i64)> = None;
+            for (i, d) in dist.iter().enumerate() {
+                if let Some(d) = d {
+                    if !visited[i] && best.map(|(_, bd)| *d < bd).unwrap_or(true) {
+                        best = Some((i, *d));
+                    }
+                }
+            }
+            let Some((u, du)) = best else { break };
+            visited[u] = true;
+            for v in topology.neighbors(u as u32) {
+                let w = topology.link(u as u32, v).unwrap().cost;
+                let nd = du + w;
+                if dist[v as usize].map(|d| nd < d).unwrap_or(true) {
+                    dist[v as usize] = Some(nd);
+                }
+            }
+        }
+        for (dst, d) in dist.iter().enumerate() {
+            if let Some(d) = d {
+                if dst as u32 != src {
+                    out.insert((src, dst as u32), *d);
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MINCOST with reference-based provenance computes exactly the shortest
+    /// path costs (validated against Dijkstra).
+    #[test]
+    fn mincost_matches_dijkstra(topology in arb_topology()) {
+        let system = run(topology.clone(), ProvenanceMode::Reference);
+        let oracle = oracle_best_costs(&topology);
+        for ((src, dst), cost) in &oracle {
+            let tuples = system.engine().tuples(*src, "bestPathCost");
+            let found = tuples.iter().find(|t| t.values[0] == Value::Node(*dst));
+            prop_assert!(found.is_some(), "missing bestPathCost(@{src},{dst})");
+            prop_assert_eq!(found.unwrap().values[1].as_int().unwrap(), *cost);
+        }
+        // No spurious routes either.
+        for n in 0..topology.num_nodes() as u32 {
+            for t in system.engine().tuples(n, "bestPathCost") {
+                let dst = t.values[0].as_node().unwrap();
+                if dst != n {
+                    prop_assert!(oracle.contains_key(&(n, dst)));
+                }
+            }
+        }
+    }
+
+    /// Every derived tuple has at least one provenance derivation, every base
+    /// link has a null-RID entry, and provenance queries terminate with a
+    /// positive derivation count that matches the polynomial.
+    #[test]
+    fn provenance_graph_is_complete_and_queryable(topology in arb_topology()) {
+        let mut system = run(topology, ProvenanceMode::Reference);
+        let engine = system.engine();
+        // Base links have base prov entries.
+        for link in engine.tuples_everywhere("link") {
+            let entries = prov_entries(engine, link.location, link.vid());
+            prop_assert!(entries.iter().any(|e| e.is_base()), "no base entry for {link}");
+        }
+        // Derived bestPathCost tuples have non-base prov entries.
+        let targets: Vec<Tuple> = engine.tuples_everywhere("bestPathCost");
+        for t in &targets {
+            let entries = prov_entries(engine, t.location, t.vid());
+            prop_assert!(!entries.is_empty(), "no prov entry for {t}");
+            prop_assert!(entries.iter().all(|e| !e.is_base()));
+        }
+        prop_assert!(!all_prov_entries(engine).is_empty());
+
+        // Query a sample of tuples: counts and polynomials agree.
+        for t in targets.iter().take(3) {
+            let (_q, poly) = system.query_provenance(
+                t.location,
+                t,
+                Box::new(PolynomialRepr),
+                TraversalOrder::Bfs,
+            );
+            let (_q, count) = system.query_provenance(
+                t.location,
+                t,
+                Box::new(DerivationCountRepr),
+                TraversalOrder::Bfs,
+            );
+            let poly = poly.annotation.unwrap();
+            let count = count.annotation.unwrap().as_count().unwrap();
+            prop_assert!(count >= 1);
+            prop_assert_eq!(poly.as_expr().unwrap().num_derivations(), count);
+        }
+    }
+
+    /// Incremental deletion of a random link converges to the same routing
+    /// state as recomputing from scratch on the reduced topology.
+    #[test]
+    fn incremental_deletion_equals_recomputation(topology in arb_topology(), pick in any::<u64>()) {
+        let links: Vec<(u32, u32)> = topology.links().map(|(a, b, _)| (a, b)).collect();
+        let victim = links[(pick % links.len() as u64) as usize];
+
+        let mut incremental = run(topology.clone(), ProvenanceMode::Reference);
+        incremental.remove_link(victim.0, victim.1);
+        incremental.run_to_fixpoint();
+
+        let mut reduced = topology;
+        reduced.remove_link(victim.0, victim.1);
+        let scratch = run(reduced, ProvenanceMode::Reference);
+
+        prop_assert_eq!(
+            incremental.engine().tuples_everywhere("bestPathCost"),
+            scratch.engine().tuples_everywhere("bestPathCost")
+        );
+    }
+
+    /// The three provenance modes never change the protocol's results, only
+    /// its overhead: value-based costs at least as much as reference-based,
+    /// which costs at least as much as no provenance.
+    #[test]
+    fn modes_agree_on_state_and_order_by_cost(topology in arb_topology()) {
+        let none = run(topology.clone(), ProvenanceMode::None);
+        let reference = run(topology.clone(), ProvenanceMode::Reference);
+        let value = run(topology, ProvenanceMode::ValueBdd);
+        let state = |s: &ProvenanceSystem| s.engine().tuples_everywhere("bestPathCost");
+        prop_assert_eq!(state(&none), state(&reference));
+        prop_assert_eq!(state(&none), state(&value));
+        prop_assert!(reference.total_bytes() >= none.total_bytes());
+        prop_assert!(value.total_bytes() >= reference.total_bytes());
+    }
+}
