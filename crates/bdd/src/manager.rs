@@ -349,12 +349,7 @@ impl BddManager {
 
     /// Counts satisfying assignments over the given number of variables.
     pub fn sat_count(&self, b: Bdd, num_vars: u32) -> u64 {
-        fn go(
-            m: &BddManager,
-            b: Bdd,
-            num_vars: u32,
-            memo: &mut HashMap<Bdd, u64>,
-        ) -> (u64, u32) {
+        fn go(m: &BddManager, b: Bdd, num_vars: u32, memo: &mut HashMap<Bdd, u64>) -> (u64, u32) {
             // Returns (count below this node assuming node's var is the next
             // unassigned one, var index of this node or num_vars for terminals).
             if b == Bdd::FALSE {

@@ -54,5 +54,10 @@ fn bench_parser_and_rewrite(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vertex_ids, bench_bdd, bench_parser_and_rewrite);
+criterion_group!(
+    benches,
+    bench_vertex_ids,
+    bench_bdd,
+    bench_parser_and_rewrite
+);
 criterion_main!(benches);

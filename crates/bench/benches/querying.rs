@@ -43,10 +43,13 @@ fn run_queries(
     qe.stats().bytes
 }
 
+/// A named constructor for one representation under test.
+type ReprCase = (&'static str, fn() -> Box<dyn ProvenanceRepr>);
+
 fn bench_representations(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_representation");
     group.sample_size(10);
-    let cases: Vec<(&str, fn() -> Box<dyn ProvenanceRepr>)> = vec![
+    let cases: Vec<ReprCase> = vec![
         ("polynomial", || Box::new(PolynomialRepr)),
         ("bdd", || Box::new(BddRepr::new())),
         ("nodeset", || Box::new(NodeSetRepr)),
@@ -121,5 +124,10 @@ fn bench_caching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_representations, bench_traversal_orders, bench_caching);
+criterion_group!(
+    benches,
+    bench_representations,
+    bench_traversal_orders,
+    bench_caching
+);
 criterion_main!(benches);

@@ -70,10 +70,16 @@ fn main() {
         match run_figure(id, &scale) {
             Some(report) => {
                 println!("{}", report.to_text());
-                println!("   (regenerated in {:.1}s)\n", start.elapsed().as_secs_f64());
+                println!(
+                    "   (regenerated in {:.1}s)\n",
+                    start.elapsed().as_secs_f64()
+                );
                 reports.push(report);
             }
-            None => eprintln!("unknown figure id '{id}', known ids: {:?}", all_figure_ids()),
+            None => eprintln!(
+                "unknown figure id '{id}', known ids: {:?}",
+                all_figure_ids()
+            ),
         }
     }
 

@@ -2,8 +2,8 @@
 
 use crate::report::{FigureReport, Series};
 use exspan_core::{
-    BddRepr, DerivationCountRepr, PolynomialRepr, ProvenanceMode, ProvenanceRepr,
-    ProvenanceSystem, QueryEngine, SystemConfig, TraversalOrder,
+    BddRepr, DerivationCountRepr, PolynomialRepr, ProvenanceMode, ProvenanceRepr, ProvenanceSystem,
+    QueryEngine, SystemConfig, TraversalOrder,
 };
 use exspan_ndlog::ast::Program;
 use exspan_ndlog::programs;
@@ -205,6 +205,33 @@ pub fn figure8(scale: &Scale) -> FigureReport {
     }
 }
 
+/// Drives a churn schedule against a converged system, slice by slice.
+///
+/// Each event's deltas are scheduled at `start + event.time`, so its
+/// maintenance traffic lands at the schedule's position in the bandwidth
+/// time-series; the engine clock only advances while events are processed,
+/// so applying the deltas "now" would pile every batch onto the
+/// initial-fixpoint buckets.  `start` is the engine time the churn window
+/// begins at (normally `system.engine().now()` right after fixpoint).
+pub fn drive_churn(
+    system: &mut ProvenanceSystem,
+    churn: &ChurnModel,
+    schedule: &[exspan_netsim::ChurnEvent],
+    start: f64,
+    duration: f64,
+) {
+    let mut idx = 0usize;
+    let mut t = churn.interval;
+    while t < duration + churn.interval {
+        while idx < schedule.len() && schedule[idx].time <= t {
+            system.schedule_churn_event(&schedule[idx], start + schedule[idx].time);
+            idx += 1;
+        }
+        system.run_until(start + t + churn.interval * 0.99);
+        t += churn.interval;
+    }
+}
+
 fn churn_experiment(program: &Program, scale: &Scale, id: &str, title: &str) -> FigureReport {
     let mut series = Vec::new();
     for mode in evaluation_modes() {
@@ -218,18 +245,7 @@ fn churn_experiment(program: &Program, scale: &Scale, id: &str, title: &str) -> 
         let mut system = run_protocol(program, topology, mode);
         let start = system.engine().now();
 
-        // Apply churn in interval slices, keeping simulated time aligned with
-        // the schedule.
-        let mut idx = 0usize;
-        let mut t = churn.interval;
-        while t < scale.churn_duration + churn.interval {
-            while idx < schedule.len() && schedule[idx].time <= t {
-                system.apply_churn_event(&schedule[idx]);
-                idx += 1;
-            }
-            system.run_until(start + t + churn.interval * 0.99);
-            t += churn.interval;
-        }
+        drive_churn(&mut system, &churn, &schedule, start, scale.churn_duration);
 
         let points = rebase_bandwidth(system.avg_bandwidth_mbps(), start, scale.churn_duration);
         series.push(Series::new(system.mode().label(), points));

@@ -1,0 +1,48 @@
+//! Regression test for the churn experiments (Figures 9 and 10): churn
+//! maintenance traffic must appear *inside* the measurement window.
+//!
+//! The engine clock only advances while events are processed, so applying
+//! churn events "now" right after the initial fixpoint piled all their
+//! traffic into the pre-window buckets and produced empty figure series
+//! (fig9 regenerated with zero points). Scheduling each event's deltas at
+//! `start + event.time` keeps the time-series aligned with the schedule.
+
+use exspan_bench::{drive_churn, run_protocol};
+use exspan_core::ProvenanceMode;
+use exspan_ndlog::programs;
+use exspan_netsim::{ChurnModel, Topology};
+
+#[test]
+fn churn_traffic_lands_in_measurement_window() {
+    let seed = 42u64;
+    let churn_duration = 1.5f64;
+    let topology = Topology::transit_stub(1, seed);
+    let churn = ChurnModel {
+        interval: 0.5,
+        changes_per_batch: 6,
+        seed: seed ^ 0xC0FFEE,
+    };
+    let schedule = churn.schedule(&topology, churn_duration);
+    assert!(!schedule.is_empty(), "churn model produced no events");
+
+    let mut system = run_protocol(&programs::mincost(), topology, ProvenanceMode::Reference);
+    let start = system.engine().now();
+
+    // The same driver churn_experiment (fig9/fig10) uses.
+    drive_churn(&mut system, &churn, &schedule, start, churn_duration);
+
+    let in_window: Vec<(f64, f64)> = system
+        .avg_bandwidth_mbps()
+        .into_iter()
+        .filter(|&(time, _)| time >= start && time <= start + churn_duration)
+        .collect();
+    assert!(
+        !in_window.is_empty(),
+        "no bandwidth samples inside the churn window [{start}, {}]",
+        start + churn_duration
+    );
+    assert!(
+        in_window.iter().any(|&(_, mbps)| mbps > 0.0),
+        "churn produced no maintenance traffic inside the window: {in_window:?}"
+    );
+}

@@ -263,7 +263,8 @@ impl QueryEngine {
             completed_at: None,
             annotation: None,
         });
-        self.scheduled.insert(index as i64, (issuer, target.clone()));
+        self.scheduled
+            .insert(index as i64, (issuer, target.clone()));
         let issue = Tuple::new("eQueryIssue", issuer, vec![Value::Int(index as i64)]);
         engine.schedule_delta(time, issuer, issue, true);
         index
@@ -277,7 +278,9 @@ impl QueryEngine {
             match engine.step() {
                 Step::Idle => break,
                 Step::Handled => {}
-                Step::External { node, tuple, time, .. } => {
+                Step::External {
+                    node, tuple, time, ..
+                } => {
                     self.handle_external(engine, node, &tuple, time);
                 }
             }
@@ -294,7 +297,13 @@ impl QueryEngine {
                 };
                 if let Some((issuer, target)) = self.scheduled.remove(&index) {
                     self.outcomes[index as usize].issued_at = time;
-                    self.send_prov_query(engine, issuer, target.location, target.vid(), index as usize);
+                    self.send_prov_query(
+                        engine,
+                        issuer,
+                        target.location,
+                        target.vid(),
+                        index as usize,
+                    );
                 }
             }
             "eProvQuery" => {
@@ -326,10 +335,9 @@ impl QueryEngine {
                 self.start_rule_query(engine, node, rqid, rid, parent_qid, origin, time);
             }
             "eProvResults" => {
-                let (Ok(qid), Ok(_vid)) = (
-                    tuple.values[0].as_digest(),
-                    tuple.values[1].as_digest(),
-                ) else {
+                let (Ok(qid), Ok(_vid)) =
+                    (tuple.values[0].as_digest(), tuple.values[1].as_digest())
+                else {
                     return;
                 };
                 let index = tuple.values[2].as_int().unwrap_or(-1);
@@ -555,9 +563,18 @@ impl QueryEngine {
             self.cache
                 .insert((pending.node, CacheKey::Tuple(pending.vid)), ann.clone());
         }
-        self.reply_tuple(engine, pending.node, qid, pending.vid, ann, pending.reply, time);
+        self.reply_tuple(
+            engine,
+            pending.node,
+            qid,
+            pending.vid,
+            ann,
+            pending.reply,
+            time,
+        );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn reply_tuple(
         &mut self,
         engine: &mut Engine,
@@ -695,7 +712,14 @@ impl QueryEngine {
                 let rloc = pending.rloc;
                 pending.outstanding = 1;
                 let sub_qid = self.fresh_id("cq");
-                self.start_tuple_query(engine, rloc, sub_qid, child_vid, ReplyTo::Rule { rqid }, time);
+                self.start_tuple_query(
+                    engine,
+                    rloc,
+                    sub_qid,
+                    child_vid,
+                    ReplyTo::Rule { rqid },
+                    time,
+                );
                 return;
             }
         }
@@ -795,7 +819,10 @@ impl QueryEngine {
             let direct: Vec<(NodeId, CacheKey)> = self
                 .cache
                 .keys()
-                .filter(|(_, k)| matches!(k, CacheKey::Tuple(v) if *v == d) || matches!(k, CacheKey::Rule(r) if *r == d))
+                .filter(|(_, k)| {
+                    matches!(k, CacheKey::Tuple(v) if *v == d)
+                        || matches!(k, CacheKey::Rule(r) if *r == d)
+                })
                 .cloned()
                 .collect();
             for key in direct {

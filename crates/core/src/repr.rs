@@ -68,9 +68,7 @@ impl ProvExpr {
                 out.insert(*v);
             }
             ProvExpr::Sum { terms, .. } => terms.iter().for_each(|t| t.collect_bases(out)),
-            ProvExpr::Product { factors, .. } => {
-                factors.iter().for_each(|f| f.collect_bases(out))
-            }
+            ProvExpr::Product { factors, .. } => factors.iter().for_each(|f| f.collect_bases(out)),
         }
     }
 
@@ -90,9 +88,7 @@ impl ProvExpr {
     pub fn wire_size(&self) -> usize {
         match self {
             ProvExpr::Base(_) => 20,
-            ProvExpr::Sum { terms, .. } => {
-                6 + terms.iter().map(ProvExpr::wire_size).sum::<usize>()
-            }
+            ProvExpr::Sum { terms, .. } => 6 + terms.iter().map(ProvExpr::wire_size).sum::<usize>(),
             ProvExpr::Product { factors, rule, .. } => {
                 6 + rule.len() + factors.iter().map(ProvExpr::wire_size).sum::<usize>()
             }
@@ -419,12 +415,7 @@ impl ProvenanceRepr for DerivationCountRepr {
     }
 
     fn p_rule(&mut self, _rule: &str, _rloc: NodeId, children: &[Annotation]) -> Annotation {
-        Annotation::Count(
-            children
-                .iter()
-                .map(|a| a.as_count().unwrap_or(0))
-                .product(),
-        )
+        Annotation::Count(children.iter().map(|a| a.as_count().unwrap_or(0)).product())
     }
 
     fn p_idb(&mut self, _loc: NodeId, derivations: &[Annotation]) -> Annotation {
@@ -690,7 +681,10 @@ mod tests {
         };
         let (ann, _) = build_example(&mut repr);
         assert_eq!(ann.as_bool(), Some(true));
-        assert!(repr.exceeds_threshold(&ann, 0), "derivability can stop early");
+        assert!(
+            repr.exceeds_threshold(&ann, 0),
+            "derivability can stop early"
+        );
     }
 
     #[test]
@@ -762,7 +756,7 @@ mod tests {
         let mut repr = PolynomialRepr;
         let e = repr.p_edb(vid("a", 0), 0);
         let r = repr.p_rule("sp1", 0, &[e]);
-        let idb = repr.p_idb(0, &[r.clone()]);
+        let idb = repr.p_idb(0, std::slice::from_ref(&r));
         assert_eq!(idb, r);
     }
 

@@ -25,9 +25,7 @@
 //! extra `(RID, RLoc)` pair — 24 bytes — on each inter-node derivation, which
 //! is precisely the reference-based provenance overhead evaluated in §7.
 
-use exspan_ndlog::ast::{
-    Atom, BodyItem, Expr, HeadArg, Program, Rule, RuleHead, TableDecl, Term,
-};
+use exspan_ndlog::ast::{Atom, BodyItem, Expr, HeadArg, Program, Rule, RuleHead, TableDecl, Term};
 use exspan_types::{NodeId, Value};
 use std::collections::BTreeMap;
 
@@ -272,8 +270,7 @@ fn shared_rules(relation: &str, num_args: usize) -> Vec<Rule> {
     ));
 
     // e<H>Prov(@H1, A…, RID, RLoc) :- e<H>Temp(...).
-    let mut send_head_args: Vec<HeadArg> =
-        arg_vars.iter().cloned().map(HeadArg::Term).collect();
+    let mut send_head_args: Vec<HeadArg> = arg_vars.iter().cloned().map(HeadArg::Term).collect();
     send_head_args.push(HeadArg::Term(Term::var("ProvRid")));
     send_head_args.push(HeadArg::Term(Term::var("ProvRLoc")));
     rules.push(Rule::new(
@@ -358,7 +355,10 @@ mod tests {
         assert!(p.rule("sp1_prov").is_some());
         assert!(p.rule("sp2_prov").is_some());
         assert!(p.rule("sp3").is_some());
-        assert!(p.rule("sp1").is_none(), "original non-aggregate rules are subsumed");
+        assert!(
+            p.rule("sp1").is_none(),
+            "original non-aggregate rules are subsumed"
+        );
         // Shared rules exist once for pathCost.
         assert!(p.rule("prov_pathCost_exec").is_some());
         assert!(p.rule("prov_pathCost_send").is_some());

@@ -200,7 +200,11 @@ mod tests {
     fn malformed_tuples_are_rejected() {
         let bad = Tuple::new("prov", 0, vec![Value::Int(1)]);
         assert!(ProvEntry::from_tuple(&bad).is_none());
-        let wrong_rel = Tuple::new("other", 0, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let wrong_rel = Tuple::new(
+            "other",
+            0,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
         assert!(ProvEntry::from_tuple(&wrong_rel).is_none());
         let bad_exec = Tuple::new("ruleExec", 0, vec![Value::Int(1)]);
         assert!(RuleExecEntry::from_tuple(&bad_exec).is_none());

@@ -174,8 +174,10 @@ impl ProvenanceSystem {
     /// directions) at the current simulated time.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) {
         self.engine.topology_mut().add_link(a, b, props);
-        self.engine.insert_base(a, Self::link_tuple(a, b, props.cost));
-        self.engine.insert_base(b, Self::link_tuple(b, a, props.cost));
+        self.engine
+            .insert_base(a, Self::link_tuple(a, b, props.cost));
+        self.engine
+            .insert_base(b, Self::link_tuple(b, a, props.cost));
     }
 
     /// Removes a link from the topology and deletes its base tuples.
@@ -193,10 +195,46 @@ impl ProvenanceSystem {
 
     /// Applies one churn event (link addition or deletion) now.
     pub fn apply_churn_event(&mut self, event: &ChurnEvent) {
+        let now = self.engine.now();
+        self.schedule_churn_event(event, now);
+    }
+
+    /// Schedules one churn event's base-tuple deltas at absolute simulated
+    /// time `at`, so that maintenance traffic shows up at the schedule's
+    /// time in the bandwidth time-series (Figures 9 and 10).  The topology
+    /// change itself takes effect immediately — the simulator routes by
+    /// current topology — which is at most one churn interval early.  For
+    /// immediate application use [`Self::apply_churn_event`].
+    pub fn schedule_churn_event(&mut self, event: &ChurnEvent, at: f64) {
         if event.add {
-            self.add_link(event.a, event.b, event.props);
+            self.engine
+                .topology_mut()
+                .add_link(event.a, event.b, event.props);
+            let cost = event.props.cost;
+            self.engine
+                .schedule_delta(at, event.a, Self::link_tuple(event.a, event.b, cost), true);
+            self.engine
+                .schedule_delta(at, event.b, Self::link_tuple(event.b, event.a, cost), true);
         } else {
-            self.remove_link(event.a, event.b);
+            let cost = self
+                .engine
+                .topology()
+                .link(event.a, event.b)
+                .map(|p| p.cost)
+                .unwrap_or(event.props.cost);
+            self.engine.topology_mut().remove_link(event.a, event.b);
+            self.engine.schedule_delta(
+                at,
+                event.a,
+                Self::link_tuple(event.a, event.b, cost),
+                false,
+            );
+            self.engine.schedule_delta(
+                at,
+                event.b,
+                Self::link_tuple(event.b, event.a, cost),
+                false,
+            );
         }
     }
 

@@ -167,7 +167,7 @@ mod tests {
         p.on_base(0, &l1, true);
         p.on_base(1, &l2, true);
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
         assert!(!p.derivable_under(&pc, |v| v == l2.vid()));
         assert_eq!(p.tracked_tuples(), 3);
@@ -184,7 +184,7 @@ mod tests {
         p.on_base(1, &l2, true);
         p.on_base(1, &bpc, true); // treat as base for the test
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
         p.on_derivation(1, "sp2", &[l2.clone(), bpc.clone()], &pc, true);
         // Either derivation suffices.
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
@@ -198,7 +198,7 @@ mod tests {
         let l1 = link(0, 2, 5);
         let pc = path_cost(0, 2, 5);
         // on_base was never called for l1.
-        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
     }
 
@@ -208,7 +208,7 @@ mod tests {
         let l1 = link(0, 2, 5);
         p.on_base(0, &l1, true);
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", &[l1.clone()], &pc, true);
+        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
         let b1 = p.annotation_bytes(0, 2, &pc);
         assert!(b1 > 0);
         assert_eq!(p.total_annotation_bytes(), b1 as u64);

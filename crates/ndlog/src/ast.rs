@@ -539,10 +539,7 @@ mod tests {
             RuleHead::new(
                 "pathCost",
                 Term::var("S"),
-                vec![
-                    HeadArg::Term(Term::var("D")),
-                    HeadArg::Term(Term::var("C")),
-                ],
+                vec![HeadArg::Term(Term::var("D")), HeadArg::Term(Term::var("C"))],
             ),
             vec![
                 BodyItem::Atom(Atom::new(
@@ -669,11 +666,7 @@ mod tests {
         // Trivial Expr::Term head args become plain terms.
         let rule2 = Rule::new(
             "x",
-            RuleHead::new(
-                "out",
-                Term::var("S"),
-                vec![HeadArg::Expr(Expr::var("D"))],
-            ),
+            RuleHead::new("out", Term::var("S"), vec![HeadArg::Expr(Expr::var("D"))]),
             vec![BodyItem::Atom(Atom::new(
                 "in",
                 Term::var("S"),

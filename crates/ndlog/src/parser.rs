@@ -186,12 +186,10 @@ impl<'a> Parser<'a> {
         if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
             return self.err("expected number");
         }
-        self.src[start..self.pos]
-            .parse()
-            .map_err(|e| ParseError {
-                offset: start,
-                message: format!("invalid number: {e}"),
-            })
+        self.src[start..self.pos].parse().map_err(|e| ParseError {
+            offset: start,
+            message: format!("invalid number: {e}"),
+        })
     }
 
     fn string_literal(&mut self) -> Result<String, ParseError> {
@@ -209,7 +207,10 @@ impl<'a> Parser<'a> {
     }
 
     fn is_variable(name: &str) -> bool {
-        name.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+        name.chars()
+            .next()
+            .map(|c| c.is_ascii_uppercase())
+            .unwrap_or(false)
     }
 
     fn table_decl(&mut self) -> Result<TableDecl, ParseError> {
@@ -358,7 +359,9 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some(b'"') => Ok(Term::Const(Value::Str(self.string_literal()?))),
-            Some(c) if c.is_ascii_digit() || c == b'-' => Ok(Term::Const(Value::Int(self.number()?))),
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                Ok(Term::Const(Value::Int(self.number()?)))
+            }
             _ => {
                 let ident = self.identifier()?;
                 if Self::is_variable(&ident) {
@@ -424,7 +427,9 @@ impl<'a> Parser<'a> {
         }
         match self.peek() {
             Some(b'"') => Ok(Expr::Term(Term::Const(Value::Str(self.string_literal()?)))),
-            Some(c) if c.is_ascii_digit() => Ok(Expr::Term(Term::Const(Value::Int(self.number()?)))),
+            Some(c) if c.is_ascii_digit() => {
+                Ok(Expr::Term(Term::Const(Value::Int(self.number()?))))
+            }
             _ => {
                 let save = self.pos;
                 let ident = self.identifier()?;

@@ -127,7 +127,9 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     // Range restriction: every head variable must be bound by the body.
     if let Term::Var(v) = &rule.head.location {
         if !bound.contains(v) {
-            err(format!("head location variable {v} is not bound by the body"));
+            err(format!(
+                "head location variable {v} is not bound by the body"
+            ));
         }
     }
     for arg in &rule.head.args {
@@ -190,11 +192,7 @@ mod tests {
 
     #[test]
     fn rejects_unlocalized_rule() {
-        let p = parse_program(
-            "bad",
-            "r1 out(@X,Y) :- a(@X,Y), b(@Y,X).",
-        )
-        .unwrap();
+        let p = parse_program("bad", "r1 out(@X,Y) :- a(@X,Y), b(@Y,X).").unwrap();
         let errs = validate_program(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("not localized")));
     }
@@ -217,11 +215,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_labels_and_bodyless_rules() {
-        let p = parse_program(
-            "bad",
-            "r1 out(@X,Y) :- a(@X,Y). r1 out2(@X,Y) :- a(@X,Y).",
-        )
-        .unwrap();
+        let p = parse_program("bad", "r1 out(@X,Y) :- a(@X,Y). r1 out2(@X,Y) :- a(@X,Y).").unwrap();
         let errs = validate_program(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("duplicate")));
     }
@@ -230,7 +224,9 @@ mod tests {
     fn rejects_unbound_constraint_and_assignment_vars() {
         let p = parse_program("bad", "r1 out(@X,Y) :- a(@X,Y), Z!=3.").unwrap();
         let errs = validate_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("unbound variable Z")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("unbound variable Z")));
 
         let p = parse_program("bad", "r1 out(@X,V) :- a(@X,Y), V=W+1.").unwrap();
         let errs = validate_program(&p).unwrap_err();
@@ -246,7 +242,8 @@ mod tests {
             .any(|e| e.message.contains("aggregate rules must derive")));
 
         let mut p2 = parse_program("bad2", "r1 out(@X,C) :- a(@X,C).").unwrap();
-        p2.tables.push(crate::ast::TableDecl::with_keys("out", 2, vec![5]));
+        p2.tables
+            .push(crate::ast::TableDecl::with_keys("out", 2, vec![5]));
         let errs = validate_program(&p2).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("key position 5")));
     }

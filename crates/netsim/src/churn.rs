@@ -145,9 +145,18 @@ mod tests {
     #[test]
     fn schedule_is_deterministic_per_seed() {
         let topo = Topology::transit_stub(1, 3);
-        let m1 = ChurnModel { seed: 5, ..Default::default() };
-        let m2 = ChurnModel { seed: 5, ..Default::default() };
-        let m3 = ChurnModel { seed: 6, ..Default::default() };
+        let m1 = ChurnModel {
+            seed: 5,
+            ..Default::default()
+        };
+        let m2 = ChurnModel {
+            seed: 5,
+            ..Default::default()
+        };
+        let m3 = ChurnModel {
+            seed: 6,
+            ..Default::default()
+        };
         assert_eq!(m1.schedule(&topo, 3.0), m2.schedule(&topo, 3.0));
         assert_ne!(m1.schedule(&topo, 3.0), m3.schedule(&topo, 3.0));
     }

@@ -267,7 +267,10 @@ mod tests {
         assert_eq!(msg.from, 0);
         assert_eq!(msg.to, 1);
         assert_eq!(msg.payload, "hello");
-        assert!((msg.time - 0.020).abs() < 1e-9, "10ms latency + 10ms serialization");
+        assert!(
+            (msg.time - 0.020).abs() < 1e-9,
+            "10ms latency + 10ms serialization"
+        );
         assert_eq!(sim.stats().bytes_sent[0], 1250);
         assert_eq!(sim.stats().bytes_sent[1], 0);
         assert_eq!(sim.stats().total_messages(), 1);

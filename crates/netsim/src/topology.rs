@@ -304,8 +304,7 @@ impl Topology {
         const TRANSIT_PER_DOMAIN: usize = 4;
         const STUBS_PER_TRANSIT: usize = 3;
         const NODES_PER_STUB: usize = 8;
-        let nodes_per_domain =
-            TRANSIT_PER_DOMAIN * (1 + STUBS_PER_TRANSIT * NODES_PER_STUB);
+        let nodes_per_domain = TRANSIT_PER_DOMAIN * (1 + STUBS_PER_TRANSIT * NODES_PER_STUB);
         let num_nodes = num_domains * nodes_per_domain;
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut t = Topology::empty(num_nodes);
@@ -316,8 +315,9 @@ impl Topology {
         for _domain in 0..num_domains {
             // Allocate transit nodes for this domain and wire them in a ring
             // with one extra chord for redundancy.
-            let domain_transit: Vec<NodeId> =
-                (0..TRANSIT_PER_DOMAIN).map(|i| next_id + i as NodeId).collect();
+            let domain_transit: Vec<NodeId> = (0..TRANSIT_PER_DOMAIN)
+                .map(|i| next_id + i as NodeId)
+                .collect();
             next_id += TRANSIT_PER_DOMAIN as NodeId;
             for i in 0..TRANSIT_PER_DOMAIN {
                 let a = domain_transit[i];
@@ -369,7 +369,8 @@ impl Topology {
 
         // Inter-domain links: chain the domains through random transit nodes.
         for d in 1..num_domains {
-            let a = transit_nodes[(d - 1) * TRANSIT_PER_DOMAIN + rng.gen_range(0..TRANSIT_PER_DOMAIN)];
+            let a =
+                transit_nodes[(d - 1) * TRANSIT_PER_DOMAIN + rng.gen_range(0..TRANSIT_PER_DOMAIN)];
             let b = transit_nodes[d * TRANSIT_PER_DOMAIN + rng.gen_range(0..TRANSIT_PER_DOMAIN)];
             t.add_link(a, b, LinkProps::from_class(LinkClass::TransitTransit));
         }
@@ -511,8 +512,7 @@ mod tests {
         let a = Topology::transit_stub(1, 99);
         let b = Topology::transit_stub(1, 99);
         let c = Topology::transit_stub(1, 100);
-        let links =
-            |t: &Topology| t.links().map(|(a, b, _)| (a, b)).collect::<Vec<_>>();
+        let links = |t: &Topology| t.links().map(|(a, b, _)| (a, b)).collect::<Vec<_>>();
         assert_eq!(links(&a), links(&b));
         assert_ne!(links(&a), links(&c));
     }

@@ -216,8 +216,14 @@ impl Engine {
         if let Some(policy) = self.annotation.as_mut() {
             policy.on_base(node, &tuple, true);
         }
-        self.sim
-            .schedule_at(self.sim.now(), node, Payload::Delta { tuple, insert: true });
+        self.sim.schedule_at(
+            self.sim.now(),
+            node,
+            Payload::Delta {
+                tuple,
+                insert: true,
+            },
+        );
     }
 
     /// Deletes a base tuple at `node` now.
@@ -225,8 +231,14 @@ impl Engine {
         if let Some(policy) = self.annotation.as_mut() {
             policy.on_base(node, &tuple, false);
         }
-        self.sim
-            .schedule_at(self.sim.now(), node, Payload::Delta { tuple, insert: false });
+        self.sim.schedule_at(
+            self.sim.now(),
+            node,
+            Payload::Delta {
+                tuple,
+                insert: false,
+            },
+        );
     }
 
     /// Schedules a delta at an absolute simulated time (used by experiment
@@ -237,7 +249,8 @@ impl Engine {
             // they are scheduled; derived deltas never go through here.
             policy.on_base(node, &tuple, insert);
         }
-        self.sim.schedule_at(time, node, Payload::Delta { tuple, insert });
+        self.sim
+            .schedule_at(time, node, Payload::Delta { tuple, insert });
     }
 
     /// Sends a tuple from `from` to `to` on behalf of a higher layer (the
@@ -245,8 +258,15 @@ impl Engine {
     /// addition to the tuple's wire size.
     pub fn send_tuple(&mut self, from: NodeId, to: NodeId, tuple: Tuple, extra_bytes: usize) {
         let bytes = wire::message_size(std::slice::from_ref(&tuple), extra_bytes);
-        self.sim
-            .send(from, to, bytes, Payload::Delta { tuple, insert: true });
+        self.sim.send(
+            from,
+            to,
+            bytes,
+            Payload::Delta {
+                tuple,
+                insert: true,
+            },
+        );
     }
 
     /// Directly stores a tuple at a node without triggering any rules.
@@ -379,7 +399,14 @@ impl Engine {
 
     /// Fires a non-aggregate rule triggered by `tuple` bound at body atom
     /// `atom_idx`, emitting one head delta per satisfying assignment.
-    fn fire_rule(&mut self, rule: &Rule, node: NodeId, tuple: &Tuple, atom_idx: usize, insert: bool) {
+    fn fire_rule(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+        insert: bool,
+    ) {
         let derivations = self.evaluate_rule_with_trigger(rule, node, tuple, atom_idx);
         for (inputs, head) in derivations {
             self.emit_derivation(rule, node, &inputs, head, insert);
@@ -547,15 +574,28 @@ impl Engine {
     fn dispatch_delta(&mut self, node: NodeId, head: Tuple, insert: bool) {
         let dest = head.location;
         if dest == node {
-            self.sim.schedule_local(node, Payload::Delta { tuple: head, insert });
+            self.sim.schedule_local(
+                node,
+                Payload::Delta {
+                    tuple: head,
+                    insert,
+                },
+            );
         } else {
             let annotation_bytes = match self.annotation.as_mut() {
                 Some(policy) => policy.annotation_bytes(node, dest, &head),
                 None => 0,
             };
             let bytes = wire::message_size(std::slice::from_ref(&head), annotation_bytes);
-            self.sim
-                .send(node, dest, bytes, Payload::Delta { tuple: head, insert });
+            self.sim.send(
+                node,
+                dest,
+                bytes,
+                Payload::Delta {
+                    tuple: head,
+                    insert,
+                },
+            );
         }
     }
 
@@ -778,7 +818,15 @@ impl Engine {
             }
             if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
                 partial.push(candidate.clone());
-                self.enumerate_bindings(rule, node, atoms, depth + 1, new_bindings, partial, results);
+                self.enumerate_bindings(
+                    rule,
+                    node,
+                    atoms,
+                    depth + 1,
+                    new_bindings,
+                    partial,
+                    results,
+                );
                 partial.pop();
             }
         }
@@ -862,7 +910,12 @@ impl Engine {
                 if i == agg_pos {
                     values.push(value.clone());
                 } else {
-                    values.push(key_iter.next().expect("group key covers non-agg args").clone());
+                    values.push(
+                        key_iter
+                            .next()
+                            .expect("group key covers non-agg args")
+                            .clone(),
+                    );
                 }
             }
             Tuple::new(rule.head.relation.clone(), loc, values)
@@ -875,9 +928,9 @@ impl Engine {
         // Retract the old output (and its aggregate-provenance entries).
         if let Some(old) = current {
             if self.config.aggregate_provenance {
-                if let Some((prov_t, exec_t)) = self
-                    .agg_prov
-                    .remove(&(node, rule.head.relation.clone(), group_key.to_vec()))
+                if let Some((prov_t, exec_t)) =
+                    self.agg_prov
+                        .remove(&(node, rule.head.relation.clone(), group_key.to_vec()))
                 {
                     self.dispatch_delta(node, prov_t, false);
                     self.dispatch_delta(node, exec_t, false);
@@ -1087,7 +1140,7 @@ mod tests {
         assert_eq!(get(1), 3); // a->b direct
         assert_eq!(get(2), 5); // a->c direct or via b
         assert_eq!(get(3), 8); // a->b->c->d = 3+2+3
-        // b's best cost to c is 2.
+                               // b's best cost to c is 2.
         let b_best = engine.tuples(1, "bestPathCost");
         assert!(b_best.contains(&best(1, 2, 2)));
         // pathCost(@a,c,5) has two derivations (Figure 4).

@@ -59,7 +59,7 @@ mod tests {
         let mut p = NoAnnotation;
         let t = Tuple::new("link", 0, vec![Value::Node(1), Value::Int(1)]);
         p.on_base(0, &t, true);
-        p.on_derivation(0, "sp1", &[t.clone()], &t, true);
+        p.on_derivation(0, "sp1", std::slice::from_ref(&t), &t, true);
         assert_eq!(p.annotation_bytes(0, 1, &t), 0);
     }
 }

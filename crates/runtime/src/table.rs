@@ -303,7 +303,11 @@ mod tests {
         let mut t = Table::new("bestPathCost", vec![0, 1]);
         t.insert(&best(0, 2, 5));
         assert_eq!(t.insert(&best(0, 2, 5)), InsertEffect::Duplicate);
-        assert_eq!(t.count(&best(0, 2, 5)), 1, "keyed rows do not count duplicates");
+        assert_eq!(
+            t.count(&best(0, 2, 5)),
+            1,
+            "keyed rows do not count duplicates"
+        );
         assert_eq!(t.delete(&best(0, 2, 5)), DeleteEffect::Removed);
         assert!(t.is_empty());
     }

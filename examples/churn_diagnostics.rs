@@ -68,14 +68,20 @@ fn main() {
     queries.run(system.engine_mut());
     println!(
         "  initial query: {:?} derivations, latency {:.1} ms",
-        queries.outcomes()[idx].annotation.as_ref().and_then(|a| a.as_count()),
+        queries.outcomes()[idx]
+            .annotation
+            .as_ref()
+            .and_then(|a| a.as_count()),
         queries.outcomes()[idx].latency().unwrap_or_default() * 1e3
     );
 
     // Apply churn in 0.5 s slices, re-querying after each batch.
     let mut applied = 0usize;
     for batch_end in [0.5f64, 1.0, 1.5, 2.0] {
-        for event in schedule.iter().filter(|e| e.time <= batch_end && e.time > batch_end - 0.5) {
+        for event in schedule
+            .iter()
+            .filter(|e| e.time <= batch_end && e.time > batch_end - 0.5)
+        {
             // Invalidate cached results that depended on the changed link.
             for vid in ProvenanceSystem::churn_event_vids(event) {
                 queries.invalidate(vid);

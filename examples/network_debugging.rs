@@ -59,12 +59,8 @@ fn main() {
     println!("\nsuspicious route at node 0: {suspicious}");
 
     // Which nodes were involved in deriving it?
-    let (_qe, outcome) = system.query_provenance(
-        0,
-        &suspicious,
-        Box::new(NodeSetRepr),
-        TraversalOrder::Bfs,
-    );
+    let (_qe, outcome) =
+        system.query_provenance(0, &suspicious, Box::new(NodeSetRepr), TraversalOrder::Bfs);
     let latency_ms = outcome.latency().unwrap_or_default() * 1e3;
     let nodes = outcome.annotation.expect("query completes");
     println!(

@@ -51,12 +51,8 @@ fn main() {
     let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
 
     // 1. Full provenance polynomial (queried from node d).
-    let (_qe, outcome) = system.query_provenance(
-        3,
-        &target,
-        Box::new(PolynomialRepr),
-        TraversalOrder::Bfs,
-    );
+    let (_qe, outcome) =
+        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
     let latency_ms = outcome.latency().unwrap_or_default() * 1e3;
     let polynomial = outcome.annotation.expect("query completes");
     println!(

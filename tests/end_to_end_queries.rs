@@ -68,12 +68,8 @@ fn representations_agree_on_the_same_tuple() {
         );
         assert!(count >= 1);
 
-        let (_q, nodes) = system.query_provenance(
-            issuer,
-            &target,
-            Box::new(NodeSetRepr),
-            TraversalOrder::Bfs,
-        );
+        let (_q, nodes) =
+            system.query_provenance(issuer, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
         let nodes = nodes.annotation.unwrap();
         let nodes = nodes.as_nodes().unwrap();
         assert!(
@@ -111,12 +107,8 @@ fn traversal_orders_return_identical_full_results() {
     for target in targets {
         let mut results = Vec::new();
         for order in [TraversalOrder::Bfs, TraversalOrder::Dfs] {
-            let (_q, out) = system.query_provenance(
-                0,
-                &target,
-                Box::new(DerivationCountRepr),
-                order,
-            );
+            let (_q, out) =
+                system.query_provenance(0, &target, Box::new(DerivationCountRepr), order);
             results.push(out.annotation.unwrap().as_count().unwrap());
         }
         assert_eq!(
@@ -223,12 +215,8 @@ fn caching_reduces_traffic_and_is_invalidated_correctly() {
     let baseline_counts: Vec<u64> = targets
         .iter()
         .map(|t| {
-            let (_q, o) = system.query_provenance(
-                0,
-                t,
-                Box::new(DerivationCountRepr),
-                TraversalOrder::Bfs,
-            );
+            let (_q, o) =
+                system.query_provenance(0, t, Box::new(DerivationCountRepr), TraversalOrder::Bfs);
             o.annotation.unwrap().as_count().unwrap()
         })
         .collect();
@@ -252,11 +240,8 @@ fn value_and_reference_provenance_agree_on_derivability() {
     // sample of tuples, the value-mode BDD and a reference-mode BDD query
     // must agree on derivability under random trust assignments.
     let topo = Topology::testbed_ring(10, 33);
-    let mut value_system = ProvenanceSystem::with_mode(
-        &programs::mincost(),
-        topo.clone(),
-        ProvenanceMode::ValueBdd,
-    );
+    let mut value_system =
+        ProvenanceSystem::with_mode(&programs::mincost(), topo.clone(), ProvenanceMode::ValueBdd);
     value_system.seed_links();
     value_system.run_to_fixpoint();
 
@@ -268,12 +253,8 @@ fn value_and_reference_provenance_agree_on_derivability() {
     let targets = some_targets(&ref_system, 5);
     for target in targets {
         // Reference-based: distributed BDD query.
-        let (qe, outcome) = ref_system.query_provenance(
-            0,
-            &target,
-            Box::new(BddRepr::new()),
-            TraversalOrder::Bfs,
-        );
+        let (qe, outcome) =
+            ref_system.query_provenance(0, &target, Box::new(BddRepr::new()), TraversalOrder::Bfs);
         let ann = outcome.annotation.unwrap();
         let repr = qe.repr().as_any().downcast_ref::<BddRepr>().unwrap();
 

@@ -1,0 +1,196 @@
+//! Smoke tests mirroring the core path of each `examples/` binary, so the
+//! examples' API surface cannot silently rot between releases.
+//!
+//! Each test follows the same call sequence as its example. The two examples
+//! that build 100-node transit-stub networks are exercised here on smaller
+//! topologies to keep debug-mode test time reasonable; CI additionally runs
+//! the real binaries at full scale in release mode.
+
+use exspan::core::storage::{all_prov_entries, all_rule_exec_entries};
+use exspan::core::{
+    BddRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem,
+    QueryEngine, SystemConfig, TraversalOrder, TrustDomainRepr,
+};
+use exspan::ndlog::programs;
+use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
+use exspan::types::{Tuple, Value};
+
+fn reference_system(topology: Topology) -> ProvenanceSystem {
+    let mut system = ProvenanceSystem::new(
+        &programs::mincost(),
+        topology,
+        SystemConfig {
+            mode: ProvenanceMode::Reference,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    system.run_to_fixpoint();
+    system
+}
+
+/// `examples/quickstart.rs`: Figure 3, provenance of `bestPathCost(@a,c,5)`
+/// in three representations.
+#[test]
+fn quickstart_core_path() {
+    let mut system = reference_system(Topology::paper_example());
+    assert!(!system.engine().tuples(0, "bestPathCost").is_empty());
+
+    let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
+
+    let (_qe, outcome) =
+        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    let polynomial = outcome.annotation.expect("polynomial query completes");
+    assert_eq!(polynomial.as_expr().unwrap().num_derivations(), 2);
+
+    let (_qe, outcome) = system.query_provenance(
+        3,
+        &target,
+        Box::new(DerivationCountRepr),
+        TraversalOrder::Bfs,
+    );
+    assert_eq!(outcome.annotation.unwrap().as_count(), Some(2));
+
+    let (_qe, outcome) =
+        system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let nodes = outcome.annotation.unwrap();
+    assert_eq!(nodes.as_nodes().unwrap(), &[0, 1].into_iter().collect());
+}
+
+/// `examples/network_debugging.rs`: inspect the provenance graph, explain a
+/// route, then fail a link and watch the state update incrementally.
+#[test]
+fn network_debugging_core_path() {
+    let mut system = reference_system(Topology::testbed_ring(12, 7));
+    assert!(!all_prov_entries(system.engine()).is_empty());
+    assert!(!all_rule_exec_entries(system.engine()).is_empty());
+
+    let routes = system.engine().tuples(0, "bestPathCost");
+    let suspicious = routes
+        .iter()
+        .max_by_key(|t| t.values[1].as_int().unwrap_or(0))
+        .expect("node 0 has routes")
+        .clone();
+
+    let (_qe, outcome) =
+        system.query_provenance(0, &suspicious, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    assert!(!outcome.annotation.unwrap().as_nodes().unwrap().is_empty());
+
+    let (_qe, outcome) = system.query_provenance(
+        0,
+        &suspicious,
+        Box::new(PolynomialRepr),
+        TraversalOrder::Bfs,
+    );
+    let expr_text = outcome.annotation.unwrap().as_expr().unwrap().to_string();
+    assert!(!expr_text.is_empty());
+
+    let neighbor = system.engine().topology().neighbors(0)[0];
+    system.remove_link(0, neighbor);
+    system.run_to_fixpoint();
+    // The network is still connected through the rest of the ring, so node 0
+    // keeps a route to every other node.
+    assert!(!system.engine().tuples(0, "bestPathCost").is_empty());
+}
+
+/// `examples/churn_diagnostics.rs`: cached derivation-count queries with
+/// transitive invalidation while churn events are applied.
+#[test]
+fn churn_diagnostics_core_path() {
+    // The churn model only churns stub-stub links, so build a small ring of
+    // them (the example's 100-node transit-stub network is too slow for a
+    // debug-mode smoke test).
+    let mut topology = Topology::empty(12);
+    for i in 0..12u32 {
+        topology.add_link(i, (i + 1) % 12, LinkProps::from_class(LinkClass::StubStub));
+    }
+    let churn = ChurnModel {
+        interval: 0.5,
+        changes_per_batch: 2,
+        seed: 99,
+    };
+    let schedule = churn.schedule(&topology, 1.0);
+    assert!(!schedule.is_empty(), "churn model produced no events");
+    let mut system = reference_system(topology);
+
+    let mut queries = QueryEngine::new(Box::new(DerivationCountRepr), TraversalOrder::Bfs);
+    queries.set_caching(true);
+
+    let monitored = system
+        .engine()
+        .tuples(0, "bestPathCost")
+        .first()
+        .expect("node 0 has routes")
+        .clone();
+    let idx = queries.query_now(system.engine_mut(), 0, &monitored);
+    queries.run(system.engine_mut());
+    assert!(queries.outcomes()[idx]
+        .annotation
+        .as_ref()
+        .and_then(|a| a.as_count())
+        .is_some());
+
+    for event in &schedule {
+        for vid in ProvenanceSystem::churn_event_vids(event) {
+            queries.invalidate(vid);
+        }
+        system.apply_churn_event(event);
+    }
+    system.run_to_fixpoint();
+
+    let dest = monitored.values[0].clone();
+    if let Some(current) = system
+        .engine()
+        .tuples(0, "bestPathCost")
+        .into_iter()
+        .find(|t| t.values[0] == dest)
+    {
+        let i = queries.query_now(system.engine_mut(), 0, &current);
+        queries.run(system.engine_mut());
+        assert!(queries.outcomes()[i].annotation.is_some());
+    }
+    assert!(queries.stats().messages > 0);
+}
+
+/// `examples/trust_management.rs`: trust-domain granularity plus acceptance
+/// decisions evaluated directly on condensed (BDD) provenance.
+#[test]
+fn trust_management_core_path() {
+    let mut system = reference_system(Topology::paper_example());
+
+    let routes = system.engine().tuples(3, "bestPathCost");
+    let route_to_a = routes
+        .iter()
+        .find(|t| t.values[0] == Value::Node(0))
+        .expect("d has a route to a")
+        .clone();
+
+    let domain_of = |n: u32| if n <= 1 { 0 } else { 1 };
+    let repr = TrustDomainRepr::new((0..4).map(|n| (n, domain_of(n))).collect());
+    let (_qe, outcome) =
+        system.query_provenance(3, &route_to_a, Box::new(repr), TraversalOrder::Bfs);
+    assert!(outcome.annotation.is_some());
+
+    let (qe, outcome) = system.query_provenance(
+        3,
+        &route_to_a,
+        Box::new(BddRepr::new()),
+        TraversalOrder::Bfs,
+    );
+    let annotation = outcome.annotation.expect("query completes");
+    let bdd_repr = qe
+        .repr()
+        .as_any()
+        .downcast_ref::<BddRepr>()
+        .expect("representation is BddRepr");
+
+    let accept_all = bdd_repr.derivable_under(&annotation, |_| true);
+    let trusted_links: Vec<_> = [(0u32, 1u32, 3i64), (1, 0, 3)]
+        .iter()
+        .map(|&(s, d, c)| Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)]).vid())
+        .collect();
+    let accept_domain0 = bdd_repr.derivable_under(&annotation, |vid| trusted_links.contains(&vid));
+
+    assert!(accept_all);
+    assert!(!accept_domain0);
+}

@@ -56,7 +56,11 @@ fn table_1_prov_entries_for_the_example() {
     // Table 1): via sp1 at a and via sp2 at b.
     let pc_a_c_5 = tuple("pathCost", A, C, 5);
     let entries = prov_entries(engine, A, pc_a_c_5.vid());
-    assert_eq!(entries.len(), 2, "pathCost(@a,c,5) must have two derivations");
+    assert_eq!(
+        entries.len(),
+        2,
+        "pathCost(@a,c,5) must have two derivations"
+    );
     let mut rlocs: Vec<u32> = entries.iter().map(|e| e.rloc).collect();
     rlocs.sort();
     assert_eq!(rlocs, vec![A, B]);
@@ -124,12 +128,8 @@ fn table_2_rule_exec_entries_match_figure_5() {
 fn figure_4_provenance_polynomial_of_best_path_cost() {
     let mut system = reference_system();
     let target = tuple("bestPathCost", A, C, 5);
-    let (_qe, outcome) = system.query_provenance(
-        3,
-        &target,
-        Box::new(PolynomialRepr),
-        TraversalOrder::Bfs,
-    );
+    let (_qe, outcome) =
+        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
     let expr = outcome.annotation.expect("query completes");
     let expr = expr.as_expr().unwrap();
     // Two alternative derivations (the two paths of Figure 4).
@@ -159,7 +159,12 @@ fn node_level_provenance_is_a_b() {
         system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
     let nodes = outcome.annotation.expect("query completes");
     assert_eq!(
-        nodes.as_nodes().unwrap().iter().copied().collect::<Vec<_>>(),
+        nodes
+            .as_nodes()
+            .unwrap()
+            .iter()
+            .copied()
+            .collect::<Vec<_>>(),
         vec![A, B]
     );
 }
@@ -213,5 +218,8 @@ fn reference_mode_overhead_is_small_on_the_example() {
     let value = run(ProvenanceMode::ValueBdd);
     assert!(none > 0);
     assert!(reference > none, "reference-based must add some overhead");
-    assert!(value > reference, "value-based must cost more than reference-based");
+    assert!(
+        value > reference,
+        "value-based must cost more than reference-based"
+    );
 }

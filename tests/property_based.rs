@@ -13,8 +13,12 @@ use proptest::prelude::*;
 
 /// A random connected topology of 4–7 nodes with random small link costs.
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (4usize..=7, any::<u64>(), proptest::collection::vec(1i64..=4, 0..8)).prop_map(
-        |(n, seed, extra_costs)| {
+    (
+        4usize..=7,
+        any::<u64>(),
+        proptest::collection::vec(1i64..=4, 0..8),
+    )
+        .prop_map(|(n, seed, extra_costs)| {
             let mut t = Topology::empty(n);
             let props = |cost| LinkProps {
                 cost,
@@ -36,8 +40,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             t
-        },
-    )
+        })
 }
 
 fn run(topology: Topology, mode: ProvenanceMode) -> ProvenanceSystem {

@@ -1,0 +1,36 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec`s with a random length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            element: self.element.clone(),
+            size: self.size.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            self.size.start + rng.below(self.size.end - self.size.start)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of `element` with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

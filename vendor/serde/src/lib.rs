@@ -1,0 +1,372 @@
+//! Offline shim for the subset of `serde` used by this workspace.
+//!
+//! The build environment has no access to crates.io. This crate provides
+//! `Serialize` / `Deserialize` traits (and re-exports the matching derive
+//! macros from the sibling `serde_derive` shim) that are just rich enough
+//! for the one place the workspace actually serializes data: the
+//! `exspan-bench` figure reports, which are plain structs of strings,
+//! floats and vectors round-tripped through `serde_json`.
+//!
+//! Design: instead of serde's visitor architecture, both traits work
+//! directly against a tiny JSON document model ([`JsonValue`]). The derive
+//! macro generates real field-by-field implementations for non-generic
+//! named-field structs; for enums and tuple structs it generates marker
+//! implementations whose default methods fail at runtime if ever called.
+//! That keeps every `#[derive(Serialize, Deserialize)]` in the workspace
+//! compiling while only the types that are genuinely serialized need (and
+//! get) working implementations.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by the shim's (de)serialization entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        JsonError(m.into())
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; integers round-trip up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Looks up a field of an object, erroring on missing field / non-object.
+    pub fn get_field(&self, name: &str) -> Result<&JsonValue, JsonError> {
+        match self {
+            JsonValue::Object(map) => map
+                .get(name)
+                .ok_or_else(|| JsonError::msg(format!("missing field `{name}`"))),
+            other => Err(JsonError::msg(format!(
+                "expected object with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Types that can serialize themselves to JSON text.
+///
+/// The default method panics: it is the body of the marker implementations
+/// the derive emits for types that are never actually serialized.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn json_into(&self, out: &mut String) {
+        let _ = out;
+        unimplemented!(
+            "serde shim: no working Serialize implementation for this type \
+             (only plain named-field structs get generated code)"
+        )
+    }
+}
+
+/// Types that can reconstruct themselves from a parsed [`JsonValue`].
+///
+/// The default method errors: it is the body of the marker implementations
+/// the derive emits for types that are never actually deserialized.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a parsed JSON value.
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        let _ = v;
+        Err(JsonError::msg(
+            "serde shim: no working Deserialize implementation for this type",
+        ))
+    }
+}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for &str {
+    fn json_into(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(JsonError::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! number_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+                match v {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    other => Err(JsonError::msg(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+number_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32);
+
+impl Serialize for f64 {
+    fn json_into(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no NaN/inf; match serde_json's lossy `null`.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Number(n) => Ok(*n),
+            JsonValue::Null => Ok(f64::NAN),
+            other => Err(JsonError::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(JsonError::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_into(out);
+        out.push(',');
+        self.1.json_into(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Array(items) if items.len() == 2 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+            )),
+            other => Err(JsonError::msg(format!(
+                "expected 2-element array, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json_into(&self, out: &mut String) {
+        // Shim encoding: array of [key, value] pairs, so non-string keys work.
+        out.push('[');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            k.json_into(out);
+            out.push(',');
+            v.json_into(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Array(items) => items
+                .iter()
+                .map(<(K, V)>::from_json_value)
+                .collect::<Result<BTreeMap<K, V>, JsonError>>(),
+            other => Err(JsonError::msg(format!(
+                "expected array of pairs, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(JsonError::msg(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_value() {
+        let mut out = String::new();
+        "a \"quoted\"\nline".json_into(&mut out);
+        assert_eq!(out, r#""a \"quoted\"\nline""#);
+        assert_eq!(
+            String::from_json_value(&JsonValue::String("x".into())).unwrap(),
+            "x"
+        );
+        assert_eq!(u32::from_json_value(&JsonValue::Number(7.0)).unwrap(), 7);
+        assert_eq!(
+            <(f64, f64)>::from_json_value(&JsonValue::Array(vec![
+                JsonValue::Number(1.5),
+                JsonValue::Number(-2.0),
+            ]))
+            .unwrap(),
+            (1.5, -2.0)
+        );
+    }
+
+    #[test]
+    fn vec_serializes_as_array() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].json_into(&mut out);
+        assert_eq!(out, "[1,2,3]");
+    }
+}

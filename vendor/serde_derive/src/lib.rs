@@ -1,0 +1,184 @@
+//! Offline shim for `serde_derive`, written against the bare `proc_macro`
+//! API (no `syn`/`quote`, which are unavailable offline).
+//!
+//! For a non-generic named-field struct it derives a real field-by-field
+//! implementation of the shim's `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON object with one member per field). For enums, tuple structs
+//! and unit structs it derives an empty marker implementation whose
+//! inherited default methods fail at runtime — those types only need the
+//! derive to compile, nothing in the workspace serializes them. Generic
+//! items get no implementation at all.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item under the derive turned out to be.
+enum Shape {
+    /// Non-generic named-field struct: name + field identifiers.
+    NamedStruct(String, Vec<String>),
+    /// Non-generic enum, tuple struct or unit struct: name only.
+    Marker(String),
+    /// Generic or unparseable: emit nothing.
+    Skip,
+}
+
+/// Extracts the shape of the item the derive is attached to.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the attribute's bracket group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1; // optional `pub(...)` restriction
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Skip,
+    };
+    if kind != "struct" && kind != "enum" {
+        return Shape::Skip;
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Skip,
+    };
+    i += 1;
+
+    match tokens.get(i) {
+        // Generic item: too hard without syn, and nothing needs it.
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Shape::Skip,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Shape::NamedStruct(name, parse_field_names(g.stream()))
+        }
+        _ => Shape::Marker(name),
+    }
+}
+
+/// Collects the field identifiers of a named-field struct body.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                        i += 1;
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        tokens.get(i),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next comma outside angle brackets; commas
+        // inside parens/brackets/braces are hidden inside `Group` tokens.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct(name, fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::write_json_string(\"{f}\", out);\n\
+                     out.push(':');\n\
+                     ::serde::Serialize::json_into(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn json_into(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Marker(name) => format!("impl ::serde::Serialize for {name} {{}}"),
+        Shape::Skip => String::new(),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct(name, fields) => {
+            let mut body = String::new();
+            for f in &fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(v.get_field(\"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::JsonValue)\n\
+                         -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{body}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Marker(name) => format!("impl ::serde::Deserialize for {name} {{}}"),
+        Shape::Skip => String::new(),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
