@@ -29,6 +29,14 @@ impl Bdd {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Reconstructs a handle from a raw index previously obtained through
+    /// [`Bdd::index`].  The index must refer to a node of the same manager;
+    /// it is used to ship annotation handles through layers that cannot name
+    /// the `Bdd` type (e.g. the runtime's opaque annotation tokens).
+    pub fn from_raw(index: u32) -> Bdd {
+        Bdd(index)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -22,7 +22,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
             b.iter(|| {
                 let topo = Topology::testbed_ring(20, 7);
-                let system = run_protocol(&programs::mincost(), topo, m);
+                let system = run_protocol(&programs::mincost(), topo, m, 1);
                 black_box(system.total_bytes())
             })
         });
@@ -35,7 +35,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
             b.iter(|| {
                 let topo = Topology::testbed_ring(20, 7);
-                let system = run_protocol(&programs::path_vector(), topo, m);
+                let system = run_protocol(&programs::path_vector(), topo, m, 1);
                 black_box(system.total_bytes())
             })
         });
@@ -50,7 +50,7 @@ fn bench_incremental_maintenance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
             b.iter(|| {
                 let topo = Topology::paper_example();
-                let mut system = run_protocol(&programs::mincost(), topo, m);
+                let mut system = run_protocol(&programs::mincost(), topo, m, 1);
                 // Fail and restore the a-c link, forcing incremental deletion
                 // and re-derivation of the affected provenance.
                 system.remove_link(0, 2);

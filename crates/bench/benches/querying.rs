@@ -17,7 +17,7 @@ use std::hint::black_box;
 /// and returns the system plus every bestPathCost tuple (query targets).
 fn prepared_system() -> (exspan_core::ProvenanceSystem, Vec<Tuple>) {
     let topo = Topology::testbed_ring(20, 11);
-    let system = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference);
+    let system = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference, 1);
     let mut targets = Vec::new();
     for n in 0..20 {
         targets.extend(system.engine().tuples(n, "bestPathCost"));

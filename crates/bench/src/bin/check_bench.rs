@@ -1,0 +1,219 @@
+//! CI perf gate over the machine-readable benchmark records.
+//!
+//! ```text
+//! check_bench <fresh-dir> <baseline-dir>          # regression + ordering gate
+//! check_bench --exact <dir-a> <dir-b>             # determinism diff (ignores wall clock)
+//! ```
+//!
+//! Default mode compares freshly generated `BENCH_*.json` files against the
+//! committed baselines and fails (exit 1) if
+//!
+//! * any figure's per-series **mean regresses by more than 25%** (the metric
+//!   is traffic or latency, so larger = worse), or
+//! * the **value ≥ reference ≥ none provenance-mode ordering of the paper
+//!   inverts** on any bandwidth figure, or
+//! * a baseline figure is missing from the fresh output.
+//!
+//! All gated quantities are statistics of the *simulated* protocol run, which
+//! is deterministic — so the gate is immune to runner noise while still
+//! catching any change that shifts maintenance traffic.
+//!
+//! `--exact` mode asserts two output directories are identical except for
+//! wall-clock time and shard count: CI runs the tiny scale sequentially and
+//! with four shards and diffs the results, pinning the sharded runtime's
+//! bit-identical guarantee.
+
+use exspan_bench::BenchReport;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Allowed relative regression of a series mean before the gate fails.
+const MEAN_REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Figures on which the paper's provenance-mode ordering must hold.
+const ORDERED_FIGURES: &[&str] = &["fig6", "fig7", "fig8", "fig9", "fig10", "fig16"];
+const VALUE_LABEL: &str = "Value-based Prov. (BDD)";
+const REF_LABEL: &str = "Ref-based Prov.";
+const NONE_LABEL: &str = "No Prov.";
+
+fn load_dir(dir: &str) -> BTreeMap<String, BenchReport> {
+    let mut out = BTreeMap::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check_bench: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match serde_json::from_str::<BenchReport>(&text) {
+            Ok(report) => {
+                out.insert(report.figure.clone(), report);
+            }
+            Err(e) => {
+                eprintln!("check_bench: cannot parse {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.is_empty() {
+        eprintln!("check_bench: no BENCH_*.json files in {dir}");
+        std::process::exit(2);
+    }
+    out
+}
+
+fn check_regressions(
+    fresh: &BTreeMap<String, BenchReport>,
+    base: &BTreeMap<String, BenchReport>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (figure, baseline) in base {
+        let Some(current) = fresh.get(figure) else {
+            failures.push(format!("{figure}: missing from fresh results"));
+            continue;
+        };
+        for bs in &baseline.series {
+            let Some(cs) = current.series(&bs.label) else {
+                failures.push(format!("{figure}: series '{}' disappeared", bs.label));
+                continue;
+            };
+            let allowed = bs.mean * (1.0 + MEAN_REGRESSION_TOLERANCE);
+            if cs.mean > allowed {
+                failures.push(format!(
+                    "{figure} [{}]: mean {} regressed {:.1}% over baseline {} (allowed {:.0}%)",
+                    bs.label,
+                    cs.mean,
+                    (cs.mean / bs.mean - 1.0) * 100.0,
+                    bs.mean,
+                    MEAN_REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn check_ordering(fresh: &BTreeMap<String, BenchReport>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for figure in ORDERED_FIGURES {
+        let Some(report) = fresh.get(*figure) else {
+            continue;
+        };
+        let (Some(value), Some(reference), Some(none)) = (
+            report.series(VALUE_LABEL),
+            report.series(REF_LABEL),
+            report.series(NONE_LABEL),
+        ) else {
+            continue;
+        };
+        if value.mean < reference.mean {
+            failures.push(format!(
+                "{figure}: value-based mean {} fell below reference-based mean {} — the paper's \
+                 ordering inverted",
+                value.mean, reference.mean
+            ));
+        }
+        if reference.mean < none.mean {
+            failures.push(format!(
+                "{figure}: reference-based mean {} fell below no-provenance mean {} — the paper's \
+                 ordering inverted",
+                reference.mean, none.mean
+            ));
+        }
+    }
+    failures
+}
+
+fn check_exact(
+    a: &BTreeMap<String, BenchReport>,
+    b: &BTreeMap<String, BenchReport>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for key in a.keys().chain(b.keys().filter(|k| !a.contains_key(*k))) {
+        match (a.get(key), b.get(key)) {
+            (Some(ra), Some(rb)) => {
+                if ra.series.len() != rb.series.len() {
+                    failures.push(format!("{key}: series count differs"));
+                    continue;
+                }
+                for (sa, sb) in ra.series.iter().zip(&rb.series) {
+                    // Bit-exact comparison: the sharded runtime promises
+                    // identical floating-point statistics, not just close ones.
+                    if sa.label != sb.label
+                        || sa.mean != sb.mean
+                        || sa.max != sb.max
+                        || sa.last != sb.last
+                        || sa.points != sb.points
+                    {
+                        failures.push(format!(
+                            "{key} [{}]: {:?} != {:?}",
+                            sa.label,
+                            (sa.mean, sa.max, sa.last, sa.points),
+                            (sb.mean, sb.max, sb.last, sb.points)
+                        ));
+                    }
+                }
+            }
+            (None, _) | (_, None) => failures.push(format!("{key}: present in only one directory")),
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (exact, dirs): (bool, Vec<&String>) = match args.first().map(String::as_str) {
+        Some("--exact") => (true, args[1..].iter().collect()),
+        _ => (false, args.iter().collect()),
+    };
+    if dirs.len() != 2 {
+        eprintln!("usage: check_bench [--exact] <fresh-dir> <baseline-dir>");
+        std::process::exit(2);
+    }
+    let (fresh_dir, base_dir) = (dirs[0], dirs[1]);
+    if !Path::new(base_dir).is_dir() {
+        eprintln!("check_bench: baseline directory {base_dir} does not exist");
+        std::process::exit(2);
+    }
+    let fresh = load_dir(fresh_dir);
+    let base = load_dir(base_dir);
+
+    let failures = if exact {
+        check_exact(&fresh, &base)
+    } else {
+        let mut f = check_regressions(&fresh, &base);
+        f.extend(check_ordering(&fresh));
+        f
+    };
+
+    if failures.is_empty() {
+        let mode = if exact {
+            "determinism diff"
+        } else {
+            "perf gate"
+        };
+        println!(
+            "check_bench: {mode} passed over {} figure(s)",
+            base.len().max(fresh.len())
+        );
+    } else {
+        eprintln!("check_bench: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -42,9 +42,33 @@ pub struct Scale {
     pub testbed_nodes: usize,
     /// Base random seed.
     pub seed: u64,
+    /// Shards (worker threads) executing each protocol run.  Results are
+    /// bit-identical for every value; only wall-clock time changes.
+    pub shards: usize,
 }
 
 impl Scale {
+    /// A minimal scale for CI smoke runs: every figure in seconds, trends
+    /// preserved, numbers deterministic (the committed `benchmarks/baseline`
+    /// files are generated at this scale).
+    pub fn tiny() -> Self {
+        Scale {
+            domains: vec![1],
+            traffic_domains: 1,
+            packet_duration: 0.4,
+            packets_per_second: 5.0,
+            churn_duration: 1.0,
+            churn_changes_per_batch: 3,
+            query_domains: 1,
+            queries_per_second: 1.0,
+            query_duration: 1.0,
+            testbed_sizes: vec![5, 10, 20],
+            testbed_nodes: 20,
+            seed: 42,
+            shards: 1,
+        }
+    }
+
     /// A reduced scale suitable for quick runs and Criterion benches.
     pub fn small() -> Self {
         Scale {
@@ -60,6 +84,7 @@ impl Scale {
             testbed_sizes: vec![5, 10, 20, 40],
             testbed_nodes: 40,
             seed: 42,
+            shards: 1,
         }
     }
 
@@ -78,7 +103,14 @@ impl Scale {
             testbed_sizes: vec![5, 10, 15, 20, 25, 30, 35, 40],
             testbed_nodes: 40,
             seed: 42,
+            shards: 1,
         }
+    }
+
+    /// The same scale with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -92,17 +124,20 @@ pub fn evaluation_modes() -> Vec<ProvenanceMode> {
     ]
 }
 
-/// Builds a system, seeds its links, and runs the protocol to fixpoint.
+/// Builds a system, seeds its links, and runs the protocol to fixpoint on
+/// `shards` worker threads (results are identical for every shard count).
 pub fn run_protocol(
     program: &Program,
     topology: Topology,
     mode: ProvenanceMode,
+    shards: usize,
 ) -> ProvenanceSystem {
     let mut system = ProvenanceSystem::new(
         program,
         topology,
         SystemConfig {
             mode,
+            shards,
             ..Default::default()
         },
     );
@@ -120,7 +155,7 @@ fn comm_cost_vs_nodes(program: &Program, scale: &Scale, id: &str, title: &str) -
         let nodes = domains * 100;
         for (i, &mode) in evaluation_modes().iter().enumerate() {
             let topology = Topology::transit_stub(domains, scale.seed);
-            let system = run_protocol(program, topology, mode);
+            let system = run_protocol(program, topology, mode, scale.shards);
             series[i].points.push((nodes as f64, system.avg_comm_mb()));
         }
     }
@@ -163,7 +198,7 @@ pub fn figure8(scale: &Scale) -> FigureReport {
     for mode in evaluation_modes() {
         let topology = Topology::transit_stub(scale.traffic_domains, scale.seed);
         let nodes = topology.num_nodes();
-        let mut system = run_protocol(&programs::packet_forward(), topology, mode);
+        let mut system = run_protocol(&programs::packet_forward(), topology, mode, scale.shards);
         let start = system.engine().now();
         let mut rng = SmallRng::seed_from_u64(scale.seed);
 
@@ -242,7 +277,7 @@ fn churn_experiment(program: &Program, scale: &Scale, id: &str, title: &str) -> 
             seed: scale.seed ^ 0xC0FFEE,
         };
         let schedule = churn.schedule(&topology, scale.churn_duration);
-        let mut system = run_protocol(program, topology, mode);
+        let mut system = run_protocol(program, topology, mode, scale.shards);
         let start = system.engine().now();
 
         drive_churn(&mut system, &churn, &schedule, start, scale.churn_duration);
@@ -305,7 +340,12 @@ pub fn query_workload(
 ) -> QueryRun {
     let topology = Topology::transit_stub(scale.query_domains, scale.seed);
     let nodes = topology.num_nodes();
-    let mut system = run_protocol(&programs::mincost(), topology, ProvenanceMode::Reference);
+    let mut system = run_protocol(
+        &programs::mincost(),
+        topology,
+        ProvenanceMode::Reference,
+        scale.shards,
+    );
     let start = system.engine().now();
 
     // Gather the population of queryable tuples.  Queries target the routes
@@ -457,19 +497,39 @@ pub fn figure15(scale: &Scale) -> FigureReport {
     }
 }
 
+/// Runs PATHVECTOR to fixpoint on a testbed ring of `nodes` nodes,
+/// returning the system and the fixpoint time (which `run_protocol`
+/// discards but Figures 16 and 17 need).
+fn run_testbed_pathvector(
+    scale: &Scale,
+    mode: ProvenanceMode,
+    nodes: usize,
+) -> (ProvenanceSystem, f64) {
+    let topology = Topology::testbed_ring(nodes, scale.seed);
+    let mut system = ProvenanceSystem::new(
+        &programs::path_vector(),
+        topology,
+        SystemConfig {
+            mode,
+            shards: scale.shards,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    let stats = system.run_to_fixpoint();
+    (system, stats.fixpoint_time)
+}
+
 /// Figure 16: per-node bandwidth over time for PATHVECTOR on the testbed
 /// topology (ring plus random peers, 40 nodes, degree ≤ 3).
 pub fn figure16(scale: &Scale) -> FigureReport {
     let mut series = Vec::new();
     for mode in evaluation_modes() {
-        let topology = Topology::testbed_ring(scale.testbed_nodes, scale.seed);
-        let mut system = ProvenanceSystem::with_mode(&programs::path_vector(), topology, mode);
-        system.seed_links();
-        let stats = system.run_to_fixpoint();
+        let (system, fixpoint_time) = run_testbed_pathvector(scale, mode, scale.testbed_nodes);
         let points = system
             .avg_bandwidth_mbps()
             .into_iter()
-            .filter(|&(t, _)| t <= stats.fixpoint_time + 0.5)
+            .filter(|&(t, _)| t <= fixpoint_time + 0.5)
             .map(|(t, mbps)| (t, mbps * 1024.0))
             .collect();
         series.push(Series::new(mode.label(), points));
@@ -494,11 +554,8 @@ pub fn figure17(scale: &Scale) -> FigureReport {
         .collect();
     for &n in &scale.testbed_sizes {
         for (i, &mode) in evaluation_modes().iter().enumerate() {
-            let topology = Topology::testbed_ring(n, scale.seed);
-            let mut system = ProvenanceSystem::with_mode(&programs::path_vector(), topology, mode);
-            system.seed_links();
-            let stats = system.run_to_fixpoint();
-            series[i].points.push((n as f64, stats.fixpoint_time));
+            let (_, fixpoint_time) = run_testbed_pathvector(scale, mode, n);
+            series[i].points.push((n as f64, fixpoint_time));
         }
     }
     FigureReport {

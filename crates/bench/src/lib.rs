@@ -12,4 +12,4 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::*;
-pub use report::{FigureReport, Series};
+pub use report::{BenchReport, BenchSeries, FigureReport, Series};

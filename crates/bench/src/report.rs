@@ -57,6 +57,85 @@ pub struct FigureReport {
     pub expected_shape: String,
 }
 
+/// Per-series summary statistics inside a [`BenchReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSeries {
+    /// Legend label.
+    pub label: String,
+    /// Mean of the series' y values (the bandwidth / comm-cost metric).
+    pub mean: f64,
+    /// Maximum y value.
+    pub max: f64,
+    /// y value at the largest x.
+    pub last: f64,
+    /// Number of samples.
+    pub points: usize,
+}
+
+/// The machine-readable benchmark record written as `BENCH_<figure>.json`.
+///
+/// Everything except `wall_clock_seconds` is a function of the simulated
+/// protocol run and therefore deterministic: CI regenerates these files and
+/// diffs them against the committed baselines (`scripts/check_bench.sh`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Figure identifier, e.g. `"fig6"`.
+    pub figure: String,
+    /// Human-readable title of the figure.
+    pub title: String,
+    /// Scale preset the run used (`"tiny"`, `"small"`, `"paper"`).
+    pub scale: String,
+    /// Shard count of the runtime that produced the numbers.
+    pub shards: usize,
+    /// Wall-clock seconds spent regenerating the figure (informational; CI
+    /// gates only on the deterministic series statistics).
+    pub wall_clock_seconds: f64,
+    /// y-axis unit of the series statistics.
+    pub y_label: String,
+    /// Summary statistics per data series.
+    pub series: Vec<BenchSeries>,
+}
+
+impl BenchReport {
+    /// Builds the benchmark record of one regenerated figure.
+    pub fn from_figure(
+        report: &FigureReport,
+        scale: &str,
+        shards: usize,
+        wall_clock_seconds: f64,
+    ) -> Self {
+        BenchReport {
+            figure: report.id.clone(),
+            title: report.title.clone(),
+            scale: scale.to_string(),
+            shards,
+            wall_clock_seconds,
+            y_label: report.y_label.clone(),
+            series: report
+                .series
+                .iter()
+                .map(|s| BenchSeries {
+                    label: s.label.clone(),
+                    mean: s.mean_y(),
+                    max: s.max_y(),
+                    last: s.last_y(),
+                    points: s.points.len(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Finds a series summary by label.
+    pub fn series(&self, label: &str) -> Option<&BenchSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The file name this record is stored under (`BENCH_<figure>.json`).
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.figure)
+    }
+}
+
 impl FigureReport {
     /// Renders the report as a readable text table.
     pub fn to_text(&self) -> String {

@@ -25,7 +25,7 @@ fn churn_traffic_lands_in_measurement_window() {
     let schedule = churn.schedule(&topology, churn_duration);
     assert!(!schedule.is_empty(), "churn model produced no events");
 
-    let mut system = run_protocol(&programs::mincost(), topology, ProvenanceMode::Reference);
+    let mut system = run_protocol(&programs::mincost(), topology, ProvenanceMode::Reference, 1);
     let start = system.engine().now();
 
     // The same driver churn_experiment (fig9/fig10) uses.

@@ -1,0 +1,157 @@
+//! Regression test for churn across shard boundaries.
+//!
+//! A link deleted on shard A whose derivations were shipped to nodes on
+//! shard B must retract those derivations across the inbox barrier: the
+//! deletion delta cascades through the rules at A's endpoint, the resulting
+//! retraction deltas cross the shard boundary carrying their deterministic
+//! ordering keys, and shard B applies them in exactly the order the
+//! sequential engine would.  This pins the end-to-end behavior (topology
+//! mutation + base-tuple deletion + cross-shard cascade) that
+//! `crates/bench/tests/churn_alignment.rs` covers for the sequential engine.
+
+use exspan_bench::drive_churn;
+use exspan_core::{ProvenanceMode, ProvenanceSystem, SystemConfig};
+use exspan_ndlog::programs;
+use exspan_netsim::{ChurnModel, Topology};
+use exspan_types::{Tuple, Value};
+
+const SHARDS: usize = 3;
+
+fn system_with(shards: usize, topology: Topology) -> ProvenanceSystem {
+    let mut system = ProvenanceSystem::new(
+        &programs::mincost(),
+        topology,
+        SystemConfig {
+            mode: ProvenanceMode::Reference,
+            shards,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    system.run_to_fixpoint();
+    system
+}
+
+/// Finds a link of the topology whose endpoints live on different shards of
+/// the engine's partition.
+fn cross_shard_link(system: &ProvenanceSystem) -> (u32, u32) {
+    let engine = system.engine();
+    engine
+        .topology()
+        .links()
+        .map(|(a, b, _)| (a, b))
+        .find(|&(a, b)| engine.shard_of(a) != engine.shard_of(b))
+        .expect("a multi-shard partition of a connected topology must split some link")
+}
+
+#[test]
+fn cross_shard_link_deletion_retracts_remote_derivations() {
+    let mut system = system_with(SHARDS, Topology::testbed_ring(20, 5));
+    let (a, b) = cross_shard_link(&system);
+    let shard_a = system.engine().shard_of(a);
+    let shard_b = system.engine().shard_of(b);
+    assert_ne!(shard_a, shard_b);
+
+    // Node b currently routes through (or at least knows) the deleted link:
+    // its link table contains link(@b, a, c).
+    let link_at_b = Tuple::new(
+        "link",
+        b,
+        vec![
+            Value::Node(a),
+            Value::Int(system.engine().topology().link(a, b).unwrap().cost),
+        ],
+    );
+    assert_eq!(system.engine().derivation_count(&link_at_b), 1);
+
+    // Delete the link: the base deltas are issued at both endpoints, which
+    // live on different shards, and every derivation built from them —
+    // wherever it was shipped — must disappear.
+    system.remove_link(a, b);
+    system.run_to_fixpoint();
+
+    assert_eq!(
+        system.engine().derivation_count(&link_at_b),
+        0,
+        "link base tuple at the far endpoint must be deleted across the shard boundary"
+    );
+    // The ring minus one edge is still connected: every node keeps a full
+    // routing table (n destinations — symmetric links also derive a
+    // zero-hop-free route back to the node itself), and no stale route uses
+    // the deleted edge at either endpoint (a route a->b or b->a must now
+    // cost more than one hop).
+    let n = system.engine().topology().num_nodes();
+    for node in 0..n as u32 {
+        let routes = system.engine().tuples(node, "bestPathCost");
+        assert_eq!(
+            routes.len(),
+            n,
+            "node {node} lost routes after cross-shard churn"
+        );
+    }
+    let direct = |s: u32, d: u32| {
+        system
+            .engine()
+            .tuples(s, "bestPathCost")
+            .into_iter()
+            .find(|t| t.values[0] == Value::Node(d))
+            .and_then(|t| t.values[1].as_int().ok())
+            .expect("route exists")
+    };
+    assert!(
+        direct(a, b) > 1,
+        "a still routes to b over the deleted link"
+    );
+    assert!(
+        direct(b, a) > 1,
+        "b still routes to a over the deleted link"
+    );
+
+    // And the whole post-churn state matches the sequential oracle.
+    let mut oracle = system_with(1, Topology::testbed_ring(20, 5));
+    oracle.remove_link(a, b);
+    oracle.run_to_fixpoint();
+    for rel in ["link", "pathCost", "bestPathCost", "prov", "ruleExec"] {
+        assert_eq!(
+            oracle.engine().tuples_everywhere(rel),
+            system.engine().tuples_everywhere(rel),
+            "relation {rel} diverged from the sequential oracle after cross-shard churn"
+        );
+    }
+    assert_eq!(
+        oracle.engine().stats().bytes_sent,
+        system.engine().stats().bytes_sent,
+        "per-node traffic diverged from the sequential oracle"
+    );
+}
+
+#[test]
+fn scheduled_churn_schedule_is_identical_across_shard_counts() {
+    // The fig9/fig10 driver path: a churn schedule applied at its scheduled
+    // times, with maintenance traffic landing in the right buckets — on both
+    // runtimes.
+    let run = |shards: usize| {
+        let topology = Topology::transit_stub(1, 42);
+        let churn = ChurnModel {
+            interval: 0.5,
+            changes_per_batch: 3,
+            seed: 42 ^ 0xC0FFEE,
+        };
+        let schedule = churn.schedule(&topology, 1.0);
+        assert!(!schedule.is_empty());
+        let mut system = system_with(shards, topology);
+        let start = system.engine().now();
+        drive_churn(&mut system, &churn, &schedule, start, 1.0);
+        (
+            system.engine().tuples_everywhere("bestPathCost"),
+            system.avg_bandwidth_mbps(),
+            system.engine().stats().total_bytes(),
+        )
+    };
+    let oracle = run(1);
+    assert_eq!(
+        oracle,
+        run(SHARDS),
+        "churn-driven run diverged across shard counts"
+    );
+}

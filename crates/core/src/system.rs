@@ -9,10 +9,9 @@ use crate::rewrite::{provenance_rewrite, RewriteOptions};
 use crate::value_policy::ValueBddPolicy;
 use exspan_ndlog::ast::Program;
 use exspan_netsim::{ChurnEvent, LinkProps, Topology};
-use exspan_runtime::{AnnotationPolicy, Engine, EngineConfig, FixpointStats};
+use exspan_runtime::{Engine, EngineConfig, FixpointStats, ShardConfig, SharedPolicy};
 use exspan_types::{NodeId, Tuple, Value};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration of a [`ProvenanceSystem`].
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +20,10 @@ pub struct SystemConfig {
     pub mode: ProvenanceMode,
     /// Safety cap on processed events per run call.
     pub max_steps: u64,
+    /// How many shards (worker threads) execute the protocol.  One shard
+    /// reproduces the historical sequential engine; more shards run the same
+    /// computation in parallel with bit-identical results.
+    pub shards: usize,
 }
 
 impl Default for SystemConfig {
@@ -28,35 +31,8 @@ impl Default for SystemConfig {
         SystemConfig {
             mode: ProvenanceMode::Reference,
             max_steps: 200_000_000,
+            shards: 1,
         }
-    }
-}
-
-/// Shared handle to the value-based policy so the system can expose it while
-/// the engine owns it as a trait object.
-#[derive(Debug, Clone, Default)]
-struct SharedValuePolicy(Rc<RefCell<ValueBddPolicy>>);
-
-impl AnnotationPolicy for SharedValuePolicy {
-    fn on_base(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
-        self.0.borrow_mut().on_base(node, tuple, insert);
-    }
-
-    fn on_derivation(
-        &mut self,
-        node: NodeId,
-        rule: &str,
-        inputs: &[Tuple],
-        output: &Tuple,
-        insert: bool,
-    ) {
-        self.0
-            .borrow_mut()
-            .on_derivation(node, rule, inputs, output, insert);
-    }
-
-    fn annotation_bytes(&mut self, from: NodeId, to: NodeId, tuple: &Tuple) -> usize {
-        self.0.borrow_mut().annotation_bytes(from, to, tuple)
     }
 }
 
@@ -64,7 +40,7 @@ impl AnnotationPolicy for SharedValuePolicy {
 pub struct ProvenanceSystem {
     engine: Engine,
     mode: ProvenanceMode,
-    value_policy: Option<Rc<RefCell<ValueBddPolicy>>>,
+    value_policy: Option<Arc<Mutex<ValueBddPolicy>>>,
     program_name: String,
 }
 
@@ -75,6 +51,7 @@ impl ProvenanceSystem {
         let mut engine_config = EngineConfig {
             aggregate_provenance: false,
             max_steps: config.max_steps,
+            shards: ShardConfig::with_shards(config.shards.max(1)),
         };
         let mut value_policy = None;
         let executed = match config.mode {
@@ -96,9 +73,9 @@ impl ProvenanceSystem {
         };
         let mut engine = Engine::new(executed, topology, engine_config);
         if config.mode == ProvenanceMode::ValueBdd {
-            let shared = SharedValuePolicy::default();
-            value_policy = Some(Rc::clone(&shared.0));
-            engine.set_annotation_policy(Box::new(shared));
+            let shared = Arc::new(Mutex::new(ValueBddPolicy::new()));
+            value_policy = Some(Arc::clone(&shared));
+            engine.set_annotation_policy(shared as SharedPolicy);
         }
         ProvenanceSystem {
             engine,
@@ -141,8 +118,10 @@ impl ProvenanceSystem {
     }
 
     /// The value-based provenance policy (only in [`ProvenanceMode::ValueBdd`]).
-    pub fn value_provenance(&self) -> Option<std::cell::Ref<'_, ValueBddPolicy>> {
-        self.value_policy.as_ref().map(|p| p.borrow())
+    pub fn value_provenance(&self) -> Option<MutexGuard<'_, ValueBddPolicy>> {
+        self.value_policy
+            .as_ref()
+            .map(|p| p.lock().expect("value policy poisoned"))
     }
 
     // ------------------------------------------------------------------
@@ -311,7 +290,11 @@ impl ProvenanceSystem {
     pub fn local_value_annotation(&self, tuple: &Tuple) -> Option<Annotation> {
         self.value_policy
             .as_ref()
-            .and_then(|p| p.borrow().annotation_of(tuple))
+            .and_then(|p| {
+                p.lock()
+                    .expect("value policy poisoned")
+                    .annotation_of(tuple)
+            })
             .map(Annotation::Bdd)
     }
 }

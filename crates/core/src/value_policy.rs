@@ -4,9 +4,19 @@
 //! In value-based provenance every transmitted tuple carries its *entire*
 //! derivation history.  Following the evaluation section, the history is
 //! condensed into a BDD over base tuples ("Value-based Prov. (BDD)" in
-//! Figures 6–10 and 16): the policy observes every rule firing, maintains the
-//! boolean provenance of each derived tuple, and charges the serialized BDD
-//! size to every remote transmission of that tuple.
+//! Figures 6–10 and 16): on every rule firing the policy conjoins the
+//! annotations of the grounded inputs (all local to the firing node) and
+//! ships the resulting BDD *with the delta* as an opaque token; when the
+//! delta is applied at its destination the shipped history is disjoined into
+//! the annotation stored for the tuple *at that node*.
+//!
+//! Keeping annotations per `(node, tuple)` mirrors the paper's distribution
+//! model (each node knows the provenance of the tuples it stores) and is
+//! load-bearing for the sharded runtime: every annotation is only read and
+//! written while processing events of its own node, which the runtime
+//! processes in a deterministic order regardless of shard count.  The BDD
+//! manager is shared, but hash-consing makes it canonical — the serialized
+//! size of a function does not depend on the order operations reached it.
 //!
 //! Because the annotation is carried with the data, queries in value-based
 //! mode are answered locally ([`ValueBddPolicy::annotation_of`]) without any
@@ -14,7 +24,7 @@
 //! bandwidth, zero query latency.
 
 use exspan_bdd::{Bdd, BddManager};
-use exspan_runtime::AnnotationPolicy;
+use exspan_runtime::{AnnotationPolicy, AnnotationToken};
 use exspan_types::{NodeId, Tuple, Vid};
 use std::collections::HashMap;
 
@@ -24,8 +34,8 @@ pub struct ValueBddPolicy {
     manager: BddManager,
     /// Boolean variable assigned to each base tuple.
     vars: HashMap<Vid, u32>,
-    /// Current provenance of every tuple (base and derived), keyed by VID.
-    provenance: HashMap<Vid, Bdd>,
+    /// Provenance stored for each tuple at each node.
+    annotations: HashMap<(NodeId, Vid), Bdd>,
     /// Bytes of annotation attached to messages so far.
     annotation_bytes_total: u64,
 }
@@ -42,23 +52,24 @@ impl ValueBddPolicy {
         self.manager.var(id)
     }
 
-    /// The provenance BDD currently associated with a tuple, if any.
+    /// The provenance BDD stored for a tuple at its own location, if any.
     pub fn annotation_of(&self, tuple: &Tuple) -> Option<Bdd> {
-        self.provenance.get(&tuple.vid()).copied()
+        self.annotations
+            .get(&(tuple.location, tuple.vid()))
+            .copied()
     }
 
     /// Serialized size (bytes) of a tuple's provenance annotation.
     pub fn annotation_size(&self, tuple: &Tuple) -> usize {
-        self.provenance
-            .get(&tuple.vid())
-            .map(|b| self.manager.serialized_size(*b))
+        self.annotation_of(tuple)
+            .map(|b| self.manager.serialized_size(b))
             .unwrap_or(0)
     }
 
     /// Derivability test under a trust assignment over base tuples: is the
     /// tuple derivable using only trusted base tuples?
     pub fn derivable_under<F: Fn(Vid) -> bool>(&self, tuple: &Tuple, trusted: F) -> bool {
-        let Some(b) = self.provenance.get(&tuple.vid()) else {
+        let Some(b) = self.annotation_of(tuple) else {
             return false;
         };
         let by_var: HashMap<u32, bool> = self
@@ -67,7 +78,7 @@ impl ValueBddPolicy {
             .map(|(vid, var)| (*var, trusted(*vid)))
             .collect();
         self.manager
-            .evaluate(*b, |v| by_var.get(&v).copied().unwrap_or(false))
+            .evaluate(b, |v| by_var.get(&v).copied().unwrap_or(false))
     }
 
     /// Total annotation bytes attached to transmitted tuples so far.
@@ -75,9 +86,9 @@ impl ValueBddPolicy {
         self.annotation_bytes_total
     }
 
-    /// Number of tuples with a tracked provenance annotation.
+    /// Number of `(node, tuple)` entries with a tracked provenance annotation.
     pub fn tracked_tuples(&self) -> usize {
-        self.provenance.len()
+        self.annotations.len()
     }
 
     /// The BDD manager (for inspection).
@@ -87,62 +98,89 @@ impl ValueBddPolicy {
 }
 
 impl AnnotationPolicy for ValueBddPolicy {
-    fn on_base(&mut self, _node: NodeId, tuple: &Tuple, insert: bool) {
+    fn on_base(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
         let vid = tuple.vid();
         if insert {
             let var = self.var_for(vid);
-            self.provenance.insert(vid, var);
+            self.annotations.insert((node, vid), var);
         } else {
-            self.provenance.remove(&vid);
+            self.annotations.remove(&(node, vid));
         }
     }
 
     fn on_derivation(
         &mut self,
-        _node: NodeId,
+        node: NodeId,
         _rule: &str,
         inputs: &[Tuple],
-        output: &Tuple,
+        _output: &Tuple,
         insert: bool,
-    ) {
-        if !insert {
-            // Deletion: the remaining provenance is recomputed lazily when a
-            // surviving derivation fires again; drop the stale annotation so
-            // deleted tuples do not keep contributing bytes.
-            if inputs.is_empty() {
-                self.provenance.remove(&output.vid());
-            }
-            return;
-        }
-        // AND over the inputs' provenance, OR'd into any existing provenance
-        // of the output (alternative derivations).
+    ) -> Option<AnnotationToken> {
+        let _ = insert;
+        // AND over the inputs' locally stored provenance.  Rule bodies are
+        // localized, so every input lives at the firing node.  Deletion
+        // deltas ship the same conjunction: a value-based retraction must
+        // identify *which* derivation disappears, so it carries (and is
+        // charged for) that derivation's history just like the insertion
+        // that established it.
         let mut conj = Bdd::TRUE;
         for input in inputs {
             let vid = input.vid();
-            let b = match self.provenance.get(&vid) {
+            let b = match self.annotations.get(&(node, vid)) {
                 Some(b) => *b,
                 // Inputs we have never seen (e.g. base tuples seeded before
                 // the policy was installed) are treated as base variables.
                 None => {
                     let var = self.var_for(vid);
-                    self.provenance.insert(vid, var);
+                    self.annotations.insert((node, vid), var);
                     var
                 }
             };
             conj = self.manager.and(conj, b);
         }
-        let out_vid = output.vid();
-        let combined = match self.provenance.get(&out_vid) {
-            Some(existing) => self.manager.or(*existing, conj),
-            None => conj,
-        };
-        self.provenance.insert(out_vid, combined);
+        Some(conj.index() as AnnotationToken)
     }
 
-    fn annotation_bytes(&mut self, _from: NodeId, _to: NodeId, tuple: &Tuple) -> usize {
-        let bytes = self.annotation_size(tuple);
+    fn annotation_bytes(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _tuple: &Tuple,
+        token: Option<AnnotationToken>,
+    ) -> usize {
+        let bytes = token
+            .map(|t| self.manager.serialized_size(Bdd::from_raw(t as u32)))
+            .unwrap_or(0);
         self.annotation_bytes_total += bytes as u64;
         bytes
+    }
+
+    fn on_arrival(
+        &mut self,
+        node: NodeId,
+        tuple: &Tuple,
+        token: Option<AnnotationToken>,
+        insert: bool,
+        removed: bool,
+    ) {
+        let vid = tuple.vid();
+        if insert {
+            // OR the shipped derivation history into the annotation stored
+            // for this tuple at this node (alternative derivations).
+            if let Some(t) = token {
+                let shipped = Bdd::from_raw(t as u32);
+                let combined = match self.annotations.get(&(node, vid)) {
+                    Some(existing) => self.manager.or(*existing, shipped),
+                    None => shipped,
+                };
+                self.annotations.insert((node, vid), combined);
+            }
+        } else if removed {
+            // Last derivation gone: the stale history must not keep
+            // contributing bytes.  Tuples that stay visible through other
+            // derivations keep their annotation.
+            self.annotations.remove(&(node, vid));
+        }
     }
 }
 
@@ -167,7 +205,9 @@ mod tests {
         p.on_base(0, &l1, true);
         p.on_base(1, &l2, true);
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        assert!(token.is_some());
+        p.on_arrival(0, &pc, token, true, false);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
         assert!(!p.derivable_under(&pc, |v| v == l2.vid()));
         assert_eq!(p.tracked_tuples(), 3);
@@ -175,7 +215,7 @@ mod tests {
     }
 
     #[test]
-    fn alternative_derivations_are_ored() {
+    fn alternative_derivations_are_ored_at_the_storage_node() {
         let mut p = ValueBddPolicy::new();
         let l1 = link(0, 2, 5);
         let l2 = link(1, 0, 3);
@@ -184,8 +224,11 @@ mod tests {
         p.on_base(1, &l2, true);
         p.on_base(1, &bpc, true); // treat as base for the test
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
-        p.on_derivation(1, "sp2", &[l2.clone(), bpc.clone()], &pc, true);
+        // One derivation computed at node 0, an alternative shipped from 1.
+        let t1 = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        p.on_arrival(0, &pc, t1, true, false);
+        let t2 = p.on_derivation(1, "sp2", &[l2.clone(), bpc.clone()], &pc, true);
+        p.on_arrival(0, &pc, t2, true, false);
         // Either derivation suffices.
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
         assert!(p.derivable_under(&pc, |v| v == l2.vid() || v == bpc.vid()));
@@ -198,24 +241,42 @@ mod tests {
         let l1 = link(0, 2, 5);
         let pc = path_cost(0, 2, 5);
         // on_base was never called for l1.
-        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        p.on_arrival(0, &pc, token, true, false);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
     }
 
     #[test]
-    fn annotation_bytes_accumulate_and_deletion_clears() {
+    fn annotation_bytes_follow_the_shipped_token() {
         let mut p = ValueBddPolicy::new();
         let l1 = link(0, 2, 5);
         p.on_base(0, &l1, true);
         let pc = path_cost(0, 2, 5);
-        p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
-        let b1 = p.annotation_bytes(0, 2, &pc);
+        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let b1 = p.annotation_bytes(0, 2, &pc, token);
         assert!(b1 > 0);
         assert_eq!(p.total_annotation_bytes(), b1 as u64);
-        // Unknown tuples carry no annotation.
-        assert_eq!(p.annotation_bytes(0, 2, &path_cost(7, 8, 9)), 0);
+        // Deltas without a token carry no annotation.
+        assert_eq!(p.annotation_bytes(0, 2, &path_cost(7, 8, 9), None), 0);
         // Deleting the base tuple clears its annotation.
         p.on_base(0, &l1, false);
         assert!(p.annotation_of(&l1).is_none());
+    }
+
+    #[test]
+    fn deletion_arrival_drops_only_when_removed() {
+        let mut p = ValueBddPolicy::new();
+        let l1 = link(0, 2, 5);
+        p.on_base(0, &l1, true);
+        let pc = path_cost(0, 2, 5);
+        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        p.on_arrival(0, &pc, token, true, false);
+        assert!(p.annotation_of(&pc).is_some());
+        // A deletion that leaves other derivations keeps the annotation.
+        p.on_arrival(0, &pc, None, false, false);
+        assert!(p.annotation_of(&pc).is_some());
+        // The final deletion drops it.
+        p.on_arrival(0, &pc, None, false, true);
+        assert!(p.annotation_of(&pc).is_none());
     }
 }

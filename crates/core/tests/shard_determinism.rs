@@ -1,0 +1,130 @@
+//! Sharded-vs-sequential determinism at the `ProvenanceSystem` level.
+//!
+//! The tentpole guarantee of the sharded runtime is that every observable —
+//! protocol state, per-node byte counters, the bandwidth time-series, and
+//! (for value-based provenance) the annotation sizes that feed them — is
+//! *bit-identical* to the sequential engine (`shards: 1`).  These tests pin
+//! that guarantee for each provenance mode over topologies small enough for
+//! debug-mode CI.
+
+use exspan_core::{ProvenanceMode, ProvenanceSystem, SystemConfig};
+use exspan_ndlog::ast::Program;
+use exspan_ndlog::programs;
+use exspan_netsim::Topology;
+use exspan_types::Tuple;
+
+/// Everything a figure could observe about a finished run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    tuples: Vec<Tuple>,
+    bytes_sent: Vec<u64>,
+    total_bytes: u64,
+    avg_comm_mb: f64,
+    bandwidth: Vec<(f64, f64)>,
+    fixpoint_time: f64,
+}
+
+fn run(program: &Program, mode: ProvenanceMode, shards: usize, churn: bool) -> Fingerprint {
+    let topology = Topology::testbed_ring(32, 11);
+    let mut system = ProvenanceSystem::new(
+        program,
+        topology,
+        SystemConfig {
+            mode,
+            shards,
+            ..Default::default()
+        },
+    );
+    system.seed_links();
+    let stats = system.run_to_fixpoint();
+    if churn {
+        // Fail a few ring edges and let the retractions cascade.
+        for (a, b) in [(0u32, 1u32), (8, 9), (16, 17)] {
+            system.remove_link(a, b);
+        }
+        system.run_to_fixpoint();
+    }
+    let engine = system.engine();
+    let mut tuples = Vec::new();
+    for rel in [
+        "link",
+        "pathCost",
+        "bestPathCost",
+        "bestPath",
+        "prov",
+        "ruleExec",
+    ] {
+        tuples.extend(engine.tuples_everywhere(rel));
+    }
+    let s = engine.stats();
+    Fingerprint {
+        tuples,
+        bytes_sent: s.bytes_sent.clone(),
+        total_bytes: s.total_bytes(),
+        avg_comm_mb: system.avg_comm_mb(),
+        bandwidth: system.avg_bandwidth_mbps(),
+        fixpoint_time: stats.fixpoint_time,
+    }
+}
+
+fn assert_modes_deterministic(program: &Program, churn: bool) {
+    for mode in [
+        ProvenanceMode::None,
+        ProvenanceMode::Reference,
+        ProvenanceMode::ValueBdd,
+    ] {
+        let oracle = run(program, mode, 1, churn);
+        for shards in [2, 4] {
+            let sharded = run(program, mode, shards, churn);
+            assert_eq!(
+                oracle, sharded,
+                "{mode:?} with {shards} shards diverged from the sequential oracle (churn={churn})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mincost_all_modes_bit_identical_across_shard_counts() {
+    assert_modes_deterministic(&programs::mincost(), false);
+}
+
+#[test]
+fn mincost_with_link_failures_bit_identical_across_shard_counts() {
+    assert_modes_deterministic(&programs::mincost(), true);
+}
+
+#[test]
+fn path_vector_all_modes_bit_identical_across_shard_counts() {
+    assert_modes_deterministic(&programs::path_vector(), false);
+}
+
+#[test]
+fn value_mode_annotations_identical_across_shard_counts() {
+    // The value-based policy shares one hash-consed BDD manager between
+    // shards; canonicity must make every stored annotation's size
+    // independent of operation interleaving.
+    let sizes = |shards: usize| {
+        let mut system = ProvenanceSystem::new(
+            &programs::mincost(),
+            Topology::testbed_ring(24, 3),
+            SystemConfig {
+                mode: ProvenanceMode::ValueBdd,
+                shards,
+                ..Default::default()
+            },
+        );
+        system.seed_links();
+        system.run_to_fixpoint();
+        let tuples = system.engine().tuples_everywhere("bestPathCost");
+        let policy = system.value_provenance().expect("value mode");
+        tuples
+            .iter()
+            .map(|t| (t.clone(), policy.annotation_size(t)))
+            .collect::<Vec<_>>()
+    };
+    let oracle = sizes(1);
+    assert!(!oracle.is_empty());
+    assert_eq!(oracle, sizes(2));
+    assert_eq!(oracle, sizes(4));
+}

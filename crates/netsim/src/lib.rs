@@ -24,5 +24,5 @@ pub mod sim;
 pub mod topology;
 
 pub use churn::{ChurnEvent, ChurnModel};
-pub use sim::{ScheduledMessage, Simulator, TrafficStats};
+pub use sim::{EventKey, RoutedEvent, ScheduledMessage, ShardView, Simulator, TrafficStats};
 pub use topology::{LinkClass, LinkProps, Topology, TopologyKind};

@@ -272,6 +272,49 @@ impl Topology {
         None
     }
 
+    /// Smallest one-way propagation latency over all current links, or `None`
+    /// if the topology has no links.
+    ///
+    /// This is the *lookahead* of the sharded runtime: an event processed at
+    /// time `t` can only influence another node at `t + min_link_latency` or
+    /// later, so all shards may safely process events up to
+    /// `earliest pending event + min_link_latency` in parallel.
+    pub fn min_link_latency(&self) -> Option<f64> {
+        self.links
+            .values()
+            .map(|p| p.latency)
+            .fold(None, |acc, l| match acc {
+                None => Some(l),
+                Some(a) => Some(a.min(l)),
+            })
+    }
+
+    /// Partitions the nodes over `num_shards` shards by rendezvous (highest
+    /// random weight) hashing of the node id.
+    ///
+    /// Rendezvous hashing keeps the assignment independent of the topology's
+    /// link structure and stable under churn, and changing the shard count
+    /// only moves the minimal number of nodes.  The hash is a fixed integer
+    /// mix, so the partition is identical on every platform and run.
+    pub fn partition_rendezvous(&self, num_shards: usize) -> Vec<u16> {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(num_shards <= u16::MAX as usize, "too many shards");
+        fn mix(x: u64) -> u64 {
+            // splitmix64 finalizer.
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        (0..self.num_nodes)
+            .map(|n| {
+                (0..num_shards)
+                    .max_by_key(|&s| mix(((n as u64) << 20) ^ s as u64))
+                    .expect("num_shards > 0") as u16
+            })
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Generators
     // ------------------------------------------------------------------
@@ -540,6 +583,41 @@ mod tests {
         t2.add_link(0, 1, LinkProps::from_class(LinkClass::Custom));
         assert!(t2.path_latency(0, 2).is_none());
         assert!(!t2.is_connected());
+    }
+
+    #[test]
+    fn min_link_latency_reflects_current_links() {
+        let mut t = Topology::empty(3);
+        assert!(t.min_link_latency().is_none());
+        t.add_link(0, 1, LinkProps::from_class(LinkClass::TransitTransit));
+        assert_eq!(t.min_link_latency(), Some(0.050));
+        t.add_link(1, 2, LinkProps::from_class(LinkClass::StubStub));
+        assert_eq!(t.min_link_latency(), Some(0.002));
+        t.remove_link(1, 2);
+        assert_eq!(t.min_link_latency(), Some(0.050));
+    }
+
+    #[test]
+    fn rendezvous_partition_is_deterministic_and_balanced() {
+        let t = Topology::transit_stub(1, 42);
+        let p4 = t.partition_rendezvous(4);
+        assert_eq!(p4, t.partition_rendezvous(4), "partition is deterministic");
+        assert_eq!(p4.len(), t.num_nodes());
+        assert!(p4.iter().all(|&s| s < 4));
+        // Every shard gets a reasonable share of the 100 nodes.
+        for shard in 0..4u16 {
+            let n = p4.iter().filter(|&&s| s == shard).count();
+            assert!(
+                (10..=40).contains(&n),
+                "shard {shard} owns {n} of 100 nodes — partition is badly skewed"
+            );
+        }
+        // A single shard owns everything (the sequential oracle).
+        assert!(t.partition_rendezvous(1).iter().all(|&s| s == 0));
+        // Growing the shard count only moves nodes, never swaps unaffected
+        // ones between surviving shards (the rendezvous property is hard to
+        // check directly; at minimum the assignment changes deterministically).
+        assert_eq!(t.partition_rendezvous(3), t.partition_rendezvous(3));
     }
 
     #[test]

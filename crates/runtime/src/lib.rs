@@ -9,10 +9,16 @@
 //! * [`table`] — per-node materialized tables with keyed-update semantics and
 //!   derivation counting (the "additional bookkeeping to maintain multiple
 //!   derivations of the same tuple" of paper §4.2).
-//! * [`engine`] — the [`engine::Engine`]: delta processing, distributed rule
-//!   evaluation (body joins at one location, head shipped to its location
-//!   specifier), MIN/MAX/COUNT aggregate maintenance, incremental insertion
-//!   *and* deletion with cascades, fixpoint detection and traffic accounting.
+//! * [`shard`] — one shard of the runtime: the delta-processing core
+//!   (distributed rule evaluation with body joins at one location, head
+//!   shipped to its location specifier, MIN/MAX/COUNT aggregate maintenance,
+//!   incremental insertion *and* deletion with cascades) over the subset of
+//!   nodes the shard owns.
+//! * [`engine`] — the [`engine::Engine`] coordinator: partitions the
+//!   topology's nodes over shards by rendezvous hashing and runs them on
+//!   worker threads in deterministic barrier windows, producing results
+//!   bit-identical to the sequential engine
+//!   ([`shard::ShardConfig::sequential`]).
 //! * [`plugin`] — the [`plugin::AnnotationPolicy`] hook through which the
 //!   provenance layer implements *value-based* provenance (annotations
 //!   attached to every transmitted tuple) without the engine knowing anything
@@ -25,8 +31,10 @@
 
 pub mod engine;
 pub mod plugin;
+pub mod shard;
 pub mod table;
 
 pub use engine::{Engine, EngineConfig, FixpointStats, Payload, Step};
-pub use plugin::AnnotationPolicy;
+pub use plugin::{AnnotationPolicy, AnnotationToken};
+pub use shard::{ShardConfig, SharedPolicy};
 pub use table::{DeleteEffect, InsertEffect, Table};

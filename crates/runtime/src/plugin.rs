@@ -7,14 +7,30 @@
 //! observes every rule firing and decides how many extra bytes to attach to
 //! each transmitted tuple.  Centralized provenance can similarly be modelled
 //! by charging upload traffic from the policy.
+//!
+//! Annotations travel *with* the deltas, mirroring the paper's value-based
+//! distribution model: [`AnnotationPolicy::on_derivation`] returns an opaque
+//! [`AnnotationToken`] that the engine ships inside the delta message, and
+//! [`AnnotationPolicy::on_arrival`] merges it into the policy's state for the
+//! *receiving* node when the delta is applied there.  Keeping annotation
+//! state per `(node, tuple)` — rather than in one global map mutated in
+//! arbitrary firing order — is what makes value-based provenance
+//! deterministic under the sharded runtime: every update to a node's
+//! annotations happens in that node's (deterministic) event order.
 
 use exspan_types::{NodeId, Tuple};
+
+/// Opaque handle to an annotation shipped inside a delta message.  The
+/// meaning of the token is private to the policy that produced it (the
+/// value-based policy uses BDD node handles).
+pub type AnnotationToken = u64;
 
 /// Observes derivations and charges per-message annotation bytes.
 ///
 /// All methods have empty default implementations so simple policies only
-/// override what they need.
-pub trait AnnotationPolicy {
+/// override what they need.  Policies must be [`Send`]: the sharded runtime
+/// shares one policy between worker threads behind a mutex.
+pub trait AnnotationPolicy: Send {
     /// Called when a base tuple is inserted (`insert = true`) or deleted at
     /// `node` by the experiment driver.
     fn on_base(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
@@ -24,6 +40,11 @@ pub trait AnnotationPolicy {
     /// Called on every rule firing: `rule` fired at `node` with the grounded
     /// `inputs` producing `output`.  `insert` is `false` for deletion deltas
     /// cascading through the rule.
+    ///
+    /// The returned token is attached to the emitted delta and handed back to
+    /// the policy at [`AnnotationPolicy::annotation_bytes`] (if the delta
+    /// leaves the node) and [`AnnotationPolicy::on_arrival`] (when it is
+    /// applied at its destination).
     fn on_derivation(
         &mut self,
         node: NodeId,
@@ -31,15 +52,39 @@ pub trait AnnotationPolicy {
         inputs: &[Tuple],
         output: &Tuple,
         insert: bool,
-    ) {
+    ) -> Option<AnnotationToken> {
         let _ = (node, rule, inputs, output, insert);
+        None
     }
 
     /// Returns the number of extra annotation bytes to attach to `tuple` when
-    /// it is transmitted from `from` to `to`.
-    fn annotation_bytes(&mut self, from: NodeId, to: NodeId, tuple: &Tuple) -> usize {
-        let _ = (from, to, tuple);
+    /// it is transmitted from `from` to `to` carrying `token`.
+    fn annotation_bytes(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tuple: &Tuple,
+        token: Option<AnnotationToken>,
+    ) -> usize {
+        let _ = (from, to, tuple, token);
         0
+    }
+
+    /// Called when a delta for `tuple` is applied at `node`.  For insertions
+    /// `token` is the annotation shipped with the delta (if any).  For
+    /// deletions `removed` reports whether the tuple actually left the
+    /// node's visible state (its last derivation disappeared), so policies
+    /// can keep annotations of tuples that remain visible through other
+    /// derivations.
+    fn on_arrival(
+        &mut self,
+        node: NodeId,
+        tuple: &Tuple,
+        token: Option<AnnotationToken>,
+        insert: bool,
+        removed: bool,
+    ) {
+        let _ = (node, tuple, token, insert, removed);
     }
 }
 
@@ -59,7 +104,9 @@ mod tests {
         let mut p = NoAnnotation;
         let t = Tuple::new("link", 0, vec![Value::Node(1), Value::Int(1)]);
         p.on_base(0, &t, true);
-        p.on_derivation(0, "sp1", std::slice::from_ref(&t), &t, true);
-        assert_eq!(p.annotation_bytes(0, 1, &t), 0);
+        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&t), &t, true);
+        assert!(token.is_none());
+        assert_eq!(p.annotation_bytes(0, 1, &t, token), 0);
+        p.on_arrival(0, &t, token, true, false);
     }
 }

@@ -1,0 +1,999 @@
+//! One shard of the distributed engine: the delta-processing core.
+//!
+//! The runtime partitions the topology's nodes over shards by rendezvous
+//! hashing (see `Topology::partition_rendezvous`); each [`Shard`] owns the
+//! materialized tables, event queue and traffic counters of its nodes and
+//! executes rule firings for them.  NDlog rule bodies are *localized* — a
+//! firing only ever reads the tables of the node it fires at — so a shard
+//! never touches another shard's state.  Deltas whose head is located on a
+//! foreign node leave through the simulator's outbox and are delivered to
+//! the destination shard's inbox, carrying their execution-independent
+//! ordering key (`(time, source, per-source seq)`), which the destination
+//! queue sorts by.  Together these two properties make the sharded execution
+//! bit-identical to the sequential one: every node processes exactly the same
+//! deltas in exactly the same order, no matter how many shards (or threads)
+//! the work is spread over.
+
+use crate::engine::{EngineConfig, Payload, Step, AGG_RECOMPUTE_EVENT};
+use crate::plugin::{AnnotationPolicy, AnnotationToken};
+use crate::table::{DeleteEffect, InsertEffect, TableStore};
+use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, HeadArg, Rule, Term};
+use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, FuncRegistry};
+use exspan_ndlog::is_event_predicate;
+use exspan_netsim::{RoutedEvent, Simulator};
+use exspan_types::{wire, NodeId, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// How many shards the engine spreads the topology's nodes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards (and worker threads during fixpoint runs).
+    pub num_shards: usize,
+}
+
+impl ShardConfig {
+    /// A single shard: the engine behaves exactly like the historical
+    /// sequential engine (no worker threads, one queue, one table store).
+    /// Used as the oracle in determinism tests.
+    pub fn sequential() -> Self {
+        ShardConfig { num_shards: 1 }
+    }
+
+    /// A fixed shard count.
+    pub fn with_shards(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        ShardConfig { num_shards }
+    }
+
+    /// One shard per available CPU core (at least one).
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardConfig { num_shards: n }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::sequential()
+    }
+}
+
+/// An annotation policy shared between the coordinator and every shard.
+pub type SharedPolicy = Arc<Mutex<dyn AnnotationPolicy>>;
+
+/// Rule program data shared (read-only) by all shards.
+pub(crate) struct RuleData {
+    pub rules: Vec<Rule>,
+    /// relation name -> list of (rule index, trigger atom index)
+    pub triggers: HashMap<String, Vec<(usize, usize)>>,
+    pub funcs: FuncRegistry,
+    pub config: EngineConfig,
+}
+
+/// One shard: tables, event queue and rule execution for a subset of nodes.
+pub(crate) struct Shard {
+    data: Arc<RuleData>,
+    pub(crate) store: TableStore,
+    pub(crate) sim: Simulator<Payload>,
+    pub(crate) policy: Option<SharedPolicy>,
+    /// Bookkeeping for aggregate provenance: (node, relation, group key) ->
+    /// (prov tuple, ruleExec tuple) currently installed for that group.
+    agg_prov: HashMap<(NodeId, String, Vec<Value>), (Tuple, Tuple)>,
+    pub(crate) last_delta_time: f64,
+    pub(crate) externals_seen: u64,
+    pub(crate) processed: u64,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        data: Arc<RuleData>,
+        keys: HashMap<String, Vec<usize>>,
+        sim: Simulator<Payload>,
+    ) -> Self {
+        Shard {
+            data,
+            store: TableStore::new(keys),
+            sim,
+            policy: None,
+            agg_prov: HashMap::new(),
+            last_delta_time: 0.0,
+            externals_seen: 0,
+            processed: 0,
+        }
+    }
+
+    /// Moves every event waiting in `inbox` into this shard's queue.
+    pub(crate) fn drain_inbox(&mut self, inbox: &Mutex<Vec<RoutedEvent<Payload>>>) {
+        let mut guard = inbox.lock().expect("inbox poisoned");
+        for ev in guard.drain(..) {
+            self.sim.push_routed(ev);
+        }
+    }
+
+    /// Processes the next queued event.
+    pub(crate) fn step(&mut self) -> Step {
+        let Some(msg) = self.sim.pop() else {
+            return Step::Idle;
+        };
+        self.processed += 1;
+        let time = msg.time;
+        match msg.payload {
+            Payload::Delta {
+                tuple,
+                insert,
+                token,
+            } => {
+                let node = msg.to;
+                if tuple.relation == AGG_RECOMPUTE_EVENT {
+                    self.last_delta_time = time;
+                    self.handle_aggregate_recompute(node, &tuple);
+                    return Step::Handled;
+                }
+                if self.is_external(&tuple.relation) {
+                    self.externals_seen += 1;
+                    return Step::External {
+                        node,
+                        tuple,
+                        time,
+                        insert,
+                    };
+                }
+                self.last_delta_time = time;
+                self.process_delta(node, tuple, insert, token);
+                Step::Handled
+            }
+        }
+    }
+
+    /// Processes every queued event strictly before `horizon` (and no later
+    /// than `limit`).  Returns `(events processed, externals dropped)`.
+    /// This is one barrier window of the parallel fixpoint loop; the horizon
+    /// is chosen by the coordinator such that no in-flight cross-shard
+    /// message can be due before it.
+    pub(crate) fn run_window(&mut self, horizon: f64, limit: f64) -> (u64, u64) {
+        let mut steps = 0u64;
+        let mut external = 0u64;
+        loop {
+            match self.sim.peek_key() {
+                None => break,
+                Some(k) if k.time >= horizon || k.time > limit => break,
+                Some(_) => {}
+            }
+            match self.step() {
+                Step::Idle => break,
+                Step::External { .. } => {
+                    external += 1;
+                    steps += 1;
+                }
+                Step::Handled => {
+                    steps += 1;
+                }
+            }
+        }
+        (steps, external)
+    }
+
+    /// Whether tuples of `relation` have no handler inside the engine: event
+    /// predicates that trigger no rule are surfaced to the caller.
+    fn is_external(&self, relation: &str) -> bool {
+        is_event_predicate(relation) && !self.data.triggers.contains_key(relation)
+    }
+
+    // ------------------------------------------------------------------
+    // Delta processing
+    // ------------------------------------------------------------------
+
+    fn process_delta(
+        &mut self,
+        node: NodeId,
+        tuple: Tuple,
+        insert: bool,
+        token: Option<AnnotationToken>,
+    ) {
+        let is_event = is_event_predicate(&tuple.relation);
+        let mut fire = true;
+        let mut removed = false;
+        let mut replaced: Option<Tuple> = None;
+        if !is_event {
+            let table = self.store.table_mut(node, &tuple.relation);
+            if insert {
+                match table.insert(&tuple) {
+                    InsertEffect::Added => {}
+                    InsertEffect::Duplicate => fire = false,
+                    InsertEffect::Replaced(old) => replaced = Some(old),
+                }
+            } else {
+                match table.delete(&tuple) {
+                    DeleteEffect::Removed => removed = true,
+                    DeleteEffect::Decremented | DeleteEffect::Missing => fire = false,
+                }
+            }
+        }
+        // Insertions merge their shipped annotation *before* firing, so the
+        // rules triggered by this delta see it; deletions drop the stored
+        // annotation only *after* their cascade fired, because the cascade
+        // ships the retracted derivation's history with its own deltas.
+        let policy = self.policy.clone();
+        if insert {
+            if let Some(p) = &policy {
+                p.lock()
+                    .expect("annotation policy poisoned")
+                    .on_arrival(node, &tuple, token, true, false);
+            }
+        }
+        if fire {
+            if let Some(old) = replaced {
+                // Cascade the replaced row as a deletion before propagating
+                // the new insertion; it left the visible state for good.
+                self.fire_rules(node, &old, false);
+                if let Some(p) = &policy {
+                    p.lock()
+                        .expect("annotation policy poisoned")
+                        .on_arrival(node, &old, None, false, true);
+                }
+            }
+            self.fire_rules(node, &tuple, insert);
+        }
+        if !insert {
+            if let Some(p) = &policy {
+                p.lock()
+                    .expect("annotation policy poisoned")
+                    .on_arrival(node, &tuple, token, false, removed);
+            }
+        }
+    }
+
+    fn fire_rules(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
+        let Some(trigger_list) = self.data.triggers.get(&tuple.relation).cloned() else {
+            return;
+        };
+        let data = Arc::clone(&self.data);
+        for (rule_idx, atom_idx) in trigger_list {
+            let rule = &data.rules[rule_idx];
+            if rule.is_aggregate() {
+                self.schedule_aggregate_recompute(rule, node, tuple, atom_idx);
+            } else {
+                self.fire_rule(rule, node, tuple, atom_idx, insert);
+            }
+        }
+    }
+
+    /// Fires a non-aggregate rule triggered by `tuple` bound at body atom
+    /// `atom_idx`, emitting one head delta per satisfying assignment.
+    fn fire_rule(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+        insert: bool,
+    ) {
+        let derivations = self.evaluate_rule_with_trigger(rule, node, tuple, atom_idx);
+        for (inputs, head) in derivations {
+            self.emit_derivation(rule, node, &inputs, head, insert);
+        }
+    }
+
+    /// Evaluates a rule body with `tuple` bound at `atom_idx`, returning the
+    /// grounded input tuples (in body-atom order) and the head tuple for each
+    /// satisfying assignment.
+    fn evaluate_rule_with_trigger(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+    ) -> Vec<(Vec<Tuple>, Tuple)> {
+        let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
+            return Vec::new();
+        };
+        let Some(mut bindings) = unify_atom(trigger_atom, tuple, &Bindings::new()) else {
+            return Vec::new();
+        };
+        // The body is localized: the trigger's location must be this node.
+        if tuple.location != node {
+            return Vec::new();
+        }
+        // Ensure the location variable is bound to this node.
+        if let Term::Var(v) = &trigger_atom.location {
+            bindings.insert(v.clone(), Value::Node(node));
+        }
+
+        let other_atoms: Vec<(usize, &Atom)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                BodyItem::Atom(a) if i != atom_idx => Some((i, a)),
+                _ => None,
+            })
+            .collect();
+
+        let mut results = Vec::new();
+        let mut partial: Vec<(usize, Tuple)> = vec![(atom_idx, tuple.clone())];
+        self.join_remaining(
+            rule,
+            node,
+            &other_atoms,
+            0,
+            bindings,
+            &mut partial,
+            &mut results,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_remaining(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        atoms: &[(usize, &Atom)],
+        depth: usize,
+        bindings: Bindings,
+        partial: &mut Vec<(usize, Tuple)>,
+        results: &mut Vec<(Vec<Tuple>, Tuple)>,
+    ) {
+        if depth == atoms.len() {
+            if let Some((inputs, head)) = self.finish_rule(rule, node, bindings, partial) {
+                results.push((inputs, head));
+            }
+            return;
+        }
+        let (orig_idx, atom) = atoms[depth];
+        // Event predicates are transient: they cannot be joined from storage.
+        if is_event_predicate(&atom.relation) {
+            return;
+        }
+        let Some(table) = self.store.table(node, &atom.relation) else {
+            return;
+        };
+        for candidate in table.scan() {
+            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
+                partial.push((orig_idx, candidate.clone()));
+                self.join_remaining(rule, node, atoms, depth + 1, new_bindings, partial, results);
+                partial.pop();
+            }
+        }
+    }
+
+    /// Applies assignments and constraints, then constructs the head tuple.
+    fn finish_rule(
+        &self,
+        rule: &Rule,
+        _node: NodeId,
+        mut bindings: Bindings,
+        partial: &[(usize, Tuple)],
+    ) -> Option<(Vec<Tuple>, Tuple)> {
+        for item in &rule.body {
+            match item {
+                BodyItem::Assign(var, expr) => {
+                    let value = eval_expr(expr, &bindings, &self.data.funcs).ok()?;
+                    // An assignment to an already-bound variable acts as an
+                    // equality constraint (standard Datalog convention).
+                    if let Some(existing) = bindings.get(var) {
+                        if *existing != value {
+                            return None;
+                        }
+                    } else {
+                        bindings.insert(var.clone(), value);
+                    }
+                }
+                BodyItem::Constraint(op, lhs, rhs) => {
+                    let l = eval_expr(lhs, &bindings, &self.data.funcs).ok()?;
+                    let r = eval_expr(rhs, &bindings, &self.data.funcs).ok()?;
+                    if !eval_cmp(*op, &l, &r).ok()? {
+                        return None;
+                    }
+                }
+                BodyItem::Atom(_) => {}
+            }
+        }
+        let head = self.build_head(rule, &bindings)?;
+        // Order the grounded inputs by their body-atom position.
+        let mut inputs: Vec<(usize, Tuple)> = partial.to_vec();
+        inputs.sort_by_key(|(i, _)| *i);
+        Some((inputs.into_iter().map(|(_, t)| t).collect(), head))
+    }
+
+    fn build_head(&self, rule: &Rule, bindings: &Bindings) -> Option<Tuple> {
+        let loc = match &rule.head.location {
+            Term::Var(v) => bindings.get(v)?.as_node().ok()?,
+            Term::Const(Value::Node(n)) => *n,
+            Term::Const(Value::Int(n)) => *n as NodeId,
+            Term::Const(_) => return None,
+        };
+        let mut values = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Term(Term::Var(v)) => values.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Const(c)) => values.push(c.clone()),
+                HeadArg::Expr(e) => values.push(eval_expr(e, bindings, &self.data.funcs).ok()?),
+                HeadArg::Aggregate(_, _) => return None,
+            }
+        }
+        Some(Tuple::new(rule.head.relation.clone(), loc, values))
+    }
+
+    /// Emits the head delta of a (non-aggregate) rule firing: notifies the
+    /// annotation policy, then enqueues locally or ships to the head node.
+    fn emit_derivation(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        inputs: &[Tuple],
+        head: Tuple,
+        insert: bool,
+    ) {
+        let token = match self.policy.clone() {
+            Some(policy) => policy
+                .lock()
+                .expect("annotation policy poisoned")
+                .on_derivation(node, &rule.label, inputs, &head, insert),
+            None => None,
+        };
+        self.dispatch_delta(node, head, insert, token);
+    }
+
+    /// Sends or locally enqueues a delta for `head` produced at `node`.
+    fn dispatch_delta(
+        &mut self,
+        node: NodeId,
+        head: Tuple,
+        insert: bool,
+        token: Option<AnnotationToken>,
+    ) {
+        let dest = head.location;
+        if dest == node {
+            self.sim.schedule_local(
+                node,
+                Payload::Delta {
+                    tuple: head,
+                    insert,
+                    token,
+                },
+            );
+        } else {
+            let annotation_bytes = match self.policy.clone() {
+                Some(policy) => policy
+                    .lock()
+                    .expect("annotation policy poisoned")
+                    .annotation_bytes(node, dest, &head, token),
+                None => 0,
+            };
+            let bytes = wire::message_size(std::slice::from_ref(&head), annotation_bytes);
+            self.sim.send(
+                node,
+                dest,
+                bytes,
+                Payload::Delta {
+                    tuple: head,
+                    insert,
+                    token,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregates
+    // ------------------------------------------------------------------
+
+    /// Schedules a (local) recomputation of the aggregate group(s) affected
+    /// by a delta.
+    ///
+    /// The recomputation itself runs as a separate queued event
+    /// ([`AGG_RECOMPUTE_EVENT`]) rather than synchronously: this guarantees
+    /// that any output deltas dispatched by *earlier* recomputations of the
+    /// same group have already been applied to the head table when the
+    /// comparison against the currently stored output is made.  A synchronous
+    /// recomputation could read a stale output value and emit contradictory
+    /// retractions, which prevents convergence.
+    fn schedule_aggregate_recompute(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        tuple: &Tuple,
+        atom_idx: usize,
+    ) {
+        let (_, _, agg_pos) = match rule.head.aggregate() {
+            Some(a) => a,
+            None => return,
+        };
+        let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
+            return;
+        };
+        let Some(bindings) = unify_atom(trigger_atom, tuple, &Bindings::new()) else {
+            return;
+        };
+        if tuple.location != node {
+            return;
+        }
+        // An empty group key means "recompute every group of this rule".
+        let group_key = self.group_key(rule, &bindings, agg_pos).unwrap_or_default();
+        let event = Tuple::new(
+            AGG_RECOMPUTE_EVENT,
+            node,
+            vec![Value::Str(rule.label.clone()), Value::List(group_key)],
+        );
+        self.sim.schedule_local(
+            node,
+            Payload::Delta {
+                tuple: event,
+                insert: true,
+                token: None,
+            },
+        );
+    }
+
+    /// Handles a queued aggregate-recomputation event.
+    fn handle_aggregate_recompute(&mut self, node: NodeId, event: &Tuple) {
+        let Ok(label) = event.values[0].as_str().map(str::to_string) else {
+            return;
+        };
+        let Ok(group_key) = event.values[1].as_list().map(<[Value]>::to_vec) else {
+            return;
+        };
+        let data = Arc::clone(&self.data);
+        let Some(rule) = data.rules.iter().find(|r| r.label == label) else {
+            return;
+        };
+        let Some((func, agg_var, agg_pos)) = rule.head.aggregate() else {
+            return;
+        };
+        if group_key.is_empty() {
+            let groups = self.all_groups(rule, node, agg_pos);
+            for g in groups {
+                self.recompute_group(rule, node, func, agg_var, agg_pos, &g);
+            }
+        } else {
+            self.recompute_group(rule, node, func, agg_var, agg_pos, &group_key);
+        }
+    }
+
+    /// The group key is the head location plus every non-aggregate head
+    /// argument, evaluated under `bindings`.
+    fn group_key(&self, rule: &Rule, bindings: &Bindings, agg_pos: usize) -> Option<Vec<Value>> {
+        let mut key = Vec::new();
+        match &rule.head.location {
+            Term::Var(v) => key.push(bindings.get(v)?.clone()),
+            Term::Const(c) => key.push(c.clone()),
+        }
+        for (i, arg) in rule.head.args.iter().enumerate() {
+            if i == agg_pos {
+                continue;
+            }
+            match arg {
+                HeadArg::Term(Term::Var(v)) => key.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                _ => return None,
+            }
+        }
+        Some(key)
+    }
+
+    /// Enumerates all group keys derivable at `node` for an aggregate rule.
+    fn all_groups(&self, rule: &Rule, node: NodeId, agg_pos: usize) -> Vec<Vec<Value>> {
+        let mut groups: Vec<Vec<Value>> = Vec::new();
+        for (bindings, _inputs) in self.evaluate_rule_body(rule, node, &Bindings::new()) {
+            if let Some(k) = self.group_key(rule, &bindings, agg_pos) {
+                if !groups.contains(&k) {
+                    groups.push(k);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Pre-binds the head variables that form a group key, so aggregate
+    /// recomputation only enumerates the affected group rather than the whole
+    /// table (essential for performance: one delta must not trigger a scan of
+    /// every group at the node).
+    fn group_bindings(&self, rule: &Rule, group_key: &[Value], agg_pos: usize) -> Bindings {
+        let mut bindings = Bindings::new();
+        if let Term::Var(v) = &rule.head.location {
+            bindings.insert(v.clone(), group_key[0].clone());
+        }
+        let mut key_iter = group_key.iter().skip(1);
+        for (i, arg) in rule.head.args.iter().enumerate() {
+            if i == agg_pos {
+                continue;
+            }
+            let key_val = key_iter.next();
+            if let (HeadArg::Term(Term::Var(v)), Some(value)) = (arg, key_val) {
+                bindings.insert(v.clone(), value.clone());
+            }
+        }
+        bindings
+    }
+
+    /// Evaluates the whole rule body at `node` under `initial` bindings,
+    /// returning every satisfying assignment with its grounded input tuples.
+    fn evaluate_rule_body(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        initial: &Bindings,
+    ) -> Vec<(Bindings, Vec<Tuple>)> {
+        let atoms: Vec<(usize, &Atom)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                BodyItem::Atom(a) => Some((i, a)),
+                _ => None,
+            })
+            .collect();
+        let mut results = Vec::new();
+        self.enumerate_bindings(
+            rule,
+            node,
+            &atoms,
+            0,
+            initial.clone(),
+            &mut Vec::new(),
+            &mut results,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_bindings(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        atoms: &[(usize, &Atom)],
+        depth: usize,
+        bindings: Bindings,
+        partial: &mut Vec<Tuple>,
+        results: &mut Vec<(Bindings, Vec<Tuple>)>,
+    ) {
+        if depth == atoms.len() {
+            // Apply assignments and constraints.
+            let mut complete = bindings;
+            for item in &rule.body {
+                match item {
+                    BodyItem::Assign(var, expr) => {
+                        let Ok(value) = eval_expr(expr, &complete, &self.data.funcs) else {
+                            return;
+                        };
+                        if let Some(existing) = complete.get(var) {
+                            if *existing != value {
+                                return;
+                            }
+                        } else {
+                            complete.insert(var.clone(), value);
+                        }
+                    }
+                    BodyItem::Constraint(op, lhs, rhs) => {
+                        let (Ok(l), Ok(r)) = (
+                            eval_expr(lhs, &complete, &self.data.funcs),
+                            eval_expr(rhs, &complete, &self.data.funcs),
+                        ) else {
+                            return;
+                        };
+                        if !eval_cmp(*op, &l, &r).unwrap_or(false) {
+                            return;
+                        }
+                    }
+                    BodyItem::Atom(_) => {}
+                }
+            }
+            results.push((complete, partial.clone()));
+            return;
+        }
+        let (_, atom) = atoms[depth];
+        if is_event_predicate(&atom.relation) {
+            return;
+        }
+        let Some(table) = self.store.table(node, &atom.relation) else {
+            return;
+        };
+        for candidate in table.scan() {
+            if candidate.location != node {
+                continue;
+            }
+            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
+                partial.push(candidate.clone());
+                self.enumerate_bindings(
+                    rule,
+                    node,
+                    atoms,
+                    depth + 1,
+                    new_bindings,
+                    partial,
+                    results,
+                );
+                partial.pop();
+            }
+        }
+    }
+
+    /// Recomputes one aggregate group and reconciles its output tuple.
+    fn recompute_group(
+        &mut self,
+        rule: &Rule,
+        node: NodeId,
+        func: AggFunc,
+        agg_var: Option<&str>,
+        agg_pos: usize,
+        group_key: &[Value],
+    ) {
+        // Gather all bindings for this group.  Pre-binding the group-key
+        // variables restricts the enumeration to the affected group.
+        let initial = self.group_bindings(rule, group_key, agg_pos);
+        let all = self.evaluate_rule_body(rule, node, &initial);
+        let mut in_group: Vec<(Bindings, Vec<Tuple>)> = Vec::new();
+        for (b, inputs) in all {
+            if let Some(k) = self.group_key(rule, &b, agg_pos) {
+                if k == group_key {
+                    in_group.push((b, inputs));
+                }
+            }
+        }
+
+        // Compute the aggregate value and the winning binding (for MIN/MAX
+        // provenance, the winning tuple is the provenance child; for COUNT the
+        // first binding is used as a representative).
+        let new_output: Option<(Value, usize)> = match func {
+            AggFunc::Count => {
+                if in_group.is_empty() {
+                    None
+                } else {
+                    Some((Value::Int(in_group.len() as i64), 0))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let Some(var) = agg_var else {
+                    return;
+                };
+                let mut best: Option<(i64, usize)> = None;
+                for (i, (b, _)) in in_group.iter().enumerate() {
+                    let Some(Value::Int(v)) = b.get(var).cloned() else {
+                        continue;
+                    };
+                    best = match best {
+                        None => Some((v, i)),
+                        Some((cur, ci)) => {
+                            let better = match func {
+                                AggFunc::Min => v < cur,
+                                AggFunc::Max => v > cur,
+                                AggFunc::Count => false,
+                            };
+                            if better {
+                                Some((v, i))
+                            } else {
+                                Some((cur, ci))
+                            }
+                        }
+                    };
+                }
+                best.map(|(v, i)| (Value::Int(v), i))
+            }
+        };
+
+        // Current output for this group, if any.
+        let loc = match &group_key[0] {
+            Value::Node(n) => *n,
+            Value::Int(n) => *n as NodeId,
+            _ => return,
+        };
+        let current = self.find_group_output(rule, node, group_key, agg_pos);
+
+        let new_tuple = new_output.as_ref().map(|(value, _)| {
+            let mut values = Vec::with_capacity(rule.head.args.len());
+            let mut key_iter = group_key.iter().skip(1);
+            for (i, _) in rule.head.args.iter().enumerate() {
+                if i == agg_pos {
+                    values.push(value.clone());
+                } else {
+                    values.push(
+                        key_iter
+                            .next()
+                            .expect("group key covers non-agg args")
+                            .clone(),
+                    );
+                }
+            }
+            Tuple::new(rule.head.relation.clone(), loc, values)
+        });
+
+        if current == new_tuple {
+            return;
+        }
+
+        // Retract the old output (and its aggregate-provenance entries).
+        if let Some(old) = current {
+            if self.data.config.aggregate_provenance {
+                if let Some((prov_t, exec_t)) =
+                    self.agg_prov
+                        .remove(&(node, rule.head.relation.clone(), group_key.to_vec()))
+                {
+                    self.dispatch_delta(node, prov_t, false, None);
+                    self.dispatch_delta(node, exec_t, false, None);
+                }
+            }
+            let token = match self.policy.clone() {
+                Some(policy) => policy
+                    .lock()
+                    .expect("annotation policy poisoned")
+                    .on_derivation(node, &rule.label, &[], &old, false),
+                None => None,
+            };
+            self.dispatch_delta(node, old, false, token);
+        }
+
+        // Assert the new output.
+        if let (Some(new_t), Some((_, winner_idx))) = (new_tuple, new_output) {
+            let winning_inputs = in_group
+                .get(winner_idx)
+                .map(|(_, inputs)| inputs.clone())
+                .unwrap_or_default();
+            let token = match self.policy.clone() {
+                Some(policy) => policy
+                    .lock()
+                    .expect("annotation policy poisoned")
+                    .on_derivation(node, &rule.label, &winning_inputs, &new_t, true),
+                None => None,
+            };
+            if self.data.config.aggregate_provenance {
+                let vids: Vec<_> = winning_inputs.iter().map(Tuple::vid).collect();
+                let rid = exspan_types::tuple::rule_exec_id(&rule.label, node, &vids);
+                let exec_t = Tuple::new(
+                    "ruleExec",
+                    node,
+                    vec![
+                        Value::from_digest(rid),
+                        Value::Str(rule.label.clone()),
+                        Value::List(vids.iter().map(|v| Value::Digest(v.0)).collect()),
+                    ],
+                );
+                let prov_t = Tuple::new(
+                    "prov",
+                    new_t.location,
+                    vec![
+                        Value::from_digest(new_t.vid()),
+                        Value::from_digest(rid),
+                        Value::Node(node),
+                    ],
+                );
+                self.agg_prov.insert(
+                    (node, rule.head.relation.clone(), group_key.to_vec()),
+                    (prov_t.clone(), exec_t.clone()),
+                );
+                self.dispatch_delta(node, exec_t, true, None);
+                self.dispatch_delta(node, prov_t, true, None);
+            }
+            self.dispatch_delta(node, new_t, true, token);
+        }
+    }
+
+    /// Finds the currently stored output tuple of an aggregate group.
+    fn find_group_output(
+        &self,
+        rule: &Rule,
+        node: NodeId,
+        group_key: &[Value],
+        agg_pos: usize,
+    ) -> Option<Tuple> {
+        let table = self.store.table(node, &rule.head.relation)?;
+        let loc = match &group_key[0] {
+            Value::Node(n) => *n,
+            Value::Int(n) => *n as NodeId,
+            _ => return None,
+        };
+        table
+            .scan()
+            .find(|t| {
+                if t.location != loc {
+                    return false;
+                }
+                let mut key_iter = group_key.iter().skip(1);
+                for (i, v) in t.values.iter().enumerate() {
+                    if i == agg_pos {
+                        continue;
+                    }
+                    match key_iter.next() {
+                        Some(k) if k == v => {}
+                        _ => return false,
+                    }
+                }
+                true
+            })
+            .cloned()
+    }
+}
+
+/// Unifies an atom against a tuple under existing bindings, returning the
+/// extended bindings on success.
+pub(crate) fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> Option<Bindings> {
+    if atom.relation != tuple.relation || atom.args.len() != tuple.values.len() {
+        return None;
+    }
+    let mut out = bindings.clone();
+    // Location.
+    match &atom.location {
+        Term::Var(v) => match out.get(v) {
+            Some(existing) => {
+                if *existing != Value::Node(tuple.location) {
+                    return None;
+                }
+            }
+            None => {
+                out.insert(v.clone(), Value::Node(tuple.location));
+            }
+        },
+        Term::Const(c) => {
+            if *c != Value::Node(tuple.location) && *c != Value::Int(tuple.location as i64) {
+                return None;
+            }
+        }
+    }
+    // Arguments.
+    for (term, value) in atom.args.iter().zip(tuple.values.iter()) {
+        match term {
+            Term::Var(v) => match out.get(v) {
+                Some(existing) => {
+                    if existing != value {
+                        return None;
+                    }
+                }
+                None => {
+                    out.insert(v.clone(), value.clone());
+                }
+            },
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_binds_and_checks_consistency() {
+        let atom = Atom::new("link", Term::var("Z"), vec![Term::var("S"), Term::var("C")]);
+        let t = Tuple::new("link", 1, vec![Value::Node(2), Value::Int(3)]);
+        let b = unify_atom(&atom, &t, &Bindings::new()).unwrap();
+        assert_eq!(b["Z"], Value::Node(1));
+        assert_eq!(b["S"], Value::Node(2));
+        assert_eq!(b["C"], Value::Int(3));
+        // Conflicting pre-binding fails.
+        let mut pre = Bindings::new();
+        pre.insert("S".into(), Value::Node(9));
+        assert!(unify_atom(&atom, &t, &pre).is_none());
+        // Constant mismatch fails.
+        let atom2 = Atom::new(
+            "link",
+            Term::var("Z"),
+            vec![Term::var("S"), Term::constant(4i64)],
+        );
+        assert!(unify_atom(&atom2, &t, &Bindings::new()).is_none());
+        // Relation mismatch fails.
+        let atom3 = Atom::new("path", Term::var("Z"), vec![Term::var("S"), Term::var("C")]);
+        assert!(unify_atom(&atom3, &t, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn shard_config_constructors() {
+        assert_eq!(ShardConfig::sequential().num_shards, 1);
+        assert_eq!(ShardConfig::with_shards(4).num_shards, 4);
+        assert!(ShardConfig::auto().num_shards >= 1);
+        assert_eq!(ShardConfig::default(), ShardConfig::sequential());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardConfig::with_shards(0);
+    }
+}

@@ -14,7 +14,7 @@
 //!   tuple, and the replaced tuple must be cascaded as a deletion.
 
 use exspan_types::{NodeId, Tuple, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Effect of an insertion on the visible state of the table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,13 +49,19 @@ struct Row {
 }
 
 /// A materialized table for one relation at one node.
+///
+/// Rows are kept in a `BTreeMap` ordered by primary key, so scans enumerate
+/// tuples in one canonical order no matter in which order derivations
+/// arrived.  Join enumeration order feeds the engine's event sequence
+/// numbers, so canonical scans are a prerequisite for the deterministic
+/// (sharded = sequential) execution the runtime guarantees.
 #[derive(Debug, Clone)]
 pub struct Table {
     relation: String,
     /// Primary-key positions over the full attribute list (0 = location).
     /// Empty means whole-tuple (set) semantics.
     key: Vec<usize>,
-    rows: HashMap<Vec<Value>, Row>,
+    rows: BTreeMap<Vec<Value>, Row>,
 }
 
 impl Table {
@@ -64,7 +70,7 @@ impl Table {
         Table {
             relation: relation.into(),
             key,
-            rows: HashMap::new(),
+            rows: BTreeMap::new(),
         }
     }
 

@@ -77,6 +77,23 @@ impl BandwidthSeries {
         self.buckets.iter().sum()
     }
 
+    /// Adds another series into this one, bucket by bucket.  Buckets hold
+    /// integral byte counts, so the merge is exact regardless of merge order
+    /// — the property the sharded runtime relies on for bit-identical
+    /// bandwidth figures.
+    pub fn merge_from(&mut self, other: &BandwidthSeries) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "cannot merge series with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
     /// Width of each bucket in seconds.
     pub fn bucket_width(&self) -> f64 {
         self.bucket_width
@@ -126,5 +143,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bucket_width_rejected() {
         BandwidthSeries::new(0.0);
+    }
+
+    #[test]
+    fn series_merge_is_bucketwise_and_exact() {
+        let mut a = BandwidthSeries::new(0.5);
+        a.record(0.1, 100);
+        let mut b = BandwidthSeries::new(0.5);
+        b.record(0.2, 50);
+        b.record(1.7, 25);
+        a.merge_from(&b);
+        assert_eq!(a.total_bytes(), 175);
+        let samples = a.samples();
+        assert_eq!(samples[0].1, 300.0); // 150 B / 0.5 s
+        assert_eq!(samples[3].1, 50.0); // 25 B / 0.5 s
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths")]
+    fn series_merge_rejects_mismatched_widths() {
+        let mut a = BandwidthSeries::new(0.5);
+        a.merge_from(&BandwidthSeries::new(1.0));
     }
 }

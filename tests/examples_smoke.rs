@@ -1,10 +1,15 @@
 //! Smoke tests mirroring the core path of each `examples/` binary, so the
 //! examples' API surface cannot silently rot between releases.
 //!
-//! Each test follows the same call sequence as its example. The two examples
-//! that build 100-node transit-stub networks are exercised here on smaller
-//! topologies to keep debug-mode test time reasonable; CI additionally runs
-//! the real binaries at full scale in release mode.
+//! Every scenario runs through one shared helper and is executed twice: on
+//! the sequential engine (one shard — the historical behavior) and on the
+//! sharded engine (three shards).  Each scenario returns a comparable
+//! outcome, and the two executions must agree exactly — any determinism
+//! drift between the sharded and sequential runtimes fails the suite.
+//!
+//! The two examples that build 100-node transit-stub networks are exercised
+//! here on smaller topologies to keep debug-mode test time reasonable; CI
+//! additionally runs the real binaries at full scale in release mode.
 
 use exspan::core::storage::{all_prov_entries, all_rule_exec_entries};
 use exspan::core::{
@@ -15,12 +20,16 @@ use exspan::ndlog::programs;
 use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
 use exspan::types::{Tuple, Value};
 
-fn reference_system(topology: Topology) -> ProvenanceSystem {
+/// Builds a reference-mode system over `topology` with `shards` worker
+/// shards, seeds its links and runs it to fixpoint — the common prologue of
+/// every example.
+fn reference_system(topology: Topology, shards: usize) -> ProvenanceSystem {
     let mut system = ProvenanceSystem::new(
         &programs::mincost(),
         topology,
         SystemConfig {
             mode: ProvenanceMode::Reference,
+            shards,
             ..Default::default()
         },
     );
@@ -29,11 +38,24 @@ fn reference_system(topology: Topology) -> ProvenanceSystem {
     system
 }
 
+/// Runs `scenario` on the sequential oracle and on three shards and asserts
+/// both executions produce the same outcome.
+fn assert_sharding_invariant<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    scenario: impl Fn(usize) -> T,
+) {
+    let sequential = scenario(1);
+    let sharded = scenario(3);
+    assert_eq!(
+        sequential, sharded,
+        "{name}: sharded run diverged from the sequential engine"
+    );
+}
+
 /// `examples/quickstart.rs`: Figure 3, provenance of `bestPathCost(@a,c,5)`
 /// in three representations.
-#[test]
-fn quickstart_core_path() {
-    let mut system = reference_system(Topology::paper_example());
+fn quickstart_core_path(shards: usize) -> (u64, Option<u64>, Vec<u32>) {
+    let mut system = reference_system(Topology::paper_example(), shards);
     assert!(!system.engine().tuples(0, "bestPathCost").is_empty());
 
     let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
@@ -41,7 +63,8 @@ fn quickstart_core_path() {
     let (_qe, outcome) =
         system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
     let polynomial = outcome.annotation.expect("polynomial query completes");
-    assert_eq!(polynomial.as_expr().unwrap().num_derivations(), 2);
+    let derivations = polynomial.as_expr().unwrap().num_derivations();
+    assert_eq!(derivations, 2);
 
     let (_qe, outcome) = system.query_provenance(
         3,
@@ -49,19 +72,32 @@ fn quickstart_core_path() {
         Box::new(DerivationCountRepr),
         TraversalOrder::Bfs,
     );
-    assert_eq!(outcome.annotation.unwrap().as_count(), Some(2));
+    let count = outcome.annotation.unwrap().as_count();
+    assert_eq!(count, Some(2));
 
     let (_qe, outcome) =
         system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
-    let nodes = outcome.annotation.unwrap();
-    assert_eq!(nodes.as_nodes().unwrap(), &[0, 1].into_iter().collect());
+    let nodes: Vec<u32> = outcome
+        .annotation
+        .unwrap()
+        .as_nodes()
+        .unwrap()
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(nodes, vec![0, 1]);
+    (derivations, count, nodes)
+}
+
+#[test]
+fn quickstart_smoke() {
+    assert_sharding_invariant("quickstart", quickstart_core_path);
 }
 
 /// `examples/network_debugging.rs`: inspect the provenance graph, explain a
 /// route, then fail a link and watch the state update incrementally.
-#[test]
-fn network_debugging_core_path() {
-    let mut system = reference_system(Topology::testbed_ring(12, 7));
+fn network_debugging_core_path(shards: usize) -> (Vec<Tuple>, String, Vec<Tuple>) {
+    let mut system = reference_system(Topology::testbed_ring(12, 7), shards);
     assert!(!all_prov_entries(system.engine()).is_empty());
     assert!(!all_rule_exec_entries(system.engine()).is_empty());
 
@@ -90,13 +126,19 @@ fn network_debugging_core_path() {
     system.run_to_fixpoint();
     // The network is still connected through the rest of the ring, so node 0
     // keeps a route to every other node.
-    assert!(!system.engine().tuples(0, "bestPathCost").is_empty());
+    let remaining = system.engine().tuples(0, "bestPathCost");
+    assert!(!remaining.is_empty());
+    (routes, expr_text, remaining)
+}
+
+#[test]
+fn network_debugging_smoke() {
+    assert_sharding_invariant("network_debugging", network_debugging_core_path);
 }
 
 /// `examples/churn_diagnostics.rs`: cached derivation-count queries with
 /// transitive invalidation while churn events are applied.
-#[test]
-fn churn_diagnostics_core_path() {
+fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64) {
     // The churn model only churns stub-stub links, so build a small ring of
     // them (the example's 100-node transit-stub network is too slow for a
     // debug-mode smoke test).
@@ -111,7 +153,7 @@ fn churn_diagnostics_core_path() {
     };
     let schedule = churn.schedule(&topology, 1.0);
     assert!(!schedule.is_empty(), "churn model produced no events");
-    let mut system = reference_system(topology);
+    let mut system = reference_system(topology, shards);
 
     let mut queries = QueryEngine::new(Box::new(DerivationCountRepr), TraversalOrder::Bfs);
     queries.set_caching(true);
@@ -124,11 +166,11 @@ fn churn_diagnostics_core_path() {
         .clone();
     let idx = queries.query_now(system.engine_mut(), 0, &monitored);
     queries.run(system.engine_mut());
-    assert!(queries.outcomes()[idx]
+    let first_count = queries.outcomes()[idx]
         .annotation
         .as_ref()
-        .and_then(|a| a.as_count())
-        .is_some());
+        .and_then(|a| a.as_count());
+    assert!(first_count.is_some());
 
     for event in &schedule {
         for vid in ProvenanceSystem::churn_event_vids(event) {
@@ -139,24 +181,25 @@ fn churn_diagnostics_core_path() {
     system.run_to_fixpoint();
 
     let dest = monitored.values[0].clone();
-    if let Some(current) = system
-        .engine()
-        .tuples(0, "bestPathCost")
-        .into_iter()
-        .find(|t| t.values[0] == dest)
-    {
-        let i = queries.query_now(system.engine_mut(), 0, &current);
+    let surviving = system.engine().tuples(0, "bestPathCost");
+    if let Some(current) = surviving.iter().find(|t| t.values[0] == dest) {
+        let i = queries.query_now(system.engine_mut(), 0, current);
         queries.run(system.engine_mut());
         assert!(queries.outcomes()[i].annotation.is_some());
     }
     assert!(queries.stats().messages > 0);
+    (first_count, surviving, queries.stats().messages)
+}
+
+#[test]
+fn churn_diagnostics_smoke() {
+    assert_sharding_invariant("churn_diagnostics", churn_diagnostics_core_path);
 }
 
 /// `examples/trust_management.rs`: trust-domain granularity plus acceptance
 /// decisions evaluated directly on condensed (BDD) provenance.
-#[test]
-fn trust_management_core_path() {
-    let mut system = reference_system(Topology::paper_example());
+fn trust_management_core_path(shards: usize) -> (bool, bool) {
+    let mut system = reference_system(Topology::paper_example(), shards);
 
     let routes = system.engine().tuples(3, "bestPathCost");
     let route_to_a = routes
@@ -193,4 +236,10 @@ fn trust_management_core_path() {
 
     assert!(accept_all);
     assert!(!accept_domain0);
+    (accept_all, accept_domain0)
+}
+
+#[test]
+fn trust_management_smoke() {
+    assert_sharding_invariant("trust_management", trust_management_core_path);
 }
