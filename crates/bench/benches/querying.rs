@@ -1,68 +1,66 @@
 //! Provenance-query benchmarks (the basis of Figures 11–15): distributed
 //! traversal of the provenance graph under different representations,
-//! traversal orders and caching settings.
+//! traversal orders and caching settings, all through the `Deployment` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exspan_bench::run_protocol;
-use exspan_core::{
-    BddRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceRepr,
-    QueryEngine, TraversalOrder,
-};
+use exspan_core::{Deployment, ProvenanceMode, Repr, TraversalOrder};
 use exspan_ndlog::programs;
 use exspan_netsim::Topology;
 use exspan_types::Tuple;
 use std::hint::black_box;
 
 /// Builds a 20-node testbed running MINCOST with reference-based provenance
-/// and returns the system plus every bestPathCost tuple (query targets).
-fn prepared_system() -> (exspan_core::ProvenanceSystem, Vec<Tuple>) {
+/// and returns the deployment plus every bestPathCost tuple (query targets).
+fn prepared_deployment() -> (Deployment, Vec<Tuple>) {
     let topo = Topology::testbed_ring(20, 11);
-    let system = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference, 1);
+    let deployment = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference, 1);
     let mut targets = Vec::new();
     for n in 0..20 {
-        targets.extend(system.engine().tuples(n, "bestPathCost"));
+        targets.extend(deployment.tuples(n, "bestPathCost"));
     }
-    (system, targets)
+    (deployment, targets)
 }
 
 fn run_queries(
-    system: &mut exspan_core::ProvenanceSystem,
+    deployment: &mut Deployment,
     targets: &[Tuple],
-    repr: Box<dyn ProvenanceRepr>,
+    repr: Repr,
     traversal: TraversalOrder,
     caching: bool,
     count: usize,
 ) -> u64 {
-    let mut qe = QueryEngine::new(repr, traversal);
-    qe.set_caching(caching);
     for (i, t) in targets.iter().cycle().take(count).enumerate() {
         let issuer = (i % 20) as u32;
-        qe.query_now(system.engine_mut(), issuer, t);
+        deployment
+            .query(t)
+            .issuer(issuer)
+            .repr(repr.clone())
+            .traversal(traversal)
+            .cached(caching)
+            .submit();
     }
-    qe.run(system.engine_mut());
-    qe.stats().bytes
+    deployment.run_to_fixpoint();
+    deployment.query_traffic_stats().bytes
 }
-
-/// A named constructor for one representation under test.
-type ReprCase = (&'static str, fn() -> Box<dyn ProvenanceRepr>);
 
 fn bench_representations(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_representation");
     group.sample_size(10);
-    let cases: Vec<ReprCase> = vec![
-        ("polynomial", || Box::new(PolynomialRepr)),
-        ("bdd", || Box::new(BddRepr::new())),
-        ("nodeset", || Box::new(NodeSetRepr)),
-        ("count", || Box::new(DerivationCountRepr)),
+    let cases: Vec<(&'static str, Repr)> = vec![
+        ("polynomial", Repr::Polynomial),
+        ("bdd", Repr::Bdd),
+        ("nodeset", Repr::NodeSet),
+        ("count", Repr::DerivationCount),
     ];
-    for (name, make) in cases {
+    for (name, repr) in cases {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let (mut system, targets) = prepared_system();
+                let (mut deployment, targets) = prepared_deployment();
                 black_box(run_queries(
-                    &mut system,
+                    &mut deployment,
                     &targets,
-                    make(),
+                    repr.clone(),
                     TraversalOrder::Bfs,
                     false,
                     25,
@@ -88,11 +86,11 @@ fn bench_traversal_orders(c: &mut Criterion) {
     for (name, order) in orders {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let (mut system, targets) = prepared_system();
+                let (mut deployment, targets) = prepared_deployment();
                 black_box(run_queries(
-                    &mut system,
+                    &mut deployment,
                     &targets,
-                    Box::new(DerivationCountRepr),
+                    Repr::DerivationCount,
                     order,
                     false,
                     25,
@@ -109,11 +107,11 @@ fn bench_caching(c: &mut Criterion) {
     for (name, caching) in [("without_cache", false), ("with_cache", true)] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let (mut system, targets) = prepared_system();
+                let (mut deployment, targets) = prepared_deployment();
                 black_box(run_queries(
-                    &mut system,
+                    &mut deployment,
                     &targets,
-                    Box::new(PolynomialRepr),
+                    Repr::Polynomial,
                     TraversalOrder::Bfs,
                     caching,
                     50,

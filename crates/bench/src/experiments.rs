@@ -1,10 +1,7 @@
 //! Experiment drivers — one function per figure of the evaluation (§7).
 
 use crate::report::{FigureReport, Series};
-use exspan_core::{
-    BddRepr, DerivationCountRepr, PolynomialRepr, ProvenanceMode, ProvenanceRepr, ProvenanceSystem,
-    QueryEngine, SystemConfig, TraversalOrder,
-};
+use exspan_core::{Deployment, Exspan, ProvenanceMode, Repr, TraversalOrder};
 use exspan_ndlog::ast::Program;
 use exspan_ndlog::programs;
 use exspan_netsim::{ChurnModel, Topology};
@@ -124,26 +121,23 @@ pub fn evaluation_modes() -> Vec<ProvenanceMode> {
     ]
 }
 
-/// Builds a system, seeds its links, and runs the protocol to fixpoint on
-/// `shards` worker threads (results are identical for every shard count).
+/// Builds a deployment (links auto-seeded) and runs the protocol to fixpoint
+/// on `shards` worker threads (results are identical for every shard count).
 pub fn run_protocol(
     program: &Program,
     topology: Topology,
     mode: ProvenanceMode,
     shards: usize,
-) -> ProvenanceSystem {
-    let mut system = ProvenanceSystem::new(
-        program,
-        topology,
-        SystemConfig {
-            mode,
-            shards,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    system.run_to_fixpoint();
-    system
+) -> Deployment {
+    let mut deployment = Exspan::builder()
+        .program(program.clone())
+        .topology(topology)
+        .mode(mode)
+        .shards(shards)
+        .build()
+        .expect("experiment configuration is valid");
+    deployment.run_to_fixpoint();
+    deployment
 }
 
 fn comm_cost_vs_nodes(program: &Program, scale: &Scale, id: &str, title: &str) -> FigureReport {
@@ -199,7 +193,7 @@ pub fn figure8(scale: &Scale) -> FigureReport {
         let topology = Topology::transit_stub(scale.traffic_domains, scale.seed);
         let nodes = topology.num_nodes();
         let mut system = run_protocol(&programs::packet_forward(), topology, mode, scale.shards);
-        let start = system.engine().now();
+        let start = system.now();
         let mut rng = SmallRng::seed_from_u64(scale.seed);
 
         // Each node picks a random peer and sends `packets_per_second`
@@ -219,7 +213,7 @@ pub fn figure8(scale: &Scale) -> FigureReport {
                     node,
                     vec![Value::Node(node), Value::Node(dest), Value::Payload(1024)],
                 );
-                system.engine_mut().schedule_delta(t, node, packet, true);
+                system.schedule_delta(t, node, packet, true);
                 t += interval;
             }
         }
@@ -246,10 +240,10 @@ pub fn figure8(scale: &Scale) -> FigureReport {
 /// maintenance traffic lands at the schedule's position in the bandwidth
 /// time-series; the engine clock only advances while events are processed,
 /// so applying the deltas "now" would pile every batch onto the
-/// initial-fixpoint buckets.  `start` is the engine time the churn window
-/// begins at (normally `system.engine().now()` right after fixpoint).
+/// initial-fixpoint buckets.  `start` is the simulated time the churn window
+/// begins at (normally `deployment.now()` right after fixpoint).
 pub fn drive_churn(
-    system: &mut ProvenanceSystem,
+    system: &mut Deployment,
     churn: &ChurnModel,
     schedule: &[exspan_netsim::ChurnEvent],
     start: f64,
@@ -278,7 +272,7 @@ fn churn_experiment(program: &Program, scale: &Scale, id: &str, title: &str) -> 
         };
         let schedule = churn.schedule(&topology, scale.churn_duration);
         let mut system = run_protocol(program, topology, mode, scale.shards);
-        let start = system.engine().now();
+        let start = system.now();
 
         drive_churn(&mut system, &churn, &schedule, start, scale.churn_duration);
 
@@ -331,22 +325,24 @@ pub struct QueryRun {
 
 /// Runs the query workload of §7.3: every node issues `queries_per_second`
 /// provenance queries per second for `query_duration` seconds, each targeting
-/// a randomly selected `bestPathCost` tuple.
+/// a randomly selected `bestPathCost` tuple.  All queries are submitted
+/// through the deployment's builder API and progress — together with any
+/// residual maintenance — under the deployment's single simulated clock.
 pub fn query_workload(
     scale: &Scale,
-    repr: Box<dyn ProvenanceRepr>,
+    repr: Repr,
     traversal: TraversalOrder,
     caching: bool,
 ) -> QueryRun {
     let topology = Topology::transit_stub(scale.query_domains, scale.seed);
     let nodes = topology.num_nodes();
-    let mut system = run_protocol(
+    let mut deployment = run_protocol(
         &programs::mincost(),
         topology,
         ProvenanceMode::Reference,
         scale.shards,
     );
-    let start = system.engine().now();
+    let start = deployment.now();
 
     // Gather the population of queryable tuples.  Queries target the routes
     // of a small set of "hot" destinations (operators investigate specific
@@ -354,28 +350,37 @@ pub fn query_workload(
     // uncached runs use the identical workload for a fair comparison.
     let mut targets: Vec<Tuple> = Vec::new();
     for n in 0..nodes.min(12) as NodeId {
-        targets.extend(system.engine().tuples(n, "bestPathCost"));
+        targets.extend(deployment.tuples(n, "bestPathCost"));
     }
     targets.truncate(64);
 
-    let mut qe = QueryEngine::new(repr, traversal);
-    qe.set_caching(caching);
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0xABCD);
     let interval = 1.0 / scale.queries_per_second;
     for issuer in 0..nodes as NodeId {
         let mut t = start + rng.gen_range(0.0..interval);
         while t < start + scale.query_duration {
             let target = &targets[rng.gen_range(0..targets.len())];
-            qe.schedule_query(system.engine_mut(), t, issuer, target);
+            deployment
+                .query(target)
+                .issuer(issuer)
+                .repr(repr.clone())
+                .traversal(traversal)
+                .cached(caching)
+                .at(t)
+                .submit();
             t += interval;
         }
     }
-    qe.run(system.engine_mut());
+    deployment.run_to_fixpoint();
 
-    let latencies: Vec<f64> = qe.outcomes().iter().filter_map(|o| o.latency()).collect();
+    let latencies: Vec<f64> = deployment
+        .outcomes()
+        .iter()
+        .filter_map(|o| o.latency())
+        .collect();
     let completed = latencies.len();
-    let bandwidth_kbps = qe
-        .bandwidth_samples()
+    let bandwidth_kbps = deployment
+        .query_bandwidth_samples()
         .into_iter()
         .filter(|&(t, _)| t >= start)
         .map(|(t, bps)| (t - start, bps / 1024.0 / nodes as f64))
@@ -384,14 +389,14 @@ pub fn query_workload(
         bandwidth_kbps,
         latencies,
         completed,
-        total_bytes: qe.stats().bytes,
+        total_bytes: deployment.query_traffic_stats().bytes,
     }
 }
 
 /// Figure 11: average query bandwidth (KBps) with and without caching.
 pub fn figure11(scale: &Scale) -> FigureReport {
-    let without = query_workload(scale, Box::new(PolynomialRepr), TraversalOrder::Bfs, false);
-    let with = query_workload(scale, Box::new(PolynomialRepr), TraversalOrder::Bfs, true);
+    let without = query_workload(scale, Repr::Polynomial, TraversalOrder::Bfs, false);
+    let with = query_workload(scale, Repr::Polynomial, TraversalOrder::Bfs, true);
     FigureReport {
         id: "fig11".into(),
         title: "Query bandwidth with and without caching (POLYNOMIAL)".into(),
@@ -409,8 +414,8 @@ pub fn figure11(scale: &Scale) -> FigureReport {
 
 /// Figure 12: CDF of query completion latency with and without caching.
 pub fn figure12(scale: &Scale) -> FigureReport {
-    let without = query_workload(scale, Box::new(PolynomialRepr), TraversalOrder::Bfs, false);
-    let with = query_workload(scale, Box::new(PolynomialRepr), TraversalOrder::Bfs, true);
+    let without = query_workload(scale, Repr::Polynomial, TraversalOrder::Bfs, false);
+    let with = query_workload(scale, Repr::Polynomial, TraversalOrder::Bfs, true);
     FigureReport {
         id: "fig12".into(),
         title: "CDF of query completion latency with and without caching".into(),
@@ -436,7 +441,7 @@ pub fn figure13(scale: &Scale) -> FigureReport {
     let series = orders
         .into_iter()
         .map(|(label, order)| {
-            let run = query_workload(scale, Box::new(DerivationCountRepr), order, false);
+            let run = query_workload(scale, Repr::DerivationCount, order, false);
             Series::new(label, run.bandwidth_kbps)
         })
         .collect();
@@ -462,7 +467,7 @@ pub fn figure14(scale: &Scale) -> FigureReport {
     let series = orders
         .into_iter()
         .map(|(label, order)| {
-            let run = query_workload(scale, Box::new(DerivationCountRepr), order, false);
+            let run = query_workload(scale, Repr::DerivationCount, order, false);
             Series::new(label, cdf(&run.latencies))
         })
         .collect();
@@ -480,8 +485,8 @@ pub fn figure14(scale: &Scale) -> FigureReport {
 
 /// Figure 15: query bandwidth for POLYNOMIAL vs BDD result representations.
 pub fn figure15(scale: &Scale) -> FigureReport {
-    let poly = query_workload(scale, Box::new(PolynomialRepr), TraversalOrder::Bfs, false);
-    let bdd = query_workload(scale, Box::new(BddRepr::new()), TraversalOrder::Bfs, false);
+    let poly = query_workload(scale, Repr::Polynomial, TraversalOrder::Bfs, false);
+    let bdd = query_workload(scale, Repr::Bdd, TraversalOrder::Bfs, false);
     FigureReport {
         id: "fig15".into(),
         title: "Query bandwidth: POLYNOMIAL vs BDD representation".into(),
@@ -500,24 +505,17 @@ pub fn figure15(scale: &Scale) -> FigureReport {
 /// Runs PATHVECTOR to fixpoint on a testbed ring of `nodes` nodes,
 /// returning the system and the fixpoint time (which `run_protocol`
 /// discards but Figures 16 and 17 need).
-fn run_testbed_pathvector(
-    scale: &Scale,
-    mode: ProvenanceMode,
-    nodes: usize,
-) -> (ProvenanceSystem, f64) {
+fn run_testbed_pathvector(scale: &Scale, mode: ProvenanceMode, nodes: usize) -> (Deployment, f64) {
     let topology = Topology::testbed_ring(nodes, scale.seed);
-    let mut system = ProvenanceSystem::new(
-        &programs::path_vector(),
-        topology,
-        SystemConfig {
-            mode,
-            shards: scale.shards,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    let stats = system.run_to_fixpoint();
-    (system, stats.fixpoint_time)
+    let mut deployment = Exspan::builder()
+        .program(programs::path_vector())
+        .topology(topology)
+        .mode(mode)
+        .shards(scale.shards)
+        .build()
+        .expect("experiment configuration is valid");
+    let stats = deployment.run_to_fixpoint();
+    (deployment, stats.fixpoint_time)
 }
 
 /// Figure 16: per-node bandwidth over time for PATHVECTOR on the testbed

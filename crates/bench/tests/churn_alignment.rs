@@ -26,7 +26,7 @@ fn churn_traffic_lands_in_measurement_window() {
     assert!(!schedule.is_empty(), "churn model produced no events");
 
     let mut system = run_protocol(&programs::mincost(), topology, ProvenanceMode::Reference, 1);
-    let start = system.engine().now();
+    let start = system.now();
 
     // The same driver churn_experiment (fig9/fig10) uses.
     drive_churn(&mut system, &churn, &schedule, start, churn_duration);

@@ -10,37 +10,33 @@
 //! `crates/bench/tests/churn_alignment.rs` covers for the sequential engine.
 
 use exspan_bench::drive_churn;
-use exspan_core::{ProvenanceMode, ProvenanceSystem, SystemConfig};
+use exspan_core::{Deployment, Exspan, ProvenanceMode};
 use exspan_ndlog::programs;
 use exspan_netsim::{ChurnModel, Topology};
 use exspan_types::{Tuple, Value};
 
 const SHARDS: usize = 3;
 
-fn system_with(shards: usize, topology: Topology) -> ProvenanceSystem {
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            shards,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
+fn system_with(shards: usize, topology: Topology) -> Deployment {
+    let mut system = Exspan::builder()
+        .program(programs::mincost())
+        .topology(topology)
+        .mode(ProvenanceMode::Reference)
+        .shards(shards)
+        .build()
+        .expect("valid deployment");
     system.run_to_fixpoint();
     system
 }
 
 /// Finds a link of the topology whose endpoints live on different shards of
 /// the engine's partition.
-fn cross_shard_link(system: &ProvenanceSystem) -> (u32, u32) {
-    let engine = system.engine();
-    engine
+fn cross_shard_link(system: &Deployment) -> (u32, u32) {
+    system
         .topology()
         .links()
         .map(|(a, b, _)| (a, b))
-        .find(|&(a, b)| engine.shard_of(a) != engine.shard_of(b))
+        .find(|&(a, b)| system.shard_of(a) != system.shard_of(b))
         .expect("a multi-shard partition of a connected topology must split some link")
 }
 
@@ -48,8 +44,8 @@ fn cross_shard_link(system: &ProvenanceSystem) -> (u32, u32) {
 fn cross_shard_link_deletion_retracts_remote_derivations() {
     let mut system = system_with(SHARDS, Topology::testbed_ring(20, 5));
     let (a, b) = cross_shard_link(&system);
-    let shard_a = system.engine().shard_of(a);
-    let shard_b = system.engine().shard_of(b);
+    let shard_a = system.shard_of(a);
+    let shard_b = system.shard_of(b);
     assert_ne!(shard_a, shard_b);
 
     // Node b currently routes through (or at least knows) the deleted link:
@@ -59,10 +55,10 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
         b,
         vec![
             Value::Node(a),
-            Value::Int(system.engine().topology().link(a, b).unwrap().cost),
+            Value::Int(system.topology().link(a, b).unwrap().cost),
         ],
     );
-    assert_eq!(system.engine().derivation_count(&link_at_b), 1);
+    assert_eq!(system.derivation_count(&link_at_b), 1);
 
     // Delete the link: the base deltas are issued at both endpoints, which
     // live on different shards, and every derivation built from them —
@@ -71,7 +67,7 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     system.run_to_fixpoint();
 
     assert_eq!(
-        system.engine().derivation_count(&link_at_b),
+        system.derivation_count(&link_at_b),
         0,
         "link base tuple at the far endpoint must be deleted across the shard boundary"
     );
@@ -80,9 +76,9 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     // zero-hop-free route back to the node itself), and no stale route uses
     // the deleted edge at either endpoint (a route a->b or b->a must now
     // cost more than one hop).
-    let n = system.engine().topology().num_nodes();
+    let n = system.topology().num_nodes();
     for node in 0..n as u32 {
-        let routes = system.engine().tuples(node, "bestPathCost");
+        let routes = system.tuples(node, "bestPathCost");
         assert_eq!(
             routes.len(),
             n,
@@ -91,7 +87,6 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     }
     let direct = |s: u32, d: u32| {
         system
-            .engine()
             .tuples(s, "bestPathCost")
             .into_iter()
             .find(|t| t.values[0] == Value::Node(d))
@@ -113,8 +108,8 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     oracle.run_to_fixpoint();
     for rel in ["link", "pathCost", "bestPathCost", "prov", "ruleExec"] {
         assert_eq!(
-            oracle.engine().tuples_everywhere(rel),
-            system.engine().tuples_everywhere(rel),
+            oracle.tuples_everywhere(rel),
+            system.tuples_everywhere(rel),
             "relation {rel} diverged from the sequential oracle after cross-shard churn"
         );
     }
@@ -140,12 +135,12 @@ fn scheduled_churn_schedule_is_identical_across_shard_counts() {
         let schedule = churn.schedule(&topology, 1.0);
         assert!(!schedule.is_empty());
         let mut system = system_with(shards, topology);
-        let start = system.engine().now();
+        let start = system.now();
         drive_churn(&mut system, &churn, &schedule, start, 1.0);
         (
-            system.engine().tuples_everywhere("bestPathCost"),
+            system.tuples_everywhere("bestPathCost"),
             system.avg_bandwidth_mbps(),
-            system.engine().stats().total_bytes(),
+            system.total_bytes(),
         )
     };
     let oracle = run(1);

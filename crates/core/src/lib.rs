@@ -14,10 +14,13 @@
 //!   provenance).
 //! * [`storage`] — typed access to the distributed `prov`/`ruleExec` tables
 //!   (the storage model of §4.1, Tables 1 and 2).
-//! * [`mode`] + [`system`] — the provenance distribution modes of §3
+//! * [`mode`] + [`deployment`] — the provenance distribution modes of §3
 //!   (no provenance, reference-based, value-based with BDDs, centralized)
-//!   behind one [`system::ProvenanceSystem`] facade that builds the engine,
-//!   seeds the topology and runs protocols.
+//!   behind the first-class [`deployment::Deployment`] API: validated builder
+//!   construction ([`deployment::Exspan::builder`]), typed builder-style
+//!   queries returning [`deployment::QueryHandle`]s, and one unified
+//!   simulated clock advancing maintenance, churn and in-flight queries
+//!   together.
 //! * [`repr`] — the customizable representations of §5.2: provenance
 //!   polynomials, node sets, derivation counts, derivability tests, BDD
 //!   (absorption) provenance and trust-domain granularity, all expressed
@@ -30,6 +33,7 @@
 //!   policy: every transmitted tuple carries its full (BDD-condensed)
 //!   derivation history.
 
+pub mod deployment;
 pub mod mode;
 pub mod query;
 pub mod repr;
@@ -38,13 +42,19 @@ pub mod storage;
 pub mod system;
 pub mod value_policy;
 
+pub use deployment::{
+    BuildError, Deployment, DeploymentBuilder, Exspan, QueryBuilder, QueryHandle, QuerySession,
+};
 pub use mode::ProvenanceMode;
-pub use query::{QueryEngine, QueryOutcome, TraversalOrder};
+#[allow(deprecated)]
+pub use query::QueryEngine;
+pub use query::{QueryOutcome, QueryTrafficStats, Traversal, TraversalOrder};
 pub use repr::{
     Annotation, BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr,
-    ProvExpr, ProvenanceRepr, TrustDomainRepr,
+    ProvExpr, ProvenanceRepr, Repr, TrustDomainRepr,
 };
 pub use rewrite::{provenance_rewrite, RewriteOptions};
 pub use storage::{ProvEntry, RuleExecEntry};
+#[allow(deprecated)]
 pub use system::{ProvenanceSystem, SystemConfig};
 pub use value_policy::ValueBddPolicy;

@@ -15,7 +15,14 @@
 //! `eProvQuery` / `eRuleQuery` / `eProvResults` / `eRuleResults` tuples are
 //! exchanged through the engine (so their bandwidth and latency are accounted
 //! exactly like protocol traffic), and the per-node buffering that
-//! `pResultTmp` performs is held in [`QueryEngine`]'s pending-query tables.
+//! `pResultTmp` performs is held in the session's pending-query tables.
+//!
+//! The machinery lives in the private `SessionCore`, one instance per *query session*
+//! (a representation + traversal + caching configuration).  Sessions are
+//! owned and driven by [`crate::deployment::Deployment`], whose unified event
+//! loop interleaves query messages with protocol maintenance and churn on one
+//! simulated clock.  The deprecated [`QueryEngine`] wraps a single session
+//! for pre-`Deployment` callers.
 //!
 //! Optimizations:
 //!
@@ -56,6 +63,10 @@ pub enum TraversalOrder {
     },
 }
 
+/// Short alias for [`TraversalOrder`], matching the builder-style query API
+/// (`.traversal(Traversal::Bfs)`).
+pub use TraversalOrder as Traversal;
+
 /// The final state of one issued query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -77,6 +88,11 @@ impl QueryOutcome {
     /// Query completion latency in seconds, if the query completed.
     pub fn latency(&self) -> Option<f64> {
         self.completed_at.map(|c| c - self.issued_at)
+    }
+
+    /// Whether the query has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
     }
 }
 
@@ -136,8 +152,45 @@ pub struct QueryTrafficStats {
     pub invalidations: u64,
 }
 
-/// The distributed provenance query processor.
-pub struct QueryEngine {
+impl QueryTrafficStats {
+    pub(crate) fn zero() -> Self {
+        QueryTrafficStats {
+            bytes: 0,
+            messages: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    pub(crate) fn merge_from(&mut self, other: &QueryTrafficStats) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Mutable state shared by every session of one deployment, threaded through
+/// the query machinery: the engine (message transport + clock), the global
+/// outcome table, the digest→session routing map used to dispatch incoming
+/// query messages, and the deployment-wide id counter that keeps message ids
+/// unique across concurrent sessions.
+pub(crate) struct Ctx<'a> {
+    pub(crate) engine: &'a mut Engine,
+    pub(crate) outcomes: &'a mut Vec<QueryOutcome>,
+    pub(crate) route: &'a mut HashMap<Digest, usize>,
+    pub(crate) next_id: &'a mut u64,
+    /// Count of submitted-but-undelivered outcomes, decremented on delivery.
+    pub(crate) incomplete: &'a mut usize,
+}
+
+/// The per-session state machine of the distributed query protocol: one
+/// representation + traversal + caching configuration, its result cache, and
+/// its pending-query tables.
+pub(crate) struct SessionCore {
+    session_id: usize,
     repr: Box<dyn ProvenanceRepr>,
     traversal: TraversalOrder,
     caching_enabled: bool,
@@ -148,114 +201,127 @@ pub struct QueryEngine {
     pending_rules: HashMap<Digest, PendingRule>,
     /// Annotations travelling inside result messages, keyed by the message id.
     in_flight: HashMap<Digest, Annotation>,
-    /// Scheduled query issuance (index into `outcomes`).
+    /// Scheduled query issuance (global outcome index -> issuer and target).
     scheduled: HashMap<i64, (NodeId, Tuple)>,
-    outcomes: Vec<QueryOutcome>,
     series: BandwidthSeries,
     stats: QueryTrafficStats,
     rng: SmallRng,
-    next_id: u64,
 }
 
-impl QueryEngine {
-    /// Creates a query engine with the given representation and traversal.
-    pub fn new(repr: Box<dyn ProvenanceRepr>, traversal: TraversalOrder) -> Self {
-        QueryEngine {
+impl SessionCore {
+    pub(crate) fn new(
+        session_id: usize,
+        repr: Box<dyn ProvenanceRepr>,
+        traversal: TraversalOrder,
+        caching: bool,
+    ) -> Self {
+        SessionCore {
+            session_id,
             repr,
             traversal,
-            caching_enabled: false,
+            caching_enabled: caching,
             cache: HashMap::new(),
             dependents: HashMap::new(),
             pending_tuples: HashMap::new(),
             pending_rules: HashMap::new(),
             in_flight: HashMap::new(),
             scheduled: HashMap::new(),
-            outcomes: Vec::new(),
             series: BandwidthSeries::new(0.1),
-            stats: QueryTrafficStats {
-                bytes: 0,
-                messages: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                invalidations: 0,
-            },
+            stats: QueryTrafficStats::zero(),
             rng: SmallRng::seed_from_u64(0x5EED),
-            next_id: 0,
         }
     }
 
-    /// Enables or disables result caching (§6.1).
-    pub fn set_caching(&mut self, enabled: bool) {
+    pub(crate) fn set_caching(&mut self, enabled: bool) {
         self.caching_enabled = enabled;
     }
 
-    /// The traversal order in use.
-    pub fn traversal(&self) -> TraversalOrder {
+    pub(crate) fn caching(&self) -> bool {
+        self.caching_enabled
+    }
+
+    pub(crate) fn traversal(&self) -> TraversalOrder {
         self.traversal
     }
 
-    /// The representation in use (for post-processing annotations, e.g. BDD
-    /// trust evaluation).
-    pub fn repr(&self) -> &dyn ProvenanceRepr {
+    pub(crate) fn repr(&self) -> &dyn ProvenanceRepr {
         self.repr.as_ref()
     }
 
-    /// Outcomes of all queries issued so far, in issue order.
-    pub fn outcomes(&self) -> &[QueryOutcome] {
-        &self.outcomes
-    }
-
-    /// Query-traffic statistics.
-    pub fn stats(&self) -> &QueryTrafficStats {
+    pub(crate) fn stats(&self) -> &QueryTrafficStats {
         &self.stats
     }
 
-    /// Bandwidth time-series of query traffic (bytes per second).
-    pub fn bandwidth_samples(&self) -> Vec<(f64, f64)> {
+    pub(crate) fn bandwidth_samples(&self) -> Vec<(f64, f64)> {
         self.series.samples()
     }
 
-    /// Number of cache entries currently held across all nodes.
-    pub fn cache_entries(&self) -> usize {
+    pub(crate) fn cache_entries(&self) -> usize {
         self.cache.len()
     }
 
-    fn fresh_id(&mut self, tag: &str) -> Digest {
-        self.next_id += 1;
-        sha1_digest(format!("{tag}:{}", self.next_id).as_bytes())
+    /// Whether the session still has unresolved protocol state (queries
+    /// waiting to be issued, buffered sub-queries, or results in flight).
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.scheduled.is_empty()
+            || !self.pending_tuples.is_empty()
+            || !self.pending_rules.is_empty()
+            || !self.in_flight.is_empty()
+    }
+
+    /// Drops all unresolved protocol state (used when the event queue has
+    /// drained and the corresponding messages can never arrive).  The result
+    /// cache is kept — completed results stay valid.
+    pub(crate) fn clear_pending(&mut self) {
+        self.scheduled.clear();
+        self.pending_tuples.clear();
+        self.pending_rules.clear();
+        self.in_flight.clear();
+    }
+
+    fn fresh_id(&mut self, ctx: &mut Ctx, tag: &str) -> Digest {
+        *ctx.next_id += 1;
+        sha1_digest(format!("{tag}:{}", *ctx.next_id).as_bytes())
+    }
+
+    /// Registers a network-visible id in the dispatch route (idempotent);
+    /// the entry lives until the id's terminal message is consumed.
+    fn register(&self, ctx: &mut Ctx, id: Digest) {
+        ctx.route.insert(id, self.session_id);
     }
 
     // ------------------------------------------------------------------
-    // Query issuance and the driving loop
+    // Query issuance
     // ------------------------------------------------------------------
 
     /// Issues a provenance query for `target` from `issuer` immediately.
-    /// Returns the outcome index.
-    pub fn query_now(&mut self, engine: &mut Engine, issuer: NodeId, target: &Tuple) -> usize {
-        let index = self.outcomes.len();
-        self.outcomes.push(QueryOutcome {
+    /// Returns the global outcome index.
+    pub(crate) fn issue_now(&mut self, ctx: &mut Ctx, issuer: NodeId, target: &Tuple) -> usize {
+        let index = ctx.outcomes.len();
+        let issued_at = ctx.engine.now();
+        ctx.outcomes.push(QueryOutcome {
             issuer,
             target_node: target.location,
             vid: target.vid(),
-            issued_at: engine.now(),
+            issued_at,
             completed_at: None,
             annotation: None,
         });
-        self.send_prov_query(engine, issuer, target.location, target.vid(), index);
+        self.send_prov_query(ctx, issuer, target.location, target.vid(), index);
         index
     }
 
     /// Schedules a provenance query for `target` to be issued by `issuer` at
-    /// simulated time `time`.  Returns the outcome index.
-    pub fn schedule_query(
+    /// simulated time `time`.  Returns the global outcome index.
+    pub(crate) fn issue_at(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         time: f64,
         issuer: NodeId,
         target: &Tuple,
     ) -> usize {
-        let index = self.outcomes.len();
-        self.outcomes.push(QueryOutcome {
+        let index = ctx.outcomes.len();
+        ctx.outcomes.push(QueryOutcome {
             issuer,
             target_node: target.location,
             vid: target.vid(),
@@ -266,39 +332,27 @@ impl QueryEngine {
         self.scheduled
             .insert(index as i64, (issuer, target.clone()));
         let issue = Tuple::new("eQueryIssue", issuer, vec![Value::Int(index as i64)]);
-        engine.schedule_delta(time, issuer, issue, true);
+        ctx.engine.schedule_delta(time, issuer, issue, true);
         index
     }
 
-    /// Drives the engine until its event queue is empty, handling all query
-    /// protocol messages.  Protocol deltas are processed by the engine as
-    /// usual, so queries and protocol maintenance can interleave.
-    pub fn run(&mut self, engine: &mut Engine) {
-        loop {
-            match engine.step() {
-                Step::Idle => break,
-                Step::Handled => {}
-                Step::External {
-                    node, tuple, time, ..
-                } => {
-                    self.handle_external(engine, node, &tuple, time);
-                }
-            }
-        }
-    }
-
-    /// Handles one external (query-protocol) tuple.  Exposed so callers can
-    /// drive the engine themselves if they need finer-grained control.
-    pub fn handle_external(&mut self, engine: &mut Engine, node: NodeId, tuple: &Tuple, time: f64) {
+    /// Handles one external (query-protocol) tuple addressed to this session.
+    pub(crate) fn handle_external(
+        &mut self,
+        ctx: &mut Ctx,
+        node: NodeId,
+        tuple: &Tuple,
+        time: f64,
+    ) {
         match tuple.relation.as_str() {
             "eQueryIssue" => {
                 let Ok(index) = tuple.values[0].as_int() else {
                     return;
                 };
                 if let Some((issuer, target)) = self.scheduled.remove(&index) {
-                    self.outcomes[index as usize].issued_at = time;
+                    ctx.outcomes[index as usize].issued_at = time;
                     self.send_prov_query(
-                        engine,
+                        ctx,
                         issuer,
                         target.location,
                         target.vid(),
@@ -319,7 +373,7 @@ impl QueryEngine {
                     node: ret,
                     index: index as usize,
                 };
-                self.start_tuple_query(engine, node, qid, vid, reply, time);
+                self.start_tuple_query(ctx, node, qid, vid, reply, time);
             }
             "eRuleQuery" => {
                 let (Ok(rqid), Ok(rid), Ok(origin)) = (
@@ -332,7 +386,7 @@ impl QueryEngine {
                 let Ok(parent_qid) = tuple.values[3].as_digest() else {
                     return;
                 };
-                self.start_rule_query(engine, node, rqid, rid, parent_qid, origin, time);
+                self.start_rule_query(ctx, node, rqid, rid, parent_qid, origin, time);
             }
             "eProvResults" => {
                 let (Ok(qid), Ok(_vid)) =
@@ -341,19 +395,21 @@ impl QueryEngine {
                     return;
                 };
                 let index = tuple.values[2].as_int().unwrap_or(-1);
+                ctx.route.remove(&qid);
                 if let Some(ann) = self.in_flight.remove(&qid) {
-                    self.deliver_final(index as usize, ann, time);
+                    self.deliver_final(ctx, index as usize, ann, time);
                 }
             }
             "eRuleResults" => {
                 let Ok(rqid) = tuple.values[0].as_digest() else {
                     return;
                 };
+                ctx.route.remove(&rqid);
                 if let Some(ann) = self.in_flight.remove(&rqid) {
                     let Ok(parent_qid) = tuple.values[1].as_digest() else {
                         return;
                     };
-                    self.tuple_child_result(engine, parent_qid, ann, time);
+                    self.tuple_child_result(ctx, parent_qid, ann, time);
                 }
             }
             _ => {}
@@ -374,13 +430,14 @@ impl QueryEngine {
 
     fn send_prov_query(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         issuer: NodeId,
         target_node: NodeId,
         vid: Vid,
         index: usize,
     ) {
-        let qid = self.fresh_id("q");
+        let qid = self.fresh_id(ctx, "q");
+        self.register(ctx, qid);
         let tuple = Tuple::new(
             "eProvQuery",
             target_node,
@@ -391,19 +448,20 @@ impl QueryEngine {
                 Value::Int(index as i64),
             ],
         );
-        self.account(engine, &tuple, 0);
-        engine.send_tuple(issuer, target_node, tuple, 0);
+        self.account(ctx.engine, &tuple, 0);
+        ctx.engine.send_tuple(issuer, target_node, tuple, 0);
     }
 
     fn send_rule_query(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         from: NodeId,
         rloc: NodeId,
         rqid: Digest,
         rid: Rid,
         parent_qid: Digest,
     ) {
+        self.register(ctx, rqid);
         let tuple = Tuple::new(
             "eRuleQuery",
             rloc,
@@ -414,8 +472,8 @@ impl QueryEngine {
                 Value::from_digest(parent_qid),
             ],
         );
-        self.account(engine, &tuple, 0);
-        engine.send_tuple(from, rloc, tuple, 0);
+        self.account(ctx.engine, &tuple, 0);
+        ctx.engine.send_tuple(from, rloc, tuple, 0);
     }
 
     // ------------------------------------------------------------------
@@ -424,7 +482,7 @@ impl QueryEngine {
 
     fn start_tuple_query(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         node: NodeId,
         qid: Digest,
         vid: Vid,
@@ -435,13 +493,13 @@ impl QueryEngine {
         if self.caching_enabled {
             if let Some(ann) = self.cache.get(&(node, CacheKey::Tuple(vid))).cloned() {
                 self.stats.cache_hits += 1;
-                self.reply_tuple(engine, node, qid, vid, ann, reply, time);
+                self.reply_tuple(ctx, node, qid, vid, ann, reply, time);
                 return;
             }
         }
         self.stats.cache_misses += 1;
 
-        let entries = prov_entries(engine, node, vid);
+        let entries = prov_entries(ctx.engine, node, vid);
         let mut results = Vec::new();
         let mut children: Vec<(Rid, NodeId)> = Vec::new();
         for e in &entries {
@@ -475,42 +533,42 @@ impl QueryEngine {
                 pending.outstanding = children.len();
                 self.pending_tuples.insert(qid, pending);
                 for (rid, rloc) in children {
-                    self.dispatch_rule_child(engine, node, qid, rid, rloc, time);
+                    self.dispatch_rule_child(ctx, node, qid, rid, rloc, time);
                 }
             }
             TraversalOrder::Dfs | TraversalOrder::DfsThreshold(_) => {
                 if let Some((rid, rloc)) = pending.remaining.pop() {
                     pending.outstanding = 1;
                     self.pending_tuples.insert(qid, pending);
-                    self.dispatch_rule_child(engine, node, qid, rid, rloc, time);
+                    self.dispatch_rule_child(ctx, node, qid, rid, rloc, time);
                 } else {
                     self.pending_tuples.insert(qid, pending);
                 }
             }
         }
 
-        self.try_complete_tuple(engine, qid, time);
+        self.try_complete_tuple(ctx, qid, time);
     }
 
     fn dispatch_rule_child(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         node: NodeId,
         qid: Digest,
         rid: Rid,
         rloc: NodeId,
         time: f64,
     ) {
-        let rqid = self.fresh_id("rq");
+        let rqid = self.fresh_id(ctx, "rq");
         if rloc == node {
             // Local rule execution vertex: no message needed.
-            self.start_rule_query(engine, rloc, rqid, rid, qid, node, time);
+            self.start_rule_query(ctx, rloc, rqid, rid, qid, node, time);
         } else {
-            self.send_rule_query(engine, node, rloc, rqid, rid, qid);
+            self.send_rule_query(ctx, node, rloc, rqid, rid, qid);
         }
     }
 
-    fn tuple_child_result(&mut self, engine: &mut Engine, qid: Digest, ann: Annotation, time: f64) {
+    fn tuple_child_result(&mut self, ctx: &mut Ctx, qid: Digest, ann: Annotation, time: f64) {
         let Some(pending) = self.pending_tuples.get_mut(&qid) else {
             return;
         };
@@ -543,13 +601,13 @@ impl QueryEngine {
         if let Some((rid, rloc)) = next {
             let node = pending.node;
             pending.outstanding += 1;
-            self.dispatch_rule_child(engine, node, qid, rid, rloc, time);
+            self.dispatch_rule_child(ctx, node, qid, rid, rloc, time);
             return;
         }
-        self.try_complete_tuple(engine, qid, time);
+        self.try_complete_tuple(ctx, qid, time);
     }
 
-    fn try_complete_tuple(&mut self, engine: &mut Engine, qid: Digest, time: f64) {
+    fn try_complete_tuple(&mut self, ctx: &mut Ctx, qid: Digest, time: f64) {
         let done = match self.pending_tuples.get(&qid) {
             Some(p) => p.outstanding == 0 && p.remaining.is_empty(),
             None => false,
@@ -564,7 +622,7 @@ impl QueryEngine {
                 .insert((pending.node, CacheKey::Tuple(pending.vid)), ann.clone());
         }
         self.reply_tuple(
-            engine,
+            ctx,
             pending.node,
             qid,
             pending.vid,
@@ -577,7 +635,7 @@ impl QueryEngine {
     #[allow(clippy::too_many_arguments)]
     fn reply_tuple(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         node: NodeId,
         qid: Digest,
         vid: Vid,
@@ -588,8 +646,10 @@ impl QueryEngine {
         match reply {
             ReplyTo::Requester { node: ret, index } => {
                 if ret == node {
-                    self.deliver_final(index, ann, time);
+                    ctx.route.remove(&qid);
+                    self.deliver_final(ctx, index, ann, time);
                 } else {
+                    self.register(ctx, qid);
                     let extra = self.repr.wire_size(&ann);
                     let tuple = Tuple::new(
                         "eProvResults",
@@ -601,20 +661,23 @@ impl QueryEngine {
                         ],
                     );
                     self.in_flight.insert(qid, ann);
-                    self.account(engine, &tuple, extra);
-                    engine.send_tuple(node, ret, tuple, extra);
+                    self.account(ctx.engine, &tuple, extra);
+                    ctx.engine.send_tuple(node, ret, tuple, extra);
                 }
             }
             ReplyTo::Rule { rqid } => {
                 // Children of a rule execution are resolved at the rule's own
                 // node, so this reply never crosses the network.
-                self.rule_child_result(engine, rqid, ann, time);
+                self.rule_child_result(ctx, rqid, ann, time);
             }
         }
     }
 
-    fn deliver_final(&mut self, index: usize, ann: Annotation, time: f64) {
-        if let Some(outcome) = self.outcomes.get_mut(index) {
+    fn deliver_final(&mut self, ctx: &mut Ctx, index: usize, ann: Annotation, time: f64) {
+        if let Some(outcome) = ctx.outcomes.get_mut(index) {
+            if outcome.completed_at.is_none() {
+                *ctx.incomplete = ctx.incomplete.saturating_sub(1);
+            }
             outcome.completed_at = Some(time);
             outcome.annotation = Some(ann);
         }
@@ -627,7 +690,7 @@ impl QueryEngine {
     #[allow(clippy::too_many_arguments)]
     fn start_rule_query(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         rloc: NodeId,
         rqid: Digest,
         rid: Rid,
@@ -638,17 +701,17 @@ impl QueryEngine {
         if self.caching_enabled {
             if let Some(ann) = self.cache.get(&(rloc, CacheKey::Rule(rid))).cloned() {
                 self.stats.cache_hits += 1;
-                self.finish_rule_reply(engine, rloc, rqid, rid, parent_qid, parent_node, ann, time);
+                self.finish_rule_reply(ctx, rloc, rqid, rid, parent_qid, parent_node, ann, time);
                 return;
             }
         }
         self.stats.cache_misses += 1;
 
-        let Some(exec) = rule_exec_entry(engine, rloc, rid) else {
+        let Some(exec) = rule_exec_entry(ctx.engine, rloc, rid) else {
             // Dangling pointer (e.g. the entry was deleted concurrently):
             // answer with an empty combination.
             let ann = self.repr.p_rule("?", rloc, &[]);
-            self.finish_rule_reply(engine, rloc, rqid, rid, parent_qid, parent_node, ann, time);
+            self.finish_rule_reply(ctx, rloc, rqid, rid, parent_qid, parent_node, ann, time);
             return;
         };
 
@@ -669,9 +732,9 @@ impl QueryEngine {
                 pending.outstanding = children.len();
                 self.pending_rules.insert(rqid, pending);
                 for child_vid in children {
-                    let sub_qid = self.fresh_id("cq");
+                    let sub_qid = self.fresh_id(ctx, "cq");
                     self.start_tuple_query(
-                        engine,
+                        ctx,
                         rloc,
                         sub_qid,
                         child_vid,
@@ -684,9 +747,9 @@ impl QueryEngine {
                 if let Some(child_vid) = pending.remaining.pop() {
                     pending.outstanding = 1;
                     self.pending_rules.insert(rqid, pending);
-                    let sub_qid = self.fresh_id("cq");
+                    let sub_qid = self.fresh_id(ctx, "cq");
                     self.start_tuple_query(
-                        engine,
+                        ctx,
                         rloc,
                         sub_qid,
                         child_vid,
@@ -698,10 +761,10 @@ impl QueryEngine {
                 }
             }
         }
-        self.try_complete_rule(engine, rqid, time);
+        self.try_complete_rule(ctx, rqid, time);
     }
 
-    fn rule_child_result(&mut self, engine: &mut Engine, rqid: Digest, ann: Annotation, time: f64) {
+    fn rule_child_result(&mut self, ctx: &mut Ctx, rqid: Digest, ann: Annotation, time: f64) {
         let Some(pending) = self.pending_rules.get_mut(&rqid) else {
             return;
         };
@@ -711,22 +774,15 @@ impl QueryEngine {
             if let Some(child_vid) = pending.remaining.pop() {
                 let rloc = pending.rloc;
                 pending.outstanding = 1;
-                let sub_qid = self.fresh_id("cq");
-                self.start_tuple_query(
-                    engine,
-                    rloc,
-                    sub_qid,
-                    child_vid,
-                    ReplyTo::Rule { rqid },
-                    time,
-                );
+                let sub_qid = self.fresh_id(ctx, "cq");
+                self.start_tuple_query(ctx, rloc, sub_qid, child_vid, ReplyTo::Rule { rqid }, time);
                 return;
             }
         }
-        self.try_complete_rule(engine, rqid, time);
+        self.try_complete_rule(ctx, rqid, time);
     }
 
-    fn try_complete_rule(&mut self, engine: &mut Engine, rqid: Digest, time: f64) {
+    fn try_complete_rule(&mut self, ctx: &mut Ctx, rqid: Digest, time: f64) {
         let done = match self.pending_rules.get(&rqid) {
             Some(p) => p.outstanding == 0 && p.remaining.is_empty(),
             None => false,
@@ -743,7 +799,7 @@ impl QueryEngine {
                 .insert((pending.rloc, CacheKey::Rule(pending.rid)), ann.clone());
             // Record dependencies for invalidation: the rule result depends on
             // each of its children.
-            let exec = rule_exec_entry(engine, pending.rloc, pending.rid);
+            let exec = rule_exec_entry(ctx.engine, pending.rloc, pending.rid);
             if let Some(exec) = exec {
                 for child in exec.vids {
                     self.dependents
@@ -754,7 +810,7 @@ impl QueryEngine {
             }
         }
         self.finish_rule_reply(
-            engine,
+            ctx,
             pending.rloc,
             rqid,
             pending.rid,
@@ -768,7 +824,7 @@ impl QueryEngine {
     #[allow(clippy::too_many_arguments)]
     fn finish_rule_reply(
         &mut self,
-        engine: &mut Engine,
+        ctx: &mut Ctx,
         rloc: NodeId,
         rqid: Digest,
         rid: Rid,
@@ -788,8 +844,10 @@ impl QueryEngine {
             }
         }
         if parent_node == rloc {
-            self.tuple_child_result(engine, parent_qid, ann, time);
+            ctx.route.remove(&rqid);
+            self.tuple_child_result(ctx, parent_qid, ann, time);
         } else {
+            self.register(ctx, rqid);
             let extra = self.repr.wire_size(&ann);
             let tuple = Tuple::new(
                 "eRuleResults",
@@ -797,8 +855,8 @@ impl QueryEngine {
                 vec![Value::from_digest(rqid), Value::from_digest(parent_qid)],
             );
             self.in_flight.insert(rqid, ann);
-            self.account(engine, &tuple, extra);
-            engine.send_tuple(rloc, parent_node, tuple, extra);
+            self.account(ctx.engine, &tuple, extra);
+            ctx.engine.send_tuple(rloc, parent_node, tuple, extra);
         }
     }
 
@@ -808,7 +866,7 @@ impl QueryEngine {
 
     /// Invalidates every cached result that (transitively) depends on the
     /// tuple vertex `vid` — called when a base tuple is inserted or deleted.
-    pub fn invalidate(&mut self, vid: Vid) {
+    pub(crate) fn invalidate(&mut self, vid: Vid) {
         let mut frontier: Vec<Digest> = vec![vid];
         let mut seen: HashSet<Digest> = HashSet::new();
         while let Some(d) = frontier.pop() {
@@ -846,13 +904,166 @@ impl QueryEngine {
     }
 }
 
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCore")
+            .field("traversal", &self.traversal)
+            .field("caching_enabled", &self.caching_enabled)
+            .field("cache_entries", &self.cache.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated standalone query engine
+// ---------------------------------------------------------------------------
+
+/// The pre-[`crate::deployment::Deployment`] standalone query processor: one
+/// query session driven by hand against a mutable engine.
+///
+/// Superseded by the unified deployment event loop, where queries are
+/// submitted with [`crate::deployment::Deployment::query`] and progress
+/// together with maintenance and churn under
+/// [`crate::deployment::Deployment::run_until`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Deployment::query(..).submit() and the deployment's unified \
+            run_until / run_to_fixpoint loop instead"
+)]
+pub struct QueryEngine {
+    core: SessionCore,
+    outcomes: Vec<QueryOutcome>,
+    route: HashMap<Digest, usize>,
+    next_id: u64,
+    incomplete: usize,
+}
+
+#[allow(deprecated)]
+impl QueryEngine {
+    /// Creates a query engine with the given representation and traversal.
+    pub fn new(repr: Box<dyn ProvenanceRepr>, traversal: TraversalOrder) -> Self {
+        QueryEngine {
+            core: SessionCore::new(0, repr, traversal, false),
+            outcomes: Vec::new(),
+            route: HashMap::new(),
+            next_id: 0,
+            incomplete: 0,
+        }
+    }
+
+    /// Enables or disables result caching (§6.1).
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.core.set_caching(enabled);
+    }
+
+    /// The traversal order in use.
+    pub fn traversal(&self) -> TraversalOrder {
+        self.core.traversal()
+    }
+
+    /// The representation in use (for post-processing annotations, e.g. BDD
+    /// trust evaluation).
+    pub fn repr(&self) -> &dyn ProvenanceRepr {
+        self.core.repr()
+    }
+
+    /// Outcomes of all queries issued so far, in issue order.
+    pub fn outcomes(&self) -> &[QueryOutcome] {
+        &self.outcomes
+    }
+
+    /// Query-traffic statistics.
+    pub fn stats(&self) -> &QueryTrafficStats {
+        self.core.stats()
+    }
+
+    /// Bandwidth time-series of query traffic (bytes per second).
+    pub fn bandwidth_samples(&self) -> Vec<(f64, f64)> {
+        self.core.bandwidth_samples()
+    }
+
+    /// Number of cache entries currently held across all nodes.
+    pub fn cache_entries(&self) -> usize {
+        self.core.cache_entries()
+    }
+
+    /// Issues a provenance query for `target` from `issuer` immediately.
+    /// Returns the outcome index.
+    pub fn query_now(&mut self, engine: &mut Engine, issuer: NodeId, target: &Tuple) -> usize {
+        self.incomplete += 1;
+        let mut ctx = Ctx {
+            engine,
+            outcomes: &mut self.outcomes,
+            route: &mut self.route,
+            next_id: &mut self.next_id,
+            incomplete: &mut self.incomplete,
+        };
+        self.core.issue_now(&mut ctx, issuer, target)
+    }
+
+    /// Schedules a provenance query for `target` to be issued by `issuer` at
+    /// simulated time `time`.  Returns the outcome index.
+    pub fn schedule_query(
+        &mut self,
+        engine: &mut Engine,
+        time: f64,
+        issuer: NodeId,
+        target: &Tuple,
+    ) -> usize {
+        self.incomplete += 1;
+        let mut ctx = Ctx {
+            engine,
+            outcomes: &mut self.outcomes,
+            route: &mut self.route,
+            next_id: &mut self.next_id,
+            incomplete: &mut self.incomplete,
+        };
+        self.core.issue_at(&mut ctx, time, issuer, target)
+    }
+
+    /// Drives the engine until its event queue is empty, handling all query
+    /// protocol messages.
+    pub fn run(&mut self, engine: &mut Engine) {
+        loop {
+            match engine.step() {
+                Step::Idle => break,
+                Step::Handled => {}
+                Step::External {
+                    node, tuple, time, ..
+                } => {
+                    self.handle_external(engine, node, &tuple, time);
+                }
+            }
+        }
+    }
+
+    /// Handles one external (query-protocol) tuple.
+    pub fn handle_external(&mut self, engine: &mut Engine, node: NodeId, tuple: &Tuple, time: f64) {
+        let mut ctx = Ctx {
+            engine,
+            outcomes: &mut self.outcomes,
+            route: &mut self.route,
+            next_id: &mut self.next_id,
+            incomplete: &mut self.incomplete,
+        };
+        self.core.handle_external(&mut ctx, node, tuple, time);
+    }
+
+    /// Invalidates every cached result that (transitively) depends on the
+    /// tuple vertex `vid`.
+    pub fn invalidate(&mut self, vid: Vid) {
+        self.core.invalidate(vid);
+    }
+}
+
+#[allow(deprecated)]
 impl std::fmt::Debug for QueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryEngine")
-            .field("traversal", &self.traversal)
-            .field("caching_enabled", &self.caching_enabled)
+            .field("traversal", &self.core.traversal())
+            .field("caching_enabled", &self.core.caching())
             .field("outcomes", &self.outcomes.len())
-            .field("cache_entries", &self.cache.len())
+            .field("cache_entries", &self.core.cache_entries())
             .finish()
     }
 }

@@ -22,8 +22,71 @@
 
 use exspan_bdd::{Bdd, BddManager};
 use exspan_types::{NodeId, Vid};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+
+/// Typed selector for a provenance representation, used by the builder-style
+/// query API (`deployment.query(..).repr(Repr::Polynomial)`).
+///
+/// Each variant names one [`ProvenanceRepr`] implementation; the deployment
+/// instantiates (and owns) the concrete representation per query *session*,
+/// so callers never handle `Box<dyn ProvenanceRepr>` themselves.  Queries
+/// submitted with equal `Repr` values (and equal traversal/caching settings)
+/// share one session — and therefore one result cache and, for
+/// [`Repr::Bdd`], one BDD manager.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Repr {
+    /// Full provenance polynomials ([`PolynomialRepr`], §5.2.1).
+    #[default]
+    Polynomial,
+    /// The set of participating nodes ([`NodeSetRepr`], Table 3).
+    NodeSet,
+    /// Number of alternative derivations ([`DerivationCountRepr`], Table 3).
+    DerivationCount,
+    /// Derivability with every base tuple trusted ([`DerivabilityRepr`],
+    /// Table 3).  For custom trust policies prefer [`Repr::Bdd`] plus
+    /// [`crate::deployment::Deployment::derivable_under`], which evaluates
+    /// arbitrary trust assignments on the condensed result without
+    /// re-querying.
+    Derivability,
+    /// Condensed (absorption) provenance as a BDD ([`BddRepr`], §6.3).
+    Bdd,
+    /// Trust-domain granularity with an explicit node→domain map
+    /// ([`TrustDomainRepr`], §3).
+    TrustDomain(BTreeMap<NodeId, u32>),
+    /// Trust-domain granularity with contiguous domains of the given size
+    /// ([`TrustDomainRepr::contiguous`]).
+    ContiguousTrustDomains(u32),
+}
+
+impl Repr {
+    /// Instantiates the concrete representation this selector names.
+    pub(crate) fn instantiate(&self) -> Box<dyn ProvenanceRepr> {
+        match self {
+            Repr::Polynomial => Box::new(PolynomialRepr),
+            Repr::NodeSet => Box::new(NodeSetRepr),
+            Repr::DerivationCount => Box::new(DerivationCountRepr),
+            Repr::Derivability => Box::new(DerivabilityRepr::default()),
+            Repr::Bdd => Box::new(BddRepr::new()),
+            Repr::TrustDomain(map) => Box::new(TrustDomainRepr::new(
+                map.iter().map(|(n, d)| (*n, *d)).collect(),
+            )),
+            Repr::ContiguousTrustDomains(size) => Box::new(TrustDomainRepr::contiguous(*size)),
+        }
+    }
+
+    /// The representation's name, matching [`ProvenanceRepr::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Repr::Polynomial => "POLYNOMIAL",
+            Repr::NodeSet => "NODESET",
+            Repr::DerivationCount => "#DERIVATION",
+            Repr::Derivability => "DERIVABILITY",
+            Repr::Bdd => "BDD",
+            Repr::TrustDomain(_) | Repr::ContiguousTrustDomains(_) => "TRUSTDOMAIN",
+        }
+    }
+}
 
 /// A provenance expression tree — the "provenance polynomial" of §5.2.1.
 ///

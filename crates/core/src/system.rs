@@ -1,28 +1,44 @@
-//! The top-level ExSPAN facade: build an engine for a protocol under a chosen
-//! provenance mode, seed the topology, run it, mutate it (churn) and query
-//! its provenance.
+//! Deprecated pre-[`crate::deployment`] facade.
+//!
+//! [`ProvenanceSystem`] predates the first-class [`crate::Deployment`] API:
+//! it exposed the engine mutably (`engine_mut`) so callers hand-drove a
+//! separate [`crate::QueryEngine`], leaked `MutexGuard`s from
+//! `value_provenance`, and returned awkward `(QueryEngine, QueryOutcome)`
+//! tuples from `query_provenance`.  It survives as a thin shim over
+//! [`crate::Deployment`] so downstream code keeps compiling while it
+//! migrates:
+//!
+//! | old | new |
+//! |---|---|
+//! | `ProvenanceSystem::new(&p, t, config)` + `seed_links()` | `Exspan::builder().program(p).topology(t).mode(m).shards(n).build()?` |
+//! | `system.query_provenance(n, &t, Box::new(PolynomialRepr), order)` | `deployment.query(&t).issuer(n).repr(Repr::Polynomial).traversal(order).execute()` |
+//! | `system.engine_mut()` + hand-driven `QueryEngine` | `deployment.query(..).submit()` + `deployment.run_until(t)` |
+//! | `system.value_provenance()` (`MutexGuard`) | `deployment.with_value_provenance(\|p\| ..)` |
 
+#![allow(deprecated)]
+
+use crate::deployment::{Deployment, Exspan};
 use crate::mode::ProvenanceMode;
 use crate::query::{QueryEngine, QueryOutcome, TraversalOrder};
 use crate::repr::{Annotation, ProvenanceRepr};
-use crate::rewrite::{provenance_rewrite, RewriteOptions};
 use crate::value_policy::ValueBddPolicy;
 use exspan_ndlog::ast::Program;
 use exspan_netsim::{ChurnEvent, LinkProps, Topology};
-use exspan_runtime::{Engine, EngineConfig, FixpointStats, ShardConfig, SharedPolicy};
-use exspan_types::{NodeId, Tuple, Value};
-use std::sync::{Arc, Mutex, MutexGuard};
+use exspan_runtime::{Engine, FixpointStats};
+use exspan_types::{NodeId, Tuple};
 
 /// Configuration of a [`ProvenanceSystem`].
+#[deprecated(
+    since = "0.1.0",
+    note = "configure deployments with Exspan::builder() instead"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct SystemConfig {
     /// Provenance mode.
     pub mode: ProvenanceMode,
     /// Safety cap on processed events per run call.
     pub max_steps: u64,
-    /// How many shards (worker threads) execute the protocol.  One shard
-    /// reproduces the historical sequential engine; more shards run the same
-    /// computation in parallel with bit-identical results.
+    /// How many shards (worker threads) execute the protocol.
     pub shards: usize,
 }
 
@@ -36,53 +52,34 @@ impl Default for SystemConfig {
     }
 }
 
-/// An ExSPAN deployment: a protocol, a topology, and a provenance mode.
+/// An ExSPAN deployment under the pre-builder API.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Deployment (built with Exspan::builder()) instead"
+)]
 pub struct ProvenanceSystem {
-    engine: Engine,
-    mode: ProvenanceMode,
-    value_policy: Option<Arc<Mutex<ValueBddPolicy>>>,
-    program_name: String,
+    inner: Deployment,
 }
 
 impl ProvenanceSystem {
     /// Builds a system running `program` over `topology` with the provenance
     /// mode of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is invalid — the builder API returns a
+    /// [`crate::BuildError`] instead.
     pub fn new(program: &Program, topology: Topology, config: SystemConfig) -> Self {
-        let mut engine_config = EngineConfig {
-            aggregate_provenance: false,
-            max_steps: config.max_steps,
-            shards: ShardConfig::with_shards(config.shards.max(1)),
-        };
-        let mut value_policy = None;
-        let executed = match config.mode {
-            ProvenanceMode::None => program.clone(),
-            ProvenanceMode::ValueBdd => program.clone(),
-            ProvenanceMode::Reference => {
-                engine_config.aggregate_provenance = true;
-                provenance_rewrite(program, RewriteOptions::default())
-            }
-            ProvenanceMode::Centralized { server } => {
-                engine_config.aggregate_provenance = true;
-                provenance_rewrite(
-                    program,
-                    RewriteOptions {
-                        centralize_at: Some(server),
-                    },
-                )
-            }
-        };
-        let mut engine = Engine::new(executed, topology, engine_config);
-        if config.mode == ProvenanceMode::ValueBdd {
-            let shared = Arc::new(Mutex::new(ValueBddPolicy::new()));
-            value_policy = Some(Arc::clone(&shared));
-            engine.set_annotation_policy(shared as SharedPolicy);
-        }
-        ProvenanceSystem {
-            engine,
-            mode: config.mode,
-            value_policy,
-            program_name: program.name.clone(),
-        }
+        let inner = Exspan::builder()
+            .program(program.clone())
+            .topology(topology)
+            .mode(config.mode)
+            .shards(config.shards.max(1))
+            .max_steps(config.max_steps)
+            .seed_links(false)
+            .build()
+            .expect("invalid deployment configuration");
+        ProvenanceSystem { inner }
     }
 
     /// Convenience constructor with default configuration except the mode.
@@ -99,29 +96,32 @@ impl ProvenanceSystem {
 
     /// The provenance mode in use.
     pub fn mode(&self) -> ProvenanceMode {
-        self.mode
+        self.inner.mode()
     }
 
     /// The name of the protocol program being executed.
     pub fn program_name(&self) -> &str {
-        &self.program_name
+        self.inner.program_name()
     }
 
     /// The underlying engine.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.inner.engine()
     }
 
-    /// The underlying engine (mutable — used by the query layer).
+    /// The underlying engine (mutable).  The deployment API deliberately does
+    /// not expose this escape hatch: queries are submitted with
+    /// [`Deployment::query`] and progress under the deployment's own clock.
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        self.inner.engine_mut()
     }
 
-    /// The value-based provenance policy (only in [`ProvenanceMode::ValueBdd`]).
-    pub fn value_provenance(&self) -> Option<MutexGuard<'_, ValueBddPolicy>> {
-        self.value_policy
-            .as_ref()
-            .map(|p| p.lock().expect("value policy poisoned"))
+    /// Runs `f` against the value-based provenance policy (only in
+    /// [`ProvenanceMode::ValueBdd`]).  Replaces the old `MutexGuard`-leaking
+    /// `value_provenance` accessor; see
+    /// [`Deployment::with_value_provenance`].
+    pub fn with_value_provenance<T>(&self, f: impl FnOnce(&ValueBddPolicy) -> T) -> Option<T> {
+        self.inner.with_value_provenance(f)
     }
 
     // ------------------------------------------------------------------
@@ -130,100 +130,38 @@ impl ProvenanceSystem {
 
     /// Creates the `link(@a,b,cost)` tuple for one direction of a link.
     pub fn link_tuple(a: NodeId, b: NodeId, cost: i64) -> Tuple {
-        Tuple::new("link", a, vec![Value::Node(b), Value::Int(cost)])
+        Deployment::link_tuple(a, b, cost)
     }
 
-    /// Inserts both directions of every topology link as `link` base tuples
-    /// (the paper assumes symmetric links and gives every node a priori
-    /// knowledge of its local links).
+    /// Inserts both directions of every topology link as `link` base tuples.
     pub fn seed_links(&mut self) {
-        let links: Vec<(NodeId, NodeId, i64)> = self
-            .engine
-            .topology()
-            .links()
-            .map(|(a, b, p)| (a, b, p.cost))
-            .collect();
-        for (a, b, cost) in links {
-            self.engine.insert_base(a, Self::link_tuple(a, b, cost));
-            self.engine.insert_base(b, Self::link_tuple(b, a, cost));
-        }
+        self.inner.seed_links();
     }
 
-    /// Adds a link to the topology and inserts its base tuples (both
-    /// directions) at the current simulated time.
+    /// Adds a link to the topology and inserts its base tuples.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) {
-        self.engine.topology_mut().add_link(a, b, props);
-        self.engine
-            .insert_base(a, Self::link_tuple(a, b, props.cost));
-        self.engine
-            .insert_base(b, Self::link_tuple(b, a, props.cost));
+        self.inner.add_link(a, b, props);
     }
 
     /// Removes a link from the topology and deletes its base tuples.
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
-        let cost = self
-            .engine
-            .topology()
-            .link(a, b)
-            .map(|p| p.cost)
-            .unwrap_or(1);
-        self.engine.topology_mut().remove_link(a, b);
-        self.engine.delete_base(a, Self::link_tuple(a, b, cost));
-        self.engine.delete_base(b, Self::link_tuple(b, a, cost));
+        self.inner.remove_link(a, b);
     }
 
     /// Applies one churn event (link addition or deletion) now.
     pub fn apply_churn_event(&mut self, event: &ChurnEvent) {
-        let now = self.engine.now();
-        self.schedule_churn_event(event, now);
+        self.inner.apply_churn_event(event);
     }
 
     /// Schedules one churn event's base-tuple deltas at absolute simulated
-    /// time `at`, so that maintenance traffic shows up at the schedule's
-    /// time in the bandwidth time-series (Figures 9 and 10).  The topology
-    /// change itself takes effect immediately — the simulator routes by
-    /// current topology — which is at most one churn interval early.  For
-    /// immediate application use [`Self::apply_churn_event`].
+    /// time `at`.
     pub fn schedule_churn_event(&mut self, event: &ChurnEvent, at: f64) {
-        if event.add {
-            self.engine
-                .topology_mut()
-                .add_link(event.a, event.b, event.props);
-            let cost = event.props.cost;
-            self.engine
-                .schedule_delta(at, event.a, Self::link_tuple(event.a, event.b, cost), true);
-            self.engine
-                .schedule_delta(at, event.b, Self::link_tuple(event.b, event.a, cost), true);
-        } else {
-            let cost = self
-                .engine
-                .topology()
-                .link(event.a, event.b)
-                .map(|p| p.cost)
-                .unwrap_or(event.props.cost);
-            self.engine.topology_mut().remove_link(event.a, event.b);
-            self.engine.schedule_delta(
-                at,
-                event.a,
-                Self::link_tuple(event.a, event.b, cost),
-                false,
-            );
-            self.engine.schedule_delta(
-                at,
-                event.b,
-                Self::link_tuple(event.b, event.a, cost),
-                false,
-            );
-        }
+        self.inner.schedule_churn_event(event, at);
     }
 
-    /// Base-tuple VIDs affected by a churn event (used for cache
-    /// invalidation).
+    /// Base-tuple VIDs affected by a churn event.
     pub fn churn_event_vids(event: &ChurnEvent) -> Vec<exspan_types::Vid> {
-        vec![
-            Self::link_tuple(event.a, event.b, event.props.cost).vid(),
-            Self::link_tuple(event.b, event.a, event.props.cost).vid(),
-        ]
+        Deployment::churn_event_vids(event)
     }
 
     // ------------------------------------------------------------------
@@ -232,45 +170,35 @@ impl ProvenanceSystem {
 
     /// Runs the protocol to a global fixpoint.
     pub fn run_to_fixpoint(&mut self) -> FixpointStats {
-        self.engine.run_to_fixpoint()
+        self.inner.run_to_fixpoint()
     }
 
     /// Runs until the next event would occur after `time`.
     pub fn run_until(&mut self, time: f64) -> FixpointStats {
-        self.engine.run_until(time)
+        self.inner.run_until(time)
     }
 
     /// Total bytes transmitted so far across all nodes.
     pub fn total_bytes(&self) -> u64 {
-        self.engine.stats().total_bytes()
+        self.inner.total_bytes()
     }
 
-    /// Average bytes transmitted per node, in megabytes (the metric of
-    /// Figures 6 and 7).
+    /// Average bytes transmitted per node, in megabytes.
     pub fn avg_comm_mb(&self) -> f64 {
-        self.engine.stats().avg_bytes_per_node() / 1e6
+        self.inner.avg_comm_mb()
     }
 
-    /// Per-node average bandwidth samples in megabytes per second (the metric
-    /// of Figures 8–10 and 16).
+    /// Per-node average bandwidth samples in megabytes per second.
     pub fn avg_bandwidth_mbps(&self) -> Vec<(f64, f64)> {
-        self.engine
-            .stats()
-            .avg_bandwidth_samples()
-            .into_iter()
-            .map(|(t, bps)| (t, bps / 1e6))
-            .collect()
+        self.inner.avg_bandwidth_mbps()
     }
 
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
-    /// Runs a single provenance query to completion and returns its outcome.
-    ///
-    /// This is a convenience wrapper for examples and tests; experiment
-    /// drivers that issue many concurrent queries build a [`QueryEngine`]
-    /// directly against [`ProvenanceSystem::engine_mut`].
+    /// Runs a single provenance query to completion and returns its outcome,
+    /// plus the throwaway query engine that executed it.
     pub fn query_provenance(
         &mut self,
         issuer: NodeId,
@@ -279,8 +207,9 @@ impl ProvenanceSystem {
         traversal: TraversalOrder,
     ) -> (QueryEngine, QueryOutcome) {
         let mut qe = QueryEngine::new(repr, traversal);
-        let idx = qe.query_now(&mut self.engine, issuer, target);
-        qe.run(&mut self.engine);
+        let engine = self.inner.engine_mut();
+        let idx = qe.query_now(engine, issuer, target);
+        qe.run(engine);
         let outcome = qe.outcomes()[idx].clone();
         (qe, outcome)
     }
@@ -288,23 +217,16 @@ impl ProvenanceSystem {
     /// For value-based provenance: returns the locally available annotation of
     /// a tuple without any distributed traversal.
     pub fn local_value_annotation(&self, tuple: &Tuple) -> Option<Annotation> {
-        self.value_policy
-            .as_ref()
-            .and_then(|p| {
-                p.lock()
-                    .expect("value policy poisoned")
-                    .annotation_of(tuple)
-            })
-            .map(Annotation::Bdd)
+        self.inner.local_value_annotation(tuple)
     }
 }
 
 impl std::fmt::Debug for ProvenanceSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProvenanceSystem")
-            .field("program", &self.program_name)
-            .field("mode", &self.mode)
-            .field("nodes", &self.engine.topology().num_nodes())
+            .field("program", &self.inner.program_name())
+            .field("mode", &self.inner.mode())
+            .field("nodes", &self.inner.topology().num_nodes())
             .finish()
     }
 }

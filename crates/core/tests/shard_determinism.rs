@@ -1,13 +1,13 @@
-//! Sharded-vs-sequential determinism at the `ProvenanceSystem` level.
+//! Sharded-vs-sequential determinism at the `Deployment` level.
 //!
 //! The tentpole guarantee of the sharded runtime is that every observable —
 //! protocol state, per-node byte counters, the bandwidth time-series, and
 //! (for value-based provenance) the annotation sizes that feed them — is
-//! *bit-identical* to the sequential engine (`shards: 1`).  These tests pin
+//! *bit-identical* to the sequential engine (`shards(1)`).  These tests pin
 //! that guarantee for each provenance mode over topologies small enough for
 //! debug-mode CI.
 
-use exspan_core::{ProvenanceMode, ProvenanceSystem, SystemConfig};
+use exspan_core::{Deployment, Exspan, ProvenanceMode};
 use exspan_ndlog::ast::Program;
 use exspan_ndlog::programs;
 use exspan_netsim::Topology;
@@ -24,27 +24,26 @@ struct Fingerprint {
     fixpoint_time: f64,
 }
 
+fn deploy(program: &Program, mode: ProvenanceMode, shards: usize) -> Deployment {
+    Exspan::builder()
+        .program(program.clone())
+        .topology(Topology::testbed_ring(32, 11))
+        .mode(mode)
+        .shards(shards)
+        .build()
+        .expect("valid deployment")
+}
+
 fn run(program: &Program, mode: ProvenanceMode, shards: usize, churn: bool) -> Fingerprint {
-    let topology = Topology::testbed_ring(32, 11);
-    let mut system = ProvenanceSystem::new(
-        program,
-        topology,
-        SystemConfig {
-            mode,
-            shards,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    let stats = system.run_to_fixpoint();
+    let mut deployment = deploy(program, mode, shards);
+    let stats = deployment.run_to_fixpoint();
     if churn {
         // Fail a few ring edges and let the retractions cascade.
         for (a, b) in [(0u32, 1u32), (8, 9), (16, 17)] {
-            system.remove_link(a, b);
+            deployment.remove_link(a, b);
         }
-        system.run_to_fixpoint();
+        deployment.run_to_fixpoint();
     }
-    let engine = system.engine();
     let mut tuples = Vec::new();
     for rel in [
         "link",
@@ -54,15 +53,15 @@ fn run(program: &Program, mode: ProvenanceMode, shards: usize, churn: bool) -> F
         "prov",
         "ruleExec",
     ] {
-        tuples.extend(engine.tuples_everywhere(rel));
+        tuples.extend(deployment.tuples_everywhere(rel));
     }
-    let s = engine.stats();
+    let s = deployment.engine().stats();
     Fingerprint {
         tuples,
         bytes_sent: s.bytes_sent.clone(),
         total_bytes: s.total_bytes(),
-        avg_comm_mb: system.avg_comm_mb(),
-        bandwidth: system.avg_bandwidth_mbps(),
+        avg_comm_mb: deployment.avg_comm_mb(),
+        bandwidth: deployment.avg_bandwidth_mbps(),
         fixpoint_time: stats.fixpoint_time,
     }
 }
@@ -105,23 +104,23 @@ fn value_mode_annotations_identical_across_shard_counts() {
     // shards; canonicity must make every stored annotation's size
     // independent of operation interleaving.
     let sizes = |shards: usize| {
-        let mut system = ProvenanceSystem::new(
-            &programs::mincost(),
-            Topology::testbed_ring(24, 3),
-            SystemConfig {
-                mode: ProvenanceMode::ValueBdd,
-                shards,
-                ..Default::default()
-            },
-        );
-        system.seed_links();
-        system.run_to_fixpoint();
-        let tuples = system.engine().tuples_everywhere("bestPathCost");
-        let policy = system.value_provenance().expect("value mode");
-        tuples
-            .iter()
-            .map(|t| (t.clone(), policy.annotation_size(t)))
-            .collect::<Vec<_>>()
+        let mut deployment = Exspan::builder()
+            .program(programs::mincost())
+            .topology(Topology::testbed_ring(24, 3))
+            .mode(ProvenanceMode::ValueBdd)
+            .shards(shards)
+            .build()
+            .expect("valid deployment");
+        deployment.run_to_fixpoint();
+        let tuples = deployment.tuples_everywhere("bestPathCost");
+        deployment
+            .with_value_provenance(|policy| {
+                tuples
+                    .iter()
+                    .map(|t| (t.clone(), policy.annotation_size(t)))
+                    .collect::<Vec<_>>()
+            })
+            .expect("value mode")
     };
     let oracle = sizes(1);
     assert!(!oracle.is_empty());

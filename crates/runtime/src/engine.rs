@@ -16,7 +16,7 @@
 //!
 //! # Sharded execution
 //!
-//! The topology's nodes are partitioned over [`crate::shard::Shard`]s by
+//! The topology's nodes are partitioned over `Shard`s (see [`crate::shard`]) by
 //! rendezvous hashing; each shard owns the tables, event queue and traffic
 //! counters of its nodes.  [`Engine::run_until`] runs the shards on worker
 //! threads in *barrier windows*: at each barrier the coordinator finds the
@@ -435,9 +435,76 @@ impl Engine {
         step
     }
 
+    /// Simulated time of the earliest pending event across all shards (after
+    /// delivering any in-flight cross-shard deltas), or `None` when every
+    /// queue is empty.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.sync_topology();
+        self.flush_outboxes();
+        self.drain_inboxes();
+        self.shards
+            .iter()
+            .filter_map(|s| s.sim.peek_time())
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
     /// Runs until the event queue is empty (global fixpoint).
     pub fn run_to_fixpoint(&mut self) -> FixpointStats {
         self.run_until(f64::INFINITY)
+    }
+
+    /// Like [`Engine::run_until`], but instead of dropping external tuples it
+    /// hands each one to `sink` — in global deterministic event order, with
+    /// the engine available for replies — so higher protocol layers (the
+    /// provenance query protocol) advance on the *same* simulated clock as
+    /// protocol maintenance and churn.
+    ///
+    /// Events are processed one at a time through the deterministic
+    /// merged-queue path ([`Engine::step`]), so the result is bit-identical
+    /// at any shard count.  Callers with no external traffic in flight should
+    /// prefer [`Engine::run_until`], which can use the parallel barrier loop.
+    pub fn run_until_interactive(
+        &mut self,
+        time_limit: f64,
+        sink: &mut dyn crate::plugin::ExternalSink,
+    ) -> FixpointStats {
+        let steps_before: u64 = self.shards.iter().map(|s| s.processed).sum();
+        let max_steps = self.data.config.max_steps;
+        // With an infinite limit the time check can never trigger, and
+        // step() already reports queue exhaustion as Idle — skip the peek
+        // (it repeats the flush/drain work step() performs) on that path.
+        let check_limit = time_limit.is_finite();
+        let mut steps = 0u64;
+        let mut external = 0u64;
+        while steps < max_steps {
+            if check_limit {
+                match self.peek_time() {
+                    None => break,
+                    Some(t) if t > time_limit => break,
+                    Some(_) => {}
+                }
+            }
+            match self.step() {
+                Step::Idle => break,
+                Step::Handled => steps += 1,
+                Step::External {
+                    node,
+                    tuple,
+                    time,
+                    insert,
+                } => {
+                    steps += 1;
+                    external += 1;
+                    sink.on_external(self, node, tuple, time, insert);
+                }
+            }
+        }
+        let steps_after: u64 = self.shards.iter().map(|s| s.processed).sum();
+        FixpointStats {
+            fixpoint_time: self.last_activity(),
+            steps: steps_after - steps_before,
+            external,
+        }
     }
 
     /// Runs until the next event would occur after `time_limit` (or the
@@ -890,6 +957,81 @@ mod tests {
         let oracle = build(1);
         assert_eq!(oracle, build(3), "3-shard churned run diverged");
         assert_eq!(oracle, build(4), "4-shard churned run diverged");
+    }
+
+    #[test]
+    fn run_until_interactive_hands_externals_to_the_sink_in_step_order() {
+        use crate::plugin::ExternalSink;
+
+        /// Collects surfaced externals; replies once to the first one so the
+        /// reply's surfacing proves the sink can drive the engine re-entrantly.
+        struct Collect {
+            seen: Vec<(NodeId, Tuple, f64)>,
+            replied: bool,
+        }
+        impl ExternalSink for Collect {
+            fn on_external(
+                &mut self,
+                engine: &mut Engine,
+                node: NodeId,
+                tuple: Tuple,
+                time: f64,
+                _insert: bool,
+            ) {
+                self.seen.push((node, tuple.clone(), time));
+                if !self.replied && tuple.relation == "eProvQuery" {
+                    self.replied = true;
+                    let reply = Tuple::new("eProvResults", (node + 1) % 4, vec![Value::Int(7)]);
+                    engine.send_tuple(node, (node + 1) % 4, reply, 0);
+                }
+            }
+        }
+
+        let run = |shards: usize| {
+            let topo = Topology::paper_example();
+            let mut engine = Engine::new(
+                programs::mincost(),
+                topo,
+                EngineConfig {
+                    shards: ShardConfig::with_shards(shards),
+                    ..Default::default()
+                },
+            );
+            seed_links(&mut engine);
+            engine.run_to_fixpoint();
+            for n in 0..4u32 {
+                let q = Tuple::new("eProvQuery", n, vec![Value::Int(n as i64)]);
+                engine.send_tuple(n, (n + 1) % 4, q, 0);
+            }
+            let mut sink = Collect {
+                seen: Vec::new(),
+                replied: false,
+            };
+            let stats = engine.run_until_interactive(f64::INFINITY, &mut sink);
+            (sink.seen, stats.external)
+        };
+        let (seq, externals) = run(1);
+        // All four queries plus the sink's reply were surfaced (not dropped).
+        assert_eq!(externals, 5);
+        assert_eq!(seq.len(), 5);
+        assert!(seq.iter().any(|(_, t, _)| t.relation == "eProvResults"));
+        // And the interactive loop is shard-count independent like step().
+        assert_eq!(seq, run(3).0);
+    }
+
+    #[test]
+    fn run_until_interactive_respects_the_time_limit() {
+        struct Ignore;
+        impl crate::plugin::ExternalSink for Ignore {
+            fn on_external(&mut self, _: &mut Engine, _: NodeId, _: Tuple, _: f64, _: bool) {}
+        }
+        let topo = Topology::transit_stub(1, 5);
+        let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
+        seed_links(&mut engine);
+        let stats = engine.run_until_interactive(0.01, &mut Ignore);
+        assert!(engine.now() <= 0.011);
+        assert!(stats.steps > 0);
+        assert!(engine.peek_time().is_some(), "events must remain queued");
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod shard;
 pub mod table;
 
 pub use engine::{Engine, EngineConfig, FixpointStats, Payload, Step};
-pub use plugin::{AnnotationPolicy, AnnotationToken};
+pub use plugin::{AnnotationPolicy, AnnotationToken, ExternalSink};
 pub use shard::{ShardConfig, SharedPolicy};
 pub use table::{DeleteEffect, InsertEffect, Table};

@@ -18,7 +18,32 @@
 //! deterministic under the sharded runtime: every update to a node's
 //! annotations happens in that node's (deterministic) event order.
 
+use crate::engine::Engine;
 use exspan_types::{NodeId, Tuple};
+
+/// Receives event tuples the engine has no rules for (the engine's
+/// [`crate::engine::Step::External`] events) during a driven run.
+///
+/// This is the hook through which higher protocol layers — the distributed
+/// provenance *query* protocol of `exspan-core` — participate in the
+/// engine's single simulated clock: [`Engine::run_until_interactive`] calls
+/// the sink for every external tuple *in deterministic event order*, with the
+/// engine handed back mutably so the sink can reply (send tuples, schedule
+/// deltas) at the exact simulated time the event occurred.  Protocol
+/// maintenance deltas, churn deltas and query messages therefore interleave
+/// on one event queue instead of the query layer monopolizing the engine.
+pub trait ExternalSink {
+    /// Called for every surfaced external tuple.  `time` is the simulated
+    /// arrival time; `insert` is the delta's polarity.
+    fn on_external(
+        &mut self,
+        engine: &mut Engine,
+        node: NodeId,
+        tuple: Tuple,
+        time: f64,
+        insert: bool,
+    );
+}
 
 /// Opaque handle to an annotation shipped inside a delta message.  The
 /// meaning of the token is private to the policy that produced it (the

@@ -1,7 +1,7 @@
 //! One shard of the distributed engine: the delta-processing core.
 //!
 //! The runtime partitions the topology's nodes over shards by rendezvous
-//! hashing (see `Topology::partition_rendezvous`); each [`Shard`] owns the
+//! hashing (see `Topology::partition_rendezvous`); each `Shard` owns the
 //! materialized tables, event queue and traffic counters of its nodes and
 //! executes rule firings for them.  NDlog rule bodies are *localized* — a
 //! firing only ever reads the tables of the node it fires at — so a shard

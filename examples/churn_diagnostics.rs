@@ -2,10 +2,12 @@
 //!
 //! Scenario: a 100-node network experiences link churn (the workload of
 //! §7.2).  The operator keeps issuing provenance queries for routes while the
-//! network changes underneath; reference-based provenance keeps maintenance
-//! traffic close to the no-provenance baseline, and the query-result cache
-//! (§6.1) is invalidated transitively whenever a link that contributed to a
-//! cached result changes.
+//! network changes underneath.  Reference-based provenance keeps maintenance
+//! traffic close to the no-provenance baseline; the deployment invalidates
+//! the query-result cache (§6.1) transitively and automatically whenever a
+//! churned link contributed to a cached result; and — because maintenance,
+//! churn and queries share one simulated clock — the monitoring queries
+//! travel the network *while* the churn cascades are still being processed.
 //!
 //! Run with:
 //!
@@ -13,11 +15,7 @@
 //! cargo run --release --example churn_diagnostics
 //! ```
 
-use exspan::core::{
-    DerivationCountRepr, ProvenanceMode, ProvenanceSystem, QueryEngine, SystemConfig,
-    TraversalOrder,
-};
-use exspan::ndlog::programs;
+use exspan::core::Repr;
 use exspan::netsim::{ChurnModel, Topology};
 
 fn main() {
@@ -35,95 +33,94 @@ fn main() {
         schedule.len()
     );
 
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    let stats = system.run_to_fixpoint();
+    let mut deployment = exspan::setup::mincost_reference(topology, 1);
     println!(
         "initial fixpoint: t={:.2}s, {:.2} MB average per-node traffic",
-        stats.fixpoint_time,
-        system.avg_comm_mb()
+        deployment.now(),
+        deployment.avg_comm_mb()
     );
 
-    // A query engine with caching enabled, counting derivations of routes.
-    let mut queries = QueryEngine::new(Box::new(DerivationCountRepr), TraversalOrder::Bfs);
-    queries.set_caching(true);
-
-    // Pick a route at node 0 to keep monitoring.
-    let monitored = system
-        .engine()
+    // Pick a route at node 0 to keep monitoring with cached
+    // derivation-count queries.
+    let monitored = deployment
         .tuples(0, "bestPathCost")
         .first()
         .expect("node 0 has routes")
         .clone();
     println!("monitoring provenance of {monitored}");
 
-    let idx = queries.query_now(system.engine_mut(), 0, &monitored);
-    queries.run(system.engine_mut());
+    let first = deployment
+        .query(&monitored)
+        .issuer(0)
+        .repr(Repr::DerivationCount)
+        .cached(true)
+        .execute();
     println!(
         "  initial query: {:?} derivations, latency {:.1} ms",
-        queries.outcomes()[idx]
-            .annotation
-            .as_ref()
-            .and_then(|a| a.as_count()),
-        queries.outcomes()[idx].latency().unwrap_or_default() * 1e3
+        first.annotation.as_ref().and_then(|a| a.as_count()),
+        first.latency().unwrap_or_default() * 1e3
     );
 
-    // Apply churn in 0.5 s slices, re-querying after each batch.
+    // Apply churn in 0.5 s slices.  Each batch's cache invalidation happens
+    // automatically inside apply_churn_event; the re-query is *scheduled*
+    // shortly after the batch and progresses on the same clock as the
+    // maintenance cascades the batch triggers.
     let mut applied = 0usize;
     for batch_end in [0.5f64, 1.0, 1.5, 2.0] {
         for event in schedule
             .iter()
             .filter(|e| e.time <= batch_end && e.time > batch_end - 0.5)
         {
-            // Invalidate cached results that depended on the changed link.
-            for vid in ProvenanceSystem::churn_event_vids(event) {
-                queries.invalidate(vid);
-            }
-            system.apply_churn_event(event);
+            deployment.apply_churn_event(event);
             applied += 1;
         }
-        system.run_until(batch_end + 0.45);
 
         let dest = monitored.values[0].clone();
-        let current = system
-            .engine()
+        let current = deployment
             .tuples(0, "bestPathCost")
             .into_iter()
             .find(|t| t.values[0] == dest);
-        match current {
-            Some(t) => {
-                let i = queries.query_now(system.engine_mut(), 0, &t);
-                queries.run(system.engine_mut());
+        let handle = current.as_ref().map(|t| {
+            let issue_at = deployment.now() + 0.2;
+            deployment
+                .query(t)
+                .issuer(0)
+                .repr(Repr::DerivationCount)
+                .cached(true)
+                .at(issue_at)
+                .submit()
+        });
+
+        deployment.run_until(deployment.now() + 0.45);
+
+        match (current, handle) {
+            (Some(t), Some(h)) => {
+                let outcome = deployment.outcome(h).expect("submitted");
+                let stats = deployment.session(h).stats().clone();
                 println!(
                     "  t={batch_end:.1}s ({applied} churn events applied): {t} has {:?} derivations \
                      [cache: {} hits / {} misses / {} invalidations]",
-                    queries.outcomes()[i].annotation.as_ref().and_then(|a| a.as_count()),
-                    queries.stats().cache_hits,
-                    queries.stats().cache_misses,
-                    queries.stats().invalidations,
+                    outcome.annotation.as_ref().and_then(|a| a.as_count()),
+                    stats.cache_hits,
+                    stats.cache_misses,
+                    stats.invalidations,
                 );
             }
-            None => println!("  t={batch_end:.1}s: route to {dest:?} currently withdrawn"),
+            _ => println!("  t={batch_end:.1}s: route to {dest:?} currently withdrawn"),
         }
     }
 
-    let bw = system.avg_bandwidth_mbps();
+    let bw = deployment.avg_bandwidth_mbps();
     let peak = bw.iter().fold(0.0f64, |m, &(_, v)| m.max(v));
     println!(
         "\nmaintenance traffic stayed at a peak of {:.3} MBps per node under churn \
          (reference-based provenance adds only 24-byte pointers per derivation)",
         peak
     );
+    let stats = deployment.query_traffic_stats();
     println!(
         "query traffic total: {} KB over {} messages",
-        queries.stats().bytes / 1024,
-        queries.stats().messages
+        stats.bytes / 1024,
+        stats.messages
     );
 }

@@ -13,10 +13,7 @@
 //! ```
 
 use exspan::core::storage::{all_prov_entries, all_rule_exec_entries};
-use exspan::core::{
-    NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem, SystemConfig, TraversalOrder,
-};
-use exspan::ndlog::programs;
+use exspan::core::Repr;
 use exspan::netsim::Topology;
 use exspan::types::Value;
 
@@ -30,27 +27,17 @@ fn main() {
         topology.num_links()
     );
 
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    let stats = system.run_to_fixpoint();
+    let mut deployment = exspan::setup::mincost_reference(topology, 1);
     println!(
-        "MINCOST fixpoint after {} events at t={:.2}s; provenance graph has {} prov entries and {} ruleExec entries",
-        stats.steps,
-        stats.fixpoint_time,
-        all_prov_entries(system.engine()).len(),
-        all_rule_exec_entries(system.engine()).len()
+        "MINCOST fixpoint at t={:.2}s; provenance graph has {} prov entries and {} ruleExec entries",
+        deployment.now(),
+        all_prov_entries(deployment.engine()).len(),
+        all_rule_exec_entries(deployment.engine()).len()
     );
 
     // Pick the route with the largest hop count at node 0 — the one an
     // operator would be most suspicious of.
-    let routes = system.engine().tuples(0, "bestPathCost");
+    let routes = deployment.tuples(0, "bestPathCost");
     let suspicious = routes
         .iter()
         .max_by_key(|t| t.values[1].as_int().unwrap_or(0))
@@ -59,8 +46,7 @@ fn main() {
     println!("\nsuspicious route at node 0: {suspicious}");
 
     // Which nodes were involved in deriving it?
-    let (_qe, outcome) =
-        system.query_provenance(0, &suspicious, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let outcome = deployment.query(&suspicious).repr(Repr::NodeSet).execute();
     let latency_ms = outcome.latency().unwrap_or_default() * 1e3;
     let nodes = outcome.annotation.expect("query completes");
     println!(
@@ -69,12 +55,10 @@ fn main() {
     );
 
     // Full explanation as a provenance polynomial.
-    let (_qe, outcome) = system.query_provenance(
-        0,
-        &suspicious,
-        Box::new(PolynomialRepr),
-        TraversalOrder::Bfs,
-    );
+    let outcome = deployment
+        .query(&suspicious)
+        .repr(Repr::Polynomial)
+        .execute();
     let poly = outcome.annotation.expect("query completes");
     let expr = poly.as_expr().unwrap();
     println!(
@@ -92,11 +76,11 @@ fn main() {
     // Simulate a link failure on the suspicious path and show that the
     // provenance (and the route) updates incrementally.
     let dest = suspicious.values[0].as_node().unwrap();
-    let neighbor = system.engine().topology().neighbors(0)[0];
+    let neighbor = deployment.topology().neighbors(0)[0];
     println!("\nfailing link 0 <-> {neighbor} and re-running to fixpoint…");
-    system.remove_link(0, neighbor);
-    system.run_to_fixpoint();
-    let new_routes = system.engine().tuples(0, "bestPathCost");
+    deployment.remove_link(0, neighbor);
+    deployment.run_to_fixpoint();
+    let new_routes = deployment.tuples(0, "bestPathCost");
     match new_routes.iter().find(|t| t.values[0] == Value::Node(dest)) {
         Some(t) => println!("new route after failure: {t}"),
         None => println!("destination n{dest} is no longer reachable from node 0"),

@@ -8,11 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use exspan::core::{
-    DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem,
-    SystemConfig, TraversalOrder,
-};
-use exspan::ndlog::programs;
+use exspan::core::{Repr, Traversal};
 use exspan::netsim::Topology;
 use exspan::types::{Tuple, Value};
 
@@ -25,25 +21,15 @@ fn main() {
         topology.num_links()
     );
 
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    let stats = system.run_to_fixpoint();
+    let mut deployment = exspan::setup::mincost_reference(topology, 1);
     println!(
-        "MINCOST reached fixpoint at t={:.3}s after {} events; {} bytes exchanged",
-        stats.fixpoint_time,
-        stats.steps,
-        system.total_bytes()
+        "MINCOST reached fixpoint at t={:.3}s; {} bytes exchanged",
+        deployment.now(),
+        deployment.total_bytes()
     );
 
     // Every node now knows its best path cost to every destination.
-    for t in system.engine().tuples(0, "bestPathCost") {
+    for t in deployment.tuples(0, "bestPathCost") {
         println!("  node a derived {t}");
     }
 
@@ -51,8 +37,11 @@ fn main() {
     let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
 
     // 1. Full provenance polynomial (queried from node d).
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::Polynomial)
+        .execute();
     let latency_ms = outcome.latency().unwrap_or_default() * 1e3;
     let polynomial = outcome.annotation.expect("query completes");
     println!(
@@ -65,19 +54,22 @@ fn main() {
     );
 
     // 2. Node-level provenance: which nodes participated?
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::NodeSet)
+        .execute();
     let nodes = outcome.annotation.unwrap();
     println!("node-level provenance: {:?}", nodes.as_nodes().unwrap());
 
     // 3. Number of derivations via a DFS-with-threshold traversal that stops
     //    as soon as more than one derivation is found.
-    let (_qe, outcome) = system.query_provenance(
-        3,
-        &target,
-        Box::new(DerivationCountRepr),
-        TraversalOrder::DfsThreshold(1),
-    );
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::DerivationCount)
+        .traversal(Traversal::DfsThreshold(1))
+        .execute();
     println!(
         "derivation-count query (DFS, threshold 1): {:?}",
         outcome.annotation.unwrap().as_count().unwrap()

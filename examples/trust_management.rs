@@ -12,30 +12,18 @@
 //! cargo run --release --example trust_management
 //! ```
 
-use exspan::core::{
-    BddRepr, ProvenanceMode, ProvenanceSystem, SystemConfig, TraversalOrder, TrustDomainRepr,
-};
-use exspan::ndlog::programs;
+use exspan::core::Repr;
 use exspan::netsim::Topology;
 use exspan::types::{Tuple, Value};
+use std::collections::BTreeMap;
 
 fn main() {
     // Figure 3 topology; pretend nodes {a, b} belong to domain 0 and
     // nodes {c, d} to domain 1.
-    let topology = Topology::paper_example();
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    system.run_to_fixpoint();
+    let mut deployment = exspan::setup::mincost_reference(Topology::paper_example(), 1);
 
     // The route node d holds towards node a.
-    let routes = system.engine().tuples(3, "bestPathCost");
+    let routes = deployment.tuples(3, "bestPathCost");
     let route_to_a = routes
         .iter()
         .find(|t| t.values[0] == Value::Node(0))
@@ -44,10 +32,12 @@ fn main() {
     println!("node d's route to a: {route_to_a}");
 
     // 1. Trust-domain granularity: which domains participated?
-    let domain_of = |n: u32| if n <= 1 { 0 } else { 1 };
-    let repr = TrustDomainRepr::new((0..4).map(|n| (n, domain_of(n))).collect());
-    let (_qe, outcome) =
-        system.query_provenance(3, &route_to_a, Box::new(repr), TraversalOrder::Bfs);
+    let domains: BTreeMap<u32, u32> = (0..4).map(|n| (n, if n <= 1 { 0 } else { 1 })).collect();
+    let outcome = deployment
+        .query(&route_to_a)
+        .issuer(3)
+        .repr(Repr::TrustDomain(domains))
+        .execute();
     println!(
         "domains involved in the derivation: {:?}",
         outcome.annotation.unwrap()
@@ -55,21 +45,18 @@ fn main() {
 
     // 2. Absorption (BDD) provenance: decide acceptance under different trust
     //    policies without re-querying — the BDD is evaluated directly.
-    let (qe, outcome) = system.query_provenance(
-        3,
-        &route_to_a,
-        Box::new(BddRepr::new()),
-        TraversalOrder::Bfs,
-    );
-    let annotation = outcome.annotation.expect("query completes");
-    let bdd_repr = qe
-        .repr()
-        .as_any()
-        .downcast_ref::<BddRepr>()
-        .expect("representation is BddRepr");
+    let handle = deployment
+        .query(&route_to_a)
+        .issuer(3)
+        .repr(Repr::Bdd)
+        .submit();
+    deployment.run_to_fixpoint();
+    assert!(deployment.outcome(handle).unwrap().is_complete());
 
     // Policy A: trust every link.
-    let accept_all = bdd_repr.derivable_under(&annotation, |_| true);
+    let accept_all = deployment
+        .derivable_under(handle, |_| true)
+        .expect("BDD query completed");
     // Policy B: trust only links whose *both* endpoints are in domain 0
     // (nodes a and b).  Node d's route to a needs a link touching c or d, so
     // it must be rejected.
@@ -77,7 +64,9 @@ fn main() {
         .iter()
         .map(|&(s, d, c)| Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)]).vid())
         .collect();
-    let accept_domain0 = bdd_repr.derivable_under(&annotation, |vid| trusted_links.contains(&vid));
+    let accept_domain0 = deployment
+        .derivable_under(handle, |vid| trusted_links.contains(&vid))
+        .expect("BDD query completed");
 
     println!("accept route when trusting all links:        {accept_all}");
     println!("accept route when trusting only domain-0 links: {accept_domain0}");

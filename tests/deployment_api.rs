@@ -1,0 +1,230 @@
+//! Integration tests of the first-class `Deployment` API: builder
+//! validation, and — the tentpole guarantee — churn and multiple concurrent
+//! provenance queries progressing together on *one* simulated clock, with
+//! bit-identical results across shard counts, in every provenance mode.
+//!
+//! No `engine_mut()` escape hatch is used anywhere: everything goes through
+//! the typed deployment surface.
+
+use exspan::core::{BuildError, Exspan, ProvenanceMode, QueryOutcome, Repr, Traversal};
+use exspan::ndlog::programs;
+use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
+use exspan::types::Tuple;
+
+/// A 12-node ring of stub-stub links (the link class the churn model
+/// mutates).
+fn ring_topology() -> Topology {
+    let mut topology = Topology::empty(12);
+    for i in 0..12u32 {
+        topology.add_link(i, (i + 1) % 12, LinkProps::from_class(LinkClass::StubStub));
+    }
+    topology
+}
+
+/// Everything observable about one churn-plus-concurrent-queries run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcomes: Vec<(u32, Option<f64>, Option<String>)>,
+    routes: Vec<Tuple>,
+    total_bytes: u64,
+    query_bytes: u64,
+}
+
+/// Runs MINCOST to fixpoint, then schedules a churn workload *and* several
+/// provenance queries inside the same time window and advances everything
+/// with the deployment's clock alone.
+fn churn_with_concurrent_queries(mode: ProvenanceMode, shards: usize) -> Observed {
+    let mut deployment = Exspan::builder()
+        .program(programs::mincost())
+        .topology(ring_topology())
+        .mode(mode)
+        .shards(shards)
+        .build()
+        .expect("valid deployment");
+    deployment.run_to_fixpoint();
+    let start = deployment.now();
+
+    // A churn schedule spanning one second of simulated time.
+    let churn = ChurnModel {
+        interval: 0.25,
+        changes_per_batch: 1,
+        seed: 5,
+    };
+    let schedule = churn.schedule(deployment.topology(), 1.0);
+    assert!(!schedule.is_empty(), "churn model produced no events");
+    let churn_end = start + schedule.iter().map(|e| e.time).fold(0.0, f64::max);
+    for event in &schedule {
+        deployment.schedule_churn_event(event, start + event.time);
+    }
+
+    // Three queries issued at staggered times *inside* the churn window,
+    // with different sessions (different representations), so query
+    // messages and maintenance deltas interleave on the event queue.
+    let targets: Vec<Tuple> = deployment.tuples(0, "bestPathCost");
+    assert!(targets.len() >= 2);
+    let handles = vec![
+        deployment
+            .query(&targets[0])
+            .issuer(6)
+            .repr(Repr::DerivationCount)
+            .traversal(Traversal::Bfs)
+            .at(start + 0.05)
+            .submit(),
+        deployment
+            .query(&targets[1])
+            .issuer(3)
+            .repr(Repr::NodeSet)
+            .cached(true)
+            .at(start + 0.10)
+            .submit(),
+        deployment
+            .query(&targets[0])
+            .issuer(9)
+            .repr(Repr::Polynomial)
+            .at(start + 0.60)
+            .submit(),
+    ];
+
+    // Advance the one clock in slices.  Midway, the early queries must have
+    // completed while churn events are still pending — queries overlap
+    // ongoing maintenance instead of monopolizing the engine.
+    deployment.run_until(start + 0.5);
+    assert!(deployment.now() <= start + 0.5 + 1e-9);
+    assert!(
+        deployment.outcome(handles[0]).unwrap().is_complete(),
+        "query issued at +0.05 must complete before +0.5"
+    );
+    assert!(
+        deployment.outcome(handles[1]).unwrap().is_complete(),
+        "query issued at +0.10 must complete before +0.5"
+    );
+    assert!(
+        !deployment.outcome(handles[2]).unwrap().is_complete(),
+        "query scheduled at +0.6 must not have run yet"
+    );
+
+    deployment.run_to_fixpoint();
+
+    // Every query completed, every completion lies inside or before the end
+    // of the churn window's cascades, and the two early completions precede
+    // the *scheduled* end of churn — concurrency on one clock.
+    for handle in &handles {
+        let outcome = deployment.outcome(*handle).unwrap();
+        assert!(outcome.is_complete(), "query never completed: {outcome:?}");
+        assert!(
+            outcome.annotation.is_some(),
+            "completed query carries an annotation"
+        );
+    }
+    for handle in &handles[..2] {
+        let completed = deployment.outcome(*handle).unwrap().completed_at.unwrap();
+        assert!(
+            completed < churn_end,
+            "early query completed at {completed}, after the churn window {churn_end}"
+        );
+    }
+
+    let fmt_outcome = |o: &QueryOutcome| {
+        (
+            o.issuer,
+            o.latency(),
+            o.annotation.as_ref().map(|a| format!("{a:?}")),
+        )
+    };
+    Observed {
+        outcomes: deployment.outcomes().iter().map(fmt_outcome).collect(),
+        routes: deployment.tuples_everywhere("bestPathCost"),
+        total_bytes: deployment.total_bytes(),
+        query_bytes: deployment.query_traffic_stats().bytes,
+    }
+}
+
+#[test]
+fn churn_and_concurrent_queries_share_one_clock_in_every_mode() {
+    for mode in [
+        ProvenanceMode::None,
+        ProvenanceMode::Reference,
+        ProvenanceMode::ValueBdd,
+        ProvenanceMode::Centralized { server: 0 },
+    ] {
+        let sequential = churn_with_concurrent_queries(mode, 1);
+        assert!(
+            !sequential.routes.is_empty(),
+            "{mode:?}: churned ring lost all routes"
+        );
+        assert!(
+            sequential.query_bytes > 0,
+            "{mode:?}: queries generated no traffic"
+        );
+        let sharded = churn_with_concurrent_queries(mode, 3);
+        assert_eq!(
+            sequential, sharded,
+            "{mode:?}: sharded run diverged from the sequential oracle"
+        );
+    }
+}
+
+#[test]
+fn queries_survive_interleaved_route_withdrawal() {
+    // Delete the link under a monitored route *between* two queries for it:
+    // the second query must observe the updated provenance on the same clock.
+    let mut deployment = Exspan::builder()
+        .program(programs::mincost())
+        .topology(Topology::paper_example())
+        .mode(ProvenanceMode::Reference)
+        .build()
+        .unwrap();
+    deployment.run_to_fixpoint();
+
+    // pathCost(@a,c,5) has two derivations (direct link and via b).
+    let target = deployment
+        .tuples(0, "bestPathCost")
+        .into_iter()
+        .find(|t| t.values[0] == exspan::types::Value::Node(2))
+        .unwrap();
+    let before = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::DerivationCount)
+        .execute();
+    assert_eq!(before.annotation.unwrap().as_count(), Some(2));
+
+    deployment.remove_link(0, 2);
+    let after = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::DerivationCount)
+        .execute();
+    // The route to c now derives only via b; the query ran after the
+    // deletion cascade on the same clock.
+    assert_eq!(after.annotation.unwrap().as_count(), Some(1));
+    let pc = Tuple::new(
+        "pathCost",
+        0,
+        vec![exspan::types::Value::Node(2), exspan::types::Value::Int(5)],
+    );
+    assert_eq!(deployment.derivation_count(&pc), 1);
+}
+
+#[test]
+fn builder_surfaces_configuration_errors() {
+    assert!(matches!(
+        Exspan::builder().build(),
+        Err(BuildError::MissingProgram)
+    ));
+    assert!(matches!(
+        Exspan::builder().program(programs::mincost()).build(),
+        Err(BuildError::MissingTopology)
+    ));
+    assert!(matches!(
+        Exspan::builder()
+            .program(programs::mincost())
+            .topology(Topology::paper_example())
+            .mode(ProvenanceMode::Centralized { server: 99 })
+            .build(),
+        Err(BuildError::CentralizedServerOutOfRange {
+            server: 99,
+            nodes: 4
+        })
+    ));
+}

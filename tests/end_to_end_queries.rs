@@ -1,33 +1,22 @@
 //! End-to-end distributed query tests on a 20-node testbed topology:
 //! representation consistency, traversal orders, caching and invalidation,
-//! and agreement between reference-based and value-based provenance.
+//! and agreement between reference-based and value-based provenance — all
+//! through the `Deployment` API.
 
-use exspan::core::{
-    BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode,
-    ProvenanceSystem, QueryEngine, SystemConfig, TraversalOrder,
-};
+use exspan::core::{Deployment, ProvenanceMode, QueryHandle, Repr, Traversal};
 use exspan::ndlog::programs;
 use exspan::netsim::Topology;
+use exspan::setup;
 use exspan::types::{Tuple, Value};
 
-fn reference_system(nodes: usize, seed: u64) -> ProvenanceSystem {
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        Topology::testbed_ring(nodes, seed),
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    system.run_to_fixpoint();
-    system
+fn reference_deployment(nodes: usize, seed: u64) -> Deployment {
+    setup::mincost_reference(Topology::testbed_ring(nodes, seed), 1)
 }
 
-fn some_targets(system: &ProvenanceSystem, count: usize) -> Vec<Tuple> {
+fn some_targets(deployment: &Deployment, count: usize) -> Vec<Tuple> {
     let mut out = Vec::new();
-    for n in 0..system.engine().topology().num_nodes() as u32 {
-        for t in system.engine().tuples(n, "bestPathCost") {
+    for n in 0..deployment.topology().num_nodes() as u32 {
+        for t in deployment.tuples(n, "bestPathCost") {
             out.push(t);
             if out.len() >= count {
                 return out;
@@ -37,29 +26,33 @@ fn some_targets(system: &ProvenanceSystem, count: usize) -> Vec<Tuple> {
     out
 }
 
+/// Bytes the session of `handle` spent so far — used to measure the cost of
+/// individual queries as deltas.
+fn session_bytes(deployment: &Deployment, handle: QueryHandle) -> u64 {
+    deployment.session(handle).stats().bytes
+}
+
 #[test]
 fn representations_agree_on_the_same_tuple() {
-    let mut system = reference_system(12, 3);
-    let targets = some_targets(&system, 6);
+    let mut deployment = reference_deployment(12, 3);
+    let targets = some_targets(&deployment, 6);
     assert!(!targets.is_empty());
     for target in targets {
         let issuer = (target.location + 3) % 12;
 
-        let (_q, poly) = system.query_provenance(
-            issuer,
-            &target,
-            Box::new(PolynomialRepr),
-            TraversalOrder::Bfs,
-        );
+        let poly = deployment
+            .query(&target)
+            .issuer(issuer)
+            .repr(Repr::Polynomial)
+            .execute();
         let poly = poly.annotation.expect("polynomial query completes");
         let expr = poly.as_expr().unwrap();
 
-        let (_q, count) = system.query_provenance(
-            issuer,
-            &target,
-            Box::new(DerivationCountRepr),
-            TraversalOrder::Bfs,
-        );
+        let count = deployment
+            .query(&target)
+            .issuer(issuer)
+            .repr(Repr::DerivationCount)
+            .execute();
         let count = count.annotation.unwrap().as_count().unwrap();
         assert_eq!(
             expr.num_derivations(),
@@ -68,8 +61,11 @@ fn representations_agree_on_the_same_tuple() {
         );
         assert!(count >= 1);
 
-        let (_q, nodes) =
-            system.query_provenance(issuer, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+        let nodes = deployment
+            .query(&target)
+            .issuer(issuer)
+            .repr(Repr::NodeSet)
+            .execute();
         let nodes = nodes.annotation.unwrap();
         let nodes = nodes.as_nodes().unwrap();
         assert!(
@@ -77,38 +73,39 @@ fn representations_agree_on_the_same_tuple() {
             "the tuple's own node participates in its derivation"
         );
 
-        let (_q, derivable) = system.query_provenance(
-            issuer,
-            &target,
-            Box::new(DerivabilityRepr::default()),
-            TraversalOrder::Bfs,
-        );
+        let derivable = deployment
+            .query(&target)
+            .issuer(issuer)
+            .repr(Repr::Derivability)
+            .execute();
         assert_eq!(derivable.annotation.unwrap().as_bool(), Some(true));
 
         // BDD (absorption) provenance is satisfiable when everything is
         // trusted and unsatisfiable when nothing is.
-        let (qe, bdd) = system.query_provenance(
-            issuer,
-            &target,
-            Box::new(BddRepr::new()),
-            TraversalOrder::Bfs,
-        );
-        let ann = bdd.annotation.unwrap();
-        let repr = qe.repr().as_any().downcast_ref::<BddRepr>().unwrap();
-        assert!(repr.derivable_under(&ann, |_| true));
-        assert!(!repr.derivable_under(&ann, |_| false));
+        let handle = deployment
+            .query(&target)
+            .issuer(issuer)
+            .repr(Repr::Bdd)
+            .submit();
+        deployment.run_to_fixpoint();
+        assert_eq!(deployment.derivable_under(handle, |_| true), Some(true));
+        assert_eq!(deployment.derivable_under(handle, |_| false), Some(false));
     }
 }
 
 #[test]
 fn traversal_orders_return_identical_full_results() {
-    let mut system = reference_system(12, 5);
-    let targets = some_targets(&system, 4);
+    let mut deployment = reference_deployment(12, 5);
+    let targets = some_targets(&deployment, 4);
     for target in targets {
         let mut results = Vec::new();
-        for order in [TraversalOrder::Bfs, TraversalOrder::Dfs] {
-            let (_q, out) =
-                system.query_provenance(0, &target, Box::new(DerivationCountRepr), order);
+        for order in [Traversal::Bfs, Traversal::Dfs] {
+            let out = deployment
+                .query(&target)
+                .issuer(0)
+                .repr(Repr::DerivationCount)
+                .traversal(order)
+                .execute();
             results.push(out.annotation.unwrap().as_count().unwrap());
         }
         assert_eq!(
@@ -120,32 +117,39 @@ fn traversal_orders_return_identical_full_results() {
 
 #[test]
 fn dfs_threshold_stops_early_and_never_exceeds_full_traversal() {
-    let mut system = reference_system(16, 9);
-    let targets = some_targets(&system, 8);
+    let mut deployment = reference_deployment(16, 9);
+    let targets = some_targets(&deployment, 8);
     for target in targets {
-        let (qe_full, full) = system.query_provenance(
-            1,
-            &target,
-            Box::new(DerivationCountRepr),
-            TraversalOrder::Bfs,
-        );
+        let full_handle = deployment
+            .query(&target)
+            .issuer(1)
+            .repr(Repr::DerivationCount)
+            .traversal(Traversal::Bfs)
+            .submit();
+        let full_before = session_bytes(&deployment, full_handle);
+        deployment.run_to_fixpoint();
+        let full = deployment.outcome(full_handle).unwrap().clone();
         let full_count = full.annotation.unwrap().as_count().unwrap();
-        let full_bytes = qe_full.stats().bytes;
+        let full_bytes = session_bytes(&deployment, full_handle) - full_before;
 
-        let (qe_thr, thr) = system.query_provenance(
-            1,
-            &target,
-            Box::new(DerivationCountRepr),
-            TraversalOrder::DfsThreshold(1),
-        );
+        let thr_handle = deployment
+            .query(&target)
+            .issuer(1)
+            .repr(Repr::DerivationCount)
+            .traversal(Traversal::DfsThreshold(1))
+            .submit();
+        let thr_before = session_bytes(&deployment, thr_handle);
+        deployment.run_to_fixpoint();
+        let thr = deployment.outcome(thr_handle).unwrap().clone();
         let thr_count = thr.annotation.unwrap().as_count().unwrap();
+        let thr_bytes = session_bytes(&deployment, thr_handle) - thr_before;
         // The threshold query may stop early, so it reports at most the full
         // count, and it must report more than the threshold iff the full
         // count does.
         assert!(thr_count <= full_count);
         assert_eq!(thr_count > 1, full_count > 1);
         assert!(
-            qe_thr.stats().bytes <= full_bytes,
+            thr_bytes <= full_bytes,
             "threshold pruning must not send more bytes than the full traversal"
         );
     }
@@ -153,20 +157,20 @@ fn dfs_threshold_stops_early_and_never_exceeds_full_traversal() {
 
 #[test]
 fn random_moonwalk_explores_a_subset() {
-    let mut system = reference_system(12, 13);
-    let target = some_targets(&system, 1).remove(0);
-    let (_q, full) = system.query_provenance(
-        0,
-        &target,
-        Box::new(DerivationCountRepr),
-        TraversalOrder::Bfs,
-    );
-    let (_q, walk) = system.query_provenance(
-        0,
-        &target,
-        Box::new(DerivationCountRepr),
-        TraversalOrder::RandomMoonwalk { fanout: 1, seed: 7 },
-    );
+    let mut deployment = reference_deployment(12, 13);
+    let target = some_targets(&deployment, 1).remove(0);
+    let full = deployment
+        .query(&target)
+        .issuer(0)
+        .repr(Repr::DerivationCount)
+        .traversal(Traversal::Bfs)
+        .execute();
+    let walk = deployment
+        .query(&target)
+        .issuer(0)
+        .repr(Repr::DerivationCount)
+        .traversal(Traversal::RandomMoonwalk { fanout: 1, seed: 7 })
+        .execute();
     let full = full.annotation.unwrap().as_count().unwrap();
     let walk = walk.annotation.unwrap().as_count().unwrap();
     assert!(walk >= 1);
@@ -175,61 +179,88 @@ fn random_moonwalk_explores_a_subset() {
 
 #[test]
 fn caching_reduces_traffic_and_is_invalidated_correctly() {
-    let mut system = reference_system(12, 21);
-    let targets = some_targets(&system, 5);
+    let mut deployment = reference_deployment(12, 21);
+    let targets = some_targets(&deployment, 5);
+
+    // Two sessions over the same deployment: identical configuration except
+    // caching.  Queries with equal configs share the session (and cache).
+    let run_round = |deployment: &mut Deployment, cached: bool| -> (QueryHandle, u64) {
+        let mut last = None;
+        for t in &targets {
+            let h = deployment
+                .query(t)
+                .issuer(0)
+                .repr(Repr::Polynomial)
+                .cached(cached)
+                .submit();
+            deployment.run_to_fixpoint();
+            last = Some(h);
+        }
+        let h = last.expect("targets nonempty");
+        (h, deployment.session(h).stats().bytes)
+    };
 
     // Without caching: repeated identical queries cost the same every time.
-    let mut qe = QueryEngine::new(Box::new(PolynomialRepr), TraversalOrder::Bfs);
-    qe.set_caching(false);
-    for t in &targets {
-        qe.query_now(system.engine_mut(), 0, t);
-        qe.run(system.engine_mut());
-    }
-    for t in &targets {
-        qe.query_now(system.engine_mut(), 0, t);
-        qe.run(system.engine_mut());
-    }
-    let uncached_bytes = qe.stats().bytes;
+    let (_h, first_uncached) = run_round(&mut deployment, false);
+    let (h_uncached, uncached_bytes) = run_round(&mut deployment, false);
+    assert_eq!(
+        uncached_bytes,
+        2 * first_uncached,
+        "without caching the second round costs exactly as much as the first"
+    );
 
     // With caching: the second round is nearly free and hits the cache.
-    let mut qe = QueryEngine::new(Box::new(PolynomialRepr), TraversalOrder::Bfs);
-    qe.set_caching(true);
-    for t in &targets {
-        qe.query_now(system.engine_mut(), 0, t);
-        qe.run(system.engine_mut());
-    }
-    let first_round = qe.stats().bytes;
-    for t in &targets {
-        qe.query_now(system.engine_mut(), 0, t);
-        qe.run(system.engine_mut());
-    }
-    let cached_bytes = qe.stats().bytes;
-    assert!(qe.stats().cache_hits > 0, "second round must hit the cache");
+    let (h_cached, first_round) = run_round(&mut deployment, true);
+    let (_, cached_bytes) = run_round(&mut deployment, true);
+    assert!(
+        deployment.session(h_cached).stats().cache_hits > 0,
+        "second round must hit the cache"
+    );
     assert!(
         cached_bytes - first_round < first_round,
         "cached round must be cheaper than the first round"
     );
     assert!(cached_bytes < uncached_bytes);
+    assert_ne!(
+        deployment.session(h_cached).cache_entries(),
+        0,
+        "cached session holds results"
+    );
+    assert_eq!(
+        deployment.session(h_uncached).cache_entries(),
+        0,
+        "uncached session holds none"
+    );
 
-    // All answers agree with a fresh, uncached query engine.
+    // All answers agree with fresh uncached derivation-count queries.
     let baseline_counts: Vec<u64> = targets
         .iter()
         .map(|t| {
-            let (_q, o) =
-                system.query_provenance(0, t, Box::new(DerivationCountRepr), TraversalOrder::Bfs);
-            o.annotation.unwrap().as_count().unwrap()
+            deployment
+                .query(t)
+                .issuer(0)
+                .repr(Repr::DerivationCount)
+                .execute()
+                .annotation
+                .unwrap()
+                .as_count()
+                .unwrap()
         })
         .collect();
 
     // Invalidate everything that depends on one link and re-query: results
     // must still be correct (recomputed where needed).
-    let some_link = system.engine().tuples(0, "link").remove(0);
-    qe.invalidate(some_link.vid());
+    let some_link = deployment.tuples(0, "link").remove(0);
+    deployment.invalidate(some_link.vid());
     for (t, expected) in targets.iter().zip(baseline_counts) {
-        let idx = qe.query_now(system.engine_mut(), 0, t);
-        qe.run(system.engine_mut());
-        // The cached polynomial still describes the same derivations.
-        let ann = qe.outcomes()[idx].annotation.clone().unwrap();
+        let ann = deployment
+            .query(t)
+            .issuer(0)
+            .repr(Repr::Polynomial)
+            .cached(true)
+            .execute()
+            .annotation
+            .unwrap();
         assert_eq!(ann.as_expr().unwrap().num_derivations(), expected);
     }
 }
@@ -240,47 +271,51 @@ fn value_and_reference_provenance_agree_on_derivability() {
     // sample of tuples, the value-mode BDD and a reference-mode BDD query
     // must agree on derivability under random trust assignments.
     let topo = Topology::testbed_ring(10, 33);
-    let mut value_system =
-        ProvenanceSystem::with_mode(&programs::mincost(), topo.clone(), ProvenanceMode::ValueBdd);
-    value_system.seed_links();
-    value_system.run_to_fixpoint();
+    let value_deployment = setup::converged(
+        programs::mincost(),
+        topo.clone(),
+        ProvenanceMode::ValueBdd,
+        1,
+    );
+    let mut ref_deployment = setup::mincost_reference(topo, 1);
 
-    let mut ref_system =
-        ProvenanceSystem::with_mode(&programs::mincost(), topo, ProvenanceMode::Reference);
-    ref_system.seed_links();
-    ref_system.run_to_fixpoint();
-
-    let targets = some_targets(&ref_system, 5);
+    let targets = some_targets(&ref_deployment, 5);
     for target in targets {
         // Reference-based: distributed BDD query.
-        let (qe, outcome) =
-            ref_system.query_provenance(0, &target, Box::new(BddRepr::new()), TraversalOrder::Bfs);
-        let ann = outcome.annotation.unwrap();
-        let repr = qe.repr().as_any().downcast_ref::<BddRepr>().unwrap();
-
-        // Value-based: annotation available locally.
-        let value = value_system.value_provenance().unwrap();
+        let handle = ref_deployment
+            .query(&target)
+            .issuer(0)
+            .repr(Repr::Bdd)
+            .submit();
+        ref_deployment.run_to_fixpoint();
 
         // Both derivable when everything is trusted, neither when nothing is.
-        assert!(repr.derivable_under(&ann, |_| true));
-        assert!(value.derivable_under(&target, |_| true));
-        assert!(!repr.derivable_under(&ann, |_| false));
-        assert!(!value.derivable_under(&target, |_| false));
+        assert_eq!(ref_deployment.derivable_under(handle, |_| true), Some(true));
+        assert_eq!(
+            ref_deployment.derivable_under(handle, |_| false),
+            Some(false)
+        );
+        assert_eq!(
+            value_deployment.with_value_provenance(|p| p.derivable_under(&target, |_| true)),
+            Some(true)
+        );
+        assert_eq!(
+            value_deployment.with_value_provenance(|p| p.derivable_under(&target, |_| false)),
+            Some(false)
+        );
 
         // Under "trust only even-numbered nodes' links": both agree.
+        let links = ref_deployment.tuples_everywhere("link");
         let trust_even = |vid: exspan::types::Vid| {
-            // Determine the owning node by scanning link tuples.
-            ref_system
-                .engine()
-                .tuples_everywhere("link")
+            links
                 .iter()
                 .find(|l| l.vid() == vid)
                 .map(|l| l.location % 2 == 0)
                 .unwrap_or(false)
         };
         assert_eq!(
-            repr.derivable_under(&ann, trust_even),
-            value.derivable_under(&target, trust_even),
+            ref_deployment.derivable_under(handle, trust_even),
+            value_deployment.with_value_provenance(|p| p.derivable_under(&target, trust_even)),
             "value- and reference-based derivability disagree for {target}"
         );
     }
@@ -288,13 +323,12 @@ fn value_and_reference_provenance_agree_on_derivability() {
 
 #[test]
 fn packet_forwarding_with_provenance_delivers_packets() {
-    let mut system = ProvenanceSystem::with_mode(
-        &programs::packet_forward(),
+    let mut deployment = setup::converged(
+        programs::packet_forward(),
         Topology::testbed_ring(8, 17),
         ProvenanceMode::Reference,
+        1,
     );
-    system.seed_links();
-    system.run_to_fixpoint();
     // Send packets between several pairs.
     for (src, dst) in [(0u32, 4u32), (1, 5), (7, 2)] {
         let packet = Tuple::new(
@@ -302,11 +336,11 @@ fn packet_forwarding_with_provenance_delivers_packets() {
             src,
             vec![Value::Node(src), Value::Node(dst), Value::Payload(1024)],
         );
-        system.engine_mut().insert_base(src, packet);
+        deployment.insert_base(src, packet);
     }
-    system.run_to_fixpoint();
+    deployment.run_to_fixpoint();
     for (src, dst) in [(0u32, 4u32), (1, 5), (7, 2)] {
-        let received = system.engine().tuples(dst, "recvPacket");
+        let received = deployment.tuples(dst, "recvPacket");
         assert!(
             received.iter().any(|t| t.values[0] == Value::Node(src)),
             "packet from {src} to {dst} was not delivered: {received:?}"

@@ -1,8 +1,9 @@
 //! Smoke tests mirroring the core path of each `examples/` binary, so the
 //! examples' API surface cannot silently rot between releases.
 //!
-//! Every scenario runs through one shared helper and is executed twice: on
-//! the sequential engine (one shard — the historical behavior) and on the
+//! Every scenario runs through the shared `exspan::setup` helper (the same
+//! builder-based prologue the examples use) and is executed twice: on the
+//! sequential engine (one shard — the historical behavior) and on the
 //! sharded engine (three shards).  Each scenario returns a comparable
 //! outcome, and the two executions must agree exactly — any determinism
 //! drift between the sharded and sequential runtimes fails the suite.
@@ -12,31 +13,10 @@
 //! additionally runs the real binaries at full scale in release mode.
 
 use exspan::core::storage::{all_prov_entries, all_rule_exec_entries};
-use exspan::core::{
-    BddRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem,
-    QueryEngine, SystemConfig, TraversalOrder, TrustDomainRepr,
-};
-use exspan::ndlog::programs;
+use exspan::core::{Repr, Traversal};
 use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
+use exspan::setup;
 use exspan::types::{Tuple, Value};
-
-/// Builds a reference-mode system over `topology` with `shards` worker
-/// shards, seeds its links and runs it to fixpoint — the common prologue of
-/// every example.
-fn reference_system(topology: Topology, shards: usize) -> ProvenanceSystem {
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        topology,
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            shards,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    system.run_to_fixpoint();
-    system
-}
 
 /// Runs `scenario` on the sequential oracle and on three shards and asserts
 /// both executions produce the same outcome.
@@ -55,28 +35,33 @@ fn assert_sharding_invariant<T: PartialEq + std::fmt::Debug>(
 /// `examples/quickstart.rs`: Figure 3, provenance of `bestPathCost(@a,c,5)`
 /// in three representations.
 fn quickstart_core_path(shards: usize) -> (u64, Option<u64>, Vec<u32>) {
-    let mut system = reference_system(Topology::paper_example(), shards);
-    assert!(!system.engine().tuples(0, "bestPathCost").is_empty());
+    let mut deployment = setup::mincost_reference(Topology::paper_example(), shards);
+    assert!(!deployment.tuples(0, "bestPathCost").is_empty());
 
     let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
 
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::Polynomial)
+        .execute();
     let polynomial = outcome.annotation.expect("polynomial query completes");
     let derivations = polynomial.as_expr().unwrap().num_derivations();
     assert_eq!(derivations, 2);
 
-    let (_qe, outcome) = system.query_provenance(
-        3,
-        &target,
-        Box::new(DerivationCountRepr),
-        TraversalOrder::Bfs,
-    );
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::DerivationCount)
+        .execute();
     let count = outcome.annotation.unwrap().as_count();
     assert_eq!(count, Some(2));
 
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let outcome = deployment
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::NodeSet)
+        .execute();
     let nodes: Vec<u32> = outcome
         .annotation
         .unwrap()
@@ -97,36 +82,33 @@ fn quickstart_smoke() {
 /// `examples/network_debugging.rs`: inspect the provenance graph, explain a
 /// route, then fail a link and watch the state update incrementally.
 fn network_debugging_core_path(shards: usize) -> (Vec<Tuple>, String, Vec<Tuple>) {
-    let mut system = reference_system(Topology::testbed_ring(12, 7), shards);
-    assert!(!all_prov_entries(system.engine()).is_empty());
-    assert!(!all_rule_exec_entries(system.engine()).is_empty());
+    let mut deployment = setup::mincost_reference(Topology::testbed_ring(12, 7), shards);
+    assert!(!all_prov_entries(deployment.engine()).is_empty());
+    assert!(!all_rule_exec_entries(deployment.engine()).is_empty());
 
-    let routes = system.engine().tuples(0, "bestPathCost");
+    let routes = deployment.tuples(0, "bestPathCost");
     let suspicious = routes
         .iter()
         .max_by_key(|t| t.values[1].as_int().unwrap_or(0))
         .expect("node 0 has routes")
         .clone();
 
-    let (_qe, outcome) =
-        system.query_provenance(0, &suspicious, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let outcome = deployment.query(&suspicious).repr(Repr::NodeSet).execute();
     assert!(!outcome.annotation.unwrap().as_nodes().unwrap().is_empty());
 
-    let (_qe, outcome) = system.query_provenance(
-        0,
-        &suspicious,
-        Box::new(PolynomialRepr),
-        TraversalOrder::Bfs,
-    );
+    let outcome = deployment
+        .query(&suspicious)
+        .repr(Repr::Polynomial)
+        .execute();
     let expr_text = outcome.annotation.unwrap().as_expr().unwrap().to_string();
     assert!(!expr_text.is_empty());
 
-    let neighbor = system.engine().topology().neighbors(0)[0];
-    system.remove_link(0, neighbor);
-    system.run_to_fixpoint();
+    let neighbor = deployment.topology().neighbors(0)[0];
+    deployment.remove_link(0, neighbor);
+    deployment.run_to_fixpoint();
     // The network is still connected through the rest of the ring, so node 0
     // keeps a route to every other node.
-    let remaining = system.engine().tuples(0, "bestPathCost");
+    let remaining = deployment.tuples(0, "bestPathCost");
     assert!(!remaining.is_empty());
     (routes, expr_text, remaining)
 }
@@ -137,8 +119,9 @@ fn network_debugging_smoke() {
 }
 
 /// `examples/churn_diagnostics.rs`: cached derivation-count queries with
-/// transitive invalidation while churn events are applied.
-fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64) {
+/// automatic transitive invalidation while churn events are applied, all on
+/// the deployment's one clock.
+fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64, u64) {
     // The churn model only churns stub-stub links, so build a small ring of
     // them (the example's 100-node transit-stub network is too slow for a
     // debug-mode smoke test).
@@ -153,42 +136,51 @@ fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64) 
     };
     let schedule = churn.schedule(&topology, 1.0);
     assert!(!schedule.is_empty(), "churn model produced no events");
-    let mut system = reference_system(topology, shards);
+    let mut deployment = setup::mincost_reference(topology, shards);
 
-    let mut queries = QueryEngine::new(Box::new(DerivationCountRepr), TraversalOrder::Bfs);
-    queries.set_caching(true);
-
-    let monitored = system
-        .engine()
+    let monitored = deployment
         .tuples(0, "bestPathCost")
         .first()
         .expect("node 0 has routes")
         .clone();
-    let idx = queries.query_now(system.engine_mut(), 0, &monitored);
-    queries.run(system.engine_mut());
-    let first_count = queries.outcomes()[idx]
+    let handle = deployment
+        .query(&monitored)
+        .issuer(0)
+        .repr(Repr::DerivationCount)
+        .cached(true)
+        .submit();
+    deployment.run_to_fixpoint();
+    let first_count = deployment
+        .outcome(handle)
+        .unwrap()
         .annotation
         .as_ref()
         .and_then(|a| a.as_count());
     assert!(first_count.is_some());
 
+    // Churn invalidates the affected cached results automatically.
     for event in &schedule {
-        for vid in ProvenanceSystem::churn_event_vids(event) {
-            queries.invalidate(vid);
-        }
-        system.apply_churn_event(event);
+        deployment.apply_churn_event(event);
     }
-    system.run_to_fixpoint();
+    deployment.run_to_fixpoint();
+    let invalidations = deployment.session(handle).stats().invalidations;
 
     let dest = monitored.values[0].clone();
-    let surviving = system.engine().tuples(0, "bestPathCost");
+    let surviving = deployment.tuples(0, "bestPathCost");
     if let Some(current) = surviving.iter().find(|t| t.values[0] == dest) {
-        let i = queries.query_now(system.engine_mut(), 0, current);
-        queries.run(system.engine_mut());
-        assert!(queries.outcomes()[i].annotation.is_some());
+        let current = current.clone();
+        let h = deployment
+            .query(&current)
+            .issuer(0)
+            .repr(Repr::DerivationCount)
+            .cached(true)
+            .submit();
+        deployment.run_to_fixpoint();
+        assert!(deployment.outcome(h).unwrap().annotation.is_some());
     }
-    assert!(queries.stats().messages > 0);
-    (first_count, surviving, queries.stats().messages)
+    let messages = deployment.query_traffic_stats().messages;
+    assert!(messages > 0);
+    (first_count, surviving, messages, invalidations)
 }
 
 #[test]
@@ -199,40 +191,42 @@ fn churn_diagnostics_smoke() {
 /// `examples/trust_management.rs`: trust-domain granularity plus acceptance
 /// decisions evaluated directly on condensed (BDD) provenance.
 fn trust_management_core_path(shards: usize) -> (bool, bool) {
-    let mut system = reference_system(Topology::paper_example(), shards);
+    let mut deployment = setup::mincost_reference(Topology::paper_example(), shards);
 
-    let routes = system.engine().tuples(3, "bestPathCost");
+    let routes = deployment.tuples(3, "bestPathCost");
     let route_to_a = routes
         .iter()
         .find(|t| t.values[0] == Value::Node(0))
         .expect("d has a route to a")
         .clone();
 
-    let domain_of = |n: u32| if n <= 1 { 0 } else { 1 };
-    let repr = TrustDomainRepr::new((0..4).map(|n| (n, domain_of(n))).collect());
-    let (_qe, outcome) =
-        system.query_provenance(3, &route_to_a, Box::new(repr), TraversalOrder::Bfs);
+    let domains: std::collections::BTreeMap<u32, u32> =
+        (0..4).map(|n| (n, if n <= 1 { 0 } else { 1 })).collect();
+    let outcome = deployment
+        .query(&route_to_a)
+        .issuer(3)
+        .repr(Repr::TrustDomain(domains))
+        .traversal(Traversal::Bfs)
+        .execute();
     assert!(outcome.annotation.is_some());
 
-    let (qe, outcome) = system.query_provenance(
-        3,
-        &route_to_a,
-        Box::new(BddRepr::new()),
-        TraversalOrder::Bfs,
-    );
-    let annotation = outcome.annotation.expect("query completes");
-    let bdd_repr = qe
-        .repr()
-        .as_any()
-        .downcast_ref::<BddRepr>()
-        .expect("representation is BddRepr");
+    let handle = deployment
+        .query(&route_to_a)
+        .issuer(3)
+        .repr(Repr::Bdd)
+        .submit();
+    deployment.run_to_fixpoint();
 
-    let accept_all = bdd_repr.derivable_under(&annotation, |_| true);
+    let accept_all = deployment
+        .derivable_under(handle, |_| true)
+        .expect("BDD query completed");
     let trusted_links: Vec<_> = [(0u32, 1u32, 3i64), (1, 0, 3)]
         .iter()
         .map(|&(s, d, c)| Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)]).vid())
         .collect();
-    let accept_domain0 = bdd_repr.derivable_under(&annotation, |vid| trusted_links.contains(&vid));
+    let accept_domain0 = deployment
+        .derivable_under(handle, |vid| trusted_links.contains(&vid))
+        .expect("BDD query completed");
 
     assert!(accept_all);
     assert!(!accept_domain0);

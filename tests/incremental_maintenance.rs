@@ -3,20 +3,18 @@
 //! match a system recomputed from scratch on the final topology.
 
 use exspan::core::storage::{all_prov_entries, all_rule_exec_entries, rule_exec_entry};
-use exspan::core::{ProvenanceMode, ProvenanceSystem};
+use exspan::core::{Deployment, ProvenanceMode};
 use exspan::ndlog::programs;
 use exspan::netsim::{LinkClass, LinkProps, Topology};
+use exspan::setup;
 use exspan::types::Tuple;
 
-fn run_fresh(topology: Topology, mode: ProvenanceMode) -> ProvenanceSystem {
-    let mut s = ProvenanceSystem::with_mode(&programs::mincost(), topology, mode);
-    s.seed_links();
-    s.run_to_fixpoint();
-    s
+fn run_fresh(topology: Topology, mode: ProvenanceMode) -> Deployment {
+    setup::converged(programs::mincost(), topology, mode, 1)
 }
 
-fn best_path_costs(system: &ProvenanceSystem) -> Vec<Tuple> {
-    system.engine().tuples_everywhere("bestPathCost")
+fn best_path_costs(deployment: &Deployment) -> Vec<Tuple> {
+    deployment.tuples_everywhere("bestPathCost")
 }
 
 #[test]
@@ -140,12 +138,13 @@ fn value_mode_tracks_state_under_churn_too() {
         run_fresh(t, ProvenanceMode::ValueBdd)
     };
     assert_eq!(best_path_costs(&system), best_path_costs(&scratch));
-    // The value policy still serves local derivability answers.
+    // The value policy still serves local derivability answers, through the
+    // closure-scoped accessor (no MutexGuard escapes).
     let target = best_path_costs(&system).remove(0);
-    assert!(system
-        .value_provenance()
-        .unwrap()
-        .derivable_under(&target, |_| true));
+    assert_eq!(
+        system.with_value_provenance(|p| p.derivable_under(&target, |_| true)),
+        Some(true)
+    );
 }
 
 #[test]

@@ -3,11 +3,10 @@
 //! of the `prov` / `ruleExec` tables of Tables 1 and 2.
 
 use exspan::core::storage::{all_prov_entries, prov_entries, rule_exec_entry};
-use exspan::core::{
-    NodeSetRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem, SystemConfig, TraversalOrder,
-};
+use exspan::core::{Deployment, ProvenanceMode, Repr};
 use exspan::ndlog::programs;
 use exspan::netsim::Topology;
+use exspan::setup;
 use exspan::types::tuple::rule_exec_id;
 use exspan::types::{Tuple, Value};
 
@@ -19,18 +18,8 @@ fn tuple(rel: &str, loc: u32, dst: u32, cost: i64) -> Tuple {
     Tuple::new(rel, loc, vec![Value::Node(dst), Value::Int(cost)])
 }
 
-fn reference_system() -> ProvenanceSystem {
-    let mut system = ProvenanceSystem::new(
-        &programs::mincost(),
-        Topology::paper_example(),
-        SystemConfig {
-            mode: ProvenanceMode::Reference,
-            ..Default::default()
-        },
-    );
-    system.seed_links();
-    system.run_to_fixpoint();
-    system
+fn reference_system() -> Deployment {
+    setup::mincost_reference(Topology::paper_example(), 1)
 }
 
 #[test]
@@ -38,7 +27,7 @@ fn figure_3_best_path_costs() {
     let system = reference_system();
     // Best path costs from a (Figure 3): b=3, c=5, d=8.
     let expected = [(B, 3), (C, 5), (3u32, 8)];
-    let a_best = system.engine().tuples(A, "bestPathCost");
+    let a_best = system.tuples(A, "bestPathCost");
     for (dest, cost) in expected {
         assert!(
             a_best.contains(&tuple("bestPathCost", A, dest, cost)),
@@ -128,8 +117,11 @@ fn table_2_rule_exec_entries_match_figure_5() {
 fn figure_4_provenance_polynomial_of_best_path_cost() {
     let mut system = reference_system();
     let target = tuple("bestPathCost", A, C, 5);
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(PolynomialRepr), TraversalOrder::Bfs);
+    let outcome = system
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::Polynomial)
+        .execute();
     let expr = outcome.annotation.expect("query completes");
     let expr = expr.as_expr().unwrap();
     // Two alternative derivations (the two paths of Figure 4).
@@ -155,8 +147,11 @@ fn node_level_provenance_is_a_b() {
     // §3: the node-level provenance of bestPathCost(@a,c,5) is {a, b}.
     let mut system = reference_system();
     let target = tuple("bestPathCost", A, C, 5);
-    let (_qe, outcome) =
-        system.query_provenance(3, &target, Box::new(NodeSetRepr), TraversalOrder::Bfs);
+    let outcome = system
+        .query(&target)
+        .issuer(3)
+        .repr(Repr::NodeSet)
+        .execute();
     let nodes = outcome.annotation.expect("query completes");
     assert_eq!(
         nodes
@@ -207,12 +202,8 @@ fn reference_mode_overhead_is_small_on_the_example() {
     // The reference-based run exchanges more bytes than the bare protocol but
     // far fewer than value-based provenance — the core claim of the paper.
     let programs = programs::mincost();
-    let run = |mode| {
-        let mut s = ProvenanceSystem::with_mode(&programs, Topology::paper_example(), mode);
-        s.seed_links();
-        s.run_to_fixpoint();
-        s.total_bytes()
-    };
+    let run =
+        |mode| setup::converged(programs.clone(), Topology::paper_example(), mode, 1).total_bytes();
     let none = run(ProvenanceMode::None);
     let reference = run(ProvenanceMode::Reference);
     let value = run(ProvenanceMode::ValueBdd);

@@ -3,11 +3,10 @@
 //! protocol computes, regardless of topology.
 
 use exspan::core::storage::{all_prov_entries, prov_entries};
-use exspan::core::{
-    DerivationCountRepr, PolynomialRepr, ProvenanceMode, ProvenanceSystem, TraversalOrder,
-};
+use exspan::core::{Deployment, ProvenanceMode, Repr};
 use exspan::ndlog::programs;
 use exspan::netsim::{LinkClass, LinkProps, Topology};
+use exspan::setup;
 use exspan::types::{Tuple, Value};
 use proptest::prelude::*;
 
@@ -43,11 +42,8 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
         })
 }
 
-fn run(topology: Topology, mode: ProvenanceMode) -> ProvenanceSystem {
-    let mut s = ProvenanceSystem::with_mode(&programs::mincost(), topology, mode);
-    s.seed_links();
-    s.run_to_fixpoint();
-    s
+fn run(topology: Topology, mode: ProvenanceMode) -> Deployment {
+    setup::converged(programs::mincost(), topology, mode, 1)
 }
 
 /// Dijkstra over the link costs, as an independent oracle for MINCOST.
@@ -98,14 +94,14 @@ proptest! {
         let system = run(topology.clone(), ProvenanceMode::Reference);
         let oracle = oracle_best_costs(&topology);
         for ((src, dst), cost) in &oracle {
-            let tuples = system.engine().tuples(*src, "bestPathCost");
+            let tuples = system.tuples(*src, "bestPathCost");
             let found = tuples.iter().find(|t| t.values[0] == Value::Node(*dst));
             prop_assert!(found.is_some(), "missing bestPathCost(@{src},{dst})");
             prop_assert_eq!(found.unwrap().values[1].as_int().unwrap(), *cost);
         }
         // No spurious routes either.
         for n in 0..topology.num_nodes() as u32 {
-            for t in system.engine().tuples(n, "bestPathCost") {
+            for t in system.tuples(n, "bestPathCost") {
                 let dst = t.values[0].as_node().unwrap();
                 if dst != n {
                     prop_assert!(oracle.contains_key(&(n, dst)));
@@ -137,18 +133,8 @@ proptest! {
 
         // Query a sample of tuples: counts and polynomials agree.
         for t in targets.iter().take(3) {
-            let (_q, poly) = system.query_provenance(
-                t.location,
-                t,
-                Box::new(PolynomialRepr),
-                TraversalOrder::Bfs,
-            );
-            let (_q, count) = system.query_provenance(
-                t.location,
-                t,
-                Box::new(DerivationCountRepr),
-                TraversalOrder::Bfs,
-            );
+            let poly = system.query(t).repr(Repr::Polynomial).execute();
+            let count = system.query(t).repr(Repr::DerivationCount).execute();
             let poly = poly.annotation.unwrap();
             let count = count.annotation.unwrap().as_count().unwrap();
             prop_assert!(count >= 1);
@@ -172,8 +158,8 @@ proptest! {
         let scratch = run(reduced, ProvenanceMode::Reference);
 
         prop_assert_eq!(
-            incremental.engine().tuples_everywhere("bestPathCost"),
-            scratch.engine().tuples_everywhere("bestPathCost")
+            incremental.tuples_everywhere("bestPathCost"),
+            scratch.tuples_everywhere("bestPathCost")
         );
     }
 
@@ -185,7 +171,7 @@ proptest! {
         let none = run(topology.clone(), ProvenanceMode::None);
         let reference = run(topology.clone(), ProvenanceMode::Reference);
         let value = run(topology, ProvenanceMode::ValueBdd);
-        let state = |s: &ProvenanceSystem| s.engine().tuples_everywhere("bestPathCost");
+        let state = |s: &Deployment| s.tuples_everywhere("bestPathCost");
         prop_assert_eq!(state(&none), state(&reference));
         prop_assert_eq!(state(&none), state(&value));
         prop_assert!(reference.total_bytes() >= none.total_bytes());
