@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the interned hot path: tuple hashing/equality under
+//! interned relations, symbol interning and resolution, and the wire-size /
+//! hash encodings the figures' byte accounting rests on.
+//!
+//! These pin the primitives the delta-processing loop leans on after the
+//! interning refactor — a regression here shows up as wall-clock loss across
+//! every figure, so CI runs them (job `microbench`) and archives the numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exspan_types::{wire, Symbol, Tuple, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+fn sample_tuple() -> Tuple {
+    Tuple::new(
+        "pathCost",
+        17,
+        vec![Value::Node(42), Value::Int(12), Value::Node(3)],
+    )
+}
+
+fn path_tuple() -> Tuple {
+    Tuple::new(
+        "bestPath",
+        3,
+        vec![
+            Value::Node(9),
+            Value::list((0..8).map(Value::Node).collect()),
+            Value::Int(21),
+        ],
+    )
+}
+
+fn bench_tuple_hash(c: &mut Criterion) {
+    let t = sample_tuple();
+    c.bench_function("tuple_std_hash", |b| {
+        b.iter(|| {
+            let mut h = DefaultHasher::new();
+            black_box(&t).hash(&mut h);
+            h.finish()
+        })
+    });
+    let p = path_tuple();
+    c.bench_function("tuple_vid_pathvector", |b| b.iter(|| black_box(&p).vid()));
+    let u = sample_tuple();
+    c.bench_function("tuple_eq_interned", |b| {
+        b.iter(|| black_box(&t) == black_box(&u))
+    });
+}
+
+fn bench_intern(c: &mut Criterion) {
+    // Interning an already-known string: the hot path (every Tuple::new from
+    // a string literal takes it).
+    c.bench_function("symbol_intern_hit", |b| {
+        Symbol::intern("bestPathCost");
+        b.iter(|| Symbol::intern(black_box("bestPathCost")))
+    });
+    // Resolution must be free (pointer copy).
+    let s = Symbol::intern("bestPathCost");
+    c.bench_function("symbol_resolve", |b| b.iter(|| black_box(s).as_str().len()));
+    // Copy-equality against another symbol (pointer compare).
+    let t = Symbol::intern("pathCost");
+    c.bench_function("symbol_eq", |b| b.iter(|| black_box(s) == black_box(t)));
+}
+
+fn bench_wire_encode(c: &mut Criterion) {
+    let t = sample_tuple();
+    let p = path_tuple();
+    c.bench_function("wire_size_tuple", |b| b.iter(|| black_box(&t).wire_size()));
+    c.bench_function("wire_message_size_pathvector", |b| {
+        b.iter(|| wire::message_size(std::slice::from_ref(black_box(&p)), 24))
+    });
+    c.bench_function("encode_for_hash_pathvector", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(128);
+            for v in &p.values {
+                v.encode_for_hash(&mut buf);
+            }
+            buf.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_tuple_hash, bench_intern, bench_wire_encode);
+criterion_main!(benches);

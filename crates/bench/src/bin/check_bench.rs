@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! check_bench <fresh-dir> <baseline-dir>          # regression + ordering gate
+//! check_bench --time-budget 50 <fresh> <base>     # … plus a wall-clock budget
 //! check_bench --exact <dir-a> <dir-b>             # determinism diff (ignores wall clock)
+//! check_bench --exact --speedup-summary <sharded> <sequential>
 //! ```
 //!
 //! Default mode compares freshly generated `BENCH_*.json` files against the
@@ -12,19 +14,29 @@
 //!   is traffic or latency, so larger = worse), or
 //! * the **value ≥ reference ≥ none provenance-mode ordering of the paper
 //!   inverts** on any bandwidth figure, or
-//! * a baseline figure is missing from the fresh output.
+//! * a baseline figure is missing from the fresh output, or
+//! * (with `--time-budget <pct>`) the suite's **total wall clock** exceeds the
+//!   baseline total by more than `pct` percent.
 //!
-//! All gated quantities are statistics of the *simulated* protocol run, which
-//! is deterministic — so the gate is immune to runner noise while still
-//! catching any change that shifts maintenance traffic.
+//! The series statistics are functions of the *simulated* protocol run, which
+//! is deterministic — so those gates are immune to runner noise.  The wall
+//! clock is real time and does vary with the runner, which is why the budget
+//! is opt-in, applies to the suite total (not per figure), and ships with a
+//! generous default headroom in CI (50%); it exists to catch order-of-magnitude
+//! slowdowns on the hot path, not single-digit jitter.  Per-figure
+//! `wall_secs` deltas are always printed for the record.
 //!
 //! `--exact` mode asserts two output directories are identical except for
 //! wall-clock time and shard count: CI runs the tiny scale sequentially and
 //! with four shards and diffs the results, pinning the sharded runtime's
-//! bit-identical guarantee.
+//! bit-identical guarantee.  With `--speedup-summary`, a markdown
+//! sequential-vs-sharded wall-clock table is appended to the file named by
+//! `$GITHUB_STEP_SUMMARY` (or printed to stdout when the variable is unset),
+//! so every CI run documents what the extra shards bought.
 
 use exspan_bench::BenchReport;
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::Path;
 
 /// Allowed relative regression of a series mean before the gate fails.
@@ -173,17 +185,153 @@ fn check_exact(
     failures
 }
 
+/// Prints the per-figure wall-clock deltas and enforces the optional suite
+/// budget.  Returns a failure line when the budget is exceeded.
+fn check_time_budget(
+    fresh: &BTreeMap<String, BenchReport>,
+    base: &BTreeMap<String, BenchReport>,
+    budget_pct: Option<f64>,
+) -> Vec<String> {
+    let mut total_fresh = 0.0;
+    let mut total_base = 0.0;
+    println!("wall-clock per figure (fresh vs baseline):");
+    for (figure, baseline) in base {
+        let Some(current) = fresh.get(figure) else {
+            continue;
+        };
+        total_fresh += current.wall_clock_seconds;
+        total_base += baseline.wall_clock_seconds;
+        let delta = if baseline.wall_clock_seconds > 0.0 {
+            (current.wall_clock_seconds / baseline.wall_clock_seconds - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  {figure:>6}: {:>7.2}s vs {:>7.2}s  ({delta:+.1}%)",
+            current.wall_clock_seconds, baseline.wall_clock_seconds
+        );
+    }
+    let total_delta = if total_base > 0.0 {
+        (total_fresh / total_base - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "  {:>6}: {total_fresh:>7.2}s vs {total_base:>7.2}s  ({total_delta:+.1}%)",
+        "total"
+    );
+    let mut failures = Vec::new();
+    if let Some(pct) = budget_pct {
+        let allowed = total_base * (1.0 + pct / 100.0);
+        if total_fresh > allowed {
+            failures.push(format!(
+                "suite wall clock {total_fresh:.2}s exceeds the {pct:.0}% budget over baseline \
+                 {total_base:.2}s (allowed {allowed:.2}s)"
+            ));
+        }
+    }
+    failures
+}
+
+/// Renders the sequential-vs-sharded speedup table and appends it to
+/// `$GITHUB_STEP_SUMMARY` (falling back to stdout).
+fn write_speedup_summary(
+    sharded: &BTreeMap<String, BenchReport>,
+    sequential: &BTreeMap<String, BenchReport>,
+) {
+    let shards = sharded
+        .values()
+        .next()
+        .map(|r| r.shards)
+        .unwrap_or_default();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Sequential vs {shards}-shard wall clock (tiny scale)\n\n\
+         | figure | sequential (s) | {shards} shards (s) | speedup |\n\
+         |---|---:|---:|---:|\n"
+    ));
+    let mut total_seq = 0.0;
+    let mut total_shard = 0.0;
+    for (figure, seq) in sequential {
+        let Some(sh) = sharded.get(figure) else {
+            continue;
+        };
+        total_seq += seq.wall_clock_seconds;
+        total_shard += sh.wall_clock_seconds;
+        out.push_str(&format!(
+            "| {figure} | {:.2} | {:.2} | {:.2}× |\n",
+            seq.wall_clock_seconds,
+            sh.wall_clock_seconds,
+            seq.wall_clock_seconds / sh.wall_clock_seconds.max(1e-9)
+        ));
+    }
+    out.push_str(&format!(
+        "| **total** | **{total_seq:.2}** | **{total_shard:.2}** | **{:.2}×** |\n",
+        total_seq / total_shard.max(1e-9)
+    ));
+    match std::env::var("GITHUB_STEP_SUMMARY") {
+        Ok(path) if !path.is_empty() => {
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(out.as_bytes()));
+            if let Err(e) = appended {
+                eprintln!("check_bench: cannot append step summary to {path}: {e}");
+                println!("{out}");
+            }
+        }
+        _ => println!("{out}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (exact, dirs): (bool, Vec<&String>) = match args.first().map(String::as_str) {
-        Some("--exact") => (true, args[1..].iter().collect()),
-        _ => (false, args.iter().collect()),
-    };
+    let mut exact = false;
+    let mut speedup_summary = false;
+    let mut time_budget: Option<f64> = None;
+    let mut dirs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exact" => exact = true,
+            "--speedup-summary" => speedup_summary = true,
+            "--time-budget" => {
+                i += 1;
+                time_budget = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(pct) if pct >= 0.0 => Some(pct),
+                    _ => {
+                        eprintln!("check_bench: --time-budget needs a non-negative percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("check_bench: unknown flag {other}");
+                std::process::exit(2);
+            }
+            dir => dirs.push(dir.to_string()),
+        }
+        i += 1;
+    }
     if dirs.len() != 2 {
-        eprintln!("usage: check_bench [--exact] <fresh-dir> <baseline-dir>");
+        eprintln!(
+            "usage: check_bench [--exact] [--speedup-summary] [--time-budget <pct>] \
+             <fresh-dir> <baseline-dir>"
+        );
         std::process::exit(2);
     }
-    let (fresh_dir, base_dir) = (dirs[0], dirs[1]);
+    // Reject flag combinations that would otherwise be silently ignored — a
+    // perf gate that looks enabled but never runs is worse than a usage error.
+    if exact && time_budget.is_some() {
+        eprintln!("check_bench: --time-budget applies to the perf gate, not --exact mode");
+        std::process::exit(2);
+    }
+    if speedup_summary && !exact {
+        eprintln!("check_bench: --speedup-summary requires --exact (sharded vs sequential dirs)");
+        std::process::exit(2);
+    }
+    let (fresh_dir, base_dir) = (&dirs[0], &dirs[1]);
     if !Path::new(base_dir).is_dir() {
         eprintln!("check_bench: baseline directory {base_dir} does not exist");
         std::process::exit(2);
@@ -192,10 +340,15 @@ fn main() {
     let base = load_dir(base_dir);
 
     let failures = if exact {
-        check_exact(&fresh, &base)
+        let f = check_exact(&fresh, &base);
+        if speedup_summary && f.is_empty() {
+            write_speedup_summary(&fresh, &base);
+        }
+        f
     } else {
         let mut f = check_regressions(&fresh, &base);
         f.extend(check_ordering(&fresh));
+        f.extend(check_time_budget(&fresh, &base, time_budget));
         f
     };
 

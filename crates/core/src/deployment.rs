@@ -393,7 +393,7 @@ impl ExternalSink for FabricSink<'_> {
         &mut self,
         engine: &mut Engine,
         node: NodeId,
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         time: f64,
         _insert: bool,
     ) {

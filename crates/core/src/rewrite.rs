@@ -26,7 +26,7 @@
 //! is precisely the reference-based provenance overhead evaluated in §7.
 
 use exspan_ndlog::ast::{Atom, BodyItem, Expr, HeadArg, Program, Rule, RuleHead, TableDecl, Term};
-use exspan_types::{NodeId, Value};
+use exspan_types::{NodeId, RelId, Symbol, Value};
 use std::collections::BTreeMap;
 
 /// Options controlling the rewrite.
@@ -73,7 +73,7 @@ pub fn provenance_rewrite(program: &Program, options: RewriteOptions) -> Program
 
     // Group non-aggregate rules by head relation so the four shared rules are
     // emitted once per relation.
-    let mut heads: BTreeMap<String, usize> = BTreeMap::new();
+    let mut heads: BTreeMap<RelId, usize> = BTreeMap::new();
 
     for rule in &program.rules {
         if rule.is_aggregate() {
@@ -84,18 +84,18 @@ pub fn provenance_rewrite(program: &Program, options: RewriteOptions) -> Program
         }
         out.rules.push(derivation_rule(rule));
         heads
-            .entry(rule.head.relation.clone())
+            .entry(rule.head.relation)
             .or_insert(rule.head.args.len());
     }
 
     for (relation, arity) in &heads {
-        out.rules.extend(shared_rules(relation, *arity));
+        out.rules.extend(shared_rules(relation.as_str(), *arity));
     }
 
     // Base-tuple provenance entries (null RID).
     for base in program.base_relations() {
-        if let Some(decl) = program.table(&base) {
-            out.rules.push(base_prov_rule(&base, decl.arity));
+        if let Some(decl) = program.table(base.as_str()) {
+            out.rules.push(base_prov_rule(base.as_str(), decl.arity));
         }
     }
 
@@ -159,31 +159,25 @@ fn derivation_rule(rule: &Rule) -> Rule {
         "ProvRLoc".into(),
         Expr::Term(body_loc.clone()),
     ));
-    body.push(BodyItem::Assign(
-        "ProvR".into(),
-        Expr::constant(rule.label.clone()),
-    ));
+    body.push(BodyItem::Assign("ProvR".into(), Expr::constant(rule.label)));
 
     // PID_i = f_sha1("t_i", loc, args…) for each body atom.
     let mut pid_vars = Vec::new();
     for (i, atom) in body_atoms.iter().enumerate() {
-        let pid = format!("ProvPid{i}");
+        let pid = Symbol::intern(&format!("ProvPid{i}"));
         let mut args = vec![
-            Expr::constant(atom.relation.clone()),
+            Expr::constant(atom.relation),
             Expr::Term(atom.location.clone()),
         ];
         args.extend(atom.args.iter().map(|t| Expr::Term(t.clone())));
-        body.push(BodyItem::Assign(pid.clone(), Expr::call("f_sha1", args)));
+        body.push(BodyItem::Assign(pid, Expr::call("f_sha1", args)));
         pid_vars.push(pid);
     }
 
     // List = f_append(PID_1, …, PID_n); RID = f_sha1(R, RLoc, List).
     body.push(BodyItem::Assign(
         "ProvList".into(),
-        Expr::call(
-            "f_append",
-            pid_vars.iter().map(|p| Expr::var(p.clone())).collect(),
-        ),
+        Expr::call("f_append", pid_vars.iter().map(|p| Expr::var(*p)).collect()),
     ));
     body.push(BodyItem::Assign(
         "ProvRid".into(),
@@ -207,7 +201,7 @@ fn derivation_rule(rule: &Rule) -> Rule {
     Rule::new(
         format!("{}_prov", rule.label),
         RuleHead::new(
-            temp_event_name(&rule.head.relation),
+            temp_event_name(rule.head.relation.as_str()),
             Term::var("ProvRLoc"),
             args,
         ),

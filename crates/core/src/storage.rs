@@ -108,8 +108,8 @@ impl RuleExecEntry {
             self.rloc,
             vec![
                 Value::from_digest(self.rid),
-                Value::Str(self.rule.clone()),
-                Value::List(self.vids.iter().map(|v| Value::Digest(v.0)).collect()),
+                Value::from(self.rule.clone()),
+                Value::list(self.vids.iter().map(|v| Value::Digest(v.0)).collect()),
             ],
         )
     }

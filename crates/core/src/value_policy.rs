@@ -27,6 +27,7 @@ use exspan_bdd::{Bdd, BddManager};
 use exspan_runtime::{AnnotationPolicy, AnnotationToken};
 use exspan_types::{NodeId, Tuple, Vid};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Annotation policy implementing value-based (BDD) provenance.
 #[derive(Debug, Default)]
@@ -112,7 +113,7 @@ impl AnnotationPolicy for ValueBddPolicy {
         &mut self,
         node: NodeId,
         _rule: &str,
-        inputs: &[Tuple],
+        inputs: &[Arc<Tuple>],
         _output: &Tuple,
         insert: bool,
     ) -> Option<AnnotationToken> {
@@ -193,6 +194,10 @@ mod tests {
         Tuple::new("link", s, vec![Value::Node(d), Value::Int(c)])
     }
 
+    fn shared(t: &Tuple) -> [Arc<Tuple>; 1] {
+        [Arc::new(t.clone())]
+    }
+
     fn path_cost(s: NodeId, d: NodeId, c: i64) -> Tuple {
         Tuple::new("pathCost", s, vec![Value::Node(d), Value::Int(c)])
     }
@@ -205,7 +210,7 @@ mod tests {
         p.on_base(0, &l1, true);
         p.on_base(1, &l2, true);
         let pc = path_cost(0, 2, 5);
-        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", &shared(&l1), &pc, true);
         assert!(token.is_some());
         p.on_arrival(0, &pc, token, true, false);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
@@ -225,9 +230,15 @@ mod tests {
         p.on_base(1, &bpc, true); // treat as base for the test
         let pc = path_cost(0, 2, 5);
         // One derivation computed at node 0, an alternative shipped from 1.
-        let t1 = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let t1 = p.on_derivation(0, "sp1", &shared(&l1), &pc, true);
         p.on_arrival(0, &pc, t1, true, false);
-        let t2 = p.on_derivation(1, "sp2", &[l2.clone(), bpc.clone()], &pc, true);
+        let t2 = p.on_derivation(
+            1,
+            "sp2",
+            &[Arc::new(l2.clone()), Arc::new(bpc.clone())],
+            &pc,
+            true,
+        );
         p.on_arrival(0, &pc, t2, true, false);
         // Either derivation suffices.
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
@@ -241,7 +252,7 @@ mod tests {
         let l1 = link(0, 2, 5);
         let pc = path_cost(0, 2, 5);
         // on_base was never called for l1.
-        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", &shared(&l1), &pc, true);
         p.on_arrival(0, &pc, token, true, false);
         assert!(p.derivable_under(&pc, |v| v == l1.vid()));
     }
@@ -252,7 +263,7 @@ mod tests {
         let l1 = link(0, 2, 5);
         p.on_base(0, &l1, true);
         let pc = path_cost(0, 2, 5);
-        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", &shared(&l1), &pc, true);
         let b1 = p.annotation_bytes(0, 2, &pc, token);
         assert!(b1 > 0);
         assert_eq!(p.total_annotation_bytes(), b1 as u64);
@@ -269,7 +280,7 @@ mod tests {
         let l1 = link(0, 2, 5);
         p.on_base(0, &l1, true);
         let pc = path_cost(0, 2, 5);
-        let token = p.on_derivation(0, "sp1", std::slice::from_ref(&l1), &pc, true);
+        let token = p.on_derivation(0, "sp1", &shared(&l1), &pc, true);
         p.on_arrival(0, &pc, token, true, false);
         assert!(p.annotation_of(&pc).is_some());
         // A deletion that leaves other derivations keeps the annotation.

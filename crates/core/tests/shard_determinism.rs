@@ -127,3 +127,30 @@ fn value_mode_annotations_identical_across_shard_counts() {
     assert_eq!(oracle, sizes(2));
     assert_eq!(oracle, sizes(4));
 }
+
+#[test]
+fn interning_order_does_not_change_canonical_state_or_traffic() {
+    // The interned hot path orders symbols by *content*, so pre-populating
+    // the global interner with the protocol's vocabulary in scrambled order
+    // (and with a pile of unrelated symbols in between) must not move a
+    // single tuple in canonical scan order, a single byte in the traffic
+    // counters, or a single sample in the bandwidth series.
+    let program = programs::path_vector();
+    let oracle = run(&program, ProvenanceMode::ValueBdd, 1, true);
+    let mut vocabulary: Vec<String> = ["bestPath", "path", "link", "prov", "ruleExec"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vocabulary.extend((0..64).map(|i| format!("zz_unrelated_{i}")));
+    vocabulary.sort();
+    for name in vocabulary.iter().rev() {
+        exspan_types::Symbol::intern(name);
+    }
+    for shards in [1, 4] {
+        let replay = run(&program, ProvenanceMode::ValueBdd, shards, true);
+        assert_eq!(
+            oracle, replay,
+            "scrambled interning order changed observable state at {shards} shard(s)"
+        );
+    }
+}

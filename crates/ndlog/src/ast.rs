@@ -1,6 +1,12 @@
 //! Abstract syntax for NDlog programs.
+//!
+//! Every identifier the evaluator touches per rule firing — relation names,
+//! rule labels, variable names, built-in function names — is an interned
+//! [`Symbol`] (see [`exspan_types::symbol`]): `Copy`, pointer-equality, and
+//! content ordering.  Construction sites still accept plain string literals
+//! (`Term::var("S")`, `Atom::new("link", …)`) and intern transparently.
 
-use exspan_types::Value;
+use exspan_types::{RelId, Symbol, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -10,14 +16,14 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Term {
     /// A variable, e.g. `S`, `Cost`.
-    Var(String),
+    Var(Symbol),
     /// A constant, e.g. `5`, `"sp2"`.
     Const(Value),
 }
 
 impl Term {
     /// Shorthand for a variable term.
-    pub fn var(name: impl Into<String>) -> Term {
+    pub fn var(name: impl Into<Symbol>) -> Term {
         Term::Var(name.into())
     }
 
@@ -27,9 +33,9 @@ impl Term {
     }
 
     /// Returns the variable name if this term is a variable.
-    pub fn as_var(&self) -> Option<&str> {
+    pub fn as_var(&self) -> Option<Symbol> {
         match self {
-            Term::Var(v) => Some(v),
+            Term::Var(v) => Some(*v),
             Term::Const(_) => None,
         }
     }
@@ -109,12 +115,12 @@ pub enum Expr {
     /// Binary arithmetic.
     Arith(ArithOp, Box<Expr>, Box<Expr>),
     /// A call to a built-in function, e.g. `f_sha1("link", X, Y)`.
-    Call(String, Vec<Expr>),
+    Call(Symbol, Vec<Expr>),
 }
 
 impl Expr {
     /// Shorthand for a variable expression.
-    pub fn var(name: impl Into<String>) -> Expr {
+    pub fn var(name: impl Into<Symbol>) -> Expr {
         Expr::Term(Term::Var(name.into()))
     }
 
@@ -124,15 +130,15 @@ impl Expr {
     }
 
     /// Shorthand for a function call.
-    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    pub fn call(name: impl Into<Symbol>, args: Vec<Expr>) -> Expr {
         Expr::Call(name.into(), args)
     }
 
     /// Collects the names of all variables referenced by this expression.
-    pub fn variables(&self, out: &mut BTreeSet<String>) {
+    pub fn variables(&self, out: &mut BTreeSet<Symbol>) {
         match self {
             Expr::Term(Term::Var(v)) => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             Expr::Term(Term::Const(_)) => {}
             Expr::Arith(_, a, b) => {
@@ -171,8 +177,8 @@ impl fmt::Display for Expr {
 /// appearing in rule bodies, e.g. `link(@Z,S,C1)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Atom {
-    /// Relation (predicate) name.
-    pub relation: String,
+    /// Interned relation (predicate) identifier.
+    pub relation: RelId,
     /// The location specifier term (the `@` attribute).
     pub location: Term,
     /// Remaining argument terms.
@@ -181,7 +187,7 @@ pub struct Atom {
 
 impl Atom {
     /// Creates an atom.
-    pub fn new(relation: impl Into<String>, location: Term, args: Vec<Term>) -> Self {
+    pub fn new(relation: impl Into<RelId>, location: Term, args: Vec<Term>) -> Self {
         Atom {
             relation: relation.into(),
             location,
@@ -190,14 +196,14 @@ impl Atom {
     }
 
     /// All variables appearing in the atom (location included).
-    pub fn variables(&self) -> BTreeSet<String> {
+    pub fn variables(&self) -> BTreeSet<Symbol> {
         let mut out = BTreeSet::new();
         if let Term::Var(v) = &self.location {
-            out.insert(v.clone());
+            out.insert(*v);
         }
         for t in &self.args {
             if let Term::Var(v) = t {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         }
         out
@@ -255,7 +261,7 @@ pub enum HeadArg {
     /// [`Program::normalize`]).
     Expr(Expr),
     /// An aggregate, e.g. `min<C>`.  `None` means `count<*>`.
-    Aggregate(AggFunc, Option<String>),
+    Aggregate(AggFunc, Option<Symbol>),
 }
 
 impl fmt::Display for HeadArg {
@@ -272,8 +278,8 @@ impl fmt::Display for HeadArg {
 /// The head of a rule.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RuleHead {
-    /// Relation derived by the rule.
-    pub relation: String,
+    /// Interned relation derived by the rule.
+    pub relation: RelId,
     /// Location specifier of the derived tuple.
     pub location: Term,
     /// Head arguments.
@@ -282,7 +288,7 @@ pub struct RuleHead {
 
 impl RuleHead {
     /// Creates a head whose arguments are all plain terms.
-    pub fn new(relation: impl Into<String>, location: Term, args: Vec<HeadArg>) -> Self {
+    pub fn new(relation: impl Into<RelId>, location: Term, args: Vec<HeadArg>) -> Self {
         RuleHead {
             relation: relation.into(),
             location,
@@ -292,9 +298,9 @@ impl RuleHead {
 
     /// Returns the aggregate (function, grouped variable, argument index) if
     /// this head contains one.
-    pub fn aggregate(&self) -> Option<(AggFunc, Option<&str>, usize)> {
+    pub fn aggregate(&self) -> Option<(AggFunc, Option<Symbol>, usize)> {
         self.args.iter().enumerate().find_map(|(i, a)| match a {
-            HeadArg::Aggregate(f, v) => Some((*f, v.as_deref(), i)),
+            HeadArg::Aggregate(f, v) => Some((*f, *v, i)),
             _ => None,
         })
     }
@@ -318,7 +324,7 @@ pub enum BodyItem {
     /// A constraint, e.g. `Z != Y` or `C <= Threshold`.
     Constraint(CmpOp, Expr, Expr),
     /// An assignment binding a fresh variable, e.g. `C = C1 + C2`.
-    Assign(String, Expr),
+    Assign(Symbol, Expr),
 }
 
 impl fmt::Display for BodyItem {
@@ -334,8 +340,8 @@ impl fmt::Display for BodyItem {
 /// An NDlog rule: `label head :- body.`
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Rule {
-    /// Rule label, e.g. `sp2`.  Used in provenance RIDs.
-    pub label: String,
+    /// Interned rule label, e.g. `sp2`.  Used in provenance RIDs.
+    pub label: Symbol,
     /// Rule head.
     pub head: RuleHead,
     /// Rule body items.
@@ -344,7 +350,7 @@ pub struct Rule {
 
 impl Rule {
     /// Creates a rule.
-    pub fn new(label: impl Into<String>, head: RuleHead, body: Vec<BodyItem>) -> Self {
+    pub fn new(label: impl Into<Symbol>, head: RuleHead, body: Vec<BodyItem>) -> Self {
         Rule {
             label: label.into(),
             head,
@@ -383,8 +389,8 @@ impl fmt::Display for Rule {
 /// location attribute) and primary-key attribute positions (0 = location).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TableDecl {
-    /// Relation name.
-    pub relation: String,
+    /// Interned relation name.
+    pub relation: RelId,
     /// Arity including the location attribute.
     pub arity: usize,
     /// Primary-key positions (0-based over the full attribute list, position
@@ -394,7 +400,7 @@ pub struct TableDecl {
 
 impl TableDecl {
     /// Creates a declaration with whole-tuple key.
-    pub fn new(relation: impl Into<String>, arity: usize) -> Self {
+    pub fn new(relation: impl Into<RelId>, arity: usize) -> Self {
         TableDecl {
             relation: relation.into(),
             arity,
@@ -403,7 +409,7 @@ impl TableDecl {
     }
 
     /// Creates a declaration with an explicit key.
-    pub fn with_keys(relation: impl Into<String>, arity: usize, keys: Vec<usize>) -> Self {
+    pub fn with_keys(relation: impl Into<RelId>, arity: usize, keys: Vec<usize>) -> Self {
         TableDecl {
             relation: relation.into(),
             arity,
@@ -456,17 +462,17 @@ impl Program {
     }
 
     /// The set of relations that appear in some rule head (derived relations).
-    pub fn derived_relations(&self) -> BTreeSet<String> {
-        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    pub fn derived_relations(&self) -> BTreeSet<RelId> {
+        self.rules.iter().map(|r| r.head.relation).collect()
     }
 
     /// The set of relations that only appear in rule bodies (base relations).
-    pub fn base_relations(&self) -> BTreeSet<String> {
+    pub fn base_relations(&self) -> BTreeSet<RelId> {
         let derived = self.derived_relations();
         self.rules
             .iter()
             .flat_map(|r| r.body_atoms())
-            .map(|a| a.relation.clone())
+            .map(|a| a.relation)
             .filter(|r| !derived.contains(r))
             .collect()
     }
@@ -491,18 +497,18 @@ impl Program {
                     .map(|a| match a {
                         HeadArg::Expr(Expr::Term(t)) => HeadArg::Term(t.clone()),
                         HeadArg::Expr(e) => {
-                            let name = format!("NormGen{fresh}");
+                            let name = Symbol::intern(&format!("NormGen{fresh}"));
                             fresh += 1;
-                            body.push(BodyItem::Assign(name.clone(), e.clone()));
+                            body.push(BodyItem::Assign(name, e.clone()));
                             HeadArg::Term(Term::Var(name))
                         }
                         other => other.clone(),
                     })
                     .collect();
                 Rule {
-                    label: r.label.clone(),
+                    label: r.label,
                     head: RuleHead {
-                        relation: r.head.relation.clone(),
+                        relation: r.head.relation,
                         location: r.head.location.clone(),
                         args,
                     },
@@ -621,7 +627,7 @@ mod tests {
         );
         let (func, var, idx) = head.aggregate().unwrap();
         assert_eq!(func, AggFunc::Min);
-        assert_eq!(var, Some("C"));
+        assert_eq!(var.map(Symbol::as_str), Some("C"));
         assert_eq!(idx, 1);
     }
 
@@ -658,11 +664,13 @@ mod tests {
         let p = Program::new("t").with_rule(rule).normalize();
         let r = &p.rules[0];
         // Head arg became a fresh variable and the body gained an assignment.
-        assert!(matches!(&r.head.args[1], HeadArg::Term(Term::Var(v)) if v.starts_with("NormGen")));
+        assert!(
+            matches!(&r.head.args[1], HeadArg::Term(Term::Var(v)) if v.as_str().starts_with("NormGen"))
+        );
         assert!(r
             .body
             .iter()
-            .any(|b| matches!(b, BodyItem::Assign(v, _) if v.starts_with("NormGen"))));
+            .any(|b| matches!(b, BodyItem::Assign(v, _) if v.as_str().starts_with("NormGen"))));
         // Trivial Expr::Term head args become plain terms.
         let rule2 = Rule::new(
             "x",

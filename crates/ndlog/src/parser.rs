@@ -22,7 +22,7 @@ use crate::ast::{
     AggFunc, ArithOp, Atom, BodyItem, CmpOp, Expr, HeadArg, Program, Rule, RuleHead, TableDecl,
     Term,
 };
-use exspan_types::Value;
+use exspan_types::{Symbol, Value};
 
 /// A parse failure, with a byte offset and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -233,7 +233,7 @@ impl<'a> Parser<'a> {
         self.expect(")")?;
         self.expect(".")?;
         Ok(TableDecl {
-            relation,
+            relation: Symbol::intern(&relation),
             arity,
             keys,
         })
@@ -251,7 +251,11 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(".")?;
-        Ok(Rule { label, head, body })
+        Ok(Rule {
+            label: Symbol::intern(&label),
+            head,
+            body,
+        })
     }
 
     fn head(&mut self) -> Result<RuleHead, ParseError> {
@@ -265,7 +269,7 @@ impl<'a> Parser<'a> {
         }
         self.expect(")")?;
         Ok(RuleHead {
-            relation,
+            relation: Symbol::intern(&relation),
             location,
             args,
         })
@@ -289,7 +293,7 @@ impl<'a> Parser<'a> {
                     let var = if self.try_consume("*") {
                         None
                     } else {
-                        Some(self.identifier()?)
+                        Some(Symbol::intern(&self.identifier()?))
                     };
                     self.expect(">")?;
                     return Ok(HeadArg::Aggregate(func, var));
@@ -317,7 +321,7 @@ impl<'a> Parser<'a> {
                 }
                 self.expect(")")?;
                 return Ok(BodyItem::Atom(Atom {
-                    relation: ident,
+                    relation: Symbol::intern(&ident),
                     location,
                     args,
                 }));
@@ -358,14 +362,14 @@ impl<'a> Parser<'a> {
     fn term(&mut self) -> Result<Term, ParseError> {
         self.skip_ws();
         match self.peek() {
-            Some(b'"') => Ok(Term::Const(Value::Str(self.string_literal()?))),
+            Some(b'"') => Ok(Term::Const(Value::from(self.string_literal()?))),
             Some(c) if c.is_ascii_digit() || c == b'-' => {
                 Ok(Term::Const(Value::Int(self.number()?)))
             }
             _ => {
                 let ident = self.identifier()?;
                 if Self::is_variable(&ident) {
-                    Ok(Term::Var(ident))
+                    Ok(Term::Var(Symbol::intern(&ident)))
                 } else if ident == "true" {
                     Ok(Term::Const(Value::Bool(true)))
                 } else if ident == "false" {
@@ -374,7 +378,7 @@ impl<'a> Parser<'a> {
                     Ok(Term::Const(Value::Digest([0u8; 20])))
                 } else {
                     // Lowercase bare identifier: a symbolic constant (string).
-                    Ok(Term::Const(Value::Str(ident)))
+                    Ok(Term::Const(Value::from(ident)))
                 }
             }
         }
@@ -426,7 +430,7 @@ impl<'a> Parser<'a> {
             return Ok(e);
         }
         match self.peek() {
-            Some(b'"') => Ok(Expr::Term(Term::Const(Value::Str(self.string_literal()?)))),
+            Some(b'"') => Ok(Expr::Term(Term::Const(Value::from(self.string_literal()?)))),
             Some(c) if c.is_ascii_digit() => {
                 Ok(Expr::Term(Term::Const(Value::Int(self.number()?))))
             }
@@ -445,7 +449,7 @@ impl<'a> Parser<'a> {
                         }
                         self.expect(")")?;
                     }
-                    return Ok(Expr::Call(ident, args));
+                    return Ok(Expr::Call(Symbol::intern(&ident), args));
                 }
                 self.pos = save;
                 let t = self.term()?;
@@ -477,7 +481,7 @@ mod tests {
         assert!(p.rules[2].is_aggregate());
         let (f, v, _) = p.rules[2].head.aggregate().unwrap();
         assert_eq!(f, AggFunc::Min);
-        assert_eq!(v, Some("C"));
+        assert_eq!(v.map(Symbol::as_str), Some("C"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! faithfully, with actionable error messages.
 
 use crate::ast::{BodyItem, HeadArg, Program, Rule, Term};
+use exspan_types::Symbol;
 use std::collections::BTreeSet;
 
 /// A validation failure.
@@ -36,9 +37,9 @@ pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
     let mut errors = Vec::new();
     let mut seen_labels = BTreeSet::new();
     for rule in &program.rules {
-        if !seen_labels.insert(rule.label.clone()) {
+        if !seen_labels.insert(rule.label) {
             errors.push(ValidationError {
-                rule: rule.label.clone(),
+                rule: rule.label.as_str().to_string(),
                 message: "duplicate rule label".into(),
             });
         }
@@ -67,7 +68,7 @@ pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
 fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     let mut err = |message: String| {
         errors.push(ValidationError {
-            rule: rule.label.clone(),
+            rule: rule.label.as_str().to_string(),
             message,
         })
     };
@@ -92,7 +93,7 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     }
 
     // Collect variables bound by body atoms, then by assignments (in order).
-    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut bound: BTreeSet<Symbol> = BTreeSet::new();
     for a in &atoms {
         bound.extend(a.variables());
     }
@@ -108,7 +109,7 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
                         ));
                     }
                 }
-                bound.insert(v.clone());
+                bound.insert(*v);
             }
             BodyItem::Constraint(_, a, b) => {
                 let mut used = BTreeSet::new();
@@ -136,12 +137,12 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
         let mut used = BTreeSet::new();
         match arg {
             HeadArg::Term(Term::Var(v)) => {
-                used.insert(v.clone());
+                used.insert(*v);
             }
             HeadArg::Term(Term::Const(_)) => {}
             HeadArg::Expr(e) => e.variables(&mut used),
             HeadArg::Aggregate(_, Some(v)) => {
-                used.insert(v.clone());
+                used.insert(*v);
             }
             HeadArg::Aggregate(_, None) => {}
         }

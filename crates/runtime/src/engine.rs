@@ -37,7 +37,7 @@ pub use crate::shard::{ShardConfig, SharedPolicy};
 use exspan_ndlog::ast::{BodyItem, Program};
 use exspan_ndlog::eval::FuncRegistry;
 use exspan_netsim::{EventKey, RoutedEvent, ShardView, Simulator, Topology, TrafficStats};
-use exspan_types::{wire, NodeId, Tuple};
+use exspan_types::{wire, NodeId, RelId, Symbol, Tuple};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -47,13 +47,17 @@ use std::sync::{Arc, Barrier, Mutex};
 pub(crate) const AGG_RECOMPUTE_EVENT: &str = "$aggRecompute";
 
 /// Message payload exchanged between nodes (and enqueued locally).
+///
+/// Deltas carry their tuple behind an [`Arc`]: the queue entry, the table row
+/// it becomes on arrival and every join input cloned from it all share one
+/// allocation.
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// A tuple delta: insertion (`insert = true`) or deletion of `tuple` at
     /// the destination node.
     Delta {
-        /// The tuple being inserted or deleted.
-        tuple: Tuple,
+        /// The tuple being inserted or deleted (shared, never mutated).
+        tuple: Arc<Tuple>,
         /// Polarity of the delta.
         insert: bool,
         /// Opaque annotation shipped with the delta (value-based provenance
@@ -73,8 +77,8 @@ pub enum Step {
     External {
         /// Node at which the tuple arrived.
         node: NodeId,
-        /// The tuple itself.
-        tuple: Tuple,
+        /// The tuple itself (shared with the delta that carried it).
+        tuple: Arc<Tuple>,
         /// Simulated arrival time.
         time: f64,
         /// Polarity of the delta.
@@ -142,29 +146,27 @@ impl Engine {
     /// Creates an engine executing `program` over `topology`.
     pub fn new(program: Program, topology: Topology, config: EngineConfig) -> Self {
         let program = program.normalize();
-        let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        let mut triggers: HashMap<RelId, Vec<(usize, usize)>> = HashMap::new();
         for (ri, rule) in program.rules.iter().enumerate() {
             for (ai, item) in rule.body.iter().enumerate() {
                 if let BodyItem::Atom(a) = item {
                     // Register every occurrence as a trigger position; the
                     // same relation occurring twice registers twice.
-                    triggers
-                        .entry(a.relation.clone())
-                        .or_default()
-                        .push((ri, ai));
+                    triggers.entry(a.relation).or_default().push((ri, ai));
                 }
             }
         }
-        let keys: HashMap<String, Vec<usize>> = program
+        let keys: HashMap<RelId, Vec<usize>> = program
             .tables
             .iter()
-            .map(|t| (t.relation.clone(), t.keys.clone()))
+            .map(|t| (t.relation, t.keys.clone()))
             .collect();
         let num_shards = config.shards.num_shards.max(1);
         let assignment = Arc::new(topology.partition_rendezvous(num_shards));
         let data = Arc::new(RuleData {
             rules: program.rules,
             triggers,
+            agg_recompute: Symbol::intern(AGG_RECOMPUTE_EVENT),
             funcs: FuncRegistry::new(),
             config,
         });
@@ -267,15 +269,18 @@ impl Engine {
 
     /// Visible tuples of `relation` at `node`.
     pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
-        self.shards[self.owner(node)].store.tuples(node, relation)
+        self.shards[self.owner(node)]
+            .store
+            .tuples(node, RelId::intern(relation))
     }
 
     /// Visible tuples of `relation` across all nodes.
     pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
+        let rel = RelId::intern(relation);
         let mut out: Vec<Tuple> = self
             .shards
             .iter()
-            .flat_map(|s| s.store.tuples_everywhere(relation))
+            .flat_map(|s| s.store.tuples_everywhere(rel))
             .collect();
         out.sort();
         out
@@ -285,7 +290,7 @@ impl Engine {
     pub fn derivation_count(&self, tuple: &Tuple) -> usize {
         self.shards[self.owner(tuple.location)]
             .store
-            .table(tuple.location, &tuple.relation)
+            .table(tuple.location, tuple.relation)
             .map(|t| t.count(tuple))
             .unwrap_or(0)
     }
@@ -313,7 +318,7 @@ impl Engine {
             now,
             node,
             Payload::Delta {
-                tuple,
+                tuple: Arc::new(tuple),
                 insert: true,
                 token: None,
             },
@@ -329,7 +334,7 @@ impl Engine {
             now,
             node,
             Payload::Delta {
-                tuple,
+                tuple: Arc::new(tuple),
                 insert: false,
                 token: None,
             },
@@ -347,7 +352,7 @@ impl Engine {
             time,
             node,
             Payload::Delta {
-                tuple,
+                tuple: Arc::new(tuple),
                 insert,
                 token: None,
             },
@@ -366,7 +371,7 @@ impl Engine {
             to,
             bytes,
             Payload::Delta {
-                tuple,
+                tuple: Arc::new(tuple),
                 insert: true,
                 token: None,
             },
@@ -380,7 +385,7 @@ impl Engine {
         let owner = self.owner(node);
         self.shards[owner]
             .store
-            .table_mut(node, &tuple.relation)
+            .table_mut(node, tuple.relation)
             .insert(tuple);
     }
 
@@ -389,17 +394,32 @@ impl Engine {
         let owner = self.owner(node);
         self.shards[owner]
             .store
-            .table_mut(node, &tuple.relation)
+            .table_mut(node, tuple.relation)
             .delete(tuple);
     }
 
-    /// Moves events diverted to foreign shards into the destination inboxes.
+    /// Moves events diverted to foreign shards into the destination inboxes,
+    /// coalescing same-destination events into one locked append per
+    /// destination shard rather than a lock round-trip per event.
     fn flush_outboxes(&mut self) {
-        for i in 0..self.shards.len() {
+        let num_shards = self.shards.len();
+        let mut grouped: Vec<Vec<RoutedEvent<Payload>>> = Vec::new();
+        for i in 0..num_shards {
             let out = self.shards[i].sim.take_outbox();
+            if out.is_empty() {
+                continue;
+            }
+            grouped.resize_with(num_shards, Vec::new);
             for ev in out {
-                let dest = self.owner(ev.msg.to);
-                self.inboxes[dest].lock().expect("inbox poisoned").push(ev);
+                grouped[self.owner(ev.msg.to)].push(ev);
+            }
+        }
+        for (dest, batch) in grouped.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                self.inboxes[dest]
+                    .lock()
+                    .expect("inbox poisoned")
+                    .append(batch);
             }
         }
     }
@@ -587,6 +607,11 @@ impl Engine {
                 scope.spawn(move || {
                     shard.drain_inbox(&inboxes[i]);
                     publish(&next_ref[i], shard.sim.peek_time());
+                    // Per-destination coalescing buffers, reused across
+                    // windows: one locked append per destination shard per
+                    // barrier window instead of a lock round-trip per event.
+                    let mut outbound: Vec<Vec<RoutedEvent<Payload>>> =
+                        (0..num_shards).map(|_| Vec::new()).collect();
                     loop {
                         barrier_ref.wait(); // (a) every shard published its minimum
                         barrier_ref.wait(); // (b) coordinator decided
@@ -597,8 +622,12 @@ impl Engine {
                         let (steps, _) = shard.run_window(h, time_limit);
                         steps_ref.fetch_add(steps, Ordering::SeqCst);
                         for ev in shard.sim.take_outbox() {
-                            let dest = assignment[ev.msg.to as usize] as usize;
-                            inboxes[dest].lock().expect("inbox poisoned").push(ev);
+                            outbound[assignment[ev.msg.to as usize] as usize].push(ev);
+                        }
+                        for (dest, batch) in outbound.iter_mut().enumerate() {
+                            if !batch.is_empty() {
+                                inboxes[dest].lock().expect("inbox poisoned").append(batch);
+                            }
                         }
                         barrier_ref.wait(); // (w) all cross-shard deltas delivered
                         shard.drain_inbox(&inboxes[i]);
@@ -815,7 +844,7 @@ mod tests {
             match engine.step() {
                 Step::External { node, tuple, .. } => {
                     assert_eq!(node, 2);
-                    assert_eq!(tuple, q);
+                    assert_eq!(*tuple, q);
                     break;
                 }
                 Step::Handled => continue,
@@ -865,7 +894,7 @@ mod tests {
         let pc_vid = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]).vid();
         assert_eq!(
             exec.values[2],
-            Value::List(vec![Value::Digest(pc_vid.0)]),
+            Value::list(vec![Value::Digest(pc_vid.0)]),
             "sp3's provenance child is the winning pathCost tuple"
         );
     }
@@ -974,11 +1003,11 @@ mod tests {
                 &mut self,
                 engine: &mut Engine,
                 node: NodeId,
-                tuple: Tuple,
+                tuple: Arc<Tuple>,
                 time: f64,
                 _insert: bool,
             ) {
-                self.seen.push((node, tuple.clone(), time));
+                self.seen.push((node, (*tuple).clone(), time));
                 if !self.replied && tuple.relation == "eProvQuery" {
                     self.replied = true;
                     let reply = Tuple::new("eProvResults", (node + 1) % 4, vec![Value::Int(7)]);
@@ -1023,7 +1052,7 @@ mod tests {
     fn run_until_interactive_respects_the_time_limit() {
         struct Ignore;
         impl crate::plugin::ExternalSink for Ignore {
-            fn on_external(&mut self, _: &mut Engine, _: NodeId, _: Tuple, _: f64, _: bool) {}
+            fn on_external(&mut self, _: &mut Engine, _: NodeId, _: Arc<Tuple>, _: f64, _: bool) {}
         }
         let topo = Topology::transit_stub(1, 5);
         let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());

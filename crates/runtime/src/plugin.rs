@@ -20,6 +20,7 @@
 
 use crate::engine::Engine;
 use exspan_types::{NodeId, Tuple};
+use std::sync::Arc;
 
 /// Receives event tuples the engine has no rules for (the engine's
 /// [`crate::engine::Step::External`] events) during a driven run.
@@ -34,12 +35,13 @@ use exspan_types::{NodeId, Tuple};
 /// on one event queue instead of the query layer monopolizing the engine.
 pub trait ExternalSink {
     /// Called for every surfaced external tuple.  `time` is the simulated
-    /// arrival time; `insert` is the delta's polarity.
+    /// arrival time; `insert` is the delta's polarity.  The tuple is shared
+    /// with the delta that carried it (clone the `Arc` to retain it).
     fn on_external(
         &mut self,
         engine: &mut Engine,
         node: NodeId,
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         time: f64,
         insert: bool,
     );
@@ -64,7 +66,8 @@ pub trait AnnotationPolicy: Send {
 
     /// Called on every rule firing: `rule` fired at `node` with the grounded
     /// `inputs` producing `output`.  `insert` is `false` for deletion deltas
-    /// cascading through the rule.
+    /// cascading through the rule.  The inputs are the engine's shared table
+    /// rows — policies read them without cloning tuple contents.
     ///
     /// The returned token is attached to the emitted delta and handed back to
     /// the policy at [`AnnotationPolicy::annotation_bytes`] (if the delta
@@ -74,7 +77,7 @@ pub trait AnnotationPolicy: Send {
         &mut self,
         node: NodeId,
         rule: &str,
-        inputs: &[Tuple],
+        inputs: &[Arc<Tuple>],
         output: &Tuple,
         insert: bool,
     ) -> Option<AnnotationToken> {
@@ -127,7 +130,7 @@ mod tests {
     #[test]
     fn default_policy_is_inert() {
         let mut p = NoAnnotation;
-        let t = Tuple::new("link", 0, vec![Value::Node(1), Value::Int(1)]);
+        let t = Arc::new(Tuple::new("link", 0, vec![Value::Node(1), Value::Int(1)]));
         p.on_base(0, &t, true);
         let token = p.on_derivation(0, "sp1", std::slice::from_ref(&t), &t, true);
         assert!(token.is_none());

@@ -13,15 +13,21 @@
 //! bit-identical to the sequential one: every node processes exactly the same
 //! deltas in exactly the same order, no matter how many shards (or threads)
 //! the work is spread over.
+//!
+//! Tuples flow through the shard behind [`Arc`]s: the delta message, the
+//! stored table row and every grounded join input share one allocation, and
+//! relation lookups (trigger lists, tables) are keyed on interned
+//! [`RelId`]s, so the per-delta path allocates no strings and deep-copies no
+//! attribute vectors.
 
-use crate::engine::{EngineConfig, Payload, Step, AGG_RECOMPUTE_EVENT};
+use crate::engine::{EngineConfig, Payload, Step};
 use crate::plugin::{AnnotationPolicy, AnnotationToken};
 use crate::table::{DeleteEffect, InsertEffect, TableStore};
 use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, HeadArg, Rule, Term};
 use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, FuncRegistry};
 use exspan_ndlog::is_event_predicate;
 use exspan_netsim::{RoutedEvent, Simulator};
-use exspan_types::{wire, NodeId, Tuple, Value};
+use exspan_types::{wire, NodeId, RelId, Symbol, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -67,11 +73,16 @@ pub type SharedPolicy = Arc<Mutex<dyn AnnotationPolicy>>;
 /// Rule program data shared (read-only) by all shards.
 pub(crate) struct RuleData {
     pub rules: Vec<Rule>,
-    /// relation name -> list of (rule index, trigger atom index)
-    pub triggers: HashMap<String, Vec<(usize, usize)>>,
+    /// relation -> list of (rule index, trigger atom index)
+    pub triggers: HashMap<RelId, Vec<(usize, usize)>>,
+    /// Interned name of the internal aggregate-recompute event.
+    pub agg_recompute: RelId,
     pub funcs: FuncRegistry,
     pub config: EngineConfig,
 }
+
+/// Identifies one aggregate group at one node: (node, relation, group key).
+type AggGroupKey = (NodeId, RelId, Vec<Value>);
 
 /// One shard: tables, event queue and rule execution for a subset of nodes.
 pub(crate) struct Shard {
@@ -79,9 +90,9 @@ pub(crate) struct Shard {
     pub(crate) store: TableStore,
     pub(crate) sim: Simulator<Payload>,
     pub(crate) policy: Option<SharedPolicy>,
-    /// Bookkeeping for aggregate provenance: (node, relation, group key) ->
-    /// (prov tuple, ruleExec tuple) currently installed for that group.
-    agg_prov: HashMap<(NodeId, String, Vec<Value>), (Tuple, Tuple)>,
+    /// Bookkeeping for aggregate provenance: the (prov tuple, ruleExec
+    /// tuple) pair currently installed for each group.
+    agg_prov: HashMap<AggGroupKey, (Arc<Tuple>, Arc<Tuple>)>,
     pub(crate) last_delta_time: f64,
     pub(crate) externals_seen: u64,
     pub(crate) processed: u64,
@@ -90,7 +101,7 @@ pub(crate) struct Shard {
 impl Shard {
     pub(crate) fn new(
         data: Arc<RuleData>,
-        keys: HashMap<String, Vec<usize>>,
+        keys: HashMap<RelId, Vec<usize>>,
         sim: Simulator<Payload>,
     ) -> Self {
         Shard {
@@ -127,12 +138,12 @@ impl Shard {
                 token,
             } => {
                 let node = msg.to;
-                if tuple.relation == AGG_RECOMPUTE_EVENT {
+                if tuple.relation == self.data.agg_recompute {
                     self.last_delta_time = time;
                     self.handle_aggregate_recompute(node, &tuple);
                     return Step::Handled;
                 }
-                if self.is_external(&tuple.relation) {
+                if self.is_external(tuple.relation) {
                     self.externals_seen += 1;
                     return Step::External {
                         node,
@@ -178,8 +189,8 @@ impl Shard {
 
     /// Whether tuples of `relation` have no handler inside the engine: event
     /// predicates that trigger no rule are surfaced to the caller.
-    fn is_external(&self, relation: &str) -> bool {
-        is_event_predicate(relation) && !self.data.triggers.contains_key(relation)
+    fn is_external(&self, relation: RelId) -> bool {
+        is_event_predicate(relation.as_str()) && !self.data.triggers.contains_key(&relation)
     }
 
     // ------------------------------------------------------------------
@@ -189,18 +200,18 @@ impl Shard {
     fn process_delta(
         &mut self,
         node: NodeId,
-        tuple: Tuple,
+        tuple: Arc<Tuple>,
         insert: bool,
         token: Option<AnnotationToken>,
     ) {
-        let is_event = is_event_predicate(&tuple.relation);
+        let is_event = is_event_predicate(tuple.relation.as_str());
         let mut fire = true;
         let mut removed = false;
-        let mut replaced: Option<Tuple> = None;
+        let mut replaced: Option<Arc<Tuple>> = None;
         if !is_event {
-            let table = self.store.table_mut(node, &tuple.relation);
+            let table = self.store.table_mut(node, tuple.relation);
             if insert {
-                match table.insert(&tuple) {
+                match table.insert_shared(&tuple) {
                     InsertEffect::Added => {}
                     InsertEffect::Duplicate => fire = false,
                     InsertEffect::Replaced(old) => replaced = Some(old),
@@ -246,12 +257,14 @@ impl Shard {
         }
     }
 
-    fn fire_rules(&mut self, node: NodeId, tuple: &Tuple, insert: bool) {
-        let Some(trigger_list) = self.data.triggers.get(&tuple.relation).cloned() else {
+    fn fire_rules(&mut self, node: NodeId, tuple: &Arc<Tuple>, insert: bool) {
+        // Borrow the trigger list out of a cloned `Arc` handle rather than
+        // cloning the Vec itself: this runs once per delta.
+        let data = Arc::clone(&self.data);
+        let Some(trigger_list) = data.triggers.get(&tuple.relation) else {
             return;
         };
-        let data = Arc::clone(&self.data);
-        for (rule_idx, atom_idx) in trigger_list {
+        for &(rule_idx, atom_idx) in trigger_list {
             let rule = &data.rules[rule_idx];
             if rule.is_aggregate() {
                 self.schedule_aggregate_recompute(rule, node, tuple, atom_idx);
@@ -267,7 +280,7 @@ impl Shard {
         &mut self,
         rule: &Rule,
         node: NodeId,
-        tuple: &Tuple,
+        tuple: &Arc<Tuple>,
         atom_idx: usize,
         insert: bool,
     ) {
@@ -284,9 +297,9 @@ impl Shard {
         &self,
         rule: &Rule,
         node: NodeId,
-        tuple: &Tuple,
+        tuple: &Arc<Tuple>,
         atom_idx: usize,
-    ) -> Vec<(Vec<Tuple>, Tuple)> {
+    ) -> Vec<(Vec<Arc<Tuple>>, Tuple)> {
         let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
             return Vec::new();
         };
@@ -299,7 +312,7 @@ impl Shard {
         }
         // Ensure the location variable is bound to this node.
         if let Term::Var(v) = &trigger_atom.location {
-            bindings.insert(v.clone(), Value::Node(node));
+            bindings.insert(*v, Value::Node(node));
         }
 
         let other_atoms: Vec<(usize, &Atom)> = rule
@@ -313,7 +326,7 @@ impl Shard {
             .collect();
 
         let mut results = Vec::new();
-        let mut partial: Vec<(usize, Tuple)> = vec![(atom_idx, tuple.clone())];
+        let mut partial: Vec<(usize, Arc<Tuple>)> = vec![(atom_idx, Arc::clone(tuple))];
         self.join_remaining(
             rule,
             node,
@@ -334,8 +347,8 @@ impl Shard {
         atoms: &[(usize, &Atom)],
         depth: usize,
         bindings: Bindings,
-        partial: &mut Vec<(usize, Tuple)>,
-        results: &mut Vec<(Vec<Tuple>, Tuple)>,
+        partial: &mut Vec<(usize, Arc<Tuple>)>,
+        results: &mut Vec<(Vec<Arc<Tuple>>, Tuple)>,
     ) {
         if depth == atoms.len() {
             if let Some((inputs, head)) = self.finish_rule(rule, node, bindings, partial) {
@@ -345,15 +358,15 @@ impl Shard {
         }
         let (orig_idx, atom) = atoms[depth];
         // Event predicates are transient: they cannot be joined from storage.
-        if is_event_predicate(&atom.relation) {
+        if is_event_predicate(atom.relation.as_str()) {
             return;
         }
-        let Some(table) = self.store.table(node, &atom.relation) else {
+        let Some(table) = self.store.table(node, atom.relation) else {
             return;
         };
         for candidate in table.scan() {
             if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
-                partial.push((orig_idx, candidate.clone()));
+                partial.push((orig_idx, Arc::clone(candidate)));
                 self.join_remaining(rule, node, atoms, depth + 1, new_bindings, partial, results);
                 partial.pop();
             }
@@ -366,20 +379,20 @@ impl Shard {
         rule: &Rule,
         _node: NodeId,
         mut bindings: Bindings,
-        partial: &[(usize, Tuple)],
-    ) -> Option<(Vec<Tuple>, Tuple)> {
+        partial: &[(usize, Arc<Tuple>)],
+    ) -> Option<(Vec<Arc<Tuple>>, Tuple)> {
         for item in &rule.body {
             match item {
                 BodyItem::Assign(var, expr) => {
                     let value = eval_expr(expr, &bindings, &self.data.funcs).ok()?;
                     // An assignment to an already-bound variable acts as an
                     // equality constraint (standard Datalog convention).
-                    if let Some(existing) = bindings.get(var) {
+                    if let Some(existing) = bindings.get(*var) {
                         if *existing != value {
                             return None;
                         }
                     } else {
-                        bindings.insert(var.clone(), value);
+                        bindings.insert(*var, value);
                     }
                 }
                 BodyItem::Constraint(op, lhs, rhs) => {
@@ -394,14 +407,14 @@ impl Shard {
         }
         let head = self.build_head(rule, &bindings)?;
         // Order the grounded inputs by their body-atom position.
-        let mut inputs: Vec<(usize, Tuple)> = partial.to_vec();
+        let mut inputs: Vec<(usize, Arc<Tuple>)> = partial.to_vec();
         inputs.sort_by_key(|(i, _)| *i);
         Some((inputs.into_iter().map(|(_, t)| t).collect(), head))
     }
 
     fn build_head(&self, rule: &Rule, bindings: &Bindings) -> Option<Tuple> {
         let loc = match &rule.head.location {
-            Term::Var(v) => bindings.get(v)?.as_node().ok()?,
+            Term::Var(v) => bindings.get(*v)?.as_node().ok()?,
             Term::Const(Value::Node(n)) => *n,
             Term::Const(Value::Int(n)) => *n as NodeId,
             Term::Const(_) => return None,
@@ -409,13 +422,13 @@ impl Shard {
         let mut values = Vec::with_capacity(rule.head.args.len());
         for arg in &rule.head.args {
             match arg {
-                HeadArg::Term(Term::Var(v)) => values.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Var(v)) => values.push(bindings.get(*v)?.clone()),
                 HeadArg::Term(Term::Const(c)) => values.push(c.clone()),
                 HeadArg::Expr(e) => values.push(eval_expr(e, bindings, &self.data.funcs).ok()?),
                 HeadArg::Aggregate(_, _) => return None,
             }
         }
-        Some(Tuple::new(rule.head.relation.clone(), loc, values))
+        Some(Tuple::new(rule.head.relation, loc, values))
     }
 
     /// Emits the head delta of a (non-aggregate) rule firing: notifies the
@@ -424,15 +437,16 @@ impl Shard {
         &mut self,
         rule: &Rule,
         node: NodeId,
-        inputs: &[Tuple],
+        inputs: &[Arc<Tuple>],
         head: Tuple,
         insert: bool,
     ) {
+        let head = Arc::new(head);
         let token = match self.policy.clone() {
             Some(policy) => policy
                 .lock()
                 .expect("annotation policy poisoned")
-                .on_derivation(node, &rule.label, inputs, &head, insert),
+                .on_derivation(node, rule.label.as_str(), inputs, &head, insert),
             None => None,
         };
         self.dispatch_delta(node, head, insert, token);
@@ -442,7 +456,7 @@ impl Shard {
     fn dispatch_delta(
         &mut self,
         node: NodeId,
-        head: Tuple,
+        head: Arc<Tuple>,
         insert: bool,
         token: Option<AnnotationToken>,
     ) {
@@ -464,7 +478,7 @@ impl Shard {
                     .annotation_bytes(node, dest, &head, token),
                 None => 0,
             };
-            let bytes = wire::message_size(std::slice::from_ref(&head), annotation_bytes);
+            let bytes = wire::message_size(std::slice::from_ref(&*head), annotation_bytes);
             self.sim.send(
                 node,
                 dest,
@@ -486,12 +500,12 @@ impl Shard {
     /// by a delta.
     ///
     /// The recomputation itself runs as a separate queued event
-    /// ([`AGG_RECOMPUTE_EVENT`]) rather than synchronously: this guarantees
-    /// that any output deltas dispatched by *earlier* recomputations of the
-    /// same group have already been applied to the head table when the
-    /// comparison against the currently stored output is made.  A synchronous
-    /// recomputation could read a stale output value and emit contradictory
-    /// retractions, which prevents convergence.
+    /// ([`crate::engine::AGG_RECOMPUTE_EVENT`]) rather than synchronously:
+    /// this guarantees that any output deltas dispatched by *earlier*
+    /// recomputations of the same group have already been applied to the head
+    /// table when the comparison against the currently stored output is made.
+    /// A synchronous recomputation could read a stale output value and emit
+    /// contradictory retractions, which prevents convergence.
     fn schedule_aggregate_recompute(
         &mut self,
         rule: &Rule,
@@ -515,14 +529,14 @@ impl Shard {
         // An empty group key means "recompute every group of this rule".
         let group_key = self.group_key(rule, &bindings, agg_pos).unwrap_or_default();
         let event = Tuple::new(
-            AGG_RECOMPUTE_EVENT,
+            self.data.agg_recompute,
             node,
-            vec![Value::Str(rule.label.clone()), Value::List(group_key)],
+            vec![Value::Str(rule.label), Value::list(group_key)],
         );
         self.sim.schedule_local(
             node,
             Payload::Delta {
-                tuple: event,
+                tuple: Arc::new(event),
                 insert: true,
                 token: None,
             },
@@ -531,7 +545,7 @@ impl Shard {
 
     /// Handles a queued aggregate-recomputation event.
     fn handle_aggregate_recompute(&mut self, node: NodeId, event: &Tuple) {
-        let Ok(label) = event.values[0].as_str().map(str::to_string) else {
+        let Ok(label) = event.values[0].as_symbol() else {
             return;
         };
         let Ok(group_key) = event.values[1].as_list().map(<[Value]>::to_vec) else {
@@ -559,7 +573,7 @@ impl Shard {
     fn group_key(&self, rule: &Rule, bindings: &Bindings, agg_pos: usize) -> Option<Vec<Value>> {
         let mut key = Vec::new();
         match &rule.head.location {
-            Term::Var(v) => key.push(bindings.get(v)?.clone()),
+            Term::Var(v) => key.push(bindings.get(*v)?.clone()),
             Term::Const(c) => key.push(c.clone()),
         }
         for (i, arg) in rule.head.args.iter().enumerate() {
@@ -567,7 +581,7 @@ impl Shard {
                 continue;
             }
             match arg {
-                HeadArg::Term(Term::Var(v)) => key.push(bindings.get(v)?.clone()),
+                HeadArg::Term(Term::Var(v)) => key.push(bindings.get(*v)?.clone()),
                 HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
                 _ => return None,
             }
@@ -595,7 +609,7 @@ impl Shard {
     fn group_bindings(&self, rule: &Rule, group_key: &[Value], agg_pos: usize) -> Bindings {
         let mut bindings = Bindings::new();
         if let Term::Var(v) = &rule.head.location {
-            bindings.insert(v.clone(), group_key[0].clone());
+            bindings.insert(*v, group_key[0].clone());
         }
         let mut key_iter = group_key.iter().skip(1);
         for (i, arg) in rule.head.args.iter().enumerate() {
@@ -604,7 +618,7 @@ impl Shard {
             }
             let key_val = key_iter.next();
             if let (HeadArg::Term(Term::Var(v)), Some(value)) = (arg, key_val) {
-                bindings.insert(v.clone(), value.clone());
+                bindings.insert(*v, value.clone());
             }
         }
         bindings
@@ -617,7 +631,7 @@ impl Shard {
         rule: &Rule,
         node: NodeId,
         initial: &Bindings,
-    ) -> Vec<(Bindings, Vec<Tuple>)> {
+    ) -> Vec<(Bindings, Vec<Arc<Tuple>>)> {
         let atoms: Vec<(usize, &Atom)> = rule
             .body
             .iter()
@@ -648,8 +662,8 @@ impl Shard {
         atoms: &[(usize, &Atom)],
         depth: usize,
         bindings: Bindings,
-        partial: &mut Vec<Tuple>,
-        results: &mut Vec<(Bindings, Vec<Tuple>)>,
+        partial: &mut Vec<Arc<Tuple>>,
+        results: &mut Vec<(Bindings, Vec<Arc<Tuple>>)>,
     ) {
         if depth == atoms.len() {
             // Apply assignments and constraints.
@@ -660,12 +674,12 @@ impl Shard {
                         let Ok(value) = eval_expr(expr, &complete, &self.data.funcs) else {
                             return;
                         };
-                        if let Some(existing) = complete.get(var) {
+                        if let Some(existing) = complete.get(*var) {
                             if *existing != value {
                                 return;
                             }
                         } else {
-                            complete.insert(var.clone(), value);
+                            complete.insert(*var, value);
                         }
                     }
                     BodyItem::Constraint(op, lhs, rhs) => {
@@ -686,10 +700,10 @@ impl Shard {
             return;
         }
         let (_, atom) = atoms[depth];
-        if is_event_predicate(&atom.relation) {
+        if is_event_predicate(atom.relation.as_str()) {
             return;
         }
-        let Some(table) = self.store.table(node, &atom.relation) else {
+        let Some(table) = self.store.table(node, atom.relation) else {
             return;
         };
         for candidate in table.scan() {
@@ -697,7 +711,7 @@ impl Shard {
                 continue;
             }
             if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
-                partial.push(candidate.clone());
+                partial.push(Arc::clone(candidate));
                 self.enumerate_bindings(
                     rule,
                     node,
@@ -718,7 +732,7 @@ impl Shard {
         rule: &Rule,
         node: NodeId,
         func: AggFunc,
-        agg_var: Option<&str>,
+        agg_var: Option<Symbol>,
         agg_pos: usize,
         group_key: &[Value],
     ) {
@@ -726,7 +740,7 @@ impl Shard {
         // variables restricts the enumeration to the affected group.
         let initial = self.group_bindings(rule, group_key, agg_pos);
         let all = self.evaluate_rule_body(rule, node, &initial);
-        let mut in_group: Vec<(Bindings, Vec<Tuple>)> = Vec::new();
+        let mut in_group: Vec<(Bindings, Vec<Arc<Tuple>>)> = Vec::new();
         for (b, inputs) in all {
             if let Some(k) = self.group_key(rule, &b, agg_pos) {
                 if k == group_key {
@@ -798,7 +812,7 @@ impl Shard {
                     );
                 }
             }
-            Tuple::new(rule.head.relation.clone(), loc, values)
+            Arc::new(Tuple::new(rule.head.relation, loc, values))
         });
 
         if current == new_tuple {
@@ -810,7 +824,7 @@ impl Shard {
             if self.data.config.aggregate_provenance {
                 if let Some((prov_t, exec_t)) =
                     self.agg_prov
-                        .remove(&(node, rule.head.relation.clone(), group_key.to_vec()))
+                        .remove(&(node, rule.head.relation, group_key.to_vec()))
                 {
                     self.dispatch_delta(node, prov_t, false, None);
                     self.dispatch_delta(node, exec_t, false, None);
@@ -820,7 +834,7 @@ impl Shard {
                 Some(policy) => policy
                     .lock()
                     .expect("annotation policy poisoned")
-                    .on_derivation(node, &rule.label, &[], &old, false),
+                    .on_derivation(node, rule.label.as_str(), &[], &old, false),
                 None => None,
             };
             self.dispatch_delta(node, old, false, token);
@@ -836,22 +850,22 @@ impl Shard {
                 Some(policy) => policy
                     .lock()
                     .expect("annotation policy poisoned")
-                    .on_derivation(node, &rule.label, &winning_inputs, &new_t, true),
+                    .on_derivation(node, rule.label.as_str(), &winning_inputs, &new_t, true),
                 None => None,
             };
             if self.data.config.aggregate_provenance {
-                let vids: Vec<_> = winning_inputs.iter().map(Tuple::vid).collect();
-                let rid = exspan_types::tuple::rule_exec_id(&rule.label, node, &vids);
-                let exec_t = Tuple::new(
+                let vids: Vec<_> = winning_inputs.iter().map(|t| t.vid()).collect();
+                let rid = exspan_types::tuple::rule_exec_id(rule.label.as_str(), node, &vids);
+                let exec_t = Arc::new(Tuple::new(
                     "ruleExec",
                     node,
                     vec![
                         Value::from_digest(rid),
-                        Value::Str(rule.label.clone()),
-                        Value::List(vids.iter().map(|v| Value::Digest(v.0)).collect()),
+                        Value::Str(rule.label),
+                        Value::list(vids.iter().map(|v| Value::Digest(v.0)).collect()),
                     ],
-                );
-                let prov_t = Tuple::new(
+                ));
+                let prov_t = Arc::new(Tuple::new(
                     "prov",
                     new_t.location,
                     vec![
@@ -859,10 +873,10 @@ impl Shard {
                         Value::from_digest(rid),
                         Value::Node(node),
                     ],
-                );
+                ));
                 self.agg_prov.insert(
-                    (node, rule.head.relation.clone(), group_key.to_vec()),
-                    (prov_t.clone(), exec_t.clone()),
+                    (node, rule.head.relation, group_key.to_vec()),
+                    (Arc::clone(&prov_t), Arc::clone(&exec_t)),
                 );
                 self.dispatch_delta(node, exec_t, true, None);
                 self.dispatch_delta(node, prov_t, true, None);
@@ -878,8 +892,8 @@ impl Shard {
         node: NodeId,
         group_key: &[Value],
         agg_pos: usize,
-    ) -> Option<Tuple> {
-        let table = self.store.table(node, &rule.head.relation)?;
+    ) -> Option<Arc<Tuple>> {
+        let table = self.store.table(node, rule.head.relation)?;
         let loc = match &group_key[0] {
             Value::Node(n) => *n,
             Value::Int(n) => *n as NodeId,
@@ -916,14 +930,14 @@ pub(crate) fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> Opt
     let mut out = bindings.clone();
     // Location.
     match &atom.location {
-        Term::Var(v) => match out.get(v) {
+        Term::Var(v) => match out.get(*v) {
             Some(existing) => {
                 if *existing != Value::Node(tuple.location) {
                     return None;
                 }
             }
             None => {
-                out.insert(v.clone(), Value::Node(tuple.location));
+                out.insert(*v, Value::Node(tuple.location));
             }
         },
         Term::Const(c) => {
@@ -935,14 +949,14 @@ pub(crate) fn unify_atom(atom: &Atom, tuple: &Tuple, bindings: &Bindings) -> Opt
     // Arguments.
     for (term, value) in atom.args.iter().zip(tuple.values.iter()) {
         match term {
-            Term::Var(v) => match out.get(v) {
+            Term::Var(v) => match out.get(*v) {
                 Some(existing) => {
                     if existing != value {
                         return None;
                     }
                 }
                 None => {
-                    out.insert(v.clone(), value.clone());
+                    out.insert(*v, value.clone());
                 }
             },
             Term::Const(c) => {
@@ -969,7 +983,7 @@ mod tests {
         assert_eq!(b["C"], Value::Int(3));
         // Conflicting pre-binding fails.
         let mut pre = Bindings::new();
-        pre.insert("S".into(), Value::Node(9));
+        pre.insert(Symbol::intern("S"), Value::Node(9));
         assert!(unify_atom(&atom, &t, &pre).is_none());
         // Constant mismatch fails.
         let atom2 = Atom::new(

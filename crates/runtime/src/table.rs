@@ -12,9 +12,16 @@
 //!   keys (e.g. `bestPathCost` is keyed on `(@S,D)`); inserting a tuple whose
 //!   key already exists with different non-key attributes *replaces* the old
 //!   tuple, and the replaced tuple must be cascaded as a deletion.
+//!
+//! Rows hold their tuple behind an [`Arc`]: the delta that inserted a tuple,
+//! the stored row, and every join candidate cloned out of a scan share one
+//! allocation, so the hot path bumps reference counts instead of deep-copying
+//! attribute vectors.  Tables are keyed by interned [`RelId`]s, making the
+//! `(node, relation)` store lookups allocation-free.
 
-use exspan_types::{NodeId, Tuple, Value};
+use exspan_types::{NodeId, RelId, Tuple, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Effect of an insertion on the visible state of the table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +34,7 @@ pub enum InsertEffect {
     /// A tuple with the same primary key but different attributes was
     /// replaced.  The old tuple must be cascaded as a deletion before the new
     /// tuple's insertion is propagated.
-    Replaced(Tuple),
+    Replaced(Arc<Tuple>),
 }
 
 /// Effect of a deletion on the visible state of the table.
@@ -44,7 +51,7 @@ pub enum DeleteEffect {
 
 #[derive(Debug, Clone)]
 struct Row {
-    tuple: Tuple,
+    tuple: Arc<Tuple>,
     count: usize,
 }
 
@@ -54,10 +61,12 @@ struct Row {
 /// tuples in one canonical order no matter in which order derivations
 /// arrived.  Join enumeration order feeds the engine's event sequence
 /// numbers, so canonical scans are a prerequisite for the deterministic
-/// (sharded = sequential) execution the runtime guarantees.
+/// (sharded = sequential) execution the runtime guarantees.  (Interned
+/// [`Value::Str`] attributes order by string *content*, so the canonical
+/// order is also independent of interning order.)
 #[derive(Debug, Clone)]
 pub struct Table {
-    relation: String,
+    relation: RelId,
     /// Primary-key positions over the full attribute list (0 = location).
     /// Empty means whole-tuple (set) semantics.
     key: Vec<usize>,
@@ -66,7 +75,7 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with the given primary-key positions.
-    pub fn new(relation: impl Into<String>, key: Vec<usize>) -> Self {
+    pub fn new(relation: impl Into<RelId>, key: Vec<usize>) -> Self {
         Table {
             relation: relation.into(),
             key,
@@ -75,13 +84,18 @@ impl Table {
     }
 
     /// Creates a table with whole-tuple (set) semantics.
-    pub fn set_semantics(relation: impl Into<String>) -> Self {
+    pub fn set_semantics(relation: impl Into<RelId>) -> Self {
         Self::new(relation, Vec::new())
     }
 
     /// Relation name.
     pub fn relation(&self) -> &str {
-        &self.relation
+        self.relation.as_str()
+    }
+
+    /// Interned relation identifier.
+    pub fn relation_id(&self) -> RelId {
+        self.relation
     }
 
     /// Number of distinct tuples currently visible.
@@ -105,8 +119,9 @@ impl Table {
         }
     }
 
-    /// Inserts one derivation of `tuple`.
-    pub fn insert(&mut self, tuple: &Tuple) -> InsertEffect {
+    /// Inserts one derivation of `tuple`, sharing the caller's allocation
+    /// (the hot path: the delta's `Arc` becomes the stored row on 0→1).
+    pub fn insert_shared(&mut self, tuple: &Arc<Tuple>) -> InsertEffect {
         debug_assert_eq!(tuple.relation, self.relation);
         let key = self.key_of(tuple);
         match self.rows.get_mut(&key) {
@@ -114,13 +129,13 @@ impl Table {
                 self.rows.insert(
                     key,
                     Row {
-                        tuple: tuple.clone(),
+                        tuple: Arc::clone(tuple),
                         count: 1,
                     },
                 );
                 InsertEffect::Added
             }
-            Some(row) if row.tuple == *tuple => {
+            Some(row) if *row.tuple == **tuple => {
                 // Tables keyed on a proper subset of their attributes hold
                 // *functional* state (one row per key, e.g. an aggregate
                 // output or a routing-table entry): re-asserting the same row
@@ -136,7 +151,7 @@ impl Table {
                 let old = std::mem::replace(
                     row,
                     Row {
-                        tuple: tuple.clone(),
+                        tuple: Arc::clone(tuple),
                         count: 1,
                     },
                 )
@@ -146,13 +161,19 @@ impl Table {
         }
     }
 
+    /// Inserts one derivation of `tuple` (convenience wrapper for callers
+    /// that do not already hold the tuple behind an `Arc`).
+    pub fn insert(&mut self, tuple: &Tuple) -> InsertEffect {
+        self.insert_shared(&Arc::new(tuple.clone()))
+    }
+
     /// Deletes one derivation of `tuple`.
     pub fn delete(&mut self, tuple: &Tuple) -> DeleteEffect {
         debug_assert_eq!(tuple.relation, self.relation);
         let key = self.key_of(tuple);
         match self.rows.get_mut(&key) {
             None => DeleteEffect::Missing,
-            Some(row) if row.tuple != *tuple => {
+            Some(row) if *row.tuple != *tuple => {
                 // A stale deletion for a version of the row that has already
                 // been replaced: ignore it.
                 DeleteEffect::Missing
@@ -173,7 +194,7 @@ impl Table {
     pub fn count(&self, tuple: &Tuple) -> usize {
         let key = self.key_of(tuple);
         match self.rows.get(&key) {
-            Some(row) if row.tuple == *tuple => row.count,
+            Some(row) if *row.tuple == *tuple => row.count,
             _ => 0,
         }
     }
@@ -183,14 +204,14 @@ impl Table {
         self.count(tuple) > 0
     }
 
-    /// Iterates over the visible tuples.
-    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+    /// Iterates over the visible tuples (shared rows, in canonical order).
+    pub fn scan(&self) -> impl Iterator<Item = &Arc<Tuple>> {
         self.rows.values().map(|r| &r.tuple)
     }
 
     /// Collects the visible tuples into a vector (sorted for determinism).
     pub fn tuples(&self) -> Vec<Tuple> {
-        let mut out: Vec<Tuple> = self.scan().cloned().collect();
+        let mut out: Vec<Tuple> = self.scan().map(|t| (**t).clone()).collect();
         out.sort();
         out
     }
@@ -200,14 +221,14 @@ impl Table {
 /// lazily-created tables.
 #[derive(Debug, Default, Clone)]
 pub struct TableStore {
-    tables: HashMap<(NodeId, String), Table>,
-    /// Key declarations by relation name.
-    keys: HashMap<String, Vec<usize>>,
+    tables: HashMap<(NodeId, RelId), Table>,
+    /// Key declarations by relation.
+    keys: HashMap<RelId, Vec<usize>>,
 }
 
 impl TableStore {
     /// Creates an empty store with the given key declarations.
-    pub fn new(keys: HashMap<String, Vec<usize>>) -> Self {
+    pub fn new(keys: HashMap<RelId, Vec<usize>>) -> Self {
         TableStore {
             tables: HashMap::new(),
             keys,
@@ -215,32 +236,35 @@ impl TableStore {
     }
 
     /// Returns the table for `(node, relation)`, creating it if necessary.
-    pub fn table_mut(&mut self, node: NodeId, relation: &str) -> &mut Table {
-        let key_spec = self.keys.get(relation).cloned().unwrap_or_default();
-        self.tables
-            .entry((node, relation.to_string()))
-            .or_insert_with(|| Table::new(relation, key_spec))
+    pub fn table_mut(&mut self, node: NodeId, relation: RelId) -> &mut Table {
+        match self.tables.entry((node, relation)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let key_spec = self.keys.get(&relation).cloned().unwrap_or_default();
+                e.insert(Table::new(relation, key_spec))
+            }
+        }
     }
 
     /// Returns the table for `(node, relation)` if it exists.
-    pub fn table(&self, node: NodeId, relation: &str) -> Option<&Table> {
-        self.tables.get(&(node, relation.to_string()))
+    pub fn table(&self, node: NodeId, relation: RelId) -> Option<&Table> {
+        self.tables.get(&(node, relation))
     }
 
     /// All visible tuples of `relation` at `node`.
-    pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
+    pub fn tuples(&self, node: NodeId, relation: RelId) -> Vec<Tuple> {
         self.table(node, relation)
             .map(|t| t.tuples())
             .unwrap_or_default()
     }
 
     /// All visible tuples of `relation` across every node.
-    pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
+    pub fn tuples_everywhere(&self, relation: RelId) -> Vec<Tuple> {
         let mut out: Vec<Tuple> = self
             .tables
             .iter()
-            .filter(|((_, r), _)| r == relation)
-            .flat_map(|(_, t)| t.scan().cloned())
+            .filter(|((_, r), _)| *r == relation)
+            .flat_map(|(_, t)| t.scan().map(|a| (**a).clone()))
             .collect();
         out.sort();
         out
@@ -255,6 +279,7 @@ impl TableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exspan_types::Symbol;
 
     fn path_cost(loc: NodeId, d: NodeId, c: i64) -> Tuple {
         Tuple::new("pathCost", loc, vec![Value::Node(d), Value::Int(c)])
@@ -280,6 +305,16 @@ mod tests {
     }
 
     #[test]
+    fn shared_insert_shares_the_allocation() {
+        let mut t = Table::set_semantics("pathCost");
+        let p = Arc::new(path_cost(0, 2, 5));
+        assert_eq!(t.insert_shared(&p), InsertEffect::Added);
+        // The stored row is the same allocation, not a deep copy.
+        let stored = t.scan().next().unwrap();
+        assert!(Arc::ptr_eq(stored, &p));
+    }
+
+    #[test]
     fn distinct_tuples_coexist_under_set_semantics() {
         let mut t = Table::set_semantics("pathCost");
         t.insert(&path_cost(0, 2, 5));
@@ -295,7 +330,7 @@ mod tests {
         let mut t = Table::new("bestPathCost", vec![0, 1]);
         assert_eq!(t.insert(&best(0, 2, 5)), InsertEffect::Added);
         let eff = t.insert(&best(0, 2, 4));
-        assert_eq!(eff, InsertEffect::Replaced(best(0, 2, 5)));
+        assert_eq!(eff, InsertEffect::Replaced(Arc::new(best(0, 2, 5))));
         assert_eq!(t.len(), 1);
         assert!(t.contains(&best(0, 2, 4)));
         assert!(!t.contains(&best(0, 2, 5)));
@@ -342,19 +377,21 @@ mod tests {
 
     #[test]
     fn table_store_lazily_creates_with_declared_keys() {
+        let best_rel = Symbol::intern("bestPathCost");
+        let pc_rel = Symbol::intern("pathCost");
         let mut keys = HashMap::new();
-        keys.insert("bestPathCost".to_string(), vec![0usize, 1]);
+        keys.insert(best_rel, vec![0usize, 1]);
         let mut store = TableStore::new(keys);
-        store.table_mut(0, "bestPathCost").insert(&best(0, 2, 5));
-        store.table_mut(0, "bestPathCost").insert(&best(0, 2, 3));
-        assert_eq!(store.tuples(0, "bestPathCost"), vec![best(0, 2, 3)]);
+        store.table_mut(0, best_rel).insert(&best(0, 2, 5));
+        store.table_mut(0, best_rel).insert(&best(0, 2, 3));
+        assert_eq!(store.tuples(0, best_rel), vec![best(0, 2, 3)]);
         // Undeclared relations default to set semantics.
-        store.table_mut(1, "pathCost").insert(&path_cost(1, 2, 5));
-        store.table_mut(1, "pathCost").insert(&path_cost(1, 2, 7));
-        assert_eq!(store.tuples(1, "pathCost").len(), 2);
+        store.table_mut(1, pc_rel).insert(&path_cost(1, 2, 5));
+        store.table_mut(1, pc_rel).insert(&path_cost(1, 2, 7));
+        assert_eq!(store.tuples(1, pc_rel).len(), 2);
         assert_eq!(store.total_tuples(), 3);
-        assert_eq!(store.tuples_everywhere("pathCost").len(), 2);
-        assert!(store.table(9, "pathCost").is_none());
-        assert!(store.tuples(9, "pathCost").is_empty());
+        assert_eq!(store.tuples_everywhere(pc_rel).len(), 2);
+        assert!(store.table(9, pc_rel).is_none());
+        assert!(store.tuples(9, pc_rel).is_empty());
     }
 }

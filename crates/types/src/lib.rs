@@ -3,23 +3,33 @@
 //! Foundation types shared by every crate in the ExSPAN workspace:
 //!
 //! * [`Value`] — the dynamically-typed attribute values carried by network
-//!   tuples (node addresses, integers, strings, lists, raw digests).
-//! * [`Tuple`] — a named, located relational tuple, the unit of state and of
-//!   communication in a declarative network.
+//!   tuples (node addresses, integers, interned strings, `Arc`-shared lists,
+//!   raw digests).
+//! * [`Tuple`] — a located relational tuple, the unit of state and of
+//!   communication in a declarative network.  Its relation is an interned
+//!   [`RelId`]; resolve it with [`Tuple::relation_name`].
+//! * [`Symbol`] / [`RelId`] — the workspace-wide string interner behind the
+//!   hot path: `Copy` handles with pointer equality and content ordering
+//!   (see [`symbol`] for why that combination keeps the figures
+//!   byte-identical).
 //! * [`NodeId`] — the address of a node in the simulated network.
 //! * [`Vid`] / [`Rid`] — provenance vertex identifiers: SHA-1 digests of tuple
 //!   contents and of rule-execution instances respectively (paper §4.1).
 //! * [`sha1`] — a from-scratch SHA-1 implementation (no external dependency),
 //!   used solely to derive collision-resistant vertex identifiers.
 //! * [`wire`] — the byte-size model used for all bandwidth accounting in the
-//!   evaluation harness.
+//!   evaluation harness.  Interning does not change any wire size: the model
+//!   always charged a fixed-width relation id per tuple and content-length
+//!   bytes per string value.
 
 pub mod sha1;
+pub mod symbol;
 pub mod tuple;
 pub mod value;
 pub mod wire;
 
 pub use sha1::{sha1_digest, Digest};
+pub use symbol::{RelId, Symbol};
 pub use tuple::{NodeId, Rid, Schema, Tuple, TupleKey, Vid};
 pub use value::Value;
 

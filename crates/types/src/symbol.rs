@@ -1,0 +1,303 @@
+//! A workspace-wide string interner for the identifiers on the hot path.
+//!
+//! Relation names, rule labels and NDlog variable names form a small, fixed
+//! vocabulary (bounded by the programs loaded into a deployment), yet before
+//! interning every [`crate::Tuple`] carried its relation as a heap-allocated
+//! `String` that was cloned on every delta, every table lookup and every VID
+//! computation.  A [`Symbol`] replaces those strings with a `Copy` handle to
+//! one leaked, deduplicated allocation:
+//!
+//! * **Equality is a pointer comparison.**  Interning guarantees that equal
+//!   strings resolve to the *same* `&'static str`, so `==` never touches the
+//!   bytes.
+//! * **Ordering and hashing are by content.**  The runtime's determinism
+//!   guarantee rests on canonical `BTreeMap` scan orders; a symbol sorts
+//!   exactly where its string would, so every scan — and therefore every
+//!   figure — is byte-identical to the pre-interning engine no matter in
+//!   which order symbols were interned.
+//! * **Resolution is free.**  [`Symbol::as_str`] just returns the wrapped
+//!   `&'static str`; no lock, no lookup.
+//!
+//! The interner deliberately leaks each distinct string once.  That is the
+//! right trade-off for identifier-like vocabularies; do not intern unbounded
+//! user data.
+//!
+//! Because the wire-size model always charged a fixed 2-byte relation id per
+//! tuple and content-length bytes per string value, interning changes **no
+//! figure by a single byte** (`check_bench --exact` passes against the
+//! committed baselines) while cutting the figures-suite wall clock on the
+//! 1-core reference container:
+//!
+//! | scale | before (s) | after (s) | change |
+//! |---|---|---|---|
+//! | tiny, all 12 figures | 47.9 | 24.9 | −48% |
+//! | small, all 12 figures | 122.8 | 58.0 | −53% |
+
+use serde::{Deserialize, JsonError, JsonValue, Serialize};
+use std::collections::HashSet;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned relation identifier.  [`crate::Tuple::relation`],
+/// [`crate::Schema::name`] and [`crate::TupleKey::relation`] are keyed on
+/// this type; resolve it with [`Symbol::as_str`] (or the
+/// [`crate::Tuple::relation_name`] convenience).
+pub type RelId = Symbol;
+
+/// A `Copy` handle to an interned string (see the module docs).
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
+
+fn interner() -> &'static RwLock<HashSet<&'static str>> {
+    static INTERNER: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+impl Symbol {
+    /// Interns `s`, returning the canonical handle for its content.  The
+    /// first interning of a distinct string leaks one copy of it; every
+    /// subsequent call is a shared-lock lookup.
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let set = interner().read().expect("symbol interner poisoned");
+            if let Some(&interned) = set.get(s) {
+                return Symbol(interned);
+            }
+        }
+        let mut set = interner().write().expect("symbol interner poisoned");
+        match set.get(s) {
+            Some(&interned) => Symbol(interned),
+            None => {
+                let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+                set.insert(leaked);
+                Symbol(leaked)
+            }
+        }
+    }
+
+    /// The interned string.  Free: no lock or table lookup is involved.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Length of the interned string in bytes (its wire footprint is
+    /// `2 + len()` when carried as a [`crate::Value::Str`]).
+    pub fn len(self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the interned string is empty.
+    pub fn is_empty(self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of distinct strings interned so far (diagnostics / tests).
+    pub fn interned_count() -> usize {
+        interner().read().expect("symbol interner poisoned").len()
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning canonicalizes the allocation: content-equal symbols hold
+        // the same pointer, so equality never compares bytes.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Content ordering: a symbol sorts exactly where its string would,
+        // keeping every canonical (BTreeMap) scan order intern-order
+        // independent.
+        if std::ptr::eq(self.0, other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Content hashing keeps the hash a pure function of the string, not
+        // of intern order (consistent with `Eq`: equal symbols are
+        // content-equal by construction).
+        self.0.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> Self {
+        s.0.to_owned()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl Serialize for Symbol {
+    fn json_into(&self, out: &mut String) {
+        serde::write_json_string(self.0, out);
+    }
+}
+
+impl Deserialize for Symbol {
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::String(s) => Ok(Symbol::intern(s)),
+            other => Err(JsonError::msg(format!(
+                "expected string for Symbol, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn interning_deduplicates_and_round_trips() {
+        let a = Symbol::intern("pathCost");
+        let b = Symbol::intern(&String::from("pathCost"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a.as_str(), "pathCost");
+        assert_eq!(String::from(a), "pathCost");
+    }
+
+    #[test]
+    fn equality_against_plain_strings() {
+        let s = Symbol::intern("link");
+        assert_eq!(s, "link");
+        assert_eq!("link", s);
+        assert_eq!(s, String::from("link"));
+        assert_ne!(s, "pathCost");
+        assert_ne!(s, Symbol::intern("pathCost"));
+    }
+
+    #[test]
+    fn ordering_matches_string_ordering_regardless_of_intern_order() {
+        // Intern in reverse lexicographic order on purpose.
+        let names = ["zeta", "alpha", "mid", "beta"];
+        let symbols: BTreeSet<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        let sorted: Vec<&str> = symbols.iter().map(|s| s.as_str()).collect();
+        assert_eq!(sorted, vec!["alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn hash_is_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |s: &Symbol| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let str_hash = {
+            let mut h = DefaultHasher::new();
+            "link".hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&Symbol::intern("link")), str_hash);
+    }
+
+    #[test]
+    fn display_and_len() {
+        let s = Symbol::intern("bestPathCost");
+        assert_eq!(s.to_string(), "bestPathCost");
+        assert_eq!(format!("{s:?}"), "\"bestPathCost\"");
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        assert!(Symbol::intern("").is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Symbol::intern("prov");
+        let mut out = String::new();
+        s.json_into(&mut out);
+        assert_eq!(out, "\"prov\"");
+        let back = Symbol::from_json_value(&JsonValue::String("prov".into())).unwrap();
+        assert_eq!(back, s);
+        assert!(Symbol::from_json_value(&JsonValue::Number(1.0)).is_err());
+    }
+}

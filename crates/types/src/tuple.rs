@@ -1,7 +1,16 @@
 //! Relational tuples, schemas and provenance vertex identifiers.
+//!
+//! Since the interned hot path landed, a tuple's relation is a [`RelId`] — a
+//! `Copy` interned symbol — rather than an owned `String`.  Construction
+//! sites are unchanged (`Tuple::new("link", …)` interns transparently), and
+//! [`Tuple::relation_name`] resolves the id back to its `&'static str`.
+//! Identity is unaffected: VIDs hash the relation's *content*, the wire-size
+//! model already charged a fixed-width relation id, and tuples order exactly
+//! as they did when the relation was a string.
 
 use crate::sha1::{Digest, Sha1};
-use crate::value::Value;
+use crate::symbol::RelId;
+use crate::value::{encode_str_for_hash, Value};
 use crate::Error;
 use serde::{Deserialize, Serialize};
 
@@ -23,8 +32,8 @@ pub type Rid = Digest;
 /// e.g. `bestPathCost` keyed on `(src, dst)`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schema {
-    /// Relation name, e.g. `"pathCost"`.
-    pub name: String,
+    /// Interned relation name, e.g. `"pathCost"`.
+    pub name: RelId,
     /// Number of attributes, including the location attribute.
     pub arity: usize,
     /// Indices of the primary-key attributes.  Empty means "all attributes".
@@ -34,7 +43,7 @@ pub struct Schema {
 impl Schema {
     /// Creates a schema whose key is the full set of attributes (set
     /// semantics).
-    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+    pub fn new(name: impl Into<RelId>, arity: usize) -> Self {
         Schema {
             name: name.into(),
             arity,
@@ -43,7 +52,7 @@ impl Schema {
     }
 
     /// Creates a schema with an explicit primary key.
-    pub fn with_key(name: impl Into<String>, arity: usize, key: Vec<usize>) -> Self {
+    pub fn with_key(name: impl Into<RelId>, arity: usize, key: Vec<usize>) -> Self {
         Schema {
             name: name.into(),
             arity,
@@ -74,13 +83,13 @@ impl Schema {
     pub fn key_of(&self, tuple: &Tuple) -> TupleKey {
         if self.key.is_empty() {
             TupleKey {
-                relation: tuple.relation.clone(),
+                relation: tuple.relation,
                 location: tuple.location,
                 values: tuple.values.clone(),
             }
         } else {
             TupleKey {
-                relation: tuple.relation.clone(),
+                relation: tuple.relation,
                 location: tuple.location,
                 values: self.key.iter().map(|&i| tuple.values[i].clone()).collect(),
             }
@@ -91,8 +100,8 @@ impl Schema {
 /// The primary-key projection of a tuple; used for keyed table maintenance.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleKey {
-    /// Relation name.
-    pub relation: String,
+    /// Interned relation name.
+    pub relation: RelId,
     /// Location of the tuple.
     pub location: NodeId,
     /// Key attribute values.
@@ -106,8 +115,10 @@ pub struct TupleKey {
 /// remaining attributes in [`Tuple::values`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Tuple {
-    /// Relation (predicate) name.
-    pub relation: String,
+    /// Interned relation (predicate) identifier.  Compare it against string
+    /// literals directly (`t.relation == "prov"`) or resolve it with
+    /// [`Tuple::relation_name`].
+    pub relation: RelId,
     /// The node at which this tuple resides (the `@` attribute).
     pub location: NodeId,
     /// The non-location attribute values, in declaration order.
@@ -115,13 +126,19 @@ pub struct Tuple {
 }
 
 impl Tuple {
-    /// Creates a tuple.
-    pub fn new(relation: impl Into<String>, location: NodeId, values: Vec<Value>) -> Self {
+    /// Creates a tuple.  Accepts anything convertible to a [`RelId`]: string
+    /// literals intern transparently, and an existing `RelId` is free.
+    pub fn new(relation: impl Into<RelId>, location: NodeId, values: Vec<Value>) -> Self {
         Tuple {
             relation: relation.into(),
             location,
             values,
         }
+    }
+
+    /// Resolves the interned relation id to its name.
+    pub fn relation_name(&self) -> &'static str {
+        self.relation.as_str()
     }
 
     /// Total number of attributes including the location specifier.
@@ -141,7 +158,7 @@ impl Tuple {
     pub fn vid(&self) -> Vid {
         let mut h = Sha1::new();
         let mut buf = Vec::with_capacity(16 * (self.values.len() + 2));
-        Value::Str(self.relation.clone()).encode_for_hash(&mut buf);
+        encode_str_for_hash(self.relation.as_str(), &mut buf);
         Value::Node(self.location).encode_for_hash(&mut buf);
         for v in &self.values {
             v.encode_for_hash(&mut buf);
@@ -152,7 +169,8 @@ impl Tuple {
 
     /// Number of bytes this tuple occupies when sent in a network message:
     /// a small header (relation id + location) plus each attribute's wire
-    /// size.
+    /// size.  The model always charged a fixed 2-byte relation id — the
+    /// in-memory interning matches the wire format it already assumed.
     pub fn wire_size(&self) -> usize {
         // 2 bytes relation id, 4 bytes location, 1 byte attribute count.
         7 + self.values.iter().map(Value::wire_size).sum::<usize>()
@@ -183,9 +201,9 @@ impl std::fmt::Display for Tuple {
 pub fn rule_exec_id(rule_label: &str, location: NodeId, input_vids: &[Vid]) -> Rid {
     let mut h = Sha1::new();
     let mut buf = Vec::with_capacity(32 + 24 * input_vids.len());
-    Value::Str(rule_label.to_string()).encode_for_hash(&mut buf);
+    encode_str_for_hash(rule_label, &mut buf);
     Value::Node(location).encode_for_hash(&mut buf);
-    Value::List(input_vids.iter().map(|v| Value::Digest(v.0)).collect()).encode_for_hash(&mut buf);
+    Value::list(input_vids.iter().map(|v| Value::Digest(v.0)).collect()).encode_for_hash(&mut buf);
     h.update(&buf);
     h.finalize()
 }
@@ -208,6 +226,21 @@ mod tests {
         // Different relation name, same contents.
         let c = Tuple::new("pathCost", 1, vec![Value::Node(2), Value::Int(3)]);
         assert_ne!(a.vid(), c.vid());
+    }
+
+    #[test]
+    fn vid_matches_value_level_encoding() {
+        // The interned fast path must produce the exact digest the
+        // Value-by-Value encoding (and hence f_sha1) produces.
+        let t = link(1, 2, 3);
+        let mut buf = Vec::new();
+        Value::from("link").encode_for_hash(&mut buf);
+        Value::Node(1).encode_for_hash(&mut buf);
+        Value::Node(2).encode_for_hash(&mut buf);
+        Value::Int(3).encode_for_hash(&mut buf);
+        let mut h = Sha1::new();
+        h.update(&buf);
+        assert_eq!(t.vid(), h.finalize());
     }
 
     #[test]
@@ -261,5 +294,15 @@ mod tests {
     #[test]
     fn arity_counts_location() {
         assert_eq!(link(1, 2, 3).arity(), 3);
+    }
+
+    #[test]
+    fn relation_is_interned_and_resolvable() {
+        let t = link(1, 2, 3);
+        assert_eq!(t.relation_name(), "link");
+        assert_eq!(t.relation, "link");
+        // Construction from an existing RelId is free and equal.
+        let t2 = Tuple::new(t.relation, 1, t.values.clone());
+        assert_eq!(t, t2);
     }
 }

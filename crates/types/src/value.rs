@@ -4,10 +4,23 @@
 //! costs, strings (rule labels, relation names), lists (path vectors, VID
 //! lists) and raw 20-byte digests (provenance pointers).  [`Value`] is the
 //! closed union of those cases.
+//!
+//! Two cases are engineered for cheap cloning, because values are copied on
+//! every rule firing, join candidate and delta application:
+//!
+//! * [`Value::Str`] holds an interned [`Symbol`] — cloning is a pointer copy
+//!   and equality a pointer comparison, while ordering, hashing, display and
+//!   the wire/hash encodings remain functions of the string *content* (so
+//!   canonical scan orders and VIDs are unchanged by interning).
+//! * [`Value::List`] holds its elements behind an [`Arc`] — cloning a path
+//!   vector or VID list bumps a reference count instead of deep-copying.
+//!   Lists are immutable once built (construct them with [`Value::list`]).
 
 use crate::sha1::Digest;
+use crate::symbol::Symbol;
 use crate::Error;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A single attribute value inside a [`crate::Tuple`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -16,12 +29,13 @@ pub enum Value {
     Node(u32),
     /// A signed integer (costs, counts, thresholds, payload sizes…).
     Int(i64),
-    /// An interned-style string (relation names, rule labels, domain names…).
-    Str(String),
+    /// An interned string (relation names, rule labels, domain names…).
+    Str(Symbol),
     /// A boolean (derivability tests).
     Bool(bool),
-    /// An ordered list of values (path vectors, VID lists, buffered results).
-    List(Vec<Value>),
+    /// An ordered, immutable list of values (path vectors, VID lists,
+    /// buffered results), shared behind an [`Arc`].
+    List(Arc<Vec<Value>>),
     /// A 20-byte digest (VIDs, RIDs, query identifiers).
     Digest([u8; 20]),
     /// An opaque payload of the given size in bytes.  Only the size is
@@ -31,6 +45,16 @@ pub enum Value {
 }
 
 impl Value {
+    /// Creates a list value (the canonical [`Value::List`] constructor).
+    pub fn list(values: Vec<Value>) -> Value {
+        Value::List(Arc::new(values))
+    }
+
+    /// Creates an interned string value.
+    pub fn str(s: impl Into<Symbol>) -> Value {
+        Value::Str(s.into())
+    }
+
     /// Returns the node id if this value is a node address.
     pub fn as_node(&self) -> Result<u32, Error> {
         match self {
@@ -54,9 +78,20 @@ impl Value {
     }
 
     /// Returns the string slice if this value is a [`Value::Str`].
-    pub fn as_str(&self) -> Result<&str, Error> {
+    pub fn as_str(&self) -> Result<&'static str, Error> {
         match self {
-            Value::Str(s) => Ok(s),
+            Value::Str(s) => Ok(s.as_str()),
+            other => Err(Error::TypeMismatch {
+                expected: "string",
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Returns the interned symbol if this value is a [`Value::Str`].
+    pub fn as_symbol(&self) -> Result<Symbol, Error> {
+        match self {
+            Value::Str(s) => Ok(*s),
             other => Err(Error::TypeMismatch {
                 expected: "string",
                 found: format!("{other:?}"),
@@ -106,7 +141,10 @@ impl Value {
     ///
     /// The model follows the paper's accounting: node addresses and integers
     /// are 4 bytes, digests 20 bytes, strings and lists their content plus a
-    /// small length header, opaque payloads their declared size.
+    /// small length header, opaque payloads their declared size.  Interning
+    /// and [`Arc`]-sharing are runtime representation choices — the wire
+    /// footprint is a function of the content alone and is identical to the
+    /// pre-interning model.
     pub fn wire_size(&self) -> usize {
         match self {
             Value::Node(_) => 4,
@@ -134,11 +172,7 @@ impl Value {
                 out.push(0x02);
                 out.extend_from_slice(&i.to_be_bytes());
             }
-            Value::Str(s) => {
-                out.push(0x03);
-                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
-                out.extend_from_slice(s.as_bytes());
-            }
+            Value::Str(s) => encode_str_for_hash(s.as_str(), out),
             Value::Bool(b) => {
                 out.push(0x04);
                 out.push(*b as u8);
@@ -146,7 +180,7 @@ impl Value {
             Value::List(l) => {
                 out.push(0x05);
                 out.extend_from_slice(&(l.len() as u32).to_be_bytes());
-                for v in l {
+                for v in l.iter() {
                     v.encode_for_hash(out);
                 }
             }
@@ -160,6 +194,15 @@ impl Value {
             }
         }
     }
+}
+
+/// Appends the canonical hash encoding of a string value — identical to
+/// `Value::Str(s).encode_for_hash(..)` but usable without interning or
+/// allocating (the VID computation encodes the relation name this way).
+pub fn encode_str_for_hash(s: &str, out: &mut Vec<u8>) {
+    out.push(0x03);
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
 }
 
 impl std::fmt::Display for Value {
@@ -199,12 +242,18 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Symbol::intern(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Symbol::intern(&s))
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
         Value::Str(s)
     }
 }
@@ -224,10 +273,11 @@ mod tests {
     fn accessors_succeed_on_matching_variant() {
         assert_eq!(Value::Node(7).as_node().unwrap(), 7);
         assert_eq!(Value::Int(-3).as_int().unwrap(), -3);
-        assert_eq!(Value::Str("x".into()).as_str().unwrap(), "x");
+        assert_eq!(Value::from("x").as_str().unwrap(), "x");
+        assert_eq!(Value::from("x").as_symbol().unwrap(), Symbol::intern("x"));
         assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(
-            Value::List(vec![Value::Int(1)]).as_list().unwrap(),
+            Value::list(vec![Value::Int(1)]).as_list().unwrap(),
             &[Value::Int(1)]
         );
         let d = sha1_digest(b"t");
@@ -239,6 +289,7 @@ mod tests {
         assert!(Value::Int(1).as_node().is_err());
         assert!(Value::Node(1).as_int().is_err());
         assert!(Value::Int(1).as_str().is_err());
+        assert!(Value::Int(1).as_symbol().is_err());
         assert!(Value::Int(1).as_bool().is_err());
         assert!(Value::Int(1).as_list().is_err());
         assert!(Value::Int(1).as_digest().is_err());
@@ -249,11 +300,11 @@ mod tests {
         assert_eq!(Value::Node(1).wire_size(), 4);
         assert_eq!(Value::Int(1).wire_size(), 4);
         assert_eq!(Value::Bool(true).wire_size(), 1);
-        assert_eq!(Value::Str("abcd".into()).wire_size(), 6);
+        assert_eq!(Value::from("abcd").wire_size(), 6);
         assert_eq!(Value::Digest([0; 20]).wire_size(), 20);
         assert_eq!(Value::Payload(1024).wire_size(), 1024);
         assert_eq!(
-            Value::List(vec![Value::Int(1), Value::Node(2)]).wire_size(),
+            Value::list(vec![Value::Int(1), Value::Node(2)]).wire_size(),
             2 + 4 + 4
         );
     }
@@ -270,9 +321,18 @@ mod tests {
         // Nested lists vs flat concatenation must differ.
         let mut c = Vec::new();
         let mut d = Vec::new();
-        Value::List(vec![Value::Int(1), Value::Int(2)]).encode_for_hash(&mut c);
-        Value::List(vec![Value::List(vec![Value::Int(1), Value::Int(2)])]).encode_for_hash(&mut d);
+        Value::list(vec![Value::Int(1), Value::Int(2)]).encode_for_hash(&mut c);
+        Value::list(vec![Value::list(vec![Value::Int(1), Value::Int(2)])]).encode_for_hash(&mut d);
         assert_ne!(c, d);
+    }
+
+    #[test]
+    fn interned_str_encoding_matches_raw_helper() {
+        let mut via_value = Vec::new();
+        Value::from("pathCost").encode_for_hash(&mut via_value);
+        let mut via_helper = Vec::new();
+        encode_str_for_hash("pathCost", &mut via_helper);
+        assert_eq!(via_value, via_helper);
     }
 
     #[test]
@@ -280,18 +340,33 @@ mod tests {
         assert_eq!(Value::Node(3).to_string(), "n3");
         assert_eq!(Value::Int(5).to_string(), "5");
         assert_eq!(
-            Value::List(vec![Value::Node(1), Value::Node(2)]).to_string(),
+            Value::list(vec![Value::Node(1), Value::Node(2)]).to_string(),
             "[n1,n2]"
         );
         assert!(Value::Payload(9).to_string().contains("9B"));
     }
 
     #[test]
+    fn ordering_is_content_based() {
+        // Str ordering must follow string content (canonical scan orders
+        // depend on it), regardless of intern order.
+        assert!(Value::from("zz") > Value::from("aa"));
+        assert!(Value::from("aa") < Value::from("ab"));
+        // Variant rank ordering is unchanged: Node < Int < Str < Bool < List.
+        assert!(Value::Node(9) < Value::Int(0));
+        assert!(Value::Int(9) < Value::from(""));
+        assert!(Value::from("zzz") < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::list(vec![]));
+    }
+
+    #[test]
     fn conversions() {
         assert_eq!(Value::from(3u32), Value::Int(3));
         assert_eq!(Value::from(3i64), Value::Int(3));
-        assert_eq!(Value::from("a"), Value::Str("a".into()));
-        assert_eq!(Value::from(String::from("a")), Value::Str("a".into()));
+        assert_eq!(Value::from("a"), Value::Str(Symbol::intern("a")));
+        assert_eq!(Value::from(String::from("a")), Value::from("a"));
+        assert_eq!(Value::from(Symbol::intern("a")), Value::from("a"));
         assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::str("a"), Value::from("a"));
     }
 }

@@ -2,9 +2,11 @@
 # CI perf gate: regenerate the tiny-scale benchmark figures and compare them
 # against the committed baselines.
 #
-#   scripts/check_bench.sh                # regenerate (1 shard) + gate
-#   scripts/check_bench.sh --shards 4     # regenerate with 4 shards + gate
-#   scripts/check_bench.sh --fresh DIR    # gate an existing output directory
+#   scripts/check_bench.sh                  # regenerate (1 shard) + gate
+#   scripts/check_bench.sh --shards 4       # regenerate with 4 shards + gate
+#   scripts/check_bench.sh --fresh DIR      # gate an existing output directory
+#   scripts/check_bench.sh --time-budget 50 # also fail if total wall clock
+#                                           # regresses >50% vs the baseline
 #
 # The gate (crates/bench/src/bin/check_bench.rs) fails if any figure's mean
 # regresses more than 25% over benchmarks/baseline, or if the paper's
@@ -17,6 +19,7 @@ cd "$(dirname "$0")/.."
 BASELINE_DIR=benchmarks/baseline
 FRESH_DIR=""
 SHARDS=1
+BUDGET_ARGS=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -28,8 +31,12 @@ while [[ $# -gt 0 ]]; do
       FRESH_DIR="$2"
       shift 2
       ;;
+    --time-budget)
+      BUDGET_ARGS=(--time-budget "$2")
+      shift 2
+      ;;
     *)
-      echo "usage: $0 [--shards N] [--fresh DIR]" >&2
+      echo "usage: $0 [--shards N] [--fresh DIR] [--time-budget PCT]" >&2
       exit 2
       ;;
   esac
@@ -50,4 +57,4 @@ if [[ -z "$FRESH_DIR" ]]; then
 fi
 
 echo "== comparing $FRESH_DIR against $BASELINE_DIR"
-./target/release/check_bench "$FRESH_DIR" "$BASELINE_DIR"
+./target/release/check_bench ${BUDGET_ARGS[@]+"${BUDGET_ARGS[@]}"} "$FRESH_DIR" "$BASELINE_DIR"
