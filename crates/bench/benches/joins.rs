@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the indexed join subsystem: keyed index probes
+//! vs. full-table scans across table sizes, index maintenance overhead on
+//! the insert path, and join-plan compilation cost at program load.
+//!
+//! These pin the machinery that turned the engine's dominant cost from
+//! O(|table|) scans into point lookups (the PATHVECTOR figures lean on it
+//! hardest), so CI runs them (job `microbench`) and archives the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exspan_ndlog::plan::{compile_trigger_plan, ProgramPlans};
+use exspan_ndlog::programs;
+use exspan_runtime::Table;
+use exspan_types::{NodeId, Tuple, Value};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[16, 64, 256, 1024];
+
+/// A `path(@loc, D, P, C)`-shaped tuple: the relation the PATHVECTOR hot
+/// path probes on (location, destination, cost).
+fn path_row(loc: NodeId, d: NodeId, c: i64) -> Tuple {
+    Tuple::new(
+        "path",
+        loc,
+        vec![
+            Value::Node(d),
+            Value::list(vec![Value::Node(loc), Value::Node(d)]),
+            Value::Int(c),
+        ],
+    )
+}
+
+fn filled_table(rows: usize, indexed: bool) -> Table {
+    let mut t = Table::set_semantics("path");
+    if indexed {
+        t = t.with_indexes(vec![vec![0, 1], vec![0, 1, 3]]);
+    }
+    for i in 0..rows {
+        t.insert(&path_row(0, (i % 64) as NodeId, (i / 64) as i64));
+    }
+    t
+}
+
+/// Probe vs. scan: find the rows of one (destination, cost) group.
+fn bench_probe_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_lookup");
+    for &size in SIZES {
+        let table = filled_table(size, true);
+        let key = [Value::Node(0), Value::Node(7)];
+        group.bench_with_input(BenchmarkId::new("probe", size), &size, |b, _| {
+            b.iter(|| {
+                table
+                    .probe(black_box(&[0, 1]), black_box(&key))
+                    .expect("index exists")
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_filter", size), &size, |b, _| {
+            b.iter(|| {
+                table
+                    .scan()
+                    .filter(|t| t.values[0] == black_box(&key)[1])
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Index maintenance cost: inserting into an indexed vs. unindexed table.
+fn bench_index_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_maintenance");
+    for &indexed in &[false, true] {
+        let label = if indexed { "indexed" } else { "plain" };
+        group.bench_function(BenchmarkId::new("insert_1k", label), |b| {
+            b.iter(|| {
+                let t = filled_table(1024, indexed);
+                black_box(t.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Plan compilation at program load: per-trigger plans and the whole-program
+/// compile (plans + index demands) for the heaviest workload.
+fn bench_plan_compilation(c: &mut Criterion) {
+    let program = programs::path_vector().normalize();
+    let pv4 = program
+        .rules
+        .iter()
+        .find(|r| r.label == "pv4")
+        .expect("pv4 exists")
+        .clone();
+    c.bench_function("compile_trigger_plan_pv4", |b| {
+        b.iter(|| compile_trigger_plan(black_box(&pv4), 0))
+    });
+    c.bench_function("compile_program_plans_pathvector", |b| {
+        b.iter(|| ProgramPlans::compile(black_box(&program)))
+    });
+}
+
+criterion_group!(
+    joins,
+    bench_probe_vs_scan,
+    bench_index_maintenance,
+    bench_plan_compilation
+);
+criterion_main!(joins);

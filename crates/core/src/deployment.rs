@@ -227,6 +227,7 @@ impl DeploymentBuilder {
             aggregate_provenance: false,
             max_steps: self.max_steps,
             shards: ShardConfig::with_shards(self.shards),
+            ..EngineConfig::default()
         };
         let executed = match self.mode {
             ProvenanceMode::None | ProvenanceMode::ValueBdd => program.clone(),

@@ -436,6 +436,39 @@ mod tests {
     }
 
     #[test]
+    fn rewritten_programs_compile_join_plans_with_index_demands() {
+        // The derivation rules carry the original multi-atom bodies, so the
+        // rewritten program must demand the same hot-path indexes as the
+        // original — the provenance overhead must not reintroduce scans.
+        use exspan_ndlog::plan::ProgramPlans;
+        let original = ProgramPlans::compile(&programs::path_vector().normalize());
+        let rewritten = ProgramPlans::compile(
+            &provenance_rewrite(&programs::path_vector(), RewriteOptions::default()).normalize(),
+        );
+        let path = RelId::intern("path");
+        let original_path = original.demands.get(&path).expect("path indexed");
+        let rewritten_path = rewritten.demands.get(&path).expect("path still indexed");
+        assert!(
+            original_path.is_subset(rewritten_path),
+            "rewrite lost index demands: {original_path:?} vs {rewritten_path:?}"
+        );
+        // The aggregate rules survive the rewrite untouched, so their group
+        // re-enumeration plans are compiled for the rewritten program too.
+        assert!(!rewritten.aggregates.is_empty());
+        // And the same holds under centralized mirroring.
+        let centralized = ProgramPlans::compile(
+            &provenance_rewrite(
+                &programs::path_vector(),
+                RewriteOptions {
+                    centralize_at: Some(0),
+                },
+            )
+            .normalize(),
+        );
+        assert!(centralized.demands.contains_key(&path));
+    }
+
+    #[test]
     fn capitalize_behaviour() {
         assert_eq!(capitalize("pathCost"), "PathCost");
         assert_eq!(capitalize("ePacket"), "EPacket");

@@ -116,11 +116,14 @@ impl RuleExecEntry {
 }
 
 /// Returns all `prov` entries for `vid` stored at `node`.
+///
+/// Reads the table through the shared-handle path: parsing borrows each row
+/// instead of deep-copying the whole `prov` table per query step.
 pub fn prov_entries(engine: &Engine, node: NodeId, vid: Vid) -> Vec<ProvEntry> {
     engine
-        .tuples(node, "prov")
+        .tuples_shared(node, "prov")
         .iter()
-        .filter_map(ProvEntry::from_tuple)
+        .filter_map(|t| ProvEntry::from_tuple(t))
         .filter(|e| e.vid == vid)
         .collect()
 }
@@ -128,9 +131,9 @@ pub fn prov_entries(engine: &Engine, node: NodeId, vid: Vid) -> Vec<ProvEntry> {
 /// Returns the `ruleExec` entry for `rid` stored at `node`, if any.
 pub fn rule_exec_entry(engine: &Engine, node: NodeId, rid: Rid) -> Option<RuleExecEntry> {
     engine
-        .tuples(node, "ruleExec")
+        .tuples_shared(node, "ruleExec")
         .iter()
-        .filter_map(RuleExecEntry::from_tuple)
+        .filter_map(|t| RuleExecEntry::from_tuple(t))
         .find(|e| e.rid == rid)
 }
 
@@ -138,18 +141,18 @@ pub fn rule_exec_entry(engine: &Engine, node: NodeId, rid: Rid) -> Option<RuleEx
 /// and the paper-example reproduction of Table 1).
 pub fn all_prov_entries(engine: &Engine) -> Vec<ProvEntry> {
     engine
-        .tuples_everywhere("prov")
+        .tuples_everywhere_shared("prov")
         .iter()
-        .filter_map(ProvEntry::from_tuple)
+        .filter_map(|t| ProvEntry::from_tuple(t))
         .collect()
 }
 
 /// Returns every `ruleExec` entry stored anywhere in the network (Table 2).
 pub fn all_rule_exec_entries(engine: &Engine) -> Vec<RuleExecEntry> {
     engine
-        .tuples_everywhere("ruleExec")
+        .tuples_everywhere_shared("ruleExec")
         .iter()
-        .filter_map(RuleExecEntry::from_tuple)
+        .filter_map(|t| RuleExecEntry::from_tuple(t))
         .collect()
 }
 

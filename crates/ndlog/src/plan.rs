@@ -1,0 +1,519 @@
+//! Compile-time join planning: turning rule bodies into indexed probe plans.
+//!
+//! The engine evaluates a rule body by joining the trigger delta against the
+//! stored tables of the remaining body atoms.  Done naïvely, every level of
+//! that join scans a whole table and unifies against every row — O(|table|)
+//! per atom and O(|table|^k) per trigger for a k-atom body.  This module
+//! compiles, once at program-load time, a [`JoinPlan`] for every
+//! `(rule, trigger atom)` pair (and, for aggregate rules, for the group
+//! re-enumeration) that the runtime executes instead:
+//!
+//! * For each remaining body atom, given the variables bound so far, the plan
+//!   records which argument positions are **bound** — the probe key — and how
+//!   to obtain each key value at runtime (a term to evaluate, or the
+//!   evaluating node for the localized location attribute).
+//! * Atoms are ordered **greedily**: at each level the planner picks the atom
+//!   with the most bound positions, so the most selective probes run first
+//!   and the intermediate result stays small.
+//! * The union of `(relation, key columns)` pairs appearing in any plan is
+//!   the program's [index demand](ProgramPlans::demands): the storage layer
+//!   maintains exactly those secondary indexes, nothing more.
+//!
+//! Planning is purely syntactic — it looks only at the AST — so the executor
+//! still unifies every probed candidate: a probe narrows the candidate set
+//! (always to a superset of the matching rows), it never replaces the match.
+//! Determinism contract: the storage layer guarantees `probe()` yields
+//! candidates in the same canonical order as `scan()`, and the executor
+//! restores body-atom enumeration order for reordered plans, so a planned run
+//! is bit-identical to the naïve scan evaluation.
+
+use crate::ast::{Atom, BodyItem, HeadArg, Program, Rule, Term};
+use crate::is_event_predicate;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use exspan_types::{RelId, Symbol};
+
+/// How one probe-key value is obtained at execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySource {
+    /// Evaluate this term under the current bindings (a constant, or a
+    /// variable the plan proved is bound by the time this level runs).
+    Term(Term),
+    /// The location attribute equals the node the rule is evaluated at.
+    /// Used by the aggregate re-enumeration paths, which restrict every
+    /// candidate to the local node regardless of variable bindings.
+    CurrentNode,
+}
+
+/// One level of a join plan: the body atom joined at this depth and the
+/// columns (over the full attribute list, 0 = location) that are bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinLevel {
+    /// Index of this atom within the rule body (`Rule::body`).
+    pub body_idx: usize,
+    /// Relation joined at this level.
+    pub relation: RelId,
+    /// Bound columns forming the probe key, ascending.  Empty means no
+    /// selective position is bound: the executor falls back to a full scan.
+    pub cols: Vec<usize>,
+    /// How to compute each key value, parallel to `cols`.
+    pub sources: Vec<KeySource>,
+}
+
+impl JoinLevel {
+    /// Whether this level probes an index (vs. scanning the table).
+    pub fn probes(&self) -> bool {
+        !self.cols.is_empty()
+    }
+}
+
+/// A compiled join order for one rule evaluation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Join levels in execution order (greedy most-bound-first).
+    pub levels: Vec<JoinLevel>,
+    /// Whether execution order equals body-atom order.  When true the
+    /// executor's result sequence is already canonical and the
+    /// order-restoring sort can be skipped.
+    pub in_body_order: bool,
+    /// True when some joined atom is an event predicate: transient state is
+    /// never materialized, so the join can produce no results at all.
+    pub dead: bool,
+}
+
+impl JoinPlan {
+    /// The `(relation, key columns)` secondary indexes this plan probes.
+    pub fn index_demands(&self) -> impl Iterator<Item = (RelId, &[usize])> {
+        self.levels
+            .iter()
+            .filter(|l| l.probes())
+            .map(|l| (l.relation, l.cols.as_slice()))
+    }
+}
+
+/// Computes the probe columns of `atom` given the statically-bound variable
+/// set.  `loc_is_node` marks the aggregate evaluation contexts, where every
+/// candidate is filtered to the evaluating node before unification.
+fn bound_cols(atom: &Atom, bound: &BTreeSet<Symbol>, loc_is_node: bool) -> JoinLevel {
+    let mut cols = Vec::new();
+    let mut sources = Vec::new();
+    if loc_is_node {
+        cols.push(0);
+        sources.push(KeySource::CurrentNode);
+    } else {
+        let loc_bound = match &atom.location {
+            Term::Var(v) => bound.contains(v),
+            // Only node-valued constants can match a location; anything else
+            // never unifies, which the per-candidate check handles.
+            Term::Const(c) => c.as_node().is_ok() || c.as_int().is_ok(),
+        };
+        if loc_bound {
+            cols.push(0);
+            sources.push(KeySource::Term(atom.location.clone()));
+        }
+    }
+    for (i, term) in atom.args.iter().enumerate() {
+        let is_bound = match term {
+            Term::Var(v) => bound.contains(v),
+            Term::Const(_) => true,
+        };
+        if is_bound {
+            cols.push(i + 1);
+            sources.push(KeySource::Term(term.clone()));
+        }
+    }
+    // A location-only key is not selective: tables are already partitioned
+    // per (node, relation), so probing on the location alone would win
+    // nothing over a scan while still costing index maintenance.
+    if cols == [0] {
+        cols.clear();
+        sources.clear();
+    }
+    JoinLevel {
+        body_idx: 0, // caller fills in
+        relation: atom.relation,
+        cols,
+        sources,
+    }
+}
+
+/// Greedily orders `atoms` (pairs of body index and atom), starting from the
+/// `bound` variable set, and compiles the probe spec of every level.
+fn greedy_levels(
+    atoms: &[(usize, &Atom)],
+    mut bound: BTreeSet<Symbol>,
+    loc_is_node: bool,
+) -> Vec<JoinLevel> {
+    let mut remaining: Vec<(usize, &Atom)> = atoms.to_vec();
+    let mut levels = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Score = number of bound non-location positions; ties resolve to the
+        // earliest body atom so planning is deterministic.
+        let mut best = 0usize;
+        let mut best_score: Option<usize> = None;
+        for (i, (_, atom)) in remaining.iter().enumerate() {
+            let level = bound_cols(atom, &bound, loc_is_node);
+            let score = level.cols.iter().filter(|&&c| c > 0).count();
+            let improves = match best_score {
+                None => true,
+                Some(b) => score > b,
+            };
+            if improves {
+                best = i;
+                best_score = Some(score);
+            }
+        }
+        let (body_idx, atom) = remaining.remove(best);
+        let mut level = bound_cols(atom, &bound, loc_is_node);
+        level.body_idx = body_idx;
+        bound.extend(atom.variables());
+        levels.push(level);
+    }
+    levels
+}
+
+fn finish_plan(levels: Vec<JoinLevel>, atoms: &[(usize, &Atom)]) -> JoinPlan {
+    let in_body_order = levels.windows(2).all(|w| w[0].body_idx < w[1].body_idx);
+    let dead = atoms
+        .iter()
+        .any(|(_, a)| is_event_predicate(a.relation.as_str()));
+    JoinPlan {
+        levels,
+        in_body_order,
+        dead,
+    }
+}
+
+/// Compiles the join plan for `rule` when a delta arrives at body atom
+/// `trigger_idx`: the trigger's variables (location included) are bound by
+/// unification before any stored table is touched.
+pub fn compile_trigger_plan(rule: &Rule, trigger_idx: usize) -> JoinPlan {
+    let bound = match &rule.body[trigger_idx] {
+        BodyItem::Atom(a) => a.variables(),
+        _ => BTreeSet::new(),
+    };
+    let atoms: Vec<(usize, &Atom)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, item)| match item {
+            BodyItem::Atom(a) if i != trigger_idx => Some((i, a)),
+            _ => None,
+        })
+        .collect();
+    let levels = greedy_levels(&atoms, bound, false);
+    finish_plan(levels, &atoms)
+}
+
+/// Compiles the full-body evaluation plan used by the aggregate paths, with
+/// `initially_bound` variables pre-bound (the group key for a group
+/// recomputation, nothing for the all-groups enumeration).  Every candidate
+/// in these contexts is restricted to the evaluating node, so the location
+/// column is always probeable.
+pub fn compile_body_plan(rule: &Rule, initially_bound: &BTreeSet<Symbol>) -> JoinPlan {
+    let atoms: Vec<(usize, &Atom)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, item)| match item {
+            BodyItem::Atom(a) => Some((i, a)),
+            _ => None,
+        })
+        .collect();
+    let levels = greedy_levels(&atoms, initially_bound.clone(), true);
+    finish_plan(levels, &atoms)
+}
+
+/// The variables an aggregate rule's group key binds before re-enumeration:
+/// the head location variable plus every non-aggregate head argument
+/// variable (see the runtime's `group_bindings`).
+pub fn group_bound_vars(rule: &Rule) -> BTreeSet<Symbol> {
+    let mut bound = BTreeSet::new();
+    let Some((_, _, agg_pos)) = rule.head.aggregate() else {
+        return bound;
+    };
+    if let Term::Var(v) = &rule.head.location {
+        bound.insert(*v);
+    }
+    for (i, arg) in rule.head.args.iter().enumerate() {
+        if i == agg_pos {
+            continue;
+        }
+        if let HeadArg::Term(Term::Var(v)) = arg {
+            bound.insert(*v);
+        }
+    }
+    bound
+}
+
+/// The head-table columns identifying one aggregate group's output row: the
+/// location plus every non-aggregate argument position.  Used to look up the
+/// currently stored output with one keyed probe instead of a scan.
+pub fn group_output_cols(rule: &Rule) -> Vec<usize> {
+    let Some((_, _, agg_pos)) = rule.head.aggregate() else {
+        return Vec::new();
+    };
+    let mut cols = vec![0];
+    for i in 0..rule.head.args.len() {
+        if i != agg_pos {
+            cols.push(i + 1);
+        }
+    }
+    cols
+}
+
+/// The compiled plans of an aggregate rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggRulePlans {
+    /// Re-enumeration of one group (group-key variables pre-bound).
+    pub group: JoinPlan,
+    /// Enumeration of every group at a node (nothing pre-bound).
+    pub all_groups: JoinPlan,
+    /// Probe columns locating the group's stored output in the head table
+    /// (empty when the head has no non-aggregate structure beyond the
+    /// location, in which case the executor scans).
+    pub output_cols: Vec<usize>,
+}
+
+/// Every compiled plan of a program, plus the union of index demands.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramPlans {
+    /// `(rule index, trigger body-atom index)` → plan, for non-aggregate
+    /// rules.
+    pub triggers: HashMap<(usize, usize), JoinPlan>,
+    /// Rule index → aggregate plans, for aggregate rules.
+    pub aggregates: HashMap<usize, AggRulePlans>,
+    /// Relation → set of demanded secondary-index column lists.
+    pub demands: BTreeMap<RelId, BTreeSet<Vec<usize>>>,
+}
+
+impl ProgramPlans {
+    /// Compiles plans for every `(rule, trigger atom)` pair and every
+    /// aggregate rule of `program`, collecting the index demands.
+    pub fn compile(program: &Program) -> Self {
+        let mut out = ProgramPlans::default();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if rule.is_aggregate() {
+                let group = compile_body_plan(rule, &group_bound_vars(rule));
+                let all_groups = compile_body_plan(rule, &BTreeSet::new());
+                let output_cols = group_output_cols(rule);
+                // A location-only output key degenerates to a scan (cf.
+                // `bound_cols`).
+                let output_cols = if output_cols.len() > 1 {
+                    out.demand(rule.head.relation, output_cols.clone());
+                    output_cols
+                } else {
+                    Vec::new()
+                };
+                out.collect_demands(&group);
+                out.collect_demands(&all_groups);
+                out.aggregates.insert(
+                    ri,
+                    AggRulePlans {
+                        group,
+                        all_groups,
+                        output_cols,
+                    },
+                );
+            } else {
+                for (ai, item) in rule.body.iter().enumerate() {
+                    if !matches!(item, BodyItem::Atom(_)) {
+                        continue;
+                    }
+                    let plan = compile_trigger_plan(rule, ai);
+                    out.collect_demands(&plan);
+                    out.triggers.insert((ri, ai), plan);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds scan-only plans in body-atom order: execution is byte-identical
+    /// to the historical nested-loop evaluation, and no index is maintained.
+    /// This is the oracle side of the differential tests.
+    pub fn disabled(program: &Program) -> Self {
+        let mut out = ProgramPlans::default();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if rule.is_aggregate() {
+                out.aggregates.insert(
+                    ri,
+                    AggRulePlans {
+                        group: scan_only_body_plan(rule),
+                        all_groups: scan_only_body_plan(rule),
+                        output_cols: Vec::new(),
+                    },
+                );
+            } else {
+                for (ai, item) in rule.body.iter().enumerate() {
+                    if !matches!(item, BodyItem::Atom(_)) {
+                        continue;
+                    }
+                    out.triggers
+                        .insert((ri, ai), scan_only_trigger_plan(rule, ai));
+                }
+            }
+        }
+        out
+    }
+
+    fn demand(&mut self, relation: RelId, cols: Vec<usize>) {
+        self.demands.entry(relation).or_default().insert(cols);
+    }
+
+    fn collect_demands(&mut self, plan: &JoinPlan) {
+        if plan.dead {
+            return;
+        }
+        let demands: Vec<(RelId, Vec<usize>)> =
+            plan.index_demands().map(|(r, c)| (r, c.to_vec())).collect();
+        for (relation, cols) in demands {
+            self.demand(relation, cols);
+        }
+    }
+}
+
+fn strip_probes(mut plan: JoinPlan) -> JoinPlan {
+    for level in &mut plan.levels {
+        level.cols.clear();
+        level.sources.clear();
+    }
+    plan.levels.sort_by_key(|l| l.body_idx);
+    plan.in_body_order = true;
+    plan
+}
+
+fn scan_only_trigger_plan(rule: &Rule, trigger_idx: usize) -> JoinPlan {
+    strip_probes(compile_trigger_plan(rule, trigger_idx))
+}
+
+fn scan_only_body_plan(rule: &Rule) -> JoinPlan {
+    strip_probes(compile_body_plan(rule, &BTreeSet::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    fn rule<'a>(p: &'a Program, label: &str) -> (usize, &'a Rule) {
+        p.rules
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.label == label)
+            .unwrap_or_else(|| panic!("no rule {label}"))
+    }
+
+    #[test]
+    fn trigger_plan_probes_fully_bound_atom() {
+        // pv4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+        let p = programs::path_vector();
+        let (_, pv4) = rule(&p, "pv4");
+        // Triggered by bestPathCost (atom 0): S, D, C bound -> probe path on
+        // location, destination and cost (columns 0, 1, 3; P at 2 is free).
+        let plan = compile_trigger_plan(pv4, 0);
+        assert_eq!(plan.levels.len(), 1);
+        assert_eq!(plan.levels[0].cols, vec![0, 1, 3]);
+        assert!(plan.levels[0].probes());
+        assert!(plan.in_body_order);
+        assert!(!plan.dead);
+        // Triggered by path (atom 1): bestPathCost fully bound.
+        let plan = compile_trigger_plan(pv4, 1);
+        assert_eq!(plan.levels[0].cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn location_only_keys_degenerate_to_scans() {
+        // sp2 pathCost(@S,D,C) :- link(@Z,S,C1), bestPathCost(@Z,D,C2), ...
+        // Triggered by link, only Z is bound in bestPathCost -> scan.
+        let p = programs::mincost();
+        let (_, sp2) = rule(&p, "sp2");
+        let plan = compile_trigger_plan(sp2, 0);
+        assert_eq!(plan.levels.len(), 1);
+        assert!(!plan.levels[0].probes());
+    }
+
+    #[test]
+    fn aggregate_group_plan_probes_group_columns() {
+        // pv3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C): the group key binds
+        // S and D, so re-enumeration probes path on (location, D).
+        let p = programs::path_vector();
+        let (_, pv3) = rule(&p, "pv3");
+        let bound = group_bound_vars(pv3);
+        assert!(bound.contains("S") && bound.contains("D"));
+        let plan = compile_body_plan(pv3, &bound);
+        assert_eq!(plan.levels[0].cols, vec![0, 1]);
+        assert_eq!(plan.levels[0].sources[0], KeySource::CurrentNode);
+        // With nothing pre-bound the location-only key degenerates to a scan.
+        let all = compile_body_plan(pv3, &BTreeSet::new());
+        assert!(!all.levels[0].probes());
+        // The stored output of a group is located by (location, D).
+        assert_eq!(group_output_cols(pv3), vec![0, 1]);
+    }
+
+    #[test]
+    fn program_plans_collect_demands() {
+        let plans = ProgramPlans::compile(&programs::path_vector());
+        let path = RelId::intern("path");
+        let demands = plans.demands.get(&path).expect("path must be indexed");
+        assert!(demands.contains(&vec![0, 1])); // pv3 group re-enumeration
+        assert!(demands.contains(&vec![0, 1, 3])); // pv4 probe from bestPathCost
+        let best = RelId::intern("bestPathCost");
+        assert!(plans.demands.contains_key(&best));
+        // Aggregate rules appear in `aggregates`, not `triggers`.
+        let (pv3_idx, _) = programs::path_vector()
+            .rules
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.label == "pv3")
+            .map(|(i, r)| (i, r.clone()))
+            .unwrap();
+        assert!(plans.aggregates.contains_key(&pv3_idx));
+    }
+
+    #[test]
+    fn disabled_plans_are_scan_only_in_body_order() {
+        let p = programs::path_vector();
+        let plans = ProgramPlans::disabled(&p);
+        assert!(plans.demands.is_empty());
+        for plan in plans.triggers.values() {
+            assert!(plan.in_body_order);
+            assert!(plan.levels.iter().all(|l| !l.probes()));
+        }
+        for agg in plans.aggregates.values() {
+            assert!(agg.group.in_body_order && agg.output_cols.is_empty());
+        }
+    }
+
+    #[test]
+    fn event_predicate_atoms_mark_the_plan_dead() {
+        // f1 ePacket(@Next,...) :- ePacket(@N,...), bestHop(@N,Dst,Next), ...
+        let p = programs::packet_forward();
+        let (_, f1) = rule(&p, "f1");
+        // Triggered by bestHop, the remaining atom is the transient ePacket:
+        // nothing is ever materialized to join against.
+        let plan = compile_trigger_plan(f1, 1);
+        assert!(plan.dead);
+    }
+
+    #[test]
+    fn greedy_order_prefers_most_bound_atoms() {
+        // r out(@S,A,B) :- t1(@S,A), t2(@S,A,B), t3(@S,B,C).
+        // Triggered by t1 (binds S, A): t2 has one bound arg (A), t3 none ->
+        // t2 first; after t2 binds B, t3 has one bound arg.
+        let text = r#"
+            materialize(t1, 2, keys(0,1)).
+            materialize(t2, 3, keys(0,1,2)).
+            materialize(t3, 3, keys(0,1,2)).
+            r1 out(@S,A,B) :- t1(@S,A), t3(@S,B,C), t2(@S,A,B).
+        "#;
+        let p = crate::parse_program("greedy", text).unwrap();
+        let plan = compile_trigger_plan(&p.rules[0], 0);
+        // t2 (body idx 2) is more bound than t3 (body idx 1): plan reorders.
+        assert_eq!(plan.levels[0].body_idx, 2);
+        assert_eq!(plan.levels[0].cols, vec![0, 1]);
+        assert_eq!(plan.levels[1].body_idx, 1);
+        assert_eq!(plan.levels[1].cols, vec![0, 1]);
+        assert!(!plan.in_body_order);
+    }
+}

@@ -36,6 +36,7 @@ use crate::shard::{RuleData, Shard};
 pub use crate::shard::{ShardConfig, SharedPolicy};
 use exspan_ndlog::ast::{BodyItem, Program};
 use exspan_ndlog::eval::FuncRegistry;
+use exspan_ndlog::plan::ProgramPlans;
 use exspan_netsim::{EventKey, RoutedEvent, ShardView, Simulator, Topology, TrafficStats};
 use exspan_types::{wire, NodeId, RelId, Symbol, Tuple};
 use std::collections::HashMap;
@@ -114,6 +115,12 @@ pub struct EngineConfig {
     pub max_steps: u64,
     /// How many shards (worker threads) execute the protocol.
     pub shards: ShardConfig,
+    /// When `true` (the default), rule bodies execute compiled join plans
+    /// over maintained secondary indexes (see [`exspan_ndlog::plan`]).  When
+    /// `false`, evaluation falls back to body-ordered full-table scans — the
+    /// historical nested-loop path, kept as the oracle for the differential
+    /// tests.  Both modes are bit-identical by construction.
+    pub join_planning: bool,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +129,7 @@ impl Default for EngineConfig {
             aggregate_provenance: false,
             max_steps: 200_000_000,
             shards: ShardConfig::sequential(),
+            join_planning: true,
         }
     }
 }
@@ -161,11 +169,25 @@ impl Engine {
             .iter()
             .map(|t| (t.relation, t.keys.clone()))
             .collect();
+        // Compile the per-(rule, trigger) join plans and collect the
+        // secondary indexes they demand; every shard's table store maintains
+        // exactly those indexes.
+        let plans = if config.join_planning {
+            ProgramPlans::compile(&program)
+        } else {
+            ProgramPlans::disabled(&program)
+        };
+        let index_demands: HashMap<RelId, Vec<Vec<usize>>> = plans
+            .demands
+            .iter()
+            .map(|(rel, cols)| (*rel, cols.iter().cloned().collect()))
+            .collect();
         let num_shards = config.shards.num_shards.max(1);
         let assignment = Arc::new(topology.partition_rendezvous(num_shards));
         let data = Arc::new(RuleData {
             rules: program.rules,
             triggers,
+            plans,
             agg_recompute: Symbol::intern(AGG_RECOMPUTE_EVENT),
             funcs: FuncRegistry::new(),
             config,
@@ -180,7 +202,7 @@ impl Engine {
                         shard_id: i as u16,
                     });
                 }
-                Shard::new(Arc::clone(&data), keys.clone(), sim)
+                Shard::new(Arc::clone(&data), keys.clone(), index_demands.clone(), sim)
             })
             .collect();
         Engine {
@@ -267,20 +289,39 @@ impl Engine {
         self.topo_dirty = false;
     }
 
-    /// Visible tuples of `relation` at `node`.
+    /// Visible tuples of `relation` at `node` (deep copies; hot callers
+    /// should prefer [`Engine::tuples_shared`]).
     pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
         self.shards[self.owner(node)]
             .store
             .tuples(node, RelId::intern(relation))
     }
 
-    /// Visible tuples of `relation` across all nodes.
+    /// Visible tuples of `relation` at `node` as shared handles (no
+    /// attribute-vector copies).
+    pub fn tuples_shared(&self, node: NodeId, relation: &str) -> Vec<Arc<Tuple>> {
+        self.shards[self.owner(node)]
+            .store
+            .tuples_shared(node, RelId::intern(relation))
+    }
+
+    /// Visible tuples of `relation` across all nodes (deep copies; hot
+    /// callers should prefer [`Engine::tuples_everywhere_shared`]).
     pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
+        self.tuples_everywhere_shared(relation)
+            .into_iter()
+            .map(|t| (*t).clone())
+            .collect()
+    }
+
+    /// Visible tuples of `relation` across all nodes, as shared handles
+    /// sorted by tuple content.
+    pub fn tuples_everywhere_shared(&self, relation: &str) -> Vec<Arc<Tuple>> {
         let rel = RelId::intern(relation);
-        let mut out: Vec<Tuple> = self
+        let mut out: Vec<Arc<Tuple>> = self
             .shards
             .iter()
-            .flat_map(|s| s.store.tuples_everywhere(rel))
+            .flat_map(|s| s.store.tuples_everywhere_shared(rel))
             .collect();
         out.sort();
         out

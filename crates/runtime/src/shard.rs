@@ -26,8 +26,10 @@ use crate::table::{DeleteEffect, InsertEffect, TableStore};
 use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, HeadArg, Rule, Term};
 use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, FuncRegistry};
 use exspan_ndlog::is_event_predicate;
+use exspan_ndlog::plan::{JoinLevel, JoinPlan, KeySource, ProgramPlans};
 use exspan_netsim::{RoutedEvent, Simulator};
 use exspan_types::{wire, NodeId, RelId, Symbol, Tuple, Value};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -70,11 +72,18 @@ impl Default for ShardConfig {
 /// An annotation policy shared between the coordinator and every shard.
 pub type SharedPolicy = Arc<Mutex<dyn AnnotationPolicy>>;
 
+/// Leaf callback of the plan executor: receives the shard, the completed
+/// bindings and the grounded candidate tuples in body-atom slots.
+type PlanSink<'a> = dyn FnMut(&Shard, Bindings, &[Option<Arc<Tuple>>]) + 'a;
+
 /// Rule program data shared (read-only) by all shards.
 pub(crate) struct RuleData {
     pub rules: Vec<Rule>,
     /// relation -> list of (rule index, trigger atom index)
     pub triggers: HashMap<RelId, Vec<(usize, usize)>>,
+    /// Compiled join plans for every (rule, trigger) pair and aggregate rule,
+    /// plus the secondary-index demands the table stores maintain.
+    pub plans: ProgramPlans,
     /// Interned name of the internal aggregate-recompute event.
     pub agg_recompute: RelId,
     pub funcs: FuncRegistry,
@@ -102,11 +111,12 @@ impl Shard {
     pub(crate) fn new(
         data: Arc<RuleData>,
         keys: HashMap<RelId, Vec<usize>>,
+        index_demands: HashMap<RelId, Vec<Vec<usize>>>,
         sim: Simulator<Payload>,
     ) -> Self {
         Shard {
             data,
-            store: TableStore::new(keys),
+            store: TableStore::with_indexes(keys, index_demands),
             sim,
             policy: None,
             agg_prov: HashMap::new(),
@@ -269,7 +279,7 @@ impl Shard {
             if rule.is_aggregate() {
                 self.schedule_aggregate_recompute(rule, node, tuple, atom_idx);
             } else {
-                self.fire_rule(rule, node, tuple, atom_idx, insert);
+                self.fire_rule(rule, rule_idx, node, tuple, atom_idx, insert);
             }
         }
     }
@@ -279,23 +289,26 @@ impl Shard {
     fn fire_rule(
         &mut self,
         rule: &Rule,
+        rule_idx: usize,
         node: NodeId,
         tuple: &Arc<Tuple>,
         atom_idx: usize,
         insert: bool,
     ) {
-        let derivations = self.evaluate_rule_with_trigger(rule, node, tuple, atom_idx);
+        let derivations = self.evaluate_rule_with_trigger(rule, rule_idx, node, tuple, atom_idx);
         for (inputs, head) in derivations {
             self.emit_derivation(rule, node, &inputs, head, insert);
         }
     }
 
-    /// Evaluates a rule body with `tuple` bound at `atom_idx`, returning the
-    /// grounded input tuples (in body-atom order) and the head tuple for each
-    /// satisfying assignment.
+    /// Evaluates a rule body with `tuple` bound at `atom_idx` by executing
+    /// the compiled join plan, returning the grounded input tuples (in
+    /// body-atom order) and the head tuple for each satisfying assignment —
+    /// in the exact sequence the historical nested-loop scan produced.
     fn evaluate_rule_with_trigger(
         &self,
         rule: &Rule,
+        rule_idx: usize,
         node: NodeId,
         tuple: &Arc<Tuple>,
         atom_idx: usize,
@@ -315,72 +328,99 @@ impl Shard {
             bindings.insert(*v, Value::Node(node));
         }
 
-        let other_atoms: Vec<(usize, &Atom)> = rule
-            .body
-            .iter()
-            .enumerate()
-            .filter_map(|(i, item)| match item {
-                BodyItem::Atom(a) if i != atom_idx => Some((i, a)),
-                _ => None,
-            })
-            .collect();
+        let Some(plan) = self.data.plans.triggers.get(&(rule_idx, atom_idx)) else {
+            return Vec::new();
+        };
+        // Transient event atoms are never materialized: nothing to join.
+        if plan.dead {
+            return Vec::new();
+        }
 
-        let mut results = Vec::new();
-        let mut partial: Vec<(usize, Arc<Tuple>)> = vec![(atom_idx, Arc::clone(tuple))];
-        self.join_remaining(
+        let mut results: Vec<(Vec<Arc<Tuple>>, Tuple)> = Vec::new();
+        let mut slots: Vec<Option<Arc<Tuple>>> = vec![None; rule.body.len()];
+        slots[atom_idx] = Some(Arc::clone(tuple));
+        self.run_plan(
             rule,
+            plan,
             node,
-            &other_atoms,
             0,
             bindings,
-            &mut partial,
-            &mut results,
+            &mut slots,
+            false,
+            &mut |shard, bindings, slots| {
+                if let Some((inputs, head)) = shard.finish_rule(rule, bindings, slots) {
+                    results.push((inputs, head));
+                }
+            },
         );
+        if !plan.in_body_order {
+            self.restore_canonical_order(&mut results, |r| &r.0);
+        }
         results
     }
 
+    /// Executes one level of a compiled join plan: probes the demanded index
+    /// when every key column is bound (falling back to a canonical scan
+    /// otherwise) and unifies each candidate, recursing per match.
+    ///
+    /// `local_only` marks the aggregate evaluation contexts, which restrict
+    /// every candidate to the evaluating node.  The sink receives the
+    /// completed bindings and the grounded tuples in body-atom slots.
     #[allow(clippy::too_many_arguments)]
-    fn join_remaining(
+    fn run_plan(
         &self,
         rule: &Rule,
+        plan: &JoinPlan,
         node: NodeId,
-        atoms: &[(usize, &Atom)],
         depth: usize,
         bindings: Bindings,
-        partial: &mut Vec<(usize, Arc<Tuple>)>,
-        results: &mut Vec<(Vec<Arc<Tuple>>, Tuple)>,
+        slots: &mut Vec<Option<Arc<Tuple>>>,
+        local_only: bool,
+        sink: &mut PlanSink<'_>,
     ) {
-        if depth == atoms.len() {
-            if let Some((inputs, head)) = self.finish_rule(rule, node, bindings, partial) {
-                results.push((inputs, head));
-            }
+        if depth == plan.levels.len() {
+            sink(self, bindings, slots);
             return;
         }
-        let (orig_idx, atom) = atoms[depth];
-        // Event predicates are transient: they cannot be joined from storage.
-        if is_event_predicate(atom.relation.as_str()) {
-            return;
-        }
-        let Some(table) = self.store.table(node, atom.relation) else {
+        let level = &plan.levels[depth];
+        let BodyItem::Atom(atom) = &rule.body[level.body_idx] else {
             return;
         };
-        for candidate in table.scan() {
-            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
-                partial.push((orig_idx, Arc::clone(candidate)));
-                self.join_remaining(rule, node, atoms, depth + 1, new_bindings, partial, results);
-                partial.pop();
+        let Some(table) = self.store.table(node, level.relation) else {
+            return;
+        };
+        let mut visit = |candidate: &Arc<Tuple>| {
+            if local_only && candidate.location != node {
+                return;
             }
+            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
+                slots[level.body_idx] = Some(Arc::clone(candidate));
+                self.run_plan(
+                    rule,
+                    plan,
+                    node,
+                    depth + 1,
+                    new_bindings,
+                    slots,
+                    local_only,
+                    sink,
+                );
+                slots[level.body_idx] = None;
+            }
+        };
+        match probe_key(level, node, &bindings) {
+            Some(key) => match table.probe(&level.cols, &key) {
+                Some(iter) => iter.for_each(&mut visit),
+                None => table.scan().for_each(&mut visit),
+            },
+            None => table.scan().for_each(&mut visit),
         }
     }
 
-    /// Applies assignments and constraints, then constructs the head tuple.
-    fn finish_rule(
-        &self,
-        rule: &Rule,
-        _node: NodeId,
-        mut bindings: Bindings,
-        partial: &[(usize, Arc<Tuple>)],
-    ) -> Option<(Vec<Arc<Tuple>>, Tuple)> {
+    /// Applies assignments and constraints over completed bindings,
+    /// returning the fully-bound set (the shared leaf step of both the
+    /// trigger-join and aggregate evaluation paths).
+    fn apply_guards(&self, rule: &Rule, mut bindings: Bindings) -> Option<Bindings> {
         for item in &rule.body {
             match item {
                 BodyItem::Assign(var, expr) => {
@@ -405,11 +445,54 @@ impl Shard {
                 BodyItem::Atom(_) => {}
             }
         }
+        Some(bindings)
+    }
+
+    /// Applies assignments and constraints, then constructs the head tuple.
+    /// The grounded inputs are read out of the body-ordered slots directly —
+    /// no per-derivation copy-and-sort.
+    fn finish_rule(
+        &self,
+        rule: &Rule,
+        bindings: Bindings,
+        slots: &[Option<Arc<Tuple>>],
+    ) -> Option<(Vec<Arc<Tuple>>, Tuple)> {
+        let bindings = self.apply_guards(rule, bindings)?;
         let head = self.build_head(rule, &bindings)?;
-        // Order the grounded inputs by their body-atom position.
-        let mut inputs: Vec<(usize, Arc<Tuple>)> = partial.to_vec();
-        inputs.sort_by_key(|(i, _)| *i);
-        Some((inputs.into_iter().map(|(_, t)| t).collect(), head))
+        Some((slots.iter().flatten().cloned().collect(), head))
+    }
+
+    /// Restores the canonical (body-atom-ordered nested-loop) result
+    /// sequence after a reordered plan enumerated the same satisfying
+    /// assignments in greedy order.  The historical order is lexicographic
+    /// by the candidates' primary row keys per body atom — exactly what
+    /// comparing grounded inputs row-key-wise reconstructs — so emitted
+    /// deltas keep their execution-independent sequence numbers and every
+    /// figure stays byte-identical.
+    fn restore_canonical_order<T>(
+        &self,
+        results: &mut [T],
+        inputs_of: impl Fn(&T) -> &Vec<Arc<Tuple>>,
+    ) {
+        if results.len() < 2 {
+            return;
+        }
+        // Every result grounds the same relation at each body slot, so the
+        // per-slot key specs can be resolved once, not per comparison.
+        let specs: Vec<&[usize]> = inputs_of(&results[0])
+            .iter()
+            .map(|t| self.store.key_spec(t.relation))
+            .collect();
+        results.sort_by(|a, b| {
+            let (a, b) = (inputs_of(a), inputs_of(b));
+            for ((x, y), spec) in a.iter().zip(b.iter()).zip(&specs) {
+                match row_key_cmp(spec, x, y) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            a.len().cmp(&b.len())
+        });
     }
 
     fn build_head(&self, rule: &Rule, bindings: &Bindings) -> Option<Tuple> {
@@ -552,19 +635,24 @@ impl Shard {
             return;
         };
         let data = Arc::clone(&self.data);
-        let Some(rule) = data.rules.iter().find(|r| r.label == label) else {
+        let Some((rule_idx, rule)) = data
+            .rules
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.label == label)
+        else {
             return;
         };
         let Some((func, agg_var, agg_pos)) = rule.head.aggregate() else {
             return;
         };
         if group_key.is_empty() {
-            let groups = self.all_groups(rule, node, agg_pos);
+            let groups = self.all_groups(rule, rule_idx, node, agg_pos);
             for g in groups {
-                self.recompute_group(rule, node, func, agg_var, agg_pos, &g);
+                self.recompute_group(rule, rule_idx, node, func, agg_var, agg_pos, &g);
             }
         } else {
-            self.recompute_group(rule, node, func, agg_var, agg_pos, &group_key);
+            self.recompute_group(rule, rule_idx, node, func, agg_var, agg_pos, &group_key);
         }
     }
 
@@ -590,9 +678,21 @@ impl Shard {
     }
 
     /// Enumerates all group keys derivable at `node` for an aggregate rule.
-    fn all_groups(&self, rule: &Rule, node: NodeId, agg_pos: usize) -> Vec<Vec<Value>> {
+    fn all_groups(
+        &self,
+        rule: &Rule,
+        rule_idx: usize,
+        node: NodeId,
+        agg_pos: usize,
+    ) -> Vec<Vec<Value>> {
+        let plan = self
+            .data
+            .plans
+            .aggregates
+            .get(&rule_idx)
+            .map(|p| &p.all_groups);
         let mut groups: Vec<Vec<Value>> = Vec::new();
-        for (bindings, _inputs) in self.evaluate_rule_body(rule, node, &Bindings::new()) {
+        for (bindings, _inputs) in self.evaluate_rule_body(rule, plan, node, &Bindings::new()) {
             if let Some(k) = self.group_key(rule, &bindings, agg_pos) {
                 if !groups.contains(&k) {
                     groups.push(k);
@@ -624,112 +724,51 @@ impl Shard {
         bindings
     }
 
-    /// Evaluates the whole rule body at `node` under `initial` bindings,
-    /// returning every satisfying assignment with its grounded input tuples.
+    /// Evaluates the whole rule body at `node` under `initial` bindings by
+    /// executing `plan`, returning every satisfying assignment with its
+    /// grounded input tuples (in body-atom order, in the canonical scan
+    /// enumeration sequence).
     fn evaluate_rule_body(
         &self,
         rule: &Rule,
+        plan: Option<&JoinPlan>,
         node: NodeId,
         initial: &Bindings,
     ) -> Vec<(Bindings, Vec<Arc<Tuple>>)> {
-        let atoms: Vec<(usize, &Atom)> = rule
-            .body
-            .iter()
-            .enumerate()
-            .filter_map(|(i, item)| match item {
-                BodyItem::Atom(a) => Some((i, a)),
-                _ => None,
-            })
-            .collect();
-        let mut results = Vec::new();
-        self.enumerate_bindings(
+        let Some(plan) = plan else {
+            return Vec::new();
+        };
+        if plan.dead {
+            return Vec::new();
+        }
+        let mut results: Vec<(Bindings, Vec<Arc<Tuple>>)> = Vec::new();
+        let mut slots: Vec<Option<Arc<Tuple>>> = vec![None; rule.body.len()];
+        self.run_plan(
             rule,
+            plan,
             node,
-            &atoms,
             0,
             initial.clone(),
-            &mut Vec::new(),
-            &mut results,
+            &mut slots,
+            true,
+            &mut |shard, bindings, slots| {
+                if let Some(complete) = shard.apply_guards(rule, bindings) {
+                    results.push((complete, slots.iter().flatten().cloned().collect()));
+                }
+            },
         );
+        if !plan.in_body_order {
+            self.restore_canonical_order(&mut results, |r| &r.1);
+        }
         results
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn enumerate_bindings(
-        &self,
-        rule: &Rule,
-        node: NodeId,
-        atoms: &[(usize, &Atom)],
-        depth: usize,
-        bindings: Bindings,
-        partial: &mut Vec<Arc<Tuple>>,
-        results: &mut Vec<(Bindings, Vec<Arc<Tuple>>)>,
-    ) {
-        if depth == atoms.len() {
-            // Apply assignments and constraints.
-            let mut complete = bindings;
-            for item in &rule.body {
-                match item {
-                    BodyItem::Assign(var, expr) => {
-                        let Ok(value) = eval_expr(expr, &complete, &self.data.funcs) else {
-                            return;
-                        };
-                        if let Some(existing) = complete.get(*var) {
-                            if *existing != value {
-                                return;
-                            }
-                        } else {
-                            complete.insert(*var, value);
-                        }
-                    }
-                    BodyItem::Constraint(op, lhs, rhs) => {
-                        let (Ok(l), Ok(r)) = (
-                            eval_expr(lhs, &complete, &self.data.funcs),
-                            eval_expr(rhs, &complete, &self.data.funcs),
-                        ) else {
-                            return;
-                        };
-                        if !eval_cmp(*op, &l, &r).unwrap_or(false) {
-                            return;
-                        }
-                    }
-                    BodyItem::Atom(_) => {}
-                }
-            }
-            results.push((complete, partial.clone()));
-            return;
-        }
-        let (_, atom) = atoms[depth];
-        if is_event_predicate(atom.relation.as_str()) {
-            return;
-        }
-        let Some(table) = self.store.table(node, atom.relation) else {
-            return;
-        };
-        for candidate in table.scan() {
-            if candidate.location != node {
-                continue;
-            }
-            if let Some(new_bindings) = unify_atom(atom, candidate, &bindings) {
-                partial.push(Arc::clone(candidate));
-                self.enumerate_bindings(
-                    rule,
-                    node,
-                    atoms,
-                    depth + 1,
-                    new_bindings,
-                    partial,
-                    results,
-                );
-                partial.pop();
-            }
-        }
-    }
-
     /// Recomputes one aggregate group and reconciles its output tuple.
+    #[allow(clippy::too_many_arguments)]
     fn recompute_group(
         &mut self,
         rule: &Rule,
+        rule_idx: usize,
         node: NodeId,
         func: AggFunc,
         agg_var: Option<Symbol>,
@@ -737,9 +776,11 @@ impl Shard {
         group_key: &[Value],
     ) {
         // Gather all bindings for this group.  Pre-binding the group-key
-        // variables restricts the enumeration to the affected group.
+        // variables restricts the enumeration to the affected group, and the
+        // compiled group plan turns the restriction into index probes.
         let initial = self.group_bindings(rule, group_key, agg_pos);
-        let all = self.evaluate_rule_body(rule, node, &initial);
+        let plan = self.data.plans.aggregates.get(&rule_idx).map(|p| &p.group);
+        let all = self.evaluate_rule_body(rule, plan, node, &initial);
         let mut in_group: Vec<(Bindings, Vec<Arc<Tuple>>)> = Vec::new();
         for (b, inputs) in all {
             if let Some(k) = self.group_key(rule, &b, agg_pos) {
@@ -795,7 +836,7 @@ impl Shard {
             Value::Int(n) => *n as NodeId,
             _ => return,
         };
-        let current = self.find_group_output(rule, node, group_key, agg_pos);
+        let current = self.find_group_output(rule, rule_idx, node, group_key, agg_pos);
 
         let new_tuple = new_output.as_ref().map(|(value, _)| {
             let mut values = Vec::with_capacity(rule.head.args.len());
@@ -885,10 +926,13 @@ impl Shard {
         }
     }
 
-    /// Finds the currently stored output tuple of an aggregate group.
+    /// Finds the currently stored output tuple of an aggregate group, by
+    /// keyed probe of the head table when the group columns are indexed
+    /// (falling back to the canonical scan otherwise).
     fn find_group_output(
         &self,
         rule: &Rule,
+        rule_idx: usize,
         node: NodeId,
         group_key: &[Value],
         agg_pos: usize,
@@ -899,26 +943,104 @@ impl Shard {
             Value::Int(n) => *n as NodeId,
             _ => return None,
         };
-        table
-            .scan()
-            .find(|t| {
-                if t.location != loc {
-                    return false;
+        let matches = |t: &&Arc<Tuple>| {
+            if t.location != loc {
+                return false;
+            }
+            let mut key_iter = group_key.iter().skip(1);
+            for (i, v) in t.values.iter().enumerate() {
+                if i == agg_pos {
+                    continue;
                 }
-                let mut key_iter = group_key.iter().skip(1);
-                for (i, v) in t.values.iter().enumerate() {
-                    if i == agg_pos {
-                        continue;
-                    }
-                    match key_iter.next() {
-                        Some(k) if k == v => {}
-                        _ => return false,
-                    }
+                match key_iter.next() {
+                    Some(k) if k == v => {}
+                    _ => return false,
                 }
-                true
-            })
-            .cloned()
+            }
+            true
+        };
+        let output_cols = self
+            .data
+            .plans
+            .aggregates
+            .get(&rule_idx)
+            .map(|p| p.output_cols.as_slice())
+            .unwrap_or(&[]);
+        if !output_cols.is_empty() {
+            let mut key = Vec::with_capacity(output_cols.len());
+            key.push(Value::Node(loc));
+            key.extend(group_key.iter().skip(1).cloned());
+            if key.len() == output_cols.len() {
+                if let Some(mut iter) = table.probe(output_cols, &key) {
+                    return iter.find(matches).cloned();
+                }
+            }
+        }
+        table.scan().find(matches).cloned()
     }
+}
+
+/// Compares two tuples of the same relation by their primary row key under
+/// `spec` — the order `scan()` enumerates them in.
+fn row_key_cmp(spec: &[usize], a: &Tuple, b: &Tuple) -> Ordering {
+    debug_assert_eq!(a.relation, b.relation);
+    if spec.is_empty() {
+        return (a.location, &a.values).cmp(&(b.location, &b.values));
+    }
+    for &i in spec {
+        let ord = if i == 0 {
+            a.location.cmp(&b.location)
+        } else {
+            a.values[i - 1].cmp(&b.values[i - 1])
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Builds the probe-key values of one join level under the current bindings.
+///
+/// Returns `None` when the level has no probe columns or a key value cannot
+/// be produced (an unbound variable, or a location constant that is not
+/// node-valued) — the executor then falls back to a scan, where unification
+/// filters exactly as it always did.  A probe key is only ever a *narrowing*:
+/// every candidate it yields is still unified against the atom.
+fn probe_key(level: &JoinLevel, node: NodeId, bindings: &Bindings) -> Option<Vec<Value>> {
+    if level.cols.is_empty() {
+        return None;
+    }
+    let mut key = Vec::with_capacity(level.cols.len());
+    for (&col, source) in level.cols.iter().zip(&level.sources) {
+        let value = match source {
+            KeySource::CurrentNode => Value::Node(node),
+            KeySource::Term(Term::Const(c)) => {
+                if col == 0 {
+                    // The location column stores `Value::Node`; unification
+                    // accepts an integer constant naming the same node.
+                    match c {
+                        Value::Node(n) => Value::Node(*n),
+                        Value::Int(n) => Value::Node(*n as NodeId),
+                        _ => return None,
+                    }
+                } else {
+                    c.clone()
+                }
+            }
+            KeySource::Term(Term::Var(v)) => {
+                let bound = bindings.get(*v)?.clone();
+                if col == 0 && !matches!(bound, Value::Node(_)) {
+                    // A non-node binding can never match a location; let the
+                    // scan + unification path reject every candidate.
+                    return None;
+                }
+                bound
+            }
+        };
+        key.push(value);
+    }
+    Some(key)
 }
 
 /// Unifies an atom against a tuple under existing bindings, returning the

@@ -20,7 +20,7 @@
 //! `(node, relation)` store lookups allocation-free.
 
 use exspan_types::{NodeId, RelId, Tuple, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Effect of an insertion on the visible state of the table.
@@ -55,6 +55,60 @@ struct Row {
     count: usize,
 }
 
+/// An order-preserving secondary index over one column set.
+///
+/// The index maps a projection of the full attribute list (location = column
+/// 0) to the set of *primary row keys* holding that projection.  Because the
+/// entries are primary keys — the exact `BTreeMap` keys of [`Table::rows`] —
+/// iterating one posting set enumerates its rows in the same canonical order
+/// a full [`Table::scan`] would, which is what keeps indexed evaluation
+/// bit-identical to scan evaluation (the probe narrows the candidate set, it
+/// never reorders it).
+#[derive(Debug, Clone)]
+struct SecondaryIndex {
+    /// Indexed columns over the full attribute list, ascending (0 = location).
+    cols: Vec<usize>,
+    /// Projection value → primary keys of the rows carrying it.
+    postings: BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>>,
+}
+
+impl SecondaryIndex {
+    /// The indexed projection of `tuple`, or `None` when the tuple is too
+    /// short to have every indexed column (such a tuple can never match a
+    /// probe built from an atom that binds those positions).
+    fn project(&self, tuple: &Tuple) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(self.cols.len());
+        for &c in &self.cols {
+            if c == 0 {
+                key.push(Value::Node(tuple.location));
+            } else {
+                key.push(tuple.values.get(c - 1)?.clone());
+            }
+        }
+        Some(key)
+    }
+
+    fn insert(&mut self, tuple: &Tuple, row_key: &[Value]) {
+        if let Some(key) = self.project(tuple) {
+            self.postings
+                .entry(key)
+                .or_default()
+                .insert(row_key.to_vec());
+        }
+    }
+
+    fn remove(&mut self, tuple: &Tuple, row_key: &[Value]) {
+        if let Some(key) = self.project(tuple) {
+            if let Some(set) = self.postings.get_mut(&key) {
+                set.remove(row_key);
+                if set.is_empty() {
+                    self.postings.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 /// A materialized table for one relation at one node.
 ///
 /// Rows are kept in a `BTreeMap` ordered by primary key, so scans enumerate
@@ -71,6 +125,9 @@ pub struct Table {
     /// Empty means whole-tuple (set) semantics.
     key: Vec<usize>,
     rows: BTreeMap<Vec<Value>, Row>,
+    /// Order-preserving secondary indexes, one per demanded column set
+    /// (compiled from the program's join plans; see `exspan_ndlog::plan`).
+    indexes: Vec<SecondaryIndex>,
 }
 
 impl Table {
@@ -80,7 +137,39 @@ impl Table {
             relation: relation.into(),
             key,
             rows: BTreeMap::new(),
+            indexes: Vec::new(),
         }
+    }
+
+    /// Adds maintained secondary indexes over the given column sets (builder
+    /// style; columns over the full attribute list, 0 = location).
+    pub fn with_indexes(mut self, demands: impl IntoIterator<Item = Vec<usize>>) -> Self {
+        for cols in demands {
+            self.add_index(cols);
+        }
+        self
+    }
+
+    /// Adds (and backfills) one maintained secondary index.  Adding a column
+    /// set twice is a no-op, as is a column set the primary `rows` map can
+    /// already serve point lookups for (the declared key as a prefix) — a
+    /// secondary index there would duplicate the primary map and double the
+    /// write cost for nothing.
+    pub fn add_index(&mut self, cols: Vec<usize>) {
+        if cols.is_empty()
+            || self.primary_serves(&cols)
+            || self.indexes.iter().any(|ix| ix.cols == cols)
+        {
+            return;
+        }
+        let mut index = SecondaryIndex {
+            cols,
+            postings: BTreeMap::new(),
+        };
+        for (row_key, row) in &self.rows {
+            index.insert(&row.tuple, row_key);
+        }
+        self.indexes.push(index);
     }
 
     /// Creates a table with whole-tuple (set) semantics.
@@ -126,6 +215,9 @@ impl Table {
         let key = self.key_of(tuple);
         match self.rows.get_mut(&key) {
             None => {
+                for ix in &mut self.indexes {
+                    ix.insert(tuple, &key);
+                }
                 self.rows.insert(
                     key,
                     Row {
@@ -147,7 +239,9 @@ impl Table {
                 InsertEffect::Duplicate
             }
             Some(row) => {
-                // Keyed update: replace the old version of this row.
+                // Keyed update: replace the old version of this row.  The
+                // primary key is unchanged but non-key attributes (which
+                // secondary indexes may cover) are not.
                 let old = std::mem::replace(
                     row,
                     Row {
@@ -156,6 +250,10 @@ impl Table {
                     },
                 )
                 .tuple;
+                for ix in &mut self.indexes {
+                    ix.remove(&old, &key);
+                    ix.insert(tuple, &key);
+                }
                 InsertEffect::Replaced(old)
             }
         }
@@ -183,7 +281,10 @@ impl Table {
                     row.count -= 1;
                     DeleteEffect::Decremented
                 } else {
-                    self.rows.remove(&key);
+                    let removed = self.rows.remove(&key).expect("row just matched");
+                    for ix in &mut self.indexes {
+                        ix.remove(&removed.tuple, &key);
+                    }
                     DeleteEffect::Removed
                 }
             }
@@ -209,11 +310,125 @@ impl Table {
         self.rows.values().map(|r| &r.tuple)
     }
 
+    /// Whether the table's declared primary key is a prefix of `cols`, in
+    /// which case a probe over `cols` identifies at most one row and can be
+    /// served from the primary `rows` map with no secondary index at all.
+    fn primary_serves(&self, cols: &[usize]) -> bool {
+        !self.key.is_empty()
+            && cols.len() >= self.key.len()
+            && cols[..self.key.len()] == self.key[..]
+    }
+
+    /// Probes for the rows whose projection at `cols` equals `key`, yielding
+    /// them in the **same canonical order** as [`Table::scan`] (the
+    /// determinism contract of indexed evaluation).  Served from the primary
+    /// map when the declared key is a prefix of `cols` (at most one match),
+    /// from the maintained secondary index over exactly `cols` otherwise.
+    /// Returns `None` when neither can serve — the caller falls back to a
+    /// scan.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Option<ProbeIter<'_>> {
+        if key.len() != cols.len() {
+            // A malformed key can never have been built from these columns;
+            // make the misuse a defined scan fallback rather than a panic.
+            return None;
+        }
+        if self.primary_serves(cols) {
+            let row = self.rows.get(&key[..self.key.len()]).filter(|row| {
+                // Verify the probed columns beyond the primary key.
+                cols[self.key.len()..]
+                    .iter()
+                    .zip(&key[self.key.len()..])
+                    .all(|(&c, v)| match c {
+                        0 => Value::Node(row.tuple.location) == *v,
+                        c => row.tuple.values.get(c - 1) == Some(v),
+                    })
+            });
+            return Some(ProbeIter(ProbeInner::One(row.map(|r| &r.tuple))));
+        }
+        let index = self.indexes.iter().find(|ix| ix.cols == cols)?;
+        Some(ProbeIter(ProbeInner::Postings {
+            rows: &self.rows,
+            keys: index.postings.get(key).map(|set| set.iter()),
+        }))
+    }
+
+    /// Whether a probe over exactly `cols` is answerable without a scan
+    /// (primary-key-served or via a maintained secondary index).
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.primary_serves(cols) || self.indexes.iter().any(|ix| ix.cols == cols)
+    }
+
     /// Collects the visible tuples into a vector (sorted for determinism).
+    /// Deep-copies every row; hot paths should prefer [`Table::tuples_shared`].
     pub fn tuples(&self) -> Vec<Tuple> {
-        let mut out: Vec<Tuple> = self.scan().map(|t| (**t).clone()).collect();
+        self.tuples_shared()
+            .into_iter()
+            .map(|t| (*t).clone())
+            .collect()
+    }
+
+    /// Collects the visible tuples as shared handles (sorted by tuple
+    /// content for determinism), without deep-copying attribute vectors.
+    pub fn tuples_shared(&self) -> Vec<Arc<Tuple>> {
+        let mut out: Vec<Arc<Tuple>> = self.scan().cloned().collect();
         out.sort();
         out
+    }
+
+    #[cfg(test)]
+    fn secondary_index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    #[cfg(test)]
+    fn index_is_consistent(&self) -> bool {
+        self.indexes.iter().all(|ix| {
+            // Every row appears under exactly its projection, and every
+            // posting points at a live row with that projection.
+            let mut expected: BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>> = BTreeMap::new();
+            for (row_key, row) in &self.rows {
+                if let Some(p) = ix.project(&row.tuple) {
+                    expected.entry(p).or_default().insert(row_key.clone());
+                }
+            }
+            expected == ix.postings
+        })
+    }
+}
+
+/// Iterator over the rows matching one probe, in canonical scan order.
+#[derive(Debug)]
+pub struct ProbeIter<'a>(ProbeInner<'a>);
+
+#[derive(Debug)]
+enum ProbeInner<'a> {
+    /// A primary-key-served probe: at most one row, already verified.
+    One(Option<&'a Arc<Tuple>>),
+    /// A secondary-index probe: walk the posting set's primary row keys.
+    Postings {
+        /// The table's primary row map.
+        rows: &'a BTreeMap<Vec<Value>, Row>,
+        /// The matching posting set (`None` when the key has no postings).
+        keys: Option<std::collections::btree_set::Iter<'a, Vec<Value>>>,
+    },
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = &'a Arc<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            ProbeInner::One(row) => row.take(),
+            ProbeInner::Postings { rows, keys } => {
+                let keys = keys.as_mut()?;
+                for key in keys {
+                    if let Some(row) = rows.get(key) {
+                        return Some(&row.tuple);
+                    }
+                }
+                None
+            }
+        }
     }
 }
 
@@ -224,15 +439,36 @@ pub struct TableStore {
     tables: HashMap<(NodeId, RelId), Table>,
     /// Key declarations by relation.
     keys: HashMap<RelId, Vec<usize>>,
+    /// Secondary-index demands by relation (from the compiled join plans);
+    /// every lazily-created table of that relation maintains them.
+    index_demands: HashMap<RelId, Vec<Vec<usize>>>,
 }
 
 impl TableStore {
-    /// Creates an empty store with the given key declarations.
+    /// Creates an empty store with the given key declarations and no
+    /// secondary indexes.
     pub fn new(keys: HashMap<RelId, Vec<usize>>) -> Self {
+        Self::with_indexes(keys, HashMap::new())
+    }
+
+    /// Creates an empty store with key declarations and per-relation
+    /// secondary-index demands.
+    pub fn with_indexes(
+        keys: HashMap<RelId, Vec<usize>>,
+        index_demands: HashMap<RelId, Vec<Vec<usize>>>,
+    ) -> Self {
         TableStore {
             tables: HashMap::new(),
             keys,
+            index_demands,
         }
+    }
+
+    /// The declared primary-key positions of `relation` (empty = whole-tuple
+    /// set semantics).  This is the order `scan()` — and therefore `probe()`
+    /// — enumerates rows in.
+    pub fn key_spec(&self, relation: RelId) -> &[usize] {
+        self.keys.get(&relation).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Returns the table for `(node, relation)`, creating it if necessary.
@@ -241,7 +477,12 @@ impl TableStore {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 let key_spec = self.keys.get(&relation).cloned().unwrap_or_default();
-                e.insert(Table::new(relation, key_spec))
+                let demands = self
+                    .index_demands
+                    .get(&relation)
+                    .cloned()
+                    .unwrap_or_default();
+                e.insert(Table::new(relation, key_spec).with_indexes(demands))
             }
         }
     }
@@ -251,20 +492,38 @@ impl TableStore {
         self.tables.get(&(node, relation))
     }
 
-    /// All visible tuples of `relation` at `node`.
+    /// All visible tuples of `relation` at `node` (deep copies; hot callers
+    /// should prefer [`TableStore::tuples_shared`]).
     pub fn tuples(&self, node: NodeId, relation: RelId) -> Vec<Tuple> {
         self.table(node, relation)
             .map(|t| t.tuples())
             .unwrap_or_default()
     }
 
-    /// All visible tuples of `relation` across every node.
+    /// All visible tuples of `relation` at `node` as shared handles.
+    pub fn tuples_shared(&self, node: NodeId, relation: RelId) -> Vec<Arc<Tuple>> {
+        self.table(node, relation)
+            .map(|t| t.tuples_shared())
+            .unwrap_or_default()
+    }
+
+    /// All visible tuples of `relation` across every node (deep copies; hot
+    /// callers should prefer [`TableStore::tuples_everywhere_shared`]).
     pub fn tuples_everywhere(&self, relation: RelId) -> Vec<Tuple> {
-        let mut out: Vec<Tuple> = self
+        self.tuples_everywhere_shared(relation)
+            .into_iter()
+            .map(|t| (*t).clone())
+            .collect()
+    }
+
+    /// All visible tuples of `relation` across every node, as shared handles
+    /// (sorted by tuple content for determinism).
+    pub fn tuples_everywhere_shared(&self, relation: RelId) -> Vec<Arc<Tuple>> {
+        let mut out: Vec<Arc<Tuple>> = self
             .tables
             .iter()
             .filter(|((_, r), _)| *r == relation)
-            .flat_map(|(_, t)| t.scan().map(|a| (**a).clone()))
+            .flat_map(|(_, t)| t.scan().cloned())
             .collect();
         out.sort();
         out
@@ -373,6 +632,163 @@ mod tests {
         let mut again = t.tuples();
         again.sort();
         assert_eq!(tuples, again);
+    }
+
+    #[test]
+    fn probe_yields_candidates_in_scan_order() {
+        let mut t = Table::set_semantics("pathCost").with_indexes(vec![vec![0, 1]]);
+        // Insert destinations out of order, two costs per destination.
+        for (d, c) in [(3, 9), (2, 5), (3, 1), (2, 7), (4, 2)] {
+            t.insert(&path_cost(0, d, c));
+        }
+        let probed: Vec<Tuple> = t
+            .probe(&[0, 1], &[Value::Node(0), Value::Node(3)])
+            .expect("index exists")
+            .map(|a| (**a).clone())
+            .collect();
+        // Exactly the rows a scan-and-filter would yield, in scan order.
+        let scanned: Vec<Tuple> = t
+            .scan()
+            .filter(|a| a.values[0] == Value::Node(3))
+            .map(|a| (**a).clone())
+            .collect();
+        assert_eq!(probed, scanned);
+        assert_eq!(probed.len(), 2);
+        // Missing keys and missing indexes behave distinctly.
+        assert_eq!(
+            t.probe(&[0, 1], &[Value::Node(0), Value::Node(9)])
+                .expect("index exists")
+                .count(),
+            0
+        );
+        assert!(t.probe(&[0, 2], &[Value::Node(0), Value::Int(5)]).is_none());
+        assert!(t.has_index(&[0, 1]) && !t.has_index(&[0, 2]));
+    }
+
+    #[test]
+    fn primary_key_prefix_probes_are_served_without_an_index() {
+        // bestPathCost keyed on (loc, D): probes over (loc, D) and
+        // (loc, D, C) resolve through the primary map — demanding an index
+        // there must be a no-op.
+        let mut t =
+            Table::new("bestPathCost", vec![0, 1]).with_indexes(vec![vec![0, 1], vec![0, 1, 2]]);
+        t.insert(&best(0, 2, 5));
+        t.insert(&best(0, 3, 9));
+        assert!(t.has_index(&[0, 1]) && t.has_index(&[0, 1, 2]));
+        let hit: Vec<_> = t
+            .probe(&[0, 1], &[Value::Node(0), Value::Node(2)])
+            .unwrap()
+            .collect();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(*hit[0].as_ref(), best(0, 2, 5));
+        // The extended columns beyond the key are verified, not assumed.
+        assert_eq!(
+            t.probe(&[0, 1, 2], &[Value::Node(0), Value::Node(2), Value::Int(5)])
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            t.probe(&[0, 1, 2], &[Value::Node(0), Value::Node(2), Value::Int(7)])
+                .unwrap()
+                .count(),
+            0
+        );
+        assert_eq!(
+            t.probe(&[0, 1], &[Value::Node(0), Value::Node(9)])
+                .unwrap()
+                .count(),
+            0
+        );
+        // No secondary index was materialized for either demand.
+        assert!(t.index_is_consistent());
+        assert_eq!(t.secondary_index_count(), 0);
+    }
+
+    #[test]
+    fn index_stays_consistent_under_keyed_replacement() {
+        // bestPathCost keyed on (loc, D); index over the non-key cost column.
+        let mut t = Table::new("bestPathCost", vec![0, 1]).with_indexes(vec![vec![0, 2]]);
+        t.insert(&best(0, 2, 5));
+        t.insert(&best(0, 3, 5));
+        assert!(t.index_is_consistent());
+        assert_eq!(
+            t.probe(&[0, 2], &[Value::Node(0), Value::Int(5)])
+                .unwrap()
+                .count(),
+            2
+        );
+        // Replacing the keyed row must move it to the new cost's posting.
+        assert!(matches!(
+            t.insert(&best(0, 2, 4)),
+            InsertEffect::Replaced(_)
+        ));
+        assert!(t.index_is_consistent());
+        assert_eq!(
+            t.probe(&[0, 2], &[Value::Node(0), Value::Int(5)])
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            t.probe(&[0, 2], &[Value::Node(0), Value::Int(4)])
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn index_stays_consistent_under_set_semantics_deletion() {
+        let mut t = Table::set_semantics("pathCost").with_indexes(vec![vec![0, 1]]);
+        let p = path_cost(0, 2, 5);
+        t.insert(&p);
+        t.insert(&p); // second derivation
+        assert_eq!(t.delete(&p), DeleteEffect::Decremented);
+        // Still visible: the posting must survive the decrement.
+        assert!(t.index_is_consistent());
+        assert_eq!(
+            t.probe(&[0, 1], &[Value::Node(0), Value::Node(2)])
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(t.delete(&p), DeleteEffect::Removed);
+        assert!(t.index_is_consistent());
+        assert_eq!(
+            t.probe(&[0, 1], &[Value::Node(0), Value::Node(2)])
+                .unwrap()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn add_index_backfills_existing_rows() {
+        let mut t = Table::set_semantics("pathCost");
+        t.insert(&path_cost(0, 2, 5));
+        t.insert(&path_cost(0, 3, 1));
+        t.add_index(vec![0, 1]);
+        assert!(t.index_is_consistent());
+        assert_eq!(
+            t.probe(&[0, 1], &[Value::Node(0), Value::Node(3)])
+                .unwrap()
+                .count(),
+            1
+        );
+        // Re-adding the same column set is a no-op; empty sets are rejected.
+        t.add_index(vec![0, 1]);
+        t.add_index(vec![]);
+        assert!(t.index_is_consistent());
+    }
+
+    #[test]
+    fn tuples_shared_matches_deep_copy_path() {
+        let mut t = Table::set_semantics("pathCost");
+        t.insert(&path_cost(0, 3, 1));
+        t.insert(&path_cost(0, 2, 5));
+        let shared: Vec<Tuple> = t.tuples_shared().iter().map(|a| (**a).clone()).collect();
+        assert_eq!(shared, t.tuples());
     }
 
     #[test]
