@@ -39,13 +39,13 @@ fn bench_tuple_hash(c: &mut Criterion) {
             let mut h = DefaultHasher::new();
             black_box(&t).hash(&mut h);
             h.finish()
-        })
+        });
     });
     let p = path_tuple();
     c.bench_function("tuple_vid_pathvector", |b| b.iter(|| black_box(&p).vid()));
     let u = sample_tuple();
     c.bench_function("tuple_eq_interned", |b| {
-        b.iter(|| black_box(&t) == black_box(&u))
+        b.iter(|| black_box(&t) == black_box(&u));
     });
 }
 
@@ -54,7 +54,7 @@ fn bench_intern(c: &mut Criterion) {
     // a string literal takes it).
     c.bench_function("symbol_intern_hit", |b| {
         Symbol::intern("bestPathCost");
-        b.iter(|| Symbol::intern(black_box("bestPathCost")))
+        b.iter(|| Symbol::intern(black_box("bestPathCost")));
     });
     // Resolution must be free (pointer copy).
     let s = Symbol::intern("bestPathCost");
@@ -69,7 +69,7 @@ fn bench_wire_encode(c: &mut Criterion) {
     let p = path_tuple();
     c.bench_function("wire_size_tuple", |b| b.iter(|| black_box(&t).wire_size()));
     c.bench_function("wire_message_size_pathvector", |b| {
-        b.iter(|| wire::message_size(std::slice::from_ref(black_box(&p)), 24))
+        b.iter(|| wire::message_size(std::slice::from_ref(black_box(&p)), 24));
     });
     c.bench_function("encode_for_hash_pathvector", |b| {
         b.iter(|| {
@@ -78,7 +78,7 @@ fn bench_wire_encode(c: &mut Criterion) {
                 v.encode_for_hash(&mut buf);
             }
             buf.len()
-        })
+        });
     });
 }
 

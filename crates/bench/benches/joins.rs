@@ -52,7 +52,7 @@ fn bench_probe_vs_scan(c: &mut Criterion) {
                     .probe(black_box(&[0, 1]), black_box(&key))
                     .expect("index exists")
                     .count()
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("scan_filter", size), &size, |b, _| {
             b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_probe_vs_scan(c: &mut Criterion) {
                     .scan()
                     .filter(|t| t.values[0] == black_box(&key)[1])
                     .count()
-            })
+            });
         });
     }
     group.finish();
@@ -75,7 +75,7 @@ fn bench_index_maintenance(c: &mut Criterion) {
             b.iter(|| {
                 let t = filled_table(1024, indexed);
                 black_box(t.len())
-            })
+            });
         });
     }
     group.finish();
@@ -92,10 +92,10 @@ fn bench_plan_compilation(c: &mut Criterion) {
         .expect("pv4 exists")
         .clone();
     c.bench_function("compile_trigger_plan_pv4", |b| {
-        b.iter(|| compile_trigger_plan(black_box(&pv4), 0))
+        b.iter(|| compile_trigger_plan(black_box(&pv4), 0));
     });
     c.bench_function("compile_program_plans_pathvector", |b| {
-        b.iter(|| ProgramPlans::compile(black_box(&program)))
+        b.iter(|| ProgramPlans::compile(black_box(&program)));
     });
 }
 

@@ -24,7 +24,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
                 let topo = Topology::testbed_ring(20, 7);
                 let system = run_protocol(&programs::mincost(), topo, m, 1);
                 black_box(system.total_bytes())
-            })
+            });
         });
     }
     group.finish();
@@ -37,7 +37,7 @@ fn bench_fixpoint_modes(c: &mut Criterion) {
                 let topo = Topology::testbed_ring(20, 7);
                 let system = run_protocol(&programs::path_vector(), topo, m, 1);
                 black_box(system.total_bytes())
-            })
+            });
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_incremental_maintenance(c: &mut Criterion) {
                 );
                 system.run_to_fixpoint();
                 black_box(system.total_bytes())
-            })
+            });
         });
     }
     group.finish();

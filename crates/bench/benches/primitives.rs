@@ -18,7 +18,7 @@ fn bench_vertex_ids(c: &mut Criterion) {
     c.bench_function("vid_sha1_tuple", |b| b.iter(|| black_box(&tuple).vid()));
     let payload = vec![0xABu8; 256];
     c.bench_function("sha1_256_bytes", |b| {
-        b.iter(|| sha1_digest(black_box(&payload)))
+        b.iter(|| sha1_digest(black_box(&payload)));
     });
 }
 
@@ -35,14 +35,14 @@ fn bench_bdd(c: &mut Criterion) {
                 acc = m.or(acc, prod);
             }
             black_box(m.serialized_size(acc))
-        })
+        });
     });
 }
 
 fn bench_parser_and_rewrite(c: &mut Criterion) {
     let source = programs::mincost().to_string();
     c.bench_function("parse_mincost", |b| {
-        b.iter(|| parse_program("MINCOST", black_box(&source)).unwrap())
+        b.iter(|| parse_program("MINCOST", black_box(&source)).unwrap());
     });
     let program = programs::path_vector();
     c.bench_function("provenance_rewrite_pathvector", |b| {
@@ -50,7 +50,7 @@ fn bench_parser_and_rewrite(c: &mut Criterion) {
             || program.clone(),
             |p| provenance_rewrite(&p, RewriteOptions::default()),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

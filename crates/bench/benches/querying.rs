@@ -65,7 +65,7 @@ fn bench_representations(c: &mut Criterion) {
                     false,
                     25,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -95,7 +95,7 @@ fn bench_traversal_orders(c: &mut Criterion) {
                     false,
                     25,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -116,7 +116,7 @@ fn bench_caching(c: &mut Criterion) {
                     caching,
                     50,
                 ))
-            })
+            });
         });
     }
     group.finish();

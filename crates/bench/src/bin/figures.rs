@@ -84,7 +84,10 @@ fn main() {
     .with_shards(shards);
 
     let ids: Vec<String> = if only.is_empty() {
-        all_figure_ids().iter().map(|s| s.to_string()).collect()
+        all_figure_ids()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect()
     } else {
         only
     };

@@ -376,7 +376,7 @@ pub fn query_workload(
     let latencies: Vec<f64> = deployment
         .outcomes()
         .iter()
-        .filter_map(|o| o.latency())
+        .filter_map(exspan_core::QueryOutcome::latency)
         .collect();
     let completed = latencies.len();
     let bandwidth_kbps = deployment

@@ -36,7 +36,7 @@ impl Series {
 
     /// y value at the largest x (0 if empty).
     pub fn last_y(&self) -> f64 {
-        self.points.last().map(|&(_, y)| y).unwrap_or(0.0)
+        self.points.last().map_or(0.0, |&(_, y)| y)
     }
 }
 

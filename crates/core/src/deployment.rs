@@ -55,7 +55,7 @@ use crate::repr::{Annotation, Repr};
 use crate::rewrite::{provenance_rewrite, RewriteOptions};
 use crate::value_policy::ValueBddPolicy;
 use exspan_ndlog::ast::Program;
-use exspan_ndlog::validate::validate_program;
+use exspan_ndlog::diag::{Diagnostic, Diagnostics, Severity};
 use exspan_netsim::{ChurnEvent, LinkProps, Topology};
 use exspan_runtime::{
     Engine, EngineConfig, ExternalSink, FixpointStats, ShardConfig, SharedPolicy,
@@ -127,6 +127,44 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Non-fatal findings (warnings and notes) produced by the static analysis
+/// a successful [`DeploymentBuilder::build`] ran over the program.  Errors
+/// never appear here — they fail the build as
+/// [`BuildError::InvalidProgram`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildWarnings {
+    diagnostics: Diagnostics,
+}
+
+impl BuildWarnings {
+    /// Whether the analysis produced no warnings or notes at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of retained diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Iterates over the diagnostics, warnings before notes (the stable
+    /// order of [`Diagnostics::sort`]).
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Warning-severity diagnostics only (the ones `ndlog-lint
+    /// --deny-warnings` would reject).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.of_severity(Severity::Warning)
+    }
+
+    /// Renders every diagnostic, one block per finding.
+    pub fn render(&self) -> String {
+        self.diagnostics.render(None)
+    }
+}
 
 /// Builder for a [`Deployment`]; obtained from [`Exspan::builder`].
 #[derive(Debug, Clone)]
@@ -217,11 +255,27 @@ impl DeploymentBuilder {
                 }
             }
         }
-        if let Err(errors) = validate_program(&program) {
+        // Full static analysis (validation, type inference, safety,
+        // liveness, distribution).  Errors refuse the deployment; warnings
+        // and notes are retained on the deployment for inspection via
+        // [`Deployment::build_warnings`].
+        let analysis = exspan_ndlog::analyze(&program);
+        if analysis.has_errors() {
             return Err(BuildError::InvalidProgram(
-                errors.iter().map(|e| e.to_string()).collect(),
+                analysis
+                    .errors()
+                    .map(std::string::ToString::to_string)
+                    .collect(),
             ));
         }
+        let warnings = BuildWarnings {
+            diagnostics: analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity < Severity::Error)
+                .cloned()
+                .collect(),
+        };
 
         let mut engine_config = EngineConfig {
             aggregate_provenance: false,
@@ -245,6 +299,20 @@ impl DeploymentBuilder {
                 )
             }
         };
+        // The provenance rewrite must preserve the analysis verdict: a
+        // program accepted above must stay error-free after rewriting.  This
+        // is a rewrite invariant, but it is cheap to check and a violation
+        // would otherwise surface as silent derivation loss at runtime.
+        let rewritten = exspan_ndlog::analyze(&executed);
+        if rewritten.has_errors() {
+            return Err(BuildError::InvalidProgram(
+                rewritten
+                    .errors()
+                    .map(|e| format!("provenance rewrite: {e}"))
+                    .collect(),
+            ));
+        }
+
         let mut engine = Engine::new(executed, topology, engine_config);
         let mut value_policy = None;
         if self.mode == ProvenanceMode::ValueBdd {
@@ -257,6 +325,7 @@ impl DeploymentBuilder {
             mode: self.mode,
             value_policy,
             program_name: program.name.clone(),
+            warnings,
             fabric: QueryFabric::new(),
             pending_invalidations: BTreeMap::new(),
         };
@@ -317,13 +386,17 @@ impl QueryFabric {
     /// issuances, or protocol messages in flight).  When idle, the deployment
     /// can use the engine's bulk (parallelizable) run path.
     fn active(&self) -> bool {
-        self.incomplete > 0 || self.sessions.iter().any(|s| s.has_pending())
+        self.incomplete > 0
+            || self
+                .sessions
+                .iter()
+                .any(super::query::SessionCore::has_pending)
     }
 
     /// Whether any session caches query results (and could therefore go
     /// stale when a scheduled base-tuple delta is applied).
     fn any_caching(&self) -> bool {
-        self.sessions.iter().any(|s| s.caching())
+        self.sessions.iter().any(super::query::SessionCore::caching)
     }
 
     /// Writes off query state that can no longer make progress.  Called when
@@ -410,6 +483,7 @@ pub struct Deployment {
     mode: ProvenanceMode,
     value_policy: Option<Arc<Mutex<ValueBddPolicy>>>,
     program_name: String,
+    warnings: BuildWarnings,
     fabric: QueryFabric,
     /// Cache invalidations for base-tuple deltas scheduled in the simulated
     /// future, keyed by the delta's application time (as `f64::to_bits`, so
@@ -572,6 +646,12 @@ impl Deployment {
         &self.program_name
     }
 
+    /// Warnings and notes the build-time static analysis produced for the
+    /// program (errors would have failed [`DeploymentBuilder::build`]).
+    pub fn build_warnings(&self) -> &BuildWarnings {
+        &self.warnings
+    }
+
     /// Read-only access to the underlying engine (tables, traffic counters),
     /// e.g. for the typed `prov`/`ruleExec` accessors of [`crate::storage`].
     pub fn engine(&self) -> &Engine {
@@ -692,12 +772,7 @@ impl Deployment {
 
     /// Removes a link from the topology and deletes its base tuples.
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
-        let cost = self
-            .engine
-            .topology()
-            .link(a, b)
-            .map(|p| p.cost)
-            .unwrap_or(1);
+        let cost = self.engine.topology().link(a, b).map_or(1, |p| p.cost);
         self.engine.topology_mut().remove_link(a, b);
         self.delete_base(a, Self::link_tuple(a, b, cost));
         self.delete_base(b, Self::link_tuple(b, a, cost));
@@ -728,8 +803,7 @@ impl Deployment {
                 .engine
                 .topology()
                 .link(event.a, event.b)
-                .map(|p| p.cost)
-                .unwrap_or(event.props.cost);
+                .map_or(event.props.cost, |p| p.cost);
             self.engine.topology_mut().remove_link(event.a, event.b);
             self.schedule_delta(at, event.a, Self::link_tuple(event.a, event.b, cost), false);
             self.schedule_delta(at, event.b, Self::link_tuple(event.b, event.a, cost), false);
@@ -1091,7 +1165,7 @@ mod tests {
             .build()
         {
             Err(BuildError::InvalidProgram(errors)) => {
-                assert!(errors.iter().any(|e| e.contains("duplicate")))
+                assert!(errors.iter().any(|e| e.contains("duplicate")));
             }
             other => panic!("expected InvalidProgram, got {other:?}"),
         }

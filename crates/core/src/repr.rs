@@ -490,10 +490,7 @@ impl ProvenanceRepr for DerivationCountRepr {
     }
 
     fn exceeds_threshold(&self, annotation: &Annotation, threshold: i64) -> bool {
-        annotation
-            .as_count()
-            .map(|c| c as i64 > threshold)
-            .unwrap_or(false)
+        annotation.as_count().is_some_and(|c| c as i64 > threshold)
     }
 }
 

@@ -469,6 +469,36 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_preserves_analysis_verdict() {
+        // Every analyzer-accepted builtin must stay error-free after the
+        // provenance rewrite (reference and centralized): the rewrite runs
+        // after analysis, so an error it introduced would mean deploying a
+        // program the analyzer never accepted.
+        for program in [
+            programs::mincost(),
+            programs::path_vector(),
+            programs::packet_forward(),
+        ] {
+            assert!(!exspan_ndlog::analyze(&program).has_errors());
+            for options in [
+                RewriteOptions::default(),
+                RewriteOptions {
+                    centralize_at: Some(0),
+                },
+            ] {
+                let rewritten = provenance_rewrite(&program, options);
+                let analysis = exspan_ndlog::analyze(&rewritten);
+                assert!(
+                    !analysis.has_errors(),
+                    "rewrite of {} introduced analysis errors:\n{}",
+                    program.name,
+                    analysis.diagnostics.render(None)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn capitalize_behaviour() {
         assert_eq!(capitalize("pathCost"), "PathCost");
         assert_eq!(capitalize("ePacket"), "EPacket");

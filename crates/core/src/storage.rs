@@ -90,7 +90,7 @@ impl RuleExecEntry {
             .as_list()
             .ok()?
             .iter()
-            .map(|v| v.as_digest())
+            .map(exspan_types::Value::as_digest)
             .collect::<Result<Vec<_>, _>>()
             .ok()?;
         Some(RuleExecEntry {

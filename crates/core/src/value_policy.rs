@@ -63,8 +63,7 @@ impl ValueBddPolicy {
     /// Serialized size (bytes) of a tuple's provenance annotation.
     pub fn annotation_size(&self, tuple: &Tuple) -> usize {
         self.annotation_of(tuple)
-            .map(|b| self.manager.serialized_size(b))
-            .unwrap_or(0)
+            .map_or(0, |b| self.manager.serialized_size(b))
     }
 
     /// Derivability test under a trust assignment over base tuples: is the
@@ -149,9 +148,7 @@ impl AnnotationPolicy for ValueBddPolicy {
         _tuple: &Tuple,
         token: Option<AnnotationToken>,
     ) -> usize {
-        let bytes = token
-            .map(|t| self.manager.serialized_size(Bdd::from_raw(t as u32)))
-            .unwrap_or(0);
+        let bytes = token.map_or(0, |t| self.manager.serialized_size(Bdd::from_raw(t as u32)));
         self.annotation_bytes_total += bytes as u64;
         bytes
     }

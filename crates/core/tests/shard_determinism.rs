@@ -139,7 +139,7 @@ fn interning_order_does_not_change_canonical_state_or_traffic() {
     let oracle = run(&program, ProvenanceMode::ValueBdd, 1, true);
     let mut vocabulary: Vec<String> = ["bestPath", "path", "link", "prov", "ruleExec"]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     vocabulary.extend((0..64).map(|i| format!("zz_unrelated_{i}")));
     vocabulary.sort();

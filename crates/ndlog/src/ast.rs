@@ -471,7 +471,7 @@ impl Program {
         let derived = self.derived_relations();
         self.rules
             .iter()
-            .flat_map(|r| r.body_atoms())
+            .flat_map(Rule::body_atoms)
             .map(|a| a.relation)
             .filter(|r| !derived.contains(r))
             .collect()

@@ -1,0 +1,134 @@
+//! `ndlog-lint` — static analysis driver for NDlog programs.
+//!
+//! Runs the full [`mod@exspan_ndlog::analyze`] pipeline (validation, schema and
+//! type inference, safety and stratification, liveness, distribution notes)
+//! over NDlog source files and/or the built-in programs, rendering every
+//! diagnostic with `file:line:col` locations and caret snippets.
+//!
+//! ```text
+//! ndlog-lint [OPTIONS] [FILES...]
+//!
+//!   --builtins        lint the built-in programs (MINCOST, PATHVECTOR,
+//!                     PACKETFORWARD); the default when no FILES are given
+//!   --deny-warnings   exit non-zero on warnings, not just errors
+//!   --quiet           print nothing but the final summary line
+//!   --help            this message
+//! ```
+//!
+//! Exit status: `0` when no diagnostic at or above the failure threshold was
+//! produced, `1` otherwise, `2` on usage or I/O errors.  Notes (severity
+//! below warning) never affect the exit status.
+
+use exspan_ndlog::diag::Severity;
+use exspan_ndlog::parser::parse_program_spanned;
+use exspan_ndlog::{analyze_with_source, programs};
+use std::process::ExitCode;
+
+struct Options {
+    deny_warnings: bool,
+    quiet: bool,
+    builtins: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: ndlog-lint [--builtins] [--deny-warnings] [--quiet] [FILES...]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        quiet: false,
+        builtins: false,
+        files: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" => opts.quiet = true,
+            "--builtins" => opts.builtins = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}\n{USAGE}"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        opts.builtins = true;
+    }
+    Ok(opts)
+}
+
+/// Outcome counters for one linted program.
+#[derive(Default)]
+struct Totals {
+    errors: usize,
+    warnings: usize,
+    notes: usize,
+    failed_to_parse: usize,
+}
+
+fn lint_source(name: &str, source: &str, opts: &Options, totals: &mut Totals) {
+    let (program, map) = match parse_program_spanned(name, source) {
+        Ok(ok) => ok,
+        Err(e) => {
+            totals.failed_to_parse += 1;
+            let (line, col) = exspan_ndlog::diag::line_col_of(source, e.offset);
+            if !opts.quiet {
+                eprintln!("error: {name}:{line}:{col}: {}", e.message);
+            }
+            return;
+        }
+    };
+    let analysis = analyze_with_source(&program, Some(&map));
+    for d in analysis.diagnostics.iter() {
+        match d.severity {
+            Severity::Error => totals.errors += 1,
+            Severity::Warning => totals.warnings += 1,
+            Severity::Note => totals.notes += 1,
+        }
+        if !opts.quiet {
+            println!("{}\n", d.render(Some(&map)));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut totals = Totals::default();
+    if opts.builtins {
+        for (name, source) in programs::builtin_sources() {
+            lint_source(name, &source, &opts, &mut totals);
+        }
+    }
+    for file in &opts.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        lint_source(file, &source, &opts, &mut totals);
+    }
+
+    println!(
+        "{} error(s), {} warning(s), {} note(s)",
+        totals.errors + totals.failed_to_parse,
+        totals.warnings,
+        totals.notes
+    );
+    let failed =
+        totals.errors + totals.failed_to_parse > 0 || (opts.deny_warnings && totals.warnings > 0);
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

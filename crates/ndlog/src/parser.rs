@@ -22,6 +22,7 @@ use crate::ast::{
     AggFunc, ArithOp, Atom, BodyItem, CmpOp, Expr, HeadArg, Program, Rule, RuleHead, TableDecl,
     Term,
 };
+use crate::diag::{RuleSpans, SourceMap, Span};
 use exspan_types::{Symbol, Value};
 
 /// A parse failure, with a byte offset and message.
@@ -52,20 +53,38 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(p.rules.len(), 2);
 /// ```
 pub fn parse_program(name: &str, source: &str) -> Result<Program, ParseError> {
+    parse_program_spanned(name, source).map(|(p, _)| p)
+}
+
+/// Parses a complete NDlog program, additionally returning a [`SourceMap`]
+/// recording the byte span of every table declaration, rule, head argument
+/// and body item — index-aligned with the returned [`Program`] — so
+/// diagnostics can render `program:line:col` locations with caret snippets.
+pub fn parse_program_spanned(name: &str, source: &str) -> Result<(Program, SourceMap), ParseError> {
     let mut parser = Parser::new(source);
     let mut program = Program::new(name);
+    let mut map = SourceMap {
+        file: name.to_string(),
+        source: source.to_string(),
+        rules: Vec::new(),
+        tables: Vec::new(),
+    };
     loop {
         parser.skip_ws();
         if parser.at_end() {
             break;
         }
         if parser.peek_keyword("materialize") {
+            let start = parser.pos;
             program.tables.push(parser.table_decl()?);
+            map.tables.push(Span::new(start, parser.pos));
         } else {
-            program.rules.push(parser.rule()?);
+            let (rule, spans) = parser.rule()?;
+            program.rules.push(rule);
+            map.rules.push(spans);
         }
     }
-    Ok(program)
+    Ok((program, map))
 }
 
 struct Parser<'a> {
@@ -127,8 +146,7 @@ impl<'a> Parser<'a> {
             && rest[kw.len()..]
                 .chars()
                 .next()
-                .map(|c| !c.is_alphanumeric() && c != '_')
-                .unwrap_or(true)
+                .map_or(true, |c| !c.is_alphanumeric() && c != '_')
     }
 
     fn expect(&mut self, token: &str) -> Result<(), ParseError> {
@@ -207,10 +225,7 @@ impl<'a> Parser<'a> {
     }
 
     fn is_variable(name: &str) -> bool {
-        name.chars()
-            .next()
-            .map(|c| c.is_ascii_uppercase())
-            .unwrap_or(false)
+        name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
     }
 
     fn table_decl(&mut self) -> Result<TableDecl, ParseError> {
@@ -239,40 +254,62 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn rule(&mut self) -> Result<Rule, ParseError> {
+    fn rule(&mut self) -> Result<(Rule, RuleSpans), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
         let label = self.identifier()?;
-        let head = self.head()?;
+        let label_span = Span::new(start, self.pos);
+        let (head, head_span, head_args) = self.head()?;
         self.expect(":-")?;
         let mut body = Vec::new();
+        let mut body_spans = Vec::new();
         loop {
+            self.skip_ws();
+            let item_start = self.pos;
             body.push(self.body_item()?);
+            body_spans.push(Span::new(item_start, self.pos));
             if !self.try_consume(",") {
                 break;
             }
         }
         self.expect(".")?;
-        Ok(Rule {
+        let rule = Rule {
             label: Symbol::intern(&label),
             head,
             body,
-        })
+        };
+        let spans = RuleSpans {
+            full: Span::new(start, self.pos),
+            label: label_span,
+            head: head_span,
+            head_args,
+            body: body_spans,
+        };
+        Ok((rule, spans))
     }
 
-    fn head(&mut self) -> Result<RuleHead, ParseError> {
+    fn head(&mut self) -> Result<(RuleHead, Span, Vec<Span>), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
         let relation = self.identifier()?;
         self.expect("(")?;
         self.expect("@")?;
         let location = self.term()?;
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         while self.try_consume(",") {
+            self.skip_ws();
+            let arg_start = self.pos;
             args.push(self.head_arg()?);
+            arg_spans.push(Span::new(arg_start, self.pos));
         }
         self.expect(")")?;
-        Ok(RuleHead {
+        let head = RuleHead {
             relation: Symbol::intern(&relation),
             location,
             args,
-        })
+        };
+        Ok((head, Span::new(start, self.pos), arg_spans))
     }
 
     fn head_arg(&mut self) -> Result<HeadArg, ParseError> {
@@ -609,6 +646,29 @@ mod tests {
         assert!(parse_program("bad", "r1 foo(@X,Y) :- bar(@X,Y)").is_err()); // missing dot
         assert!(parse_program("bad", "r1 foo(@X,Y) bar(@X,Y).").is_err()); // missing :-
         assert!(parse_program("bad", r#"r1 foo(@X) :- bar(@X), Y="unterminated."#).is_err());
+    }
+
+    #[test]
+    fn source_map_records_rule_and_body_spans() {
+        let src = "materialize(link, 3, keys(0,1)).\n\
+                   sp1 pathCost(@S,D,C) :- link(@S,D,C), C<10.\n";
+        let (p, map) = parse_program_spanned("MINCOST", src).unwrap();
+        assert_eq!(map.tables.len(), p.tables.len());
+        assert_eq!(map.rules.len(), p.rules.len());
+        let r = &map.rules[0];
+        assert_eq!(&src[r.label.start..r.label.end], "sp1");
+        assert_eq!(&src[r.head.start..r.head.end], "pathCost(@S,D,C)");
+        assert_eq!(r.body.len(), 2);
+        assert_eq!(&src[r.body[0].start..r.body[0].end], "link(@S,D,C)");
+        assert_eq!(&src[r.body[1].start..r.body[1].end], "C<10");
+        assert_eq!(r.head_args.len(), 2);
+        assert_eq!(&src[r.head_args[1].start..r.head_args[1].end], "C");
+        // The rule span starts on line 2.
+        assert_eq!(map.line_col(r.full.start), (2, 1));
+        // Out-of-range body lookups (normalization appendices) fall back to
+        // the head span.
+        assert_eq!(map.body_item(0, 7), Some(r.head));
+        assert_eq!(map.head_arg(0, 9), Some(r.head));
     }
 
     #[test]

@@ -30,10 +30,16 @@ pub const MINCOST_INFINITY: i64 = 64;
 /// [`MINCOST_INFINITY`]); the paper elides it, but without an infinity bound
 /// any distance-vector computation counts to infinity under link deletions.
 pub fn mincost() -> Program {
-    parse_program(
-        "MINCOST",
-        &format!(
-            r#"
+    parse_program("MINCOST", &mincost_source())
+        .expect("MINCOST program must parse")
+        .normalize()
+}
+
+/// The NDlog source text of [`mincost`] (pre-normalization), for spanned
+/// linting by `ndlog-lint --builtins`.
+pub fn mincost_source() -> String {
+    format!(
+        r#"
         materialize(link, 3, keys(0,1)).
         materialize(pathCost, 3, keys(0,1,2)).
         materialize(bestPathCost, 3, keys(0,1)).
@@ -43,10 +49,7 @@ pub fn mincost() -> Program {
                                 C<{MINCOST_INFINITY}.
         sp3 bestPathCost(@S,D,min<C>) :- pathCost(@S,D,C).
         "#
-        ),
     )
-    .expect("MINCOST program must parse")
-    .normalize()
 }
 
 /// The PATHVECTOR program: best paths as node vectors.
@@ -56,9 +59,12 @@ pub fn mincost() -> Program {
 /// achieving the minimal cost.  Loop freedom is enforced by the `f_inPath`
 /// check, as in standard declarative path-vector formulations.
 pub fn path_vector() -> Program {
-    parse_program(
-        "PATHVECTOR",
-        r#"
+    parse_program("PATHVECTOR", PATH_VECTOR_SOURCE)
+        .expect("PATHVECTOR program must parse")
+        .normalize()
+}
+
+const PATH_VECTOR_SOURCE: &str = r#"
         materialize(link, 3, keys(0,1)).
         materialize(path, 4, keys(0,1,2,3)).
         materialize(bestPathCost, 3, keys(0,1)).
@@ -69,10 +75,11 @@ pub fn path_vector() -> Program {
                               f_inPath(P2,S)==false, P=f_prepend(S,P2).
         pv3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
         pv4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
-        "#,
-    )
-    .expect("PATHVECTOR program must parse")
-    .normalize()
+        "#;
+
+/// The NDlog source text of [`path_vector`] (pre-normalization).
+pub fn path_vector_source() -> String {
+    PATH_VECTOR_SOURCE.to_string()
 }
 
 /// The PACKETFORWARD program (paper Figure 2), layered on PATHVECTOR.
@@ -81,7 +88,12 @@ pub fn path_vector() -> Program {
 /// event is relayed to the next hop until it reaches its destination, where a
 /// `recvPacket` tuple is materialized.
 pub fn packet_forward() -> Program {
-    let forwarding = r#"
+    parse_program("PACKETFORWARD", &packet_forward_source())
+        .expect("PACKETFORWARD program must parse")
+        .normalize()
+}
+
+const FORWARDING_SOURCE: &str = r#"
         materialize(bestHop, 3, keys(0,1)).
         materialize(recvPacket, 4, keys(0,1,2,3)).
 
@@ -90,12 +102,21 @@ pub fn packet_forward() -> Program {
                                              bestHop(@N,Dst,Next), N!=Dst.
         f2 recvPacket(@N,Src,Dst,Payload) :- ePacket(@N,Src,Dst,Payload), N==Dst.
         "#;
-    let fwd = parse_program("PACKETFORWARD", forwarding).expect("PACKETFORWARD program must parse");
-    let mut program = path_vector();
-    program.name = "PACKETFORWARD".into();
-    program.tables.extend(fwd.tables);
-    program.rules.extend(fwd.rules);
-    program.normalize()
+
+/// The NDlog source text of [`packet_forward`] (pre-normalization): the
+/// PATHVECTOR control plane followed by the forwarding data plane.
+pub fn packet_forward_source() -> String {
+    format!("{PATH_VECTOR_SOURCE}\n{FORWARDING_SOURCE}")
+}
+
+/// `(name, source)` pairs for every built-in program, in a stable order.
+/// `ndlog-lint --builtins` lints these with full span information.
+pub fn builtin_sources() -> Vec<(&'static str, String)> {
+    vec![
+        ("MINCOST", mincost_source()),
+        ("PATHVECTOR", path_vector_source()),
+        ("PACKETFORWARD", packet_forward_source()),
+    ]
 }
 
 #[cfg(test)]

@@ -6,18 +6,62 @@
 //! bound by some body attribute (so the derivation can be shipped in a single
 //! message).  These checks reject programs the engine could not execute
 //! faithfully, with actionable error messages.
+//!
+//! This module is the structural half of the static-analysis suite: the
+//! deeper passes (schema inference, aggregate stratification, reachability,
+//! distribution lints) live in [`mod@crate::analyze`] and run on top of the same
+//! [`Diagnostics`] infrastructure.  [`validate_program`] remains the stable
+//! entry point for structural checks alone.
 
 use crate::ast::{BodyItem, HeadArg, Program, Rule, Term};
+use crate::diag::{Diagnostic, Diagnostics, Severity, SourceMap, Span};
 use exspan_types::Symbol;
 use std::collections::BTreeSet;
 
-/// A validation failure.
+/// A validation failure: the legacy rule-label + message surface over a
+/// span-carrying [`Diagnostic`].
+///
+/// [`std::error::Error::source`] exposes the underlying diagnostic, and
+/// [`ValidationError::span`] the source span (populated when the program was
+/// parsed with [`crate::parser::parse_program_spanned`] and validated through
+/// [`validate_program_spanned`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationError {
     /// Label of the offending rule (empty for program-level errors).
     pub rule: String,
     /// Human-readable description of the problem.
     pub message: String,
+    diagnostic: Diagnostic,
+}
+
+impl ValidationError {
+    /// The underlying diagnostic (lint code, severity, span).
+    pub fn diagnostic(&self) -> &Diagnostic {
+        &self.diagnostic
+    }
+
+    /// The stable lint code, e.g. `"E004"`.
+    pub fn code(&self) -> &'static str {
+        self.diagnostic.code
+    }
+
+    /// Source span of the offending construct, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.diagnostic.span
+    }
+}
+
+impl From<Diagnostic> for ValidationError {
+    fn from(diagnostic: Diagnostic) -> Self {
+        ValidationError {
+            rule: diagnostic
+                .rule
+                .map(|r| r.as_str().to_string())
+                .unwrap_or_default(),
+            message: diagnostic.message.clone(),
+            diagnostic,
+        }
+    }
 }
 
 impl std::fmt::Display for ValidationError {
@@ -30,52 +74,87 @@ impl std::fmt::Display for ValidationError {
     }
 }
 
-impl std::error::Error for ValidationError {}
-
-/// Validates every rule of `program`, returning all problems found.
-pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
-    let mut errors = Vec::new();
-    let mut seen_labels = BTreeSet::new();
-    for rule in &program.rules {
-        if !seen_labels.insert(rule.label) {
-            errors.push(ValidationError {
-                rule: rule.label.as_str().to_string(),
-                message: "duplicate rule label".into(),
-            });
-        }
-        validate_rule(rule, &mut errors);
-    }
-    for decl in &program.tables {
-        for &k in &decl.keys {
-            if k >= decl.arity {
-                errors.push(ValidationError {
-                    rule: String::new(),
-                    message: format!(
-                        "table {} declares key position {k} but has arity {}",
-                        decl.relation, decl.arity
-                    ),
-                });
-            }
-        }
-    }
-    if errors.is_empty() {
-        Ok(())
-    } else {
-        Err(errors)
+impl std::error::Error for ValidationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.diagnostic)
     }
 }
 
-fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
-    let mut err = |message: String| {
-        errors.push(ValidationError {
-            rule: rule.label.as_str().to_string(),
-            message,
-        })
-    };
+/// Validates every rule of `program`, returning all problems found.
+pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
+    validate_program_spanned(program, None)
+}
+
+/// Like [`validate_program`], but attaches source spans from `source` (as
+/// produced by [`crate::parser::parse_program_spanned`]) so errors render
+/// `program:line:col` locations.
+pub fn validate_program_spanned(
+    program: &Program,
+    source: Option<&SourceMap>,
+) -> Result<(), Vec<ValidationError>> {
+    let mut diags = Diagnostics::new();
+    validate_into(program, source, &mut diags);
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        diags.sort();
+        Err(diags.into_iter().map(ValidationError::from).collect())
+    }
+}
+
+/// Runs the structural checks, pushing diagnostics into `out`.  Used by
+/// [`crate::analyze::analyze`] so all passes share one collection.
+pub(crate) fn validate_into(program: &Program, source: Option<&SourceMap>, out: &mut Diagnostics) {
+    let mut seen_labels = BTreeSet::new();
+    for (idx, rule) in program.rules.iter().enumerate() {
+        if !seen_labels.insert(rule.label) {
+            out.push(
+                Diagnostic::new(
+                    "E001",
+                    Severity::Error,
+                    Some(rule.label),
+                    "duplicate rule label",
+                )
+                .with_span(source.and_then(|m| m.rule(idx).map(|r| r.label))),
+            );
+        }
+        validate_rule(idx, rule, source, out);
+    }
+    for (idx, decl) in program.tables.iter().enumerate() {
+        for &k in &decl.keys {
+            if k >= decl.arity {
+                out.push(
+                    Diagnostic::new(
+                        "E007",
+                        Severity::Error,
+                        None,
+                        format!(
+                            "table {} declares key position {k} but has arity {}",
+                            decl.relation, decl.arity
+                        ),
+                    )
+                    .with_span(source.and_then(|m| m.tables.get(idx).copied())),
+                );
+            }
+        }
+    }
+}
+
+fn validate_rule(idx: usize, rule: &Rule, source: Option<&SourceMap>, out: &mut Diagnostics) {
+    let head_span = source.and_then(|m| m.rule(idx).map(|r| r.head));
+    let full_span = source.and_then(|m| m.rule(idx).map(|r| r.full));
 
     let atoms: Vec<_> = rule.body_atoms().collect();
     if atoms.is_empty() {
-        err("rule body contains no predicate atom".into());
+        out.push(
+            Diagnostic::new(
+                "E002",
+                Severity::Error,
+                Some(rule.label),
+                "rule body contains no predicate atom",
+            )
+            .with_span(full_span),
+        );
         return;
     }
 
@@ -84,10 +163,22 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     let first_loc = &atoms[0].location;
     for a in &atoms[1..] {
         if a.location != *first_loc {
-            err(format!(
-                "body is not localized: {} is at @{} but {} is at @{}",
-                atoms[0].relation, first_loc, a.relation, a.location
-            ));
+            let item = rule
+                .body
+                .iter()
+                .position(|b| matches!(b, BodyItem::Atom(x) if std::ptr::eq(x, *a)));
+            out.push(
+                Diagnostic::new(
+                    "E003",
+                    Severity::Error,
+                    Some(rule.label),
+                    format!(
+                        "body is not localized: {} is at @{} but {} is at @{}",
+                        atoms[0].relation, first_loc, a.relation, a.location
+                    ),
+                )
+                .with_span(item.and_then(|i| source.and_then(|m| m.body_item(idx, i)))),
+            );
             break;
         }
     }
@@ -97,16 +188,25 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     for a in &atoms {
         bound.extend(a.variables());
     }
-    for item in &rule.body {
+    for (item_idx, item) in rule.body.iter().enumerate() {
+        let item_span = source.and_then(|m| m.body_item(idx, item_idx));
         match item {
             BodyItem::Assign(v, e) => {
                 let mut used = BTreeSet::new();
                 e.variables(&mut used);
                 for u in &used {
                     if !bound.contains(u) {
-                        err(format!(
-                            "assignment {v} uses variable {u} that is not bound earlier"
-                        ));
+                        out.push(
+                            Diagnostic::new(
+                                "E004",
+                                Severity::Error,
+                                Some(rule.label),
+                                format!(
+                                    "assignment {v} uses variable {u} that is not bound earlier"
+                                ),
+                            )
+                            .with_span(item_span),
+                        );
                     }
                 }
                 bound.insert(*v);
@@ -117,7 +217,15 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
                 b.variables(&mut used);
                 for u in &used {
                     if !bound.contains(u) {
-                        err(format!("constraint uses unbound variable {u}"));
+                        out.push(
+                            Diagnostic::new(
+                                "E004",
+                                Severity::Error,
+                                Some(rule.label),
+                                format!("constraint uses unbound variable {u}"),
+                            )
+                            .with_span(item_span),
+                        );
                     }
                 }
             }
@@ -128,12 +236,18 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
     // Range restriction: every head variable must be bound by the body.
     if let Term::Var(v) = &rule.head.location {
         if !bound.contains(v) {
-            err(format!(
-                "head location variable {v} is not bound by the body"
-            ));
+            out.push(
+                Diagnostic::new(
+                    "E004",
+                    Severity::Error,
+                    Some(rule.label),
+                    format!("head location variable {v} is not bound by the body"),
+                )
+                .with_span(head_span),
+            );
         }
     }
-    for arg in &rule.head.args {
+    for (arg_idx, arg) in rule.head.args.iter().enumerate() {
         let mut used = BTreeSet::new();
         match arg {
             HeadArg::Term(Term::Var(v)) => {
@@ -148,7 +262,15 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
         }
         for u in used {
             if !bound.contains(&u) {
-                err(format!("head variable {u} is not bound by the body"));
+                out.push(
+                    Diagnostic::new(
+                        "E004",
+                        Severity::Error,
+                        Some(rule.label),
+                        format!("head variable {u} is not bound by the body"),
+                    )
+                    .with_span(source.and_then(|m| m.head_arg(idx, arg_idx))),
+                );
             }
         }
     }
@@ -162,17 +284,33 @@ fn validate_rule(rule: &Rule, errors: &mut Vec<ValidationError>) {
         .filter(|a| matches!(a, HeadArg::Aggregate(_, _)))
         .count();
     if agg_count > 1 {
-        err("at most one aggregate is allowed per rule head".into());
+        out.push(
+            Diagnostic::new(
+                "E005",
+                Severity::Error,
+                Some(rule.label),
+                "at most one aggregate is allowed per rule head",
+            )
+            .with_span(head_span),
+        );
     }
     if agg_count == 1 && rule.head.location != *first_loc {
-        err("aggregate rules must derive at the same location as their body".into());
+        out.push(
+            Diagnostic::new(
+                "E006",
+                Severity::Error,
+                Some(rule.label),
+                "aggregate rules must derive at the same location as their body",
+            )
+            .with_span(head_span),
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_program;
+    use crate::parser::{parse_program, parse_program_spanned};
     use crate::programs;
 
     #[test]
@@ -250,16 +388,35 @@ mod tests {
     }
 
     #[test]
+    fn spanned_validation_carries_line_col() {
+        let src = "r1 out(@X,Z) :- a(@X,Y).\n";
+        let (p, map) = parse_program_spanned("bad", src).unwrap();
+        let errs = validate_program_spanned(&p, Some(&map)).unwrap_err();
+        let e = errs
+            .iter()
+            .find(|e| e.message.contains("head variable Z"))
+            .expect("unbound head variable error");
+        assert_eq!(e.code(), "E004");
+        let span = e.span().expect("span recorded");
+        assert_eq!(map.line_col(span.start), (1, 11)); // the `Z` head argument
+                                                       // Error::source exposes the diagnostic.
+        let src_err = std::error::Error::source(e).expect("source");
+        assert!(src_err.to_string().contains("E004"), "{src_err}");
+        // Unspanned validation keeps spans empty.
+        let errs2 = validate_program(&p).unwrap_err();
+        assert!(errs2.iter().all(|e| e.span().is_none()));
+    }
+
+    #[test]
     fn error_display() {
-        let e = ValidationError {
-            rule: "r1".into(),
-            message: "boom".into(),
-        };
+        let e = ValidationError::from(Diagnostic::new(
+            "E004",
+            Severity::Error,
+            Some(Symbol::intern("r1")),
+            "boom",
+        ));
         assert_eq!(e.to_string(), "rule r1: boom");
-        let e2 = ValidationError {
-            rule: String::new(),
-            message: "prog".into(),
-        };
+        let e2 = ValidationError::from(Diagnostic::new("E007", Severity::Error, None, "prog"));
         assert_eq!(e2.to_string(), "prog");
     }
 }

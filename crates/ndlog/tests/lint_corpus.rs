@@ -1,0 +1,99 @@
+//! Golden tests over the negative lint corpus: every `tests/lint_corpus/*.ndl`
+//! program is analyzed with full span information and the rendered
+//! diagnostics must match the committed `.expected` file byte-for-byte —
+//! including the `file:line:col` locations and caret snippets.
+//!
+//! Regenerate goldens after an intentional diagnostics change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p exspan-ndlog --test lint_corpus
+//! ```
+
+use exspan_ndlog::{analyze_with_source, parse_program_spanned};
+use std::path::Path;
+
+fn render(name: &str, source: &str) -> String {
+    match parse_program_spanned(name, source) {
+        Ok((program, map)) => {
+            let analysis = analyze_with_source(&program, Some(&map));
+            if analysis.diagnostics.is_empty() {
+                "no diagnostics\n".to_string()
+            } else {
+                format!("{}\n", analysis.diagnostics.render(Some(&map)))
+            }
+        }
+        Err(e) => {
+            let (line, col) = exspan_ndlog::diag::line_col_of(source, e.offset);
+            format!("parse error: {name}:{line}:{col}: {}\n", e.message)
+        }
+    }
+}
+
+#[test]
+fn corpus_matches_goldens() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus");
+    let mut cases: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ndl"))
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 15,
+        "the corpus must hold at least 15 programs, found {}",
+        cases.len()
+    );
+
+    let bless = std::env::var_os("BLESS").is_some();
+    let mut failures = Vec::new();
+    for case in &cases {
+        let name = case.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(case).expect("corpus source");
+        let got = render(&name, &source);
+
+        // Malformed programs (everything not named `ok_*`) must produce at
+        // least one diagnostic — an accidentally-clean corpus entry tests
+        // nothing.
+        if !name.starts_with("ok_") {
+            assert_ne!(
+                got, "no diagnostics\n",
+                "{name}: corpus program produced no diagnostics"
+            );
+        }
+
+        let golden = case.with_extension("expected");
+        if bless {
+            std::fs::write(&golden, &got).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+            panic!("{name}: missing golden {golden:?}; regenerate with BLESS=1")
+        });
+        if got != expected {
+            failures.push(format!(
+                "=== {name}: diagnostics changed ===\n--- expected ---\n{expected}\n--- got ---\n{got}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus golden(s) out of date (regenerate with BLESS=1):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn goldens_carry_source_locations() {
+    // The acceptance criterion for the diagnostics infrastructure: rendered
+    // corpus output points into the source with `name:line:col` locations.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus");
+    let golden = dir.join("e001_duplicate_label.expected");
+    let text = std::fs::read_to_string(golden).expect("golden present");
+    assert!(
+        text.contains("e001_duplicate_label:2:1"),
+        "expected a line:col location in:\n{text}"
+    );
+    assert!(text.contains("E001"), "{text}");
+    assert!(text.contains('^'), "caret snippet missing:\n{text}");
+}

@@ -178,7 +178,9 @@ impl Topology {
 
     /// Degree of a node.
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adjacency.get(&n).map(|s| s.len()).unwrap_or(0)
+        self.adjacency
+            .get(&n)
+            .map_or(0, std::collections::BTreeSet::len)
     }
 
     /// Number of links.
@@ -263,7 +265,7 @@ impl Topology {
                 let props = self.link(node, m).expect("adjacency implies link");
                 let nlat = lat + props.latency;
                 let nbw = bw.min(props.bandwidth);
-                if dist.get(&m).map(|&d| nlat < d).unwrap_or(true) {
+                if dist.get(&m).map_or(true, |&d| nlat < d) {
                     dist.insert(m, nlat);
                     heap.push(Entry(nlat, nbw, m));
                 }

@@ -265,6 +265,16 @@ impl Engine {
         merged
     }
 
+    /// Total count (across shards) of evaluation errors that the static
+    /// analyzer guarantees cannot happen for accepted programs (unbound
+    /// variables, unknown functions).  Always 0 for programs that pass
+    /// `exspan_ndlog::analyze` without errors; the differential tests assert
+    /// exactly that.  Data-dependent rejections (type mismatches in
+    /// comparisons) are not errors and are not counted.
+    pub fn eval_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.eval_errors.get()).sum()
+    }
+
     /// The network topology (mutable, for churn).  Shards receive the updated
     /// snapshot before the next run or step.
     pub fn topology_mut(&mut self) -> &mut Topology {
@@ -332,8 +342,7 @@ impl Engine {
         self.shards[self.owner(tuple.location)]
             .store
             .table(tuple.location, tuple.relation)
-            .map(|t| t.count(tuple))
-            .unwrap_or(0)
+            .map_or(0, |t| t.count(tuple))
     }
 
     /// Total number of stored tuples across all nodes and relations.
@@ -745,8 +754,7 @@ mod tests {
             a_best
                 .iter()
                 .find(|t| t.values[0] == Value::Node(d))
-                .map(|t| t.values[1].as_int().unwrap())
-                .unwrap_or(i64::MAX)
+                .map_or(i64::MAX, |t| t.values[1].as_int().unwrap())
         };
         assert_eq!(get(1), 3); // a->b direct
         assert_eq!(get(2), 5); // a->c direct or via b
@@ -888,7 +896,7 @@ mod tests {
                     assert_eq!(*tuple, q);
                     break;
                 }
-                Step::Handled => continue,
+                Step::Handled => {}
                 Step::Idle => panic!("external tuple was never surfaced"),
             }
         }
@@ -1016,7 +1024,7 @@ mod tests {
             engine.run_to_fixpoint();
             // Delete a few links and re-run, exercising cross-shard retraction.
             for (a, b) in [(0u32, 1u32), (5, 6), (10, 11)] {
-                let cost = engine.topology().link(a, b).map(|p| p.cost).unwrap_or(1);
+                let cost = engine.topology().link(a, b).map_or(1, |p| p.cost);
                 engine.topology_mut().remove_link(a, b);
                 engine.delete_base(a, link(a, b, cost));
                 engine.delete_base(b, link(b, a, cost));

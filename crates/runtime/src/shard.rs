@@ -23,8 +23,8 @@
 use crate::engine::{EngineConfig, Payload, Step};
 use crate::plugin::{AnnotationPolicy, AnnotationToken};
 use crate::table::{DeleteEffect, InsertEffect, TableStore};
-use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, HeadArg, Rule, Term};
-use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, FuncRegistry};
+use exspan_ndlog::ast::{AggFunc, Atom, BodyItem, Expr, HeadArg, Rule, Term};
+use exspan_ndlog::eval::{eval_cmp, eval_expr, Bindings, EvalError, FuncRegistry};
 use exspan_ndlog::is_event_predicate;
 use exspan_ndlog::plan::{JoinLevel, JoinPlan, KeySource, ProgramPlans};
 use exspan_netsim::{RoutedEvent, Simulator};
@@ -56,9 +56,7 @@ impl ShardConfig {
 
     /// One shard per available CPU core (at least one).
     pub fn auto() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         ShardConfig { num_shards: n }
     }
 }
@@ -105,6 +103,13 @@ pub(crate) struct Shard {
     pub(crate) last_delta_time: f64,
     pub(crate) externals_seen: u64,
     pub(crate) processed: u64,
+    /// Count of evaluation errors that are statically impossible for
+    /// analyzer-accepted programs (unbound variables, unknown functions).
+    /// Such errors silently drop the candidate derivation in release builds
+    /// (preserving the historical byte-identical behavior) but are counted
+    /// here and debug-asserted, so the differential tests can assert the
+    /// analyzer's acceptance actually implies error-free evaluation.
+    pub(crate) eval_errors: std::cell::Cell<u64>,
 }
 
 impl Shard {
@@ -123,6 +128,7 @@ impl Shard {
             last_delta_time: 0.0,
             externals_seen: 0,
             processed: 0,
+            eval_errors: std::cell::Cell::new(0),
         }
     }
 
@@ -420,11 +426,41 @@ impl Shard {
     /// Applies assignments and constraints over completed bindings,
     /// returning the fully-bound set (the shared leaf step of both the
     /// trigger-join and aggregate evaluation paths).
+    /// Records an evaluation error observed while pruning a candidate
+    /// binding.  `TypeError`/`ArityError` are data-dependent and legitimately
+    /// reject candidates; `UnboundVariable`/`UnknownFunction` are statically
+    /// impossible for analyzer-accepted programs, so those are counted (and
+    /// flagged in debug builds).  Release behavior is unchanged either way:
+    /// the candidate is dropped.
+    fn note_eval_error(&self, rule: &Rule, err: &EvalError) {
+        if matches!(
+            err,
+            EvalError::UnboundVariable(_) | EvalError::UnknownFunction(_)
+        ) {
+            self.eval_errors.set(self.eval_errors.get() + 1);
+            debug_assert!(
+                false,
+                "rule {}: statically-impossible eval error: {err}",
+                rule.label
+            );
+        }
+    }
+
+    fn eval_or_note(&self, rule: &Rule, expr: &Expr, bindings: &Bindings) -> Option<Value> {
+        match eval_expr(expr, bindings, &self.data.funcs) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.note_eval_error(rule, &e);
+                None
+            }
+        }
+    }
+
     fn apply_guards(&self, rule: &Rule, mut bindings: Bindings) -> Option<Bindings> {
         for item in &rule.body {
             match item {
                 BodyItem::Assign(var, expr) => {
-                    let value = eval_expr(expr, &bindings, &self.data.funcs).ok()?;
+                    let value = self.eval_or_note(rule, expr, &bindings)?;
                     // An assignment to an already-bound variable acts as an
                     // equality constraint (standard Datalog convention).
                     if let Some(existing) = bindings.get(*var) {
@@ -436,8 +472,11 @@ impl Shard {
                     }
                 }
                 BodyItem::Constraint(op, lhs, rhs) => {
-                    let l = eval_expr(lhs, &bindings, &self.data.funcs).ok()?;
-                    let r = eval_expr(rhs, &bindings, &self.data.funcs).ok()?;
+                    let l = self.eval_or_note(rule, lhs, &bindings)?;
+                    let r = self.eval_or_note(rule, rhs, &bindings)?;
+                    // A comparison failure here is always type-driven
+                    // (`eval_cmp` cannot see unbound variables), so it is a
+                    // legitimate data-dependent rejection, not counted.
                     if !eval_cmp(*op, &l, &r).ok()? {
                         return None;
                     }
@@ -495,9 +534,24 @@ impl Shard {
         });
     }
 
+    /// Looks up a head variable, counting the (statically impossible)
+    /// unbound case via [`Shard::note_eval_error`].
+    fn head_binding<'b>(
+        &self,
+        rule: &Rule,
+        bindings: &'b Bindings,
+        v: Symbol,
+    ) -> Option<&'b Value> {
+        let value = bindings.get(v);
+        if value.is_none() {
+            self.note_eval_error(rule, &EvalError::UnboundVariable(v.as_str().to_string()));
+        }
+        value
+    }
+
     fn build_head(&self, rule: &Rule, bindings: &Bindings) -> Option<Tuple> {
         let loc = match &rule.head.location {
-            Term::Var(v) => bindings.get(*v)?.as_node().ok()?,
+            Term::Var(v) => self.head_binding(rule, bindings, *v)?.as_node().ok()?,
             Term::Const(Value::Node(n)) => *n,
             Term::Const(Value::Int(n)) => *n as NodeId,
             Term::Const(_) => return None,
@@ -505,9 +559,11 @@ impl Shard {
         let mut values = Vec::with_capacity(rule.head.args.len());
         for arg in &rule.head.args {
             match arg {
-                HeadArg::Term(Term::Var(v)) => values.push(bindings.get(*v)?.clone()),
+                HeadArg::Term(Term::Var(v)) => {
+                    values.push(self.head_binding(rule, bindings, *v)?.clone());
+                }
                 HeadArg::Term(Term::Const(c)) => values.push(c.clone()),
-                HeadArg::Expr(e) => values.push(eval_expr(e, bindings, &self.data.funcs).ok()?),
+                HeadArg::Expr(e) => values.push(self.eval_or_note(rule, e, bindings)?),
                 HeadArg::Aggregate(_, _) => return None,
             }
         }
@@ -596,9 +652,8 @@ impl Shard {
         tuple: &Tuple,
         atom_idx: usize,
     ) {
-        let (_, _, agg_pos) = match rule.head.aggregate() {
-            Some(a) => a,
-            None => return,
+        let Some((_, _, agg_pos)) = rule.head.aggregate() else {
+            return;
         };
         let BodyItem::Atom(trigger_atom) = &rule.body[atom_idx] else {
             return;
@@ -964,8 +1019,7 @@ impl Shard {
             .plans
             .aggregates
             .get(&rule_idx)
-            .map(|p| p.output_cols.as_slice())
-            .unwrap_or(&[]);
+            .map_or(&[][..], |p| p.output_cols.as_slice());
         if !output_cols.is_empty() {
             let mut key = Vec::with_capacity(output_cols.len());
             key.push(Value::Node(loc));
@@ -1100,9 +1154,9 @@ mod tests {
         let atom = Atom::new("link", Term::var("Z"), vec![Term::var("S"), Term::var("C")]);
         let t = Tuple::new("link", 1, vec![Value::Node(2), Value::Int(3)]);
         let b = unify_atom(&atom, &t, &Bindings::new()).unwrap();
-        assert_eq!(b["Z"], Value::Node(1));
-        assert_eq!(b["S"], Value::Node(2));
-        assert_eq!(b["C"], Value::Int(3));
+        assert_eq!(b.get(Symbol::intern("Z")), Some(&Value::Node(1)));
+        assert_eq!(b.get(Symbol::intern("S")), Some(&Value::Node(2)));
+        assert_eq!(b.get(Symbol::intern("C")), Some(&Value::Int(3)));
         // Conflicting pre-binding fails.
         let mut pre = Bindings::new();
         pre.insert(Symbol::intern("S"), Value::Node(9));

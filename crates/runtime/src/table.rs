@@ -468,7 +468,7 @@ impl TableStore {
     /// set semantics).  This is the order `scan()` — and therefore `probe()`
     /// — enumerates rows in.
     pub fn key_spec(&self, relation: RelId) -> &[usize] {
-        self.keys.get(&relation).map(Vec::as_slice).unwrap_or(&[])
+        self.keys.get(&relation).map_or(&[], Vec::as_slice)
     }
 
     /// Returns the table for `(node, relation)`, creating it if necessary.
@@ -496,14 +496,14 @@ impl TableStore {
     /// should prefer [`TableStore::tuples_shared`]).
     pub fn tuples(&self, node: NodeId, relation: RelId) -> Vec<Tuple> {
         self.table(node, relation)
-            .map(|t| t.tuples())
+            .map(Table::tuples)
             .unwrap_or_default()
     }
 
     /// All visible tuples of `relation` at `node` as shared handles.
     pub fn tuples_shared(&self, node: NodeId, relation: RelId) -> Vec<Arc<Tuple>> {
         self.table(node, relation)
-            .map(|t| t.tuples_shared())
+            .map(Table::tuples_shared)
             .unwrap_or_default()
     }
 
@@ -531,7 +531,7 @@ impl TableStore {
 
     /// Total number of visible tuples across all tables.
     pub fn total_tuples(&self) -> usize {
-        self.tables.values().map(|t| t.len()).sum()
+        self.tables.values().map(Table::len).sum()
     }
 }
 

@@ -263,7 +263,15 @@ fn run(
     shards: usize,
     join_planning: bool,
 ) -> (Vec<Tuple>, Vec<usize>, Vec<u64>, u64) {
-    let program = build_program(shape);
+    run_program(build_program(shape), schedule, shards, join_planning)
+}
+
+fn run_program(
+    program: Program,
+    schedule: &[DeltaEvent],
+    shards: usize,
+    join_planning: bool,
+) -> (Vec<Tuple>, Vec<usize>, Vec<u64>, u64) {
     let mut engine = Engine::new(
         program,
         ring(),
@@ -292,12 +300,65 @@ fn run(
         .iter()
         .map(|ev| engine.derivation_count(&base_tuple(ev)))
         .collect();
+    assert_eq!(
+        engine.eval_errors(),
+        0,
+        "analyzer-accepted program produced statically-impossible eval errors"
+    );
     (
         tuples,
         counts,
         engine.stats().bytes_sent.clone(),
         stats.steps,
     )
+}
+
+/// A mutation applied to an otherwise-valid generated program.  The first
+/// two inject defects the static analyzer *guarantees* it catches (unbound
+/// head variables, unknown built-ins) — exactly the error classes whose
+/// runtime counterparts [`Engine::eval_errors`] counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mutation {
+    None,
+    /// r1's head references a variable its body never binds (`E004`).
+    UnboundHeadVar,
+    /// r2's guard calls a built-in that does not exist (`E010`).
+    UnknownFunction,
+    /// r2's head columns are swapped — may or may not be a type conflict
+    /// depending on what the rest of the program pins down (`E009` when it
+    /// is); either way an accepted program must still run cleanly.
+    SwappedHeadCols,
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    (0usize..4).prop_map(|i| match i {
+        0 => Mutation::None,
+        1 => Mutation::UnboundHeadVar,
+        2 => Mutation::UnknownFunction,
+        _ => Mutation::SwappedHeadCols,
+    })
+}
+
+fn mutate(mut program: Program, mutation: Mutation) -> Program {
+    match mutation {
+        Mutation::None => {}
+        Mutation::UnboundHeadVar => {
+            program.rules[0].head.args[1] = HeadArg::Term(Term::var("Unbound"));
+        }
+        Mutation::UnknownFunction => {
+            if let Some(BodyItem::Constraint(_, lhs, _)) = program.rules[1]
+                .body
+                .iter_mut()
+                .find(|i| matches!(i, BodyItem::Constraint(..)))
+            {
+                *lhs = Expr::Call("f_bogus".into(), vec![Expr::var("V1")]);
+            }
+        }
+        Mutation::SwappedHeadCols => {
+            program.rules[1].head.args.swap(0, 1);
+        }
+    }
+    program
 }
 
 proptest! {
@@ -314,6 +375,48 @@ proptest! {
         prop_assert_eq!(&oracle, &planned4, "planned run diverged at 4 shards");
         let oracle4 = run(&shape, &schedule, 4, false);
         prop_assert_eq!(&oracle, &oracle4, "scan oracle diverged at 4 shards");
+    }
+
+    /// The static analyzer's acceptance is sound for execution: any
+    /// (possibly mutated) program it accepts runs to fixpoint at 1 and 4
+    /// shards without a single statically-impossible evaluation error
+    /// (`run_program` asserts `Engine::eval_errors() == 0`).  Conversely the
+    /// two guaranteed-detectable mutations must always be rejected.
+    #[test]
+    fn analyzer_accepted_programs_run_cleanly(
+        shape in arb_shape(),
+        mutation in arb_mutation(),
+        schedule in arb_schedule(),
+    ) {
+        let program = mutate(build_program(&shape), mutation);
+        let analysis = exspan_ndlog::analyze(&program);
+        match mutation {
+            Mutation::UnboundHeadVar => {
+                prop_assert!(
+                    analysis.errors().any(|d| d.code == "E004"),
+                    "unbound head variable not caught:\n{}",
+                    analysis.diagnostics.render(None)
+                );
+            }
+            Mutation::UnknownFunction => {
+                prop_assert!(
+                    analysis.errors().any(|d| d.code == "E010"),
+                    "unknown built-in not caught:\n{}",
+                    analysis.diagnostics.render(None)
+                );
+            }
+            Mutation::None => prop_assert!(
+                !analysis.has_errors(),
+                "unmutated program rejected:\n{}",
+                analysis.diagnostics.render(None)
+            ),
+            Mutation::SwappedHeadCols => {}
+        }
+        if !analysis.has_errors() {
+            let one = run_program(program.clone(), &schedule, 1, true);
+            let four = run_program(program, &schedule, 4, true);
+            prop_assert_eq!(one, four, "accepted program diverged across shard counts");
+        }
     }
 }
 

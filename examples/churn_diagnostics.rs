@@ -57,7 +57,10 @@ fn main() {
         .execute();
     println!(
         "  initial query: {:?} derivations, latency {:.1} ms",
-        first.annotation.as_ref().and_then(|a| a.as_count()),
+        first
+            .annotation
+            .as_ref()
+            .and_then(exspan::core::Annotation::as_count),
         first.latency().unwrap_or_default() * 1e3
     );
 
@@ -100,7 +103,7 @@ fn main() {
                 println!(
                     "  t={batch_end:.1}s ({applied} churn events applied): {t} has {:?} derivations \
                      [cache: {} hits / {} misses / {} invalidations]",
-                    outcome.annotation.as_ref().and_then(|a| a.as_count()),
+                    outcome.annotation.as_ref().and_then(exspan::core::Annotation::as_count),
                     stats.cache_hits,
                     stats.cache_misses,
                     stats.invalidations,
@@ -113,9 +116,8 @@ fn main() {
     let bw = deployment.avg_bandwidth_mbps();
     let peak = bw.iter().fold(0.0f64, |m, &(_, v)| m.max(v));
     println!(
-        "\nmaintenance traffic stayed at a peak of {:.3} MBps per node under churn \
-         (reference-based provenance adds only 24-byte pointers per derivation)",
-        peak
+        "\nmaintenance traffic stayed at a peak of {peak:.3} MBps per node under churn \
+         (reference-based provenance adds only 24-byte pointers per derivation)"
     );
     let stats = deployment.query_traffic_stats();
     println!(

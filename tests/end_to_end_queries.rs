@@ -310,8 +310,7 @@ fn value_and_reference_provenance_agree_on_derivability() {
             links
                 .iter()
                 .find(|l| l.vid() == vid)
-                .map(|l| l.location % 2 == 0)
-                .unwrap_or(false)
+                .is_some_and(|l| l.location % 2 == 0)
         };
         assert_eq!(
             ref_deployment.derivable_under(handle, trust_even),

@@ -155,7 +155,7 @@ fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64, 
         .unwrap()
         .annotation
         .as_ref()
-        .and_then(|a| a.as_count());
+        .and_then(exspan::core::Annotation::as_count);
     assert!(first_count.is_some());
 
     // Churn invalidates the affected cached results automatically.

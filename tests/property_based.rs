@@ -58,7 +58,7 @@ fn oracle_best_costs(topology: &Topology) -> std::collections::BTreeMap<(u32, u3
             let mut best: Option<(usize, i64)> = None;
             for (i, d) in dist.iter().enumerate() {
                 if let Some(d) = d {
-                    if !visited[i] && best.map(|(_, bd)| *d < bd).unwrap_or(true) {
+                    if !visited[i] && best.map_or(true, |(_, bd)| *d < bd) {
                         best = Some((i, *d));
                     }
                 }
@@ -68,7 +68,7 @@ fn oracle_best_costs(topology: &Topology) -> std::collections::BTreeMap<(u32, u3
             for v in topology.neighbors(u as u32) {
                 let w = topology.link(u as u32, v).unwrap().cost;
                 let nd = du + w;
-                if dist[v as usize].map(|d| nd < d).unwrap_or(true) {
+                if dist[v as usize].map_or(true, |d| nd < d) {
                     dist[v as usize] = Some(nd);
                 }
             }
@@ -120,7 +120,7 @@ proptest! {
         // Base links have base prov entries.
         for link in engine.tuples_everywhere("link") {
             let entries = prov_entries(engine, link.location, link.vid());
-            prop_assert!(entries.iter().any(|e| e.is_base()), "no base entry for {link}");
+            prop_assert!(entries.iter().any(exspan::core::ProvEntry::is_base), "no base entry for {link}");
         }
         // Derived bestPathCost tuples have non-base prov entries.
         let targets: Vec<Tuple> = engine.tuples_everywhere("bestPathCost");
