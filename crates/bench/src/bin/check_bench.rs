@@ -5,6 +5,8 @@
 //! check_bench --time-budget 50 <fresh> <base>     # … plus a wall-clock budget
 //! check_bench --exact <dir-a> <dir-b>             # determinism diff (ignores wall clock)
 //! check_bench --exact --speedup-summary <sharded> <sequential>
+//! check_bench --serve BENCH_serve.json            # service-load sanity gate
+//! check_bench --serve --p99-ceiling-ms 5000 BENCH_serve.json
 //! ```
 //!
 //! Default mode compares freshly generated `BENCH_*.json` files against the
@@ -33,6 +35,13 @@
 //! sequential-vs-sharded wall-clock table is appended to the file named by
 //! `$GITHUB_STEP_SUMMARY` (or printed to stdout when the variable is unset),
 //! so every CI run documents what the extra shards bought.
+//!
+//! `--serve` mode gates one `BENCH_serve.json` record produced by
+//! `serve-loadgen`: nonzero throughput, zero hard protocol errors, and a
+//! p99 wall-clock latency under a deliberately generous ceiling
+//! (`--p99-ceiling-ms`, default 10000) — wall-clock latency varies with the
+//! runner, so this gate catches order-of-magnitude service regressions, not
+//! jitter.
 
 use exspan_bench::BenchReport;
 use std::collections::BTreeMap;
@@ -285,23 +294,109 @@ fn write_speedup_summary(
     }
 }
 
+/// Default p99 latency ceiling for `--serve` mode, in milliseconds.  Latency
+/// here is real wall clock measured under a churning deployment on a shared
+/// runner, so the ceiling is generous on purpose: it trips on
+/// order-of-magnitude service regressions (a stalled worker pump, an accept
+/// loop gone quadratic), not on scheduler jitter.
+const DEFAULT_P99_CEILING_MS: f64 = 10_000.0;
+
+/// Sanity gate over a single `BENCH_serve.json` record from `serve-loadgen`.
+fn check_serve(path: &str, p99_ceiling_ms: f64) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report: BenchReport = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("check_bench: cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut failures = Vec::new();
+    if report.figure != "serve" {
+        failures.push(format!(
+            "{path}: figure is {:?}, expected \"serve\" — is this really a serve-loadgen record?",
+            report.figure
+        ));
+        return failures;
+    }
+    let mut series_mean = |label: &str| -> Option<f64> {
+        let found = report.series(label).map(|s| s.mean);
+        if found.is_none() {
+            failures.push(format!("{path}: series {label:?} is missing"));
+        }
+        found
+    };
+
+    let qps = series_mean("QPS");
+    let p99 = series_mean("latency p99 (ms)");
+    let errors = series_mean("protocol errors");
+    let sessions = series_mean("sessions");
+    if let Some(qps) = qps {
+        println!(
+            "  serve: {qps:.1} QPS over {:.0} session(s)",
+            sessions.unwrap_or(0.0)
+        );
+        // NaN must fail the gate, so compare on the passing side.
+        if qps.is_nan() || qps <= 0.0 {
+            failures.push(format!(
+                "{path}: throughput is {qps} QPS — nothing completed"
+            ));
+        }
+    }
+    if let Some(p99) = p99 {
+        println!("  serve: latency p99 {p99:.1} ms (ceiling {p99_ceiling_ms:.0} ms)");
+        if p99.is_nan() || p99 > p99_ceiling_ms {
+            failures.push(format!(
+                "{path}: latency p99 {p99:.1} ms exceeds the {p99_ceiling_ms:.0} ms ceiling"
+            ));
+        }
+    }
+    if let Some(errors) = errors {
+        if errors != 0.0 {
+            failures.push(format!(
+                "{path}: {errors} hard protocol error(s) — the wire contract was violated"
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exact = false;
     let mut speedup_summary = false;
+    let mut serve = false;
     let mut time_budget: Option<f64> = None;
+    let mut p99_ceiling_ms = DEFAULT_P99_CEILING_MS;
     let mut dirs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--exact" => exact = true,
             "--speedup-summary" => speedup_summary = true,
+            "--serve" => serve = true,
             "--time-budget" => {
                 i += 1;
                 time_budget = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
                     Some(pct) if pct >= 0.0 => Some(pct),
                     _ => {
                         eprintln!("check_bench: --time-budget needs a non-negative percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--p99-ceiling-ms" => {
+                i += 1;
+                p99_ceiling_ms = match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(ms) if ms > 0.0 => ms,
+                    _ => {
+                        eprintln!("check_bench: --p99-ceiling-ms needs a positive number");
                         std::process::exit(2);
                     }
                 };
@@ -313,6 +408,32 @@ fn main() {
             dir => dirs.push(dir.to_string()),
         }
         i += 1;
+    }
+    if serve {
+        // `--serve` takes a single record file and shares nothing with the
+        // directory-diff modes; mixing their flags would silently gate nothing.
+        if exact || speedup_summary || time_budget.is_some() {
+            eprintln!("check_bench: --serve cannot be combined with the directory-diff flags");
+            std::process::exit(2);
+        }
+        if dirs.len() != 1 {
+            eprintln!("usage: check_bench --serve [--p99-ceiling-ms <ms>] <BENCH_serve.json>");
+            std::process::exit(2);
+        }
+        let failures = check_serve(&dirs[0], p99_ceiling_ms);
+        if failures.is_empty() {
+            println!("check_bench: serve gate passed");
+            return;
+        }
+        eprintln!("check_bench: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if p99_ceiling_ms != DEFAULT_P99_CEILING_MS {
+        eprintln!("check_bench: --p99-ceiling-ms only applies to --serve mode");
+        std::process::exit(2);
     }
     if dirs.len() != 2 {
         eprintln!(

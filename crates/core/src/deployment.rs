@@ -50,7 +50,7 @@
 //! ```
 
 use crate::mode::ProvenanceMode;
-use crate::query::{Ctx, QueryOutcome, QueryTrafficStats, SessionCore, TraversalOrder};
+use crate::query::{Ctx, QueryError, QueryOutcome, QueryTrafficStats, SessionCore, TraversalOrder};
 use crate::repr::{Annotation, Repr};
 use crate::rewrite::{provenance_rewrite, RewriteOptions};
 use crate::value_policy::ValueBddPolicy;
@@ -58,7 +58,8 @@ use exspan_ndlog::ast::Program;
 use exspan_ndlog::diag::{Diagnostic, Diagnostics, Severity};
 use exspan_netsim::{ChurnEvent, LinkProps, Topology};
 use exspan_runtime::{
-    Engine, EngineConfig, ExternalSink, FixpointStats, ShardConfig, SharedPolicy,
+    Engine, EngineConfig, Executor, ExternalSink, FixpointStats, ShardConfig, SharedPolicy,
+    SimClock,
 };
 use exspan_types::{Digest, NodeId, Tuple, Value, Vid};
 use std::collections::{BTreeMap, HashMap};
@@ -658,11 +659,6 @@ impl Deployment {
         &self.engine
     }
 
-    /// The underlying engine, for the deprecated [`crate::system`] shim only.
-    pub(crate) fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
-    }
-
     /// The network topology.
     pub fn topology(&self) -> &Topology {
         self.engine.topology()
@@ -829,16 +825,55 @@ impl Deployment {
         self.run_until(f64::INFINITY)
     }
 
-    /// Runs until the next event would occur after `time`.  While queries are
-    /// in flight, events are processed one at a time in global deterministic
-    /// order and query-protocol messages are dispatched to their sessions
-    /// between maintenance deltas; with no query activity, the engine's bulk
-    /// (parallelizable) path is used.
+    /// Runs until the next event would occur after `time`, under the
+    /// deterministic [`SimClock`] executor — the clock of every figure
+    /// experiment and test.  Equivalent to
+    /// `run_with(&mut SimClock, time)`.
+    ///
+    /// While queries are in flight, events are processed one at a time in
+    /// global deterministic order and query-protocol messages are dispatched
+    /// to their sessions between maintenance deltas; with no query activity,
+    /// the engine's bulk (parallelizable) path is used.
     ///
     /// Pending cache invalidations of future-scheduled base-tuple deltas are
     /// applied exactly when the clock passes the delta's time, so results
     /// cached before a scheduled change never survive it.
     pub fn run_until(&mut self, time: f64) -> FixpointStats {
+        self.run_with(&mut SimClock, time)
+    }
+
+    /// Runs toward simulated time `target` under an explicit [`Executor`].
+    ///
+    /// The executor only decides how far each pump may advance ([`SimClock`]
+    /// pays for the whole target at once and this collapses to the exact
+    /// historical `run_until` path; [`WallClock`](exspan_runtime::WallClock)
+    /// caps each pump at the simulated time real time has accrued and
+    /// sleeps between pumps).  Event processing below the horizon is the
+    /// engine's deterministic order either way, so *what* is computed is
+    /// executor-independent — only *when* it is computed changes.
+    pub fn run_with(&mut self, executor: &mut dyn Executor, target: f64) -> FixpointStats {
+        let mut total = FixpointStats {
+            fixpoint_time: self.engine.last_activity(),
+            steps: 0,
+            external: 0,
+        };
+        loop {
+            let horizon = executor.horizon(target);
+            let stats = self.run_clock_segment(horizon);
+            total.steps += stats.steps;
+            total.external += stats.external;
+            total.fixpoint_time = stats.fixpoint_time;
+            if horizon >= target || !executor.is_realtime() {
+                break;
+            }
+            executor.wait(target);
+        }
+        total
+    }
+
+    /// One executor pump: runs the unified clock (maintenance, churn,
+    /// queries, pending cache invalidations) up to the simulated `time`.
+    fn run_clock_segment(&mut self, time: f64) -> FixpointStats {
         let mut total = FixpointStats {
             fixpoint_time: self.engine.last_activity(),
             steps: 0,
@@ -985,9 +1020,38 @@ impl Deployment {
         self.fabric.outcomes.get(handle.index)
     }
 
+    /// The outcome of a submitted query, *only* once it has completed.
+    ///
+    /// The fallible counterpart of [`Deployment::outcome`] for callers that
+    /// need to distinguish "no such query" from "still in flight" —
+    /// `exspan-serve` maps the two [`QueryError`] variants onto distinct
+    /// protocol error codes.
+    pub fn completed_outcome(&self, handle: QueryHandle) -> Result<&QueryOutcome, QueryError> {
+        let outcome = self
+            .fabric
+            .outcomes
+            .get(handle.index)
+            .ok_or(QueryError::UnknownHandle {
+                index: handle.index,
+            })?;
+        if outcome.completed_at.is_none() {
+            return Err(QueryError::NotComplete {
+                index: handle.index,
+            });
+        }
+        Ok(outcome)
+    }
+
     /// Outcomes of all queries submitted so far, in issue order.
     pub fn outcomes(&self) -> &[QueryOutcome] {
         &self.fabric.outcomes
+    }
+
+    /// Number of submitted queries still in flight (not completed, not
+    /// written off as orphaned).  Service front-ends use this for admission
+    /// control.
+    pub fn incomplete_queries(&self) -> usize {
+        self.fabric.incomplete
     }
 
     /// The typed session a query belongs to.

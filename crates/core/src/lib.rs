@@ -39,22 +39,17 @@ pub mod query;
 pub mod repr;
 pub mod rewrite;
 pub mod storage;
-pub mod system;
 pub mod value_policy;
 
 pub use deployment::{
     BuildError, Deployment, DeploymentBuilder, Exspan, QueryBuilder, QueryHandle, QuerySession,
 };
 pub use mode::ProvenanceMode;
-#[allow(deprecated)]
-pub use query::QueryEngine;
-pub use query::{QueryOutcome, QueryTrafficStats, Traversal, TraversalOrder};
+pub use query::{QueryError, QueryOutcome, QueryTrafficStats, Traversal, TraversalOrder};
 pub use repr::{
     Annotation, BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr,
     ProvExpr, ProvenanceRepr, Repr, TrustDomainRepr,
 };
 pub use rewrite::{provenance_rewrite, RewriteOptions};
 pub use storage::{ProvEntry, RuleExecEntry};
-#[allow(deprecated)]
-pub use system::{ProvenanceSystem, SystemConfig};
 pub use value_policy::ValueBddPolicy;

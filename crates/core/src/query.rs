@@ -21,8 +21,7 @@
 //! (a representation + traversal + caching configuration).  Sessions are
 //! owned and driven by [`crate::deployment::Deployment`], whose unified event
 //! loop interleaves query messages with protocol maintenance and churn on one
-//! simulated clock.  The deprecated [`QueryEngine`] wraps a single session
-//! for pre-`Deployment` callers.
+//! simulated clock.
 //!
 //! Optimizations:
 //!
@@ -37,7 +36,7 @@
 
 use crate::repr::{Annotation, ProvenanceRepr};
 use crate::storage::{prov_entries, rule_exec_entry};
-use exspan_runtime::{Engine, Step};
+use exspan_runtime::Engine;
 use exspan_types::wire::{message_size, BandwidthSeries};
 use exspan_types::{sha1_digest, Digest, NodeId, Rid, Tuple, Value, Vid};
 use rand::rngs::SmallRng;
@@ -232,16 +231,8 @@ impl SessionCore {
         }
     }
 
-    pub(crate) fn set_caching(&mut self, enabled: bool) {
-        self.caching_enabled = enabled;
-    }
-
     pub(crate) fn caching(&self) -> bool {
         self.caching_enabled
-    }
-
-    pub(crate) fn traversal(&self) -> TraversalOrder {
-        self.traversal
     }
 
     pub(crate) fn repr(&self) -> &dyn ProvenanceRepr {
@@ -914,156 +905,54 @@ impl std::fmt::Debug for SessionCore {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated standalone query engine
-// ---------------------------------------------------------------------------
-
-/// The pre-[`crate::deployment::Deployment`] standalone query processor: one
-/// query session driven by hand against a mutable engine.
+/// Why polling a query result failed.
 ///
-/// Superseded by the unified deployment event loop, where queries are
-/// submitted with [`crate::deployment::Deployment::query`] and progress
-/// together with maintenance and churn under
-/// [`crate::deployment::Deployment::run_until`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use Deployment::query(..).submit() and the deployment's unified \
-            run_until / run_to_fixpoint loop instead"
-)]
-pub struct QueryEngine {
-    core: SessionCore,
-    outcomes: Vec<QueryOutcome>,
-    route: HashMap<Digest, usize>,
-    next_id: u64,
-    incomplete: usize,
+/// Returned by [`crate::deployment::Deployment::completed_outcome`] — the
+/// fallible counterpart of the `Option`-returning
+/// [`crate::deployment::Deployment::outcome`] — and wrapped by the top-level
+/// `exspan::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The handle's index does not name a query of this deployment.
+    UnknownHandle {
+        /// The handle's global issue-order index.
+        index: usize,
+    },
+    /// The query has not completed yet — advance the deployment's clock and
+    /// poll again.  Queries whose protocol messages the simulator dropped
+    /// (e.g. churn partitioned the issuer from the target) stay in this
+    /// state permanently and honestly.
+    NotComplete {
+        /// The handle's global issue-order index.
+        index: usize,
+    },
+    /// The query's session is not backed by the requested concrete
+    /// representation (e.g. asking for BDD trust evaluation on a
+    /// polynomial session).
+    ReprMismatch {
+        /// Name of the representation the session actually uses.
+        actual: &'static str,
+    },
 }
 
-#[allow(deprecated)]
-impl QueryEngine {
-    /// Creates a query engine with the given representation and traversal.
-    pub fn new(repr: Box<dyn ProvenanceRepr>, traversal: TraversalOrder) -> Self {
-        QueryEngine {
-            core: SessionCore::new(0, repr, traversal, false),
-            outcomes: Vec::new(),
-            route: HashMap::new(),
-            next_id: 0,
-            incomplete: 0,
-        }
-    }
-
-    /// Enables or disables result caching (§6.1).
-    pub fn set_caching(&mut self, enabled: bool) {
-        self.core.set_caching(enabled);
-    }
-
-    /// The traversal order in use.
-    pub fn traversal(&self) -> TraversalOrder {
-        self.core.traversal()
-    }
-
-    /// The representation in use (for post-processing annotations, e.g. BDD
-    /// trust evaluation).
-    pub fn repr(&self) -> &dyn ProvenanceRepr {
-        self.core.repr()
-    }
-
-    /// Outcomes of all queries issued so far, in issue order.
-    pub fn outcomes(&self) -> &[QueryOutcome] {
-        &self.outcomes
-    }
-
-    /// Query-traffic statistics.
-    pub fn stats(&self) -> &QueryTrafficStats {
-        self.core.stats()
-    }
-
-    /// Bandwidth time-series of query traffic (bytes per second).
-    pub fn bandwidth_samples(&self) -> Vec<(f64, f64)> {
-        self.core.bandwidth_samples()
-    }
-
-    /// Number of cache entries currently held across all nodes.
-    pub fn cache_entries(&self) -> usize {
-        self.core.cache_entries()
-    }
-
-    /// Issues a provenance query for `target` from `issuer` immediately.
-    /// Returns the outcome index.
-    pub fn query_now(&mut self, engine: &mut Engine, issuer: NodeId, target: &Tuple) -> usize {
-        self.incomplete += 1;
-        let mut ctx = Ctx {
-            engine,
-            outcomes: &mut self.outcomes,
-            route: &mut self.route,
-            next_id: &mut self.next_id,
-            incomplete: &mut self.incomplete,
-        };
-        self.core.issue_now(&mut ctx, issuer, target)
-    }
-
-    /// Schedules a provenance query for `target` to be issued by `issuer` at
-    /// simulated time `time`.  Returns the outcome index.
-    pub fn schedule_query(
-        &mut self,
-        engine: &mut Engine,
-        time: f64,
-        issuer: NodeId,
-        target: &Tuple,
-    ) -> usize {
-        self.incomplete += 1;
-        let mut ctx = Ctx {
-            engine,
-            outcomes: &mut self.outcomes,
-            route: &mut self.route,
-            next_id: &mut self.next_id,
-            incomplete: &mut self.incomplete,
-        };
-        self.core.issue_at(&mut ctx, time, issuer, target)
-    }
-
-    /// Drives the engine until its event queue is empty, handling all query
-    /// protocol messages.
-    pub fn run(&mut self, engine: &mut Engine) {
-        loop {
-            match engine.step() {
-                Step::Idle => break,
-                Step::Handled => {}
-                Step::External {
-                    node, tuple, time, ..
-                } => {
-                    self.handle_external(engine, node, &tuple, time);
-                }
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownHandle { index } => {
+                write!(
+                    f,
+                    "query handle #{index} does not belong to this deployment"
+                )
+            }
+            QueryError::NotComplete { index } => {
+                write!(f, "query #{index} has not completed yet")
+            }
+            QueryError::ReprMismatch { actual } => {
+                write!(f, "query session uses the {actual} representation")
             }
         }
     }
-
-    /// Handles one external (query-protocol) tuple.
-    pub fn handle_external(&mut self, engine: &mut Engine, node: NodeId, tuple: &Tuple, time: f64) {
-        let mut ctx = Ctx {
-            engine,
-            outcomes: &mut self.outcomes,
-            route: &mut self.route,
-            next_id: &mut self.next_id,
-            incomplete: &mut self.incomplete,
-        };
-        self.core.handle_external(&mut ctx, node, tuple, time);
-    }
-
-    /// Invalidates every cached result that (transitively) depends on the
-    /// tuple vertex `vid`.
-    pub fn invalidate(&mut self, vid: Vid) {
-        self.core.invalidate(vid);
-    }
 }
 
-#[allow(deprecated)]
-impl std::fmt::Debug for QueryEngine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QueryEngine")
-            .field("traversal", &self.core.traversal())
-            .field("caching_enabled", &self.core.caching())
-            .field("outcomes", &self.outcomes.len())
-            .field("cache_entries", &self.core.cache_entries())
-            .finish()
-    }
-}
+impl std::error::Error for QueryError {}

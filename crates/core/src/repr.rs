@@ -239,7 +239,10 @@ impl Annotation {
 }
 
 /// The `(f_pEDB, f_pIDB, f_pRULE)` customization triple plus sizing.
-pub trait ProvenanceRepr {
+///
+/// `Send` is a supertrait so whole deployments (which own one boxed
+/// representation per query session) can move onto a service worker thread.
+pub trait ProvenanceRepr: Send {
     /// Human-readable name (used in experiment output).
     fn name(&self) -> &'static str;
 
@@ -502,8 +505,9 @@ impl ProvenanceRepr for DerivationCountRepr {
 /// tuples the querier is willing to trust?
 pub struct DerivabilityRepr {
     /// Predicate deciding whether a base tuple (by VID, at a location) is
-    /// trusted.  Untrusted base tuples evaluate to `false`.
-    pub trust: Box<dyn Fn(Vid, NodeId) -> bool>,
+    /// trusted.  Untrusted base tuples evaluate to `false`.  `Send` because
+    /// the representation travels with its deployment onto worker threads.
+    pub trust: Box<dyn Fn(Vid, NodeId) -> bool + Send>,
 }
 
 impl Default for DerivabilityRepr {

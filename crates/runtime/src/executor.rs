@@ -1,0 +1,227 @@
+//! Executors: how simulated time is allowed to advance.
+//!
+//! The engine itself is a pure discrete-event machine — [`crate::Engine`]
+//! processes events in deterministic `(time, source, seq)` order up to
+//! whatever simulated-time limit its caller passes.  What *paces* those calls
+//! is a policy decision that historically had exactly one answer ("as fast as
+//! possible, to the requested horizon"), baked into every driver.  The
+//! [`Executor`] trait makes the pacing explicit so the same shard core can
+//! run under two very different regimes:
+//!
+//! * [`SimClock`] — the deterministic simulator clock used by the figure
+//!   experiments, the tests and the byte-identical baselines.  The horizon
+//!   *is* the caller's target: one pump covers the whole request, and the
+//!   executor never waits.  Driving a deployment through `SimClock` is
+//!   bit-identical to the historical direct `run_until` path by
+//!   construction (it performs the same single call).
+//! * [`WallClock`] — a real-time executor for live service front-ends
+//!   (`exspan-serve`).  Simulated time accrues at a configurable rate
+//!   relative to a wall-clock epoch; each pump may only advance the engine
+//!   to the simulated time that real time has "paid for" so far, and
+//!   reaching a target beyond the accrued horizon requires waiting for the
+//!   wall clock.  The loop is tokio-free: waiting is a plain bounded
+//!   `thread::sleep`.
+//!
+//! Drivers generalize over the trait with the pump-loop shape implemented by
+//! `exspan_core::Deployment::run_with`:
+//!
+//! ```text
+//! loop {
+//!     let h = executor.horizon(target);
+//!     engine.run_until(h);                 // deterministic event processing
+//!     if h >= target || !executor.is_realtime() { break; }
+//!     executor.wait(target);               // let real time accrue
+//! }
+//! ```
+//!
+//! Determinism is unaffected by the split: an executor only chooses *which
+//! horizon* to pass to the engine, never how events are ordered below it, and
+//! `SimClock` chooses exactly the horizons the pre-trait code passed.
+
+use std::time::{Duration, Instant};
+
+/// Paces how far simulated time may advance per engine pump.
+///
+/// Implementations must be [`Send`] so service front-ends can own an executor
+/// on a dedicated worker thread.
+pub trait Executor: Send {
+    /// Short identifier used in reports and logs (`"sim"`, `"wall"`).
+    fn name(&self) -> &'static str;
+
+    /// The simulated time the engine may advance to right now, given that the
+    /// caller ultimately wants to reach `target`.  Never exceeds `target`.
+    fn horizon(&mut self, target: f64) -> f64;
+
+    /// Whether this executor's horizon is coupled to real time.  When
+    /// `false` (the [`SimClock`] case) a single pump to [`Executor::horizon`]
+    /// covers the whole target and callers must not loop — looping would be
+    /// harmless for the engine but pointless.
+    fn is_realtime(&self) -> bool {
+        false
+    }
+
+    /// Blocks until more simulated time has accrued toward `target`.
+    /// Real-time executors sleep a bounded quantum; the deterministic
+    /// executor never needs to wait and returns immediately.
+    fn wait(&mut self, target: f64) {
+        let _ = target;
+    }
+}
+
+/// The deterministic simulator clock: simulated time is unconstrained by real
+/// time, so every pump runs straight to the caller's target.
+///
+/// This is the executor behind all figure experiments and tests; driving a
+/// deployment through it is byte-identical to the historical direct
+/// `run_until` path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimClock;
+
+impl Executor for SimClock {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn horizon(&mut self, target: f64) -> f64 {
+        target
+    }
+}
+
+/// A real-time executor: simulated seconds accrue at [`WallClock::rate`]
+/// per elapsed wall-clock second since the executor's epoch.
+///
+/// The engine may only ever process events whose simulated time the wall
+/// clock has already paid for, which is what lets a live server interleave
+/// query admission, churn and protocol maintenance at a human-observable
+/// pace instead of racing the whole simulation to fixpoint on every pump.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+    /// Simulated time at the epoch (horizons are `origin + elapsed × rate`).
+    origin: f64,
+    /// Simulated seconds accrued per wall-clock second.
+    rate: f64,
+    /// Sleep quantum used by [`Executor::wait`].
+    quantum: Duration,
+}
+
+impl WallClock {
+    /// Default wait quantum: short enough that a service worker stays
+    /// responsive, long enough not to busy-spin.
+    pub const DEFAULT_QUANTUM: Duration = Duration::from_millis(1);
+
+    /// Creates a wall-clock executor whose simulated clock starts at
+    /// `origin` (usually the deployment's current `now()`) and advances
+    /// `rate` simulated seconds per wall second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite — a stalled or
+    /// inverted clock would never reach any horizon.
+    pub fn starting_at(origin: f64, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "WallClock rate must be finite and > 0, got {rate}"
+        );
+        WallClock {
+            epoch: Instant::now(),
+            origin,
+            rate,
+            quantum: Self::DEFAULT_QUANTUM,
+        }
+    }
+
+    /// Creates a wall-clock executor starting at simulated time 0 advancing
+    /// in real time (one simulated second per wall second).
+    pub fn realtime() -> Self {
+        Self::starting_at(0.0, 1.0)
+    }
+
+    /// Replaces the sleep quantum used while waiting for time to accrue.
+    pub fn with_quantum(mut self, quantum: Duration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Simulated seconds accrued per wall-clock second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The simulated time the wall clock has paid for so far.
+    pub fn accrued(&self) -> f64 {
+        self.origin + self.epoch.elapsed().as_secs_f64() * self.rate
+    }
+}
+
+impl Executor for WallClock {
+    fn name(&self) -> &'static str {
+        "wall"
+    }
+
+    fn horizon(&mut self, target: f64) -> f64 {
+        self.accrued().min(target)
+    }
+
+    fn is_realtime(&self) -> bool {
+        true
+    }
+
+    fn wait(&mut self, target: f64) {
+        let deficit = target - self.accrued();
+        if deficit <= 0.0 {
+            return;
+        }
+        // Sleep the smaller of one quantum and the wall time the deficit
+        // actually needs, so short gaps don't overshoot by a full quantum.
+        let needed = Duration::from_secs_f64((deficit / self.rate).min(60.0));
+        std::thread::sleep(needed.min(self.quantum));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_horizon_is_the_target_and_never_waits() {
+        let mut exec = SimClock;
+        assert_eq!(exec.name(), "sim");
+        assert!(!exec.is_realtime());
+        assert_eq!(exec.horizon(42.5), 42.5);
+        assert_eq!(exec.horizon(f64::INFINITY), f64::INFINITY);
+        let start = Instant::now();
+        exec.wait(1e9);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wall_clock_accrues_monotonically_and_respects_target() {
+        let mut exec = WallClock::starting_at(10.0, 1000.0);
+        assert_eq!(exec.name(), "wall");
+        assert!(exec.is_realtime());
+        let h0 = exec.horizon(f64::INFINITY);
+        assert!(h0 >= 10.0);
+        std::thread::sleep(Duration::from_millis(5));
+        let h1 = exec.horizon(f64::INFINITY);
+        assert!(h1 > h0, "accrued simulated time must grow with wall time");
+        // A target below the accrued horizon caps the pump.
+        assert_eq!(exec.horizon(10.5), 10.5);
+    }
+
+    #[test]
+    fn wall_clock_wait_lets_a_nearby_target_accrue() {
+        let mut exec = WallClock::starting_at(0.0, 1000.0).with_quantum(Duration::from_millis(2));
+        let target = exec.accrued() + 5.0; // 5 simulated ms away
+        while exec.horizon(target) < target {
+            exec.wait(target);
+        }
+        assert!(exec.accrued() >= target);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite")]
+    fn wall_clock_rejects_nonpositive_rate() {
+        let _ = WallClock::starting_at(0.0, 0.0);
+    }
+}

@@ -19,6 +19,11 @@
 //!   worker threads in deterministic barrier windows, producing results
 //!   bit-identical to the sequential engine
 //!   ([`shard::ShardConfig::sequential`]).
+//! * [`executor`] — the [`executor::Executor`] pacing trait:
+//!   [`executor::SimClock`] (deterministic figures/tests clock) and
+//!   [`executor::WallClock`] (real-time pacing for live service
+//!   front-ends) decide how far each engine pump may advance simulated
+//!   time, without ever touching event order below the horizon.
 //! * [`plugin`] — the [`plugin::AnnotationPolicy`] hook through which the
 //!   provenance layer implements *value-based* provenance (annotations
 //!   attached to every transmitted tuple) without the engine knowing anything
@@ -30,11 +35,13 @@
 //! `exspan-core` can be layered on top as plain message traffic.
 
 pub mod engine;
+pub mod executor;
 pub mod plugin;
 pub mod shard;
 pub mod table;
 
 pub use engine::{Engine, EngineConfig, FixpointStats, Payload, Step};
+pub use executor::{Executor, SimClock, WallClock};
 pub use plugin::{AnnotationPolicy, AnnotationToken, ExternalSink};
 pub use shard::{ShardConfig, SharedPolicy};
 pub use table::{DeleteEffect, InsertEffect, Table};

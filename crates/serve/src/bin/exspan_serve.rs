@@ -1,0 +1,155 @@
+//! `exspan-serve` — boot a deployment and serve it over TCP.
+//!
+//! ```text
+//! exspan-serve [--addr 127.0.0.1:0] [--domains 1] [--seed 42]
+//!              [--clock-rate 50] [--rate 500] [--burst 64]
+//!              [--max-sessions 256] [--max-inflight 4096]
+//!              [--churn-duration 30] [--no-churn]
+//! ```
+//!
+//! Prints the bound address on stdout, serves until stdin reaches EOF
+//! (Ctrl-D, or the parent process closing the pipe), then shuts down.
+
+use exspan_core::{Exspan, ProvenanceMode};
+use exspan_netsim::{ChurnModel, Topology};
+use exspan_serve::{ServeConfig, Server};
+use std::io::BufRead;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    domains: usize,
+    seed: u64,
+    clock_rate: f64,
+    rate: f64,
+    burst: u32,
+    max_sessions: usize,
+    max_inflight: usize,
+    churn_duration: f64,
+    churn: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".into(),
+        domains: 1,
+        seed: 42,
+        clock_rate: 50.0,
+        rate: 500.0,
+        burst: 64,
+        max_sessions: 256,
+        max_inflight: 4096,
+        churn_duration: 30.0,
+        churn: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--domains" => args.domains = parse(&value("--domains")?, "--domains")?,
+            "--seed" => args.seed = parse(&value("--seed")?, "--seed")?,
+            "--clock-rate" => args.clock_rate = parse(&value("--clock-rate")?, "--clock-rate")?,
+            "--rate" => args.rate = parse(&value("--rate")?, "--rate")?,
+            "--burst" => args.burst = parse(&value("--burst")?, "--burst")?,
+            "--max-sessions" => {
+                args.max_sessions = parse(&value("--max-sessions")?, "--max-sessions")?;
+            }
+            "--max-inflight" => {
+                args.max_inflight = parse(&value("--max-inflight")?, "--max-inflight")?;
+            }
+            "--churn-duration" => {
+                args.churn_duration = parse(&value("--churn-duration")?, "--churn-duration")?;
+            }
+            "--no-churn" => args.churn = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("exspan-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let topology = Topology::transit_stub(args.domains, args.seed);
+    let mut deployment = match Exspan::builder()
+        .program(exspan_ndlog::programs::mincost())
+        .topology(topology)
+        .mode(ProvenanceMode::Reference)
+        .build()
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("exspan-serve: cannot build deployment: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("exspan-serve: running protocol to fixpoint…");
+    deployment.run_to_fixpoint();
+
+    if args.churn {
+        let churn = ChurnModel {
+            interval: 0.5,
+            changes_per_batch: 3,
+            seed: args.seed ^ 0xC0FFEE,
+        };
+        let schedule = churn.schedule(deployment.topology(), args.churn_duration);
+        let start = deployment.now();
+        let events = schedule.len();
+        for event in &schedule {
+            deployment.schedule_churn_event(event, start + event.time);
+        }
+        eprintln!(
+            "exspan-serve: {events} churn events scheduled over {} simulated seconds",
+            args.churn_duration
+        );
+    }
+
+    let server = match Server::start(
+        deployment,
+        ServeConfig {
+            addr: args.addr,
+            max_sessions: args.max_sessions,
+            max_inflight: args.max_inflight,
+            rate: args.rate,
+            burst: args.burst,
+            clock_rate: args.clock_rate,
+            ..ServeConfig::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("exspan-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address is the one line of stdout, so scripts can do
+    // `ADDR=$(exspan-serve ... &)`-style capture.
+    println!("{}", server.addr());
+    eprintln!("exspan-serve: serving (EOF on stdin shuts down)");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    eprintln!("exspan-serve: shutting down");
+    let deployment = server.shutdown();
+    eprintln!(
+        "exspan-serve: done — {} queries issued, {} still in flight",
+        deployment.outcomes().len(),
+        deployment.incomplete_queries()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,120 @@
+//! `serve-loadgen` — replay concurrent provenance queries against an
+//! in-process, actively churning server and emit `BENCH_serve.json`.
+//!
+//! ```text
+//! serve-loadgen [--sessions 64] [--queries 4] [--domains 1] [--seed 42]
+//!               [--clock-rate 200] [--no-churn] [--out BENCH_serve.json]
+//! ```
+//!
+//! Exit status is non-zero if any hard protocol error occurred or nothing
+//! completed, so CI can gate directly on the process.
+
+use exspan_serve::loadgen::{bench_report, run, LoadgenConfig};
+use std::process::ExitCode;
+
+struct Args {
+    config: LoadgenConfig,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: LoadgenConfig::default(),
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--sessions" => args.config.sessions = parse(&value("--sessions")?, "--sessions")?,
+            "--queries" => {
+                args.config.queries_per_session = parse(&value("--queries")?, "--queries")?;
+            }
+            "--domains" => args.config.domains = parse(&value("--domains")?, "--domains")?,
+            "--seed" => args.config.seed = parse(&value("--seed")?, "--seed")?,
+            "--clock-rate" => {
+                args.config.clock_rate = parse(&value("--clock-rate")?, "--clock-rate")?;
+            }
+            "--no-churn" => args.config.churn = false,
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "serve-loadgen: {} sessions × {} queries over {} domain(s), churn {}",
+        args.config.sessions,
+        args.config.queries_per_session,
+        args.config.domains,
+        if args.config.churn { "on" } else { "off" },
+    );
+    let summary = match run(&args.config) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("serve-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "serve-loadgen: {} submitted, {} completed, {} timed out, {} protocol errors, \
+         {} backpressure events",
+        summary.submitted,
+        summary.completed,
+        summary.timed_out,
+        summary.protocol_errors,
+        summary.backpressure_events,
+    );
+    eprintln!(
+        "serve-loadgen: {:.1} QPS, latency p50 {:.1} ms / p95 {:.1} ms / p99 {:.1} ms \
+         over {:.2} s",
+        summary.qps, summary.p50_ms, summary.p95_ms, summary.p99_ms, summary.wall_seconds,
+    );
+
+    let report = bench_report(&summary, 1);
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("serve-loadgen: cannot serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("serve-loadgen: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("serve-loadgen: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-loadgen: wrote {}", args.out);
+
+    if summary.protocol_errors > 0 {
+        eprintln!("serve-loadgen: FAILED — hard protocol errors occurred");
+        return ExitCode::FAILURE;
+    }
+    if summary.completed == 0 {
+        eprintln!("serve-loadgen: FAILED — nothing completed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,219 @@
+//! A small blocking client for the wire protocol — the counterpart
+//! `serve-loadgen` and the protocol tests drive the server with.
+
+use crate::error::ServeError;
+use crate::proto::{self, Frame, FrameRead, QuerySpec, QueryState, PROTOCOL_VERSION};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// What the server advertised in its `HelloAck`.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Name of the NDlog program the deployment runs.
+    pub program: String,
+    /// Number of nodes in the topology.
+    pub nodes: u32,
+    /// Global in-flight query limit.
+    pub max_inflight: u32,
+    /// This session's token-bucket refill rate (requests per second).
+    pub rate: f64,
+    /// This session's token-bucket burst capacity.
+    pub burst: u32,
+}
+
+/// Result of polling a query.
+#[derive(Debug, Clone)]
+pub struct PollStatus {
+    /// Completion state.
+    pub state: QueryState,
+    /// Simulated seconds from issue to completion (0 while pending).
+    pub latency: f64,
+    /// Result summary (empty while pending).
+    pub summary: String,
+}
+
+/// One connected, greeted protocol session.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    info: SessionInfo,
+    next_request: u64,
+}
+
+impl ServeClient {
+    /// Connects and performs the `Hello` / `HelloAck` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        proto::write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        let info = match read_one(&mut reader)? {
+            Frame::HelloAck {
+                session,
+                program,
+                nodes,
+                max_inflight,
+                rate,
+                burst,
+            } => SessionInfo {
+                session,
+                program,
+                nodes,
+                max_inflight,
+                rate,
+                burst,
+            },
+            Frame::Error {
+                code,
+                request,
+                message,
+            } => {
+                return Err(ServeError::Protocol {
+                    code,
+                    request,
+                    message,
+                })
+            }
+            other => {
+                return Err(ServeError::UnexpectedFrame {
+                    got: other.name(),
+                    expected: "HelloAck",
+                })
+            }
+        };
+        Ok(ServeClient {
+            reader,
+            writer,
+            info,
+            next_request: 1,
+        })
+    }
+
+    /// The server's handshake metadata.
+    pub fn info(&self) -> &SessionInfo {
+        &self.info
+    }
+
+    fn request_id(&mut self) -> u64 {
+        let id = self.next_request;
+        self.next_request += 1;
+        id
+    }
+
+    /// Submits a query; returns the server-assigned query id.
+    ///
+    /// Typed error frames surface as [`ServeError::Protocol`] — check
+    /// [`ServeError::is_backpressure`] to distinguish rate-limit/admission
+    /// pushback (retry after a pause) from hard failures.
+    pub fn submit(&mut self, spec: QuerySpec) -> Result<u64, ServeError> {
+        let request = self.request_id();
+        proto::write_frame(&mut self.writer, &Frame::SubmitQuery { request, spec })?;
+        match read_one(&mut self.reader)? {
+            Frame::SubmitAck { query, .. } => Ok(query),
+            Frame::Error {
+                code,
+                request,
+                message,
+            } => Err(ServeError::Protocol {
+                code,
+                request,
+                message,
+            }),
+            other => Err(ServeError::UnexpectedFrame {
+                got: other.name(),
+                expected: "SubmitAck",
+            }),
+        }
+    }
+
+    /// Polls a query once.
+    pub fn poll(&mut self, query: u64) -> Result<PollStatus, ServeError> {
+        let request = self.request_id();
+        proto::write_frame(&mut self.writer, &Frame::Poll { request, query })?;
+        match read_one(&mut self.reader)? {
+            Frame::QueryStatus {
+                state,
+                latency,
+                summary,
+                ..
+            } => Ok(PollStatus {
+                state,
+                latency,
+                summary,
+            }),
+            Frame::Error {
+                code,
+                request,
+                message,
+            } => Err(ServeError::Protocol {
+                code,
+                request,
+                message,
+            }),
+            other => Err(ServeError::UnexpectedFrame {
+                got: other.name(),
+                expected: "QueryStatus",
+            }),
+        }
+    }
+
+    /// Polls until the query completes, backing off `poll_every` between
+    /// polls (absorbing rate-limit pushback), for at most `timeout` wall
+    /// time.  Returns `Ok(None)` on timeout.
+    pub fn wait(
+        &mut self,
+        query: u64,
+        timeout: Duration,
+        poll_every: Duration,
+    ) -> Result<Option<PollStatus>, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.poll(query) {
+                Ok(status) if status.state == QueryState::Complete => {
+                    return Ok(Some(status));
+                }
+                Ok(_) => {}
+                Err(e) if e.is_backpressure() => {}
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(poll_every);
+        }
+    }
+
+    /// Sends an orderly goodbye and waits for the echo.
+    pub fn bye(mut self) -> Result<(), ServeError> {
+        proto::write_frame(&mut self.writer, &Frame::Bye)?;
+        match read_one(&mut self.reader)? {
+            Frame::Bye => Ok(()),
+            other => Err(ServeError::UnexpectedFrame {
+                got: other.name(),
+                expected: "Bye",
+            }),
+        }
+    }
+}
+
+/// Reads and decodes exactly one frame, treating EOF and oversized frames as
+/// errors (the *server* never sends oversized frames).
+fn read_one(reader: &mut BufReader<TcpStream>) -> Result<Frame, ServeError> {
+    match proto::read_frame(reader)? {
+        None => Err(ServeError::ConnectionClosed),
+        Some(FrameRead::Oversized { .. }) => Err(ServeError::UnexpectedFrame {
+            got: "oversized frame",
+            expected: "a bounded frame",
+        }),
+        Some(FrameRead::Body(body)) => Ok(proto::decode_frame(&body)?),
+    }
+}

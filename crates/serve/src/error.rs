@@ -1,0 +1,92 @@
+//! Typed errors of the service front-end.
+
+use crate::proto::{ErrorCode, WireError};
+
+/// Everything that can go wrong speaking the `exspan-serve` protocol, on
+/// either side of the connection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A frame failed to encode or decode locally.
+    Wire(WireError),
+    /// The peer answered with a typed protocol error frame.
+    Protocol {
+        /// The error code from the wire.
+        code: ErrorCode,
+        /// The request id the error is attributed to (0 if none).
+        request: u64,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+    /// The peer sent a frame that is valid on the wire but wrong for the
+    /// current protocol state.
+    UnexpectedFrame {
+        /// Name of the frame that arrived.
+        got: &'static str,
+        /// What the state machine was waiting for.
+        expected: &'static str,
+    },
+    /// The connection closed before the exchange finished.
+    ConnectionClosed,
+}
+
+impl ServeError {
+    /// The protocol error code, if this is a peer-reported protocol error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ServeError::Protocol { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// Whether the error is transient backpressure (admission control or
+    /// rate limiting) that a client should absorb by backing off.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self.code(),
+            Some(ErrorCode::Admission | ErrorCode::RateLimited)
+        )
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Wire(e) => write!(f, "{e}"),
+            ServeError::Protocol {
+                code,
+                request,
+                message,
+            } => write!(f, "protocol error (request {request}): {code}: {message}"),
+            ServeError::UnexpectedFrame { got, expected } => {
+                write!(f, "unexpected {got} frame (expected {expected})")
+            }
+            ServeError::ConnectionClosed => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}

@@ -1,0 +1,74 @@
+//! # exspan-serve
+//!
+//! A wall-clock service front-end for ExSPAN deployments: the same
+//! `Deployment` that regenerates the paper's figures, served over TCP to
+//! concurrent client sessions while the deployment keeps churning.
+//!
+//! ## Executor migration: `SimClock` vs `WallClock`
+//!
+//! Historically every driver raced the simulation "as fast as possible" to a
+//! requested horizon.  That policy is now the
+//! [`exspan_runtime::Executor`] trait with two implementations:
+//!
+//! * [`exspan_runtime::SimClock`] — the deterministic clock.
+//!   `Deployment::run_until(t)` is literally `run_with(&mut SimClock, t)`:
+//!   one pump straight to the target, byte-identical to the pre-trait code.
+//!   Figures, tests and baselines all ride this path.
+//! * [`exspan_runtime::WallClock`] — simulated seconds accrue at a
+//!   configurable rate per wall-clock second.  `run_with(&mut wall, t)`
+//!   pumps only as far as real time has paid for, sleeping a bounded
+//!   quantum between pumps (no tokio, just `thread::sleep`).  This is what
+//!   lets a server interleave query admission with gradual protocol churn.
+//!
+//! An executor only chooses the *horizon* of each pump, never the order of
+//! events below it — determinism below the horizon is untouched.
+//!
+//! ## Wire protocol
+//!
+//! Length-prefixed frames over TCP (see [`proto`] for the byte-level
+//! layout):
+//!
+//! ```text
+//! length: u32 BE │ type: u8 │ payload
+//! ```
+//!
+//! A session is `Hello → HelloAck`, then any number of pipelined
+//! `SubmitQuery → SubmitAck` / `Poll → QueryStatus` exchanges, then
+//! `Bye ↔ Bye`.  Every violation — malformed body, oversized frame,
+//! pre-handshake request, admission-control overflow, rate-limit
+//! exhaustion, unknown query id — is answered with a typed
+//! [`proto::ErrorCode`] on a connection that *stays open*.
+//!
+//! Server-side limits ([`ServeConfig`]): a bounded accept queue
+//! (`max_sessions`), a global in-flight query cap (`max_inflight`), and a
+//! per-session token bucket ([`limiter::TokenBucket`]).
+//!
+//! ## Loadgen quick-start
+//!
+//! ```bash
+//! # 64 concurrent sessions, 4 queries each, against a churning deployment:
+//! cargo run --release -p exspan-serve --bin serve-loadgen -- \
+//!     --sessions 64 --queries 4 --out BENCH_serve.json
+//!
+//! # Gate the result like the figure benches:
+//! cargo run --release -p exspan-bench --bin check_bench -- \
+//!     --serve BENCH_serve.json
+//! ```
+//!
+//! Or serve interactively: `cargo run -p exspan-serve --bin exspan-serve`
+//! prints the bound address and serves until stdin closes.  The in-process
+//! equivalent is [`Server::start`] + [`ServeClient::connect`].
+
+pub mod client;
+pub mod error;
+pub mod limiter;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::{PollStatus, ServeClient, SessionInfo};
+pub use error::ServeError;
+pub use limiter::TokenBucket;
+pub use loadgen::{bench_report, LoadgenConfig, LoadgenSummary};
+pub use proto::{ErrorCode, Frame, QuerySpec, QueryState, WireError};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,360 @@
+//! The load generator behind the `serve-loadgen` binary.
+//!
+//! Boots a deployment (mincost over a transit-stub topology, reference-based
+//! provenance), pre-schedules link churn so the served deployment keeps
+//! *changing* while it is queried, starts an in-process [`Server`], and
+//! replays provenance queries from many concurrent client sessions.  Emits a
+//! [`BenchReport`] (`BENCH_serve.json`) in the same machine-readable format
+//! `check_bench` gates for the figures.
+
+use crate::client::ServeClient;
+use crate::proto::QuerySpec;
+use crate::server::{ServeConfig, Server};
+use exspan_bench::report::{BenchReport, BenchSeries};
+use exspan_core::{Exspan, ProvenanceMode, Repr, Traversal};
+use exspan_netsim::{ChurnModel, Topology};
+use exspan_types::{NodeId, Tuple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Workload shape of one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Queries each session submits (and waits out) sequentially.
+    pub queries_per_session: usize,
+    /// Transit-stub domains of the served topology (100 nodes per domain).
+    pub domains: usize,
+    /// Base random seed (workload and churn schedule).
+    pub seed: u64,
+    /// Simulated seconds the server advances per wall-clock second.
+    pub clock_rate: f64,
+    /// Whether to keep the deployment churning while it is queried.
+    pub churn: bool,
+    /// Simulated seconds of pre-scheduled churn.
+    pub churn_duration: f64,
+    /// Per-session token-bucket rate handed to the server (requests/s).
+    pub rate: f64,
+    /// Per-session token-bucket burst handed to the server.
+    pub burst: u32,
+    /// Wall-clock pause between completion polls.
+    pub poll_every: Duration,
+    /// Wall-clock budget to wait out one query before writing it off.
+    pub query_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            sessions: 64,
+            queries_per_session: 4,
+            domains: 1,
+            seed: 42,
+            clock_rate: 200.0,
+            churn: true,
+            churn_duration: 30.0,
+            rate: 400.0,
+            burst: 128,
+            poll_every: Duration::from_millis(5),
+            query_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Aggregate results of one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadgenSummary {
+    /// Sessions that connected and completed their workload.
+    pub sessions: usize,
+    /// Queries submitted (admitted by the server).
+    pub submitted: usize,
+    /// Queries whose completion the client observed.
+    pub completed: usize,
+    /// Queries written off after [`LoadgenConfig::query_timeout`].
+    pub timed_out: usize,
+    /// Hard protocol errors (anything but admission/rate backpressure).
+    pub protocol_errors: usize,
+    /// Times a submit was pushed back (rate limit or admission) and retried.
+    pub backpressure_events: usize,
+    /// Wall-clock seconds between the first submit and the last completion.
+    pub wall_seconds: f64,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Wall-clock latency percentiles over completed queries, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+/// Per-session tallies folded into the [`LoadgenSummary`].
+#[derive(Debug, Default)]
+struct SessionTally {
+    submitted: usize,
+    completed: usize,
+    timed_out: usize,
+    protocol_errors: usize,
+    backpressure_events: usize,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted_ms.len() - 1) as f64;
+    sorted_ms[rank.round() as usize]
+}
+
+/// Runs the full workload: build, churn-schedule, serve, replay, shut down.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
+    let topology = Topology::transit_stub(config.domains, config.seed);
+    let mut deployment = Exspan::builder()
+        .program(exspan_ndlog::programs::mincost())
+        .topology(topology)
+        .mode(ProvenanceMode::Reference)
+        .build()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    deployment.run_to_fixpoint();
+
+    // The query population: routes of a small set of "hot" destinations,
+    // exactly like the §7.3 query workload of the figures.
+    let nodes = deployment.topology().num_nodes();
+    let mut targets: Vec<Tuple> = Vec::new();
+    for n in 0..nodes.min(12) as NodeId {
+        targets.extend(deployment.tuples(n, "bestPathCost"));
+    }
+    targets.truncate(64);
+    if targets.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "protocol fixpoint produced no bestPathCost tuples to query",
+        ));
+    }
+
+    // Pre-schedule churn: the wall clock pays the simulated time out
+    // gradually, so these link changes fire *while* clients are querying.
+    if config.churn {
+        let churn = ChurnModel {
+            interval: 0.5,
+            changes_per_batch: 3,
+            seed: config.seed ^ 0xC0FFEE,
+        };
+        let schedule = churn.schedule(deployment.topology(), config.churn_duration);
+        let start = deployment.now();
+        for event in &schedule {
+            deployment.schedule_churn_event(event, start + event.time);
+        }
+    }
+
+    let server = Server::start(
+        deployment,
+        ServeConfig {
+            max_sessions: config.sessions + 8,
+            rate: config.rate,
+            burst: config.burst,
+            clock_rate: config.clock_rate,
+            ..ServeConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(config.sessions);
+    for session_index in 0..config.sessions {
+        let config = config.clone();
+        let targets = targets.clone();
+        workers.push(thread::spawn(move || {
+            session_workload(addr, session_index, &config, &targets)
+        }));
+    }
+
+    let mut summary = LoadgenSummary {
+        sessions: 0,
+        submitted: 0,
+        completed: 0,
+        timed_out: 0,
+        protocol_errors: 0,
+        backpressure_events: 0,
+        wall_seconds: 0.0,
+        qps: 0.0,
+        p50_ms: 0.0,
+        p95_ms: 0.0,
+        p99_ms: 0.0,
+    };
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let tally = worker.join().unwrap_or_else(|_| SessionTally {
+            protocol_errors: 1,
+            ..SessionTally::default()
+        });
+        summary.sessions += 1;
+        summary.submitted += tally.submitted;
+        summary.completed += tally.completed;
+        summary.timed_out += tally.timed_out;
+        summary.protocol_errors += tally.protocol_errors;
+        summary.backpressure_events += tally.backpressure_events;
+        latencies.extend(tally.latencies_ms);
+    }
+    summary.wall_seconds = started.elapsed().as_secs_f64();
+    summary.qps = if summary.wall_seconds > 0.0 {
+        summary.completed as f64 / summary.wall_seconds
+    } else {
+        0.0
+    };
+    latencies.sort_by(f64::total_cmp);
+    summary.p50_ms = percentile(&latencies, 50.0);
+    summary.p95_ms = percentile(&latencies, 95.0);
+    summary.p99_ms = percentile(&latencies, 99.0);
+
+    server.shutdown();
+    Ok(summary)
+}
+
+fn session_workload(
+    addr: std::net::SocketAddr,
+    session_index: usize,
+    config: &LoadgenConfig,
+    targets: &[Tuple],
+) -> SessionTally {
+    let mut tally = SessionTally::default();
+    let mut rng =
+        SmallRng::seed_from_u64(config.seed ^ (session_index as u64).wrapping_mul(0x9E37));
+    let Ok(mut client) = ServeClient::connect(addr) else {
+        tally.protocol_errors += 1;
+        return tally;
+    };
+    for _ in 0..config.queries_per_session {
+        let target = &targets[rng.gen_range(0..targets.len())];
+        let issuer = rng.gen_range(0..client.info().nodes);
+        let spec = QuerySpec {
+            issuer,
+            repr: Repr::Polynomial,
+            traversal: Traversal::Bfs,
+            cached: false,
+            relation: target.relation_name().to_string(),
+            location: target.location,
+            values: target.values.clone(),
+        };
+        // Submit, absorbing backpressure with a bounded retry loop.
+        let submit_started = Instant::now();
+        let query = loop {
+            match client.submit(spec.clone()) {
+                Ok(query) => break Some(query),
+                Err(e) if e.is_backpressure() => {
+                    tally.backpressure_events += 1;
+                    if submit_started.elapsed() > config.query_timeout {
+                        break None;
+                    }
+                    thread::sleep(config.poll_every);
+                }
+                Err(_) => {
+                    tally.protocol_errors += 1;
+                    break None;
+                }
+            }
+        };
+        let Some(query) = query else { continue };
+        tally.submitted += 1;
+        match client.wait(query, config.query_timeout, config.poll_every) {
+            Ok(Some(_status)) => {
+                tally.completed += 1;
+                tally
+                    .latencies_ms
+                    .push(submit_started.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(None) => tally.timed_out += 1,
+            Err(_) => tally.protocol_errors += 1,
+        }
+    }
+    if client.bye().is_err() {
+        tally.protocol_errors += 1;
+    }
+    tally
+}
+
+/// Renders the summary as the machine-readable `BENCH_serve.json` record.
+///
+/// The series reuse the [`BenchSeries`] statistics slots: `mean`, `max` and
+/// `last` all carry the one measured value, `points` carries the relevant
+/// sample count.
+pub fn bench_report(summary: &LoadgenSummary, shards: usize) -> BenchReport {
+    let metric = |label: &str, value: f64, points: usize| BenchSeries {
+        label: label.to_string(),
+        mean: value,
+        max: value,
+        last: value,
+        points,
+    };
+    BenchReport {
+        figure: "serve".into(),
+        title: "Service front-end: concurrent provenance queries under churn".into(),
+        scale: "loadgen".into(),
+        shards,
+        wall_clock_seconds: summary.wall_seconds,
+        y_label: "QPS / latency ms / counts".into(),
+        series: vec![
+            metric("QPS", summary.qps, summary.completed),
+            metric("latency p50 (ms)", summary.p50_ms, summary.completed),
+            metric("latency p95 (ms)", summary.p95_ms, summary.completed),
+            metric("latency p99 (ms)", summary.p99_ms, summary.completed),
+            metric(
+                "protocol errors",
+                summary.protocol_errors as f64,
+                summary.protocol_errors,
+            ),
+            metric("sessions", summary.sessions as f64, summary.sessions),
+            metric("timed out", summary.timed_out as f64, summary.timed_out),
+            metric(
+                "backpressure events",
+                summary.backpressure_events as f64,
+                summary.backpressure_events,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&data, 50.0), 51.0);
+        assert_eq!(percentile(&data, 99.0), 99.0);
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn bench_report_carries_the_gated_series() {
+        let summary = LoadgenSummary {
+            sessions: 64,
+            submitted: 256,
+            completed: 250,
+            timed_out: 6,
+            protocol_errors: 0,
+            backpressure_events: 3,
+            wall_seconds: 2.0,
+            qps: 125.0,
+            p50_ms: 10.0,
+            p95_ms: 60.0,
+            p99_ms: 90.0,
+        };
+        let report = bench_report(&summary, 1);
+        assert_eq!(report.figure, "serve");
+        assert_eq!(report.series("QPS").unwrap().mean, 125.0);
+        assert_eq!(report.series("latency p99 (ms)").unwrap().mean, 90.0);
+        assert_eq!(report.series("protocol errors").unwrap().mean, 0.0);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series.len(), report.series.len());
+    }
+}

@@ -1,0 +1,903 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────┬─────────────────────────┐
+//! │ length u32 │ type  u8 │ payload (length-1 bytes)│
+//! │ big-endian │          │                         │
+//! └────────────┴──────────┴─────────────────────────┘
+//! ```
+//!
+//! `length` counts the type byte plus the payload and must be between 1 and
+//! [`MAX_FRAME_LEN`].  Integers are big-endian; floats are IEEE-754 bits,
+//! big-endian; strings are a `u16` byte length followed by UTF-8.
+//!
+//! Frame types (client → server requests carry a `request_id` echoed in the
+//! response so a session can pipeline):
+//!
+//! | type | frame                         | direction |
+//! |------|-------------------------------|-----------|
+//! | 0x01 | [`Frame::Hello`] (magic+vers) | C → S     |
+//! | 0x02 | [`Frame::HelloAck`]           | S → C     |
+//! | 0x03 | [`Frame::Bye`]                | C ↔ S     |
+//! | 0x10 | [`Frame::SubmitQuery`]        | C → S     |
+//! | 0x11 | [`Frame::SubmitAck`]          | S → C     |
+//! | 0x12 | [`Frame::Poll`]               | C → S     |
+//! | 0x13 | [`Frame::QueryStatus`]        | S → C     |
+//! | 0x7F | [`Frame::Error`]              | S → C     |
+//!
+//! Every protocol violation is answered with a typed [`Frame::Error`]
+//! ([`ErrorCode`]) on the same connection — the server never hangs up on a
+//! malformed, oversized or over-limit request.
+
+use exspan_core::{Repr, TraversalOrder};
+use exspan_types::{Symbol, Value};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Handshake magic: the first four payload bytes of [`Frame::Hello`].
+pub const MAGIC: [u8; 4] = *b"XSPN";
+
+/// Wire protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on `type byte + payload` of one frame (64 KiB).  Larger
+/// frames are answered with [`ErrorCode::Oversized`] and skipped.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Maximum [`Value::List`] nesting depth accepted on the wire.
+const MAX_LIST_DEPTH: u8 = 4;
+
+/// Typed protocol error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The frame body could not be decoded.
+    Malformed,
+    /// The frame length exceeded [`MAX_FRAME_LEN`]; the body was skipped.
+    Oversized,
+    /// The handshake was rejected (bad magic, unsupported version, or a
+    /// request sent before any successful [`Frame::Hello`]).
+    HandshakeRejected,
+    /// Admission control refused the request (session cap or in-flight
+    /// query cap reached).  Back off and retry.
+    Admission,
+    /// The session's token bucket is empty.  Back off and retry.
+    RateLimited,
+    /// A [`Frame::Poll`] named a query id this deployment never issued.
+    UnknownQuery,
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The on-wire `u16` value.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Oversized => 2,
+            ErrorCode::HandshakeRejected => 3,
+            ErrorCode::Admission => 4,
+            ErrorCode::RateLimited => 5,
+            ErrorCode::UnknownQuery => 6,
+            ErrorCode::Shutdown => 7,
+        }
+    }
+
+    /// Parses the on-wire `u16` value.
+    pub fn from_wire(code: u16) -> Result<ErrorCode, WireError> {
+        Ok(match code {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Oversized,
+            3 => ErrorCode::HandshakeRejected,
+            4 => ErrorCode::Admission,
+            5 => ErrorCode::RateLimited,
+            6 => ErrorCode::UnknownQuery,
+            7 => ErrorCode::Shutdown,
+            other => return Err(WireError::new(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::Oversized => "oversized frame",
+            ErrorCode::HandshakeRejected => "handshake rejected",
+            ErrorCode::Admission => "admission control refused",
+            ErrorCode::RateLimited => "rate limited",
+            ErrorCode::UnknownQuery => "unknown query id",
+            ErrorCode::Shutdown => "server shutting down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A frame body failed to encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong, e.g. `"truncated payload: needed 8 bytes, had 3"`.
+    pub reason: String,
+}
+
+impl WireError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        WireError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Completion state carried by [`Frame::QueryStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// The query is still in flight — poll again after the clock advances.
+    Pending,
+    /// The result reached the issuer; `latency` and `summary` are valid.
+    Complete,
+}
+
+/// A provenance query as submitted over the wire, mirroring the builder
+/// parameters of `Deployment::query(..)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Node issuing the query.
+    pub issuer: u32,
+    /// Provenance representation.  [`Repr::TrustDomain`] (an explicit
+    /// node→domain map) has no wire form and fails to encode; use
+    /// [`Repr::ContiguousTrustDomains`] instead.
+    pub repr: Repr,
+    /// Traversal order.
+    pub traversal: TraversalOrder,
+    /// Whether the query participates in result caching (§6.1).
+    pub cached: bool,
+    /// Target relation name, e.g. `"bestPathCost"`.
+    pub relation: String,
+    /// Node at which the target tuple resides.
+    pub location: u32,
+    /// The target tuple's non-location attribute values.
+    pub values: Vec<Value>,
+}
+
+/// One decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session handshake: magic plus protocol version.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+    },
+    /// Handshake acceptance with the deployment's shape and limits.
+    HelloAck {
+        /// Server-assigned session id.
+        session: u64,
+        /// Name of the NDlog program the deployment runs.
+        program: String,
+        /// Number of nodes in the topology.
+        nodes: u32,
+        /// Maximum queries in flight across all sessions.
+        max_inflight: u32,
+        /// Token-bucket refill rate (requests per second) of this session.
+        rate: f64,
+        /// Token-bucket burst capacity of this session.
+        burst: u32,
+    },
+    /// Orderly goodbye (either direction; the server echoes it).
+    Bye,
+    /// Submit a provenance query.
+    SubmitQuery {
+        /// Client-chosen id echoed in the response.
+        request: u64,
+        /// The query.
+        spec: QuerySpec,
+    },
+    /// The query was admitted; poll `query` for its outcome.
+    SubmitAck {
+        /// Echo of the submit's request id.
+        request: u64,
+        /// Server-assigned query id.
+        query: u64,
+    },
+    /// Ask for the current state of a submitted query.
+    Poll {
+        /// Client-chosen id echoed in the response.
+        request: u64,
+        /// The query id from [`Frame::SubmitAck`].
+        query: u64,
+    },
+    /// Current state of a query.
+    QueryStatus {
+        /// Echo of the poll's request id.
+        request: u64,
+        /// The polled query id.
+        query: u64,
+        /// Completion state.
+        state: QueryState,
+        /// Simulated seconds from issue to completion (0 while pending).
+        latency: f64,
+        /// Human-readable result summary (empty while pending).
+        summary: String,
+    },
+    /// A typed protocol error.  The connection stays open.
+    Error {
+        /// What kind of violation occurred.
+        code: ErrorCode,
+        /// The offending request id (0 when not attributable).
+        request: u64,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::HelloAck { .. } => "HelloAck",
+            Frame::Bye => "Bye",
+            Frame::SubmitQuery { .. } => "SubmitQuery",
+            Frame::SubmitAck { .. } => "SubmitAck",
+            Frame::Poll { .. } => "Poll",
+            Frame::QueryStatus { .. } => "QueryStatus",
+            Frame::Error { .. } => "Error",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| WireError::new(format!("string of {} bytes exceeds u16 length", s.len())))?;
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_value(out: &mut Vec<u8>, value: &Value, depth: u8) -> Result<(), WireError> {
+    match value {
+        Value::Node(n) => {
+            out.push(0);
+            put_u32(out, *n);
+        }
+        Value::Int(i) => {
+            out.push(1);
+            put_i64(out, *i);
+        }
+        Value::Str(s) => {
+            out.push(2);
+            put_str(out, s.as_str())?;
+        }
+        Value::Bool(b) => {
+            out.push(3);
+            out.push(u8::from(*b));
+        }
+        Value::List(items) => {
+            if depth >= MAX_LIST_DEPTH {
+                return Err(WireError::new("list nesting exceeds wire depth limit"));
+            }
+            out.push(4);
+            let len = u16::try_from(items.len())
+                .map_err(|_| WireError::new("list of more than u16::MAX values"))?;
+            put_u16(out, len);
+            for item in items.iter() {
+                put_value(out, item, depth + 1)?;
+            }
+        }
+        Value::Digest(d) => {
+            out.push(5);
+            out.extend_from_slice(d);
+        }
+        Value::Payload(size) => {
+            out.push(6);
+            put_u32(out, *size);
+        }
+    }
+    Ok(())
+}
+
+fn put_repr(out: &mut Vec<u8>, repr: &Repr) -> Result<(), WireError> {
+    match repr {
+        Repr::Polynomial => out.push(0),
+        Repr::NodeSet => out.push(1),
+        Repr::DerivationCount => out.push(2),
+        Repr::Derivability => out.push(3),
+        Repr::Bdd => out.push(4),
+        Repr::ContiguousTrustDomains(size) => {
+            out.push(5);
+            put_u32(out, *size);
+        }
+        Repr::TrustDomain(_) => {
+            return Err(WireError::new(
+                "Repr::TrustDomain has no wire form; use ContiguousTrustDomains",
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn put_traversal(out: &mut Vec<u8>, traversal: TraversalOrder) {
+    match traversal {
+        TraversalOrder::Bfs => out.push(0),
+        TraversalOrder::Dfs => out.push(1),
+        TraversalOrder::DfsThreshold(t) => {
+            out.push(2);
+            put_i64(out, t);
+        }
+        TraversalOrder::RandomMoonwalk { fanout, seed } => {
+            out.push(3);
+            put_u32(out, fanout as u32);
+            put_u64(out, seed);
+        }
+    }
+}
+
+/// Encodes a frame as its full wire bytes (length prefix included).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::with_capacity(32);
+    match frame {
+        Frame::Hello { version } => {
+            body.push(0x01);
+            body.extend_from_slice(&MAGIC);
+            put_u16(&mut body, *version);
+        }
+        Frame::HelloAck {
+            session,
+            program,
+            nodes,
+            max_inflight,
+            rate,
+            burst,
+        } => {
+            body.push(0x02);
+            put_u64(&mut body, *session);
+            put_str(&mut body, program)?;
+            put_u32(&mut body, *nodes);
+            put_u32(&mut body, *max_inflight);
+            put_f64(&mut body, *rate);
+            put_u32(&mut body, *burst);
+        }
+        Frame::Bye => body.push(0x03),
+        Frame::SubmitQuery { request, spec } => {
+            body.push(0x10);
+            put_u64(&mut body, *request);
+            put_u32(&mut body, spec.issuer);
+            put_repr(&mut body, &spec.repr)?;
+            put_traversal(&mut body, spec.traversal);
+            body.push(u8::from(spec.cached));
+            put_str(&mut body, &spec.relation)?;
+            put_u32(&mut body, spec.location);
+            let count = u16::try_from(spec.values.len())
+                .map_err(|_| WireError::new("tuple of more than u16::MAX values"))?;
+            put_u16(&mut body, count);
+            for value in &spec.values {
+                put_value(&mut body, value, 0)?;
+            }
+        }
+        Frame::SubmitAck { request, query } => {
+            body.push(0x11);
+            put_u64(&mut body, *request);
+            put_u64(&mut body, *query);
+        }
+        Frame::Poll { request, query } => {
+            body.push(0x12);
+            put_u64(&mut body, *request);
+            put_u64(&mut body, *query);
+        }
+        Frame::QueryStatus {
+            request,
+            query,
+            state,
+            latency,
+            summary,
+        } => {
+            body.push(0x13);
+            put_u64(&mut body, *request);
+            put_u64(&mut body, *query);
+            body.push(match state {
+                QueryState::Pending => 0,
+                QueryState::Complete => 1,
+            });
+            put_f64(&mut body, *latency);
+            put_str(&mut body, summary)?;
+        }
+        Frame::Error {
+            code,
+            request,
+            message,
+        } => {
+            body.push(0x7F);
+            put_u16(&mut body, code.to_wire());
+            put_u64(&mut body, *request);
+            put_str(&mut body, message)?;
+        }
+    }
+    if body.len() > MAX_FRAME_LEN {
+        return Err(WireError::new(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            body.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(WireError::new(format!(
+                "truncated payload: needed {n} bytes, had {available}"
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(i64::from_be_bytes(arr))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::new("string is not valid UTF-8"))
+    }
+
+    fn value(&mut self, depth: u8) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Node(self.u32()?)),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Str(Symbol::intern(&self.string()?))),
+            3 => Ok(Value::Bool(self.u8()? != 0)),
+            4 => {
+                if depth >= MAX_LIST_DEPTH {
+                    return Err(WireError::new("list nesting exceeds wire depth limit"));
+                }
+                let count = self.u16()? as usize;
+                let mut items = Vec::with_capacity(count.min(256));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::List(Arc::new(items)))
+            }
+            5 => {
+                let b = self.take(20)?;
+                let mut digest = [0u8; 20];
+                digest.copy_from_slice(b);
+                Ok(Value::Digest(digest))
+            }
+            6 => Ok(Value::Payload(self.u32()?)),
+            tag => Err(WireError::new(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    fn repr(&mut self) -> Result<Repr, WireError> {
+        Ok(match self.u8()? {
+            0 => Repr::Polynomial,
+            1 => Repr::NodeSet,
+            2 => Repr::DerivationCount,
+            3 => Repr::Derivability,
+            4 => Repr::Bdd,
+            5 => Repr::ContiguousTrustDomains(self.u32()?),
+            tag => return Err(WireError::new(format!("unknown repr tag {tag}"))),
+        })
+    }
+
+    fn traversal(&mut self) -> Result<TraversalOrder, WireError> {
+        Ok(match self.u8()? {
+            0 => TraversalOrder::Bfs,
+            1 => TraversalOrder::Dfs,
+            2 => TraversalOrder::DfsThreshold(self.i64()?),
+            3 => TraversalOrder::RandomMoonwalk {
+                fanout: self.u32()? as usize,
+                seed: self.u64()?,
+            },
+            tag => return Err(WireError::new(format!("unknown traversal tag {tag}"))),
+        })
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::new(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one frame body (`type byte + payload`, no length prefix).
+pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let ty = r.u8()?;
+    let frame = match ty {
+        0x01 => {
+            let magic = r.take(4)?;
+            if magic != MAGIC {
+                return Err(WireError::new("bad handshake magic"));
+            }
+            Frame::Hello { version: r.u16()? }
+        }
+        0x02 => Frame::HelloAck {
+            session: r.u64()?,
+            program: r.string()?,
+            nodes: r.u32()?,
+            max_inflight: r.u32()?,
+            rate: r.f64()?,
+            burst: r.u32()?,
+        },
+        0x03 => Frame::Bye,
+        0x10 => {
+            let request = r.u64()?;
+            let issuer = r.u32()?;
+            let repr = r.repr()?;
+            let traversal = r.traversal()?;
+            let cached = r.u8()? != 0;
+            let relation = r.string()?;
+            let location = r.u32()?;
+            let count = r.u16()? as usize;
+            let mut values = Vec::with_capacity(count.min(256));
+            for _ in 0..count {
+                values.push(r.value(0)?);
+            }
+            Frame::SubmitQuery {
+                request,
+                spec: QuerySpec {
+                    issuer,
+                    repr,
+                    traversal,
+                    cached,
+                    relation,
+                    location,
+                    values,
+                },
+            }
+        }
+        0x11 => Frame::SubmitAck {
+            request: r.u64()?,
+            query: r.u64()?,
+        },
+        0x12 => Frame::Poll {
+            request: r.u64()?,
+            query: r.u64()?,
+        },
+        0x13 => {
+            let request = r.u64()?;
+            let query = r.u64()?;
+            let state = match r.u8()? {
+                0 => QueryState::Pending,
+                1 => QueryState::Complete,
+                tag => return Err(WireError::new(format!("unknown query state {tag}"))),
+            };
+            Frame::QueryStatus {
+                request,
+                query,
+                state,
+                latency: r.f64()?,
+                summary: r.string()?,
+            }
+        }
+        0x7F => Frame::Error {
+            code: ErrorCode::from_wire(r.u16()?)?,
+            request: r.u64()?,
+            message: r.string()?,
+        },
+        other => return Err(WireError::new(format!("unknown frame type 0x{other:02x}"))),
+    };
+    r.finish(frame.name())?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Framed stream I/O
+// ---------------------------------------------------------------------------
+
+/// Result of pulling one frame off a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame body (type byte + payload), within the size limit.
+    Body(Vec<u8>),
+    /// The frame declared more than [`MAX_FRAME_LEN`] bytes.  The body has
+    /// already been read and discarded, so the stream stays in sync and the
+    /// caller can answer with [`ErrorCode::Oversized`].
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+    },
+}
+
+/// Reads one length-prefixed frame.  Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<FrameRead>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len == 0 {
+        // No type byte: surface as an empty (malformed) body.
+        return Ok(Some(FrameRead::Body(Vec::new())));
+    }
+    if len > MAX_FRAME_LEN {
+        // Drain the declared body in bounded chunks so the connection
+        // survives and stays framed.
+        let mut remaining = len as u64;
+        let mut sink = io::sink();
+        while remaining > 0 {
+            let chunk = remaining.min(16 * 1024);
+            let copied = io::copy(&mut stream.take(chunk), &mut sink)?;
+            if copied == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside oversized frame body",
+                ));
+            }
+            remaining -= copied;
+        }
+        return Ok(Some(FrameRead::Oversized { declared: len }));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(FrameRead::Body(body)))
+}
+
+/// Writes one frame to the stream (with length prefix) and flushes it.
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let bytes = encode_frame(frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame).expect("encodes");
+        let (len, body) = bytes.split_at(4);
+        assert_eq!(
+            u32::from_be_bytes([len[0], len[1], len[2], len[3]]) as usize,
+            body.len()
+        );
+        assert_eq!(decode_frame(body).expect("decodes"), frame);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip(Frame::HelloAck {
+            session: 7,
+            program: "mincost".into(),
+            nodes: 100,
+            max_inflight: 512,
+            rate: 250.5,
+            burst: 32,
+        });
+        roundtrip(Frame::Bye);
+        roundtrip(Frame::SubmitQuery {
+            request: 99,
+            spec: QuerySpec {
+                issuer: 3,
+                repr: Repr::ContiguousTrustDomains(25),
+                traversal: TraversalOrder::RandomMoonwalk { fanout: 2, seed: 9 },
+                cached: true,
+                relation: "bestPathCost".into(),
+                location: 2,
+                values: vec![
+                    Value::Node(2),
+                    Value::Int(5),
+                    Value::Str(Symbol::intern("x")),
+                    Value::Bool(true),
+                    Value::list(vec![Value::Int(1), Value::Node(0)]),
+                    Value::Digest([9; 20]),
+                    Value::Payload(1500),
+                ],
+            },
+        });
+        roundtrip(Frame::SubmitAck {
+            request: 99,
+            query: 1,
+        });
+        roundtrip(Frame::Poll {
+            request: 100,
+            query: 1,
+        });
+        roundtrip(Frame::QueryStatus {
+            request: 100,
+            query: 1,
+            state: QueryState::Complete,
+            latency: 0.125,
+            summary: "2 derivations".into(),
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::RateLimited,
+            request: 101,
+            message: "back off".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let full = encode_frame(&Frame::SubmitAck {
+            request: 1,
+            query: 2,
+        })
+        .unwrap();
+        let body = &full[4..];
+        for cut in 1..body.len() {
+            let err = decode_frame(&body[..cut]).expect_err("truncation must fail");
+            assert!(err.reason.contains("truncated"), "{}", err.reason);
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = body.to_vec();
+        padded.push(0);
+        assert!(decode_frame(&padded)
+            .expect_err("padding must fail")
+            .reason
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_tags_are_rejected() {
+        let mut hello = encode_frame(&Frame::Hello { version: 1 }).unwrap()[4..].to_vec();
+        hello[1] = b'Y';
+        assert!(decode_frame(&hello).unwrap_err().reason.contains("magic"));
+        assert!(decode_frame(&[0x55])
+            .unwrap_err()
+            .reason
+            .contains("unknown frame type"));
+        assert!(decode_frame(&[]).unwrap_err().reason.contains("truncated"));
+    }
+
+    #[test]
+    fn trust_domain_map_has_no_wire_form() {
+        let err = encode_frame(&Frame::SubmitQuery {
+            request: 1,
+            spec: QuerySpec {
+                issuer: 0,
+                repr: Repr::TrustDomain(std::collections::BTreeMap::new()),
+                traversal: TraversalOrder::Bfs,
+                cached: false,
+                relation: "link".into(),
+                location: 0,
+                values: vec![],
+            },
+        })
+        .unwrap_err();
+        assert!(err.reason.contains("TrustDomain"));
+    }
+
+    #[test]
+    fn deep_list_nesting_is_rejected() {
+        let mut v = Value::Int(0);
+        for _ in 0..6 {
+            v = Value::list(vec![v]);
+        }
+        let err = encode_frame(&Frame::SubmitQuery {
+            request: 1,
+            spec: QuerySpec {
+                issuer: 0,
+                repr: Repr::Polynomial,
+                traversal: TraversalOrder::Bfs,
+                cached: false,
+                relation: "link".into(),
+                location: 0,
+                values: vec![v],
+            },
+        })
+        .unwrap_err();
+        assert!(err.reason.contains("depth"));
+    }
+
+    #[test]
+    fn stream_io_roundtrips_and_flags_oversized() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Bye).unwrap();
+        // Hand-build an oversized frame followed by a valid one.
+        let declared = MAX_FRAME_LEN + 1;
+        buf.extend_from_slice(&(declared as u32).to_be_bytes());
+        buf.extend(std::iter::repeat(0u8).take(declared));
+        write_frame(&mut buf, &Frame::Hello { version: 1 }).unwrap();
+
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor).unwrap().unwrap() {
+            FrameRead::Body(body) => assert_eq!(decode_frame(&body).unwrap(), Frame::Bye),
+            FrameRead::Oversized { .. } => panic!("first frame is fine"),
+        }
+        match read_frame(&mut cursor).unwrap().unwrap() {
+            FrameRead::Oversized { declared: d } => assert_eq!(d, declared),
+            FrameRead::Body(_) => panic!("second frame is oversized"),
+        }
+        // The stream re-synchronizes on the next frame.
+        match read_frame(&mut cursor).unwrap().unwrap() {
+            FrameRead::Body(body) => {
+                assert_eq!(decode_frame(&body).unwrap(), Frame::Hello { version: 1 });
+            }
+            FrameRead::Oversized { .. } => panic!("third frame is fine"),
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+}

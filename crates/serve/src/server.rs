@@ -1,0 +1,574 @@
+//! The wall-clock server: a [`Deployment`] behind TCP.
+//!
+//! Threading model (tokio-free):
+//!
+//! * **Listener thread** — accepts connections up to
+//!   [`ServeConfig::max_sessions`]; over-cap connections receive a typed
+//!   [`ErrorCode::Admission`] frame and are closed without a handshake.
+//! * **Connection threads** — one per session: framing, handshake, the
+//!   per-session [`TokenBucket`], and translation of wire frames into
+//!   commands forwarded to the worker over an [`std::sync::mpsc`] channel.
+//! * **Worker thread** — owns the [`Deployment`] and a [`WallClock`]
+//!   executor.  Each tick drains pending commands (submits, polls), then
+//!   pumps the deployment to the simulated time the wall clock has paid for
+//!   (`Deployment::run_with`).  Pre-scheduled churn events fire as the
+//!   clock reaches them, so maintenance and queries share the network
+//!   exactly as in the figures — just paced by real time.
+
+use crate::limiter::TokenBucket;
+use crate::proto::{
+    self, ErrorCode, Frame, FrameRead, QuerySpec, QueryState, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use exspan_core::{Annotation, Deployment, QueryError, QueryHandle};
+use exspan_runtime::WallClock;
+use exspan_types::Tuple;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// Maximum concurrently connected sessions (the bounded accept queue);
+    /// further connections are refused with [`ErrorCode::Admission`].
+    pub max_sessions: usize,
+    /// Maximum provenance queries in flight across all sessions; further
+    /// submits are refused with [`ErrorCode::Admission`].
+    pub max_inflight: usize,
+    /// Per-session token-bucket refill rate (requests per second).
+    pub rate: f64,
+    /// Per-session token-bucket burst capacity.
+    pub burst: u32,
+    /// Simulated seconds the deployment advances per wall-clock second.
+    pub clock_rate: f64,
+    /// Worker sleep quantum while waiting for wall time to accrue.
+    pub quantum: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 256,
+            max_inflight: 4096,
+            rate: 500.0,
+            burst: 64,
+            clock_rate: 50.0,
+            quantum: WallClock::DEFAULT_QUANTUM,
+        }
+    }
+}
+
+/// What the worker tells a connection thread about a submit.
+enum SubmitVerdict {
+    Admitted { query: u64 },
+    Refused { code: ErrorCode, message: String },
+}
+
+/// What the worker tells a connection thread about a poll.
+enum PollVerdict {
+    Status {
+        state: QueryState,
+        latency: f64,
+        summary: String,
+    },
+    Unknown,
+}
+
+enum Command {
+    Submit {
+        spec: QuerySpec,
+        reply: mpsc::Sender<SubmitVerdict>,
+    },
+    Poll {
+        query: u64,
+        reply: mpsc::Sender<PollVerdict>,
+    },
+}
+
+/// A running server.  Dropping the handle leaks the threads; call
+/// [`ServerHandle::shutdown`] to stop them and take the deployment back.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    listener: JoinHandle<()>,
+    worker: JoinHandle<Deployment>,
+    sessions: Arc<AtomicUsize>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, disconnects the worker, joins both threads and
+    /// returns the deployment in its final state.
+    pub fn shutdown(self) -> Deployment {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.listener.join();
+        self.worker.join().expect("worker thread panicked")
+    }
+}
+
+/// The service front-end: owns nothing after [`Server::start`], which moves
+/// the deployment onto the worker thread.
+pub struct Server;
+
+impl Server {
+    /// Boots the server: binds the listen socket, spawns the worker and the
+    /// listener, and returns immediately.
+    ///
+    /// Churn or other future work should be scheduled on the deployment
+    /// (e.g. [`Deployment::schedule_churn_event`]) *before* starting: the
+    /// wall clock pays simulated time out gradually, so events scheduled
+    /// ahead fire while the server is live.
+    pub fn start(deployment: Deployment, config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<Command>();
+        let greeting = Arc::new(SessionGreeting {
+            program: deployment.program_name().to_string(),
+            nodes: deployment.topology().num_nodes() as u32,
+        });
+
+        let worker = {
+            let config = config.clone();
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("exspan-serve-worker".into())
+                .spawn(move || worker_loop(deployment, &config, &rx, &stop))?
+        };
+
+        let listener_thread = {
+            let config = config.clone();
+            let stop = Arc::clone(&stop);
+            let sessions = Arc::clone(&sessions);
+            thread::Builder::new()
+                .name("exspan-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &config, &tx, &stop, &sessions, &greeting))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            listener: listener_thread,
+            worker,
+            sessions,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+fn summarize(annotation: Option<&Annotation>) -> String {
+    match annotation {
+        None => "no result".into(),
+        Some(Annotation::Expr(e)) => format!("{} derivations", e.num_derivations()),
+        Some(Annotation::Nodes(n)) => format!("{} nodes", n.len()),
+        Some(Annotation::Domains(d)) => format!("{} trust domains", d.len()),
+        Some(Annotation::Count(c)) => format!("count {c}"),
+        Some(Annotation::Bool(b)) => format!("derivable: {b}"),
+        Some(Annotation::Bdd(_)) => "condensed (BDD)".into(),
+    }
+}
+
+fn worker_loop(
+    mut deployment: Deployment,
+    config: &ServeConfig,
+    rx: &mpsc::Receiver<Command>,
+    stop: &AtomicBool,
+) -> Deployment {
+    let mut wall =
+        WallClock::starting_at(deployment.now(), config.clock_rate).with_quantum(config.quantum);
+    let mut handles: HashMap<u64, QueryHandle> = HashMap::new();
+
+    let handle_command =
+        |deployment: &mut Deployment, handles: &mut HashMap<u64, QueryHandle>, cmd: Command| {
+            match cmd {
+                Command::Submit { spec, reply } => {
+                    let verdict = admit(deployment, handles, spec, config.max_inflight);
+                    let _ = reply.send(verdict);
+                }
+                Command::Poll { query, reply } => {
+                    let verdict = match handles.get(&query) {
+                        None => PollVerdict::Unknown,
+                        Some(&handle) => match deployment.completed_outcome(handle) {
+                            Ok(outcome) => PollVerdict::Status {
+                                state: QueryState::Complete,
+                                latency: outcome.completed_at.unwrap_or(outcome.issued_at)
+                                    - outcome.issued_at,
+                                summary: summarize(outcome.annotation.as_ref()),
+                            },
+                            Err(QueryError::NotComplete { .. }) => PollVerdict::Status {
+                                state: QueryState::Pending,
+                                latency: 0.0,
+                                summary: String::new(),
+                            },
+                            Err(_) => PollVerdict::Unknown,
+                        },
+                    };
+                    let _ = reply.send(verdict);
+                }
+            }
+        };
+
+    loop {
+        while let Ok(cmd) = rx.try_recv() {
+            handle_command(&mut deployment, &mut handles, cmd);
+        }
+        let target = wall.accrued();
+        deployment.run_with(&mut wall, target);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Block for at most one quantum so the simulated clock keeps pace
+        // even when no commands arrive.
+        match rx.recv_timeout(config.quantum) {
+            Ok(cmd) => handle_command(&mut deployment, &mut handles, cmd),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    deployment
+}
+
+fn admit(
+    deployment: &mut Deployment,
+    handles: &mut HashMap<u64, QueryHandle>,
+    spec: QuerySpec,
+    max_inflight: usize,
+) -> SubmitVerdict {
+    let inflight = deployment.incomplete_queries();
+    if inflight >= max_inflight {
+        return SubmitVerdict::Refused {
+            code: ErrorCode::Admission,
+            message: format!("{inflight} queries in flight (limit {max_inflight})"),
+        };
+    }
+    let nodes = deployment.topology().num_nodes();
+    if spec.issuer as usize >= nodes || spec.location as usize >= nodes {
+        return SubmitVerdict::Refused {
+            code: ErrorCode::Malformed,
+            message: format!(
+                "issuer n{} / location n{} outside the {nodes}-node topology",
+                spec.issuer, spec.location
+            ),
+        };
+    }
+    let target = Tuple::new(spec.relation.as_str(), spec.location, spec.values);
+    let handle = deployment
+        .query(&target)
+        .issuer(spec.issuer)
+        .repr(spec.repr)
+        .traversal(spec.traversal)
+        .cached(spec.cached)
+        .submit();
+    let query = handle.index() as u64;
+    handles.insert(query, handle);
+    SubmitVerdict::Admitted { query }
+}
+
+// ---------------------------------------------------------------------------
+// Listener and connection threads
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServeConfig,
+    tx: &mpsc::Sender<Command>,
+    stop: &AtomicBool,
+    sessions: &Arc<AtomicUsize>,
+    greeting: &Arc<SessionGreeting>,
+) {
+    let next_session = AtomicU64::new(1);
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Bounded accept: refuse the session with a typed error frame.
+        if sessions.load(Ordering::SeqCst) >= config.max_sessions {
+            let mut stream = stream;
+            let _ = proto::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    code: ErrorCode::Admission,
+                    request: 0,
+                    message: format!("session limit {} reached", config.max_sessions),
+                },
+            );
+            continue;
+        }
+        sessions.fetch_add(1, Ordering::SeqCst);
+        let session = next_session.fetch_add(1, Ordering::Relaxed);
+        let tx = tx.clone();
+        let config = config.clone();
+        let conn_sessions = Arc::clone(sessions);
+        let greeting = Arc::clone(greeting);
+        // Connection threads are not joined: they exit when their peer hangs
+        // up (or at process exit), and a post-shutdown submit/poll is
+        // answered with a typed `Shutdown` error once the worker is gone.
+        let spawned = thread::Builder::new()
+            .name(format!("exspan-serve-conn-{session}"))
+            .spawn(move || {
+                let _ = serve_connection(stream, session, &config, &tx, &greeting);
+                conn_sessions.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            sessions.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Deployment metadata echoed in every `HelloAck` — captured before the
+/// deployment moves onto the worker thread.
+struct SessionGreeting {
+    program: String,
+    nodes: u32,
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    session: u64,
+    config: &ServeConfig,
+    tx: &mpsc::Sender<Command>,
+    greeting: &SessionGreeting,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut bucket = TokenBucket::new(config.rate, config.burst);
+    let mut greeted = false;
+
+    while let Some(read) = proto::read_frame(&mut reader)? {
+        let body = match read {
+            FrameRead::Body(body) => body,
+            FrameRead::Oversized { declared } => {
+                proto::write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::Oversized,
+                        request: 0,
+                        message: format!("frame of {declared} bytes exceeds {MAX_FRAME_LEN}"),
+                    },
+                )?;
+                continue;
+            }
+        };
+        let frame = match proto::decode_frame(&body) {
+            Ok(frame) => frame,
+            Err(e) => {
+                proto::write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        request: 0,
+                        message: e.reason,
+                    },
+                )?;
+                continue;
+            }
+        };
+        match frame {
+            Frame::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    proto::write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::HandshakeRejected,
+                            request: 0,
+                            message: format!(
+                                "protocol version {version} unsupported (server speaks \
+                                 {PROTOCOL_VERSION})"
+                            ),
+                        },
+                    )?;
+                    continue; // the client may retry with a supported version
+                }
+                greeted = true;
+                proto::write_frame(
+                    &mut writer,
+                    &Frame::HelloAck {
+                        session,
+                        program: greeting.program.clone(),
+                        nodes: greeting.nodes,
+                        max_inflight: config.max_inflight as u32,
+                        rate: config.rate,
+                        burst: config.burst,
+                    },
+                )?;
+            }
+            Frame::Bye => {
+                proto::write_frame(&mut writer, &Frame::Bye)?;
+                break;
+            }
+            Frame::SubmitQuery { request, spec } => {
+                if !greeted {
+                    reject_ungreeted(&mut writer, request)?;
+                    continue;
+                }
+                if !bucket.try_take() {
+                    proto::write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::RateLimited,
+                            request,
+                            message: format!(
+                                "session bucket empty (rate {}/s, burst {})",
+                                config.rate, config.burst
+                            ),
+                        },
+                    )?;
+                    continue;
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent = tx.send(Command::Submit {
+                    spec,
+                    reply: reply_tx,
+                });
+                let verdict = sent.ok().and_then(|()| reply_rx.recv().ok());
+                match verdict {
+                    Some(SubmitVerdict::Admitted { query }) => {
+                        proto::write_frame(&mut writer, &Frame::SubmitAck { request, query })?;
+                    }
+                    Some(SubmitVerdict::Refused { code, message }) => {
+                        proto::write_frame(
+                            &mut writer,
+                            &Frame::Error {
+                                code,
+                                request,
+                                message,
+                            },
+                        )?;
+                    }
+                    None => {
+                        proto::write_frame(
+                            &mut writer,
+                            &Frame::Error {
+                                code: ErrorCode::Shutdown,
+                                request,
+                                message: "worker is gone".into(),
+                            },
+                        )?;
+                        break;
+                    }
+                }
+            }
+            Frame::Poll { request, query } => {
+                if !greeted {
+                    reject_ungreeted(&mut writer, request)?;
+                    continue;
+                }
+                if !bucket.try_take() {
+                    proto::write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::RateLimited,
+                            request,
+                            message: format!(
+                                "session bucket empty (rate {}/s, burst {})",
+                                config.rate, config.burst
+                            ),
+                        },
+                    )?;
+                    continue;
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent = tx.send(Command::Poll {
+                    query,
+                    reply: reply_tx,
+                });
+                let verdict = sent.ok().and_then(|()| reply_rx.recv().ok());
+                match verdict {
+                    Some(PollVerdict::Status {
+                        state,
+                        latency,
+                        summary,
+                    }) => {
+                        proto::write_frame(
+                            &mut writer,
+                            &Frame::QueryStatus {
+                                request,
+                                query,
+                                state,
+                                latency,
+                                summary,
+                            },
+                        )?;
+                    }
+                    Some(PollVerdict::Unknown) => {
+                        proto::write_frame(
+                            &mut writer,
+                            &Frame::Error {
+                                code: ErrorCode::UnknownQuery,
+                                request,
+                                message: format!("no query #{query} in this deployment"),
+                            },
+                        )?;
+                    }
+                    None => {
+                        proto::write_frame(
+                            &mut writer,
+                            &Frame::Error {
+                                code: ErrorCode::Shutdown,
+                                request,
+                                message: "worker is gone".into(),
+                            },
+                        )?;
+                        break;
+                    }
+                }
+            }
+            // Server-to-client frames arriving at the server are protocol
+            // violations, answered in kind (connection stays open).
+            other @ (Frame::HelloAck { .. }
+            | Frame::SubmitAck { .. }
+            | Frame::QueryStatus { .. }
+            | Frame::Error { .. }) => {
+                proto::write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::Malformed,
+                        request: 0,
+                        message: format!("{} frames are server-to-client only", other.name()),
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reject_ungreeted(writer: &mut impl Write, request: u64) -> io::Result<()> {
+    proto::write_frame(
+        writer,
+        &Frame::Error {
+            code: ErrorCode::HandshakeRejected,
+            request,
+            message: "no Hello received on this session yet".into(),
+        },
+    )
+}

@@ -1,0 +1,233 @@
+//! End-to-end wire-protocol tests against a live in-process server:
+//! malformed / oversized / truncated frames, handshake rejection,
+//! admission-control overflow and rate-limit backpressure — each answered
+//! with a *typed* protocol error on a connection that stays open.
+
+use exspan_core::{Exspan, ProvenanceMode, Repr, Traversal};
+use exspan_netsim::Topology;
+use exspan_serve::proto::{
+    self, ErrorCode, Frame, FrameRead, QuerySpec, QueryState, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use exspan_serve::{ServeClient, ServeConfig, Server, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn boot(config: ServeConfig) -> ServerHandle {
+    let mut deployment = Exspan::builder()
+        .program(exspan_ndlog::programs::mincost())
+        .topology(Topology::paper_example())
+        .mode(ProvenanceMode::Reference)
+        .build()
+        .expect("valid deployment");
+    deployment.run_to_fixpoint();
+    Server::start(deployment, config).expect("server boots")
+}
+
+fn raw_connect(server: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn read_decoded(stream: &mut TcpStream) -> Frame {
+    match proto::read_frame(stream).expect("read").expect("not EOF") {
+        FrameRead::Body(body) => proto::decode_frame(&body).expect("decodable reply"),
+        FrameRead::Oversized { .. } => panic!("server never sends oversized frames"),
+    }
+}
+
+fn hello(stream: &mut TcpStream) {
+    proto::write_frame(
+        stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    match read_decoded(stream) {
+        Frame::HelloAck { nodes, .. } => assert_eq!(nodes, 4),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+}
+
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) {
+    match read_decoded(stream) {
+        Frame::Error { code: got, .. } => assert_eq!(got, code),
+        other => panic!("expected {code:?} error, got {other:?}"),
+    }
+}
+
+fn bestpath_spec() -> QuerySpec {
+    QuerySpec {
+        issuer: 3,
+        repr: Repr::Polynomial,
+        traversal: Traversal::Bfs,
+        cached: false,
+        relation: "bestPathCost".into(),
+        location: 0,
+        values: vec![exspan_types::Value::Node(2), exspan_types::Value::Int(5)],
+    }
+}
+
+#[test]
+fn malformed_truncated_and_oversized_frames_get_typed_errors() {
+    let server = boot(ServeConfig::default());
+    let mut stream = raw_connect(&server);
+    hello(&mut stream);
+
+    // Unknown frame type.
+    stream.write_all(&1u32.to_be_bytes()).unwrap();
+    stream.write_all(&[0x55]).unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+
+    // Well-framed but truncated SubmitAck-shaped body.
+    stream.write_all(&3u32.to_be_bytes()).unwrap();
+    stream.write_all(&[0x11, 0, 0]).unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+
+    // Zero-length frame (no type byte).
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+
+    // Oversized frame: declared bigger than the limit, body streamed out.
+    let declared = (MAX_FRAME_LEN + 1) as u32;
+    stream.write_all(&declared.to_be_bytes()).unwrap();
+    let junk = vec![0u8; declared as usize];
+    stream.write_all(&junk).unwrap();
+    expect_error(&mut stream, ErrorCode::Oversized);
+
+    // The connection survived all four violations.
+    proto::write_frame(&mut stream, &Frame::Bye).unwrap();
+    assert!(matches!(read_decoded(&mut stream), Frame::Bye));
+    server.shutdown();
+}
+
+#[test]
+fn handshake_rejection_is_typed_and_recoverable() {
+    let server = boot(ServeConfig::default());
+    let mut stream = raw_connect(&server);
+
+    // Requests before any Hello are rejected but the connection stays open.
+    proto::write_frame(
+        &mut stream,
+        &Frame::Poll {
+            request: 7,
+            query: 0,
+        },
+    )
+    .unwrap();
+    expect_error(&mut stream, ErrorCode::HandshakeRejected);
+
+    // An unsupported version is rejected...
+    proto::write_frame(&mut stream, &Frame::Hello { version: 999 }).unwrap();
+    expect_error(&mut stream, ErrorCode::HandshakeRejected);
+
+    // ...and a correct retry succeeds on the same connection.
+    hello(&mut stream);
+
+    // Server-to-client frames sent by the client are violations, typed too.
+    proto::write_frame(
+        &mut stream,
+        &Frame::SubmitAck {
+            request: 1,
+            query: 1,
+        },
+    )
+    .unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+    server.shutdown();
+}
+
+#[test]
+fn session_admission_overflow_is_refused_with_a_typed_error() {
+    let server = boot(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    let mut a = raw_connect(&server);
+    hello(&mut a);
+    let mut b = raw_connect(&server);
+    hello(&mut b);
+    // Session slots are released asynchronously, so the cap is checked on
+    // the live pair: the third connection must be refused while both are up.
+    let mut c = raw_connect(&server);
+    expect_error(&mut c, ErrorCode::Admission);
+    server.shutdown();
+}
+
+#[test]
+fn query_admission_overflow_is_refused_with_a_typed_error() {
+    // clock_rate ≈ 0 freezes simulated time, so submitted queries cannot
+    // complete and the in-flight cap is hit deterministically.
+    let server = boot(ServeConfig {
+        max_inflight: 3,
+        clock_rate: 1e-9,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+    for _ in 0..3 {
+        client.submit(bestpath_spec()).expect("under the cap");
+    }
+    let err = client.submit(bestpath_spec()).expect_err("cap reached");
+    assert_eq!(err.code(), Some(ErrorCode::Admission));
+    assert!(err.is_backpressure());
+
+    // The session is still usable: polls keep working.
+    let status = client.poll(0).expect("poll works");
+    assert_eq!(status.state, QueryState::Pending);
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn rate_limit_backpressure_is_typed_and_recoverable() {
+    let server = boot(ServeConfig {
+        rate: 0.001, // effectively no refill within the test
+        burst: 2,
+        clock_rate: 1e-9,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+    client.submit(bestpath_spec()).expect("token 1");
+    client.submit(bestpath_spec()).expect("token 2");
+    let err = client.submit(bestpath_spec()).expect_err("bucket empty");
+    assert_eq!(err.code(), Some(ErrorCode::RateLimited));
+    assert!(err.is_backpressure());
+    // Still connected: the goodbye handshake completes.
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_query_ids_are_typed_errors() {
+    let server = boot(ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+    let err = client.poll(987_654).expect_err("no such query");
+    assert_eq!(err.code(), Some(ErrorCode::UnknownQuery));
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn a_query_completes_end_to_end_over_the_wire() {
+    let server = boot(ServeConfig {
+        clock_rate: 1000.0,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+    assert_eq!(client.info().program, "MINCOST");
+    let query = client.submit(bestpath_spec()).expect("admitted");
+    let status = client
+        .wait(query, Duration::from_secs(30), Duration::from_millis(2))
+        .expect("no protocol error")
+        .expect("completes within the budget");
+    assert_eq!(status.state, QueryState::Complete);
+    assert!(status.latency > 0.0, "simulated latency is positive");
+    assert_eq!(status.summary, "2 derivations");
+    client.bye().expect("clean goodbye");
+    let deployment = server.shutdown();
+    assert_eq!(deployment.outcomes().len(), 1);
+}

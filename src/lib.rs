@@ -24,6 +24,11 @@
 //! | [`netsim`] | `exspan-netsim` | discrete-event simulator, topologies, churn |
 //! | [`runtime`] | `exspan-runtime` | distributed pipelined semi-naïve NDlog engine |
 //! | [`core`] | `exspan-core` | the `Deployment` API, provenance rewrite, modes, queries |
+//! | [`serve`] | `exspan-serve` | wall-clock TCP service front-end, wire protocol, load generator |
+//!
+//! and defines one cross-layer type of its own: [`Error`], a
+//! `#[non_exhaustive]` enum unifying build, query and serve errors behind a
+//! single `std::error::Error` with `source()` chaining.
 //!
 //! ## Quick start
 //!
@@ -99,7 +104,11 @@ pub use exspan_core as core;
 pub use exspan_ndlog as ndlog;
 pub use exspan_netsim as netsim;
 pub use exspan_runtime as runtime;
+pub use exspan_serve as serve;
 pub use exspan_types as types;
+
+mod error;
+pub use error::Error;
 
 /// Shared deployment prologues used by the `examples/` binaries and the
 /// integration tests — one builder-based helper instead of each call site
