@@ -9,22 +9,23 @@ use exspan_ndlog::programs;
 use exspan_netsim::Topology;
 use exspan_types::Tuple;
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// Builds a 20-node testbed running MINCOST with reference-based provenance
 /// and returns the deployment plus every bestPathCost tuple (query targets).
-fn prepared_deployment() -> (Deployment, Vec<Tuple>) {
+fn prepared_deployment() -> (Deployment, Vec<Arc<Tuple>>) {
     let topo = Topology::testbed_ring(20, 11);
     let deployment = run_protocol(&programs::mincost(), topo, ProvenanceMode::Reference, 1);
     let mut targets = Vec::new();
     for n in 0..20 {
-        targets.extend(deployment.tuples(n, "bestPathCost"));
+        targets.extend(deployment.tuples_shared(n, "bestPathCost"));
     }
     (deployment, targets)
 }
 
 fn run_queries(
     deployment: &mut Deployment,
-    targets: &[Tuple],
+    targets: &[Arc<Tuple>],
     repr: Repr,
     traversal: TraversalOrder,
     caching: bool,

@@ -8,6 +8,7 @@ use exspan_netsim::{ChurnModel, Topology};
 use exspan_types::{NodeId, Tuple, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Experiment scale: the paper's parameters are expensive on a single core,
 /// so the harness defaults to a reduced scale that preserves every trend and
@@ -121,6 +122,21 @@ pub fn evaluation_modes() -> Vec<ProvenanceMode> {
     ]
 }
 
+static DATA_DIR: std::sync::Mutex<Option<std::path::PathBuf>> = std::sync::Mutex::new(None);
+static RUN_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Routes every subsequent [`run_protocol`] deployment through a persistent
+/// store under `dir` (the `figures --data-dir` flag).  Each protocol run gets
+/// its own fresh subdirectory: figure workloads (churn, queries, packets) are
+/// driven by the experiment code rather than replayed from the journal, and
+/// the traffic counters the figures report are deliberately transient, so a
+/// half-finished store is never resumed *within* a figure — restart recovery
+/// happens at figure granularity in the `figures` driver instead.
+pub fn set_data_dir(dir: Option<std::path::PathBuf>) {
+    *DATA_DIR.lock().unwrap() = dir;
+    RUN_COUNTER.store(0, std::sync::atomic::Ordering::SeqCst);
+}
+
 /// Builds a deployment (links auto-seeded) and runs the protocol to fixpoint
 /// on `shards` worker threads (results are identical for every shard count).
 pub fn run_protocol(
@@ -129,13 +145,18 @@ pub fn run_protocol(
     mode: ProvenanceMode,
     shards: usize,
 ) -> Deployment {
-    let mut deployment = Exspan::builder()
+    let mut builder = Exspan::builder()
         .program(program.clone())
         .topology(topology)
         .mode(mode)
-        .shards(shards)
-        .build()
-        .expect("experiment configuration is valid");
+        .shards(shards);
+    if let Some(base) = DATA_DIR.lock().unwrap().clone() {
+        let run = RUN_COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let dir = base.join(format!("run{run:04}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        builder = builder.data_dir(dir);
+    }
+    let mut deployment = builder.build().expect("experiment configuration is valid");
     deployment.run_to_fixpoint();
     deployment
 }
@@ -348,9 +369,9 @@ pub fn query_workload(
     // of a small set of "hot" destinations (operators investigate specific
     // routes repeatedly), which is what makes result caching effective; the
     // uncached runs use the identical workload for a fair comparison.
-    let mut targets: Vec<Tuple> = Vec::new();
+    let mut targets: Vec<Arc<Tuple>> = Vec::new();
     for n in 0..nodes.min(12) as NodeId {
-        targets.extend(deployment.tuples(n, "bestPathCost"));
+        targets.extend(deployment.tuples_shared(n, "bestPathCost"));
     }
     targets.truncate(64);
 

@@ -78,7 +78,7 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     // cost more than one hop).
     let n = system.topology().num_nodes();
     for node in 0..n as u32 {
-        let routes = system.tuples(node, "bestPathCost");
+        let routes = system.tuples_shared(node, "bestPathCost");
         assert_eq!(
             routes.len(),
             n,
@@ -87,7 +87,7 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     }
     let direct = |s: u32, d: u32| {
         system
-            .tuples(s, "bestPathCost")
+            .tuples_shared(s, "bestPathCost")
             .into_iter()
             .find(|t| t.values[0] == Value::Node(d))
             .and_then(|t| t.values[1].as_int().ok())
@@ -108,8 +108,8 @@ fn cross_shard_link_deletion_retracts_remote_derivations() {
     oracle.run_to_fixpoint();
     for rel in ["link", "pathCost", "bestPathCost", "prov", "ruleExec"] {
         assert_eq!(
-            oracle.tuples_everywhere(rel),
-            system.tuples_everywhere(rel),
+            oracle.tuples_everywhere_shared(rel),
+            system.tuples_everywhere_shared(rel),
             "relation {rel} diverged from the sequential oracle after cross-shard churn"
         );
     }
@@ -138,7 +138,7 @@ fn scheduled_churn_schedule_is_identical_across_shard_counts() {
         let start = system.now();
         drive_churn(&mut system, &churn, &schedule, start, 1.0);
         (
-            system.tuples_everywhere("bestPathCost"),
+            system.tuples_everywhere_shared("bestPathCost"),
             system.avg_bandwidth_mbps(),
             system.total_bytes(),
         )

@@ -61,8 +61,10 @@ use exspan_runtime::{
     Engine, EngineConfig, Executor, ExternalSink, FixpointStats, ShardConfig, SharedPolicy,
     SimClock,
 };
+use exspan_store::{DiskBackend, Durability, StorageBackend, StorageStats, StoreConfig};
 use exspan_types::{Digest, NodeId, Tuple, Value, Vid};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Entry point for building a [`Deployment`].
@@ -103,6 +105,10 @@ pub enum BuildError {
     /// A multi-shard deployment needs strictly positive link latencies (the
     /// parallel runtime's lookahead would otherwise be zero).
     NonPositiveLinkLatency,
+    /// Opening or recovering the persistent store failed (I/O error,
+    /// corruption past the committed prefix, or a store whose topology does
+    /// not fit the configured one).
+    Storage(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -123,6 +129,7 @@ impl std::fmt::Display for BuildError {
                 f,
                 "multi-shard deployments need strictly positive link latencies"
             ),
+            BuildError::Storage(msg) => write!(f, "persistent store: {msg}"),
         }
     }
 }
@@ -176,10 +183,15 @@ pub struct DeploymentBuilder {
     shards: usize,
     max_steps: u64,
     seed_links: bool,
+    data_dir: Option<PathBuf>,
+    durability: Durability,
+    snapshot_every_bytes: u64,
+    memory_budget_rows: Option<usize>,
 }
 
 impl Default for DeploymentBuilder {
     fn default() -> Self {
+        let store_defaults = StoreConfig::default();
         DeploymentBuilder {
             program: None,
             topology: None,
@@ -187,6 +199,10 @@ impl Default for DeploymentBuilder {
             shards: 1,
             max_steps: 200_000_000,
             seed_links: true,
+            data_dir: None,
+            durability: store_defaults.durability,
+            snapshot_every_bytes: store_defaults.snapshot_wal_bytes,
+            memory_budget_rows: None,
         }
     }
 }
@@ -228,6 +244,40 @@ impl DeploymentBuilder {
     /// knowledge of its local links).
     pub fn seed_links(mut self, seed: bool) -> Self {
         self.seed_links = seed;
+        self
+    }
+
+    /// Enables log-structured persistence in `path`.  A fresh directory
+    /// starts an empty durable store; an existing one is **recovered**: the
+    /// latest snapshot is loaded, the committed WAL tail replayed, and the
+    /// deployment resumes from the last committed barrier (link seeding is
+    /// skipped — the recovered state already contains the links).  Check
+    /// [`Deployment::recovered_from_store`] to distinguish the two.
+    pub fn data_dir(mut self, path: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(path.into());
+        self
+    }
+
+    /// WAL fsync cadence (default [`Durability::Barrier`]; only meaningful
+    /// with [`DeploymentBuilder::data_dir`]).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// How many WAL bytes may accumulate before a snapshot is taken and the
+    /// log truncated (only meaningful with [`DeploymentBuilder::data_dir`]).
+    pub fn snapshot_every_bytes(mut self, bytes: u64) -> Self {
+        self.snapshot_every_bytes = bytes;
+        self
+    }
+
+    /// In-memory row budget: when the stored rows exceed it at a barrier
+    /// boundary, the largest tables are spilled to disk in snapshot form
+    /// and transparently faulted back on access (requires
+    /// [`DeploymentBuilder::data_dir`]).
+    pub fn memory_budget_rows(mut self, rows: usize) -> Self {
+        self.memory_budget_rows = Some(rows);
         self
     }
 
@@ -321,6 +371,60 @@ impl DeploymentBuilder {
             value_policy = Some(Arc::clone(&shared));
             engine.set_annotation_policy(shared as SharedPolicy);
         }
+
+        // Open the persistent store (if configured) and recover whatever
+        // committed state it holds *before* journaling is attached, so the
+        // replayed operations are not re-journaled.
+        let mut recovered = false;
+        if let Some(dir) = &self.data_dir {
+            let store_config = StoreConfig {
+                durability: self.durability,
+                snapshot_wal_bytes: self.snapshot_every_bytes,
+                spill_budget_rows: self.memory_budget_rows,
+            };
+            let (backend, state) = DiskBackend::open(dir, store_config)
+                .map_err(|e| BuildError::Storage(e.to_string()))?;
+            let mut start_seq = 0;
+            if let Some(state) = state {
+                if let Some(snap) = &state.snapshot {
+                    let nodes = engine.topology().num_nodes() as u32;
+                    if snap.node_count != nodes {
+                        return Err(BuildError::Storage(format!(
+                            "store at {} was written for a {}-node topology, \
+                             but the configured topology has {nodes} nodes",
+                            dir.display(),
+                            snap.node_count
+                        )));
+                    }
+                    engine.restore_links(&snap.links);
+                    for dump in &snap.tables {
+                        for (tuple, count) in &dump.rows {
+                            engine.restore_table_row(dump.node, Arc::clone(tuple), *count);
+                        }
+                    }
+                    for entry in &snap.agg {
+                        engine.restore_agg(entry);
+                    }
+                }
+                for batch in &state.batches {
+                    for op in &batch.ops {
+                        engine.apply_wal_op(op);
+                    }
+                }
+                let (seq, time_bits) = state.watermark();
+                start_seq = seq;
+                engine.restore_clock(f64::from_bits(time_bits));
+                recovered = true;
+            }
+            let spill = self.memory_budget_rows.map(|rows| {
+                (
+                    backend.spill_dir().expect("disk backend").to_path_buf(),
+                    rows,
+                )
+            });
+            engine.attach_storage(Box::new(backend), start_seq, spill);
+        }
+
         let mut deployment = Deployment {
             engine,
             mode: self.mode,
@@ -329,8 +433,11 @@ impl DeploymentBuilder {
             warnings,
             fabric: QueryFabric::new(),
             pending_invalidations: BTreeMap::new(),
+            recovered,
         };
-        if self.seed_links {
+        // A recovered store already contains the link tuples (and everything
+        // derived from them); re-seeding would double their derivations.
+        if self.seed_links && !recovered {
             deployment.seed_links();
         }
         Ok(deployment)
@@ -493,6 +600,9 @@ pub struct Deployment {
     /// would let queries completing before the delta cache results that then
     /// silently go stale.
     pending_invalidations: BTreeMap<u64, Vec<Vid>>,
+    /// True when [`DeploymentBuilder::data_dir`] pointed at an existing store
+    /// and the deployment booted from its recovered state instead of seeding.
+    recovered: bool,
 }
 
 /// Lightweight, copyable reference to one submitted query.  Poll the result
@@ -680,18 +790,68 @@ impl Deployment {
     }
 
     /// Visible tuples of `relation` at `node`.
+    #[deprecated(note = "use `tuples_shared` — it avoids a deep copy per tuple")]
     pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
-        self.engine.tuples(node, relation)
+        self.tuples_shared(node, relation)
+            .iter()
+            .map(|t| (**t).clone())
+            .collect()
     }
 
     /// Visible tuples of `relation` across all nodes, in canonical order.
+    #[deprecated(note = "use `tuples_everywhere_shared` — it avoids a deep copy per tuple")]
     pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
-        self.engine.tuples_everywhere(relation)
+        self.tuples_everywhere_shared(relation)
+            .iter()
+            .map(|t| (**t).clone())
+            .collect()
+    }
+
+    /// Visible tuples of `relation` at `node`, as shared handles (no deep
+    /// copy).
+    pub fn tuples_shared(&self, node: NodeId, relation: &str) -> Vec<Arc<Tuple>> {
+        self.engine.tuples_shared(node, relation)
+    }
+
+    /// Visible tuples of `relation` across all nodes in canonical order, as
+    /// shared handles (no deep copy).
+    pub fn tuples_everywhere_shared(&self, relation: &str) -> Vec<Arc<Tuple>> {
+        self.engine.tuples_everywhere_shared(relation)
     }
 
     /// Derivation count of an exact tuple at its own location.
     pub fn derivation_count(&self, tuple: &Tuple) -> usize {
         self.engine.derivation_count(tuple)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent storage
+    // ------------------------------------------------------------------
+
+    /// True when this deployment booted from an existing persistent store
+    /// ([`DeploymentBuilder::data_dir`]) instead of seeding from scratch.
+    pub fn recovered_from_store(&self) -> bool {
+        self.recovered
+    }
+
+    /// Counters of the storage backend (WAL batches/bytes, snapshots, spill
+    /// and fault activity).  All-zero for the in-memory default.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.engine.storage_stats()
+    }
+
+    /// Flushes any pending journal entries and forces a snapshot (persistent
+    /// deployments only; a no-op for the in-memory default).  Call before a
+    /// graceful shutdown to make restart recovery snapshot-only.
+    pub fn checkpoint(&mut self) {
+        self.engine.checkpoint();
+    }
+
+    /// Hex digest of the canonical snapshot encoding of the current logical
+    /// state.  Equal digests mean byte-identical persistent state; the digest
+    /// is independent of shard count, spill state, and execution history.
+    pub fn state_digest(&self) -> String {
+        self.engine.state_digest().to_hex()
     }
 
     // ------------------------------------------------------------------
@@ -762,13 +922,18 @@ impl Deployment {
     /// directions) at the current simulated time.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, props: LinkProps) {
         self.engine.topology_mut().add_link(a, b, props);
+        self.engine.journal_link(true, a, b, &props);
         self.insert_base(a, Self::link_tuple(a, b, props.cost));
         self.insert_base(b, Self::link_tuple(b, a, props.cost));
     }
 
     /// Removes a link from the topology and deletes its base tuples.
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
-        let cost = self.engine.topology().link(a, b).map_or(1, |p| p.cost);
+        let props = self.engine.topology().link(a, b).copied();
+        let cost = props.map_or(1, |p| p.cost);
+        if let Some(props) = props {
+            self.engine.journal_link(false, a, b, &props);
+        }
         self.engine.topology_mut().remove_link(a, b);
         self.delete_base(a, Self::link_tuple(a, b, cost));
         self.delete_base(b, Self::link_tuple(b, a, cost));
@@ -791,16 +956,21 @@ impl Deployment {
             self.engine
                 .topology_mut()
                 .add_link(event.a, event.b, event.props);
+            self.engine
+                .journal_link(true, event.a, event.b, &event.props);
             let cost = event.props.cost;
             self.schedule_delta(at, event.a, Self::link_tuple(event.a, event.b, cost), true);
             self.schedule_delta(at, event.b, Self::link_tuple(event.b, event.a, cost), true);
         } else {
-            let cost = self
+            let props = self
                 .engine
                 .topology()
                 .link(event.a, event.b)
-                .map_or(event.props.cost, |p| p.cost);
+                .copied()
+                .unwrap_or(event.props);
+            self.engine.journal_link(false, event.a, event.b, &props);
             self.engine.topology_mut().remove_link(event.a, event.b);
+            let cost = props.cost;
             self.schedule_delta(at, event.a, Self::link_tuple(event.a, event.b, cost), false);
             self.schedule_delta(at, event.b, Self::link_tuple(event.b, event.a, cost), false);
         }
@@ -1238,8 +1408,8 @@ mod tests {
     #[test]
     fn builder_seeds_links_by_default() {
         let d = mincost_deployment(ProvenanceMode::Reference);
-        assert!(!d.tuples(0, "link").is_empty());
-        assert!(!d.tuples(0, "bestPathCost").is_empty());
+        assert!(!d.tuples_shared(0, "link").is_empty());
+        assert!(!d.tuples_shared(0, "bestPathCost").is_empty());
 
         let mut unseeded = Exspan::builder()
             .program(programs::mincost())
@@ -1248,13 +1418,13 @@ mod tests {
             .build()
             .unwrap();
         unseeded.run_to_fixpoint();
-        assert!(unseeded.tuples(0, "link").is_empty());
+        assert!(unseeded.tuples_shared(0, "link").is_empty());
     }
 
     #[test]
     fn equal_query_configs_share_a_session() {
         let mut d = mincost_deployment(ProvenanceMode::Reference);
-        let target = d.tuples(0, "bestPathCost").remove(0);
+        let target = (*d.tuples_shared(0, "bestPathCost").remove(0)).clone();
         let h1 = d.query(&target).repr(Repr::DerivationCount).submit();
         let h2 = d.query(&target).repr(Repr::DerivationCount).submit();
         let h3 = d.query(&target).repr(Repr::Polynomial).submit();
@@ -1274,7 +1444,7 @@ mod tests {
     #[test]
     fn scheduled_queries_progress_with_run_until() {
         let mut d = mincost_deployment(ProvenanceMode::Reference);
-        let target = d.tuples(0, "bestPathCost").remove(0);
+        let target = (*d.tuples_shared(0, "bestPathCost").remove(0)).clone();
         let start = d.now();
         let h = d
             .query(&target)
@@ -1362,7 +1532,7 @@ mod tests {
             .build()
             .unwrap();
         d.run_to_fixpoint();
-        let target = d.tuples(0, "bestPathCost").remove(0);
+        let target = (*d.tuples_shared(0, "bestPathCost").remove(0)).clone();
         let start = d.now();
         let orphan = d
             .query(&target)
@@ -1395,7 +1565,7 @@ mod tests {
     #[test]
     fn value_provenance_closure_accessor() {
         let d = mincost_deployment(ProvenanceMode::ValueBdd);
-        let target = d.tuples(0, "bestPathCost").remove(0);
+        let target = (*d.tuples_shared(0, "bestPathCost").remove(0)).clone();
         let derivable = d
             .with_value_provenance(|p| p.derivable_under(&target, |_| true))
             .expect("value mode exposes the policy");

@@ -12,11 +12,12 @@ use exspan_ndlog::ast::Program;
 use exspan_ndlog::programs;
 use exspan_netsim::Topology;
 use exspan_types::Tuple;
+use std::sync::Arc;
 
 /// Everything a figure could observe about a finished run.
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
-    tuples: Vec<Tuple>,
+    tuples: Vec<Arc<Tuple>>,
     bytes_sent: Vec<u64>,
     total_bytes: u64,
     avg_comm_mb: f64,
@@ -53,7 +54,7 @@ fn run(program: &Program, mode: ProvenanceMode, shards: usize, churn: bool) -> F
         "prov",
         "ruleExec",
     ] {
-        tuples.extend(deployment.tuples_everywhere(rel));
+        tuples.extend(deployment.tuples_everywhere_shared(rel));
     }
     let s = deployment.engine().stats();
     Fingerprint {
@@ -112,12 +113,12 @@ fn value_mode_annotations_identical_across_shard_counts() {
             .build()
             .expect("valid deployment");
         deployment.run_to_fixpoint();
-        let tuples = deployment.tuples_everywhere("bestPathCost");
+        let tuples = deployment.tuples_everywhere_shared("bestPathCost");
         deployment
             .with_value_provenance(|policy| {
                 tuples
                     .iter()
-                    .map(|t| (t.clone(), policy.annotation_size(t)))
+                    .map(|t| ((**t).clone(), policy.annotation_size(t)))
                     .collect::<Vec<_>>()
             })
             .expect("value mode")

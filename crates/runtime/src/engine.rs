@@ -37,9 +37,15 @@ pub use crate::shard::{ShardConfig, SharedPolicy};
 use exspan_ndlog::ast::{BodyItem, Program};
 use exspan_ndlog::eval::FuncRegistry;
 use exspan_ndlog::plan::ProgramPlans;
-use exspan_netsim::{EventKey, RoutedEvent, ShardView, Simulator, Topology, TrafficStats};
+use exspan_netsim::{
+    EventKey, LinkClass, LinkProps, RoutedEvent, ShardView, Simulator, Topology, TrafficStats,
+};
+use exspan_store::{
+    AggProvEntry, LinkRecord, MemoryBackend, SnapshotData, StorageBackend, StorageStats, WalOp,
+};
 use exspan_types::{wire, NodeId, RelId, Symbol, Tuple};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
@@ -148,6 +154,58 @@ pub struct Engine {
     /// that it has not yet pulled into its queue.
     inboxes: Vec<Mutex<Vec<RoutedEvent<Payload>>>>,
     policy: Option<SharedPolicy>,
+    /// Storage backend behind the persistence seam.  The in-memory default
+    /// ([`MemoryBackend`]) accepts and discards everything; shard journaling
+    /// stays off, so the hot path pays nothing.
+    backend: Box<dyn StorageBackend>,
+    /// Sequence number of the last committed WAL batch.
+    commit_seq: u64,
+    /// Topology link changes journaled since the last barrier flush (links
+    /// live on the coordinator, not in any shard's table store).
+    link_journal: Vec<WalOp>,
+    /// Whether journaling is active (persistent backend attached).
+    journaling: bool,
+}
+
+/// On-wire encoding of a [`LinkClass`] inside a [`LinkRecord`].
+fn link_class_code(class: LinkClass) -> u8 {
+    match class {
+        LinkClass::TransitTransit => 0,
+        LinkClass::TransitStub => 1,
+        LinkClass::StubStub => 2,
+        LinkClass::Testbed => 3,
+        LinkClass::Custom => 4,
+    }
+}
+
+fn link_class_from_code(code: u8) -> LinkClass {
+    match code {
+        0 => LinkClass::TransitTransit,
+        1 => LinkClass::TransitStub,
+        2 => LinkClass::StubStub,
+        3 => LinkClass::Testbed,
+        _ => LinkClass::Custom,
+    }
+}
+
+fn link_record(a: NodeId, b: NodeId, props: &LinkProps) -> LinkRecord {
+    LinkRecord {
+        a,
+        b,
+        latency_bits: props.latency.to_bits(),
+        bandwidth_bits: props.bandwidth.to_bits(),
+        cost: props.cost,
+        class: link_class_code(props.class),
+    }
+}
+
+fn link_props(record: &LinkRecord) -> LinkProps {
+    LinkProps {
+        latency: f64::from_bits(record.latency_bits),
+        bandwidth: f64::from_bits(record.bandwidth_bits),
+        cost: record.cost,
+        class: link_class_from_code(record.class),
+    }
 }
 
 impl Engine {
@@ -213,6 +271,10 @@ impl Engine {
             inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
             shards,
             policy: None,
+            backend: Box::new(MemoryBackend),
+            commit_seq: 0,
+            link_journal: Vec::new(),
+            journaling: false,
         }
     }
 
@@ -301,10 +363,12 @@ impl Engine {
 
     /// Visible tuples of `relation` at `node` (deep copies; hot callers
     /// should prefer [`Engine::tuples_shared`]).
+    #[deprecated(note = "deep-copies every row; use Engine::tuples_shared")]
     pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
-        self.shards[self.owner(node)]
-            .store
-            .tuples(node, RelId::intern(relation))
+        self.tuples_shared(node, relation)
+            .into_iter()
+            .map(|t| (*t).clone())
+            .collect()
     }
 
     /// Visible tuples of `relation` at `node` as shared handles (no
@@ -317,6 +381,7 @@ impl Engine {
 
     /// Visible tuples of `relation` across all nodes (deep copies; hot
     /// callers should prefer [`Engine::tuples_everywhere_shared`]).
+    #[deprecated(note = "deep-copies every row; use Engine::tuples_everywhere_shared")]
     pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
         self.tuples_everywhere_shared(relation)
             .into_iter()
@@ -337,12 +402,12 @@ impl Engine {
         out
     }
 
-    /// Derivation count of an exact tuple at its own location.
+    /// Derivation count of an exact tuple at its own location (serving
+    /// spilled tables by cold read).
     pub fn derivation_count(&self, tuple: &Tuple) -> usize {
         self.shards[self.owner(tuple.location)]
             .store
-            .table(tuple.location, tuple.relation)
-            .map_or(0, |t| t.count(tuple))
+            .derivation_count(tuple.location, tuple)
     }
 
     /// Total number of stored tuples across all nodes and relations.
@@ -433,19 +498,23 @@ impl Engine {
     /// Used by higher layers for bookkeeping tables (e.g. query caches).
     pub fn store_silent(&mut self, node: NodeId, tuple: &Tuple) {
         let owner = self.owner(node);
+        let tuple = Arc::new(tuple.clone());
+        self.shards[owner].store.journal_tuple(node, true, &tuple);
         self.shards[owner]
             .store
             .table_mut(node, tuple.relation)
-            .insert(tuple);
+            .insert_shared(&tuple);
     }
 
     /// Directly removes a tuple at a node without triggering any rules.
     pub fn remove_silent(&mut self, node: NodeId, tuple: &Tuple) {
         let owner = self.owner(node);
+        let tuple = Arc::new(tuple.clone());
+        self.shards[owner].store.journal_tuple(node, false, &tuple);
         self.shards[owner]
             .store
             .table_mut(node, tuple.relation)
-            .delete(tuple);
+            .delete(&tuple);
     }
 
     /// Moves events diverted to foreign shards into the destination inboxes,
@@ -569,6 +638,7 @@ impl Engine {
                 }
             }
         }
+        self.flush_storage();
         let steps_after: u64 = self.shards.iter().map(|s| s.processed).sum();
         FixpointStats {
             fixpoint_time: self.last_activity(),
@@ -590,6 +660,9 @@ impl Engine {
         } else {
             self.run_parallel(time_limit);
         }
+        // The window just closed and every worker thread has joined: commit
+        // the journaled operations as one quiescent WAL batch.
+        self.flush_storage();
         let steps_after: u64 = self.shards.iter().map(|s| s.processed).sum();
         let ext_after: u64 = self.shards.iter().map(|s| s.externals_seen).sum();
         FixpointStats {
@@ -708,6 +781,263 @@ impl Engine {
             }
         });
     }
+
+    // ------------------------------------------------------------------
+    // Persistence (the storage seam)
+    // ------------------------------------------------------------------
+
+    /// Attaches a storage backend and turns on operation journaling.
+    ///
+    /// `start_seq` seeds the commit sequence (the recovered watermark when
+    /// reopening an existing store, 0 for a fresh one).  `spill` optionally
+    /// enables cold-table eviction: `(directory, in-memory row budget)`.
+    /// Call after recovery replay, so the replayed operations are not
+    /// re-journaled.
+    pub fn attach_storage(
+        &mut self,
+        backend: Box<dyn StorageBackend>,
+        start_seq: u64,
+        spill: Option<(PathBuf, usize)>,
+    ) {
+        self.backend = backend;
+        self.commit_seq = start_seq;
+        self.journaling = self.backend.is_persistent();
+        for shard in &mut self.shards {
+            shard.store.set_journaling(self.journaling);
+            // Node ownership is exclusive, so every shard can share one
+            // spill directory without file-name collisions.
+            if let Some((dir, budget)) = &spill {
+                shard.store.enable_spill(dir.clone(), *budget);
+            }
+        }
+    }
+
+    /// Journals a topology link change (call alongside the
+    /// `topology_mut().add_link/remove_link` that applies it; no-op without
+    /// a persistent backend).
+    pub fn journal_link(&mut self, add: bool, a: NodeId, b: NodeId, props: &LinkProps) {
+        if self.journaling {
+            self.link_journal.push(WalOp::Link {
+                add,
+                link: link_record(a, b, props),
+            });
+        }
+    }
+
+    /// Commits the operations journaled since the last flush as one WAL
+    /// batch, writes a snapshot if enough log accumulated, and enforces the
+    /// spill budget.  Called at the single-threaded end of every `run_*`
+    /// call — a quiescent barrier, so the batch captures a complete window.
+    fn flush_storage(&mut self) {
+        let mut enforce = false;
+        if self.journaling {
+            let mut ops = std::mem::take(&mut self.link_journal);
+            for shard in &mut self.shards {
+                ops.extend(shard.store.take_journal());
+            }
+            if !ops.is_empty() {
+                self.commit_seq += 1;
+                let time_bits = self.last_activity().to_bits();
+                self.backend
+                    .commit_batch(&ops, self.commit_seq, time_bits)
+                    .unwrap_or_else(|e| panic!("WAL commit failed: {e}"));
+                if self.backend.snapshot_due() {
+                    let snap = self.collect_snapshot();
+                    self.backend
+                        .write_snapshot(&snap)
+                        .unwrap_or_else(|e| panic!("snapshot write failed: {e}"));
+                }
+                enforce = true;
+            }
+        }
+        // Spill outside the journaling borrow: eviction is budget-driven and
+        // only needs to run when tables may have grown.
+        if enforce {
+            for shard in &mut self.shards {
+                shard.store.enforce_budget();
+            }
+        }
+    }
+
+    /// Flushes pending journal entries and forces a snapshot (graceful-
+    /// shutdown checkpoint; no-op without a persistent backend).
+    pub fn checkpoint(&mut self) {
+        self.flush_storage();
+        if self.backend.is_persistent() {
+            let snap = self.collect_snapshot();
+            self.backend
+                .write_snapshot(&snap)
+                .unwrap_or_else(|e| panic!("checkpoint snapshot failed: {e}"));
+        }
+    }
+
+    /// Collects the full logical state in canonical form: links sorted by
+    /// endpoint pair, tables sorted by `(node, relation name)` with rows in
+    /// `scan()` order, aggregate-provenance entries sorted by group.  The
+    /// encoding of this value is a pure function of logical state — shard
+    /// count, spill status and execution interleaving do not affect a byte.
+    pub fn collect_snapshot(&self) -> SnapshotData {
+        let mut links: Vec<LinkRecord> = self
+            .topology
+            .links()
+            .map(|(a, b, props)| link_record(a, b, props))
+            .collect();
+        links.sort_by_key(|l| (l.a, l.b));
+        let mut tables: Vec<exspan_store::TableDump> =
+            self.shards.iter().flat_map(|s| s.store.dump()).collect();
+        tables.sort_by(|x, y| (x.node, x.relation.as_str()).cmp(&(y.node, y.relation.as_str())));
+        let mut agg: Vec<AggProvEntry> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.agg_prov
+                    .iter()
+                    .map(|((node, relation, group), (prov, exec))| AggProvEntry {
+                        node: *node,
+                        relation: *relation,
+                        group: group.clone(),
+                        prov: Arc::clone(prov),
+                        exec: Arc::clone(exec),
+                    })
+            })
+            .collect();
+        agg.sort_by(|x, y| {
+            (x.node, x.relation.as_str(), &x.group).cmp(&(y.node, y.relation.as_str(), &y.group))
+        });
+        SnapshotData {
+            seq: self.commit_seq,
+            time_bits: self.last_activity().to_bits(),
+            node_count: self.topology.num_nodes() as u32,
+            links,
+            tables,
+            agg,
+        }
+    }
+
+    /// SHA-1 over the canonical snapshot encoding: equal digests ⇔ equal
+    /// logical state, independent of shard count and spill status.  The
+    /// commit sequence number is zeroed first — it counts storage-layer
+    /// barrier flushes, so an in-memory deployment and a persistent one in
+    /// the same logical state would otherwise digest differently.
+    pub fn state_digest(&self) -> exspan_types::Digest {
+        let mut snap = self.collect_snapshot();
+        snap.seq = 0;
+        let mut bytes = Vec::new();
+        exspan_store::snapshot::encode_snapshot(&snap, &mut bytes);
+        exspan_types::sha1_digest(&bytes)
+    }
+
+    /// Storage counters: backend-side (WAL/snapshot) merged with the
+    /// shard-side spill counters.
+    pub fn storage_stats(&self) -> StorageStats {
+        let mut stats = self.backend.stats();
+        for shard in &self.shards {
+            let (spills, faults, cold) = shard.store.spill_counters();
+            stats.tables_spilled += spills;
+            stats.tables_faulted += faults;
+            stats.cold_reads += cold;
+        }
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (applying a recovered store to a fresh engine)
+    // ------------------------------------------------------------------
+
+    /// Replaces the topology's link set with `links` (snapshot restore).
+    /// The node count must already match; link changes journaled afterwards
+    /// are applied by [`Engine::apply_wal_op`].
+    pub fn restore_links(&mut self, links: &[LinkRecord]) {
+        let existing: Vec<(NodeId, NodeId)> =
+            self.topology.links().map(|(a, b, _)| (a, b)).collect();
+        let topo = self.topology_mut();
+        for (a, b) in existing {
+            topo.remove_link(a, b);
+        }
+        for l in links {
+            topo.add_link(l.a, l.b, link_props(l));
+        }
+    }
+
+    /// Reinstates one snapshot table row (tuple with its derivation count)
+    /// at its owning shard, rebuilding secondary indexes as it goes.
+    pub fn restore_table_row(&mut self, node: NodeId, tuple: Arc<Tuple>, count: u64) {
+        let owner = self.owner(node);
+        self.shards[owner]
+            .store
+            .table_mut(node, tuple.relation)
+            .restore(tuple, count);
+    }
+
+    /// Reinstates one snapshot aggregate-provenance entry at its owning
+    /// shard.
+    pub fn restore_agg(&mut self, entry: &AggProvEntry) {
+        let owner = self.owner(entry.node);
+        self.shards[owner].agg_prov.insert(
+            (entry.node, entry.relation, entry.group.clone()),
+            (Arc::clone(&entry.prov), Arc::clone(&entry.exec)),
+        );
+    }
+
+    /// Replays one journaled operation.  Tuple intents run through the
+    /// identical table code that produced them, so replay reproduces
+    /// duplicate counts, keyed replacement and decrement-vs-remove outcomes
+    /// exactly; rules are *not* re-fired (their derived deltas were
+    /// journaled as their own operations).
+    pub fn apply_wal_op(&mut self, op: &WalOp) {
+        match op {
+            WalOp::Tuple {
+                node,
+                insert,
+                tuple,
+            } => {
+                let owner = self.owner(*node);
+                let table = self.shards[owner].store.table_mut(*node, tuple.relation);
+                if *insert {
+                    table.insert_shared(tuple);
+                } else {
+                    table.delete(tuple);
+                }
+            }
+            WalOp::Link { add, link } => {
+                let topo = self.topology_mut();
+                if *add {
+                    topo.add_link(link.a, link.b, link_props(link));
+                } else {
+                    topo.remove_link(link.a, link.b);
+                }
+            }
+            WalOp::AggProv {
+                install,
+                node,
+                relation,
+                group,
+                tuples,
+            } => {
+                let owner = self.owner(*node);
+                if let (true, Some((prov, exec))) = (install, tuples) {
+                    self.shards[owner].agg_prov.insert(
+                        (*node, *relation, group.clone()),
+                        (Arc::clone(prov), Arc::clone(exec)),
+                    );
+                } else {
+                    self.shards[owner]
+                        .agg_prov
+                        .remove(&(*node, *relation, group.clone()));
+                }
+            }
+        }
+    }
+
+    /// Advances every shard's simulated clock (and last-activity marker) to
+    /// the recovered watermark, so post-recovery scheduling continues from
+    /// where the crashed run committed.
+    pub fn restore_clock(&mut self, time: f64) {
+        for shard in &mut self.shards {
+            shard.sim.advance_to(time);
+            shard.last_delta_time = time;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +1053,12 @@ mod tests {
 
     fn best(s: NodeId, d: NodeId, c: i64) -> Tuple {
         Tuple::new("bestPathCost", s, vec![Value::Node(d), Value::Int(c)])
+    }
+
+    /// Shared-handle membership test (the tests read state through the
+    /// zero-copy accessors).
+    fn contains(tuples: &[Arc<Tuple>], t: &Tuple) -> bool {
+        tuples.iter().any(|x| **x == *t)
     }
 
     /// Inserts both directions of every link of the topology as base tuples
@@ -749,7 +1085,7 @@ mod tests {
         assert!(stats.steps > 0);
 
         // a = node 0, b = 1, c = 2, d = 3.
-        let a_best = engine.tuples(0, "bestPathCost");
+        let a_best = engine.tuples_shared(0, "bestPathCost");
         let get = |d: NodeId| -> i64 {
             a_best
                 .iter()
@@ -760,8 +1096,8 @@ mod tests {
         assert_eq!(get(2), 5); // a->c direct or via b
         assert_eq!(get(3), 8); // a->b->c->d = 3+2+3
                                // b's best cost to c is 2.
-        let b_best = engine.tuples(1, "bestPathCost");
-        assert!(b_best.contains(&best(1, 2, 2)));
+        let b_best = engine.tuples_shared(1, "bestPathCost");
+        assert!(contains(&b_best, &best(1, 2, 2)));
         // pathCost(@a,c,5) has two derivations (Figure 4).
         let pc = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]);
         assert_eq!(engine.derivation_count(&pc), 2);
@@ -778,15 +1114,15 @@ mod tests {
         engine.delete_base(2, link(2, 0, 5));
         engine.run_to_fixpoint();
         // Best cost a->c remains 5 via b (3+2), but now with one derivation.
-        let a_best = engine.tuples(0, "bestPathCost");
-        assert!(a_best.contains(&best(0, 2, 5)));
+        let a_best = engine.tuples_shared(0, "bestPathCost");
+        assert!(contains(&a_best, &best(0, 2, 5)));
         let pc = Tuple::new("pathCost", 0, vec![Value::Node(2), Value::Int(5)]);
         assert_eq!(engine.derivation_count(&pc), 1);
         // Now delete a-b as well: a's only neighbour left is... none (a had b and c).
         engine.delete_base(0, link(0, 1, 3));
         engine.delete_base(1, link(1, 0, 3));
         engine.run_to_fixpoint();
-        let a_best = engine.tuples(0, "bestPathCost");
+        let a_best = engine.tuples_shared(0, "bestPathCost");
         assert!(
             a_best.is_empty(),
             "a is disconnected, all bestPathCost tuples must be retracted, got {a_best:?}"
@@ -808,17 +1144,23 @@ mod tests {
         let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
         seed_links(&mut engine);
         engine.run_to_fixpoint();
-        assert!(engine.tuples(0, "bestPathCost").contains(&best(0, 2, 20)));
+        assert!(contains(
+            &engine.tuples_shared(0, "bestPathCost"),
+            &best(0, 2, 20)
+        ));
         // New cheap direct link 0-2.
         engine.topology_mut().add_link(0, 2, props(3));
         engine.insert_base(0, link(0, 2, 3));
         engine.insert_base(2, link(2, 0, 3));
         engine.run_to_fixpoint();
-        let bests = engine.tuples(0, "bestPathCost");
-        assert!(bests.contains(&best(0, 2, 3)));
-        assert!(!bests.contains(&best(0, 2, 20)));
+        let bests = engine.tuples_shared(0, "bestPathCost");
+        assert!(contains(&bests, &best(0, 2, 3)));
+        assert!(!contains(&bests, &best(0, 2, 20)));
         // Node 1's cost to 2 must not regress.
-        assert!(engine.tuples(1, "bestPathCost").contains(&best(1, 2, 10)));
+        assert!(contains(
+            &engine.tuples_shared(1, "bestPathCost"),
+            &best(1, 2, 10)
+        ));
     }
 
     #[test]
@@ -829,7 +1171,7 @@ mod tests {
         engine.run_to_fixpoint();
         // Best path a->d must be a,b,c,d (cost 8) or a,c,d (cost 8): both cost
         // 8; accept either but require cost 8 and a loop-free path ending at d.
-        let best_paths = engine.tuples(0, "bestPath");
+        let best_paths = engine.tuples_shared(0, "bestPath");
         let to_d = best_paths
             .iter()
             .find(|t| t.values[0] == Value::Node(3))
@@ -856,13 +1198,13 @@ mod tests {
         );
         engine.insert_base(0, packet);
         engine.run_to_fixpoint();
-        let received = engine.tuples(3, "recvPacket");
+        let received = engine.tuples_shared(3, "recvPacket");
         assert_eq!(received.len(), 1, "packet must be delivered exactly once");
         assert_eq!(received[0].values[0], Value::Node(0));
         assert_eq!(received[0].values[1], Value::Node(3));
         // No other node materialized a recvPacket.
         for n in [0, 1, 2] {
-            assert!(engine.tuples(n, "recvPacket").is_empty());
+            assert!(engine.tuples_shared(n, "recvPacket").is_empty());
         }
     }
 
@@ -928,13 +1270,13 @@ mod tests {
         // bestPathCost(@a,c,5) must have a prov entry pointing at a ruleExec
         // for sp3 whose input is pathCost(@a,c,5).
         let target = best(0, 2, 5);
-        let prov = engine.tuples(0, "prov");
+        let prov = engine.tuples_shared(0, "prov");
         let entry = prov
             .iter()
             .find(|t| t.values[0] == Value::from_digest(target.vid()))
             .expect("prov entry for bestPathCost(@a,c,5)");
         let rid = entry.values[1].clone();
-        let execs = engine.tuples(0, "ruleExec");
+        let execs = engine.tuples_shared(0, "ruleExec");
         let exec = execs
             .iter()
             .find(|t| t.values[0] == rid)
@@ -954,22 +1296,21 @@ mod tests {
         let mut engine = Engine::new(programs::mincost(), topo, EngineConfig::default());
         let t = link(0, 1, 9);
         engine.store_silent(0, &t);
-        assert_eq!(engine.tuples(0, "link"), vec![t.clone()]);
+        assert_eq!(engine.tuples_shared(0, "link"), vec![Arc::new(t.clone())]);
         // No derivation happened (no events processed at all).
-        assert!(engine.tuples(0, "pathCost").is_empty());
+        assert!(engine.tuples_shared(0, "pathCost").is_empty());
         engine.remove_silent(0, &t);
-        assert!(engine.tuples(0, "link").is_empty());
+        assert!(engine.tuples_shared(0, "link").is_empty());
     }
+
+    type Fingerprint = (Vec<Arc<Tuple>>, Vec<u64>, Vec<(f64, f64)>);
 
     /// Collects a canonical snapshot of the engine's full visible state and
     /// traffic accounting, for sharded-vs-sequential comparisons.
-    fn state_fingerprint(
-        engine: &Engine,
-        relations: &[&str],
-    ) -> (Vec<Tuple>, Vec<u64>, Vec<(f64, f64)>) {
+    fn state_fingerprint(engine: &Engine, relations: &[&str]) -> Fingerprint {
         let mut tuples = Vec::new();
         for r in relations {
-            tuples.extend(engine.tuples_everywhere(r));
+            tuples.extend(engine.tuples_everywhere_shared(r));
         }
         let stats = engine.stats();
         (

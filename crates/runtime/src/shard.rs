@@ -98,8 +98,10 @@ pub(crate) struct Shard {
     pub(crate) sim: Simulator<Payload>,
     pub(crate) policy: Option<SharedPolicy>,
     /// Bookkeeping for aggregate provenance: the (prov tuple, ruleExec
-    /// tuple) pair currently installed for each group.
-    agg_prov: HashMap<AggGroupKey, (Arc<Tuple>, Arc<Tuple>)>,
+    /// tuple) pair currently installed for each group.  Not derivable from
+    /// the tables, so it is journaled/snapshotted and restored on recovery
+    /// (`pub(crate)` for the engine's recovery path).
+    pub(crate) agg_prov: HashMap<AggGroupKey, (Arc<Tuple>, Arc<Tuple>)>,
     pub(crate) last_delta_time: f64,
     pub(crate) externals_seen: u64,
     pub(crate) processed: u64,
@@ -154,6 +156,10 @@ impl Shard {
                 token,
             } => {
                 let node = msg.to;
+                // Rule bodies are localized to `node`, so faulting in this
+                // node's spilled tables (no-op without a spill budget) makes
+                // every table evaluation can read resident before it runs.
+                self.store.fault_in_node(node);
                 if tuple.relation == self.data.agg_recompute {
                     self.last_delta_time = time;
                     self.handle_aggregate_recompute(node, &tuple);
@@ -225,6 +231,11 @@ impl Shard {
         let mut removed = false;
         let mut replaced: Option<Arc<Tuple>> = None;
         if !is_event {
+            // Journal the mutation *intent* (not its effect): replaying the
+            // same arguments through this identical code path reproduces
+            // duplicate counts, keyed replacement and decrement-vs-remove
+            // outcomes deterministically.
+            self.store.journal_tuple(node, insert, &tuple);
             let table = self.store.table_mut(node, tuple.relation);
             if insert {
                 match table.insert_shared(&tuple) {
@@ -922,6 +933,8 @@ impl Shard {
                     self.agg_prov
                         .remove(&(node, rule.head.relation, group_key.to_vec()))
                 {
+                    self.store
+                        .journal_agg(false, node, rule.head.relation, group_key, None);
                     self.dispatch_delta(node, prov_t, false, None);
                     self.dispatch_delta(node, exec_t, false, None);
                 }
@@ -973,6 +986,13 @@ impl Shard {
                 self.agg_prov.insert(
                     (node, rule.head.relation, group_key.to_vec()),
                     (Arc::clone(&prov_t), Arc::clone(&exec_t)),
+                );
+                self.store.journal_agg(
+                    true,
+                    node,
+                    rule.head.relation,
+                    group_key,
+                    Some((&prov_t, &exec_t)),
                 );
                 self.dispatch_delta(node, exec_t, true, None);
                 self.dispatch_delta(node, prov_t, true, None);

@@ -262,7 +262,7 @@ fn run(
     schedule: &[DeltaEvent],
     shards: usize,
     join_planning: bool,
-) -> (Vec<Tuple>, Vec<usize>, Vec<u64>, u64) {
+) -> (Vec<std::sync::Arc<Tuple>>, Vec<usize>, Vec<u64>, u64) {
     run_program(build_program(shape), schedule, shards, join_planning)
 }
 
@@ -271,7 +271,7 @@ fn run_program(
     schedule: &[DeltaEvent],
     shards: usize,
     join_planning: bool,
-) -> (Vec<Tuple>, Vec<usize>, Vec<u64>, u64) {
+) -> (Vec<std::sync::Arc<Tuple>>, Vec<usize>, Vec<u64>, u64) {
     let mut engine = Engine::new(
         program,
         ring(),
@@ -294,7 +294,7 @@ fn run_program(
     let stats = engine.run_to_fixpoint();
     let mut tuples = Vec::new();
     for rel in RELATIONS {
-        tuples.extend(engine.tuples_everywhere(rel));
+        tuples.extend(engine.tuples_everywhere_shared(rel));
     }
     let counts = schedule
         .iter()

@@ -4,11 +4,16 @@
 //! exspan-serve [--addr 127.0.0.1:0] [--domains 1] [--seed 42]
 //!              [--clock-rate 50] [--rate 500] [--burst 64]
 //!              [--max-sessions 256] [--max-inflight 4096]
-//!              [--churn-duration 30] [--no-churn]
+//!              [--churn-duration 30] [--no-churn] [--data-dir DIR]
 //! ```
 //!
 //! Prints the bound address on stdout, serves until stdin reaches EOF
 //! (Ctrl-D, or the parent process closing the pipe), then shuts down.
+//!
+//! With `--data-dir` the deployment state is persisted (write-ahead log +
+//! snapshots): an empty directory boots fresh, an existing store boots from
+//! its recovered state without re-running the protocol, and a graceful
+//! shutdown checkpoints so the next boot recovers from the snapshot alone.
 
 use exspan_core::{Exspan, ProvenanceMode};
 use exspan_netsim::{ChurnModel, Topology};
@@ -27,6 +32,7 @@ struct Args {
     max_inflight: usize,
     churn_duration: f64,
     churn: bool,
+    data_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         max_inflight: 4096,
         churn_duration: 30.0,
         churn: true,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
                 args.churn_duration = parse(&value("--churn-duration")?, "--churn-duration")?;
             }
             "--no-churn" => args.churn = false,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -82,20 +90,30 @@ fn main() -> ExitCode {
     };
 
     let topology = Topology::transit_stub(args.domains, args.seed);
-    let mut deployment = match Exspan::builder()
+    let mut builder = Exspan::builder()
         .program(exspan_ndlog::programs::mincost())
         .topology(topology)
-        .mode(ProvenanceMode::Reference)
-        .build()
-    {
+        .mode(ProvenanceMode::Reference);
+    if let Some(dir) = &args.data_dir {
+        builder = builder.data_dir(dir);
+    }
+    let mut deployment = match builder.build() {
         Ok(d) => d,
         Err(e) => {
             eprintln!("exspan-serve: cannot build deployment: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("exspan-serve: running protocol to fixpoint…");
-    deployment.run_to_fixpoint();
+    if deployment.recovered_from_store() {
+        // The store holds a quiescent fixpoint; no need to recompute it.
+        eprintln!(
+            "exspan-serve: recovered state from {}",
+            args.data_dir.as_ref().unwrap().display()
+        );
+    } else {
+        eprintln!("exspan-serve: running protocol to fixpoint…");
+        deployment.run_to_fixpoint();
+    }
 
     if args.churn {
         let churn = ChurnModel {
@@ -145,7 +163,11 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("exspan-serve: shutting down");
-    let deployment = server.shutdown();
+    let mut deployment = server.shutdown();
+    if args.data_dir.is_some() {
+        deployment.checkpoint();
+        eprintln!("exspan-serve: state checkpointed");
+    }
     eprintln!(
         "exspan-serve: done — {} queries issued, {} still in flight",
         deployment.outcomes().len(),

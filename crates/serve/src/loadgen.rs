@@ -17,6 +17,7 @@ use exspan_types::{NodeId, Tuple};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::io;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -125,9 +126,9 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
     // The query population: routes of a small set of "hot" destinations,
     // exactly like the §7.3 query workload of the figures.
     let nodes = deployment.topology().num_nodes();
-    let mut targets: Vec<Tuple> = Vec::new();
+    let mut targets: Vec<Arc<Tuple>> = Vec::new();
     for n in 0..nodes.min(12) as NodeId {
-        targets.extend(deployment.tuples(n, "bestPathCost"));
+        targets.extend(deployment.tuples_shared(n, "bestPathCost"));
     }
     targets.truncate(64);
     if targets.is_empty() {
@@ -220,7 +221,7 @@ fn session_workload(
     addr: std::net::SocketAddr,
     session_index: usize,
     config: &LoadgenConfig,
-    targets: &[Tuple],
+    targets: &[Arc<Tuple>],
 ) -> SessionTally {
     let mut tally = SessionTally::default();
     let mut rng =

@@ -1,0 +1,394 @@
+//! The storage seam: [`StorageBackend`] with an in-memory no-op
+//! implementation (the default — zero overhead, nothing touches disk) and
+//! the log-structured [`DiskBackend`].
+
+use crate::snapshot::{self, SnapshotData};
+use crate::wal::{self, Durability, WalBatch, WalOp, WalWriter};
+use crate::StoreError;
+use std::path::{Path, PathBuf};
+
+/// Configuration of a persistent store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// When the WAL is fsynced (see [`Durability`]).
+    pub durability: Durability,
+    /// A snapshot is taken (and the log truncated) once at least this many
+    /// bytes of WAL have accumulated since the last one.
+    pub snapshot_wal_bytes: u64,
+    /// In-memory row budget across all tables; when exceeded, the largest
+    /// tables are spilled to disk until the budget holds.  `None` disables
+    /// spill.
+    pub spill_budget_rows: Option<usize>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            durability: Durability::Barrier,
+            snapshot_wal_bytes: 256 * 1024,
+            spill_budget_rows: None,
+        }
+    }
+}
+
+/// Counters surfaced through `Deployment::storage_stats()`.  The backend
+/// fills the log/snapshot counters; the engine merges in the spill
+/// counters, which live with the tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Committed barrier batches appended to the WAL.
+    pub committed_batches: u64,
+    /// Logical operations inside those batches.
+    pub committed_ops: u64,
+    /// Current WAL length in bytes.
+    pub wal_bytes: u64,
+    /// Snapshots written (each truncates the log).
+    pub snapshots_written: u64,
+    /// Batches replayed during recovery.
+    pub recovered_batches: u64,
+    /// Tables evicted to spill files.
+    pub tables_spilled: u64,
+    /// Tables faulted back into memory on access.
+    pub tables_faulted: u64,
+    /// Reads served directly from spill files without faulting the table
+    /// back in (inspection APIs only — evaluation always faults in).
+    pub cold_reads: u64,
+}
+
+/// State reconstructed from disk by [`DiskBackend::open`]: the latest valid
+/// snapshot (if any) plus every committed WAL batch past its watermark.
+#[derive(Debug)]
+pub struct RecoveredState {
+    pub snapshot: Option<SnapshotData>,
+    pub batches: Vec<WalBatch>,
+}
+
+impl RecoveredState {
+    /// The commit watermark `(seq, time bits)` the engine resumes from.
+    pub fn watermark(&self) -> (u64, u64) {
+        let mut seq = 0;
+        let mut time_bits = 0;
+        if let Some(snap) = &self.snapshot {
+            seq = snap.seq;
+            time_bits = snap.time_bits;
+        }
+        if let Some(last) = self.batches.last() {
+            seq = seq.max(last.seq);
+            time_bits = last.time_bits;
+        }
+        (seq, time_bits)
+    }
+}
+
+/// The persistence seam the engine writes through.  All methods are no-ops
+/// on the in-memory default, so the non-persistent path costs one virtual
+/// call per barrier window and nothing else.
+pub trait StorageBackend: Send {
+    /// Whether commits actually persist (false for [`MemoryBackend`]; the
+    /// engine skips journaling entirely when this is false).
+    fn is_persistent(&self) -> bool {
+        false
+    }
+
+    /// Appends one barrier window's operations as a committed batch.
+    fn commit_batch(
+        &mut self,
+        _ops: &[WalOp],
+        _seq: u64,
+        _time_bits: u64,
+    ) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// Whether enough WAL has accumulated that the engine should hand over
+    /// a snapshot.
+    fn snapshot_due(&self) -> bool {
+        false
+    }
+
+    /// Writes a canonical snapshot and truncates the log to its watermark.
+    fn write_snapshot(&mut self, _snap: &SnapshotData) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// Directory for spill files, when this backend supports spill.
+    fn spill_dir(&self) -> Option<&Path> {
+        None
+    }
+
+    /// Log/snapshot counters (spill counters are merged in by the engine).
+    fn stats(&self) -> StorageStats {
+        StorageStats::default()
+    }
+}
+
+/// The default backend: everything stays in memory, nothing is written.
+#[derive(Debug, Default)]
+pub struct MemoryBackend;
+
+impl StorageBackend for MemoryBackend {}
+
+/// Log-structured persistence in a data directory:
+///
+/// ```text
+/// <dir>/wal.log       append-only delta log (committed batches)
+/// <dir>/snapshot.bin  latest canonical snapshot
+/// <dir>/spill/        evicted cold tables (transient; cleared on open)
+/// ```
+pub struct DiskBackend {
+    dir: PathBuf,
+    spill_dir: PathBuf,
+    wal: WalWriter,
+    config: StoreConfig,
+    wal_bytes_since_snapshot: u64,
+    stats: StorageStats,
+}
+
+impl DiskBackend {
+    /// Opens (creating if needed) the store at `dir` and recovers whatever
+    /// committed state it holds.
+    ///
+    /// Recovery loads the latest valid snapshot, then replays the WAL's
+    /// committed batches *newer than the snapshot watermark* (a crash
+    /// between snapshot rename and log truncation can leave already-
+    /// snapshotted batches in the log; the `seq` filter makes replay
+    /// idempotent), stopping cleanly at the first torn or invalid record.
+    /// The log is physically truncated back to its valid committed prefix.
+    ///
+    /// Returns `None` for the recovered state when the directory holds no
+    /// committed state at all (a fresh deployment).
+    ///
+    /// Stale spill files are deleted: they are an in-process eviction
+    /// cache, and the snapshot + WAL are always the authoritative copy.
+    pub fn open(
+        dir: &Path,
+        config: StoreConfig,
+    ) -> Result<(Self, Option<RecoveredState>), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let spill_dir = dir.join("spill");
+        if spill_dir.exists() {
+            std::fs::remove_dir_all(&spill_dir)?;
+        }
+        std::fs::create_dir_all(&spill_dir)?;
+
+        let snapshot_path = dir.join("snapshot.bin");
+        let snapshot = if snapshot_path.exists() {
+            Some(snapshot::load_snapshot(&snapshot_path)?)
+        } else {
+            None
+        };
+        let wal_path = dir.join("wal.log");
+        let (mut batches, valid) = wal::read_wal(&wal_path)?;
+        if let Some(snap) = &snapshot {
+            let watermark = snap.seq;
+            batches.retain(|b| b.seq > watermark);
+        }
+        let wal = WalWriter::open(&wal_path, valid, config.durability)?;
+
+        let recovered = if snapshot.is_some() || !batches.is_empty() {
+            Some(RecoveredState { snapshot, batches })
+        } else {
+            None
+        };
+        let mut stats = StorageStats {
+            wal_bytes: valid,
+            ..StorageStats::default()
+        };
+        if let Some(rec) = &recovered {
+            stats.recovered_batches = rec.batches.len() as u64;
+        }
+        Ok((
+            DiskBackend {
+                dir: dir.to_path_buf(),
+                spill_dir,
+                wal,
+                // Start the snapshot clock at the recovered log length so a
+                // long surviving log still triggers a snapshot promptly.
+                wal_bytes_since_snapshot: valid,
+                config,
+                stats,
+            },
+            recovered,
+        ))
+    }
+
+    /// The data directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured spill row budget, if spill is enabled.
+    pub fn spill_budget_rows(&self) -> Option<usize> {
+        self.config.spill_budget_rows
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn is_persistent(&self) -> bool {
+        true
+    }
+
+    fn commit_batch(&mut self, ops: &[WalOp], seq: u64, time_bits: u64) -> Result<(), StoreError> {
+        let before = self.wal.len;
+        let after = self.wal.append_batch(ops, seq, time_bits)?;
+        self.wal_bytes_since_snapshot += after - before;
+        self.stats.committed_batches += 1;
+        self.stats.committed_ops += ops.len() as u64;
+        self.stats.wal_bytes = after;
+        Ok(())
+    }
+
+    fn snapshot_due(&self) -> bool {
+        self.wal_bytes_since_snapshot >= self.config.snapshot_wal_bytes
+    }
+
+    fn write_snapshot(&mut self, snap: &SnapshotData) -> Result<(), StoreError> {
+        snapshot::write_snapshot(&self.dir.join("snapshot.bin"), snap)?;
+        self.wal.truncate()?;
+        self.wal_bytes_since_snapshot = 0;
+        self.stats.snapshots_written += 1;
+        self.stats.wal_bytes = 0;
+        Ok(())
+    }
+
+    fn spill_dir(&self) -> Option<&Path> {
+        Some(&self.spill_dir)
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exspan_types::tuple::Tuple;
+    use exspan_types::value::Value;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "exspan-store-backend-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn op(node: u32, cost: i64) -> WalOp {
+        WalOp::Tuple {
+            node,
+            insert: true,
+            tuple: Arc::new(Tuple::new(
+                "pathCost",
+                node,
+                vec![Value::Node(node + 1), Value::Int(cost)],
+            )),
+        }
+    }
+
+    #[test]
+    fn fresh_open_recovers_nothing() {
+        let dir = tmp("fresh");
+        let (backend, recovered) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        assert!(recovered.is_none());
+        assert!(backend.is_persistent());
+        assert_eq!(backend.stats(), StorageStats::default());
+    }
+
+    #[test]
+    fn commits_recover_across_reopen() {
+        let dir = tmp("reopen");
+        {
+            let (mut b, rec) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+            assert!(rec.is_none());
+            b.commit_batch(&[op(1, 5), op(2, 6)], 1, 1.0f64.to_bits())
+                .unwrap();
+            b.commit_batch(&[op(3, 7)], 2, 2.0f64.to_bits()).unwrap();
+        }
+        let (_, rec) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        let rec = rec.expect("state recovered");
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.watermark(), (2, 2.0f64.to_bits()));
+    }
+
+    #[test]
+    fn snapshot_truncates_log_and_filters_stale_batches() {
+        let dir = tmp("snapshot");
+        let (mut b, _) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        b.commit_batch(&[op(1, 5)], 1, 1.0f64.to_bits()).unwrap();
+        let snap = SnapshotData {
+            seq: 1,
+            time_bits: 1.0f64.to_bits(),
+            node_count: 4,
+            links: vec![],
+            tables: vec![],
+            agg: vec![],
+        };
+        b.write_snapshot(&snap).unwrap();
+        assert_eq!(b.stats().wal_bytes, 0);
+        b.commit_batch(&[op(2, 6)], 2, 2.0f64.to_bits()).unwrap();
+        drop(b);
+
+        let (_, rec) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        let rec = rec.unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().seq, 1);
+        // Only the post-snapshot batch replays.
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].seq, 2);
+        assert_eq!(rec.watermark(), (2, 2.0f64.to_bits()));
+
+        // Simulate a crash between snapshot rename and log truncation: put
+        // batch 1 back in front of the log — recovery must filter it out.
+        drop(rec);
+        let (mut b, _) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        b.commit_batch(&[op(9, 1)], 1, 0.5f64.to_bits()).unwrap();
+        drop(b);
+        let (_, rec) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        let rec = rec.unwrap();
+        assert!(rec.batches.iter().all(|bt| bt.seq > 1));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_open() {
+        let dir = tmp("torn");
+        {
+            let (mut b, _) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+            b.commit_batch(&[op(1, 5)], 1, 1.0f64.to_bits()).unwrap();
+        }
+        let wal = dir.join("wal.log");
+        let committed = std::fs::metadata(&wal).unwrap().len();
+        let mut data = std::fs::read(&wal).unwrap();
+        data.extend_from_slice(&[0xAB; 23]);
+        std::fs::write(&wal, &data).unwrap();
+        let (b, rec) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(rec.unwrap().batches.len(), 1);
+        drop(b);
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), committed);
+    }
+
+    #[test]
+    fn snapshot_due_follows_the_byte_threshold() {
+        let dir = tmp("due");
+        let config = StoreConfig {
+            snapshot_wal_bytes: 1,
+            ..StoreConfig::default()
+        };
+        let (mut b, _) = DiskBackend::open(&dir, config).unwrap();
+        assert!(!b.snapshot_due());
+        b.commit_batch(&[op(1, 5)], 1, 1.0f64.to_bits()).unwrap();
+        assert!(b.snapshot_due());
+    }
+
+    #[test]
+    fn stale_spill_files_are_cleared_on_open() {
+        let dir = tmp("spill-clear");
+        std::fs::create_dir_all(dir.join("spill")).unwrap();
+        std::fs::write(dir.join("spill/n0_x.tbl"), b"stale").unwrap();
+        let (b, _) = DiskBackend::open(&dir, StoreConfig::default()).unwrap();
+        let spill = b.spill_dir().unwrap();
+        assert!(std::fs::read_dir(spill).unwrap().next().is_none());
+    }
+}

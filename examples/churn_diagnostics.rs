@@ -43,7 +43,7 @@ fn main() {
     // Pick a route at node 0 to keep monitoring with cached
     // derivation-count queries.
     let monitored = deployment
-        .tuples(0, "bestPathCost")
+        .tuples_shared(0, "bestPathCost")
         .first()
         .expect("node 0 has routes")
         .clone();
@@ -80,7 +80,7 @@ fn main() {
 
         let dest = monitored.values[0].clone();
         let current = deployment
-            .tuples(0, "bestPathCost")
+            .tuples_shared(0, "bestPathCost")
             .into_iter()
             .find(|t| t.values[0] == dest);
         let handle = current.as_ref().map(|t| {

@@ -37,7 +37,7 @@ fn main() {
 
     // Pick the route with the largest hop count at node 0 — the one an
     // operator would be most suspicious of.
-    let routes = deployment.tuples(0, "bestPathCost");
+    let routes = deployment.tuples_shared(0, "bestPathCost");
     let suspicious = routes
         .iter()
         .max_by_key(|t| t.values[1].as_int().unwrap_or(0))
@@ -80,7 +80,7 @@ fn main() {
     println!("\nfailing link 0 <-> {neighbor} and re-running to fixpoint…");
     deployment.remove_link(0, neighbor);
     deployment.run_to_fixpoint();
-    let new_routes = deployment.tuples(0, "bestPathCost");
+    let new_routes = deployment.tuples_shared(0, "bestPathCost");
     match new_routes.iter().find(|t| t.values[0] == Value::Node(dest)) {
         Some(t) => println!("new route after failure: {t}"),
         None => println!("destination n{dest} is no longer reachable from node 0"),

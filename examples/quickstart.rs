@@ -29,7 +29,7 @@ fn main() {
     );
 
     // Every node now knows its best path cost to every destination.
-    for t in deployment.tuples(0, "bestPathCost") {
+    for t in deployment.tuples_shared(0, "bestPathCost") {
         println!("  node a derived {t}");
     }
 

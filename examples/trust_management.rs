@@ -23,7 +23,7 @@ fn main() {
     let mut deployment = exspan::setup::mincost_reference(Topology::paper_example(), 1);
 
     // The route node d holds towards node a.
-    let routes = deployment.tuples(3, "bestPathCost");
+    let routes = deployment.tuples_shared(3, "bestPathCost");
     let route_to_a = routes
         .iter()
         .find(|t| t.values[0] == Value::Node(0))

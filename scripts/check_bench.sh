@@ -5,6 +5,9 @@
 #   scripts/check_bench.sh                  # regenerate (1 shard) + gate
 #   scripts/check_bench.sh --shards 4       # regenerate with 4 shards + gate
 #   scripts/check_bench.sh --fresh DIR      # gate an existing output directory
+#   scripts/check_bench.sh --data-dir DIR   # regenerate through a persistent
+#                                           # store (restartable; see figures
+#                                           # --data-dir)
 #   scripts/check_bench.sh --time-budget 50 # also fail if total wall clock
 #                                           # regresses >50% vs the baseline
 #
@@ -20,6 +23,7 @@ BASELINE_DIR=benchmarks/baseline
 FRESH_DIR=""
 SHARDS=1
 BUDGET_ARGS=()
+DATA_DIR_ARGS=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -35,8 +39,12 @@ while [[ $# -gt 0 ]]; do
       BUDGET_ARGS=(--time-budget "$2")
       shift 2
       ;;
+    --data-dir)
+      DATA_DIR_ARGS=(--data-dir "$2")
+      shift 2
+      ;;
     *)
-      echo "usage: $0 [--shards N] [--fresh DIR] [--time-budget PCT]" >&2
+      echo "usage: $0 [--shards N] [--fresh DIR] [--time-budget PCT] [--data-dir DIR]" >&2
       exit 2
       ;;
   esac
@@ -53,7 +61,8 @@ if [[ -z "$FRESH_DIR" ]]; then
   FRESH_DIR="$(mktemp -d)"
   trap 'rm -rf "$FRESH_DIR"' EXIT
   echo "== regenerating tiny-scale figures (${SHARDS} shard(s)) into $FRESH_DIR"
-  ./target/release/figures --scale tiny --shards "$SHARDS" --json "$FRESH_DIR" >/dev/null
+  ./target/release/figures --scale tiny --shards "$SHARDS" --json "$FRESH_DIR" \
+    ${DATA_DIR_ARGS[@]+"${DATA_DIR_ARGS[@]}"} >/dev/null
 fi
 
 echo "== comparing $FRESH_DIR against $BASELINE_DIR"

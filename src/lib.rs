@@ -84,7 +84,7 @@
 //!     .unwrap();
 //! deployment.run_to_fixpoint();
 //!
-//! let target = deployment.tuples(0, "bestPathCost").remove(0);
+//! let target = deployment.tuples_shared(0, "bestPathCost").remove(0);
 //! let start = deployment.now();
 //! let handle = deployment
 //!     .query(&target)

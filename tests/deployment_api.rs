@@ -10,6 +10,7 @@ use exspan::core::{BuildError, Exspan, ProvenanceMode, QueryOutcome, Repr, Trave
 use exspan::ndlog::programs;
 use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
 use exspan::types::Tuple;
+use std::sync::Arc;
 
 /// A 12-node ring of stub-stub links (the link class the churn model
 /// mutates).
@@ -25,7 +26,7 @@ fn ring_topology() -> Topology {
 #[derive(Debug, PartialEq)]
 struct Observed {
     outcomes: Vec<(u32, Option<f64>, Option<String>)>,
-    routes: Vec<Tuple>,
+    routes: Vec<Arc<Tuple>>,
     total_bytes: u64,
     query_bytes: u64,
 }
@@ -60,7 +61,7 @@ fn churn_with_concurrent_queries(mode: ProvenanceMode, shards: usize) -> Observe
     // Three queries issued at staggered times *inside* the churn window,
     // with different sessions (different representations), so query
     // messages and maintenance deltas interleave on the event queue.
-    let targets: Vec<Tuple> = deployment.tuples(0, "bestPathCost");
+    let targets: Vec<Arc<Tuple>> = deployment.tuples_shared(0, "bestPathCost");
     assert!(targets.len() >= 2);
     let handles = vec![
         deployment
@@ -133,7 +134,7 @@ fn churn_with_concurrent_queries(mode: ProvenanceMode, shards: usize) -> Observe
     };
     Observed {
         outcomes: deployment.outcomes().iter().map(fmt_outcome).collect(),
-        routes: deployment.tuples_everywhere("bestPathCost"),
+        routes: deployment.tuples_everywhere_shared("bestPathCost"),
         total_bytes: deployment.total_bytes(),
         query_bytes: deployment.query_traffic_stats().bytes,
     }
@@ -178,7 +179,7 @@ fn queries_survive_interleaved_route_withdrawal() {
 
     // pathCost(@a,c,5) has two derivations (direct link and via b).
     let target = deployment
-        .tuples(0, "bestPathCost")
+        .tuples_shared(0, "bestPathCost")
         .into_iter()
         .find(|t| t.values[0] == exspan::types::Value::Node(2))
         .unwrap();

@@ -8,15 +8,16 @@ use exspan::ndlog::programs;
 use exspan::netsim::Topology;
 use exspan::setup;
 use exspan::types::{Tuple, Value};
+use std::sync::Arc;
 
 fn reference_deployment(nodes: usize, seed: u64) -> Deployment {
     setup::mincost_reference(Topology::testbed_ring(nodes, seed), 1)
 }
 
-fn some_targets(deployment: &Deployment, count: usize) -> Vec<Tuple> {
+fn some_targets(deployment: &Deployment, count: usize) -> Vec<Arc<Tuple>> {
     let mut out = Vec::new();
     for n in 0..deployment.topology().num_nodes() as u32 {
-        for t in deployment.tuples(n, "bestPathCost") {
+        for t in deployment.tuples_shared(n, "bestPathCost") {
             out.push(t);
             if out.len() >= count {
                 return out;
@@ -250,7 +251,7 @@ fn caching_reduces_traffic_and_is_invalidated_correctly() {
 
     // Invalidate everything that depends on one link and re-query: results
     // must still be correct (recomputed where needed).
-    let some_link = deployment.tuples(0, "link").remove(0);
+    let some_link = deployment.tuples_shared(0, "link").remove(0);
     deployment.invalidate(some_link.vid());
     for (t, expected) in targets.iter().zip(baseline_counts) {
         let ann = deployment
@@ -305,7 +306,7 @@ fn value_and_reference_provenance_agree_on_derivability() {
         );
 
         // Under "trust only even-numbered nodes' links": both agree.
-        let links = ref_deployment.tuples_everywhere("link");
+        let links = ref_deployment.tuples_everywhere_shared("link");
         let trust_even = |vid: exspan::types::Vid| {
             links
                 .iter()
@@ -339,7 +340,7 @@ fn packet_forwarding_with_provenance_delivers_packets() {
     }
     deployment.run_to_fixpoint();
     for (src, dst) in [(0u32, 4u32), (1, 5), (7, 2)] {
-        let received = deployment.tuples(dst, "recvPacket");
+        let received = deployment.tuples_shared(dst, "recvPacket");
         assert!(
             received.iter().any(|t| t.values[0] == Value::Node(src)),
             "packet from {src} to {dst} was not delivered: {received:?}"

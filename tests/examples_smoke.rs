@@ -17,6 +17,7 @@ use exspan::core::{Repr, Traversal};
 use exspan::netsim::{ChurnModel, LinkClass, LinkProps, Topology};
 use exspan::setup;
 use exspan::types::{Tuple, Value};
+use std::sync::Arc;
 
 /// Runs `scenario` on the sequential oracle and on three shards and asserts
 /// both executions produce the same outcome.
@@ -36,7 +37,7 @@ fn assert_sharding_invariant<T: PartialEq + std::fmt::Debug>(
 /// in three representations.
 fn quickstart_core_path(shards: usize) -> (u64, Option<u64>, Vec<u32>) {
     let mut deployment = setup::mincost_reference(Topology::paper_example(), shards);
-    assert!(!deployment.tuples(0, "bestPathCost").is_empty());
+    assert!(!deployment.tuples_shared(0, "bestPathCost").is_empty());
 
     let target = Tuple::new("bestPathCost", 0, vec![Value::Node(2), Value::Int(5)]);
 
@@ -81,12 +82,12 @@ fn quickstart_smoke() {
 
 /// `examples/network_debugging.rs`: inspect the provenance graph, explain a
 /// route, then fail a link and watch the state update incrementally.
-fn network_debugging_core_path(shards: usize) -> (Vec<Tuple>, String, Vec<Tuple>) {
+fn network_debugging_core_path(shards: usize) -> (Vec<Arc<Tuple>>, String, Vec<Arc<Tuple>>) {
     let mut deployment = setup::mincost_reference(Topology::testbed_ring(12, 7), shards);
     assert!(!all_prov_entries(deployment.engine()).is_empty());
     assert!(!all_rule_exec_entries(deployment.engine()).is_empty());
 
-    let routes = deployment.tuples(0, "bestPathCost");
+    let routes = deployment.tuples_shared(0, "bestPathCost");
     let suspicious = routes
         .iter()
         .max_by_key(|t| t.values[1].as_int().unwrap_or(0))
@@ -108,7 +109,7 @@ fn network_debugging_core_path(shards: usize) -> (Vec<Tuple>, String, Vec<Tuple>
     deployment.run_to_fixpoint();
     // The network is still connected through the rest of the ring, so node 0
     // keeps a route to every other node.
-    let remaining = deployment.tuples(0, "bestPathCost");
+    let remaining = deployment.tuples_shared(0, "bestPathCost");
     assert!(!remaining.is_empty());
     (routes, expr_text, remaining)
 }
@@ -121,7 +122,7 @@ fn network_debugging_smoke() {
 /// `examples/churn_diagnostics.rs`: cached derivation-count queries with
 /// automatic transitive invalidation while churn events are applied, all on
 /// the deployment's one clock.
-fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64, u64) {
+fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Arc<Tuple>>, u64, u64) {
     // The churn model only churns stub-stub links, so build a small ring of
     // them (the example's 100-node transit-stub network is too slow for a
     // debug-mode smoke test).
@@ -139,7 +140,7 @@ fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64, 
     let mut deployment = setup::mincost_reference(topology, shards);
 
     let monitored = deployment
-        .tuples(0, "bestPathCost")
+        .tuples_shared(0, "bestPathCost")
         .first()
         .expect("node 0 has routes")
         .clone();
@@ -166,7 +167,7 @@ fn churn_diagnostics_core_path(shards: usize) -> (Option<u64>, Vec<Tuple>, u64, 
     let invalidations = deployment.session(handle).stats().invalidations;
 
     let dest = monitored.values[0].clone();
-    let surviving = deployment.tuples(0, "bestPathCost");
+    let surviving = deployment.tuples_shared(0, "bestPathCost");
     if let Some(current) = surviving.iter().find(|t| t.values[0] == dest) {
         let current = current.clone();
         let h = deployment
@@ -193,7 +194,7 @@ fn churn_diagnostics_smoke() {
 fn trust_management_core_path(shards: usize) -> (bool, bool) {
     let mut deployment = setup::mincost_reference(Topology::paper_example(), shards);
 
-    let routes = deployment.tuples(3, "bestPathCost");
+    let routes = deployment.tuples_shared(3, "bestPathCost");
     let route_to_a = routes
         .iter()
         .find(|t| t.values[0] == Value::Node(0))

@@ -8,13 +8,14 @@ use exspan::ndlog::programs;
 use exspan::netsim::{LinkClass, LinkProps, Topology};
 use exspan::setup;
 use exspan::types::Tuple;
+use std::sync::Arc;
 
 fn run_fresh(topology: Topology, mode: ProvenanceMode) -> Deployment {
     setup::converged(programs::mincost(), topology, mode, 1)
 }
 
-fn best_path_costs(deployment: &Deployment) -> Vec<Tuple> {
-    deployment.tuples_everywhere("bestPathCost")
+fn best_path_costs(deployment: &Deployment) -> Vec<Arc<Tuple>> {
+    deployment.tuples_everywhere_shared("bestPathCost")
 }
 
 #[test]
@@ -155,7 +156,7 @@ fn centralized_mode_mirrors_provenance_to_the_server() {
     );
     system.run_to_fixpoint();
     let engine = system.engine();
-    let mirrored = engine.tuples(3, "provCentral");
+    let mirrored = engine.tuples_shared(3, "provCentral");
     let local: usize = all_prov_entries(engine).len();
     assert!(
         !mirrored.is_empty(),

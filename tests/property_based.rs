@@ -9,6 +9,7 @@ use exspan::netsim::{LinkClass, LinkProps, Topology};
 use exspan::setup;
 use exspan::types::{Tuple, Value};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A random connected topology of 4–7 nodes with random small link costs.
 fn arb_topology() -> impl Strategy<Value = Topology> {
@@ -94,14 +95,14 @@ proptest! {
         let system = run(topology.clone(), ProvenanceMode::Reference);
         let oracle = oracle_best_costs(&topology);
         for ((src, dst), cost) in &oracle {
-            let tuples = system.tuples(*src, "bestPathCost");
+            let tuples = system.tuples_shared(*src, "bestPathCost");
             let found = tuples.iter().find(|t| t.values[0] == Value::Node(*dst));
             prop_assert!(found.is_some(), "missing bestPathCost(@{src},{dst})");
             prop_assert_eq!(found.unwrap().values[1].as_int().unwrap(), *cost);
         }
         // No spurious routes either.
         for n in 0..topology.num_nodes() as u32 {
-            for t in system.tuples(n, "bestPathCost") {
+            for t in system.tuples_shared(n, "bestPathCost") {
                 let dst = t.values[0].as_node().unwrap();
                 if dst != n {
                     prop_assert!(oracle.contains_key(&(n, dst)));
@@ -118,12 +119,12 @@ proptest! {
         let mut system = run(topology, ProvenanceMode::Reference);
         let engine = system.engine();
         // Base links have base prov entries.
-        for link in engine.tuples_everywhere("link") {
+        for link in engine.tuples_everywhere_shared("link") {
             let entries = prov_entries(engine, link.location, link.vid());
             prop_assert!(entries.iter().any(exspan::core::ProvEntry::is_base), "no base entry for {link}");
         }
         // Derived bestPathCost tuples have non-base prov entries.
-        let targets: Vec<Tuple> = engine.tuples_everywhere("bestPathCost");
+        let targets: Vec<Arc<Tuple>> = engine.tuples_everywhere_shared("bestPathCost");
         for t in &targets {
             let entries = prov_entries(engine, t.location, t.vid());
             prop_assert!(!entries.is_empty(), "no prov entry for {t}");
@@ -158,8 +159,8 @@ proptest! {
         let scratch = run(reduced, ProvenanceMode::Reference);
 
         prop_assert_eq!(
-            incremental.tuples_everywhere("bestPathCost"),
-            scratch.tuples_everywhere("bestPathCost")
+            incremental.tuples_everywhere_shared("bestPathCost"),
+            scratch.tuples_everywhere_shared("bestPathCost")
         );
     }
 
@@ -171,7 +172,7 @@ proptest! {
         let none = run(topology.clone(), ProvenanceMode::None);
         let reference = run(topology.clone(), ProvenanceMode::Reference);
         let value = run(topology, ProvenanceMode::ValueBdd);
-        let state = |s: &Deployment| s.tuples_everywhere("bestPathCost");
+        let state = |s: &Deployment| s.tuples_everywhere_shared("bestPathCost");
         prop_assert_eq!(state(&none), state(&reference));
         prop_assert_eq!(state(&none), state(&value));
         prop_assert!(reference.total_bytes() >= none.total_bytes());
