@@ -789,24 +789,6 @@ impl Deployment {
         self.engine.shard_of(node)
     }
 
-    /// Visible tuples of `relation` at `node`.
-    #[deprecated(note = "use `tuples_shared` — it avoids a deep copy per tuple")]
-    pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
-        self.tuples_shared(node, relation)
-            .iter()
-            .map(|t| (**t).clone())
-            .collect()
-    }
-
-    /// Visible tuples of `relation` across all nodes, in canonical order.
-    #[deprecated(note = "use `tuples_everywhere_shared` — it avoids a deep copy per tuple")]
-    pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
-        self.tuples_everywhere_shared(relation)
-            .iter()
-            .map(|t| (**t).clone())
-            .collect()
-    }
-
     /// Visible tuples of `relation` at `node`, as shared handles (no deep
     /// copy).
     pub fn tuples_shared(&self, node: NodeId, relation: &str) -> Vec<Arc<Tuple>> {

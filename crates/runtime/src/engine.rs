@@ -361,32 +361,12 @@ impl Engine {
         self.topo_dirty = false;
     }
 
-    /// Visible tuples of `relation` at `node` (deep copies; hot callers
-    /// should prefer [`Engine::tuples_shared`]).
-    #[deprecated(note = "deep-copies every row; use Engine::tuples_shared")]
-    pub fn tuples(&self, node: NodeId, relation: &str) -> Vec<Tuple> {
-        self.tuples_shared(node, relation)
-            .into_iter()
-            .map(|t| (*t).clone())
-            .collect()
-    }
-
     /// Visible tuples of `relation` at `node` as shared handles (no
     /// attribute-vector copies).
     pub fn tuples_shared(&self, node: NodeId, relation: &str) -> Vec<Arc<Tuple>> {
         self.shards[self.owner(node)]
             .store
             .tuples_shared(node, RelId::intern(relation))
-    }
-
-    /// Visible tuples of `relation` across all nodes (deep copies; hot
-    /// callers should prefer [`Engine::tuples_everywhere_shared`]).
-    #[deprecated(note = "deep-copies every row; use Engine::tuples_everywhere_shared")]
-    pub fn tuples_everywhere(&self, relation: &str) -> Vec<Tuple> {
-        self.tuples_everywhere_shared(relation)
-            .into_iter()
-            .map(|t| (*t).clone())
-            .collect()
     }
 
     /// Visible tuples of `relation` across all nodes, as shared handles

@@ -387,16 +387,6 @@ impl Table {
         self.primary_serves(cols) || self.indexes.iter().any(|ix| ix.cols == cols)
     }
 
-    /// Collects the visible tuples into a vector (sorted for determinism).
-    /// Deep-copies every row; hot paths should prefer [`Table::tuples_shared`].
-    #[deprecated(note = "deep-copies every row; use Table::tuples_shared")]
-    pub fn tuples(&self) -> Vec<Tuple> {
-        self.tuples_shared()
-            .into_iter()
-            .map(|t| (*t).clone())
-            .collect()
-    }
-
     /// Collects the visible tuples as shared handles (sorted by tuple
     /// content for determinism), without deep-copying attribute vectors.
     pub fn tuples_shared(&self) -> Vec<Arc<Tuple>> {
@@ -596,16 +586,6 @@ impl TableStore {
         self.tables.get(&(node, relation))
     }
 
-    /// All visible tuples of `relation` at `node` (deep copies; hot callers
-    /// should prefer [`TableStore::tuples_shared`]).
-    #[deprecated(note = "deep-copies every row; use TableStore::tuples_shared")]
-    pub fn tuples(&self, node: NodeId, relation: RelId) -> Vec<Tuple> {
-        self.tuples_shared(node, relation)
-            .into_iter()
-            .map(|t| (*t).clone())
-            .collect()
-    }
-
     /// All visible tuples of `relation` at `node` as shared handles.  Serves
     /// spilled tables directly from their spill file without faulting them
     /// back into memory (a *cold read*).
@@ -619,16 +599,6 @@ impl TableStore {
             return out;
         }
         Vec::new()
-    }
-
-    /// All visible tuples of `relation` across every node (deep copies; hot
-    /// callers should prefer [`TableStore::tuples_everywhere_shared`]).
-    #[deprecated(note = "deep-copies every row; use TableStore::tuples_everywhere_shared")]
-    pub fn tuples_everywhere(&self, relation: RelId) -> Vec<Tuple> {
-        self.tuples_everywhere_shared(relation)
-            .into_iter()
-            .map(|t| (*t).clone())
-            .collect()
     }
 
     /// All visible tuples of `relation` across every node, as shared handles
@@ -1140,13 +1110,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the deprecated deep-copy wrapper itself
-    fn tuples_shared_matches_deep_copy_path() {
+    fn tuples_shared_returns_sorted_visible_rows() {
         let mut t = Table::set_semantics("pathCost");
         t.insert(&path_cost(0, 3, 1));
         t.insert(&path_cost(0, 2, 5));
-        let shared: Vec<Tuple> = t.tuples_shared().iter().map(|a| (**a).clone()).collect();
-        assert_eq!(shared, t.tuples());
+        let rows: Vec<Tuple> = t.tuples_shared().iter().map(|a| (**a).clone()).collect();
+        assert_eq!(rows, vec![path_cost(0, 2, 5), path_cost(0, 3, 1)]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! exspan-serve [--addr 127.0.0.1:0] [--domains 1] [--seed 42]
 //!              [--clock-rate 50] [--rate 500] [--burst 64]
 //!              [--max-sessions 256] [--max-inflight 4096]
+//!              [--pipeline-depth 32] [--write-queue-kib 1024]
 //!              [--churn-duration 30] [--no-churn] [--data-dir DIR]
 //! ```
 //!
@@ -30,6 +31,8 @@ struct Args {
     burst: u32,
     max_sessions: usize,
     max_inflight: usize,
+    pipeline_depth: u32,
+    write_queue_kib: usize,
     churn_duration: f64,
     churn: bool,
     data_dir: Option<std::path::PathBuf>,
@@ -45,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         burst: 64,
         max_sessions: 256,
         max_inflight: 4096,
+        pipeline_depth: 32,
+        write_queue_kib: 1024,
         churn_duration: 30.0,
         churn: true,
         data_dir: None,
@@ -64,6 +69,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--max-inflight" => {
                 args.max_inflight = parse(&value("--max-inflight")?, "--max-inflight")?;
+            }
+            "--pipeline-depth" => {
+                args.pipeline_depth = parse(&value("--pipeline-depth")?, "--pipeline-depth")?;
+            }
+            "--write-queue-kib" => {
+                args.write_queue_kib = parse(&value("--write-queue-kib")?, "--write-queue-kib")?;
             }
             "--churn-duration" => {
                 args.churn_duration = parse(&value("--churn-duration")?, "--churn-duration")?;
@@ -133,18 +144,18 @@ fn main() -> ExitCode {
         );
     }
 
-    let server = match Server::start(
-        deployment,
-        ServeConfig {
-            addr: args.addr,
-            max_sessions: args.max_sessions,
-            max_inflight: args.max_inflight,
-            rate: args.rate,
-            burst: args.burst,
-            clock_rate: args.clock_rate,
-            ..ServeConfig::default()
-        },
-    ) {
+    let mut config = ServeConfig::default()
+        .addr(args.addr)
+        .max_sessions(args.max_sessions)
+        .max_inflight(args.max_inflight)
+        .rate_limit(args.rate, args.burst)
+        .clock_rate(args.clock_rate)
+        .pipeline_depth(args.pipeline_depth)
+        .write_queue_bytes(args.write_queue_kib * 1024);
+    if let Some(dir) = &args.data_dir {
+        config = config.data_dir(dir);
+    }
+    let server = match Server::bind(deployment, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("exspan-serve: cannot bind: {e}");
@@ -163,9 +174,9 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("exspan-serve: shutting down");
-    let mut deployment = server.shutdown();
+    // shutdown() checkpoints the store when ServeConfig::data_dir was set.
+    let deployment = server.shutdown();
     if args.data_dir.is_some() {
-        deployment.checkpoint();
         eprintln!("exspan-serve: state checkpointed");
     }
     eprintln!(

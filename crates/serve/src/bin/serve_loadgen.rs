@@ -3,14 +3,24 @@
 //!
 //! ```text
 //! serve-loadgen [--sessions 64] [--queries 4] [--domains 1] [--seed 42]
-//!               [--clock-rate 200] [--no-churn] [--out BENCH_serve.json]
+//!               [--clock-rate 200] [--rate 400] [--burst 128] [--no-churn]
+//!               [--hold SECS] [--sweep QPS,QPS,...] [--timeout SECS]
+//!               [--addr HOST:PORT] [--out BENCH_serve.json]
 //! ```
 //!
-//! Exit status is non-zero if any hard protocol error occurred or nothing
-//! completed, so CI can gate directly on the process.
+//! All sessions run nonblocking on one thread, so `--sessions 10000` is a
+//! single-process soak, not ten thousand threads.  `--hold 10` keeps every
+//! session idle-connected for ten seconds before querying; `--sweep
+//! 50,100,200` runs one offered-load phase per rate and records per-phase
+//! latency percentiles.  `--addr` targets an already-running `exspan-serve`
+//! (same `--domains`/`--seed`) instead of booting one in-process — useful
+//! when the fd hard limit cannot cover both socket ends of every session in
+//! one process.  Exit status is non-zero if any hard protocol error
+//! occurred or nothing completed, so CI can gate directly on the process.
 
 use exspan_serve::loadgen::{bench_report, run, LoadgenConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     config: LoadgenConfig,
@@ -35,7 +45,25 @@ fn parse_args() -> Result<Args, String> {
             "--clock-rate" => {
                 args.config.clock_rate = parse(&value("--clock-rate")?, "--clock-rate")?;
             }
+            "--rate" => args.config.rate = parse(&value("--rate")?, "--rate")?,
+            "--burst" => args.config.burst = parse(&value("--burst")?, "--burst")?,
             "--no-churn" => args.config.churn = false,
+            "--hold" => {
+                args.config.hold = Duration::from_secs_f64(parse(&value("--hold")?, "--hold")?);
+            }
+            "--timeout" => {
+                args.config.query_timeout =
+                    Duration::from_secs_f64(parse(&value("--timeout")?, "--timeout")?);
+            }
+            "--sweep" => {
+                let list = value("--sweep")?;
+                args.config.sweep = list
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse(s.trim(), "--sweep"))
+                    .collect::<Result<Vec<f64>, String>>()?;
+            }
+            "--addr" => args.config.addr = Some(value("--addr")?),
             "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -57,11 +85,14 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "serve-loadgen: {} sessions × {} queries over {} domain(s), churn {}",
+        "serve-loadgen: {} sessions × {} queries over {} domain(s), churn {}, hold {:.1}s, \
+         sweep {:?}",
         args.config.sessions,
         args.config.queries_per_session,
         args.config.domains,
         if args.config.churn { "on" } else { "off" },
+        args.config.hold.as_secs_f64(),
+        args.config.sweep,
     );
     let summary = match run(&args.config) {
         Ok(summary) => summary,
@@ -72,8 +103,10 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "serve-loadgen: {} submitted, {} completed, {} timed out, {} protocol errors, \
-         {} backpressure events",
+        "serve-loadgen: {} connected, {} held, {} submitted, {} completed, {} timed out, \
+         {} protocol errors, {} backpressure events",
+        summary.sessions,
+        summary.held,
         summary.submitted,
         summary.completed,
         summary.timed_out,
@@ -85,6 +118,18 @@ fn main() -> ExitCode {
          over {:.2} s",
         summary.qps, summary.p50_ms, summary.p95_ms, summary.p99_ms, summary.wall_seconds,
     );
+    for phase in &summary.phases {
+        eprintln!(
+            "serve-loadgen: @ {:.0} offered qps: achieved {:.1} qps, p50 {:.1} ms / \
+             p95 {:.1} ms / p99 {:.1} ms ({} completed)",
+            phase.offered_qps,
+            phase.achieved_qps,
+            phase.p50_ms,
+            phase.p95_ms,
+            phase.p99_ms,
+            phase.completed,
+        );
+    }
 
     let report = bench_report(&summary, 1);
     let json = match serde_json::to_string_pretty(&report) {
@@ -112,8 +157,16 @@ fn main() -> ExitCode {
         eprintln!("serve-loadgen: FAILED — hard protocol errors occurred");
         return ExitCode::FAILURE;
     }
-    if summary.completed == 0 {
+    if summary.completed == 0 && args.config.queries_per_session > 0 {
         eprintln!("serve-loadgen: FAILED — nothing completed");
+        return ExitCode::FAILURE;
+    }
+    if summary.held < summary.sessions {
+        eprintln!(
+            "serve-loadgen: FAILED — {} of {} sessions dropped",
+            summary.sessions - summary.held,
+            summary.sessions,
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

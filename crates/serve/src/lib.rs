@@ -4,6 +4,22 @@
 //! `Deployment` that regenerates the paper's figures, served over TCP to
 //! concurrent client sessions while the deployment keeps churning.
 //!
+//! ## Architecture: a poll(2) reactor plus one worker thread
+//!
+//! The server is two threads, no async runtime:
+//!
+//! * the **reactor** owns the listen socket and every connection.  All
+//!   sockets are nonblocking; one `poll(2)` loop (via the vendored
+//!   `pollshim`) drives per-connection state machines — an incremental
+//!   [`proto::FrameBuffer`] on the read side, a bounded write queue plus
+//!   pending [`proto::ResultStream`]s on the write side.  A connection that
+//!   requests more response bytes than [`ServeConfig::write_queue_bytes`]
+//!   while not reading them is answered with a typed `Overloaded` error and
+//!   closed — slow readers cannot pin server memory.
+//! * the **worker** owns the [`exspan_core::Deployment`] under a
+//!   [`exspan_runtime::WallClock`] and executes submits/polls it receives
+//!   over a channel, waking the reactor through a loopback socket pair.
+//!
 //! ## Executor migration: `SimClock` vs `WallClock`
 //!
 //! Historically every driver raced the simulation "as fast as possible" to a
@@ -23,7 +39,7 @@
 //! An executor only chooses the *horizon* of each pump, never the order of
 //! events below it — determinism below the horizon is untouched.
 //!
-//! ## Wire protocol
+//! ## Wire protocol v2
 //!
 //! Length-prefixed frames over TCP (see [`proto`] for the byte-level
 //! layout):
@@ -32,16 +48,46 @@
 //! length: u32 BE │ type: u8 │ payload
 //! ```
 //!
-//! A session is `Hello → HelloAck`, then any number of pipelined
-//! `SubmitQuery → SubmitAck` / `Poll → QueryStatus` exchanges, then
-//! `Bye ↔ Bye`.  Every violation — malformed body, oversized frame,
-//! pre-handshake request, admission-control overflow, rate-limit
-//! exhaustion, unknown query id — is answered with a typed
-//! [`proto::ErrorCode`] on a connection that *stays open*.
+//! A session is `Hello → HelloAck`/`HelloAckV2` (the server acks
+//! `min(client, server)` — v1 clients keep working unchanged), then any
+//! number of **pipelined** requests: up to [`ServeConfig::pipeline_depth`]
+//! `SubmitQuery`/`Poll` frames may be in flight at once, each answered by a
+//! response carrying its request id — possibly **out of order**, in
+//! whatever order the worker finishes them.  Completed v2 polls whose
+//! rendered result exceeds one frame are streamed as `ResultChunk` frames
+//! ([`proto::MAX_FRAME_LEN`] bounds *frames*, not results) and reassembled
+//! transparently by [`ServeClient`].  A session ends with `Bye ↔ Bye`.
 //!
-//! Server-side limits ([`ServeConfig`]): a bounded accept queue
-//! (`max_sessions`), a global in-flight query cap (`max_inflight`), and a
-//! per-session token bucket ([`limiter::TokenBucket`]).
+//! Every violation — malformed body, oversized frame, pre-handshake
+//! request, admission-control overflow, rate-limit exhaustion, pipeline
+//! overrun, write-queue overflow, unknown query id — is answered with a
+//! typed [`proto::ErrorCode`]; only `Overloaded` closes the connection.
+//!
+//! Server-side limits are consolidated in the [`ServeConfig`] builder: a
+//! bounded accept queue (`max_sessions`), a global in-flight query cap
+//! (`max_inflight`), a per-session token bucket ([`limiter::TokenBucket`]),
+//! a per-connection pipeline depth and write-queue byte bound.
+//!
+//! ## Migrating from the pub-field `ServeConfig` / `Server::start`
+//!
+//! `ServeConfig` used to be a plain struct whose fields were set with a
+//! struct literal and handed to `Server::start`.  It is now a builder (so
+//! knobs can grow without breaking struct literals), entry is
+//! [`Server::bind`], and both it and [`ServeClient`] are re-exported from
+//! the `exspan` facade:
+//!
+//! | before | after |
+//! |---|---|
+//! | `ServeConfig { addr: a, ..Default::default() }` | `ServeConfig::default().addr(a)` |
+//! | `config.max_sessions = n` | `.max_sessions(n)` |
+//! | `config.max_inflight = n` | `.max_inflight(n)` |
+//! | `config.rate = r; config.burst = b` | `.rate_limit(r, b)` |
+//! | `config.clock_rate = c` | `.clock_rate(c)` |
+//! | `config.quantum = q` | `.quantum(q)` |
+//! | *(new in v2)* | `.pipeline_depth(n)`, `.write_queue_bytes(n)`, `.chunk_bytes(n)` |
+//! | persistence wired by the caller | `.data_dir(path)` — shutdown checkpoints |
+//! | `Server::start(deployment, config)` | `Server::bind(deployment, config)` |
+//! | `use exspan_serve::ServeConfig` | `use exspan::{ServeClient, ServeConfig}` also works |
 //!
 //! ## Loadgen quick-start
 //!
@@ -50,6 +96,12 @@
 //! cargo run --release -p exspan-serve --bin serve-loadgen -- \
 //!     --sessions 64 --queries 4 --out BENCH_serve.json
 //!
+//! # Sweep offered load and hold a 10k-session soak:
+//! cargo run --release -p exspan-serve --bin serve-loadgen -- \
+//!     --sessions 10000 --queries 0 --hold 10
+//! cargo run --release -p exspan-serve --bin serve-loadgen -- \
+//!     --sessions 128 --queries 4 --sweep 50,100,200 --out BENCH_serve.json
+//!
 //! # Gate the result like the figure benches:
 //! cargo run --release -p exspan-bench --bin check_bench -- \
 //!     --serve BENCH_serve.json
@@ -57,7 +109,7 @@
 //!
 //! Or serve interactively: `cargo run -p exspan-serve --bin exspan-serve`
 //! prints the bound address and serves until stdin closes.  The in-process
-//! equivalent is [`Server::start`] + [`ServeClient::connect`].
+//! equivalent is [`Server::bind`] + [`ServeClient::connect`].
 
 pub mod client;
 pub mod error;
@@ -66,9 +118,11 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 
-pub use client::{PollStatus, ServeClient, SessionInfo};
+pub use client::{PollStatus, Response, ServeClient, SessionInfo};
 pub use error::ServeError;
 pub use limiter::TokenBucket;
-pub use loadgen::{bench_report, LoadgenConfig, LoadgenSummary};
-pub use proto::{ErrorCode, Frame, QuerySpec, QueryState, WireError};
+pub use loadgen::{bench_report, LoadgenConfig, LoadgenSummary, PhaseStats};
+pub use proto::{
+    ErrorCode, Frame, FrameBuffer, QuerySpec, QueryState, ResultAssembler, ResultStream, WireError,
+};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -6,27 +6,54 @@
 //! replays provenance queries from many concurrent client sessions.  Emits a
 //! [`BenchReport`] (`BENCH_serve.json`) in the same machine-readable format
 //! `check_bench` gates for the figures.
+//!
+//! All sessions are driven by **one thread** over nonblocking sockets and
+//! `poll(2)` — a mirror image of the server's reactor — so a single process
+//! can hold tens of thousands of concurrent sessions without a stack per
+//! session.  A run has three parts:
+//!
+//! 1. **connect**: every session dials in (sequentially, so the listener
+//!    backlog never overflows) and completes the v2 handshake;
+//! 2. **hold** (optional, [`LoadgenConfig::hold`]): sessions sit idle and
+//!    connected — the 10k-session soak CI gates on;
+//! 3. **sweep**: one query phase per entry of [`LoadgenConfig::sweep`], each
+//!    pacing submits at that aggregate offered load (queries per wall-clock
+//!    second) and recording its own latency percentiles.  An empty sweep
+//!    runs a single closed-loop phase (submit as fast as admission allows).
 
-use crate::client::ServeClient;
-use crate::proto::QuerySpec;
+use crate::client::Jitter;
+use crate::proto::{
+    self, ErrorCode, Frame, FrameBuffer, FrameRead, QuerySpec, QueryState, ResultAssembler,
+    PROTOCOL_VERSION,
+};
 use crate::server::{ServeConfig, Server};
 use exspan_bench::report::{BenchReport, BenchSeries};
 use exspan_core::{Exspan, ProvenanceMode, Repr, Traversal};
 use exspan_netsim::{ChurnModel, Topology};
 use exspan_types::{NodeId, Tuple};
+use pollshim::{PollFd, POLLIN, POLLOUT};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::io;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
+
+/// Smallest pause before re-polling a pending query.
+const POLL_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
+
+/// Largest pause between polls of one pending query.
+const POLL_BACKOFF_CEIL: Duration = Duration::from_millis(256);
+
+/// Reactor tick upper bound, so pacing deadlines are honored promptly.
+const TICK_MS: i32 = 25;
 
 /// Workload shape of one loadgen run.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Concurrent client sessions.
+    /// Concurrent client sessions (all connected and held for the run).
     pub sessions: usize,
-    /// Queries each session submits (and waits out) sequentially.
+    /// Queries each session submits (and waits out) per sweep phase.
     pub queries_per_session: usize,
     /// Transit-stub domains of the served topology (100 nodes per domain).
     pub domains: usize,
@@ -42,10 +69,22 @@ pub struct LoadgenConfig {
     pub rate: f64,
     /// Per-session token-bucket burst handed to the server.
     pub burst: u32,
-    /// Wall-clock pause between completion polls.
-    pub poll_every: Duration,
     /// Wall-clock budget to wait out one query before writing it off.
     pub query_timeout: Duration,
+    /// Idle soak after connecting and before querying: every session stays
+    /// connected, nothing is submitted, and any drop counts as an error.
+    pub hold: Duration,
+    /// Offered aggregate submit rates (queries/s) to sweep, one phase each.
+    /// Empty runs a single closed-loop phase.
+    pub sweep: Vec<f64>,
+    /// Address of an already-running server to target instead of booting
+    /// one in-process.  Halves the loadgen's file-descriptor footprint
+    /// (one fd per session instead of both socket ends), which is what
+    /// lets a 10k-session soak fit under a 20k `RLIMIT_NOFILE` hard cap.
+    /// The external server must serve the same `--domains`/`--seed`
+    /// workload: the query population is re-derived locally from the
+    /// deterministic deployment build.
+    pub addr: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -60,17 +99,39 @@ impl Default for LoadgenConfig {
             churn_duration: 30.0,
             rate: 400.0,
             burst: 128,
-            poll_every: Duration::from_millis(5),
             query_timeout: Duration::from_secs(20),
+            hold: Duration::ZERO,
+            sweep: Vec::new(),
+            addr: None,
         }
     }
+}
+
+/// Latency profile of one offered-load phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Target aggregate submit rate (0 = closed loop).
+    pub offered_qps: f64,
+    /// Completions per wall-clock second actually achieved.
+    pub achieved_qps: f64,
+    /// Queries completed in this phase.
+    pub completed: usize,
+    /// Wall-clock latency percentiles over this phase's completions, ms.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
 }
 
 /// Aggregate results of one loadgen run.
 #[derive(Debug, Clone)]
 pub struct LoadgenSummary {
-    /// Sessions that connected and completed their workload.
+    /// Sessions that connected and completed the handshake.
     pub sessions: usize,
+    /// Sessions still alive at the end of the hold soak (= `sessions` when
+    /// no soak was requested).
+    pub held: usize,
     /// Queries submitted (admitted by the server).
     pub submitted: usize,
     /// Queries whose completion the client observed.
@@ -91,17 +152,8 @@ pub struct LoadgenSummary {
     pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
-}
-
-/// Per-session tallies folded into the [`LoadgenSummary`].
-#[derive(Debug, Default)]
-struct SessionTally {
-    submitted: usize,
-    completed: usize,
-    timed_out: usize,
-    protocol_errors: usize,
-    backpressure_events: usize,
-    latencies_ms: Vec<f64>,
+    /// One entry per sweep phase, in offered-load order.
+    pub phases: Vec<PhaseStats>,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -112,8 +164,216 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.round() as usize]
 }
 
-/// Runs the full workload: build, churn-schedule, serve, replay, shut down.
-pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
+/// What one session is currently waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessState {
+    /// `Hello` sent; waiting for the ack.
+    Greeting,
+    /// Connected, nothing in flight.
+    Idle,
+    /// `SubmitQuery` sent; waiting for `SubmitAck` (or pushback).
+    SubmitPending,
+    /// Query admitted; next `Poll` due at `poll_at`.
+    WaitResult,
+    /// `Poll` sent; waiting for the status (and any chunk stream).
+    PollPending,
+    /// `Bye` sent; waiting for the echo.
+    ByePending,
+    /// Closed cleanly.
+    Done,
+    /// Dead (protocol error or unexpected hangup); fd dropped.
+    Failed,
+}
+
+/// One nonblocking client session driven by the reactor.
+struct Session {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    /// Outbound bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: SessState,
+    next_request: u64,
+    /// Queries still to submit in the current phase.
+    remaining: usize,
+    /// Current query id (valid in `WaitResult`/`PollPending`).
+    query: u64,
+    /// When the current query was first attempted (spans retries).
+    started: Instant,
+    /// Write-off deadline for the current query.
+    deadline: Instant,
+    /// Earliest time for the next action (poll, or submit retry).
+    poll_at: Instant,
+    backoff: Duration,
+    jitter: Jitter,
+    /// True when `Idle` means "retry the current query", not "next query".
+    retrying: bool,
+    assembler: Option<ResultAssembler>,
+    submitted: usize,
+    completed: usize,
+    timed_out: usize,
+    protocol_errors: usize,
+    backpressure_events: usize,
+}
+
+impl Session {
+    fn alive(&self) -> bool {
+        !matches!(self.state, SessState::Done | SessState::Failed)
+    }
+
+    fn fail(&mut self) {
+        self.state = SessState::Failed;
+        self.protocol_errors += 1;
+        self.stream.shutdown(std::net::Shutdown::Both).ok();
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        let bytes = proto::encode_frame(frame).expect("loadgen frames always encode");
+        self.out.extend_from_slice(&bytes);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Finishes the current query (success or write-off) and goes idle.
+    fn finish_query(&mut self, now: Instant, latencies: &mut Vec<f64>, completed: bool) {
+        if completed {
+            self.completed += 1;
+            latencies.push(now.duration_since(self.started).as_secs_f64() * 1e3);
+        } else {
+            self.timed_out += 1;
+        }
+        self.remaining = self.remaining.saturating_sub(1);
+        self.retrying = false;
+        self.assembler = None;
+        self.state = SessState::Idle;
+    }
+
+    /// Abandons the current query without recording anything (hard error).
+    fn abandon_query(&mut self) {
+        self.remaining = self.remaining.saturating_sub(1);
+        self.retrying = false;
+        self.assembler = None;
+        self.state = SessState::Idle;
+    }
+
+    fn bump_backoff(&mut self, now: Instant) {
+        self.poll_at = now + self.backoff / 2 + self.jitter.in_range(self.backoff / 2);
+        self.backoff = (self.backoff * 2).min(POLL_BACKOFF_CEIL);
+    }
+
+    /// Advances the state machine on one decoded frame.
+    fn handle_frame(&mut self, frame: Frame, now: Instant, latencies: &mut Vec<f64>) {
+        match (self.state, frame) {
+            (SessState::Greeting, Frame::HelloAck { .. } | Frame::HelloAckV2 { .. }) => {
+                self.state = SessState::Idle;
+            }
+            (SessState::SubmitPending, Frame::SubmitAck { query, .. }) => {
+                self.submitted += 1;
+                self.query = query;
+                self.backoff = POLL_BACKOFF_FLOOR;
+                self.bump_backoff(now);
+                self.state = SessState::WaitResult;
+            }
+            (
+                SessState::SubmitPending,
+                Frame::Error {
+                    code: ErrorCode::Admission | ErrorCode::RateLimited,
+                    ..
+                },
+            ) => {
+                // Pushback: go idle flagged for retry, after a pause.
+                self.backpressure_events += 1;
+                self.retrying = true;
+                self.bump_backoff(now);
+                self.state = SessState::Idle;
+            }
+            (
+                SessState::PollPending,
+                Frame::Error {
+                    code: ErrorCode::Admission | ErrorCode::RateLimited,
+                    ..
+                },
+            ) => {
+                self.backpressure_events += 1;
+                self.bump_backoff(now);
+                self.state = SessState::WaitResult;
+            }
+            (SessState::SubmitPending | SessState::PollPending, Frame::Error { .. }) => {
+                // A hard rejection: count it and move on to the next query.
+                self.protocol_errors += 1;
+                self.abandon_query();
+            }
+            (
+                SessState::PollPending,
+                Frame::QueryStatus { state, .. }
+                | Frame::QueryStatusV2 {
+                    state,
+                    result_total: 0,
+                    ..
+                },
+            ) => {
+                if state == QueryState::Complete {
+                    self.finish_query(now, latencies, true);
+                } else if now >= self.deadline {
+                    self.finish_query(now, latencies, false);
+                } else {
+                    self.bump_backoff(now);
+                    self.state = SessState::WaitResult;
+                }
+            }
+            (SessState::PollPending, Frame::QueryStatusV2 { result_total, .. }) => {
+                // A body follows as chunks; stay put and assemble.
+                self.assembler = Some(ResultAssembler::new(result_total));
+            }
+            (
+                SessState::PollPending,
+                Frame::ResultChunk {
+                    offset,
+                    total,
+                    bytes,
+                    ..
+                },
+            ) => match self
+                .assembler
+                .as_mut()
+                .map(|a| a.accept(offset, total, &bytes))
+            {
+                Some(Ok(Some(_body))) => self.finish_query(now, latencies, true),
+                Some(Ok(None)) => {}
+                _ => self.fail(),
+            },
+            (SessState::ByePending, Frame::Bye) => {
+                self.state = SessState::Done;
+                self.stream.shutdown(std::net::Shutdown::Both).ok();
+            }
+            // Stale responses to an abandoned query (e.g. a poll answered
+            // after its deadline write-off) are dropped, as are pipelined
+            // leftovers racing the bye echo.
+            (SessState::Idle | SessState::ByePending | SessState::SubmitPending, _frame) => {}
+            (_, _frame) => self.fail(),
+        }
+    }
+}
+
+/// Builds the served deployment plus the query target population.
+fn build_deployment(
+    config: &LoadgenConfig,
+) -> io::Result<(exspan_core::Deployment, Vec<Arc<Tuple>>)> {
     let topology = Topology::transit_stub(config.domains, config.seed);
     let mut deployment = Exspan::builder()
         .program(exspan_ndlog::programs::mincost())
@@ -152,87 +412,436 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
             deployment.schedule_churn_event(event, start + event.time);
         }
     }
+    Ok((deployment, targets))
+}
 
-    let server = Server::start(
-        deployment,
-        ServeConfig {
-            max_sessions: config.sessions + 8,
-            rate: config.rate,
-            burst: config.burst,
-            clock_rate: config.clock_rate,
-            ..ServeConfig::default()
-        },
-    )?;
-    let addr = server.addr();
+/// Runs the full workload: build, churn-schedule, serve, replay, shut down.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
+    // Two fds per in-process session (client end + server end) — one when
+    // the server runs elsewhere — plus slack for the listener, wake pipe,
+    // and stdio.
+    let per_session_fds: u64 = if config.addr.is_some() { 1 } else { 2 };
+    let need = (config.sessions as u64) * per_session_fds + 64;
+    let limit = pollshim::raise_nofile_limit(need).unwrap_or(0);
+    if limit < need {
+        return Err(io::Error::other(format!(
+            "need {need} file descriptors but the limit is {limit}"
+        )));
+    }
+
+    let (server, addr, targets, nodes) = match &config.addr {
+        // External server: the workload targets are re-derived from the
+        // same deterministic deployment build the server ran (skipped
+        // entirely for an idle soak, which queries nothing).
+        Some(external) => {
+            use std::net::ToSocketAddrs;
+            let addr = external.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("cannot resolve {external}"),
+                )
+            })?;
+            if config.queries_per_session == 0 {
+                (None, addr, Vec::new(), 1)
+            } else {
+                let (deployment, targets) = build_deployment(config)?;
+                let nodes = deployment.topology().num_nodes() as u32;
+                (None, addr, targets, nodes)
+            }
+        }
+        None => {
+            let (deployment, targets) = build_deployment(config)?;
+            let nodes = deployment.topology().num_nodes() as u32;
+            let server = Server::bind(
+                deployment,
+                ServeConfig::default()
+                    .max_sessions(config.sessions + 8)
+                    .rate_limit(config.rate, config.burst)
+                    .clock_rate(config.clock_rate),
+            )?;
+            let addr = server.addr();
+            (Some(server), addr, targets, nodes)
+        }
+    };
 
     let started = Instant::now();
-    let mut workers = Vec::with_capacity(config.sessions);
-    for session_index in 0..config.sessions {
-        let config = config.clone();
-        let targets = targets.clone();
-        workers.push(thread::spawn(move || {
-            session_workload(addr, session_index, &config, &targets)
-        }));
+    let mut lg = Loadgen {
+        sessions: Vec::with_capacity(config.sessions),
+        latencies: Vec::new(),
+        all_latencies: Vec::new(),
+        rng: SmallRng::seed_from_u64(config.seed ^ 0x10AD_6E4E),
+        config: config.clone(),
+        targets,
+        nodes,
+    };
+
+    // Connect phase: dial sequentially (the listener backlog is finite),
+    // then drive all handshakes to completion concurrently.
+    for index in 0..config.sessions {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_nonblocking(true)?;
+                let mut session = Session {
+                    stream,
+                    frames: FrameBuffer::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    state: SessState::Greeting,
+                    next_request: 1,
+                    remaining: 0,
+                    query: 0,
+                    started,
+                    deadline: started,
+                    poll_at: started,
+                    backoff: POLL_BACKOFF_FLOOR,
+                    jitter: Jitter::new(config.seed ^ (index as u64).wrapping_mul(0x9E37)),
+                    retrying: false,
+                    assembler: None,
+                    submitted: 0,
+                    completed: 0,
+                    timed_out: 0,
+                    protocol_errors: 0,
+                    backpressure_events: 0,
+                };
+                session.send(&Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                });
+                lg.sessions.push(session);
+            }
+            Err(_) => {
+                // A refused dial is fine to skip; the summary's session
+                // count exposes the shortfall.
+            }
+        }
+    }
+    let handshake_deadline = Instant::now() + Duration::from_secs(60);
+    while lg
+        .sessions
+        .iter()
+        .any(|s| s.state == SessState::Greeting && s.alive())
+    {
+        if Instant::now() >= handshake_deadline {
+            break;
+        }
+        lg.tick(TICK_MS);
+    }
+    for session in &mut lg.sessions {
+        if session.state == SessState::Greeting {
+            session.fail();
+        }
+    }
+    let connected = lg.sessions.iter().filter(|s| s.alive()).count();
+
+    // Hold phase: the idle soak.  Sessions must simply stay up.
+    if !config.hold.is_zero() {
+        let until = Instant::now() + config.hold;
+        while Instant::now() < until {
+            lg.tick(TICK_MS);
+        }
+    }
+    let held = lg.sessions.iter().filter(|s| s.alive()).count();
+
+    // Sweep phases.
+    let offered: Vec<f64> = if config.sweep.is_empty() {
+        vec![0.0]
+    } else {
+        config.sweep.clone()
+    };
+    let mut phases = Vec::with_capacity(offered.len());
+    if config.queries_per_session > 0 {
+        // Sweep warm-up: one unrecorded query per session at the first
+        // offered rate.  The front-loaded churn schedule and the server's
+        // first pumps after boot land here instead of inside the first
+        // recorded phase, which would otherwise invert the
+        // latency-vs-offered-load curve that `check_bench --serve` gates.
+        if !config.sweep.is_empty() {
+            lg.run_phase(offered[0], 1);
+            lg.all_latencies.clear();
+        }
+        for &rate in &offered {
+            phases.push(lg.run_phase(rate, config.queries_per_session));
+        }
+    }
+
+    // Goodbye phase.
+    for session in &mut lg.sessions {
+        if session.alive() {
+            session.send(&Frame::Bye);
+            session.state = SessState::ByePending;
+        }
+    }
+    let bye_deadline = Instant::now() + Duration::from_secs(10);
+    while lg.sessions.iter().any(|s| s.state == SessState::ByePending) {
+        if Instant::now() >= bye_deadline {
+            break;
+        }
+        lg.tick(TICK_MS);
+    }
+    for session in &mut lg.sessions {
+        if session.state == SessState::ByePending {
+            session.fail();
+        }
     }
 
     let mut summary = LoadgenSummary {
-        sessions: 0,
+        sessions: connected,
+        held,
         submitted: 0,
         completed: 0,
         timed_out: 0,
         protocol_errors: 0,
         backpressure_events: 0,
-        wall_seconds: 0.0,
+        wall_seconds: started.elapsed().as_secs_f64(),
         qps: 0.0,
         p50_ms: 0.0,
         p95_ms: 0.0,
         p99_ms: 0.0,
+        phases,
     };
-    let mut latencies = Vec::new();
-    for worker in workers {
-        let tally = worker.join().unwrap_or_else(|_| SessionTally {
-            protocol_errors: 1,
-            ..SessionTally::default()
-        });
-        summary.sessions += 1;
-        summary.submitted += tally.submitted;
-        summary.completed += tally.completed;
-        summary.timed_out += tally.timed_out;
-        summary.protocol_errors += tally.protocol_errors;
-        summary.backpressure_events += tally.backpressure_events;
-        latencies.extend(tally.latencies_ms);
+    for session in &lg.sessions {
+        summary.submitted += session.submitted;
+        summary.completed += session.completed;
+        summary.timed_out += session.timed_out;
+        summary.protocol_errors += session.protocol_errors;
+        summary.backpressure_events += session.backpressure_events;
     }
-    summary.wall_seconds = started.elapsed().as_secs_f64();
     summary.qps = if summary.wall_seconds > 0.0 {
         summary.completed as f64 / summary.wall_seconds
     } else {
         0.0
     };
-    latencies.sort_by(f64::total_cmp);
-    summary.p50_ms = percentile(&latencies, 50.0);
-    summary.p95_ms = percentile(&latencies, 95.0);
-    summary.p99_ms = percentile(&latencies, 99.0);
+    lg.all_latencies.sort_by(f64::total_cmp);
+    summary.p50_ms = percentile(&lg.all_latencies, 50.0);
+    summary.p95_ms = percentile(&lg.all_latencies, 95.0);
+    summary.p99_ms = percentile(&lg.all_latencies, 99.0);
 
-    server.shutdown();
+    if let Some(server) = server {
+        server.shutdown();
+    }
     Ok(summary)
 }
 
-fn session_workload(
-    addr: std::net::SocketAddr,
-    session_index: usize,
-    config: &LoadgenConfig,
-    targets: &[Arc<Tuple>],
-) -> SessionTally {
-    let mut tally = SessionTally::default();
-    let mut rng =
-        SmallRng::seed_from_u64(config.seed ^ (session_index as u64).wrapping_mul(0x9E37));
-    let Ok(mut client) = ServeClient::connect(addr) else {
-        tally.protocol_errors += 1;
-        return tally;
-    };
-    for _ in 0..config.queries_per_session {
-        let target = &targets[rng.gen_range(0..targets.len())];
-        let issuer = rng.gen_range(0..client.info().nodes);
+/// The client-side reactor state shared by all phases.
+struct Loadgen {
+    sessions: Vec<Session>,
+    /// Latencies of the *current* phase (drained per phase into
+    /// `all_latencies`).
+    latencies: Vec<f64>,
+    /// Latencies of every *recorded* phase, for the run-wide percentiles
+    /// (the warm-up pass is dropped before recording starts).
+    all_latencies: Vec<f64>,
+    rng: SmallRng,
+    config: LoadgenConfig,
+    targets: Vec<Arc<Tuple>>,
+    /// Node count of the served topology (issuer population).
+    nodes: u32,
+}
+
+impl Loadgen {
+    /// One `poll(2)` round: flush writes, read frames, advance machines.
+    fn tick(&mut self, timeout_ms: i32) {
+        let mut fds = Vec::with_capacity(self.sessions.len());
+        let mut index = Vec::with_capacity(self.sessions.len());
+        for (i, session) in self.sessions.iter().enumerate() {
+            if !session.alive() {
+                continue;
+            }
+            let mut events = POLLIN;
+            if !session.out.is_empty() {
+                events |= POLLOUT;
+            }
+            #[cfg(unix)]
+            let fd = {
+                use std::os::unix::io::AsRawFd;
+                session.stream.as_raw_fd()
+            };
+            #[cfg(not(unix))]
+            let fd = -1;
+            fds.push(PollFd::new(fd, events));
+            index.push(i);
+        }
+        if fds.is_empty() {
+            std::thread::sleep(Duration::from_millis(timeout_ms.max(1) as u64));
+            return;
+        }
+        let Ok(n) = pollshim::poll(&mut fds, timeout_ms) else {
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let mut buf = [0u8; 8192];
+        for (slot, &i) in fds.iter().zip(&index) {
+            let session = &mut self.sessions[i];
+            if slot.writable() && !session.out.is_empty() && session.flush().is_err() {
+                session.fail();
+                continue;
+            }
+            if !slot.readable() {
+                continue;
+            }
+            loop {
+                match session.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // EOF: clean after bye, an error otherwise.
+                        if session.state == SessState::ByePending {
+                            session.state = SessState::Done;
+                        } else {
+                            session.fail();
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        session.frames.feed(&buf[..n]);
+                        while let Some(read) = session.frames.next_frame() {
+                            let frame = match read {
+                                FrameRead::Body(body) => match proto::decode_frame(&body) {
+                                    Ok(frame) => frame,
+                                    Err(_) => {
+                                        session.fail();
+                                        break;
+                                    }
+                                },
+                                FrameRead::Oversized { .. } => {
+                                    session.fail();
+                                    break;
+                                }
+                            };
+                            session.handle_frame(frame, now, &mut self.latencies);
+                        }
+                        if !session.alive() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        session.fail();
+                        break;
+                    }
+                }
+            }
+            // Frames may have queued replies (none today) or the handler may
+            // have queued nothing; flush whatever is pending eagerly so a
+            // response never waits for the next tick.
+            if session.alive() && !session.out.is_empty() && session.flush().is_err() {
+                session.fail();
+            }
+        }
+    }
+
+    /// Runs one offered-load phase (`per_session` queries on every live
+    /// session) to completion and returns its stats.
+    fn run_phase(&mut self, offered_qps: f64, per_session: usize) -> PhaseStats {
+        let mut total = 0usize;
+        for session in &mut self.sessions {
+            if session.alive() {
+                session.remaining = per_session;
+                session.retrying = false;
+                total += per_session;
+            }
+        }
+        self.latencies.clear();
+
+        let phase_start = Instant::now();
+        // Generous bound: pacing time plus per-query write-off budget.
+        let pacing = if offered_qps > 0.0 {
+            Duration::from_secs_f64(total as f64 / offered_qps)
+        } else {
+            Duration::ZERO
+        };
+        let phase_deadline =
+            phase_start + pacing + self.config.query_timeout * (per_session as u32 + 1);
+        let mut launched = 0usize;
+
+        loop {
+            let now = Instant::now();
+            // How many submits the pacing schedule has released so far.
+            let budget = if offered_qps > 0.0 {
+                let due = (now.duration_since(phase_start).as_secs_f64() * offered_qps) as usize;
+                due.min(total).saturating_sub(launched)
+            } else {
+                usize::MAX
+            };
+            let mut spent = 0usize;
+            let mut outstanding = false;
+            for i in 0..self.sessions.len() {
+                let session = &mut self.sessions[i];
+                if !session.alive() {
+                    continue;
+                }
+                match session.state {
+                    SessState::Idle if session.remaining > 0 => {
+                        // Retries wait out their backoff; fresh submits wait
+                        // for pacing budget.
+                        if session.retrying {
+                            if now >= session.poll_at {
+                                self.submit(i, now, true);
+                            }
+                        } else if spent < budget {
+                            spent += 1;
+                            launched += 1;
+                            self.submit(i, now, false);
+                        }
+                        outstanding = true;
+                    }
+                    SessState::WaitResult => {
+                        let session = &mut self.sessions[i];
+                        if now >= session.deadline {
+                            // Write the query off without another round trip.
+                            session.finish_query(now, &mut self.latencies, false);
+                        } else if now >= session.poll_at {
+                            let request = session.next_request;
+                            session.next_request += 1;
+                            let query = session.query;
+                            session.send(&Frame::Poll { request, query });
+                            session.state = SessState::PollPending;
+                        }
+                        outstanding = true;
+                    }
+                    SessState::SubmitPending | SessState::PollPending => outstanding = true,
+                    _ => {}
+                }
+            }
+            if !outstanding || now >= phase_deadline {
+                break;
+            }
+            self.tick(TICK_MS);
+        }
+
+        // Force-abandon anything still outstanding at the phase deadline.
+        let now = Instant::now();
+        for session in &mut self.sessions {
+            if session.alive() && session.state != SessState::Idle {
+                session.finish_query(now, &mut self.latencies, false);
+            }
+            session.remaining = 0;
+        }
+
+        let wall = phase_start.elapsed().as_secs_f64();
+        self.latencies.sort_by(f64::total_cmp);
+        let stats = PhaseStats {
+            offered_qps,
+            achieved_qps: if wall > 0.0 {
+                self.latencies.len() as f64 / wall
+            } else {
+                0.0
+            },
+            completed: self.latencies.len(),
+            p50_ms: percentile(&self.latencies, 50.0),
+            p95_ms: percentile(&self.latencies, 95.0),
+            p99_ms: percentile(&self.latencies, 99.0),
+        };
+        self.all_latencies.append(&mut self.latencies);
+        stats
+    }
+
+    /// Queues a `SubmitQuery` on session `i` (fresh or retry).
+    fn submit(&mut self, i: usize, now: Instant, retry: bool) {
+        let target = &self.targets[self.rng.gen_range(0..self.targets.len())];
+        let issuer = self.rng.gen_range(0..self.nodes.max(1));
         let spec = QuerySpec {
             issuer,
             repr: Repr::Polynomial,
@@ -242,48 +851,26 @@ fn session_workload(
             location: target.location,
             values: target.values.clone(),
         };
-        // Submit, absorbing backpressure with a bounded retry loop.
-        let submit_started = Instant::now();
-        let query = loop {
-            match client.submit(spec.clone()) {
-                Ok(query) => break Some(query),
-                Err(e) if e.is_backpressure() => {
-                    tally.backpressure_events += 1;
-                    if submit_started.elapsed() > config.query_timeout {
-                        break None;
-                    }
-                    thread::sleep(config.poll_every);
-                }
-                Err(_) => {
-                    tally.protocol_errors += 1;
-                    break None;
-                }
-            }
-        };
-        let Some(query) = query else { continue };
-        tally.submitted += 1;
-        match client.wait(query, config.query_timeout, config.poll_every) {
-            Ok(Some(_status)) => {
-                tally.completed += 1;
-                tally
-                    .latencies_ms
-                    .push(submit_started.elapsed().as_secs_f64() * 1e3);
-            }
-            Ok(None) => tally.timed_out += 1,
-            Err(_) => tally.protocol_errors += 1,
+        let session = &mut self.sessions[i];
+        let request = session.next_request;
+        session.next_request += 1;
+        if !retry {
+            session.started = now;
+            session.deadline = now + self.config.query_timeout;
+            session.backoff = POLL_BACKOFF_FLOOR;
         }
+        session.send(&Frame::SubmitQuery { request, spec });
+        session.state = SessState::SubmitPending;
     }
-    if client.bye().is_err() {
-        tally.protocol_errors += 1;
-    }
-    tally
 }
 
 /// Renders the summary as the machine-readable `BENCH_serve.json` record.
 ///
 /// The series reuse the [`BenchSeries`] statistics slots: `mean`, `max` and
 /// `last` all carry the one measured value, `points` carries the relevant
-/// sample count.
+/// sample count.  Each sweep phase contributes `latency p50/p99 @ N qps` and
+/// `achieved @ N qps` series, which `check_bench --serve` gates for monotone
+/// latency ordering.
 pub fn bench_report(summary: &LoadgenSummary, shards: usize) -> BenchReport {
     let metric = |label: &str, value: f64, points: usize| BenchSeries {
         label: label.to_string(),
@@ -292,6 +879,46 @@ pub fn bench_report(summary: &LoadgenSummary, shards: usize) -> BenchReport {
         last: value,
         points,
     };
+    let mut series = vec![
+        metric("QPS", summary.qps, summary.completed),
+        metric("latency p50 (ms)", summary.p50_ms, summary.completed),
+        metric("latency p95 (ms)", summary.p95_ms, summary.completed),
+        metric("latency p99 (ms)", summary.p99_ms, summary.completed),
+        metric(
+            "protocol errors",
+            summary.protocol_errors as f64,
+            summary.protocol_errors,
+        ),
+        metric("sessions", summary.sessions as f64, summary.sessions),
+        metric("held sessions", summary.held as f64, summary.held),
+        metric("timed out", summary.timed_out as f64, summary.timed_out),
+        metric(
+            "backpressure events",
+            summary.backpressure_events as f64,
+            summary.backpressure_events,
+        ),
+    ];
+    for phase in &summary.phases {
+        if phase.offered_qps <= 0.0 {
+            continue;
+        }
+        let qps = phase.offered_qps;
+        series.push(metric(
+            &format!("latency p50 @ {qps:.0} qps"),
+            phase.p50_ms,
+            phase.completed,
+        ));
+        series.push(metric(
+            &format!("latency p99 @ {qps:.0} qps"),
+            phase.p99_ms,
+            phase.completed,
+        ));
+        series.push(metric(
+            &format!("achieved @ {qps:.0} qps"),
+            phase.achieved_qps,
+            phase.completed,
+        ));
+    }
     BenchReport {
         figure: "serve".into(),
         title: "Service front-end: concurrent provenance queries under churn".into(),
@@ -299,24 +926,7 @@ pub fn bench_report(summary: &LoadgenSummary, shards: usize) -> BenchReport {
         shards,
         wall_clock_seconds: summary.wall_seconds,
         y_label: "QPS / latency ms / counts".into(),
-        series: vec![
-            metric("QPS", summary.qps, summary.completed),
-            metric("latency p50 (ms)", summary.p50_ms, summary.completed),
-            metric("latency p95 (ms)", summary.p95_ms, summary.completed),
-            metric("latency p99 (ms)", summary.p99_ms, summary.completed),
-            metric(
-                "protocol errors",
-                summary.protocol_errors as f64,
-                summary.protocol_errors,
-            ),
-            metric("sessions", summary.sessions as f64, summary.sessions),
-            metric("timed out", summary.timed_out as f64, summary.timed_out),
-            metric(
-                "backpressure events",
-                summary.backpressure_events as f64,
-                summary.backpressure_events,
-            ),
-        ],
+        series,
     }
 }
 
@@ -338,6 +948,7 @@ mod tests {
     fn bench_report_carries_the_gated_series() {
         let summary = LoadgenSummary {
             sessions: 64,
+            held: 64,
             submitted: 256,
             completed: 250,
             timed_out: 6,
@@ -348,12 +959,33 @@ mod tests {
             p50_ms: 10.0,
             p95_ms: 60.0,
             p99_ms: 90.0,
+            phases: vec![
+                PhaseStats {
+                    offered_qps: 50.0,
+                    achieved_qps: 49.0,
+                    completed: 100,
+                    p50_ms: 8.0,
+                    p95_ms: 40.0,
+                    p99_ms: 70.0,
+                },
+                PhaseStats {
+                    offered_qps: 100.0,
+                    achieved_qps: 95.0,
+                    completed: 150,
+                    p50_ms: 12.0,
+                    p95_ms: 55.0,
+                    p99_ms: 90.0,
+                },
+            ],
         };
         let report = bench_report(&summary, 1);
         assert_eq!(report.figure, "serve");
         assert_eq!(report.series("QPS").unwrap().mean, 125.0);
         assert_eq!(report.series("latency p99 (ms)").unwrap().mean, 90.0);
         assert_eq!(report.series("protocol errors").unwrap().mean, 0.0);
+        assert_eq!(report.series("held sessions").unwrap().mean, 64.0);
+        assert_eq!(report.series("latency p99 @ 50 qps").unwrap().mean, 70.0);
+        assert_eq!(report.series("achieved @ 100 qps").unwrap().mean, 95.0);
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.series.len(), report.series.len());

@@ -16,20 +16,52 @@
 //! Frame types (client → server requests carry a `request_id` echoed in the
 //! response so a session can pipeline):
 //!
-//! | type | frame                         | direction |
-//! |------|-------------------------------|-----------|
-//! | 0x01 | [`Frame::Hello`] (magic+vers) | C → S     |
-//! | 0x02 | [`Frame::HelloAck`]           | S → C     |
-//! | 0x03 | [`Frame::Bye`]                | C ↔ S     |
-//! | 0x10 | [`Frame::SubmitQuery`]        | C → S     |
-//! | 0x11 | [`Frame::SubmitAck`]          | S → C     |
-//! | 0x12 | [`Frame::Poll`]               | C → S     |
-//! | 0x13 | [`Frame::QueryStatus`]        | S → C     |
-//! | 0x7F | [`Frame::Error`]              | S → C     |
+//! | type | frame                         | direction | since |
+//! |------|-------------------------------|-----------|-------|
+//! | 0x01 | [`Frame::Hello`] (magic+vers) | C → S     | v1    |
+//! | 0x02 | [`Frame::HelloAck`]           | S → C     | v1    |
+//! | 0x03 | [`Frame::Bye`]                | C ↔ S     | v1    |
+//! | 0x04 | [`Frame::HelloAckV2`]         | S → C     | v2    |
+//! | 0x10 | [`Frame::SubmitQuery`]        | C → S     | v1    |
+//! | 0x11 | [`Frame::SubmitAck`]          | S → C     | v1    |
+//! | 0x12 | [`Frame::Poll`]               | C → S     | v1    |
+//! | 0x13 | [`Frame::QueryStatus`]        | S → C     | v1    |
+//! | 0x14 | [`Frame::QueryStatusV2`]      | S → C     | v2    |
+//! | 0x15 | [`Frame::ResultChunk`]        | S → C     | v2    |
+//! | 0x7F | [`Frame::Error`]              | S → C     | v1    |
 //!
 //! Every protocol violation is answered with a typed [`Frame::Error`]
 //! ([`ErrorCode`]) on the same connection — the server never hangs up on a
 //! malformed, oversized or over-limit request.
+//!
+//! # Version negotiation
+//!
+//! [`Frame::Hello`] carries the highest version the client speaks; the
+//! session then runs at `min(client, PROTOCOL_VERSION)`.  A v1 session is
+//! acknowledged with [`Frame::HelloAck`] and only ever sees v1 response
+//! frames; a v2 session is acknowledged with [`Frame::HelloAckV2`] (which
+//! also announces the negotiated version, the per-connection pipeline depth,
+//! and the chunk payload size the server will use).  Versions below
+//! [`MIN_PROTOCOL_VERSION`] are rejected with
+//! [`ErrorCode::HandshakeRejected`].
+//!
+//! # Pipelining (v2)
+//!
+//! A client may keep up to `pipeline_depth` requests in flight on one
+//! connection.  Responses are matched by the echoed `request` id and may
+//! complete **out of order** — a fast query's status can arrive while an
+//! earlier query's result is still streaming.
+//!
+//! # Result streaming (v2)
+//!
+//! [`MAX_FRAME_LEN`] bounds *frames*, not *results*.  When a v2 poll finds
+//! a completed query, [`Frame::QueryStatusV2`] announces the rendered result
+//! body's byte length in `result_total`; the body itself follows as
+//! [`Frame::ResultChunk`] frames (each carrying at most [`MAX_CHUNK_DATA`]
+//! bytes — the negotiated `chunk_bytes` in practice) that the client
+//! reassembles by `request` id with [`ResultAssembler`].  Chunks for one
+//! request arrive in offset order; chunks for *different* requests may
+//! interleave.  A `result_total` of zero means no chunks follow.
 
 use exspan_core::{Repr, TraversalOrder};
 use exspan_types::{Symbol, Value};
@@ -39,12 +71,23 @@ use std::sync::Arc;
 /// Handshake magic: the first four payload bytes of [`Frame::Hello`].
 pub const MAGIC: [u8; 4] = *b"XSPN";
 
-/// Wire protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Highest wire protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest wire protocol version still served.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on `type byte + payload` of one frame (64 KiB).  Larger
 /// frames are answered with [`ErrorCode::Oversized`] and skipped.
 pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Encoded size of a [`Frame::ResultChunk`] minus its data bytes: type (1)
+/// + request (8) + offset (8) + total (8) + data length prefix (4).
+pub const CHUNK_HEADER_LEN: usize = 29;
+
+/// Most data bytes one [`Frame::ResultChunk`] can carry without the frame
+/// exceeding [`MAX_FRAME_LEN`].
+pub const MAX_CHUNK_DATA: usize = MAX_FRAME_LEN - CHUNK_HEADER_LEN;
 
 /// Maximum [`Value::List`] nesting depth accepted on the wire.
 const MAX_LIST_DEPTH: u8 = 4;
@@ -69,6 +112,10 @@ pub enum ErrorCode {
     UnknownQuery,
     /// The server is shutting down and no longer accepts work.
     Shutdown,
+    /// The connection's bounded write queue overflowed — the client is
+    /// reading too slowly for the responses it requested.  The server sends
+    /// this and then closes the connection cleanly.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -82,6 +129,7 @@ impl ErrorCode {
             ErrorCode::RateLimited => 5,
             ErrorCode::UnknownQuery => 6,
             ErrorCode::Shutdown => 7,
+            ErrorCode::Overloaded => 8,
         }
     }
 
@@ -95,6 +143,7 @@ impl ErrorCode {
             5 => ErrorCode::RateLimited,
             6 => ErrorCode::UnknownQuery,
             7 => ErrorCode::Shutdown,
+            8 => ErrorCode::Overloaded,
             other => return Err(WireError::new(format!("unknown error code {other}"))),
         })
     }
@@ -110,6 +159,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::RateLimited => "rate limited",
             ErrorCode::UnknownQuery => "unknown query id",
             ErrorCode::Shutdown => "server shutting down",
+            ErrorCode::Overloaded => "write queue overflow (slow reader)",
         };
         f.write_str(name)
     }
@@ -192,6 +242,28 @@ pub enum Frame {
         /// Token-bucket burst capacity of this session.
         burst: u32,
     },
+    /// Handshake acceptance for a v2+ session, superseding
+    /// [`Frame::HelloAck`] with the negotiated version and streaming limits.
+    HelloAckV2 {
+        /// Server-assigned session id.
+        session: u64,
+        /// Name of the NDlog program the deployment runs.
+        program: String,
+        /// Number of nodes in the topology.
+        nodes: u32,
+        /// Maximum queries in flight across all sessions.
+        max_inflight: u32,
+        /// Token-bucket refill rate (requests per second) of this session.
+        rate: f64,
+        /// Token-bucket burst capacity of this session.
+        burst: u32,
+        /// Negotiated protocol version (`min(client, server)`).
+        version: u16,
+        /// Maximum requests this connection may keep in flight.
+        pipeline_depth: u32,
+        /// Data bytes per [`Frame::ResultChunk`] the server will send.
+        chunk_bytes: u32,
+    },
     /// Orderly goodbye (either direction; the server echoes it).
     Bye,
     /// Submit a provenance query.
@@ -228,6 +300,36 @@ pub enum Frame {
         /// Human-readable result summary (empty while pending).
         summary: String,
     },
+    /// Current state of a query on a v2 session.  When `state` is
+    /// [`QueryState::Complete`], `result_total` announces the byte length of
+    /// the rendered result body that follows as [`Frame::ResultChunk`]
+    /// frames (zero means the result is empty and no chunks follow).
+    QueryStatusV2 {
+        /// Echo of the poll's request id.
+        request: u64,
+        /// The polled query id.
+        query: u64,
+        /// Completion state.
+        state: QueryState,
+        /// Simulated seconds from issue to completion (0 while pending).
+        latency: f64,
+        /// Human-readable result summary (empty while pending).
+        summary: String,
+        /// Total bytes of the streamed result body (0 while pending).
+        result_total: u64,
+    },
+    /// One slice of a rendered query result, reassembled by `request` id.
+    ResultChunk {
+        /// The poll request whose [`Frame::QueryStatusV2`] announced this
+        /// stream.
+        request: u64,
+        /// Byte offset of `bytes` within the full result body.
+        offset: u64,
+        /// Total byte length of the full result body.
+        total: u64,
+        /// This slice of the body (at most [`MAX_CHUNK_DATA`] bytes).
+        bytes: Vec<u8>,
+    },
     /// A typed protocol error.  The connection stays open.
     Error {
         /// What kind of violation occurred.
@@ -245,11 +347,14 @@ impl Frame {
         match self {
             Frame::Hello { .. } => "Hello",
             Frame::HelloAck { .. } => "HelloAck",
+            Frame::HelloAckV2 { .. } => "HelloAckV2",
             Frame::Bye => "Bye",
             Frame::SubmitQuery { .. } => "SubmitQuery",
             Frame::SubmitAck { .. } => "SubmitAck",
             Frame::Poll { .. } => "Poll",
             Frame::QueryStatus { .. } => "QueryStatus",
+            Frame::QueryStatusV2 { .. } => "QueryStatusV2",
+            Frame::ResultChunk { .. } => "ResultChunk",
             Frame::Error { .. } => "Error",
         }
     }
@@ -390,6 +495,28 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             put_f64(&mut body, *rate);
             put_u32(&mut body, *burst);
         }
+        Frame::HelloAckV2 {
+            session,
+            program,
+            nodes,
+            max_inflight,
+            rate,
+            burst,
+            version,
+            pipeline_depth,
+            chunk_bytes,
+        } => {
+            body.push(0x04);
+            put_u64(&mut body, *session);
+            put_str(&mut body, program)?;
+            put_u32(&mut body, *nodes);
+            put_u32(&mut body, *max_inflight);
+            put_f64(&mut body, *rate);
+            put_u32(&mut body, *burst);
+            put_u16(&mut body, *version);
+            put_u32(&mut body, *pipeline_depth);
+            put_u32(&mut body, *chunk_bytes);
+        }
         Frame::Bye => body.push(0x03),
         Frame::SubmitQuery { request, spec } => {
             body.push(0x10);
@@ -433,6 +560,40 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             });
             put_f64(&mut body, *latency);
             put_str(&mut body, summary)?;
+        }
+        Frame::QueryStatusV2 {
+            request,
+            query,
+            state,
+            latency,
+            summary,
+            result_total,
+        } => {
+            body.push(0x14);
+            put_u64(&mut body, *request);
+            put_u64(&mut body, *query);
+            body.push(match state {
+                QueryState::Pending => 0,
+                QueryState::Complete => 1,
+            });
+            put_f64(&mut body, *latency);
+            put_str(&mut body, summary)?;
+            put_u64(&mut body, *result_total);
+        }
+        Frame::ResultChunk {
+            request,
+            offset,
+            total,
+            bytes,
+        } => {
+            body.push(0x15);
+            put_u64(&mut body, *request);
+            put_u64(&mut body, *offset);
+            put_u64(&mut body, *total);
+            let len = u32::try_from(bytes.len())
+                .map_err(|_| WireError::new("chunk data exceeds u32 length"))?;
+            put_u32(&mut body, len);
+            body.extend_from_slice(bytes);
         }
         Frame::Error {
             code,
@@ -605,6 +766,17 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
             rate: r.f64()?,
             burst: r.u32()?,
         },
+        0x04 => Frame::HelloAckV2 {
+            session: r.u64()?,
+            program: r.string()?,
+            nodes: r.u32()?,
+            max_inflight: r.u32()?,
+            rate: r.f64()?,
+            burst: r.u32()?,
+            version: r.u16()?,
+            pipeline_depth: r.u32()?,
+            chunk_bytes: r.u32()?,
+        },
         0x03 => Frame::Bye,
         0x10 => {
             let request = r.u64()?;
@@ -654,6 +826,35 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
                 state,
                 latency: r.f64()?,
                 summary: r.string()?,
+            }
+        }
+        0x14 => {
+            let request = r.u64()?;
+            let query = r.u64()?;
+            let state = match r.u8()? {
+                0 => QueryState::Pending,
+                1 => QueryState::Complete,
+                tag => return Err(WireError::new(format!("unknown query state {tag}"))),
+            };
+            Frame::QueryStatusV2 {
+                request,
+                query,
+                state,
+                latency: r.f64()?,
+                summary: r.string()?,
+                result_total: r.u64()?,
+            }
+        }
+        0x15 => {
+            let request = r.u64()?;
+            let offset = r.u64()?;
+            let total = r.u64()?;
+            let len = r.u32()? as usize;
+            Frame::ResultChunk {
+                request,
+                offset,
+                total,
+                bytes: r.take(len)?.to_vec(),
             }
         }
         0x7F => Frame::Error {
@@ -729,6 +930,266 @@ pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
     stream.flush()
 }
 
+// ---------------------------------------------------------------------------
+// Incremental framing (nonblocking I/O)
+// ---------------------------------------------------------------------------
+
+/// Incremental frame decoder for nonblocking sockets: [`feed`] it whatever
+/// bytes a read returned, then drain complete frames with [`next`].
+///
+/// Like [`read_frame`], oversized frames are swallowed without buffering
+/// their bodies (the skip is tracked as a counter, so a hostile 4 GiB
+/// declared length costs no memory) and surfaced as
+/// [`FrameRead::Oversized`] once fully skipped, leaving the stream framed.
+///
+/// [`feed`]: FrameBuffer::feed
+/// [`next`]: FrameBuffer::next
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+    /// Bytes of an oversized body still to discard, with its declared size.
+    skipping: Option<(u64, usize)>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if let Some((remaining, declared)) = self.skipping.take() {
+            // Consume directly into the skip counter; anything past the
+            // oversized body is buffered normally.
+            let eat = (bytes.len() as u64).min(remaining);
+            let rest = remaining - eat;
+            self.buf.extend_from_slice(&bytes[eat as usize..]);
+            self.skipping = Some((rest, declared));
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+        self.engage_skip();
+    }
+
+    /// If the first undrained frame declares an oversized body that is not
+    /// yet fully buffered, converts the buffered prefix into the skip
+    /// counter immediately, so the body never accumulates no matter how the
+    /// caller interleaves [`feed`] and [`next`] calls.
+    ///
+    /// [`feed`]: FrameBuffer::feed
+    /// [`next`]: FrameBuffer::next
+    fn engage_skip(&mut self) {
+        if self.skipping.is_some() {
+            // An Oversized event is still pending; don't clobber it.
+            return;
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return;
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len <= MAX_FRAME_LEN || avail.len() >= 4 + len {
+            // In-bounds, or already fully buffered: next() handles it.
+            return;
+        }
+        let eat = avail.len() - 4;
+        self.pos += 4 + eat;
+        self.compact();
+        self.skipping = Some(((len - eat) as u64, len));
+    }
+
+    /// Bytes currently buffered and not yet consumed by [`next`].
+    ///
+    /// [`next`]: FrameBuffer::next
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 8 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self) -> Option<FrameRead> {
+        if let Some((remaining, declared)) = self.skipping {
+            // feed() already swallowed in-buffer bytes while skipping, so a
+            // nonzero remainder means we are still waiting for more input.
+            if remaining > 0 {
+                return None;
+            }
+            self.skipping = None;
+            return Some(FrameRead::Oversized { declared });
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            self.compact();
+            return None;
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len == 0 {
+            // No type byte: surface as an empty (malformed) body.
+            self.pos += 4;
+            self.compact();
+            return Some(FrameRead::Body(Vec::new()));
+        }
+        if len > MAX_FRAME_LEN {
+            let buffered = avail.len() - 4;
+            let eat = buffered.min(len);
+            self.pos += 4 + eat;
+            self.compact();
+            if eat == len {
+                return Some(FrameRead::Oversized { declared: len });
+            }
+            self.skipping = Some(((len - eat) as u64, len));
+            // The tail beyond pos is empty here (eat consumed everything);
+            // future feed() calls keep discarding until the counter drains.
+            return None;
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return None;
+        }
+        let body = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        self.compact();
+        Some(FrameRead::Body(body))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result streaming
+// ---------------------------------------------------------------------------
+
+/// Server-side chunker: slices one rendered result body into
+/// [`Frame::ResultChunk`] frames for `request`, pulled one at a time so the
+/// reactor can pace the stream against the connection's write budget.
+#[derive(Debug, Clone)]
+pub struct ResultStream {
+    request: u64,
+    body: Arc<Vec<u8>>,
+    offset: usize,
+    chunk_bytes: usize,
+}
+
+impl ResultStream {
+    /// A stream over `body` (shared, not copied) for `request`, emitting at
+    /// most `chunk_bytes` data bytes per frame (clamped to
+    /// [`MAX_CHUNK_DATA`]; zero is treated as the maximum).
+    pub fn new(request: u64, body: Arc<Vec<u8>>, chunk_bytes: usize) -> ResultStream {
+        let chunk_bytes = match chunk_bytes {
+            0 => MAX_CHUNK_DATA,
+            n => n.min(MAX_CHUNK_DATA),
+        };
+        ResultStream {
+            request,
+            body,
+            offset: 0,
+            chunk_bytes,
+        }
+    }
+
+    /// The request id this stream answers.
+    pub fn request(&self) -> u64 {
+        self.request
+    }
+
+    /// Bytes not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.offset
+    }
+
+    /// Whether every byte has been emitted (vacuously true for an empty
+    /// body: an empty result sends no chunks at all).
+    pub fn is_done(&self) -> bool {
+        self.offset >= self.body.len()
+    }
+
+    /// The next chunk frame, or `None` when the stream is exhausted.
+    pub fn next_chunk(&mut self) -> Option<Frame> {
+        if self.is_done() {
+            return None;
+        }
+        let end = (self.offset + self.chunk_bytes).min(self.body.len());
+        let frame = Frame::ResultChunk {
+            request: self.request,
+            offset: self.offset as u64,
+            total: self.body.len() as u64,
+            bytes: self.body[self.offset..end].to_vec(),
+        };
+        self.offset = end;
+        Some(frame)
+    }
+}
+
+/// Client-side reassembler for one request's [`Frame::ResultChunk`] stream.
+///
+/// Chunks must arrive in offset order with a consistent `total` (the server
+/// never reorders chunks *within* one request; only chunks of different
+/// requests interleave).
+#[derive(Debug)]
+pub struct ResultAssembler {
+    total: u64,
+    buf: Vec<u8>,
+}
+
+impl ResultAssembler {
+    /// An assembler expecting `total` bytes (from
+    /// [`Frame::QueryStatusV2::result_total`]).
+    pub fn new(total: u64) -> ResultAssembler {
+        ResultAssembler {
+            total,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Whether every announced byte has arrived (immediately true when the
+    /// announced total is zero).
+    pub fn is_complete(&self) -> bool {
+        self.buf.len() as u64 == self.total
+    }
+
+    /// Accepts one chunk; returns the full body once the last byte lands.
+    pub fn accept(
+        &mut self,
+        offset: u64,
+        total: u64,
+        bytes: &[u8],
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        if total != self.total {
+            return Err(WireError::new(format!(
+                "chunk declares total {total}, stream announced {}",
+                self.total
+            )));
+        }
+        if offset != self.buf.len() as u64 {
+            return Err(WireError::new(format!(
+                "chunk at offset {offset}, expected {}",
+                self.buf.len()
+            )));
+        }
+        if offset + bytes.len() as u64 > self.total {
+            return Err(WireError::new(format!(
+                "chunk overruns announced total {}",
+                self.total
+            )));
+        }
+        if bytes.is_empty() && !self.is_complete() {
+            return Err(WireError::new("empty chunk in unfinished stream"));
+        }
+        self.buf.extend_from_slice(bytes);
+        if self.is_complete() {
+            Ok(Some(std::mem::take(&mut self.buf)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +1257,36 @@ mod tests {
             code: ErrorCode::RateLimited,
             request: 101,
             message: "back off".into(),
+        });
+        roundtrip(Frame::HelloAckV2 {
+            session: 7,
+            program: "mincost".into(),
+            nodes: 100,
+            max_inflight: 512,
+            rate: 250.5,
+            burst: 32,
+            version: 2,
+            pipeline_depth: 16,
+            chunk_bytes: MAX_CHUNK_DATA as u32,
+        });
+        roundtrip(Frame::QueryStatusV2 {
+            request: 100,
+            query: 1,
+            state: QueryState::Complete,
+            latency: 0.125,
+            summary: "8192 derivations".into(),
+            result_total: 150_000,
+        });
+        roundtrip(Frame::ResultChunk {
+            request: 100,
+            offset: 65_000,
+            total: 150_000,
+            bytes: vec![0xAB; 1000],
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::Overloaded,
+            request: 0,
+            message: "slow reader".into(),
         });
     }
 
@@ -899,5 +1390,129 @@ mod tests {
             FrameRead::Oversized { .. } => panic!("third frame is fine"),
         }
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_by_byte() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Bye).unwrap();
+        write_frame(
+            &mut wire,
+            &Frame::SubmitAck {
+                request: 9,
+                query: 3,
+            },
+        )
+        .unwrap();
+
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for byte in wire {
+            fb.feed(&[byte]);
+            while let Some(FrameRead::Body(body)) = fb.next_frame() {
+                got.push(decode_frame(&body).unwrap());
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                Frame::Bye,
+                Frame::SubmitAck {
+                    request: 9,
+                    query: 3
+                }
+            ]
+        );
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_skips_oversized_without_buffering() {
+        let declared = MAX_FRAME_LEN + 100;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(declared as u32).to_be_bytes());
+        wire.extend(std::iter::repeat(0u8).take(declared));
+        write_frame(&mut wire, &Frame::Bye).unwrap();
+
+        let mut fb = FrameBuffer::new();
+        // Feed in uneven pieces so the skip spans several feeds.
+        for piece in wire.chunks(7 * 1024 + 13) {
+            fb.feed(piece);
+            // The oversized body must never accumulate in memory.
+            assert!(fb.buffered() <= 16 * 1024, "buffered {}", fb.buffered());
+        }
+        match fb.next_frame().unwrap() {
+            FrameRead::Oversized { declared: d } => assert_eq!(d, declared),
+            FrameRead::Body(_) => panic!("first frame is oversized"),
+        }
+        match fb.next_frame().unwrap() {
+            FrameRead::Body(body) => assert_eq!(decode_frame(&body).unwrap(), Frame::Bye),
+            FrameRead::Oversized { .. } => panic!("stream must re-sync"),
+        }
+        assert!(fb.next_frame().is_none());
+    }
+
+    #[test]
+    fn chunk_stream_reassembles_including_exact_cap_boundary() {
+        // A body that is an exact multiple of the chunk size must not emit
+        // a trailing empty chunk, and one exactly at the cap is one chunk.
+        for (len, chunk) in [
+            (MAX_CHUNK_DATA, MAX_CHUNK_DATA),     // exactly at cap: 1 chunk
+            (2 * MAX_CHUNK_DATA, MAX_CHUNK_DATA), // exact multiple: 2 chunks
+            (MAX_CHUNK_DATA + 1, MAX_CHUNK_DATA), // one byte over: 2 chunks
+            (10, 3),                              // small odd split
+        ] {
+            let body: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut stream = ResultStream::new(42, Arc::new(body.clone()), chunk);
+            let mut assembler = ResultAssembler::new(len as u64);
+            let mut frames = 0usize;
+            let mut out = None;
+            while let Some(frame) = stream.next_chunk() {
+                frames += 1;
+                let Frame::ResultChunk {
+                    request,
+                    offset,
+                    total,
+                    bytes,
+                } = encode_then_decode(frame)
+                else {
+                    panic!("chunk frames survive the wire");
+                };
+                assert_eq!(request, 42);
+                assert!(!bytes.is_empty());
+                if let Some(full) = assembler.accept(offset, total, &bytes).unwrap() {
+                    out = Some(full);
+                }
+            }
+            assert_eq!(frames, len.div_ceil(chunk));
+            assert_eq!(out.expect("stream completes"), body);
+            assert!(stream.is_done());
+            assert_eq!(stream.remaining(), 0);
+        }
+        // Empty body: no chunks, assembler complete from the start.
+        let mut empty = ResultStream::new(1, Arc::new(Vec::new()), 64);
+        assert!(empty.is_done());
+        assert!(empty.next_chunk().is_none());
+        assert!(ResultAssembler::new(0).is_complete());
+    }
+
+    fn encode_then_decode(frame: Frame) -> Frame {
+        let bytes = encode_frame(&frame).unwrap();
+        decode_frame(&bytes[4..]).unwrap()
+    }
+
+    #[test]
+    fn assembler_rejects_gaps_reorders_and_overruns() {
+        let mut a = ResultAssembler::new(10);
+        assert!(a.accept(0, 9, b"abc").is_err(), "inconsistent total");
+        assert!(a.accept(5, 10, b"abc").is_err(), "gap");
+        assert!(a.accept(0, 10, b"").is_err(), "empty chunk mid-stream");
+        assert_eq!(a.accept(0, 10, b"abcde").unwrap(), None);
+        assert!(a.accept(0, 10, b"abcde").is_err(), "replayed offset");
+        assert!(a.accept(5, 10, b"fghijk").is_err(), "overrun");
+        assert_eq!(
+            a.accept(5, 10, b"fghij").unwrap().as_deref(),
+            Some(&b"abcdefghij"[..])
+        );
     }
 }

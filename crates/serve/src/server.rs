@@ -1,54 +1,113 @@
 //! The wall-clock server: a [`Deployment`] behind TCP.
 //!
-//! Threading model (tokio-free):
+//! Threading model (tokio-free, two threads total regardless of session
+//! count):
 //!
-//! * **Listener thread** — accepts connections up to
-//!   [`ServeConfig::max_sessions`]; over-cap connections receive a typed
-//!   [`ErrorCode::Admission`] frame and are closed without a handshake.
-//! * **Connection threads** — one per session: framing, handshake, the
-//!   per-session [`TokenBucket`], and translation of wire frames into
-//!   commands forwarded to the worker over an [`std::sync::mpsc`] channel.
+//! * **Reactor thread** — a single `poll(2)` loop over the nonblocking
+//!   listener and every nonblocking connection.  Each connection is a small
+//!   state machine: an incremental [`FrameBuffer`] on the read side, a
+//!   bounded write queue plus pending [`ResultStream`]s on the write side,
+//!   the per-session [`TokenBucket`], and the negotiated protocol version.
+//!   The reactor performs the handshake, rate limiting, pipeline-depth
+//!   accounting and result chunking itself; only submits and polls cross to
+//!   the worker (tagged with a connection id so responses find their way
+//!   back and may complete out of order).
 //! * **Worker thread** — owns the [`Deployment`] and a [`WallClock`]
-//!   executor.  Each tick drains pending commands (submits, polls), then
-//!   pumps the deployment to the simulated time the wall clock has paid for
-//!   (`Deployment::run_with`).  Pre-scheduled churn events fire as the
-//!   clock reaches them, so maintenance and queries share the network
-//!   exactly as in the figures — just paced by real time.
+//!   executor, exactly as before the reactor rewrite.  Each tick drains
+//!   pending commands (submits, polls), then pumps the deployment to the
+//!   simulated time the wall clock has paid for (`Deployment::run_with`).
+//!   Completed v2 polls also carry the rendered result body (cached per
+//!   query, shared by `Arc`), which the reactor streams back in
+//!   [`Frame::ResultChunk`] frames.  The worker wakes the reactor through a
+//!   loopback byte after posting replies.
+//!
+//! # Backpressure
+//!
+//! Every connection has a byte budget ([`ServeConfig::write_queue_bytes`])
+//! covering both queued encoded frames and the committed-but-unsent
+//! remainder of result streams.  A response that would exceed the budget —
+//! i.e. a reader too slow for the results it requested — is answered with a
+//! typed [`ErrorCode::Overloaded`] error, after which the connection is
+//! flushed and closed.  The server never blocks on, nor buffers unboundedly
+//! for, a slow reader.
+//!
+//! Result chunks are paced pull-style: a stream's next chunk is encoded only
+//! when the write queue has room, and multiple pending streams on one
+//! connection are drained round-robin — so a small response submitted after
+//! a huge one genuinely completes first (out-of-order completion, v2
+//! pipelining).
 
 use crate::limiter::TokenBucket;
 use crate::proto::{
-    self, ErrorCode, Frame, FrameRead, QuerySpec, QueryState, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    self, ErrorCode, Frame, FrameBuffer, FrameRead, QuerySpec, QueryState, ResultStream,
+    CHUNK_HEADER_LEN, MAX_CHUNK_DATA, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use exspan_core::{Annotation, Deployment, QueryError, QueryHandle};
 use exspan_runtime::WallClock;
 use exspan_types::Tuple;
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use pollshim::{PollFd, POLLIN, POLLOUT};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// Tuning knobs of a [`Server`].
+/// Reactor poll timeout: bounds shutdown latency when no fd turns ready.
+const POLL_TIMEOUT_MS: i32 = 25;
+
+/// Low-water mark for refilling a connection's write queue from its pending
+/// result streams: chunks are pulled while fewer bytes than this are queued.
+const REFILL_BYTES: usize = 128 * 1024;
+
+/// Upper bound on bytes written to one connection per reactor tick.  A
+/// single long result stream therefore cannot monopolize the loop: other
+/// connections get served between its slices, and responses committed on
+/// the *same* connection while a stream drains go out ahead of the stream's
+/// tail — which is what makes pipelined completion genuinely out-of-order.
+const FLUSH_QUANTUM: usize = 128 * 1024;
+
+/// Tuning knobs of a [`Server`], built fluently:
+///
+/// ```no_run
+/// use exspan_serve::ServeConfig;
+/// let config = ServeConfig::default()
+///     .addr("127.0.0.1:0")
+///     .max_sessions(10_000)
+///     .rate_limit(500.0, 64)
+///     .pipeline_depth(32);
+/// ```
+///
+/// Migration from the PR 7 field-struct form:
+///
+/// | old public field | builder method |
+/// |------------------|----------------|
+/// | `addr`           | [`ServeConfig::addr`] |
+/// | `max_sessions`   | [`ServeConfig::max_sessions`] |
+/// | `max_inflight`   | [`ServeConfig::max_inflight`] |
+/// | `rate`, `burst`  | [`ServeConfig::rate_limit`] |
+/// | `clock_rate`     | [`ServeConfig::clock_rate`] |
+/// | `quantum`        | [`ServeConfig::quantum`] |
+/// | — (new in v2)    | [`ServeConfig::pipeline_depth`] |
+/// | — (new in v2)    | [`ServeConfig::write_queue_bytes`] |
+/// | — (new in v2)    | [`ServeConfig::chunk_bytes`] |
+/// | — (CLI-only before) | [`ServeConfig::data_dir`] |
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Listen address; port 0 binds an ephemeral port.
-    pub addr: String,
-    /// Maximum concurrently connected sessions (the bounded accept queue);
-    /// further connections are refused with [`ErrorCode::Admission`].
-    pub max_sessions: usize,
-    /// Maximum provenance queries in flight across all sessions; further
-    /// submits are refused with [`ErrorCode::Admission`].
-    pub max_inflight: usize,
-    /// Per-session token-bucket refill rate (requests per second).
-    pub rate: f64,
-    /// Per-session token-bucket burst capacity.
-    pub burst: u32,
-    /// Simulated seconds the deployment advances per wall-clock second.
-    pub clock_rate: f64,
-    /// Worker sleep quantum while waiting for wall time to accrue.
-    pub quantum: Duration,
+    addr: String,
+    max_sessions: usize,
+    max_inflight: usize,
+    rate: f64,
+    burst: u32,
+    clock_rate: f64,
+    quantum: Duration,
+    pipeline_depth: u32,
+    write_queue_bytes: usize,
+    chunk_bytes: usize,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -61,34 +120,134 @@ impl Default for ServeConfig {
             burst: 64,
             clock_rate: 50.0,
             quantum: WallClock::DEFAULT_QUANTUM,
+            pipeline_depth: 32,
+            write_queue_bytes: 1024 * 1024,
+            chunk_bytes: MAX_CHUNK_DATA,
+            data_dir: None,
         }
     }
 }
 
-/// What the worker tells a connection thread about a submit.
+impl ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Maximum concurrently connected sessions; further connections are
+    /// refused with [`ErrorCode::Admission`].
+    pub fn max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Maximum provenance queries in flight across all sessions; further
+    /// submits are refused with [`ErrorCode::Admission`].
+    pub fn max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Per-session token bucket: `rate` requests per second refill, `burst`
+    /// capacity.
+    pub fn rate_limit(mut self, rate: f64, burst: u32) -> Self {
+        self.rate = rate;
+        self.burst = burst;
+        self
+    }
+
+    /// Simulated seconds the deployment advances per wall-clock second.
+    pub fn clock_rate(mut self, clock_rate: f64) -> Self {
+        self.clock_rate = clock_rate;
+        self
+    }
+
+    /// Worker sleep quantum while waiting for wall time to accrue.
+    pub fn quantum(mut self, quantum: Duration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Requests one connection may keep in flight before further requests
+    /// are refused with [`ErrorCode::Admission`] (v2 pipelining).
+    pub fn pipeline_depth(mut self, pipeline_depth: u32) -> Self {
+        self.pipeline_depth = pipeline_depth.max(1);
+        self
+    }
+
+    /// Per-connection write budget in bytes, covering queued frames plus
+    /// committed-but-unsent result stream remainders.  A response that would
+    /// exceed it is answered with [`ErrorCode::Overloaded`] and the
+    /// connection is closed after flushing.
+    pub fn write_queue_bytes(mut self, write_queue_bytes: usize) -> Self {
+        self.write_queue_bytes = write_queue_bytes;
+        self
+    }
+
+    /// Data bytes per [`Frame::ResultChunk`] (clamped to
+    /// [`MAX_CHUNK_DATA`]).  Lowering this mainly serves tests that want
+    /// many chunks from small results.
+    pub fn chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes.clamp(1, MAX_CHUNK_DATA);
+        self
+    }
+
+    /// Directory the deployment's persistent store lives in.  When set,
+    /// [`ServerHandle::shutdown`] checkpoints the deployment so the next
+    /// boot recovers from the snapshot alone.  (Build the deployment with
+    /// the same directory via `Exspan::builder().data_dir(..)`.)
+    pub fn data_dir(mut self, data_dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(data_dir.into());
+        self
+    }
+}
+
+/// What the worker tells the reactor about a submit.
 enum SubmitVerdict {
     Admitted { query: u64 },
     Refused { code: ErrorCode, message: String },
 }
 
-/// What the worker tells a connection thread about a poll.
+/// What the worker tells the reactor about a poll.
 enum PollVerdict {
     Status {
         state: QueryState,
         latency: f64,
         summary: String,
+        /// Rendered result body (v2 polls of completed queries only).
+        result: Option<Arc<Vec<u8>>>,
     },
     Unknown,
 }
 
+/// Reactor → worker, tagged with the originating connection.
 enum Command {
     Submit {
+        conn: usize,
+        request: u64,
         spec: QuerySpec,
-        reply: mpsc::Sender<SubmitVerdict>,
     },
     Poll {
+        conn: usize,
+        request: u64,
         query: u64,
-        reply: mpsc::Sender<PollVerdict>,
+        want_result: bool,
+    },
+}
+
+/// Worker → reactor.
+enum Reply {
+    Submit {
+        conn: usize,
+        request: u64,
+        verdict: SubmitVerdict,
+    },
+    Poll {
+        conn: usize,
+        request: u64,
+        query: u64,
+        verdict: PollVerdict,
     },
 }
 
@@ -97,9 +256,10 @@ enum Command {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    listener: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     worker: JoinHandle<Deployment>,
     sessions: Arc<AtomicUsize>,
+    data_dir: Option<PathBuf>,
 }
 
 impl ServerHandle {
@@ -113,63 +273,97 @@ impl ServerHandle {
         self.sessions.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, disconnects the worker, joins both threads and
-    /// returns the deployment in its final state.
+    /// Stops accepting, closes every connection, joins both threads and
+    /// returns the deployment in its final state — checkpointed first when
+    /// [`ServeConfig::data_dir`] was set.
     pub fn shutdown(self) -> Deployment {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
+        // Wake the poll loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        let _ = self.listener.join();
-        self.worker.join().expect("worker thread panicked")
+        let _ = self.reactor.join();
+        let mut deployment = self.worker.join().expect("worker thread panicked");
+        if self.data_dir.is_some() {
+            deployment.checkpoint();
+        }
+        deployment
     }
 }
 
-/// The service front-end: owns nothing after [`Server::start`], which moves
+/// The service front-end: owns nothing after [`Server::bind`], which moves
 /// the deployment onto the worker thread.
 pub struct Server;
 
 impl Server {
     /// Boots the server: binds the listen socket, spawns the worker and the
-    /// listener, and returns immediately.
+    /// reactor, and returns immediately.
     ///
     /// Churn or other future work should be scheduled on the deployment
-    /// (e.g. [`Deployment::schedule_churn_event`]) *before* starting: the
+    /// (e.g. [`Deployment::schedule_churn_event`]) *before* binding: the
     /// wall clock pays simulated time out gradually, so events scheduled
     /// ahead fire while the server is live.
-    pub fn start(deployment: Deployment, config: ServeConfig) -> io::Result<ServerHandle> {
+    pub fn bind(deployment: Deployment, config: ServeConfig) -> io::Result<ServerHandle> {
+        // Best-effort: a 10k-session cap is useless if the process is stuck
+        // at the default 1024-fd soft limit.  Failure is fine — the accept
+        // path refuses over-cap connections gracefully either way.
+        let _ = pollshim::raise_nofile_limit(config.max_sessions as u64 + 64);
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        // Loopback wake pair: the worker writes a byte after posting
+        // replies, turning the reactor's poll ready.
+        let wake_listener = TcpListener::bind("127.0.0.1:0")?;
+        let wake_tx = TcpStream::connect(wake_listener.local_addr()?)?;
+        let (wake_rx, _) = wake_listener.accept()?;
+        wake_rx.set_nonblocking(true)?;
+        drop(wake_listener);
+
         let stop = Arc::new(AtomicBool::new(false));
         let sessions = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = mpsc::channel::<Command>();
-        let greeting = Arc::new(SessionGreeting {
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let greeting = SessionGreeting {
             program: deployment.program_name().to_string(),
             nodes: deployment.topology().num_nodes() as u32,
-        });
+        };
+        let data_dir = config.data_dir.clone();
 
         let worker = {
             let config = config.clone();
             let stop = Arc::clone(&stop);
             thread::Builder::new()
                 .name("exspan-serve-worker".into())
-                .spawn(move || worker_loop(deployment, &config, &rx, &stop))?
+                .spawn(move || {
+                    worker_loop(deployment, &config, &cmd_rx, &reply_tx, wake_tx, &stop)
+                })?
         };
 
-        let listener_thread = {
-            let config = config.clone();
+        let reactor = {
             let stop = Arc::clone(&stop);
             let sessions = Arc::clone(&sessions);
             thread::Builder::new()
-                .name("exspan-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &config, &tx, &stop, &sessions, &greeting))?
+                .name("exspan-serve-reactor".into())
+                .spawn(move || {
+                    Reactor {
+                        config,
+                        greeting,
+                        cmds: cmd_tx,
+                        conns: HashMap::new(),
+                        next_conn: 0,
+                        next_session: 1,
+                        sessions,
+                    }
+                    .run(&listener, &wake_rx, &reply_rx, &stop);
+                })?
         };
 
         Ok(ServerHandle {
             addr,
             stop,
-            listener: listener_thread,
+            reactor,
             worker,
             sessions,
+            data_dir,
         })
     }
 }
@@ -190,49 +384,107 @@ fn summarize(annotation: Option<&Annotation>) -> String {
     }
 }
 
+/// Renders a completed query's full result body for the v2 chunk stream.
+fn render_result(annotation: Option<&Annotation>) -> Vec<u8> {
+    match annotation {
+        None => Vec::new(),
+        Some(Annotation::Expr(e)) => e.to_string().into_bytes(),
+        Some(Annotation::Nodes(nodes)) => {
+            let ids: Vec<String> = nodes.iter().map(|n| format!("n{n}")).collect();
+            format!("{{{}}}", ids.join(", ")).into_bytes()
+        }
+        Some(Annotation::Domains(domains)) => {
+            let ids: Vec<String> = domains.iter().map(|d| format!("d{d}")).collect();
+            format!("{{{}}}", ids.join(", ")).into_bytes()
+        }
+        Some(Annotation::Count(c)) => c.to_string().into_bytes(),
+        Some(Annotation::Bool(b)) => b.to_string().into_bytes(),
+        Some(Annotation::Bdd(_)) => b"condensed (BDD)".to_vec(),
+    }
+}
+
 fn worker_loop(
     mut deployment: Deployment,
     config: &ServeConfig,
     rx: &mpsc::Receiver<Command>,
+    replies: &mpsc::Sender<Reply>,
+    mut wake: TcpStream,
     stop: &AtomicBool,
 ) -> Deployment {
     let mut wall =
         WallClock::starting_at(deployment.now(), config.clock_rate).with_quantum(config.quantum);
     let mut handles: HashMap<u64, QueryHandle> = HashMap::new();
+    // Rendered result bodies, cached so repeated polls of one completed
+    // query re-use the same `Arc`ed bytes.
+    let mut rendered: HashMap<u64, Arc<Vec<u8>>> = HashMap::new();
 
-    let handle_command =
-        |deployment: &mut Deployment, handles: &mut HashMap<u64, QueryHandle>, cmd: Command| {
-            match cmd {
-                Command::Submit { spec, reply } => {
-                    let verdict = admit(deployment, handles, spec, config.max_inflight);
-                    let _ = reply.send(verdict);
-                }
-                Command::Poll { query, reply } => {
-                    let verdict = match handles.get(&query) {
-                        None => PollVerdict::Unknown,
-                        Some(&handle) => match deployment.completed_outcome(handle) {
-                            Ok(outcome) => PollVerdict::Status {
+    let handle_command = |deployment: &mut Deployment,
+                          handles: &mut HashMap<u64, QueryHandle>,
+                          rendered: &mut HashMap<u64, Arc<Vec<u8>>>,
+                          cmd: Command| {
+        match cmd {
+            Command::Submit {
+                conn,
+                request,
+                spec,
+            } => {
+                let verdict = admit(deployment, handles, spec, config.max_inflight);
+                let _ = replies.send(Reply::Submit {
+                    conn,
+                    request,
+                    verdict,
+                });
+            }
+            Command::Poll {
+                conn,
+                request,
+                query,
+                want_result,
+            } => {
+                let verdict = match handles.get(&query) {
+                    None => PollVerdict::Unknown,
+                    Some(&handle) => match deployment.completed_outcome(handle) {
+                        Ok(outcome) => {
+                            let result = want_result.then(|| {
+                                Arc::clone(rendered.entry(query).or_insert_with(|| {
+                                    Arc::new(render_result(outcome.annotation.as_ref()))
+                                }))
+                            });
+                            PollVerdict::Status {
                                 state: QueryState::Complete,
                                 latency: outcome.completed_at.unwrap_or(outcome.issued_at)
                                     - outcome.issued_at,
                                 summary: summarize(outcome.annotation.as_ref()),
-                            },
-                            Err(QueryError::NotComplete { .. }) => PollVerdict::Status {
-                                state: QueryState::Pending,
-                                latency: 0.0,
-                                summary: String::new(),
-                            },
-                            Err(_) => PollVerdict::Unknown,
+                                result,
+                            }
+                        }
+                        Err(QueryError::NotComplete { .. }) => PollVerdict::Status {
+                            state: QueryState::Pending,
+                            latency: 0.0,
+                            summary: String::new(),
+                            result: None,
                         },
-                    };
-                    let _ = reply.send(verdict);
-                }
+                        Err(_) => PollVerdict::Unknown,
+                    },
+                };
+                let _ = replies.send(Reply::Poll {
+                    conn,
+                    request,
+                    query,
+                    verdict,
+                });
             }
-        };
+        }
+    };
 
     loop {
+        let mut replied = false;
         while let Ok(cmd) = rx.try_recv() {
-            handle_command(&mut deployment, &mut handles, cmd);
+            handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+            replied = true;
+        }
+        if replied {
+            let _ = wake.write(&[1]);
         }
         let target = wall.accrued();
         deployment.run_with(&mut wall, target);
@@ -240,9 +492,18 @@ fn worker_loop(
             break;
         }
         // Block for at most one quantum so the simulated clock keeps pace
-        // even when no commands arrive.
+        // even when no commands arrive.  On wakeup, drain whatever else is
+        // already queued before writing the wake byte: commands the reactor
+        // forwarded in one tick (e.g. a pipelined batch from one client)
+        // then commit their replies together, ahead of the first flush.
         match rx.recv_timeout(config.quantum) {
-            Ok(cmd) => handle_command(&mut deployment, &mut handles, cmd),
+            Ok(cmd) => {
+                handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+                while let Ok(cmd) = rx.try_recv() {
+                    handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+                }
+                let _ = wake.write(&[1]);
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
@@ -287,288 +548,635 @@ fn admit(
 }
 
 // ---------------------------------------------------------------------------
-// Listener and connection threads
+// Reactor
 // ---------------------------------------------------------------------------
 
-fn accept_loop(
-    listener: &TcpListener,
-    config: &ServeConfig,
-    tx: &mpsc::Sender<Command>,
-    stop: &AtomicBool,
-    sessions: &Arc<AtomicUsize>,
-    greeting: &Arc<SessionGreeting>,
-) {
-    let next_session = AtomicU64::new(1);
-    loop {
-        let Ok((stream, _peer)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
-            continue;
-        };
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        // Bounded accept: refuse the session with a typed error frame.
-        if sessions.load(Ordering::SeqCst) >= config.max_sessions {
-            let mut stream = stream;
-            let _ = proto::write_frame(
-                &mut stream,
-                &Frame::Error {
-                    code: ErrorCode::Admission,
-                    request: 0,
-                    message: format!("session limit {} reached", config.max_sessions),
-                },
-            );
-            continue;
-        }
-        sessions.fetch_add(1, Ordering::SeqCst);
-        let session = next_session.fetch_add(1, Ordering::Relaxed);
-        let tx = tx.clone();
-        let config = config.clone();
-        let conn_sessions = Arc::clone(sessions);
-        let greeting = Arc::clone(greeting);
-        // Connection threads are not joined: they exit when their peer hangs
-        // up (or at process exit), and a post-shutdown submit/poll is
-        // answered with a typed `Shutdown` error once the worker is gone.
-        let spawned = thread::Builder::new()
-            .name(format!("exspan-serve-conn-{session}"))
-            .spawn(move || {
-                let _ = serve_connection(stream, session, &config, &tx, &greeting);
-                conn_sessions.fetch_sub(1, Ordering::SeqCst);
-            });
-        if spawned.is_err() {
-            sessions.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-}
-
-/// Deployment metadata echoed in every `HelloAck` — captured before the
+/// Deployment metadata echoed in every handshake ack — captured before the
 /// deployment moves onto the worker thread.
 struct SessionGreeting {
     program: String,
     nodes: u32,
 }
 
-fn serve_connection(
+/// One connection's state machine.
+struct Conn {
     stream: TcpStream,
+    frames: FrameBuffer,
+    /// Encoded frames awaiting write; `out_head` bytes of the front frame
+    /// are already on the wire.
+    out: VecDeque<Vec<u8>>,
+    out_head: usize,
+    /// Total encoded bytes in `out` (fully counted until a frame completes).
+    queued_bytes: usize,
+    /// Pending result streams, drained round-robin one chunk at a time.
+    streams: VecDeque<ResultStream>,
+    /// Committed-but-unsent stream bytes (data + per-chunk framing).
+    stream_bytes: usize,
+    bucket: TokenBucket,
     session: u64,
-    config: &ServeConfig,
-    tx: &mpsc::Sender<Command>,
-    greeting: &SessionGreeting,
-) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut bucket = TokenBucket::new(config.rate, config.burst);
-    let mut greeted = false;
+    /// Negotiated protocol version; `None` until a successful `Hello`.
+    version: Option<u16>,
+    /// Requests currently at the worker (pipeline-depth accounting).
+    inflight: u32,
+    /// Close once the write queue fully flushes (after `Bye` or a fatal
+    /// error frame); reads are ignored from then on.
+    draining: bool,
+}
 
-    while let Some(read) = proto::read_frame(&mut reader)? {
+impl Conn {
+    fn new(stream: TcpStream, session: u64, config: &ServeConfig) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(),
+            out: VecDeque::new(),
+            out_head: 0,
+            queued_bytes: 0,
+            streams: VecDeque::new(),
+            stream_bytes: 0,
+            bucket: TokenBucket::new(config.rate, config.burst),
+            session,
+            version: None,
+            inflight: 0,
+            draining: false,
+        }
+    }
+
+    /// Encoded wire cost of streaming `remaining` more body bytes.
+    fn stream_cost(remaining: usize, chunk_bytes: usize) -> usize {
+        remaining + remaining.div_ceil(chunk_bytes) * (CHUNK_HEADER_LEN + 4)
+    }
+
+    /// Queues an encoded response frame without a budget check (used for
+    /// error frames, which are small and must go out).
+    fn enqueue(&mut self, frame: &Frame) {
+        let bytes = proto::encode_frame(frame).expect("server response frames always encode");
+        self.queued_bytes += bytes.len();
+        self.out.push_back(bytes);
+    }
+
+    /// Switches the connection to overload drain: pending streams are
+    /// abandoned, a typed `Overloaded` error is queued, and the connection
+    /// closes once flushed.
+    fn overload(&mut self, budget: usize) {
+        self.streams.clear();
+        self.stream_bytes = 0;
+        self.enqueue(&Frame::Error {
+            code: ErrorCode::Overloaded,
+            request: 0,
+            message: format!("write queue over its {budget}-byte budget (slow reader)"),
+        });
+        self.draining = true;
+    }
+
+    /// Commits an obligatory response: the status/ack frame plus an optional
+    /// result body to stream.  Over-budget commits become `Overloaded`.
+    fn respond(&mut self, frame: &Frame, body: Option<(u64, Arc<Vec<u8>>)>, config: &ServeConfig) {
+        let bytes = proto::encode_frame(frame).expect("server response frames always encode");
+        let body_cost = body
+            .as_ref()
+            .map_or(0, |(_, b)| Self::stream_cost(b.len(), config.chunk_bytes));
+        if self.queued_bytes + self.stream_bytes + bytes.len() + body_cost
+            > config.write_queue_bytes
+        {
+            self.overload(config.write_queue_bytes);
+            return;
+        }
+        self.queued_bytes += bytes.len();
+        self.out.push_back(bytes);
+        if let Some((request, body)) = body {
+            if !body.is_empty() {
+                self.streams
+                    .push_back(ResultStream::new(request, body, config.chunk_bytes));
+                self.stream_bytes += body_cost;
+            }
+        }
+    }
+
+    /// Pulls chunks from pending streams (round-robin) while the write
+    /// queue is under the refill mark.
+    fn refill_from_streams(&mut self) {
+        while !self.streams.is_empty() && self.queued_bytes < REFILL_BYTES {
+            let mut stream = self.streams.pop_front().expect("checked non-empty");
+            if let Some(chunk) = stream.next_chunk() {
+                let bytes =
+                    proto::encode_frame(&chunk).expect("server response frames always encode");
+                self.stream_bytes = self.stream_bytes.saturating_sub(bytes.len());
+                self.queued_bytes += bytes.len();
+                self.out.push_back(bytes);
+            }
+            if !stream.is_done() {
+                self.streams.push_back(stream);
+            }
+        }
+        if self.streams.is_empty() {
+            self.stream_bytes = 0;
+        }
+    }
+
+    /// Writes as much queued output as the socket accepts, up to
+    /// [`FLUSH_QUANTUM`] bytes per call.  Returns `true` when the
+    /// connection is finished (drained or broken).
+    fn flush(&mut self) -> bool {
+        let mut written = 0usize;
+        loop {
+            if written >= FLUSH_QUANTUM {
+                break;
+            }
+            if self.out.is_empty() {
+                self.refill_from_streams();
+                if self.out.is_empty() {
+                    break;
+                }
+            }
+            let front = self.out.front().expect("checked non-empty");
+            match self.stream.write(&front[self.out_head..]) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    written += n;
+                    self.out_head += n;
+                    if self.out_head == front.len() {
+                        self.queued_bytes -= front.len();
+                        self.out.pop_front();
+                        self.out_head = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+        self.draining && self.out.is_empty() && self.streams.is_empty()
+    }
+
+    /// Whether the poll set should watch this connection for writability.
+    fn wants_write(&self) -> bool {
+        !self.out.is_empty() || !self.streams.is_empty()
+    }
+}
+
+struct Reactor {
+    config: ServeConfig,
+    greeting: SessionGreeting,
+    cmds: mpsc::Sender<Command>,
+    conns: HashMap<usize, Conn>,
+    next_conn: usize,
+    next_session: u64,
+    sessions: Arc<AtomicUsize>,
+}
+
+impl Reactor {
+    fn run(
+        mut self,
+        listener: &TcpListener,
+        wake_rx: &TcpStream,
+        replies: &mpsc::Receiver<Reply>,
+        stop: &AtomicBool,
+    ) {
+        let mut scratch = vec![0u8; 16 * 1024];
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut finished: Vec<usize> = Vec::new();
+
+        while !stop.load(Ordering::SeqCst) {
+            fds.clear();
+            order.clear();
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+            for (&id, conn) in &self.conns {
+                let mut events = 0i16;
+                if !conn.draining {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                order.push(id);
+            }
+            if pollshim::poll(&mut fds, POLL_TIMEOUT_MS).is_err() {
+                break;
+            }
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+
+            // Worker replies (drain the wake bytes, then the channel — the
+            // channel is drained unconditionally so a missed byte is
+            // harmless).
+            if fds[1].readable() {
+                drain_wake(wake_rx, &mut scratch);
+            }
+            while let Ok(reply) = replies.try_recv() {
+                self.route_reply(reply);
+            }
+
+            if fds[0].readable() {
+                self.accept_new(listener, stop);
+            }
+
+            // Connection reads (frame processing may queue output).
+            finished.clear();
+            for (i, &id) in order.iter().enumerate() {
+                if fds[i + 2].readable() {
+                    let done = self.read_conn(id, &mut scratch);
+                    if done {
+                        finished.push(id);
+                    }
+                }
+            }
+            for id in finished.drain(..) {
+                self.drop_conn(id);
+            }
+
+            // Flush every connection with pending output — whether the
+            // readiness came from POLLOUT or the output was queued this
+            // iteration (fresh sockets are almost always writable).
+            finished.clear();
+            for (&id, conn) in &mut self.conns {
+                if conn.wants_write() && conn.flush() {
+                    finished.push(id);
+                }
+            }
+            for id in finished.drain(..) {
+                self.drop_conn(id);
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, id: usize) {
+        if self.conns.remove(&id).is_some() {
+            self.sessions.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn accept_new(&mut self, listener: &TcpListener, stop: &AtomicBool) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Bounded accept: refuse with a typed error frame.  The
+                    // accepted socket is still blocking and its send buffer
+                    // empty, so this small write cannot stall.
+                    if self.conns.len() >= self.config.max_sessions {
+                        let mut stream = stream;
+                        let _ = proto::write_frame(
+                            &mut stream,
+                            &Frame::Error {
+                                code: ErrorCode::Admission,
+                                request: 0,
+                                message: format!(
+                                    "session limit {} reached",
+                                    self.config.max_sessions
+                                ),
+                            },
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    let session = self.next_session;
+                    self.next_session += 1;
+                    self.conns
+                        .insert(id, Conn::new(stream, session, &self.config));
+                    self.sessions.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads everything the socket has, feeding the frame buffer and
+    /// handling complete frames.  Returns `true` when the connection died.
+    fn read_conn(&mut self, id: usize, scratch: &mut [u8]) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return false;
+            };
+            match conn.stream.read(scratch) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    let fed = &scratch[..n];
+                    conn.frames.feed(fed);
+                    while let Some(read) = self.conns.get_mut(&id).and_then(|c| {
+                        if c.draining {
+                            None
+                        } else {
+                            c.frames.next_frame()
+                        }
+                    }) {
+                        self.handle_frame(id, read);
+                    }
+                    if self.conns.get(&id).map_or(true, |c| c.draining) {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, id: usize, read: FrameRead) {
+        let config = &self.config;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
         let body = match read {
             FrameRead::Body(body) => body,
             FrameRead::Oversized { declared } => {
-                proto::write_frame(
-                    &mut writer,
+                conn.respond(
                     &Frame::Error {
                         code: ErrorCode::Oversized,
                         request: 0,
                         message: format!("frame of {declared} bytes exceeds {MAX_FRAME_LEN}"),
                     },
-                )?;
-                continue;
+                    None,
+                    config,
+                );
+                return;
             }
         };
         let frame = match proto::decode_frame(&body) {
             Ok(frame) => frame,
             Err(e) => {
-                proto::write_frame(
-                    &mut writer,
+                conn.respond(
                     &Frame::Error {
                         code: ErrorCode::Malformed,
                         request: 0,
                         message: e.reason,
                     },
-                )?;
-                continue;
+                    None,
+                    config,
+                );
+                return;
             }
         };
         match frame {
             Frame::Hello { version } => {
-                if version != PROTOCOL_VERSION {
-                    proto::write_frame(
-                        &mut writer,
+                if version < MIN_PROTOCOL_VERSION {
+                    conn.respond(
                         &Frame::Error {
                             code: ErrorCode::HandshakeRejected,
                             request: 0,
                             message: format!(
                                 "protocol version {version} unsupported (server speaks \
-                                 {PROTOCOL_VERSION})"
+                                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                             ),
                         },
-                    )?;
-                    continue; // the client may retry with a supported version
+                        None,
+                        config,
+                    );
+                    return; // the client may retry with a supported version
                 }
-                greeted = true;
-                proto::write_frame(
-                    &mut writer,
-                    &Frame::HelloAck {
-                        session,
-                        program: greeting.program.clone(),
-                        nodes: greeting.nodes,
+                let negotiated = version.min(PROTOCOL_VERSION);
+                conn.version = Some(negotiated);
+                let ack = if negotiated >= 2 {
+                    Frame::HelloAckV2 {
+                        session: conn.session,
+                        program: self.greeting.program.clone(),
+                        nodes: self.greeting.nodes,
                         max_inflight: config.max_inflight as u32,
                         rate: config.rate,
                         burst: config.burst,
-                    },
-                )?;
+                        version: negotiated,
+                        pipeline_depth: config.pipeline_depth,
+                        chunk_bytes: config.chunk_bytes as u32,
+                    }
+                } else {
+                    Frame::HelloAck {
+                        session: conn.session,
+                        program: self.greeting.program.clone(),
+                        nodes: self.greeting.nodes,
+                        max_inflight: config.max_inflight as u32,
+                        rate: config.rate,
+                        burst: config.burst,
+                    }
+                };
+                conn.respond(&ack, None, config);
             }
             Frame::Bye => {
-                proto::write_frame(&mut writer, &Frame::Bye)?;
-                break;
+                conn.enqueue(&Frame::Bye);
+                conn.draining = true;
             }
             Frame::SubmitQuery { request, spec } => {
-                if !greeted {
-                    reject_ungreeted(&mut writer, request)?;
-                    continue;
-                }
-                if !bucket.try_take() {
-                    proto::write_frame(
-                        &mut writer,
-                        &Frame::Error {
-                            code: ErrorCode::RateLimited,
-                            request,
-                            message: format!(
-                                "session bucket empty (rate {}/s, burst {})",
-                                config.rate, config.burst
-                            ),
-                        },
-                    )?;
-                    continue;
-                }
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let sent = tx.send(Command::Submit {
-                    spec,
-                    reply: reply_tx,
-                });
-                let verdict = sent.ok().and_then(|()| reply_rx.recv().ok());
-                match verdict {
-                    Some(SubmitVerdict::Admitted { query }) => {
-                        proto::write_frame(&mut writer, &Frame::SubmitAck { request, query })?;
-                    }
-                    Some(SubmitVerdict::Refused { code, message }) => {
-                        proto::write_frame(
-                            &mut writer,
-                            &Frame::Error {
-                                code,
-                                request,
-                                message,
-                            },
-                        )?;
-                    }
-                    None => {
-                        proto::write_frame(
-                            &mut writer,
-                            &Frame::Error {
-                                code: ErrorCode::Shutdown,
-                                request,
-                                message: "worker is gone".into(),
-                            },
-                        )?;
-                        break;
-                    }
+                if Self::gate_request(conn, request, config) {
+                    let sent = self.cmds.send(Command::Submit {
+                        conn: id,
+                        request,
+                        spec,
+                    });
+                    Self::track_sent(conn, request, sent.is_ok(), config);
                 }
             }
             Frame::Poll { request, query } => {
-                if !greeted {
-                    reject_ungreeted(&mut writer, request)?;
-                    continue;
-                }
-                if !bucket.try_take() {
-                    proto::write_frame(
-                        &mut writer,
-                        &Frame::Error {
-                            code: ErrorCode::RateLimited,
-                            request,
-                            message: format!(
-                                "session bucket empty (rate {}/s, burst {})",
-                                config.rate, config.burst
-                            ),
-                        },
-                    )?;
-                    continue;
-                }
-                let (reply_tx, reply_rx) = mpsc::channel();
-                let sent = tx.send(Command::Poll {
-                    query,
-                    reply: reply_tx,
-                });
-                let verdict = sent.ok().and_then(|()| reply_rx.recv().ok());
-                match verdict {
-                    Some(PollVerdict::Status {
-                        state,
-                        latency,
-                        summary,
-                    }) => {
-                        proto::write_frame(
-                            &mut writer,
-                            &Frame::QueryStatus {
-                                request,
-                                query,
-                                state,
-                                latency,
-                                summary,
-                            },
-                        )?;
-                    }
-                    Some(PollVerdict::Unknown) => {
-                        proto::write_frame(
-                            &mut writer,
-                            &Frame::Error {
-                                code: ErrorCode::UnknownQuery,
-                                request,
-                                message: format!("no query #{query} in this deployment"),
-                            },
-                        )?;
-                    }
-                    None => {
-                        proto::write_frame(
-                            &mut writer,
-                            &Frame::Error {
-                                code: ErrorCode::Shutdown,
-                                request,
-                                message: "worker is gone".into(),
-                            },
-                        )?;
-                        break;
-                    }
+                if Self::gate_request(conn, request, config) {
+                    let want_result = conn.version.unwrap_or(1) >= 2;
+                    let sent = self.cmds.send(Command::Poll {
+                        conn: id,
+                        request,
+                        query,
+                        want_result,
+                    });
+                    Self::track_sent(conn, request, sent.is_ok(), config);
                 }
             }
             // Server-to-client frames arriving at the server are protocol
             // violations, answered in kind (connection stays open).
             other @ (Frame::HelloAck { .. }
+            | Frame::HelloAckV2 { .. }
             | Frame::SubmitAck { .. }
             | Frame::QueryStatus { .. }
+            | Frame::QueryStatusV2 { .. }
+            | Frame::ResultChunk { .. }
             | Frame::Error { .. }) => {
-                proto::write_frame(
-                    &mut writer,
+                conn.respond(
                     &Frame::Error {
                         code: ErrorCode::Malformed,
                         request: 0,
                         message: format!("{} frames are server-to-client only", other.name()),
                     },
-                )?;
+                    None,
+                    config,
+                );
             }
         }
     }
-    Ok(())
+
+    /// Handshake, rate-limit and pipeline-depth gate shared by submits and
+    /// polls.  `false` means a typed error was already queued.
+    fn gate_request(conn: &mut Conn, request: u64, config: &ServeConfig) -> bool {
+        if conn.version.is_none() {
+            conn.respond(
+                &Frame::Error {
+                    code: ErrorCode::HandshakeRejected,
+                    request,
+                    message: "no Hello received on this session yet".into(),
+                },
+                None,
+                config,
+            );
+            return false;
+        }
+        if !conn.bucket.try_take() {
+            conn.respond(
+                &Frame::Error {
+                    code: ErrorCode::RateLimited,
+                    request,
+                    message: format!(
+                        "session bucket empty (rate {}/s, burst {})",
+                        config.rate, config.burst
+                    ),
+                },
+                None,
+                config,
+            );
+            return false;
+        }
+        if conn.inflight >= config.pipeline_depth {
+            conn.respond(
+                &Frame::Error {
+                    code: ErrorCode::Admission,
+                    request,
+                    message: format!(
+                        "pipeline depth {} reached on this connection",
+                        config.pipeline_depth
+                    ),
+                },
+                None,
+                config,
+            );
+            return false;
+        }
+        true
+    }
+
+    /// Accounts for a command handed to the worker (or reports the worker
+    /// gone, if the channel is closed).
+    fn track_sent(conn: &mut Conn, request: u64, sent: bool, config: &ServeConfig) {
+        if sent {
+            conn.inflight += 1;
+        } else {
+            conn.respond(
+                &Frame::Error {
+                    code: ErrorCode::Shutdown,
+                    request,
+                    message: "worker is gone".into(),
+                },
+                None,
+                config,
+            );
+            conn.draining = true;
+        }
+    }
+
+    fn route_reply(&mut self, reply: Reply) {
+        let config = &self.config;
+        match reply {
+            Reply::Submit {
+                conn,
+                request,
+                verdict,
+            } => {
+                let Some(conn) = self.conns.get_mut(&conn) else {
+                    return; // connection died while the submit was in flight
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                match verdict {
+                    SubmitVerdict::Admitted { query } => {
+                        conn.respond(&Frame::SubmitAck { request, query }, None, config);
+                    }
+                    SubmitVerdict::Refused { code, message } => {
+                        conn.respond(
+                            &Frame::Error {
+                                code,
+                                request,
+                                message,
+                            },
+                            None,
+                            config,
+                        );
+                    }
+                }
+            }
+            Reply::Poll {
+                conn,
+                request,
+                query,
+                verdict,
+            } => {
+                let Some(conn) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                match verdict {
+                    PollVerdict::Status {
+                        state,
+                        latency,
+                        summary,
+                        result,
+                    } => {
+                        if conn.version.unwrap_or(1) >= 2 {
+                            let body = result.filter(|b| !b.is_empty());
+                            let result_total = body.as_ref().map_or(0, |b| b.len() as u64);
+                            conn.respond(
+                                &Frame::QueryStatusV2 {
+                                    request,
+                                    query,
+                                    state,
+                                    latency,
+                                    summary,
+                                    result_total,
+                                },
+                                body.map(|b| (request, b)),
+                                config,
+                            );
+                        } else {
+                            conn.respond(
+                                &Frame::QueryStatus {
+                                    request,
+                                    query,
+                                    state,
+                                    latency,
+                                    summary,
+                                },
+                                None,
+                                config,
+                            );
+                        }
+                    }
+                    PollVerdict::Unknown => {
+                        conn.respond(
+                            &Frame::Error {
+                                code: ErrorCode::UnknownQuery,
+                                request,
+                                message: format!("no query #{query} in this deployment"),
+                            },
+                            None,
+                            config,
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
-fn reject_ungreeted(writer: &mut impl Write, request: u64) -> io::Result<()> {
-    proto::write_frame(
-        writer,
-        &Frame::Error {
-            code: ErrorCode::HandshakeRejected,
-            request,
-            message: "no Hello received on this session yet".into(),
-        },
-    )
+fn drain_wake(mut wake_rx: &TcpStream, scratch: &mut [u8]) {
+    loop {
+        match wake_rx.read(scratch) {
+            Ok(0) => return, // worker gone; replies channel will drain dry
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return, // includes WouldBlock: fully drained
+        }
+    }
 }

@@ -1,27 +1,55 @@
 //! End-to-end wire-protocol tests against a live in-process server:
-//! malformed / oversized / truncated frames, handshake rejection,
-//! admission-control overflow and rate-limit backpressure — each answered
-//! with a *typed* protocol error on a connection that stays open.
+//! malformed / oversized / truncated frames, handshake rejection and
+//! version negotiation, admission-control overflow and rate-limit
+//! backpressure — each answered with a *typed* protocol error on a
+//! connection that stays open — plus the v2 features: chunked result
+//! streaming past [`MAX_FRAME_LEN`], pipelined out-of-order completion,
+//! slow-reader write-queue overflow, and v1-client compatibility.
 
 use exspan_core::{Exspan, ProvenanceMode, Repr, Traversal};
-use exspan_netsim::Topology;
+use exspan_netsim::{LinkClass, LinkProps, Topology};
 use exspan_serve::proto::{
     self, ErrorCode, Frame, FrameRead, QuerySpec, QueryState, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use exspan_serve::{ServeClient, ServeConfig, Server, ServerHandle};
+use exspan_serve::{Response, ServeClient, ServeConfig, Server, ServerHandle};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
-fn boot(config: ServeConfig) -> ServerHandle {
+fn boot_on(topology: Topology, config: ServeConfig) -> ServerHandle {
     let mut deployment = Exspan::builder()
         .program(exspan_ndlog::programs::mincost())
-        .topology(Topology::paper_example())
+        .topology(topology)
         .mode(ProvenanceMode::Reference)
         .build()
         .expect("valid deployment");
     deployment.run_to_fixpoint();
-    Server::start(deployment, config).expect("server boots")
+    Server::bind(deployment, config).expect("server boots")
+}
+
+fn boot(config: ServeConfig) -> ServerHandle {
+    boot_on(Topology::paper_example(), config)
+}
+
+/// A chain of `k` diamonds: spine `0..=k`, each hop doubled through two
+/// midpoints, so the min-cost route `0 → k` has cost `2k` and `2^k`
+/// distinct derivations — its rendered provenance polynomial grows
+/// exponentially in `k`, which is how these tests manufacture results far
+/// bigger than one frame.
+fn diamond_chain(k: usize) -> Topology {
+    let mut topology = Topology::empty(3 * k + 1);
+    let props = || LinkProps::from_class(LinkClass::StubStub);
+    for i in 0..k {
+        let spine = i as u32;
+        let next = (i + 1) as u32;
+        let mid_a = (k + 1 + 2 * i) as u32;
+        let mid_b = (k + 2 + 2 * i) as u32;
+        topology.add_link(spine, mid_a, props());
+        topology.add_link(mid_a, next, props());
+        topology.add_link(spine, mid_b, props());
+        topology.add_link(mid_b, next, props());
+    }
+    topology
 }
 
 fn raw_connect(server: &ServerHandle) -> TcpStream {
@@ -48,8 +76,11 @@ fn hello(stream: &mut TcpStream) {
     )
     .unwrap();
     match read_decoded(stream) {
-        Frame::HelloAck { nodes, .. } => assert_eq!(nodes, 4),
-        other => panic!("expected HelloAck, got {other:?}"),
+        Frame::HelloAckV2 { nodes, version, .. } => {
+            assert_eq!(nodes, 4);
+            assert_eq!(version, PROTOCOL_VERSION);
+        }
+        other => panic!("expected HelloAckV2, got {other:?}"),
     }
 }
 
@@ -69,6 +100,23 @@ fn bestpath_spec() -> QuerySpec {
         relation: "bestPathCost".into(),
         location: 0,
         values: vec![exspan_types::Value::Node(2), exspan_types::Value::Int(5)],
+    }
+}
+
+/// The min-cost route `0 → to` on a [`diamond_chain`] topology, queried
+/// from the spine end.
+fn diamond_spec(to: u32, cost: i64) -> QuerySpec {
+    QuerySpec {
+        issuer: to,
+        repr: Repr::Polynomial,
+        traversal: Traversal::Bfs,
+        cached: false,
+        relation: "bestPathCost".into(),
+        location: 0,
+        values: vec![
+            exspan_types::Value::Node(to),
+            exspan_types::Value::Int(cost),
+        ],
     }
 }
 
@@ -106,7 +154,7 @@ fn malformed_truncated_and_oversized_frames_get_typed_errors() {
 }
 
 #[test]
-fn handshake_rejection_is_typed_and_recoverable() {
+fn handshake_rejection_and_version_negotiation() {
     let server = boot(ServeConfig::default());
     let mut stream = raw_connect(&server);
 
@@ -121,12 +169,17 @@ fn handshake_rejection_is_typed_and_recoverable() {
     .unwrap();
     expect_error(&mut stream, ErrorCode::HandshakeRejected);
 
-    // An unsupported version is rejected...
-    proto::write_frame(&mut stream, &Frame::Hello { version: 999 }).unwrap();
+    // A version below the floor is rejected...
+    proto::write_frame(&mut stream, &Frame::Hello { version: 0 }).unwrap();
     expect_error(&mut stream, ErrorCode::HandshakeRejected);
 
-    // ...and a correct retry succeeds on the same connection.
-    hello(&mut stream);
+    // ...a version from the future negotiates down to what the server
+    // speaks...
+    proto::write_frame(&mut stream, &Frame::Hello { version: 999 }).unwrap();
+    match read_decoded(&mut stream) {
+        Frame::HelloAckV2 { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected negotiated HelloAckV2, got {other:?}"),
+    }
 
     // Server-to-client frames sent by the client are violations, typed too.
     proto::write_frame(
@@ -143,10 +196,7 @@ fn handshake_rejection_is_typed_and_recoverable() {
 
 #[test]
 fn session_admission_overflow_is_refused_with_a_typed_error() {
-    let server = boot(ServeConfig {
-        max_sessions: 2,
-        ..ServeConfig::default()
-    });
+    let server = boot(ServeConfig::default().max_sessions(2));
     let mut a = raw_connect(&server);
     hello(&mut a);
     let mut b = raw_connect(&server);
@@ -162,11 +212,7 @@ fn session_admission_overflow_is_refused_with_a_typed_error() {
 fn query_admission_overflow_is_refused_with_a_typed_error() {
     // clock_rate ≈ 0 freezes simulated time, so submitted queries cannot
     // complete and the in-flight cap is hit deterministically.
-    let server = boot(ServeConfig {
-        max_inflight: 3,
-        clock_rate: 1e-9,
-        ..ServeConfig::default()
-    });
+    let server = boot(ServeConfig::default().max_inflight(3).clock_rate(1e-9));
     let mut client = ServeClient::connect(server.addr()).expect("handshake");
     for _ in 0..3 {
         client.submit(bestpath_spec()).expect("under the cap");
@@ -184,12 +230,11 @@ fn query_admission_overflow_is_refused_with_a_typed_error() {
 
 #[test]
 fn rate_limit_backpressure_is_typed_and_recoverable() {
-    let server = boot(ServeConfig {
-        rate: 0.001, // effectively no refill within the test
-        burst: 2,
-        clock_rate: 1e-9,
-        ..ServeConfig::default()
-    });
+    let server = boot(
+        ServeConfig::default()
+            .rate_limit(0.001, 2) // effectively no refill within the test
+            .clock_rate(1e-9),
+    );
     let mut client = ServeClient::connect(server.addr()).expect("handshake");
     client.submit(bestpath_spec()).expect("token 1");
     client.submit(bestpath_spec()).expect("token 2");
@@ -213,21 +258,158 @@ fn unknown_query_ids_are_typed_errors() {
 
 #[test]
 fn a_query_completes_end_to_end_over_the_wire() {
-    let server = boot(ServeConfig {
-        clock_rate: 1000.0,
-        ..ServeConfig::default()
-    });
+    let server = boot(ServeConfig::default().clock_rate(1000.0));
     let mut client = ServeClient::connect(server.addr()).expect("handshake");
     assert_eq!(client.info().program, "MINCOST");
+    assert_eq!(client.info().version, PROTOCOL_VERSION);
     let query = client.submit(bestpath_spec()).expect("admitted");
     let status = client
-        .wait(query, Duration::from_secs(30), Duration::from_millis(2))
+        .wait_for(query, Duration::from_secs(30))
         .expect("no protocol error")
         .expect("completes within the budget");
     assert_eq!(status.state, QueryState::Complete);
     assert!(status.latency > 0.0, "simulated latency is positive");
     assert_eq!(status.summary, "2 derivations");
+    // v2 sessions stream the rendered polynomial alongside the summary.
+    let result = status.result.expect("v2 polls carry the result body");
+    assert!(!result.is_empty());
     client.bye().expect("clean goodbye");
     let deployment = server.shutdown();
     assert_eq!(deployment.outcomes().len(), 1);
+}
+
+#[test]
+fn large_results_stream_chunked_and_pipelined_polls_complete_out_of_order() {
+    // 2^12 = 4096 derivations render to roughly half a megabyte — far past
+    // MAX_FRAME_LEN, so the body must arrive as a reassembled chunk stream.
+    let k = 12;
+    let server = boot_on(diamond_chain(k), ServeConfig::default().clock_rate(1000.0));
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+
+    let big = client
+        .submit(diamond_spec(k as u32, 2 * k as i64))
+        .expect("admitted");
+    let status = client
+        .wait_for(big, Duration::from_secs(120))
+        .expect("no protocol error")
+        .expect("completes");
+    assert_eq!(status.summary, format!("{} derivations", 1u64 << k));
+    let body = status.result.expect("result body streamed");
+    assert!(
+        body.len() > MAX_FRAME_LEN,
+        "result must exceed one frame to exercise chunking, got {} bytes",
+        body.len()
+    );
+
+    // A one-hop route: small result, instant to render.
+    let small = client
+        .submit(diamond_spec(k as u32 + 1, 1))
+        .expect("admitted");
+    client
+        .wait_for(small, Duration::from_secs(30))
+        .expect("no protocol error")
+        .expect("completes");
+
+    // Pipeline a poll of the big query then a poll of the small one and
+    // hold off reading: the worker commits the small response while the
+    // reactor is still flushing the big stream one quantum per tick, so
+    // the small response overtakes the stream's tail — genuine
+    // out-of-order completion.  Both polls are idempotent reads of cached
+    // results, so on a loaded runner (where the scheduler can let the
+    // reactor drain the whole stream before the worker commits the small
+    // reply) the pair is simply retried; one interleaved attempt proves
+    // the protocol property.
+    let mut interleaved = false;
+    for attempt in 0..5 {
+        let r_big = client.poll_pipelined(big).expect("pipelined");
+        let r_small = client.poll_pipelined(small).expect("pipelined");
+        std::thread::sleep(Duration::from_millis(400));
+
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            match client.recv_response().expect("pipelined response") {
+                Response::Status {
+                    request, status, ..
+                } => responses.push((request, status)),
+                other => panic!("expected a poll status, got {other:?}"),
+            }
+        }
+        // Both responses must arrive intact regardless of order, and the
+        // big one must carry the full reassembled body every time.
+        let big_status = &responses
+            .iter()
+            .find(|(r, _)| *r == r_big)
+            .expect("big poll answered")
+            .1;
+        assert_eq!(big_status.result.as_deref(), Some(body.as_str()));
+        assert!(
+            responses.iter().any(|(r, _)| *r == r_small),
+            "small poll answered"
+        );
+        if responses[0].0 == r_small {
+            interleaved = true;
+            break;
+        }
+        eprintln!("attempt {attempt}: responses arrived in request order; retrying");
+    }
+    assert!(
+        interleaved,
+        "the small poll never completed ahead of the big stream in 5 attempts"
+    );
+
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn slow_reader_write_queue_overflow_is_typed_and_closes() {
+    // 2^8 = 256 derivations render to ~30 KiB — far over this server's
+    // 4 KiB write budget, so committing the result response must trip the
+    // overload path: a typed Overloaded error, then a clean close.
+    let k = 8;
+    let server = boot_on(
+        diamond_chain(k),
+        ServeConfig::default()
+            .clock_rate(1000.0)
+            .write_queue_bytes(4096),
+    );
+    let mut client = ServeClient::connect(server.addr()).expect("handshake");
+    let query = client
+        .submit(diamond_spec(k as u32, 2 * k as i64))
+        .expect("admitted");
+    // Pending polls are small and fit the budget; the completion response
+    // does not, so the wait surfaces the overload error.
+    let err = client
+        .wait_for(query, Duration::from_secs(60))
+        .expect_err("overload instead of a result");
+    assert_eq!(err.code(), Some(ErrorCode::Overloaded));
+    assert!(
+        !err.is_backpressure(),
+        "overload is fatal, not a retry hint"
+    );
+    // The server drained the error frame and closed the connection.
+    let err = client.poll(query).expect_err("connection is gone");
+    assert!(err.code().is_none());
+    server.shutdown();
+}
+
+#[test]
+fn v1_clients_keep_working_against_a_v2_server() {
+    let server = boot(ServeConfig::default().clock_rate(1000.0));
+    let mut client = ServeClient::connect_with_version(server.addr(), 1).expect("v1 handshake");
+    assert_eq!(client.info().version, 1);
+    assert_eq!(client.info().pipeline_depth, 1);
+    assert_eq!(client.info().chunk_bytes, 0);
+
+    let query = client.submit(bestpath_spec()).expect("admitted");
+    let status = client
+        .wait_for(query, Duration::from_secs(30))
+        .expect("no protocol error")
+        .expect("completes");
+    assert_eq!(status.state, QueryState::Complete);
+    assert_eq!(status.summary, "2 derivations");
+    // v1 sessions get the summary only — no streamed body, ever.
+    assert!(status.result.is_none());
+    client.bye().expect("clean goodbye");
+    server.shutdown();
 }

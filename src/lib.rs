@@ -107,6 +107,8 @@ pub use exspan_runtime as runtime;
 pub use exspan_serve as serve;
 pub use exspan_types as types;
 
+pub use exspan_serve::{ServeClient, ServeConfig};
+
 mod error;
 pub use error::Error;
 

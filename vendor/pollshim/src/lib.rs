@@ -1,0 +1,230 @@
+//! # pollshim — minimal readiness polling for the exspan service reactor
+//!
+//! The workspace is tokio-free and its first-party crates forbid `unsafe`,
+//! but a poll-based reactor needs two libc facilities with no `std`
+//! equivalent:
+//!
+//! * [`poll`] — the classic `poll(2)` readiness multiplexer, enough to drive
+//!   tens of thousands of nonblocking sockets from one thread;
+//! * [`raise_nofile_limit`] — `getrlimit`/`setrlimit(RLIMIT_NOFILE)`, so a
+//!   load generator holding 10k+ sessions (two sockets each, client and
+//!   server side, when the server runs in-process) can ask for the file
+//!   descriptors it needs instead of dying on `EMFILE`.
+//!
+//! This is the "tiny vendored poll shim" pattern: all `unsafe` (the two FFI
+//! declarations and their call sites) is confined to this leaf crate, which
+//! exposes a fully safe API.  If the build environment ever gains registry
+//! access this crate can be replaced by `libc`/`polling`; the surface is
+//! deliberately small to make that swap mechanical.
+//!
+//! Only Unix is supported (the workspace targets Linux containers); on other
+//! platforms [`poll`] returns [`std::io::ErrorKind::Unsupported`].
+
+use std::io;
+
+/// `POLLIN`: readable (or a pending accept on a listener).
+pub const POLLIN: i16 = 0x001;
+/// `POLLOUT`: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `POLLERR`: error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// `POLLHUP`: peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// `POLLNVAL`: the fd is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// A poll-set entry watching `fd` for `events` (a bitmask of [`POLLIN`]
+    /// and [`POLLOUT`]).
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched file descriptor.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// The returned readiness events from the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Whether the fd is readable (or errored/hung up — callers should read
+    /// and let the read surface the condition).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the fd is writable (or errored — callers should write and let
+    /// the write surface the condition).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int) -> i32;
+        fn getrlimit(resource: core::ffi::c_int, rlim: *mut Rlimit) -> core::ffi::c_int;
+        fn setrlimit(resource: core::ffi::c_int, rlim: *const Rlimit) -> core::ffi::c_int;
+    }
+
+    /// `RLIMIT_NOFILE` on Linux (x86_64 and aarch64 agree).
+    const RLIMIT_NOFILE: core::ffi::c_int = 7;
+
+    #[repr(C)]
+    struct Rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `PollFd` is `repr(C)` and layout-compatible with
+            // `struct pollfd`; the slice pointer/length pair describes
+            // exactly `fds.len()` initialized entries that live across the
+            // call, and `poll` writes only the `revents` fields.
+            let rc = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as core::ffi::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    pub fn raise_nofile_impl(want: u64) -> io::Result<u64> {
+        let mut lim = Rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `lim` is a valid, writable `rlimit`-layout struct.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        // First try to raise both limits (needs privilege when want exceeds
+        // the hard limit) ...
+        let raised = Rlimit {
+            rlim_cur: want,
+            rlim_max: lim.rlim_max.max(want),
+        };
+        // SAFETY: passing a valid, initialized `rlimit`-layout struct.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(want);
+        }
+        // ... then fall back to raising the soft limit to the hard ceiling.
+        let clamped = Rlimit {
+            rlim_cur: lim.rlim_max,
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: as above.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &clamped) } == 0 {
+            return Ok(lim.rlim_max);
+        }
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Blocks until at least one fd in `fds` is ready, `timeout_ms` elapses
+/// (`-1` = no timeout), or a signal arrives (`EINTR` is retried internally).
+/// Returns the number of entries with nonzero `revents`.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        sys::poll_impl(fds, timeout_ms)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (fds, timeout_ms);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "pollshim supports only Unix targets",
+        ))
+    }
+}
+
+/// Ensures the process may hold at least `want` open file descriptors,
+/// raising `RLIMIT_NOFILE` as far as privileges allow.  Returns the
+/// resulting soft limit (which may still be below `want` when the hard
+/// limit cannot be raised).
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[cfg(unix)]
+    {
+        sys::raise_nofile_impl(want)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = want;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "pollshim supports only Unix targets",
+        ))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_reports_readability_on_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let (mut b, _) = listener.accept().unwrap();
+
+        use std::os::unix::io::AsRawFd;
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero-timeout poll reports no readiness.
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].readable());
+
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN | POLLOUT)];
+        assert!(poll(&mut fds, 1000).unwrap() >= 1);
+        assert!(fds[0].readable());
+        assert!(fds[0].writable(), "an idle socket is writable");
+        let mut byte = [0u8; 1];
+        b.read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        // Asking for 64 fds never lowers the limit and always succeeds.
+        let got = raise_nofile_limit(64).expect("rlimit query works");
+        assert!(got >= 64);
+    }
+}
