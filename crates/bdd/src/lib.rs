@@ -10,11 +10,18 @@
 //! "absorption provenance" of Liu et al. used for derivability tests and
 //! trust decisions.
 //!
-//! The implementation is a classic hash-consed apply-based ROBDD:
+//! The implementation is a classic hash-consed apply-based ROBDD over a
+//! *shared* node store:
 //!
-//! * [`BddManager`] owns the node table, the unique table (hash-consing) and
-//!   the apply cache.
-//! * [`Bdd`] is a lightweight handle (node index) into a manager.
+//! * [`SharedBddStore`] owns the interned node table (hash-consing) and a
+//!   bounded, epoch-cleared apply memo.  One process-global store backs every
+//!   `BddManager::new()`, so structurally identical provenance BDDs built by
+//!   different sessions or policies are stored once and share memo hits.
+//! * [`BddManager`] is a cloneable handle onto a store; use
+//!   [`BddManager::with_store`] with a fresh store for isolation.
+//! * [`Bdd`] is a lightweight handle whose `u64` id is *content-keyed* — a
+//!   Merkle-style hash of `(var, low, high)` — so handle values are
+//!   deterministic regardless of construction order or interleaving.
 //! * Boolean connectives are provided via [`BddManager::and`],
 //!   [`BddManager::or`], [`BddManager::not`] plus variable creation and
 //!   evaluation/restriction helpers.
@@ -22,10 +29,12 @@
 //!   to ship a BDD over the network, which is what the evaluation's
 //!   bandwidth accounting uses for value-based (BDD) provenance and for the
 //!   BDD query representation (Figures 6, 7, 15).
+//!   [`BddManager::compressed_serialized_size`] is the varint-encoded
+//!   counterpart used by the opt-in compressed accounting mode (Figure 18).
 
 mod manager;
 
-pub use manager::{Bdd, BddManager, VarId};
+pub use manager::{Bdd, BddManager, MemoStats, SharedBddStore, VarId, MEMO_CAPACITY};
 
 #[cfg(test)]
 mod tests {

@@ -1,18 +1,58 @@
-//! Hash-consed reduced ordered BDDs.
+//! Hash-consed reduced ordered BDDs over a shared node store.
+//!
+//! Since the provenance-compression PR, nodes no longer live inside each
+//! [`BddManager`]: every manager is a lightweight handle onto a
+//! [`SharedBddStore`] — by default one process-global store — so structurally
+//! identical condition BDDs built by different sessions, policies or nodes
+//! cost a single allocation and share one bounded apply memo.
+//!
+//! # Determinism
+//!
+//! Node identifiers are **content-keyed**: an internal node's id is a 63-bit
+//! Merkle-style hash of `(var, low.id, high.id)` (terminals are fixed at 0
+//! and 1).  A node therefore has the same id no matter which handle interned
+//! it first or how concurrent sessions interleave — handle values, and the
+//! annotation tokens derived from them, are reproducible across runs and
+//! shard counts.  Hash-consing canonicity is preserved: equal handles still
+//! mean semantically equal boolean functions.  An id collision between two
+//! distinct nodes is detected at interning time and panics; over a 63-bit
+//! space this is astronomically unlikely at any workload size this
+//! workspace reaches.
+//!
+//! # Memory
+//!
+//! The store's apply/negation memos are bounded at [`MEMO_CAPACITY`] entries
+//! and epoch-cleared when full (the classic computed-table policy), so a
+//! long-lived deployment no longer grows its memo without bound.  Interned
+//! nodes are permanent — repeating a workload allocates nothing new, which
+//! is what keeps long churn runs at steady-state memory.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Identifier of a boolean variable.  In ExSPAN each variable stands for one
 /// base tuple (or, at node granularity, one node / trust domain).
 pub type VarId = u32;
 
-/// A handle to a BDD node inside a [`BddManager`].
+/// Bound on the shared store's apply + negation memo sizes.  When either
+/// memo reaches this many entries both are cleared and the epoch counter in
+/// [`MemoStats::clears`] increments.
+pub const MEMO_CAPACITY: usize = 1 << 16;
+
+/// High bit tagging internal-node ids, so they never collide with the
+/// terminal ids 0 and 1.
+const NODE_ID_TAG: u64 = 1 << 63;
+
+/// A handle to a BDD node in a [`SharedBddStore`].
 ///
-/// Handles are only meaningful relative to the manager that created them.
-/// Equal handles denote semantically equal boolean functions because the
-/// manager hash-conses nodes (canonicity of ROBDDs).
+/// Handles are meaningful relative to the store that interned them — which
+/// for every manager built with [`BddManager::new`] is the process-global
+/// store, so such handles interchange freely across managers.  Equal handles
+/// denote semantically equal boolean functions (canonicity of ROBDDs), and
+/// because ids are content-keyed the *numeric* handle value is deterministic
+/// too, independent of interleaving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bdd(u32);
+pub struct Bdd(u64);
 
 impl Bdd {
     /// The constant `false` function.
@@ -25,16 +65,15 @@ impl Bdd {
         self.0 <= 1
     }
 
-    /// Raw index, exposed for serialization.
-    pub fn index(self) -> u32 {
+    /// Raw content-keyed id, exposed for serialization and for shipping
+    /// handles as opaque annotation tokens.
+    pub fn index(self) -> u64 {
         self.0
     }
 
-    /// Reconstructs a handle from a raw index previously obtained through
-    /// [`Bdd::index`].  The index must refer to a node of the same manager;
-    /// it is used to ship annotation handles through layers that cannot name
-    /// the `Bdd` type (e.g. the runtime's opaque annotation tokens).
-    pub fn from_raw(index: u32) -> Bdd {
+    /// Reconstructs a handle from a raw id previously obtained through
+    /// [`Bdd::index`].  The id must refer to a node of the same store.
+    pub fn from_raw(index: u64) -> Bdd {
         Bdd(index)
     }
 }
@@ -52,119 +91,108 @@ enum Op {
     Or,
 }
 
-/// Owns BDD nodes and provides boolean operations over them.
-///
-/// ```
-/// use exspan_bdd::BddManager;
-/// let mut m = BddManager::new();
-/// let a = m.var(0);
-/// let b = m.var(1);
-/// let ab = m.and(a, b);
-/// let f = m.or(a, ab);
-/// assert_eq!(f, a); // absorption
-/// assert!(m.implies(f, a));
-/// ```
-#[derive(Debug, Clone)]
-pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
+/// Counters of the shared store's bounded memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Apply/negation results answered from the memo.
+    pub hits: u64,
+    /// Apply/negation recursions that had to compute.
+    pub misses: u64,
+    /// Times the memos were epoch-cleared after reaching [`MEMO_CAPACITY`].
+    pub clears: u64,
+    /// Current apply-memo entries (≤ [`MEMO_CAPACITY`]).
+    pub entries: usize,
 }
 
-impl Default for BddManager {
-    fn default() -> Self {
-        Self::new()
-    }
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
 }
 
-impl BddManager {
-    /// Creates an empty manager containing only the two terminal nodes.
-    pub fn new() -> Self {
-        // Index 0 = FALSE, 1 = TRUE. Terminals get a sentinel variable id.
-        let terminals = vec![
-            Node {
-                var: VarId::MAX,
-                low: Bdd::FALSE,
-                high: Bdd::FALSE,
-            },
-            Node {
-                var: VarId::MAX,
-                low: Bdd::TRUE,
-                high: Bdd::TRUE,
-            },
-        ];
-        BddManager {
-            nodes: terminals,
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-        }
-    }
+/// Content-keyed node id: a Merkle-style hash of the node's shape.  The
+/// chained mixing keeps `(low, high)` asymmetric; the tag bit keeps internal
+/// ids disjoint from the terminals.
+fn node_id(var: VarId, low: u64, high: u64) -> u64 {
+    let mut h = mix(0x9E37_79B9_7F4A_7C15 ^ u64::from(var));
+    h = mix(h ^ low);
+    h = mix(h ^ high);
+    h | NODE_ID_TAG
+}
 
-    /// Number of live (allocated) nodes, including the two terminals.
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
+/// Number of bytes the LEB128 varint encoding of `x` takes.
+fn varint_len(x: u64) -> usize {
+    let mut x = x;
+    let mut n = 1;
+    while x >= 0x80 {
+        x >>= 7;
+        n += 1;
     }
+    n
+}
 
-    /// Returns the BDD for a single positive variable literal.
-    pub fn var(&mut self, v: VarId) -> Bdd {
-        self.mk_node(v, Bdd::FALSE, Bdd::TRUE)
-    }
+#[derive(Debug, Default)]
+struct StoreInner {
+    nodes: HashMap<u64, Node>,
+    apply_memo: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_memo: HashMap<Bdd, Bdd>,
+    hits: u64,
+    misses: u64,
+    clears: u64,
+}
 
-    /// Returns the constant-true BDD.
-    pub fn constant(&self, value: bool) -> Bdd {
-        if value {
-            Bdd::TRUE
-        } else {
-            Bdd::FALSE
-        }
+impl StoreInner {
+    fn node(&self, b: Bdd) -> Node {
+        *self
+            .nodes
+            .get(&b.0)
+            .expect("BDD handle does not belong to this store")
     }
 
     fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
         if low == high {
             return low;
         }
+        let id = node_id(var, low.0, high.0);
         let node = Node { var, low, high };
-        if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+        if let Some(existing) = self.nodes.get(&id) {
+            assert_eq!(*existing, node, "content-keyed BDD node id collision");
+            return Bdd(id);
         }
-        let idx = Bdd(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, idx);
-        idx
+        self.nodes.insert(id, node);
+        Bdd(id)
     }
 
-    fn node(&self, b: Bdd) -> Node {
-        self.nodes[b.0 as usize]
+    fn clear_memos(&mut self) {
+        self.apply_memo.clear();
+        self.not_memo.clear();
+        self.clears += 1;
     }
 
-    /// Conjunction of two BDDs.
-    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        self.apply(Op::And, a, b)
-    }
-
-    /// Disjunction of two BDDs.
-    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
-        self.apply(Op::Or, a, b)
-    }
-
-    /// Negation of a BDD.
-    pub fn not(&mut self, a: Bdd) -> Bdd {
+    fn not(&mut self, a: Bdd) -> Bdd {
         if a == Bdd::TRUE {
             return Bdd::FALSE;
         }
         if a == Bdd::FALSE {
             return Bdd::TRUE;
         }
-        if let Some(&r) = self.not_cache.get(&a) {
+        if let Some(&r) = self.not_memo.get(&a) {
+            self.hits += 1;
             return r;
         }
+        self.misses += 1;
         let n = self.node(a);
         let low = self.not(n.low);
         let high = self.not(n.high);
         let r = self.mk_node(n.var, low, high);
-        self.not_cache.insert(a, r);
+        if self.not_memo.len() >= MEMO_CAPACITY {
+            self.clear_memos();
+        }
+        self.not_memo.insert(a, r);
         r
     }
 
@@ -200,11 +228,14 @@ impl BddManager {
                 }
             }
         }
-        // Normalize operand order for the (commutative) cache.
+        // Normalize operand order for the (commutative) memo.  Ids are
+        // content-keyed, so the normalized key is itself deterministic.
         let key = if a <= b { (op, a, b) } else { (op, b, a) };
-        if let Some(&r) = self.apply_cache.get(&key) {
+        if let Some(&r) = self.apply_memo.get(&key) {
+            self.hits += 1;
             return r;
         }
+        self.misses += 1;
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
@@ -221,36 +252,14 @@ impl BddManager {
         let low = self.apply(op, a_low, b_low);
         let high = self.apply(op, a_high, b_high);
         let r = self.mk_node(var, low, high);
-        self.apply_cache.insert(key, r);
+        if self.apply_memo.len() >= MEMO_CAPACITY {
+            self.clear_memos();
+        }
+        self.apply_memo.insert(key, r);
         r
     }
 
-    /// Conjunction of an iterator of BDDs (`true` for an empty iterator).
-    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
-        let mut acc = Bdd::TRUE;
-        for b in items {
-            acc = self.and(acc, b);
-            if acc == Bdd::FALSE {
-                break;
-            }
-        }
-        acc
-    }
-
-    /// Disjunction of an iterator of BDDs (`false` for an empty iterator).
-    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
-        let mut acc = Bdd::FALSE;
-        for b in items {
-            acc = self.or(acc, b);
-            if acc == Bdd::TRUE {
-                break;
-            }
-        }
-        acc
-    }
-
-    /// Restricts variable `v` to `value` in `b` (Shannon cofactor).
-    pub fn restrict(&mut self, b: Bdd, v: VarId, value: bool) -> Bdd {
+    fn restrict(&mut self, b: Bdd, v: VarId, value: bool) -> Bdd {
         if b.is_terminal() {
             return b;
         }
@@ -267,12 +276,232 @@ impl BddManager {
         self.mk_node(n.var, low, high)
     }
 
+    fn reachable_internal_count(&self, b: Bdd) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut count = 0usize;
+        let mut stack = vec![b];
+        while let Some(cur) = stack.pop() {
+            if cur.is_terminal() || !visited.insert(cur) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(cur);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Varint-serialized size: nodes are numbered 0..n in a deterministic
+    /// structural postorder (low child first), references are varints (0/1
+    /// for terminals, local index + 2 otherwise), each node costs
+    /// `varint(var) + varint(low ref) + varint(high ref)`, and the root
+    /// reference closes the encoding.
+    fn compressed_size_walk(&self, b: Bdd, local: &mut HashMap<u64, u64>, size: &mut usize) {
+        if b.is_terminal() || local.contains_key(&b.0) {
+            return;
+        }
+        let n = self.node(b);
+        self.compressed_size_walk(n.low, local, size);
+        self.compressed_size_walk(n.high, local, size);
+        let child_ref = |x: Bdd, local: &HashMap<u64, u64>| {
+            if x.is_terminal() {
+                x.0
+            } else {
+                local[&x.0] + 2
+            }
+        };
+        *size += varint_len(u64::from(n.var))
+            + varint_len(child_ref(n.low, local))
+            + varint_len(child_ref(n.high, local));
+        local.insert(b.0, local.len() as u64);
+    }
+
+    fn compressed_serialized_size(&self, b: Bdd) -> usize {
+        if b.is_terminal() {
+            return varint_len(b.0);
+        }
+        let mut local = HashMap::new();
+        let mut size = 0usize;
+        self.compressed_size_walk(b, &mut local, &mut size);
+        size + varint_len(local[&b.0] + 2)
+    }
+}
+
+/// One interned node table plus bounded apply memo, shared by any number of
+/// [`BddManager`] handles.  [`SharedBddStore::global`] is the process-wide
+/// instance every `BddManager::new()` attaches to; [`SharedBddStore::new`]
+/// creates an isolated store (tests and benchmarks that measure allocation
+/// behavior want one not shared with concurrently running code).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBddStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl SharedBddStore {
+    /// Creates a fresh, isolated store containing only the two terminals.
+    pub fn new() -> SharedBddStore {
+        SharedBddStore::default()
+    }
+
+    /// The process-global store.
+    pub fn global() -> SharedBddStore {
+        static GLOBAL: OnceLock<SharedBddStore> = OnceLock::new();
+        GLOBAL.get_or_init(SharedBddStore::new).clone()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("shared BDD store poisoned")
+    }
+
+    /// Number of interned nodes, including the two terminals.
+    pub fn node_count(&self) -> usize {
+        self.lock().nodes.len() + 2
+    }
+
+    /// Memo counters (hits, misses, epoch clears, current entries).
+    pub fn memo_stats(&self) -> MemoStats {
+        let inner = self.lock();
+        MemoStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            clears: inner.clears,
+            entries: inner.apply_memo.len(),
+        }
+    }
+}
+
+/// A handle onto a [`SharedBddStore`] providing boolean operations.
+///
+/// ```
+/// use exspan_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let ab = m.and(a, b);
+/// let f = m.or(a, ab);
+/// assert_eq!(f, a); // absorption
+/// assert!(m.implies(f, a));
+/// ```
+///
+/// # Migration from the owning manager
+///
+/// `BddManager` used to own its node table; it is now a handle, and
+/// `BddManager::new()` attaches to the process-global [`SharedBddStore`].
+/// Consequences for callers of the old API:
+///
+/// * [`Bdd::index`] / [`Bdd::from_raw`] are `u64` (content-keyed ids), no
+///   longer `u32` slot indices.
+/// * `Clone` shares the store instead of deep-copying the node table.
+/// * [`BddManager::node_count`] reports the *store's* population.  Code
+///   that asserts allocation behavior should attach to an isolated store
+///   via [`BddManager::with_store`].
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    store: SharedBddStore,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a handle onto the process-global shared store.
+    pub fn new() -> Self {
+        BddManager {
+            store: SharedBddStore::global(),
+        }
+    }
+
+    /// Creates a handle onto a specific (e.g. isolated) store.
+    pub fn with_store(store: SharedBddStore) -> Self {
+        BddManager { store }
+    }
+
+    /// The store this handle operates on.
+    pub fn store(&self) -> &SharedBddStore {
+        &self.store
+    }
+
+    /// Number of nodes in the underlying store, including the two terminals.
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    /// Memo counters of the underlying store.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.store.memo_stats()
+    }
+
+    /// Returns the BDD for a single positive variable literal.
+    pub fn var(&mut self, v: VarId) -> Bdd {
+        self.store.lock().mk_node(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Returns the constant BDD for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Conjunction of two BDDs.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.store.lock().apply(Op::And, a, b)
+    }
+
+    /// Disjunction of two BDDs.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.store.lock().apply(Op::Or, a, b)
+    }
+
+    /// Negation of a BDD.
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        self.store.lock().not(a)
+    }
+
+    /// Conjunction of an iterator of BDDs (`true` for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut inner = self.store.lock();
+        let mut acc = Bdd::TRUE;
+        for b in items {
+            acc = inner.apply(Op::And, acc, b);
+            if acc == Bdd::FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of BDDs (`false` for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut inner = self.store.lock();
+        let mut acc = Bdd::FALSE;
+        for b in items {
+            acc = inner.apply(Op::Or, acc, b);
+            if acc == Bdd::TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restricts variable `v` to `value` in `b` (Shannon cofactor).
+    pub fn restrict(&mut self, b: Bdd, v: VarId, value: bool) -> Bdd {
+        self.store.lock().restrict(b, v, value)
+    }
+
     /// Evaluates the function under a total assignment: `assignment(v)` gives
     /// the truth value of variable `v`.
     pub fn evaluate<F: Fn(VarId) -> bool>(&self, b: Bdd, assignment: F) -> bool {
+        let inner = self.store.lock();
         let mut cur = b;
         while !cur.is_terminal() {
-            let n = self.node(cur);
+            let n = inner.node(cur);
             cur = if assignment(n.var) { n.high } else { n.low };
         }
         cur == Bdd::TRUE
@@ -289,8 +518,9 @@ impl BddManager {
 
     /// Returns `true` iff `a` logically implies `b`.
     pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
-        let nb = self.not(b);
-        self.and(a, nb) == Bdd::FALSE
+        let mut inner = self.store.lock();
+        let nb = inner.not(b);
+        inner.apply(Op::And, a, nb) == Bdd::FALSE
     }
 
     /// The set of variables the function actually depends on.
@@ -298,6 +528,7 @@ impl BddManager {
     /// Absorption can make a function independent of variables that appear in
     /// the original polynomial — e.g. `a + a·b` does not depend on `b`.
     pub fn support(&self, b: Bdd) -> Vec<VarId> {
+        let inner = self.store.lock();
         let mut seen = std::collections::BTreeSet::new();
         let mut visited = std::collections::HashSet::new();
         let mut stack = vec![b];
@@ -305,7 +536,7 @@ impl BddManager {
             if cur.is_terminal() || !visited.insert(cur) {
                 continue;
             }
-            let n = self.node(cur);
+            let n = inner.node(cur);
             seen.insert(n.var);
             stack.push(n.low);
             stack.push(n.high);
@@ -315,6 +546,7 @@ impl BddManager {
 
     /// Number of nodes reachable from `b` (including terminals).
     pub fn reachable_node_count(&self, b: Bdd) -> usize {
+        let inner = self.store.lock();
         let mut visited = std::collections::HashSet::new();
         let mut stack = vec![b];
         while let Some(cur) = stack.pop() {
@@ -324,7 +556,7 @@ impl BddManager {
             if cur.is_terminal() {
                 continue;
             }
-            let n = self.node(cur);
+            let n = inner.node(cur);
             stack.push(n.low);
             stack.push(n.high);
         }
@@ -333,31 +565,36 @@ impl BddManager {
 
     /// Number of non-terminal nodes reachable from `b`.
     pub fn reachable_internal_count(&self, b: Bdd) -> usize {
-        let mut visited = std::collections::HashSet::new();
-        let mut count = 0usize;
-        let mut stack = vec![b];
-        while let Some(cur) = stack.pop() {
-            if cur.is_terminal() || !visited.insert(cur) {
-                continue;
-            }
-            count += 1;
-            let n = self.node(cur);
-            stack.push(n.low);
-            stack.push(n.high);
-        }
-        count
+        self.store.lock().reachable_internal_count(b)
     }
 
     /// Estimated number of bytes needed to ship this BDD over the network:
     /// each non-terminal node serializes its variable id and two child
-    /// references (4 + 4 + 4 bytes), plus a 4-byte root reference.
+    /// references (4 + 4 + 4 bytes), plus a 4-byte root reference.  This is
+    /// the flat model every existing figure is built on; it depends only on
+    /// the reachable structure, never on node ids.
     pub fn serialized_size(&self, b: Bdd) -> usize {
-        4 + self.reachable_internal_count(b) * 12
+        4 + self.store.lock().reachable_internal_count(b) * 12
+    }
+
+    /// Number of bytes this BDD costs under the compressed wire model:
+    /// nodes numbered in deterministic structural postorder, variable ids
+    /// and child references encoded as varints.  Like
+    /// [`BddManager::serialized_size`] it is a pure function of the
+    /// reachable structure, so compressed byte counts are identical at any
+    /// shard count.
+    pub fn compressed_serialized_size(&self, b: Bdd) -> usize {
+        self.store.lock().compressed_serialized_size(b)
     }
 
     /// Counts satisfying assignments over the given number of variables.
     pub fn sat_count(&self, b: Bdd, num_vars: u32) -> u64 {
-        fn go(m: &BddManager, b: Bdd, num_vars: u32, memo: &mut HashMap<Bdd, u64>) -> (u64, u32) {
+        fn go(
+            inner: &StoreInner,
+            b: Bdd,
+            num_vars: u32,
+            memo: &mut HashMap<Bdd, u64>,
+        ) -> (u64, u32) {
             // Returns (count below this node assuming node's var is the next
             // unassigned one, var index of this node or num_vars for terminals).
             if b == Bdd::FALSE {
@@ -366,20 +603,21 @@ impl BddManager {
             if b == Bdd::TRUE {
                 return (1, num_vars);
             }
-            let n = m.node(b);
+            let n = inner.node(b);
             if let Some(&c) = memo.get(&b) {
                 return (c, n.var);
             }
-            let (cl, vl) = go(m, n.low, num_vars, memo);
-            let (ch, vh) = go(m, n.high, num_vars, memo);
+            let (cl, vl) = go(inner, n.low, num_vars, memo);
+            let (ch, vh) = go(inner, n.high, num_vars, memo);
             let low = cl << (vl - n.var - 1);
             let high = ch << (vh - n.var - 1);
             let total = low + high;
             memo.insert(b, total);
             (total, n.var)
         }
+        let inner = self.store.lock();
         let mut memo = HashMap::new();
-        let (c, v) = go(self, b, num_vars, &mut memo);
+        let (c, v) = go(&inner, b, num_vars, &mut memo);
         c << v
     }
 }
@@ -388,9 +626,15 @@ impl BddManager {
 mod tests {
     use super::*;
 
+    /// A manager over an isolated store, for tests that assert allocation
+    /// or memo behavior (the global store is shared with parallel tests).
+    fn isolated() -> BddManager {
+        BddManager::with_store(SharedBddStore::new())
+    }
+
     #[test]
     fn constants_and_terminals() {
-        let m = BddManager::new();
+        let m = isolated();
         assert!(Bdd::TRUE.is_terminal());
         assert!(Bdd::FALSE.is_terminal());
         assert_eq!(m.constant(true), Bdd::TRUE);
@@ -461,6 +705,26 @@ mod tests {
     }
 
     #[test]
+    fn handles_are_deterministic_across_stores_and_build_order() {
+        // Content-keyed ids: the same function gets the same handle no
+        // matter which store builds it or in what operation order.
+        let mut m1 = isolated();
+        let mut m2 = isolated();
+        let f1 = {
+            let a = m1.var(0);
+            let b = m1.var(1);
+            m1.and(a, b)
+        };
+        let f2 = {
+            let b = m2.var(1);
+            let a = m2.var(0);
+            m2.and(b, a)
+        };
+        assert_eq!(f1.index(), f2.index());
+        assert!(!f1.is_terminal());
+    }
+
+    #[test]
     fn restrict_and_evaluate() {
         let mut m = BddManager::new();
         let a = m.var(0);
@@ -517,6 +781,26 @@ mod tests {
     }
 
     #[test]
+    fn compressed_size_beats_flat_size_on_real_structure() {
+        let mut m = BddManager::new();
+        // Terminals: one varint byte vs the flat 4-byte root reference.
+        assert_eq!(m.compressed_serialized_size(Bdd::TRUE), 1);
+        assert_eq!(m.compressed_serialized_size(Bdd::FALSE), 1);
+        // A chain conjunction over small variable ids: ~3 varint bytes per
+        // node against the flat model's 12.
+        let vars: Vec<Bdd> = (0..10).map(|i| m.var(i)).collect();
+        let f = m.and_all(vars.iter().copied());
+        let flat = m.serialized_size(f);
+        let compressed = m.compressed_serialized_size(f);
+        assert!(
+            compressed * 2 < flat,
+            "compressed {compressed} vs flat {flat}"
+        );
+        // Pure function of structure: recomputing gives the same answer.
+        assert_eq!(m.compressed_serialized_size(f), compressed);
+    }
+
+    #[test]
     fn and_or_all_fold() {
         let mut m = BddManager::new();
         let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
@@ -535,5 +819,61 @@ mod tests {
         let m = BddManager::new();
         assert!(m.support(Bdd::TRUE).is_empty());
         assert!(m.support(Bdd::FALSE).is_empty());
+    }
+
+    #[test]
+    fn managers_share_the_store() {
+        let store = SharedBddStore::new();
+        let mut m1 = BddManager::with_store(store.clone());
+        let mut m2 = BddManager::with_store(store.clone());
+        let before = store.node_count();
+        let a1 = m1.var(7);
+        let after_first = store.node_count();
+        let a2 = m2.var(7);
+        // The second manager's identical literal allocates nothing.
+        assert_eq!(a1, a2);
+        assert_eq!(store.node_count(), after_first);
+        assert_eq!(after_first, before + 1);
+        // Handles interchange between managers on the same store.
+        let b = m1.var(8);
+        let ab = m2.and(a1, b);
+        assert!(m1.evaluate(ab, |_| true));
+    }
+
+    #[test]
+    fn apply_memo_is_bounded_and_nodes_reach_steady_state() {
+        let mut m = isolated();
+        // One churn round: tens of thousands of distinct pairwise
+        // conjunctions — far more apply keys than MEMO_CAPACITY.
+        let churn = |m: &mut BddManager| {
+            // Coprime moduli: the pair (i % 509, i % 512) is distinct for
+            // every i below 509·512, giving ~80k distinct apply keys.
+            for i in 0..40_000u32 {
+                let a = m.var(i % 509);
+                let b = m.var(i % 512);
+                let f = m.and(a, b);
+                assert_eq!(m.and(a, b), f); // immediate repeat: memo hit
+                let _ = m.or(a, b);
+            }
+        };
+        churn(&mut m);
+        let after_first = m.node_count();
+        let stats_first = m.memo_stats();
+        assert!(
+            stats_first.entries <= MEMO_CAPACITY,
+            "memo grew past its bound: {}",
+            stats_first.entries
+        );
+        // Long churn: repeat the identical workload.  Interning means no new
+        // nodes; the bounded memo means no unbounded table either — the
+        // regression the old per-manager apply cache had.
+        for _ in 0..3 {
+            churn(&mut m);
+        }
+        let stats = m.memo_stats();
+        assert_eq!(m.node_count(), after_first, "repeat workload allocated");
+        assert!(stats.entries <= MEMO_CAPACITY);
+        assert!(stats.clears >= 1, "expected at least one epoch clear");
+        assert!(stats.hits > 0);
     }
 }

@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the provenance compression layer: the dictionary wire
+//! codec (`exspan_types::compress`) and the shared BDD node store
+//! (`exspan_bdd::SharedBddStore`).
+//!
+//! Two questions these pin down:
+//!
+//! * codec throughput — the compressed accounting runs once per message when
+//!   `track_compressed` is on, and the serve path compresses every rendered
+//!   result chunk, so encode/decode must stay cheap relative to the flat
+//!   wire model;
+//! * what sharing the node store buys — identical provenance built through
+//!   many manager handles should hit the shared apply memo instead of
+//!   re-deriving every node per handle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exspan_bdd::{Bdd, BddManager, SharedBddStore, VarId};
+use exspan_types::compress::{
+    compress_bytes, compressed_message_size, decompress_bytes, encode_message,
+};
+use exspan_types::{Tuple, Value};
+use std::hint::black_box;
+
+/// A PATHVECTOR-style tuple: a best-path announcement carrying a node list
+/// of length `n` — the redundant payload the dictionary codec targets.
+fn path_tuple(n: u32) -> Tuple {
+    Tuple::new(
+        "bestPath",
+        3,
+        vec![
+            Value::Node(9),
+            Value::list((0..n).map(Value::Node).collect()),
+            Value::Int(i64::from(n)),
+        ],
+    )
+}
+
+/// A batch of similar path tuples, as a protocol round delivers them: the
+/// same relation and overlapping path prefixes over and over.
+fn path_batch(count: u32, len: u32) -> Vec<Tuple> {
+    (0..count)
+        .map(|i| {
+            Tuple::new(
+                "bestPath",
+                i % 16,
+                vec![
+                    Value::Node(i % 16),
+                    Value::list((i % 4..i % 4 + len).map(Value::Node).collect()),
+                    Value::Int(i64::from(len)),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_codec_sizes(c: &mut Criterion) {
+    for n in [4u32, 16, 64] {
+        let t = path_tuple(n);
+        c.bench_function(&format!("compressed_wire_size_path{n}"), |b| {
+            b.iter(|| black_box(&t).compressed_wire_size());
+        });
+    }
+    let batch = path_batch(32, 8);
+    c.bench_function("compressed_message_size_batch32", |b| {
+        b.iter(|| compressed_message_size(black_box(&batch), 24));
+    });
+}
+
+fn bench_codec_bytes(c: &mut Criterion) {
+    // The serve path: a rendered result body, dictionary-compressed per
+    // chunk and decompressed by the client.
+    let rendered = encode_message(&path_batch(64, 8));
+    c.bench_function("compress_bytes_result_body", |b| {
+        b.iter(|| compress_bytes(black_box(&rendered)));
+    });
+    let packed = compress_bytes(&rendered);
+    c.bench_function("decompress_bytes_result_body", |b| {
+        b.iter(|| decompress_bytes(black_box(&packed)).expect("round trip"));
+    });
+}
+
+/// Builds a provenance-shaped BDD through `m`: 12 alternative derivations
+/// (disjunction), each a conjunction of 6 link variables drawn from a pool
+/// of 32 — the same structure every manager handle of a deployment builds
+/// for equivalent tuples.
+fn path_provenance(m: &mut BddManager, salt: u64) -> Bdd {
+    let mut alternatives = Vec::new();
+    for d in 0..12u64 {
+        let vars: Vec<Bdd> = (0..6u64)
+            .map(|i| m.var(((salt + d * 3 + i * 7) % 32) as VarId))
+            .collect();
+        alternatives.push(m.and_all(vars));
+    }
+    m.or_all(alternatives)
+}
+
+fn bench_bdd_store(c: &mut Criterion) {
+    // Eight handles over ONE store: after the first handle populates the
+    // apply memo, the remaining seven replay it.
+    c.bench_function("bdd_apply_shared_store_8_handles", |b| {
+        b.iter(|| {
+            let store = SharedBddStore::new();
+            let mut acc = 0u64;
+            for node in 0..8u64 {
+                let mut m = BddManager::with_store(store.clone());
+                acc ^= path_provenance(&mut m, node % 2).index();
+            }
+            acc
+        });
+    });
+    // Eight handles each over their OWN store: every node and memo entry is
+    // re-derived eight times — the pre-shared-store behavior.
+    c.bench_function("bdd_apply_isolated_store_8_handles", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for node in 0..8u64 {
+                let mut m = BddManager::with_store(SharedBddStore::new());
+                acc ^= path_provenance(&mut m, node % 2).index();
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec_sizes,
+    bench_codec_bytes,
+    bench_bdd_store
+);
+criterion_main!(benches);

@@ -17,6 +17,9 @@
 //!   is traffic or latency, so larger = worse), or
 //! * the **value ≥ reference ≥ none provenance-mode ordering of the paper
 //!   inverts** on any bandwidth figure, or
+//! * Figure 18's **dictionary codec stops paying for itself**: the compressed
+//!   mean exceeds the flat mean on any program, or the MINCOST / PATHVECTOR
+//!   savings fall below 25%, or
 //! * a baseline figure is missing from the fresh output, or
 //! * (with `--time-budget <pct>`) the suite's **total wall clock** exceeds the
 //!   baseline total by more than `pct` percent.
@@ -60,6 +63,9 @@ use std::path::Path;
 const MEAN_REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Figures on which the paper's provenance-mode ordering must hold.
+/// Figure 18 deliberately stays out of this list: it charts one provenance
+/// mode under two wire accountings, so the mode-ordering labels don't exist
+/// there — it has its own gate ([`check_compression`]) instead.
 const ORDERED_FIGURES: &[&str] = &["fig6", "fig7", "fig8", "fig9", "fig10", "fig16"];
 const VALUE_LABEL: &str = "Value-based Prov. (BDD)";
 const REF_LABEL: &str = "Ref-based Prov.";
@@ -160,6 +166,69 @@ fn check_ordering(fresh: &BTreeMap<String, BenchReport>) -> Vec<String> {
                 "{figure}: reference-based mean {} fell below no-provenance mean {} — the paper's \
                  ordering inverted",
                 reference.mean, none.mean
+            ));
+        }
+    }
+    failures
+}
+
+/// The figure gated by [`check_compression`] and the per-program floor on
+/// the dictionary codec's savings over the flat wire model.  MINCOST and
+/// PATHVECTOR ship highly redundant provenance polynomials, so the codec
+/// must cut at least a quarter of their bytes; PACKETFORWARD's opaque
+/// payloads only need to never cost *more* than the flat model.
+const COMPRESSION_FIGURE: &str = "fig18";
+const COMPRESSION_FLOORS: &[(&str, f64)] = &[
+    ("MINCOST", 0.25),
+    ("PATHVECTOR", 0.25),
+    ("PACKETFORWARD", 0.0),
+];
+
+/// Gates Figure 18's compressed-vs-flat series: the compressed mean must
+/// never exceed the flat mean, and MINCOST / PATHVECTOR must clear the 25%
+/// savings floor.  Skipped silently when the fresh output has no fig18
+/// record (e.g. a `--only` run of other figures).
+fn check_compression(fresh: &BTreeMap<String, BenchReport>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(report) = fresh.get(COMPRESSION_FIGURE) else {
+        return failures;
+    };
+    for &(program, floor) in COMPRESSION_FLOORS {
+        let flat_label = format!("{program} uncompressed");
+        let packed_label = format!("{program} compressed");
+        let (Some(flat), Some(packed)) = (report.series(&flat_label), report.series(&packed_label))
+        else {
+            failures.push(format!(
+                "{COMPRESSION_FIGURE}: series pair {flat_label:?} / {packed_label:?} is missing"
+            ));
+            continue;
+        };
+        if flat.mean <= 0.0 || flat.mean.is_nan() {
+            failures.push(format!(
+                "{COMPRESSION_FIGURE} [{program}]: flat comm cost is {} MB — nothing was measured",
+                flat.mean
+            ));
+            continue;
+        }
+        let savings = 1.0 - packed.mean / flat.mean;
+        println!(
+            "  fig18: {program} codec saves {:.1}% ({:.4} MB vs {:.4} MB, floor {:.0}%)",
+            savings * 100.0,
+            packed.mean,
+            flat.mean,
+            floor * 100.0
+        );
+        if packed.mean > flat.mean {
+            failures.push(format!(
+                "{COMPRESSION_FIGURE} [{program}]: compressed mean {} exceeds flat mean {} — the \
+                 codec made the wire *bigger*",
+                packed.mean, flat.mean
+            ));
+        } else if savings < floor {
+            failures.push(format!(
+                "{COMPRESSION_FIGURE} [{program}]: codec saves only {:.1}%, below the {:.0}% floor",
+                savings * 100.0,
+                floor * 100.0
             ));
         }
     }
@@ -577,6 +646,7 @@ fn main() {
     } else {
         let mut f = check_regressions(&fresh, &base);
         f.extend(check_ordering(&fresh));
+        f.extend(check_compression(&fresh));
         f.extend(check_time_budget(&fresh, &base, time_budget));
         f
     };

@@ -145,11 +145,34 @@ pub fn run_protocol(
     mode: ProvenanceMode,
     shards: usize,
 ) -> Deployment {
+    run_protocol_with(program, topology, mode, shards, false)
+}
+
+/// [`run_protocol`] with the parallel compressed-wire accounting enabled
+/// (Figure 18).  A separate entry point so every pre-existing figure keeps
+/// running with the accounting off, exactly as before.
+fn run_protocol_compressed(
+    program: &Program,
+    topology: Topology,
+    mode: ProvenanceMode,
+    shards: usize,
+) -> Deployment {
+    run_protocol_with(program, topology, mode, shards, true)
+}
+
+fn run_protocol_with(
+    program: &Program,
+    topology: Topology,
+    mode: ProvenanceMode,
+    shards: usize,
+    track_compressed: bool,
+) -> Deployment {
     let mut builder = Exspan::builder()
         .program(program.clone())
         .topology(topology)
         .mode(mode)
-        .shards(shards);
+        .shards(shards)
+        .track_compressed(track_compressed);
     if let Some(base) = DATA_DIR.lock().unwrap().clone() {
         let run = RUN_COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let dir = base.join(format!("run{run:04}"));
@@ -206,6 +229,36 @@ pub fn figure7(scale: &Scale) -> FigureReport {
     )
 }
 
+/// Schedules the Figure 8 packet workload against a converged system: each
+/// node picks a random peer and sends `packets_per_second` 1024-byte payloads
+/// per second for `packet_duration` seconds.  Returns the simulated time the
+/// workload started at.
+fn drive_packet_workload(system: &mut Deployment, scale: &Scale, nodes: usize) -> f64 {
+    let start = system.now();
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let interval = 1.0 / scale.packets_per_second;
+    for node in 0..nodes as NodeId {
+        let dest = loop {
+            let d = rng.gen_range(0..nodes as NodeId);
+            if d != node {
+                break d;
+            }
+        };
+        let mut t = start + rng.gen_range(0.0..interval);
+        while t < start + scale.packet_duration {
+            let packet = Tuple::new(
+                "ePacket",
+                node,
+                vec![Value::Node(node), Value::Node(dest), Value::Payload(1024)],
+            );
+            system.schedule_delta(t, node, packet, true);
+            t += interval;
+        }
+    }
+    system.run_until(start + scale.packet_duration);
+    start
+}
+
 /// Figure 8: average per-node bandwidth (MBps) over time while forwarding
 /// 1024-byte packets on the data plane.
 pub fn figure8(scale: &Scale) -> FigureReport {
@@ -214,31 +267,7 @@ pub fn figure8(scale: &Scale) -> FigureReport {
         let topology = Topology::transit_stub(scale.traffic_domains, scale.seed);
         let nodes = topology.num_nodes();
         let mut system = run_protocol(&programs::packet_forward(), topology, mode, scale.shards);
-        let start = system.now();
-        let mut rng = SmallRng::seed_from_u64(scale.seed);
-
-        // Each node picks a random peer and sends `packets_per_second`
-        // 1024-byte payloads per second.
-        let interval = 1.0 / scale.packets_per_second;
-        for node in 0..nodes as NodeId {
-            let dest = loop {
-                let d = rng.gen_range(0..nodes as NodeId);
-                if d != node {
-                    break d;
-                }
-            };
-            let mut t = start + rng.gen_range(0.0..interval);
-            while t < start + scale.packet_duration {
-                let packet = Tuple::new(
-                    "ePacket",
-                    node,
-                    vec![Value::Node(node), Value::Node(dest), Value::Payload(1024)],
-                );
-                system.schedule_delta(t, node, packet, true);
-                t += interval;
-            }
-        }
-        system.run_until(start + scale.packet_duration);
+        let start = drive_packet_workload(&mut system, scale, nodes);
 
         let points = rebase_bandwidth(system.avg_bandwidth_mbps(), start, scale.packet_duration);
         series.push(Series::new(system.mode().label(), points));
@@ -589,11 +618,60 @@ pub fn figure17(scale: &Scale) -> FigureReport {
     }
 }
 
+/// Figure 18: compressed vs flat provenance communication cost.
+///
+/// Every other figure charges the flat wire model; this one additionally runs
+/// the dictionary codec's accounting ([`exspan_types::compress`]) over the
+/// *same* value-based provenance runs of MINCOST, PATHVECTOR and
+/// PACKETFORWARD, so each program gets a flat and a compressed curve over
+/// identical message streams.  The codec accounting is a parallel counter —
+/// the messages themselves, and therefore Figures 6–17, are untouched.
+pub fn figure18(scale: &Scale) -> FigureReport {
+    let programs: [(&str, Program); 3] = [
+        ("MINCOST", programs::mincost()),
+        ("PATHVECTOR", programs::path_vector()),
+        ("PACKETFORWARD", programs::packet_forward()),
+    ];
+    let mut series: Vec<Series> = Vec::with_capacity(programs.len() * 2);
+    for (name, _) in &programs {
+        series.push(Series::new(format!("{name} uncompressed"), Vec::new()));
+        series.push(Series::new(format!("{name} compressed"), Vec::new()));
+    }
+    for &domains in &scale.domains {
+        let nodes = domains * 100;
+        for (i, (name, program)) in programs.iter().enumerate() {
+            let topology = Topology::transit_stub(domains, scale.seed);
+            let mut system =
+                run_protocol_compressed(program, topology, ProvenanceMode::ValueBdd, scale.shards);
+            if *name == "PACKETFORWARD" {
+                drive_packet_workload(&mut system, scale, nodes);
+            }
+            series[2 * i]
+                .points
+                .push((nodes as f64, system.avg_comm_mb()));
+            series[2 * i + 1]
+                .points
+                .push((nodes as f64, system.avg_comm_mb_compressed()));
+        }
+    }
+    FigureReport {
+        id: "fig18".into(),
+        title: "Compressed vs flat provenance communication cost".into(),
+        x_label: "Number of Nodes".into(),
+        y_label: "Average Comm. Cost (MB)".into(),
+        series,
+        expected_shape: "the dictionary codec cuts MINCOST and PATHVECTOR communication cost by \
+                         at least a quarter; PACKETFORWARD saves less because the 1024-byte \
+                         payloads are charged as opaque bytes"
+            .into(),
+    }
+}
+
 /// Returns all figure ids in order.
 pub fn all_figure_ids() -> Vec<&'static str> {
     vec![
         "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17",
+        "fig16", "fig17", "fig18",
     ]
 }
 
@@ -612,6 +690,7 @@ pub fn run_figure(id: &str, scale: &Scale) -> Option<FigureReport> {
         "fig15" => figure15(scale),
         "fig16" => figure16(scale),
         "fig17" => figure17(scale),
+        "fig18" => figure18(scale),
         _ => return None,
     })
 }
@@ -671,6 +750,6 @@ mod tests {
     #[test]
     fn run_figure_dispatches_known_ids_only() {
         assert!(run_figure("nope", &Scale::small()).is_none());
-        assert_eq!(all_figure_ids().len(), 12);
+        assert_eq!(all_figure_ids().len(), 13);
     }
 }

@@ -50,7 +50,9 @@
 //! ```
 
 use crate::mode::ProvenanceMode;
-use crate::query::{Ctx, QueryError, QueryOutcome, QueryTrafficStats, SessionCore, TraversalOrder};
+use crate::query::{
+    CacheMaintenance, Ctx, QueryError, QueryOutcome, QueryTrafficStats, SessionCore, TraversalOrder,
+};
 use crate::repr::{Annotation, Repr};
 use crate::rewrite::{provenance_rewrite, RewriteOptions};
 use crate::value_policy::ValueBddPolicy;
@@ -187,6 +189,7 @@ pub struct DeploymentBuilder {
     durability: Durability,
     snapshot_every_bytes: u64,
     memory_budget_rows: Option<usize>,
+    track_compressed: bool,
 }
 
 impl Default for DeploymentBuilder {
@@ -203,6 +206,7 @@ impl Default for DeploymentBuilder {
             durability: store_defaults.durability,
             snapshot_every_bytes: store_defaults.snapshot_wal_bytes,
             memory_budget_rows: None,
+            track_compressed: false,
         }
     }
 }
@@ -272,6 +276,15 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Additionally account every transmitted message under the dictionary
+    /// wire codec (default `false`).  The flat byte model behind the
+    /// existing figures is untouched; compressed totals surface through
+    /// [`Deployment::avg_comm_mb_compressed`].
+    pub fn track_compressed(mut self, on: bool) -> Self {
+        self.track_compressed = on;
+        self
+    }
+
     /// In-memory row budget: when the stored rows exceed it at a barrier
     /// boundary, the largest tables are spilled to disk in snapshot form
     /// and transparently faulted back on access (requires
@@ -332,6 +345,7 @@ impl DeploymentBuilder {
             aggregate_provenance: false,
             max_steps: self.max_steps,
             shards: ShardConfig::with_shards(self.shards),
+            track_compressed: self.track_compressed,
             ..EngineConfig::default()
         };
         let executed = match self.mode {
@@ -450,7 +464,7 @@ impl DeploymentBuilder {
 /// keeps message ids unique across concurrent sessions.
 struct QueryFabric {
     sessions: Vec<SessionCore>,
-    specs: Vec<(Repr, TraversalOrder, bool)>,
+    specs: Vec<(Repr, TraversalOrder, bool, CacheMaintenance)>,
     outcomes: Vec<QueryOutcome>,
     /// `session_of[outcome index]` = owning session.
     session_of: Vec<usize>,
@@ -475,18 +489,28 @@ impl QueryFabric {
     }
 
     /// Finds the session matching the configuration, creating it on demand.
-    fn session_for(&mut self, repr: &Repr, traversal: TraversalOrder, cached: bool) -> usize {
-        if let Some(i) = self
-            .specs
-            .iter()
-            .position(|(r, t, c)| r == repr && *t == traversal && *c == cached)
-        {
+    fn session_for(
+        &mut self,
+        repr: &Repr,
+        traversal: TraversalOrder,
+        cached: bool,
+        maintenance: CacheMaintenance,
+    ) -> usize {
+        if let Some(i) = self.specs.iter().position(|(r, t, c, m)| {
+            r == repr && *t == traversal && *c == cached && *m == maintenance
+        }) {
             return i;
         }
         let id = self.sessions.len();
-        self.sessions
-            .push(SessionCore::new(id, repr.instantiate(), traversal, cached));
-        self.specs.push((repr.clone(), traversal, cached));
+        self.sessions.push(SessionCore::new(
+            id,
+            repr.instantiate(),
+            traversal,
+            cached,
+            maintenance,
+        ));
+        self.specs
+            .push((repr.clone(), traversal, cached, maintenance));
         id
     }
 
@@ -563,6 +587,16 @@ impl QueryFabric {
             }
         }
     }
+
+    /// Routes a base-tuple delta to every caching session, which reacts per
+    /// its [`CacheMaintenance`] policy (invalidate, or maintain in place).
+    fn on_base_delta(&mut self, vid: Vid, insert: bool) {
+        for session in &mut self.sessions {
+            if session.caching() {
+                session.on_base_delta(vid, insert);
+            }
+        }
+    }
 }
 
 /// Adapter handing the engine's surfaced externals to the query fabric.
@@ -599,7 +633,7 @@ pub struct Deployment {
     /// when the clock passes its time — invalidating at *scheduling* time
     /// would let queries completing before the delta cache results that then
     /// silently go stale.
-    pending_invalidations: BTreeMap<u64, Vec<Vid>>,
+    pending_invalidations: BTreeMap<u64, Vec<(Vid, bool)>>,
     /// True when [`DeploymentBuilder::data_dir`] pointed at an existing store
     /// and the deployment booted from its recovered state instead of seeding.
     recovered: bool,
@@ -625,7 +659,7 @@ impl QueryHandle {
 /// caching configuration and its shared result cache).
 pub struct QuerySession<'a> {
     core: &'a SessionCore,
-    spec: &'a (Repr, TraversalOrder, bool),
+    spec: &'a (Repr, TraversalOrder, bool, CacheMaintenance),
 }
 
 impl QuerySession<'_> {
@@ -642,6 +676,11 @@ impl QuerySession<'_> {
     /// Whether result caching (§6.1) is enabled.
     pub fn cached(&self) -> bool {
         self.spec.2
+    }
+
+    /// How the session's cache reacts to base-tuple deltas.
+    pub fn maintenance(&self) -> CacheMaintenance {
+        self.spec.3
     }
 
     /// Traffic statistics of this session's query protocol messages.
@@ -669,6 +708,7 @@ pub struct QueryBuilder<'a> {
     repr: Repr,
     traversal: TraversalOrder,
     cached: bool,
+    maintenance: CacheMaintenance,
     at: Option<f64>,
 }
 
@@ -697,6 +737,15 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// How the session's cache reacts to base-tuple deltas (default
+    /// [`CacheMaintenance::Invalidate`]).  Only meaningful with
+    /// [`QueryBuilder::cached`]; sessions with different maintenance
+    /// policies are distinct.
+    pub fn maintenance(mut self, maintenance: CacheMaintenance) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
     /// Schedules issuance at an absolute simulated time instead of now.
     pub fn at(mut self, time: f64) -> Self {
         self.at = Some(time);
@@ -715,9 +764,10 @@ impl<'a> QueryBuilder<'a> {
             repr,
             traversal,
             cached,
+            maintenance,
             at,
         } = self;
-        deployment.submit_query(target, issuer, repr, traversal, cached, at)
+        deployment.submit_query(target, issuer, repr, traversal, cached, maintenance, at)
     }
 
     /// Convenience: submits the query, runs the deployment to fixpoint, and
@@ -730,9 +780,11 @@ impl<'a> QueryBuilder<'a> {
             repr,
             traversal,
             cached,
+            maintenance,
             at,
         } = self;
-        let handle = deployment.submit_query(target, issuer, repr, traversal, cached, at);
+        let handle =
+            deployment.submit_query(target, issuer, repr, traversal, cached, maintenance, at);
         deployment.run_to_fixpoint();
         deployment
             .outcome(handle)
@@ -869,17 +921,19 @@ impl Deployment {
         }
     }
 
-    /// Inserts a base tuple at `node` now.  Cached query results depending on
-    /// it are invalidated.
+    /// Inserts a base tuple at `node` now.  Cached query results depending
+    /// on it are invalidated (or incrementally maintained, per the owning
+    /// session's [`CacheMaintenance`] policy).
     pub fn insert_base(&mut self, node: NodeId, tuple: Tuple) {
-        self.fabric.invalidate(tuple.vid());
+        self.fabric.on_base_delta(tuple.vid(), true);
         self.engine.insert_base(node, tuple);
     }
 
-    /// Deletes a base tuple at `node` now.  Cached query results depending on
-    /// it are invalidated.
+    /// Deletes a base tuple at `node` now.  Cached query results depending
+    /// on it are invalidated (or incrementally maintained, per the owning
+    /// session's [`CacheMaintenance`] policy).
     pub fn delete_base(&mut self, node: NodeId, tuple: Tuple) {
-        self.fabric.invalidate(tuple.vid());
+        self.fabric.on_base_delta(tuple.vid(), false);
         self.engine.delete_base(node, tuple);
     }
 
@@ -890,12 +944,12 @@ impl Deployment {
     /// completing before the delta does not leave a stale cache entry behind.
     pub fn schedule_delta(&mut self, time: f64, node: NodeId, tuple: Tuple, insert: bool) {
         if time <= self.engine.now() {
-            self.fabric.invalidate(tuple.vid());
+            self.fabric.on_base_delta(tuple.vid(), insert);
         } else {
             self.pending_invalidations
                 .entry(time.to_bits())
                 .or_default()
-                .push(tuple.vid());
+                .push((tuple.vid(), insert));
         }
         self.engine.schedule_delta(time, node, tuple, insert);
     }
@@ -1057,8 +1111,8 @@ impl Deployment {
                 .pending_invalidations
                 .remove(&bits)
                 .expect("key observed above");
-            for vid in vids {
-                self.fabric.invalidate(vid);
+            for (vid, insert) in vids {
+                self.fabric.on_base_delta(vid, insert);
             }
         }
         // A fully drained event queue means any still-unresolved query state
@@ -1099,6 +1153,22 @@ impl Deployment {
         self.engine.stats().avg_bytes_per_node() / 1e6
     }
 
+    /// Total bytes the transmitted messages would have cost under the
+    /// dictionary wire codec.  Zero unless the deployment was built with
+    /// [`DeploymentBuilder::track_compressed`].
+    pub fn compressed_bytes(&self) -> u64 {
+        self.engine.compressed_bytes()
+    }
+
+    /// Average *compressed* bytes transmitted per node, in megabytes — the
+    /// compressed counterpart of [`Deployment::avg_comm_mb`] charted by
+    /// Figure 18.  Zero unless built with
+    /// [`DeploymentBuilder::track_compressed`].
+    pub fn avg_comm_mb_compressed(&self) -> f64 {
+        let nodes = self.engine.topology().num_nodes().max(1) as f64;
+        self.engine.compressed_bytes() as f64 / nodes / 1e6
+    }
+
     /// Per-node average bandwidth samples in megabytes per second (the metric
     /// of Figures 8–10 and 16).
     pub fn avg_bandwidth_mbps(&self) -> Vec<(f64, f64)> {
@@ -1124,10 +1194,12 @@ impl Deployment {
             repr: Repr::Polynomial,
             traversal: TraversalOrder::Bfs,
             cached: false,
+            maintenance: CacheMaintenance::default(),
             at: None,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_query(
         &mut self,
         target: Tuple,
@@ -1135,9 +1207,12 @@ impl Deployment {
         repr: Repr,
         traversal: TraversalOrder,
         cached: bool,
+        maintenance: CacheMaintenance,
         at: Option<f64>,
     ) -> QueryHandle {
-        let sid = self.fabric.session_for(&repr, traversal, cached);
+        let sid = self
+            .fabric
+            .session_for(&repr, traversal, cached, maintenance);
         let QueryFabric {
             sessions,
             outcomes,

@@ -45,7 +45,10 @@ pub use deployment::{
     BuildError, Deployment, DeploymentBuilder, Exspan, QueryBuilder, QueryHandle, QuerySession,
 };
 pub use mode::ProvenanceMode;
-pub use query::{QueryError, QueryOutcome, QueryTrafficStats, Traversal, TraversalOrder};
+pub use query::{
+    CacheMaintenance, QueryError, QueryOutcome, QueryTrafficStats, SessionStats, Traversal,
+    TraversalOrder,
+};
 pub use repr::{
     Annotation, BddRepr, DerivabilityRepr, DerivationCountRepr, NodeSetRepr, PolynomialRepr,
     ProvExpr, ProvenanceRepr, Repr, TrustDomainRepr,

@@ -138,7 +138,7 @@ impl AnnotationPolicy for ValueBddPolicy {
             };
             conj = self.manager.and(conj, b);
         }
-        Some(conj.index() as AnnotationToken)
+        Some(conj.index())
     }
 
     fn annotation_bytes(
@@ -148,9 +148,25 @@ impl AnnotationPolicy for ValueBddPolicy {
         _tuple: &Tuple,
         token: Option<AnnotationToken>,
     ) -> usize {
-        let bytes = token.map_or(0, |t| self.manager.serialized_size(Bdd::from_raw(t as u32)));
+        let bytes = token.map_or(0, |t| self.manager.serialized_size(Bdd::from_raw(t)));
         self.annotation_bytes_total += bytes as u64;
         bytes
+    }
+
+    fn annotation_bytes_compressed(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _tuple: &Tuple,
+        token: Option<AnnotationToken>,
+        _uncompressed: usize,
+    ) -> usize {
+        // Varint node encoding of the shipped BDD.  Deliberately does NOT
+        // touch `annotation_bytes_total`: the flat accounting behind the
+        // existing figures already charged this delta.
+        token.map_or(0, |t| {
+            self.manager.compressed_serialized_size(Bdd::from_raw(t))
+        })
     }
 
     fn on_arrival(
@@ -166,7 +182,7 @@ impl AnnotationPolicy for ValueBddPolicy {
             // OR the shipped derivation history into the annotation stored
             // for this tuple at this node (alternative derivations).
             if let Some(t) = token {
-                let shipped = Bdd::from_raw(t as u32);
+                let shipped = Bdd::from_raw(t);
                 let combined = match self.annotations.get(&(node, vid)) {
                     Some(existing) => self.manager.or(*existing, shipped),
                     None => shipped,

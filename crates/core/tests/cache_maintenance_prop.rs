@@ -1,0 +1,127 @@
+//! Randomized differential test for incremental cache maintenance: over
+//! random testbed topologies and random link deletions, a session that
+//! maintains its cached annotations in place must answer every re-query
+//! exactly like the invalidate-and-recompute oracle.
+//!
+//! Complements `cache_maintenance.rs` (which pins one scenario at 1 and 4
+//! shards, plus BDD answers and insertion fallback) with topology and
+//! deletion diversity at a case count small enough for CI — each case runs
+//! two full converge/warm/delete/re-query rounds.
+
+use exspan_core::{CacheMaintenance, Deployment, Exspan, ProvExpr, ProvenanceMode, Repr};
+use exspan_ndlog::programs;
+use exspan_netsim::Topology;
+use exspan_types::{Tuple, Vid};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn deploy(nodes: usize, seed: u64) -> Deployment {
+    Exspan::builder()
+        .program(programs::mincost())
+        .topology(Topology::testbed_ring(nodes, seed))
+        .mode(ProvenanceMode::Reference)
+        .shards(1)
+        .build()
+        .expect("valid deployment")
+}
+
+fn targets(deployment: &Deployment) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = deployment
+        .tuples_everywhere_shared("bestPathCost")
+        .iter()
+        .filter(|t| t.location < 6)
+        .map(|t| (**t).clone())
+        .collect();
+    out.sort();
+    out
+}
+
+fn monomials(e: &ProvExpr) -> BTreeSet<Vec<Vid>> {
+    match e {
+        ProvExpr::Base(v) => BTreeSet::from([vec![*v]]),
+        ProvExpr::Sum { terms, .. } => terms.iter().flat_map(monomials).collect(),
+        ProvExpr::Product { factors, .. } => {
+            let mut acc: BTreeSet<Vec<Vid>> = BTreeSet::from([Vec::new()]);
+            for f in factors {
+                let fm = monomials(f);
+                acc = acc
+                    .iter()
+                    .flat_map(|m| {
+                        fm.iter().map(move |fm1| {
+                            let mut combined = m.clone();
+                            combined.extend(fm1.iter().copied());
+                            combined.sort();
+                            combined
+                        })
+                    })
+                    .collect();
+            }
+            acc
+        }
+    }
+}
+
+/// Converge, warm the cache, delete the ring link `(a, a+1)`, re-converge,
+/// re-query.  Returns the canonical monomial sets of the second round.
+fn round(
+    nodes: usize,
+    seed: u64,
+    deleted: (u32, u32),
+    maintenance: CacheMaintenance,
+) -> Vec<Option<BTreeSet<Vec<Vid>>>> {
+    let mut d = deploy(nodes, seed);
+    d.run_to_fixpoint();
+    let targets = targets(&d);
+    assert!(!targets.is_empty(), "protocol produced no bestPathCost");
+    for t in &targets {
+        let _ = d
+            .query(t)
+            .repr(Repr::Polynomial)
+            .cached(true)
+            .maintenance(maintenance)
+            .submit();
+    }
+    d.run_to_fixpoint();
+    d.remove_link(deleted.0, deleted.1);
+    d.run_to_fixpoint();
+    let mut handles = Vec::new();
+    for t in &targets {
+        handles.push(
+            d.query(t)
+                .repr(Repr::Polynomial)
+                .cached(true)
+                .maintenance(maintenance)
+                .submit(),
+        );
+    }
+    d.run_to_fixpoint();
+    handles
+        .iter()
+        .map(|h| {
+            d.outcome(*h)
+                .and_then(|o| o.annotation.as_ref())
+                .and_then(|a| a.as_expr())
+                .map(monomials)
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case is two full protocol runs; eight cases keep the test under
+    // the tier-1 budget while still varying topology, seed and deletion.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn maintained_answers_match_oracle_on_random_scenarios(
+        nodes in 8usize..16,
+        seed in 0u64..1024,
+        edge in 0u32..16,
+    ) {
+        // Delete one ring edge (always present by construction).
+        let a = edge % nodes as u32;
+        let b = (a + 1) % nodes as u32;
+        let oracle = round(nodes, seed, (a, b), CacheMaintenance::Invalidate);
+        let maintained = round(nodes, seed, (a, b), CacheMaintenance::Incremental);
+        prop_assert_eq!(oracle, maintained);
+    }
+}

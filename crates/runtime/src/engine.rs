@@ -127,6 +127,15 @@ pub struct EngineConfig {
     /// historical nested-loop path, kept as the oracle for the differential
     /// tests.  Both modes are bit-identical by construction.
     pub join_planning: bool,
+    /// When `true`, the engine additionally accounts every transmitted
+    /// message under the dictionary wire codec ([`exspan_types::compress`]):
+    /// tuple contents dictionary-encoded, annotations charged at the size
+    /// the policy reports through
+    /// [`crate::AnnotationPolicy::annotation_bytes_compressed`].  Off by
+    /// default — the flat model behind every existing figure is untouched;
+    /// the compressed totals surface through [`Engine::compressed_bytes`]
+    /// and never feed back into [`Engine::stats`].
+    pub track_compressed: bool,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +145,7 @@ impl Default for EngineConfig {
             max_steps: 200_000_000,
             shards: ShardConfig::sequential(),
             join_planning: true,
+            track_compressed: false,
         }
     }
 }
@@ -327,6 +337,15 @@ impl Engine {
         merged
     }
 
+    /// Total bytes every transmitted message would have cost under the
+    /// dictionary wire codec, summed across shards.  Only accumulates when
+    /// [`EngineConfig::track_compressed`] is set; the merge is a sum of
+    /// integral per-shard counters, so — like [`Engine::stats`] — the result
+    /// is identical at any shard count.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.compressed_bytes).sum()
+    }
+
     /// Total count (across shards) of evaluation errors that the static
     /// analyzer guarantees cannot happen for accepted programs (unbound
     /// variables, unknown functions).  Always 0 for programs that pass
@@ -461,6 +480,14 @@ impl Engine {
         self.sync_topology();
         let bytes = wire::message_size(std::slice::from_ref(&tuple), extra_bytes);
         let owner = self.owner(from);
+        if self.data.config.track_compressed {
+            // Query-layer annotations are opaque to the codec: the tuple
+            // contents compress, the annotation is charged as-is.
+            self.shards[owner].compressed_bytes += exspan_types::compress::compressed_message_size(
+                std::slice::from_ref(&tuple),
+                extra_bytes,
+            ) as u64;
+        }
         self.shards[owner].sim.send(
             from,
             to,

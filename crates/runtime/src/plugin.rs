@@ -98,6 +98,27 @@ pub trait AnnotationPolicy: Send {
         0
     }
 
+    /// Returns the annotation bytes for the same transmission under the
+    /// *compressed* accounting model ([`exspan_types::compress`]).  Only
+    /// consulted when the engine runs with
+    /// [`crate::engine::EngineConfig::track_compressed`] enabled, and always
+    /// *after* [`AnnotationPolicy::annotation_bytes`] for the same delta —
+    /// `uncompressed` hands the already-charged flat size over so neither
+    /// method is invoked twice.  The default charges the uncompressed size:
+    /// a policy without a compressed encoding reports zero savings rather
+    /// than wrong bytes.
+    fn annotation_bytes_compressed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tuple: &Tuple,
+        token: Option<AnnotationToken>,
+        uncompressed: usize,
+    ) -> usize {
+        let _ = (from, to, tuple, token);
+        uncompressed
+    }
+
     /// Called when a delta for `tuple` is applied at `node`.  For insertions
     /// `token` is the annotation shipped with the delta (if any).  For
     /// deletions `removed` reports whether the tuple actually left the

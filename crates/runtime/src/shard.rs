@@ -112,6 +112,11 @@ pub(crate) struct Shard {
     /// here and debug-asserted, so the differential tests can assert the
     /// analyzer's acceptance actually implies error-free evaluation.
     pub(crate) eval_errors: std::cell::Cell<u64>,
+    /// Bytes this shard's transmitted messages would cost under the
+    /// dictionary wire codec.  Only accumulated when
+    /// `EngineConfig::track_compressed` is on; never feeds the flat
+    /// `TrafficStats` the figures are built on.
+    pub(crate) compressed_bytes: u64,
 }
 
 impl Shard {
@@ -131,6 +136,7 @@ impl Shard {
             externals_seen: 0,
             processed: 0,
             eval_errors: std::cell::Cell::new(0),
+            compressed_bytes: 0,
         }
     }
 
@@ -629,6 +635,19 @@ impl Shard {
                 None => 0,
             };
             let bytes = wire::message_size(std::slice::from_ref(&*head), annotation_bytes);
+            if self.data.config.track_compressed {
+                let compressed_annotation = match self.policy.clone() {
+                    Some(policy) => policy
+                        .lock()
+                        .expect("annotation policy poisoned")
+                        .annotation_bytes_compressed(node, dest, &head, token, annotation_bytes),
+                    None => 0,
+                };
+                self.compressed_bytes += exspan_types::compress::compressed_message_size(
+                    std::slice::from_ref(&*head),
+                    compressed_annotation,
+                ) as u64;
+            }
             self.sim.send(
                 node,
                 dest,

@@ -47,6 +47,9 @@ pub struct SessionInfo {
     pub pipeline_depth: u32,
     /// Data bytes per result chunk the server streams (0 on v1 sessions).
     pub chunk_bytes: u32,
+    /// Whether result bodies travel dictionary-compressed — the client
+    /// offered the codec and the server accepted (v2 sessions only).
+    pub codec: bool,
 }
 
 /// Result of polling a query.
@@ -58,9 +61,16 @@ pub struct PollStatus {
     pub latency: f64,
     /// Result summary (empty while pending).
     pub summary: String,
-    /// The full rendered result, reassembled from the v2 chunk stream.
-    /// `None` while pending and on v1 sessions (which never stream bodies).
+    /// The full rendered result, reassembled from the v2 chunk stream (and
+    /// decompressed, on codec sessions).  `None` while pending and on v1
+    /// sessions (which never stream bodies).
     pub result: Option<String>,
+    /// Cache entries the query's session maintained in place (0 from
+    /// pre-codec servers).
+    pub cache_maintained: u64,
+    /// Bytes the dictionary codec saved on the session's query traffic
+    /// (0 from pre-codec servers).
+    pub compressed_bytes_saved: u64,
 }
 
 /// One logical server response, matched to its request id.
@@ -99,6 +109,8 @@ struct PendingStream {
     state: QueryState,
     latency: f64,
     summary: String,
+    cache_maintained: u64,
+    compressed_bytes_saved: u64,
     assembler: ResultAssembler,
 }
 
@@ -113,22 +125,39 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects and performs the handshake at the newest protocol version.
+    /// Connects and performs the handshake at the newest protocol version,
+    /// offering the dictionary result codec.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
-        Self::connect_with_version(addr, PROTOCOL_VERSION)
+        Self::connect_with(addr, PROTOCOL_VERSION, true)
     }
 
-    /// Connects announcing `version` in the `Hello` — useful to act as an
-    /// old (v1) client against a newer server.
+    /// Connects announcing `version` in the `Hello` (codec not offered) —
+    /// useful to act as an old client against a newer server.
     pub fn connect_with_version(
         addr: impl ToSocketAddrs,
         version: u16,
+    ) -> Result<ServeClient, ServeError> {
+        Self::connect_with(addr, version, false)
+    }
+
+    /// Connects announcing `version` and optionally offering the dictionary
+    /// result codec of [`exspan_types::compress`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        version: u16,
+        offer_codec: bool,
     ) -> Result<ServeClient, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
-        proto::write_frame(&mut writer, &Frame::Hello { version })?;
+        proto::write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version,
+                codec: offer_codec,
+            },
+        )?;
         let info = match read_one(&mut reader)? {
             Frame::HelloAck {
                 session,
@@ -147,6 +176,7 @@ impl ServeClient {
                 version: 1,
                 pipeline_depth: 1,
                 chunk_bytes: 0,
+                codec: false,
             },
             Frame::HelloAckV2 {
                 session,
@@ -158,6 +188,7 @@ impl ServeClient {
                 version,
                 pipeline_depth,
                 chunk_bytes,
+                codec,
             } => SessionInfo {
                 session,
                 program,
@@ -168,6 +199,7 @@ impl ServeClient {
                 version,
                 pipeline_depth,
                 chunk_bytes,
+                codec,
             },
             Frame::Error {
                 code,
@@ -247,6 +279,8 @@ impl ServeClient {
                             latency,
                             summary,
                             result: None,
+                            cache_maintained: 0,
+                            compressed_bytes_saved: 0,
                         },
                     })
                 }
@@ -257,6 +291,8 @@ impl ServeClient {
                     latency,
                     summary,
                     result_total,
+                    cache_maintained,
+                    compressed_bytes_saved,
                 } => {
                     if result_total == 0 {
                         let result = (state == QueryState::Complete).then(String::new);
@@ -268,6 +304,8 @@ impl ServeClient {
                                 latency,
                                 summary,
                                 result,
+                                cache_maintained,
+                                compressed_bytes_saved,
                             },
                         });
                     }
@@ -279,6 +317,8 @@ impl ServeClient {
                             state,
                             latency,
                             summary,
+                            cache_maintained,
+                            compressed_bytes_saved,
                             assembler: ResultAssembler::new(result_total),
                         },
                     );
@@ -300,6 +340,17 @@ impl ServeClient {
                             .streams
                             .remove(&request)
                             .expect("stream entry just borrowed");
+                        // On codec sessions the body travels compressed.
+                        let body = if self.info.codec {
+                            exspan_types::compress::decompress_bytes(&body).map_err(|e| {
+                                ServeError::UnexpectedFrame {
+                                    got: "an undecodable compressed result body",
+                                    expected: e.reason,
+                                }
+                            })?
+                        } else {
+                            body
+                        };
                         return Ok(Response::Status {
                             request,
                             query: stream.query,
@@ -308,6 +359,8 @@ impl ServeClient {
                                 latency: stream.latency,
                                 summary: stream.summary,
                                 result: Some(String::from_utf8_lossy(&body).into_owned()),
+                                cache_maintained: stream.cache_maintained,
+                                compressed_bytes_saved: stream.compressed_bytes_saved,
                             },
                         });
                     }

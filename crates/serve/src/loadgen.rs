@@ -152,6 +152,12 @@ pub struct LoadgenSummary {
     pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
+    /// Cache entries the server maintained in place (highest value any
+    /// `QueryStatusV2` reported; 0 against pre-codec servers).
+    pub cache_maintained: u64,
+    /// Bytes the dictionary codec saved on the server's query traffic
+    /// (highest value any `QueryStatusV2` reported).
+    pub compressed_bytes_saved: u64,
     /// One entry per sweep phase, in offered-load order.
     pub phases: Vec<PhaseStats>,
 }
@@ -214,6 +220,10 @@ struct Session {
     timed_out: usize,
     protocol_errors: usize,
     backpressure_events: usize,
+    /// Latest session counters echoed in `QueryStatusV2` (cumulative on the
+    /// server side, so the latest observation is also the largest).
+    cache_maintained: u64,
+    compressed_bytes_saved: u64,
 }
 
 impl Session {
@@ -318,15 +328,7 @@ impl Session {
                 self.protocol_errors += 1;
                 self.abandon_query();
             }
-            (
-                SessState::PollPending,
-                Frame::QueryStatus { state, .. }
-                | Frame::QueryStatusV2 {
-                    state,
-                    result_total: 0,
-                    ..
-                },
-            ) => {
+            (SessState::PollPending, Frame::QueryStatus { state, .. }) => {
                 if state == QueryState::Complete {
                     self.finish_query(now, latencies, true);
                 } else if now >= self.deadline {
@@ -336,9 +338,32 @@ impl Session {
                     self.state = SessState::WaitResult;
                 }
             }
-            (SessState::PollPending, Frame::QueryStatusV2 { result_total, .. }) => {
-                // A body follows as chunks; stay put and assemble.
-                self.assembler = Some(ResultAssembler::new(result_total));
+            (
+                SessState::PollPending,
+                Frame::QueryStatusV2 {
+                    state,
+                    result_total,
+                    cache_maintained,
+                    compressed_bytes_saved,
+                    ..
+                },
+            ) => {
+                // The counters are cumulative on the server side; keep the
+                // freshest (largest) observation.
+                self.cache_maintained = self.cache_maintained.max(cache_maintained);
+                self.compressed_bytes_saved =
+                    self.compressed_bytes_saved.max(compressed_bytes_saved);
+                if result_total > 0 {
+                    // A body follows as chunks; stay put and assemble.
+                    self.assembler = Some(ResultAssembler::new(result_total));
+                } else if state == QueryState::Complete {
+                    self.finish_query(now, latencies, true);
+                } else if now >= self.deadline {
+                    self.finish_query(now, latencies, false);
+                } else {
+                    self.bump_backoff(now);
+                    self.state = SessState::WaitResult;
+                }
             }
             (
                 SessState::PollPending,
@@ -503,9 +528,12 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
                     timed_out: 0,
                     protocol_errors: 0,
                     backpressure_events: 0,
+                    cache_maintained: 0,
+                    compressed_bytes_saved: 0,
                 };
                 session.send(&Frame::Hello {
                     version: PROTOCOL_VERSION,
+                    codec: true,
                 });
                 lg.sessions.push(session);
             }
@@ -597,6 +625,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
         p50_ms: 0.0,
         p95_ms: 0.0,
         p99_ms: 0.0,
+        cache_maintained: 0,
+        compressed_bytes_saved: 0,
         phases,
     };
     for session in &lg.sessions {
@@ -605,6 +635,12 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenSummary> {
         summary.timed_out += session.timed_out;
         summary.protocol_errors += session.protocol_errors;
         summary.backpressure_events += session.backpressure_events;
+        // Server-side cumulative counters: every session observes the same
+        // deployment, so the run-wide value is the largest observation.
+        summary.cache_maintained = summary.cache_maintained.max(session.cache_maintained);
+        summary.compressed_bytes_saved = summary
+            .compressed_bytes_saved
+            .max(session.compressed_bytes_saved);
     }
     summary.qps = if summary.wall_seconds > 0.0 {
         summary.completed as f64 / summary.wall_seconds
@@ -897,6 +933,16 @@ pub fn bench_report(summary: &LoadgenSummary, shards: usize) -> BenchReport {
             summary.backpressure_events as f64,
             summary.backpressure_events,
         ),
+        metric(
+            "cache maintained",
+            summary.cache_maintained as f64,
+            summary.cache_maintained as usize,
+        ),
+        metric(
+            "compressed bytes saved",
+            summary.compressed_bytes_saved as f64,
+            summary.compressed_bytes_saved as usize,
+        ),
     ];
     for phase in &summary.phases {
         if phase.offered_qps <= 0.0 {
@@ -959,6 +1005,8 @@ mod tests {
             p50_ms: 10.0,
             p95_ms: 60.0,
             p99_ms: 90.0,
+            cache_maintained: 12,
+            compressed_bytes_saved: 2048,
             phases: vec![
                 PhaseStats {
                     offered_qps: 50.0,
@@ -984,6 +1032,11 @@ mod tests {
         assert_eq!(report.series("latency p99 (ms)").unwrap().mean, 90.0);
         assert_eq!(report.series("protocol errors").unwrap().mean, 0.0);
         assert_eq!(report.series("held sessions").unwrap().mean, 64.0);
+        assert_eq!(report.series("cache maintained").unwrap().mean, 12.0);
+        assert_eq!(
+            report.series("compressed bytes saved").unwrap().mean,
+            2048.0
+        );
         assert_eq!(report.series("latency p99 @ 50 qps").unwrap().mean, 70.0);
         assert_eq!(report.series("achieved @ 100 qps").unwrap().mean, 95.0);
         let json = serde_json::to_string(&report).unwrap();

@@ -62,6 +62,18 @@
 //! reassembles by `request` id with [`ResultAssembler`].  Chunks for one
 //! request arrive in offset order; chunks for *different* requests may
 //! interleave.  A `result_total` of zero means no chunks follow.
+//!
+//! # Result compression (v2)
+//!
+//! A client that sets the codec flag in its [`Frame::Hello`] (a trailing
+//! flags byte; pre-codec encodings simply omit it) offers the dictionary
+//! byte codec of [`exspan_types::compress`].  The server accepts by echoing
+//! the flag in [`Frame::HelloAckV2`]; from then on every streamed result
+//! body travels as `compress_bytes` output and `result_total` counts the
+//! *compressed* bytes.  [`Frame::QueryStatusV2`] additionally reports the
+//! session's `cache_maintained` and `compressed_bytes_saved` counters as
+//! optional trailing fields, so load generators can observe both
+//! optimizations without a side channel.
 
 use exspan_core::{Repr, TraversalOrder};
 use exspan_types::{Symbol, Value};
@@ -226,6 +238,10 @@ pub enum Frame {
     Hello {
         /// Protocol version the client speaks.
         version: u16,
+        /// Whether the client offers the dictionary result codec
+        /// ([`exspan_types::compress`]).  Encoded as a trailing flags byte;
+        /// pre-codec encodings omit it and decode as `false`.
+        codec: bool,
     },
     /// Handshake acceptance with the deployment's shape and limits.
     HelloAck {
@@ -263,6 +279,10 @@ pub enum Frame {
         pipeline_depth: u32,
         /// Data bytes per [`Frame::ResultChunk`] the server will send.
         chunk_bytes: u32,
+        /// Whether the session's [`Frame::ResultChunk`] bodies travel
+        /// dictionary-compressed (client offered and server accepted).
+        /// Trailing flags byte; absent in pre-codec encodings (`false`).
+        codec: bool,
     },
     /// Orderly goodbye (either direction; the server echoes it).
     Bye,
@@ -315,8 +335,17 @@ pub enum Frame {
         latency: f64,
         /// Human-readable result summary (empty while pending).
         summary: String,
-        /// Total bytes of the streamed result body (0 while pending).
+        /// Total bytes of the streamed result body (0 while pending).  On
+        /// codec sessions this is the *compressed* length — exactly the
+        /// bytes that follow as [`Frame::ResultChunk`] frames.
         result_total: u64,
+        /// Cache entries this query's session maintained in place
+        /// ([`exspan_core::CacheMaintenance::Incremental`]).  Optional
+        /// trailing field; absent in pre-codec encodings (0).
+        cache_maintained: u64,
+        /// Bytes the dictionary codec saved on the session's query traffic.
+        /// Optional trailing field; absent in pre-codec encodings (0).
+        compressed_bytes_saved: u64,
     },
     /// One slice of a rendered query result, reassembled by `request` id.
     ResultChunk {
@@ -474,10 +503,11 @@ fn put_traversal(out: &mut Vec<u8>, traversal: TraversalOrder) {
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
     let mut body = Vec::with_capacity(32);
     match frame {
-        Frame::Hello { version } => {
+        Frame::Hello { version, codec } => {
             body.push(0x01);
             body.extend_from_slice(&MAGIC);
             put_u16(&mut body, *version);
+            body.push(u8::from(*codec));
         }
         Frame::HelloAck {
             session,
@@ -505,6 +535,7 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             version,
             pipeline_depth,
             chunk_bytes,
+            codec,
         } => {
             body.push(0x04);
             put_u64(&mut body, *session);
@@ -516,6 +547,7 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             put_u16(&mut body, *version);
             put_u32(&mut body, *pipeline_depth);
             put_u32(&mut body, *chunk_bytes);
+            body.push(u8::from(*codec));
         }
         Frame::Bye => body.push(0x03),
         Frame::SubmitQuery { request, spec } => {
@@ -568,6 +600,8 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             latency,
             summary,
             result_total,
+            cache_maintained,
+            compressed_bytes_saved,
         } => {
             body.push(0x14);
             put_u64(&mut body, *request);
@@ -579,6 +613,8 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             put_f64(&mut body, *latency);
             put_str(&mut body, summary)?;
             put_u64(&mut body, *result_total);
+            put_u64(&mut body, *cache_maintained);
+            put_u64(&mut body, *compressed_bytes_saved);
         }
         Frame::ResultChunk {
             request,
@@ -735,6 +771,12 @@ impl<'a> Reader<'a> {
         })
     }
 
+    /// Bytes not yet consumed — used to decode optional trailing fields
+    /// added by newer protocol revisions (absent in older encodings).
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self, what: &str) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::new(format!(
@@ -756,7 +798,10 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
             if magic != MAGIC {
                 return Err(WireError::new("bad handshake magic"));
             }
-            Frame::Hello { version: r.u16()? }
+            let version = r.u16()?;
+            // Optional trailing flags byte (absent in pre-codec encodings).
+            let codec = r.remaining() > 0 && r.u8()? != 0;
+            Frame::Hello { version, codec }
         }
         0x02 => Frame::HelloAck {
             session: r.u64()?,
@@ -766,17 +811,30 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
             rate: r.f64()?,
             burst: r.u32()?,
         },
-        0x04 => Frame::HelloAckV2 {
-            session: r.u64()?,
-            program: r.string()?,
-            nodes: r.u32()?,
-            max_inflight: r.u32()?,
-            rate: r.f64()?,
-            burst: r.u32()?,
-            version: r.u16()?,
-            pipeline_depth: r.u32()?,
-            chunk_bytes: r.u32()?,
-        },
+        0x04 => {
+            let session = r.u64()?;
+            let program = r.string()?;
+            let nodes = r.u32()?;
+            let max_inflight = r.u32()?;
+            let rate = r.f64()?;
+            let burst = r.u32()?;
+            let version = r.u16()?;
+            let pipeline_depth = r.u32()?;
+            let chunk_bytes = r.u32()?;
+            let codec = r.remaining() > 0 && r.u8()? != 0;
+            Frame::HelloAckV2 {
+                session,
+                program,
+                nodes,
+                max_inflight,
+                rate,
+                burst,
+                version,
+                pipeline_depth,
+                chunk_bytes,
+                codec,
+            }
+        }
         0x03 => Frame::Bye,
         0x10 => {
             let request = r.u64()?;
@@ -836,13 +894,24 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
                 1 => QueryState::Complete,
                 tag => return Err(WireError::new(format!("unknown query state {tag}"))),
             };
+            let latency = r.f64()?;
+            let summary = r.string()?;
+            let result_total = r.u64()?;
+            // Optional trailing session counters (absent pre-codec).
+            let (cache_maintained, compressed_bytes_saved) = if r.remaining() > 0 {
+                (r.u64()?, r.u64()?)
+            } else {
+                (0, 0)
+            };
             Frame::QueryStatusV2 {
                 request,
                 query,
                 state,
-                latency: r.f64()?,
-                summary: r.string()?,
-                result_total: r.u64()?,
+                latency,
+                summary,
+                result_total,
+                cache_maintained,
+                compressed_bytes_saved,
             }
         }
         0x15 => {
@@ -935,7 +1004,7 @@ pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
 // ---------------------------------------------------------------------------
 
 /// Incremental frame decoder for nonblocking sockets: [`feed`] it whatever
-/// bytes a read returned, then drain complete frames with [`next`].
+/// bytes a read returned, then drain complete frames with [`next_frame`].
 ///
 /// Like [`read_frame`], oversized frames are swallowed without buffering
 /// their bodies (the skip is tracked as a counter, so a hostile 4 GiB
@@ -943,7 +1012,7 @@ pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
 /// [`FrameRead::Oversized`] once fully skipped, leaving the stream framed.
 ///
 /// [`feed`]: FrameBuffer::feed
-/// [`next`]: FrameBuffer::next
+/// [`next_frame`]: FrameBuffer::next_frame
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
@@ -976,10 +1045,10 @@ impl FrameBuffer {
     /// If the first undrained frame declares an oversized body that is not
     /// yet fully buffered, converts the buffered prefix into the skip
     /// counter immediately, so the body never accumulates no matter how the
-    /// caller interleaves [`feed`] and [`next`] calls.
+    /// caller interleaves [`feed`] and [`next_frame`] calls.
     ///
     /// [`feed`]: FrameBuffer::feed
-    /// [`next`]: FrameBuffer::next
+    /// [`next_frame`]: FrameBuffer::next_frame
     fn engage_skip(&mut self) {
         if self.skipping.is_some() {
             // An Oversized event is still pending; don't clobber it.
@@ -1000,9 +1069,9 @@ impl FrameBuffer {
         self.skipping = Some(((len - eat) as u64, len));
     }
 
-    /// Bytes currently buffered and not yet consumed by [`next`].
+    /// Bytes currently buffered and not yet consumed by [`next_frame`].
     ///
-    /// [`next`]: FrameBuffer::next
+    /// [`next_frame`]: FrameBuffer::next_frame
     pub fn buffered(&self) -> usize {
         self.buf.len() - self.pos
     }
@@ -1208,6 +1277,11 @@ mod tests {
     fn frames_roundtrip() {
         roundtrip(Frame::Hello {
             version: PROTOCOL_VERSION,
+            codec: false,
+        });
+        roundtrip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            codec: true,
         });
         roundtrip(Frame::HelloAck {
             session: 7,
@@ -1268,6 +1342,7 @@ mod tests {
             version: 2,
             pipeline_depth: 16,
             chunk_bytes: MAX_CHUNK_DATA as u32,
+            codec: true,
         });
         roundtrip(Frame::QueryStatusV2 {
             request: 100,
@@ -1276,6 +1351,8 @@ mod tests {
             latency: 0.125,
             summary: "8192 derivations".into(),
             result_total: 150_000,
+            cache_maintained: 17,
+            compressed_bytes_saved: 4096,
         });
         roundtrip(Frame::ResultChunk {
             request: 100,
@@ -1288,6 +1365,70 @@ mod tests {
             request: 0,
             message: "slow reader".into(),
         });
+    }
+
+    #[test]
+    fn pre_codec_encodings_decode_with_defaults() {
+        // A Hello from a pre-codec peer ends right after the version: no
+        // flags byte.  It must decode as "codec not offered".
+        let mut hello = vec![0x01];
+        hello.extend_from_slice(&MAGIC);
+        hello.extend_from_slice(&2u16.to_be_bytes());
+        assert_eq!(
+            decode_frame(&hello).expect("legacy Hello decodes"),
+            Frame::Hello {
+                version: 2,
+                codec: false
+            }
+        );
+        // Same for the optional trailing fields of HelloAckV2 and
+        // QueryStatusV2: strip them off a fresh encoding and decode.
+        let ack = Frame::HelloAckV2 {
+            session: 1,
+            program: "mincost".into(),
+            nodes: 4,
+            max_inflight: 8,
+            rate: 1.0,
+            burst: 2,
+            version: 2,
+            pipeline_depth: 4,
+            chunk_bytes: 512,
+            codec: true,
+        };
+        let body = encode_frame(&ack).unwrap()[4..].to_vec();
+        let legacy = &body[..body.len() - 1];
+        match decode_frame(legacy).expect("legacy HelloAckV2 decodes") {
+            Frame::HelloAckV2 { codec, session, .. } => {
+                assert!(!codec);
+                assert_eq!(session, 1);
+            }
+            other => panic!("unexpected frame {}", other.name()),
+        }
+        let status = Frame::QueryStatusV2 {
+            request: 9,
+            query: 3,
+            state: QueryState::Complete,
+            latency: 0.5,
+            summary: "done".into(),
+            result_total: 10,
+            cache_maintained: 5,
+            compressed_bytes_saved: 6,
+        };
+        let body = encode_frame(&status).unwrap()[4..].to_vec();
+        let legacy = &body[..body.len() - 16];
+        match decode_frame(legacy).expect("legacy QueryStatusV2 decodes") {
+            Frame::QueryStatusV2 {
+                cache_maintained,
+                compressed_bytes_saved,
+                result_total,
+                ..
+            } => {
+                assert_eq!(cache_maintained, 0);
+                assert_eq!(compressed_bytes_saved, 0);
+                assert_eq!(result_total, 10);
+            }
+            other => panic!("unexpected frame {}", other.name()),
+        }
     }
 
     #[test]
@@ -1313,7 +1454,12 @@ mod tests {
 
     #[test]
     fn bad_magic_and_unknown_tags_are_rejected() {
-        let mut hello = encode_frame(&Frame::Hello { version: 1 }).unwrap()[4..].to_vec();
+        let mut hello = encode_frame(&Frame::Hello {
+            version: 1,
+            codec: false,
+        })
+        .unwrap()[4..]
+            .to_vec();
         hello[1] = b'Y';
         assert!(decode_frame(&hello).unwrap_err().reason.contains("magic"));
         assert!(decode_frame(&[0x55])
@@ -1371,7 +1517,14 @@ mod tests {
         let declared = MAX_FRAME_LEN + 1;
         buf.extend_from_slice(&(declared as u32).to_be_bytes());
         buf.extend(std::iter::repeat(0u8).take(declared));
-        write_frame(&mut buf, &Frame::Hello { version: 1 }).unwrap();
+        write_frame(
+            &mut buf,
+            &Frame::Hello {
+                version: 1,
+                codec: false,
+            },
+        )
+        .unwrap();
 
         let mut cursor = io::Cursor::new(buf);
         match read_frame(&mut cursor).unwrap().unwrap() {
@@ -1385,7 +1538,13 @@ mod tests {
         // The stream re-synchronizes on the next frame.
         match read_frame(&mut cursor).unwrap().unwrap() {
             FrameRead::Body(body) => {
-                assert_eq!(decode_frame(&body).unwrap(), Frame::Hello { version: 1 });
+                assert_eq!(
+                    decode_frame(&body).unwrap(),
+                    Frame::Hello {
+                        version: 1,
+                        codec: false
+                    }
+                );
             }
             FrameRead::Oversized { .. } => panic!("third frame is fine"),
         }

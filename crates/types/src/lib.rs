@@ -21,7 +21,12 @@
 //!   evaluation harness.  Interning does not change any wire size: the model
 //!   always charged a fixed-width relation id per tuple and content-length
 //!   bytes per string value.
+//! * [`compress`] — the dictionary wire codec behind the opt-in compressed
+//!   accounting mode and the serve protocol's compressed result bodies:
+//!   first occurrence of a string/VID in a message is sent inline and
+//!   assigned a varint id, repeats cost the id alone.
 
+pub mod compress;
 pub mod sha1;
 pub mod symbol;
 pub mod tuple;
